@@ -1,0 +1,167 @@
+//! Criterion microbenchmarks for the measured kernels behind the paper's
+//! figures:
+//!
+//! * `commit_throughput/*` — Figure 13: gitstore commit latency as the
+//!   repository grows.
+//! * `gk_check/*` — Figure 15: Gatekeeper check rate, optimized vs not.
+//! * `cdsl_compile` — the Configerator compiler on a Figure 2-style config.
+//! * `zeus_propagation` — one write through a simulated fleet.
+//! * `diff`/`sha1` — gitstore primitives.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+fn commit_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_throughput");
+    group.sample_size(10);
+    for &files in &[1_000usize, 10_000, 50_000, 200_000] {
+        let mut repo = gitstore::repo::Repository::new();
+        let mut replay = workload::commits::CommitReplay::new(1);
+        replay.grow_repo(&mut repo, files);
+        let mut ts = 10_000_000u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(files), &files, |b, _| {
+            b.iter_batched(
+                || replay.next_commit(),
+                |changes| {
+                    ts += 1;
+                    repo.commit("bench", "m", ts, changes).expect("commit")
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn gk_check(c: &mut Criterion) {
+    use gatekeeper::prelude::*;
+    let mut group = c.benchmark_group("gk_check");
+    for optimized in [false, true] {
+        let mut laser = laser::Laser::new(1 << 14);
+        laser.load_dataset(
+            "d",
+            (0..10_000u64).map(|u| (format!("P-{u}"), 1.0)).collect(),
+        );
+        let mut rt = Runtime::new(laser);
+        rt.update_project(Project::new(
+            "P",
+            vec![Rule::new(
+                vec![
+                    RestraintSpec::of(RestraintKind::Laser {
+                        dataset: "d".into(),
+                        project: "P".into(),
+                        threshold: 0.5,
+                    }),
+                    RestraintSpec::of(RestraintKind::Employee),
+                ],
+                1.0,
+            )],
+        ));
+        rt.set_optimize(optimized);
+        if optimized {
+            // Warm the statistics, then freeze the ordering.
+            for u in 0..5_000u64 {
+                let ctx = UserContext::with_id(u).employee(u.is_multiple_of(50));
+                rt.check("P", &ctx);
+            }
+            rt.optimize_now();
+        }
+        let mut u = 0u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(
+            BenchmarkId::from_parameter(if optimized { "optimized" } else { "declared_order" }),
+            |b| {
+                b.iter(|| {
+                    u = (u + 1) % 10_000;
+                    let ctx = UserContext::with_id(u).employee(u.is_multiple_of(50));
+                    rt.check("P", &ctx)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn cdsl_compile(c: &mut Criterion) {
+    let mut files = BTreeMap::new();
+    files.insert(
+        "schemas/job.schema".to_string(),
+        "enum Kind { BATCH, SERVICE }\nstruct Job { 1: string name 2: i64 memory_mb = 1024 3: list<i64> ports 4: Kind kind = BATCH }".to_string(),
+    );
+    files.insert(
+        "schemas/job.cvalidator".to_string(),
+        "def validate(cfg):\n    require(cfg.memory_mb >= 64, \"mem\")\n    require(len(cfg.name) > 0, \"name\")".to_string(),
+    );
+    files.insert(
+        "create_job.cinc".to_string(),
+        "schema \"schemas/job.schema\"\ndef create_job(name, memory_mb=1024):\n    return Job { name: name, memory_mb: memory_mb, ports: [8089, 8090], kind: Kind.SERVICE }".to_string(),
+    );
+    files.insert(
+        "cache.cconf".to_string(),
+        "import \"create_job.cinc\"\nexport_if_last(create_job(\"cache\", memory_mb=2048))".to_string(),
+    );
+    c.bench_function("cdsl_compile", |b| {
+        b.iter(|| {
+            cdsl::compile::Compiler::new(&files)
+                .compile("cache.cconf")
+                .expect("compiles")
+        })
+    });
+}
+
+fn zeus_propagation(c: &mut Criterion) {
+    use simnet::prelude::*;
+    use zeus::deploy::{DeployConfig, ZeusDeployment};
+    c.bench_function("zeus_propagation_360_servers", |b| {
+        b.iter(|| {
+            let topo = Topology::symmetric(3, 2, 60);
+            let mut sim = Sim::new(topo, NetConfig::datacenter(), 5);
+            let cfg = DeployConfig {
+                ensemble_size: 5,
+                observers_per_cluster: 2,
+                subscriptions: vec!["x".into()],
+                ..DeployConfig::default()
+            };
+            let zeus = ZeusDeployment::install(&mut sim, &cfg);
+            sim.run_for(SimDuration::from_secs(1));
+            let now = sim.now();
+            zeus.write_at(&mut sim, now, "x", &b"payload"[..]);
+            sim.run_for(SimDuration::from_secs(2));
+            sim.metrics().summary("zeus.propagation_s").map(|s| s.max)
+        })
+    });
+}
+
+fn primitives(c: &mut Criterion) {
+    let data = vec![0xA5u8; 64 * 1024];
+    let mut group = c.benchmark_group("primitives");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha1_64k", |b| b.iter(|| gitstore::sha1::sha1(&data)));
+    group.finish();
+
+    let old: String = (0..200).map(|i| format!("line {i}\n")).collect();
+    let new: String = (0..200)
+        .map(|i| {
+            if i % 10 == 0 {
+                format!("changed {i}\n")
+            } else {
+                format!("line {i}\n")
+            }
+        })
+        .collect();
+    c.bench_function("myers_diff_200_lines", |b| {
+        b.iter(|| gitstore::diff::diff_stat(&old, &new))
+    });
+}
+
+criterion_group!(
+    benches,
+    commit_throughput,
+    gk_check,
+    cdsl_compile,
+    zeus_propagation,
+    primitives
+);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+use packagevessel::prelude::*;
+use simnet::prelude::*;
+fn main() {
+    let topo = Topology::symmetric(2, 3, 60);
+    let net = NetConfig {
+        egress_bytes_per_sec: 250_000_000,
+        ingress_bytes_per_sec: 250_000_000,
+        ..NetConfig::datacenter()
+    };
+    let mut sim = Sim::new(topo, net, 35);
+    let pv = PvDeployment::install(&mut sim, PeerPolicy::LocalityAware, 4);
+    let meta = pv.publish(&mut sim, "feed/model", 1, 128 << 20, 4 << 20, SimTime::ZERO);
+    sim.run_for(SimDuration::from_secs(100));
+    println!("now={} events={} completion={}", sim.now(), sim.events_processed(), pv.completion(&sim, &meta.id));
+    for (k, v) in sim.metrics().counters() { println!("{k} = {v}"); }
+}

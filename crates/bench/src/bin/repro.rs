@@ -1,0 +1,56 @@
+//! `repro` — regenerates every table and figure from the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro list                 # show available experiments
+//! repro <name> [--full]      # run one experiment (e.g. `repro fig13`)
+//! repro all [--full]         # run everything in order
+//! ```
+//!
+//! `--full` uses the larger scale quoted in `EXPERIMENTS.md`; the default
+//! small scale finishes each experiment in seconds to a couple of minutes.
+
+use bench::{run_experiment, Scale, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let names: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let scale = if full { Scale::Full } else { Scale::Small };
+
+    match names.first().copied() {
+        None | Some("list") => {
+            eprintln!("experiments:");
+            for n in ALL {
+                eprintln!("  {n}");
+            }
+            eprintln!("\nusage: repro <name>|all [--full]");
+        }
+        Some("all") => {
+            for n in ALL {
+                banner(n);
+                match run_experiment(n, scale) {
+                    Some(report) => println!("{report}"),
+                    None => eprintln!("unknown experiment: {n}"),
+                }
+            }
+        }
+        Some(name) => match run_experiment(name, scale) {
+            Some(report) => {
+                banner(name);
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment: {name} (try `repro list`)");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn banner(name: &str) {
+    println!("==============================================================");
+    println!("== {name}");
+    println!("==============================================================");
+}

@@ -1,0 +1,223 @@
+//! §6.4: the configuration-error study, reproduced as a fault-injection
+//! campaign against the real pipeline.
+//!
+//! The paper classifies config-related incidents as Type I (common errors:
+//! typos, out-of-bound values, wrong references — 42%), Type II (subtle
+//! errors: load-coupled, failure-induced — 36%), and Type III (valid
+//! changes exposing latent code bugs — 22%). We inject synthetic changes
+//! of each class through the full defense stack — compiler + validators,
+//! Sandcastle, 20-server canary, cluster canary — and report which layer
+//! catches what, including the two configurations the paper contrasts
+//! (canary with and without the cluster phase).
+
+use std::collections::BTreeMap;
+
+use configerator::canary::{CanaryService, CanarySpec, SyntheticFleet};
+use configerator::review::Sandcastle;
+use configerator::service::ConfigeratorService;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+use workload::paper;
+
+/// The §6.4 incident classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IncidentType {
+    /// Common config errors (typos, out-of-bound, wrong cluster).
+    TypeI,
+    /// Subtle errors (load-related, failure-induced).
+    TypeII,
+    /// Valid configs exposing code bugs.
+    TypeIII,
+}
+
+/// Which defense layer stopped the change (or none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CaughtBy {
+    /// Compiler schema/type check or validator.
+    Validator,
+    /// Sandcastle integration tests.
+    Sandcastle,
+    /// Canary phase 1 (20 servers).
+    CanarySmall,
+    /// Canary phase 2 (full cluster).
+    CanaryCluster,
+    /// Escaped to production.
+    Escaped,
+}
+
+/// Runs the campaign: `n` injected bad changes per the paper's mix.
+pub fn run(n: usize, with_cluster_phase: bool) -> BTreeMap<(IncidentType, CaughtBy), usize> {
+    let mut rng = SmallRng::seed_from_u64(64);
+    let mut svc = ConfigeratorService::new();
+    // The guarded config type: a cache job with a validated schema.
+    let mut seed = BTreeMap::new();
+    seed.insert(
+        "schemas/job.schema".to_string(),
+        Some("struct Job { 1: string cluster 2: i64 memory_mb = 1024 3: optional string mode }".to_string()),
+    );
+    seed.insert(
+        "schemas/job.cvalidator".to_string(),
+        Some(
+            "def validate(cfg):\n    require(cfg.memory_mb >= 64, \"memory too small\")\n    require(cfg.memory_mb <= 262144, \"memory out of bounds\")\n    require(len(cfg.cluster) > 0, \"cluster must be set\")\n"
+                .to_string(),
+        ),
+    );
+    seed.insert(
+        "cache.cconf".to_string(),
+        Some("schema \"schemas/job.schema\"\nexport_if_last(Job { cluster: \"c1\" })".to_string()),
+    );
+    svc.commit_source("seed", "seed", seed).expect("seed commit");
+
+    let mut sandcastle = Sandcastle::new();
+    sandcastle.register_check("known_cluster", |cfg| {
+        if cfg.json.contains("\"cluster\": \"ghost\"") {
+            Err("references a nonexistent cluster".into())
+        } else {
+            Ok(())
+        }
+    });
+
+    let spec = if with_cluster_phase {
+        CanarySpec::standard(2000)
+    } else {
+        CanarySpec {
+            phases: vec![CanarySpec::standard(2000).phases[0].clone()],
+        }
+    };
+    let canary = CanaryService;
+
+    let mut outcomes: BTreeMap<(IncidentType, CaughtBy), usize> = BTreeMap::new();
+    for i in 0..n {
+        let r: f64 = rng.gen();
+        let itype = if r < paper::INCIDENT_TYPE_I {
+            IncidentType::TypeI
+        } else if r < paper::INCIDENT_TYPE_I + paper::INCIDENT_TYPE_II {
+            IncidentType::TypeII
+        } else {
+            IncidentType::TypeIII
+        };
+        // Build the bad change for this incident.
+        type Effect = Box<dyn Fn(&str, &str, f64) -> f64>;
+        let (src, effect): (String, Effect) = match itype {
+            IncidentType::TypeI => {
+                // Common errors: out-of-bound value, missing field, or a
+                // wrong-cluster reference. Most are validator-catchable;
+                // the wrong-cluster case needs Sandcastle's integration
+                // knowledge.
+                match i % 3 {
+                    0 => (
+                        "schema \"schemas/job.schema\"\nexport_if_last(Job { cluster: \"c1\", memory_mb: 4 })".into(),
+                        Box::new(|_, _, _| 0.0),
+                    ),
+                    1 => (
+                        "schema \"schemas/job.schema\"\nexport_if_last(Job { cluster: \"\" })".into(),
+                        Box::new(|_, _, _| 0.0),
+                    ),
+                    _ => (
+                        "schema \"schemas/job.schema\"\nexport_if_last(Job { cluster: \"ghost\" })".into(),
+                        Box::new(|_, _, _| 0.0),
+                    ),
+                }
+            }
+            IncidentType::TypeII => {
+                // Subtle: validates fine, but overloads a backend once a
+                // large fraction of the fleet runs it (the §6.4 rare-code-
+                // path incident).
+                (
+                    "schema \"schemas/job.schema\"\nexport_if_last(Job { cluster: \"c1\", mode: \"rare_path\" })".into(),
+                    Box::new(|cfg: &str, metric: &str, frac: f64| {
+                        if metric == "latency_ms" && cfg.contains("rare_path") && frac > 0.05 {
+                            900.0 * frac
+                        } else {
+                            0.0
+                        }
+                    }),
+                )
+            }
+            IncidentType::TypeIII => {
+                // Valid config; a latent code bug crashes some instances as
+                // soon as the new code path runs anywhere (the §6.4
+                // race-condition incident) — visible even at 20 servers.
+                (
+                    "schema \"schemas/job.schema\"\nexport_if_last(Job { cluster: \"c1\", mode: \"new_path\" })".into(),
+                    Box::new(|cfg: &str, metric: &str, _| {
+                        if metric == "error_rate" && cfg.contains("new_path") {
+                            0.02
+                        } else {
+                            0.0
+                        }
+                    }),
+                )
+            }
+        };
+
+        let mut changes = BTreeMap::new();
+        changes.insert("cache.cconf".to_string(), Some(src));
+        let caught = match svc.check_changes(&changes) {
+            Err(_) => CaughtBy::Validator,
+            Ok(compiled) => {
+                let diff = configerator::landing::SourceDiff::against(&svc, "eng", "m", changes.clone());
+                let report = sandcastle.run(&svc, &diff);
+                if !report.passed {
+                    CaughtBy::Sandcastle
+                } else {
+                    let mut fleet = SyntheticFleet::new(5000, 64 + i as u64);
+                    fleet.add_effect(effect);
+                    let outcome = canary.run(&spec, &compiled[0].json, &mut fleet);
+                    if outcome.passed {
+                        CaughtBy::Escaped
+                    } else if outcome.phases.len() == 1 {
+                        CaughtBy::CanarySmall
+                    } else {
+                        CaughtBy::CanaryCluster
+                    }
+                }
+            }
+        };
+        *outcomes.entry((itype, caught)).or_insert(0) += 1;
+    }
+    outcomes
+}
+
+/// Renders the campaign as the §6.4 table plus the detection matrix.
+pub fn report(n: usize) -> String {
+    let mut out = format!(
+        "§6.4: configuration-error study ({n} injected bad changes)\n\
+         paper mix: Type I 42%, Type II 36%, Type III 22%\n\n"
+    );
+    for (label, with_cluster) in [
+        ("canary = 20 servers only (the paper's original spec)", false),
+        ("canary = 20 servers + full cluster (the paper's fix)", true),
+    ] {
+        let outcomes = run(n, with_cluster);
+        out.push_str(&format!("--- {label} ---\n"));
+        out.push_str("type     validator sandcastle canary20 canaryCluster ESCAPED\n");
+        for itype in [IncidentType::TypeI, IncidentType::TypeII, IncidentType::TypeIII] {
+            let get = |c: CaughtBy| outcomes.get(&(itype, c)).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "{:<8} {:>9} {:>10} {:>8} {:>13} {:>7}\n",
+                format!("{itype:?}"),
+                get(CaughtBy::Validator),
+                get(CaughtBy::Sandcastle),
+                get(CaughtBy::CanarySmall),
+                get(CaughtBy::CanaryCluster),
+                get(CaughtBy::Escaped),
+            ));
+        }
+        let escaped: usize = outcomes
+            .iter()
+            .filter(|((_, c), _)| *c == CaughtBy::Escaped)
+            .map(|(_, n)| n)
+            .sum();
+        out.push_str(&format!("escaped to production: {escaped}/{n}\n\n"));
+    }
+    out.push_str(
+        "shape: validators stop most Type I; the cluster canary phase is\n\
+         what catches Type II load issues (without it they escape — the\n\
+         paper's incident); Type III code bugs are caught by canary, not by\n\
+         config-side validation, matching the paper's surprise that 22% of\n\
+         incidents were code bugs exposed by valid configs.\n",
+    );
+    out
+}

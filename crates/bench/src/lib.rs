@@ -1,0 +1,94 @@
+//! # bench — the experiment harness
+//!
+//! One module per experiment from the paper's evaluation (see the index in
+//! `DESIGN.md` and the results log in `EXPERIMENTS.md`). The `repro`
+//! binary dispatches to these; the Criterion benches reuse the same
+//! implementations for the measured kernels.
+
+pub mod distribution;
+pub mod fig13;
+pub mod gatekeeper_exp;
+pub mod incidents;
+pub mod mobile;
+pub mod stats_figs;
+
+/// Scale presets for experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast: minutes of wall time, smaller fleets and repositories.
+    Small,
+    /// Full: the sizes quoted in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Config-population size for the statistics figures.
+    pub fn configs(self) -> usize {
+        match self {
+            Scale::Small => 30_000,
+            Scale::Full => 200_000,
+        }
+    }
+
+    /// Servers per cluster for fleet simulations.
+    pub fn servers_per_cluster(self) -> usize {
+        match self {
+            Scale::Small => 60,
+            Scale::Full => 300,
+        }
+    }
+}
+
+/// Runs one named experiment and returns its report.
+pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
+    let s = scale;
+    Some(match name {
+        "fig7" => stats_figs::fig7(s.configs()),
+        "fig8" => stats_figs::fig8(s.configs()),
+        "fig9" => stats_figs::fig9(s.configs()),
+        "fig10" => stats_figs::fig10(s.configs()),
+        "fig11" => stats_figs::fig11(),
+        "fig12" => stats_figs::fig12(),
+        "fig13" => fig13::fig13(s == Scale::Full),
+        "fig14" => distribution::fig14(s.servers_per_cluster()),
+        "fig15" => gatekeeper_exp::fig15(),
+        "table1" => stats_figs::table1(s.configs()),
+        "table2" => stats_figs::table2(s.configs()),
+        "table3" => stats_figs::table3(s.configs()),
+        "headline" => stats_figs::headline(s.configs()),
+        "incidents" => incidents::report(match s {
+            Scale::Small => 60,
+            Scale::Full => 200,
+        }),
+        "pushpull" => distribution::pushpull(s.servers_per_cluster()),
+        "packagevessel" => distribution::packagevessel(
+            s.servers_per_cluster(),
+            match s {
+                Scale::Small => 128,
+                Scale::Full => 512,
+            },
+        ),
+        "tree_vs_pv" => distribution::tree_vs_pv(s.servers_per_cluster().min(100)),
+        "contention" => fig13::contention(16, 8),
+        "partitioning" => fig13::partitioning(
+            match s {
+                Scale::Small => 40_000,
+                Scale::Full => 150_000,
+            },
+            4,
+            40,
+        ),
+        "gk_opt" => gatekeeper_exp::optimizer_ablation(),
+        "rollout" => gatekeeper_exp::rollout(),
+        "mobile" => mobile::bandwidth(200, 30, 10),
+        "canary" => mobile::canary_timing(),
+        _ => return None,
+    })
+}
+
+/// All experiment names, in presentation order.
+pub const ALL: &[&str] = &[
+    "fig7", "fig8", "table1", "table2", "table3", "fig9", "fig10", "headline", "fig11", "fig12",
+    "fig13", "contention", "partitioning", "fig14", "pushpull", "packagevessel", "tree_vs_pv",
+    "fig15", "gk_opt", "rollout", "incidents", "mobile", "canary",
+];

@@ -1,0 +1,185 @@
+//! Abstract syntax tree for CDSL config programs.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (short-circuit)
+    And,
+    /// `or` (short-circuit)
+    Or,
+    /// `in` (membership)
+    In,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `not`
+    Not,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// 1-based source line.
+    pub line: u32,
+    /// The expression kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Name reference.
+    Name(String),
+    /// `[a, b, c]`
+    List(Vec<Expr>),
+    /// `{"k": v, ...}`
+    Dict(Vec<(Expr, Expr)>),
+    /// `TypeName { field: expr, ... }`
+    Struct {
+        /// Schema type name.
+        name: String,
+        /// Field initializers in written order.
+        fields: Vec<(String, Expr)>,
+    },
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `f(a, b, key=c)`
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        kwargs: Vec<(String, Expr)>,
+    },
+    /// `x[i]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `x.field`
+    Attr(Box<Expr>, String),
+    /// `a if cond else b`
+    Cond {
+        /// Value when the condition holds.
+        then: Box<Expr>,
+        /// The condition.
+        cond: Box<Expr>,
+        /// Value otherwise.
+        otherwise: Box<Expr>,
+    },
+}
+
+/// A statement, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: u32,
+    /// The statement kind.
+    pub kind: StmtKind,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `name = expr`
+    Assign {
+        /// Target name.
+        name: String,
+        /// Value.
+        value: Expr,
+    },
+    /// A bare expression evaluated for effect (e.g. `export_if_last(x)`).
+    Expr(Expr),
+    /// `import "path"` — brings the module's top-level bindings into scope
+    /// (the paper's `import_python`).
+    Import(String),
+    /// `schema "path"` — loads type definitions (the paper's
+    /// `import_thrift`).
+    Schema(String),
+    /// `def name(params): body`
+    Def(FuncDef),
+    /// `return expr` (or bare `return`).
+    Return(Option<Expr>),
+    /// `if cond: ... elif ...: ... else: ...` — encoded as a chain.
+    If {
+        /// The condition.
+        cond: Expr,
+        /// Then-branch statements.
+        then: Vec<Stmt>,
+        /// Else-branch statements (possibly another `If` for `elif`).
+        otherwise: Vec<Stmt>,
+    },
+    /// `for var in expr: body`
+    For {
+        /// Loop variable.
+        var: String,
+        /// Iterated expression (list, dict keys, or range).
+        iter: Expr,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Default value, if any. Parameters with defaults must follow those
+    /// without.
+    pub default: Option<Expr>,
+}
+
+/// A parsed module: a sequence of top-level statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}

@@ -1,0 +1,142 @@
+//! Error types for the CDSL compiler and runtime.
+
+use std::fmt;
+
+/// Where an error occurred.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Location {
+    /// Source path (empty for anonymous sources).
+    pub path: String,
+    /// 1-based line number (0 when unknown).
+    pub line: u32,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "line {}", self.line)
+        } else {
+            write!(f, "{}:{}", self.path, self.line)
+        }
+    }
+}
+
+/// The category of a CDSL error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Tokenizer rejected the input.
+    Lex(String),
+    /// Parser rejected the token stream.
+    Parse(String),
+    /// Schema file was malformed.
+    Schema(String),
+    /// Struct construction or value usage violated the schema.
+    Type(String),
+    /// Evaluation failed (undefined name, bad operand, division by zero…).
+    Eval(String),
+    /// An `import`/`schema` target could not be loaded.
+    MissingSource(String),
+    /// Import cycle detected.
+    ImportCycle(String),
+    /// A validator's `require` failed.
+    Validation(String),
+    /// The entry file exported zero or more than one config.
+    Export(String),
+    /// Execution exceeded the step or recursion budget.
+    Budget(String),
+}
+
+/// A CDSL error with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdslError {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// Where it went wrong.
+    pub location: Location,
+}
+
+impl CdslError {
+    /// Creates an error at a location.
+    pub fn new(kind: ErrorKind, path: &str, line: u32) -> CdslError {
+        CdslError {
+            kind,
+            location: Location {
+                path: path.to_string(),
+                line,
+            },
+        }
+    }
+
+    /// Creates an error with no useful location.
+    pub fn nowhere(kind: ErrorKind) -> CdslError {
+        CdslError {
+            kind,
+            location: Location::default(),
+        }
+    }
+
+    /// Returns the error message without the location prefix.
+    pub fn message(&self) -> &str {
+        match &self.kind {
+            ErrorKind::Lex(m)
+            | ErrorKind::Parse(m)
+            | ErrorKind::Schema(m)
+            | ErrorKind::Type(m)
+            | ErrorKind::Eval(m)
+            | ErrorKind::MissingSource(m)
+            | ErrorKind::ImportCycle(m)
+            | ErrorKind::Validation(m)
+            | ErrorKind::Export(m)
+            | ErrorKind::Budget(m) => m,
+        }
+    }
+
+    /// Returns whether this is a validation failure (as opposed to a
+    /// programming error in the config source).
+    pub fn is_validation(&self) -> bool {
+        matches!(self.kind, ErrorKind::Validation(_))
+    }
+}
+
+impl fmt::Display for CdslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self.kind {
+            ErrorKind::Lex(_) => "lex error",
+            ErrorKind::Parse(_) => "parse error",
+            ErrorKind::Schema(_) => "schema error",
+            ErrorKind::Type(_) => "type error",
+            ErrorKind::Eval(_) => "eval error",
+            ErrorKind::MissingSource(_) => "missing source",
+            ErrorKind::ImportCycle(_) => "import cycle",
+            ErrorKind::Validation(_) => "validation failed",
+            ErrorKind::Export(_) => "export error",
+            ErrorKind::Budget(_) => "budget exceeded",
+        };
+        write!(f, "{}: {} at {}", label, self.message(), self.location)
+    }
+}
+
+impl std::error::Error for CdslError {}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CdslError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_kind() {
+        let e = CdslError::new(ErrorKind::Parse("unexpected token".into()), "a.cconf", 3);
+        let s = e.to_string();
+        assert!(s.contains("parse error"));
+        assert!(s.contains("a.cconf:3"));
+        assert!(s.contains("unexpected token"));
+    }
+
+    #[test]
+    fn validation_detection() {
+        assert!(CdslError::nowhere(ErrorKind::Validation("x".into())).is_validation());
+        assert!(!CdslError::nowhere(ErrorKind::Eval("x".into())).is_validation());
+    }
+}

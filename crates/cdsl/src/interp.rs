@@ -1,0 +1,1606 @@
+//! The CDSL evaluator.
+//!
+//! A config program is executed as a module graph: `import "path"` loads
+//! and runs another module once, then copies its top-level bindings into the
+//! importing scope (the paper's `import_python(path, "*")`); `schema "path"`
+//! loads Thrift-style type definitions (the paper's `import_thrift`). The
+//! set of loaded paths becomes the config's dependency list — dependencies
+//! are *extracted from source code*, never maintained by hand (§1, §3.1).
+//!
+//! `export_if_last(value)` records the compiled config value only when the
+//! call occurs in the entry module — imported modules can share the same
+//! code path without exporting, exactly like the paper's reusable `.cinc`
+//! modules.
+//!
+//! Execution is budgeted (step count and call depth) so a buggy config
+//! program cannot hang the compiler.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+
+use crate::ast::{BinOp, Expr, ExprKind, Module, Stmt, StmtKind, UnOp};
+use crate::error::{CdslError, ErrorKind, Result};
+use crate::parser::parse;
+use crate::schema::{SchemaSet, StructDef, Type, TypeDef};
+use crate::value::{FuncValue, StructValue, Value};
+
+/// Provides source text for config programs and schemas by path.
+pub trait Loader {
+    /// Returns the source at `path`, or `None` if it does not exist.
+    fn load(&self, path: &str) -> Option<String>;
+}
+
+impl Loader for BTreeMap<String, String> {
+    fn load(&self, path: &str) -> Option<String> {
+        self.get(path).cloned()
+    }
+}
+
+impl Loader for HashMap<String, String> {
+    fn load(&self, path: &str) -> Option<String> {
+        self.get(path).cloned()
+    }
+}
+
+/// Execution budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of evaluation steps.
+    pub max_steps: u64,
+    /// Maximum function call depth.
+    pub max_depth: u32,
+    /// Maximum length of a `range()` result.
+    pub max_range: i64,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_steps: 2_000_000,
+            // Each CDSL call level consumes several native frames; 64 keeps
+            // worst-case native stack usage well under typical 2 MB thread
+            // stacks even in debug builds.
+            max_depth: 64,
+            max_range: 1_000_000,
+        }
+    }
+}
+
+type Scope = HashMap<String, Value>;
+
+/// Evaluates a standalone expression with no imports and the standard
+/// builtins available. This powers the Sitevars shim, where a sitevar's
+/// value "is a PHP expression" (§3.2) — here, a CDSL expression.
+///
+/// # Examples
+///
+/// ```
+/// use cdsl::interp::eval_expression;
+///
+/// let v = eval_expression("{\"limit\": 2 * 50}").unwrap();
+/// assert_eq!(v.to_json(), "{\"limit\":100}");
+/// ```
+pub fn eval_expression(src: &str) -> Result<Value> {
+    let expr = crate::parser::parse_expr(src, "<expr>")?;
+    let loader: BTreeMap<String, String> = BTreeMap::new();
+    let mut interp = Interp::new(&loader, Limits::default());
+    interp.modules.push(Scope::new());
+    interp.module_paths.push(std::rc::Rc::from("<expr>"));
+    interp.eval(&expr, 0, None)
+}
+
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+/// The interpreter: module registry, schema set, and execution state.
+pub struct Interp<'l> {
+    loader: &'l dyn Loader,
+    limits: Limits,
+    schemas: SchemaSet,
+    modules: Vec<Scope>,
+    module_paths: Vec<Rc<str>>,
+    module_ids: HashMap<String, usize>,
+    loading: Vec<String>,
+    entry: Option<usize>,
+    exported: Option<Value>,
+    deps: BTreeSet<String>,
+    steps: u64,
+    depth: u32,
+}
+
+impl<'l> Interp<'l> {
+    /// Creates an interpreter over `loader`.
+    pub fn new(loader: &'l dyn Loader, limits: Limits) -> Interp<'l> {
+        Interp {
+            loader,
+            limits,
+            schemas: SchemaSet::new(),
+            modules: Vec::new(),
+            module_paths: Vec::new(),
+            module_ids: HashMap::new(),
+            loading: Vec::new(),
+            entry: None,
+            exported: None,
+            deps: BTreeSet::new(),
+            steps: 0,
+            depth: 0,
+        }
+    }
+
+    /// Executes `path` as the entry module. Returns the entry module index.
+    pub fn run_entry(&mut self, path: &str) -> Result<usize> {
+        let idx = self.load_module(path, true)?;
+        Ok(idx)
+    }
+
+    /// Executes `path` as a non-entry module (its exports are ignored).
+    /// Used to run validator files.
+    pub fn run_module(&mut self, path: &str) -> Result<usize> {
+        self.load_module(path, false)
+    }
+
+    /// The value exported by the entry module, if any.
+    pub fn exported(&self) -> Option<&Value> {
+        self.exported.as_ref()
+    }
+
+    /// All paths loaded besides the entry (imports, schemas): the config's
+    /// dependency list.
+    pub fn deps(&self) -> &BTreeSet<String> {
+        &self.deps
+    }
+
+    /// The accumulated schema set.
+    pub fn schemas(&self) -> &SchemaSet {
+        &self.schemas
+    }
+
+    /// Looks up a top-level binding of a module.
+    pub fn global(&self, module: usize, name: &str) -> Option<&Value> {
+        self.modules.get(module).and_then(|m| m.get(name))
+    }
+
+    /// Calls the function bound to `name` in `module` with positional
+    /// `args`. Used by the compiler to invoke validators.
+    pub fn call_global(&mut self, module: usize, name: &str, args: Vec<Value>) -> Result<Value> {
+        let f = match self.global(module, name) {
+            Some(Value::Func(f)) => f.clone(),
+            Some(other) => {
+                return Err(CdslError::nowhere(ErrorKind::Eval(format!(
+                    "{name} is not a function (found {})",
+                    other.type_name()
+                ))))
+            }
+            None => {
+                return Err(CdslError::nowhere(ErrorKind::Eval(format!(
+                    "no function named {name}"
+                ))))
+            }
+        };
+        let path = self.module_paths[module].clone();
+        self.call_func(&f, args, Vec::new(), &path, 0)
+    }
+
+    fn load_module(&mut self, path: &str, as_entry: bool) -> Result<usize> {
+        // A module still on the loading stack is mid-execution: importing it
+        // again is a cycle. This must be checked before the module-id cache,
+        // which registers modules eagerly.
+        if self.loading.iter().any(|p| p == path) {
+            return Err(CdslError::nowhere(ErrorKind::ImportCycle(format!(
+                "{} -> {path}",
+                self.loading.join(" -> ")
+            ))));
+        }
+        if let Some(&idx) = self.module_ids.get(path) {
+            return Ok(idx);
+        }
+        let src = self.loader.load(path).ok_or_else(|| {
+            CdslError::nowhere(ErrorKind::MissingSource(path.to_string()))
+        })?;
+        let module: Module = parse(&src, path)?;
+        let idx = self.modules.len();
+        self.modules.push(Scope::new());
+        self.module_paths.push(Rc::from(path));
+        self.module_ids.insert(path.to_string(), idx);
+        if as_entry {
+            self.entry = Some(idx);
+        } else if self.entry.is_some() {
+            self.deps.insert(path.to_string());
+        }
+        self.loading.push(path.to_string());
+        let result = self.exec_stmts(&module.stmts, idx, None);
+        self.loading.pop();
+        result?;
+        Ok(idx)
+    }
+
+    fn charge(&mut self, path: &str, line: u32) -> Result<()> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(CdslError::new(
+                ErrorKind::Budget(format!("exceeded {} steps", self.limits.max_steps)),
+                path,
+                line,
+            ));
+        }
+        Ok(())
+    }
+
+    fn exec_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        module: usize,
+        mut locals: Option<&mut Scope>,
+    ) -> Result<Flow> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt, module, locals.as_deref_mut())? {
+                Flow::Normal => {}
+                flow @ Flow::Return(_) => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        module: usize,
+        mut locals: Option<&mut Scope>,
+    ) -> Result<Flow> {
+        let path = self.module_paths[module].clone();
+        self.charge(&path, stmt.line)?;
+        match &stmt.kind {
+            StmtKind::Assign { name, value } => {
+                let v = self.eval(value, module, locals.as_deref())?;
+                match locals {
+                    Some(l) => {
+                        l.insert(name.clone(), v);
+                    }
+                    None => {
+                        self.modules[module].insert(name.clone(), v);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e, module, locals.as_deref())?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Import(target) => {
+                if locals.is_some() {
+                    return Err(CdslError::new(
+                        ErrorKind::Eval("import is only allowed at module top level".into()),
+                        &path,
+                        stmt.line,
+                    ));
+                }
+                let dep = self.load_module(target, false)?;
+                // Copy the imported module's top-level bindings, like the
+                // paper's `import_python(path, "*")`.
+                let bindings: Vec<(String, Value)> = self.modules[dep]
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                self.modules[module].extend(bindings);
+                Ok(Flow::Normal)
+            }
+            StmtKind::Schema(target) => {
+                if locals.is_some() {
+                    return Err(CdslError::new(
+                        ErrorKind::Eval("schema is only allowed at module top level".into()),
+                        &path,
+                        stmt.line,
+                    ));
+                }
+                let src = self.loader.load(target).ok_or_else(|| {
+                    CdslError::new(
+                        ErrorKind::MissingSource(target.clone()),
+                        &path,
+                        stmt.line,
+                    )
+                })?;
+                self.schemas.load(&src, target)?;
+                // A schema file is always a dependency of the config.
+                self.deps.insert(target.clone());
+                Ok(Flow::Normal)
+            }
+            StmtKind::Def(def) => {
+                if locals.is_some() {
+                    return Err(CdslError::new(
+                        ErrorKind::Eval("nested function definitions are not supported".into()),
+                        &path,
+                        stmt.line,
+                    ));
+                }
+                let f = Value::Func(Rc::new(FuncValue {
+                    def: def.clone(),
+                    module,
+                }));
+                self.modules[module].insert(def.name.clone(), f);
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(value) => {
+                if locals.is_none() {
+                    return Err(CdslError::new(
+                        ErrorKind::Eval("return outside function".into()),
+                        &path,
+                        stmt.line,
+                    ));
+                }
+                let v = match value {
+                    Some(e) => self.eval(e, module, locals.as_deref())?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let c = self.eval(cond, module, locals.as_deref())?;
+                if c.truthy() {
+                    self.exec_stmts(then, module, locals)
+                } else {
+                    self.exec_stmts(otherwise, module, locals)
+                }
+            }
+            StmtKind::For { var, iter, body } => {
+                let it = self.eval(iter, module, locals.as_deref())?;
+                let items: Vec<Value> = match it {
+                    Value::List(l) => l.to_vec(),
+                    Value::Dict(d) => d.keys().map(Value::str).collect(),
+                    other => {
+                        return Err(CdslError::new(
+                            ErrorKind::Eval(format!("cannot iterate a {}", other.type_name())),
+                            &path,
+                            stmt.line,
+                        ))
+                    }
+                };
+                for item in items {
+                    match locals.as_deref_mut() {
+                        Some(l) => {
+                            l.insert(var.clone(), item);
+                        }
+                        None => {
+                            self.modules[module].insert(var.clone(), item);
+                        }
+                    }
+                    match self.exec_stmts(body, module, locals.as_deref_mut())? {
+                        Flow::Normal => {}
+                        flow @ Flow::Return(_) => return Ok(flow),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str, module: usize, locals: Option<&Scope>) -> Option<Value> {
+        if let Some(l) = locals {
+            if let Some(v) = l.get(name) {
+                return Some(v.clone());
+            }
+        }
+        if let Some(v) = self.modules[module].get(name) {
+            return Some(v.clone());
+        }
+        if BUILTINS.contains(&name) {
+            return Some(Value::Builtin(
+                BUILTINS.iter().find(|b| **b == name).expect("checked"),
+            ));
+        }
+        None
+    }
+
+    fn eval(&mut self, expr: &Expr, module: usize, locals: Option<&Scope>) -> Result<Value> {
+        let path = self.module_paths[module].clone();
+        self.charge(&path, expr.line)?;
+        let err = |kind: ErrorKind| CdslError::new(kind, &path, expr.line);
+        match &expr.kind {
+            ExprKind::Null => Ok(Value::Null),
+            ExprKind::Bool(b) => Ok(Value::Bool(*b)),
+            ExprKind::Int(v) => Ok(Value::Int(*v)),
+            ExprKind::Float(v) => Ok(Value::Float(*v)),
+            ExprKind::Str(s) => Ok(Value::str(s)),
+            ExprKind::Name(n) => self.lookup(n, module, locals).ok_or_else(|| {
+                err(ErrorKind::Eval(format!("undefined name: {n}")))
+            }),
+            ExprKind::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for e in items {
+                    out.push(self.eval(e, module, locals)?);
+                }
+                Ok(Value::list(out))
+            }
+            ExprKind::Dict(items) => {
+                let mut map = BTreeMap::new();
+                for (k, v) in items {
+                    let key = match self.eval(k, module, locals)? {
+                        Value::Str(s) => s.to_string(),
+                        other => {
+                            return Err(err(ErrorKind::Eval(format!(
+                                "dict keys must be strings, found {}",
+                                other.type_name()
+                            ))))
+                        }
+                    };
+                    let value = self.eval(v, module, locals)?;
+                    map.insert(key, value);
+                }
+                Ok(Value::dict(map))
+            }
+            ExprKind::Struct { name, fields } => {
+                let mut given: Vec<(String, Value)> = Vec::with_capacity(fields.len());
+                for (fname, fexpr) in fields {
+                    given.push((fname.clone(), self.eval(fexpr, module, locals)?));
+                }
+                self.build_struct(name, given, &path, expr.line)
+            }
+            ExprKind::Bin(op, lhs, rhs) => self.eval_bin(*op, lhs, rhs, module, locals),
+            ExprKind::Un(op, inner) => {
+                let v = self.eval(inner, module, locals)?;
+                match op {
+                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(err(ErrorKind::Eval(format!(
+                            "cannot negate a {}",
+                            other.type_name()
+                        )))),
+                    },
+                }
+            }
+            ExprKind::Cond {
+                then,
+                cond,
+                otherwise,
+            } => {
+                if self.eval(cond, module, locals)?.truthy() {
+                    self.eval(then, module, locals)
+                } else {
+                    self.eval(otherwise, module, locals)
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let b = self.eval(base, module, locals)?;
+                let i = self.eval(idx, module, locals)?;
+                match (&b, &i) {
+                    (Value::List(l), Value::Int(n)) => {
+                        let len = l.len() as i64;
+                        let k = if *n < 0 { n + len } else { *n };
+                        if k < 0 || k >= len {
+                            Err(err(ErrorKind::Eval(format!(
+                                "list index {n} out of range (len {len})"
+                            ))))
+                        } else {
+                            Ok(l[k as usize].clone())
+                        }
+                    }
+                    (Value::Dict(d), Value::Str(k)) => d.get(&**k).cloned().ok_or_else(|| {
+                        err(ErrorKind::Eval(format!("missing dict key: {k}")))
+                    }),
+                    _ => Err(err(ErrorKind::Eval(format!(
+                        "cannot index {} with {}",
+                        b.type_name(),
+                        i.type_name()
+                    )))),
+                }
+            }
+            ExprKind::Attr(base, attr) => {
+                // `EnumType.VARIANT` when the base name is an unbound enum.
+                if let ExprKind::Name(n) = &base.kind {
+                    if self.lookup(n, module, locals).is_none() {
+                        if let Some(e) = self.schemas.get_enum(n) {
+                            return e.variant(attr).ok_or_else(|| {
+                                err(ErrorKind::Eval(format!("enum {n} has no variant {attr}")))
+                            });
+                        }
+                    }
+                }
+                let b = self.eval(base, module, locals)?;
+                match &b {
+                    Value::Struct(s) => s.get(attr).cloned().ok_or_else(|| {
+                        err(ErrorKind::Eval(format!(
+                            "struct {} has no field {attr}",
+                            s.type_name
+                        )))
+                    }),
+                    Value::Enum(e) if attr == "name" => Ok(Value::str(&e.variant)),
+                    Value::Enum(e) if attr == "value" => Ok(Value::Int(e.number)),
+                    other => Err(err(ErrorKind::Eval(format!(
+                        "cannot access attribute {attr} on {}",
+                        other.type_name()
+                    )))),
+                }
+            }
+            ExprKind::Call {
+                callee,
+                args,
+                kwargs,
+            } => {
+                let f = self.eval(callee, module, locals)?;
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a, module, locals)?);
+                }
+                let mut kwargv = Vec::with_capacity(kwargs.len());
+                for (k, v) in kwargs {
+                    kwargv.push((k.clone(), self.eval(v, module, locals)?));
+                }
+                match f {
+                    Value::Func(func) => self.call_func(&func, argv, kwargv, &path, expr.line),
+                    Value::Builtin(name) => {
+                        self.call_builtin(name, argv, kwargv, module, &path, expr.line)
+                    }
+                    other => Err(err(ErrorKind::Eval(format!(
+                        "cannot call a {}",
+                        other.type_name()
+                    )))),
+                }
+            }
+        }
+    }
+
+    fn call_func(
+        &mut self,
+        f: &FuncValue,
+        args: Vec<Value>,
+        kwargs: Vec<(String, Value)>,
+        path: &str,
+        line: u32,
+    ) -> Result<Value> {
+        let err = |kind: ErrorKind| CdslError::new(kind, path, line);
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            self.depth -= 1;
+            return Err(err(ErrorKind::Budget(format!(
+                "call depth exceeded {} in {}",
+                self.limits.max_depth, f.def.name
+            ))));
+        }
+        let mut locals = Scope::new();
+        if args.len() > f.def.params.len() {
+            self.depth -= 1;
+            return Err(err(ErrorKind::Eval(format!(
+                "{} takes at most {} arguments, got {}",
+                f.def.name,
+                f.def.params.len(),
+                args.len()
+            ))));
+        }
+        for (i, a) in args.into_iter().enumerate() {
+            locals.insert(f.def.params[i].name.clone(), a);
+        }
+        for (k, v) in kwargs {
+            if !f.def.params.iter().any(|p| p.name == k) {
+                self.depth -= 1;
+                return Err(err(ErrorKind::Eval(format!(
+                    "{} has no parameter {k}",
+                    f.def.name
+                ))));
+            }
+            if locals.contains_key(&k) {
+                self.depth -= 1;
+                return Err(err(ErrorKind::Eval(format!(
+                    "duplicate value for parameter {k} of {}",
+                    f.def.name
+                ))));
+            }
+            locals.insert(k, v);
+        }
+        for p in &f.def.params {
+            if !locals.contains_key(&p.name) {
+                match &p.default {
+                    Some(d) => {
+                        let v = self.eval(d, f.module, None)?;
+                        locals.insert(p.name.clone(), v);
+                    }
+                    None => {
+                        self.depth -= 1;
+                        return Err(err(ErrorKind::Eval(format!(
+                            "missing argument {} for {}",
+                            p.name, f.def.name
+                        ))));
+                    }
+                }
+            }
+        }
+        let result = self.exec_stmts(&f.def.body.clone(), f.module, Some(&mut locals));
+        self.depth -= 1;
+        match result? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(Value::Null),
+        }
+    }
+
+    fn eval_bin(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        module: usize,
+        locals: Option<&Scope>,
+    ) -> Result<Value> {
+        let path = self.module_paths[module].clone();
+        let line = lhs.line;
+        let err = |m: String| CdslError::new(ErrorKind::Eval(m), &path, line);
+        // Short-circuit operators first.
+        match op {
+            BinOp::And => {
+                let l = self.eval(lhs, module, locals)?;
+                return if l.truthy() {
+                    self.eval(rhs, module, locals)
+                } else {
+                    Ok(l)
+                };
+            }
+            BinOp::Or => {
+                let l = self.eval(lhs, module, locals)?;
+                return if l.truthy() {
+                    Ok(l)
+                } else {
+                    self.eval(rhs, module, locals)
+                };
+            }
+            _ => {}
+        }
+        let l = self.eval(lhs, module, locals)?;
+        let r = self.eval(rhs, module, locals)?;
+        let num = |v: &Value| -> Option<f64> {
+            match v {
+                Value::Int(i) => Some(*i as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        };
+        match op {
+            BinOp::Add => match (&l, &r) {
+                (Value::Int(a), Value::Int(b)) => {
+                    a.checked_add(*b).map(Value::Int).ok_or_else(|| {
+                        err("integer overflow in +".into())
+                    })
+                }
+                (Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
+                (Value::List(a), Value::List(b)) => {
+                    let mut out = a.to_vec();
+                    out.extend(b.iter().cloned());
+                    Ok(Value::list(out))
+                }
+                _ => match (num(&l), num(&r)) {
+                    (Some(a), Some(b)) => Ok(Value::Float(a + b)),
+                    _ => Err(err(format!(
+                        "cannot add {} and {}",
+                        l.type_name(),
+                        r.type_name()
+                    ))),
+                },
+            },
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                match (&l, &r, op) {
+                    (Value::Int(a), Value::Int(b), BinOp::Sub) => {
+                        return a.checked_sub(*b).map(Value::Int).ok_or_else(|| {
+                            err("integer overflow in -".into())
+                        });
+                    }
+                    (Value::Int(a), Value::Int(b), BinOp::Mul) => {
+                        return a.checked_mul(*b).map(Value::Int).ok_or_else(|| {
+                            err("integer overflow in *".into())
+                        });
+                    }
+                    (Value::Int(a), Value::Int(b), BinOp::Mod) => {
+                        return if *b == 0 {
+                            Err(err("modulo by zero".into()))
+                        } else {
+                            Ok(Value::Int(a.rem_euclid(*b)))
+                        };
+                    }
+                    _ => {}
+                }
+                match (num(&l), num(&r)) {
+                    (Some(a), Some(b)) => match op {
+                        BinOp::Sub => Ok(Value::Float(a - b)),
+                        BinOp::Mul => Ok(Value::Float(a * b)),
+                        BinOp::Div => {
+                            if b == 0.0 {
+                                Err(err("division by zero".into()))
+                            } else {
+                                Ok(Value::Float(a / b))
+                            }
+                        }
+                        BinOp::Mod => {
+                            if b == 0.0 {
+                                Err(err("modulo by zero".into()))
+                            } else {
+                                Ok(Value::Float(a.rem_euclid(b)))
+                            }
+                        }
+                        _ => unreachable!("handled above"),
+                    },
+                    _ => Err(err(format!(
+                        "numeric operator on {} and {}",
+                        l.type_name(),
+                        r.type_name()
+                    ))),
+                }
+            }
+            BinOp::Eq => Ok(Value::Bool(l == r)),
+            BinOp::Ne => Ok(Value::Bool(l != r)),
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let ord = match (&l, &r) {
+                    (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                    _ => match (num(&l), num(&r)) {
+                        (Some(a), Some(b)) => a.partial_cmp(&b).ok_or_else(|| {
+                            err("cannot order NaN".into())
+                        })?,
+                        _ => {
+                            return Err(err(format!(
+                                "cannot order {} and {}",
+                                l.type_name(),
+                                r.type_name()
+                            )))
+                        }
+                    },
+                };
+                let b = match op {
+                    BinOp::Lt => ord.is_lt(),
+                    BinOp::Le => ord.is_le(),
+                    BinOp::Gt => ord.is_gt(),
+                    BinOp::Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                };
+                Ok(Value::Bool(b))
+            }
+            BinOp::In => match (&l, &r) {
+                (v, Value::List(items)) => Ok(Value::Bool(items.contains(v))),
+                (Value::Str(k), Value::Dict(d)) => Ok(Value::Bool(d.contains_key(&**k))),
+                (Value::Str(needle), Value::Str(hay)) => {
+                    Ok(Value::Bool(hay.contains(&**needle)))
+                }
+                _ => Err(err(format!(
+                    "cannot test {} in {}",
+                    l.type_name(),
+                    r.type_name()
+                ))),
+            },
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    /// Constructs a schema struct: type-checks fields, fills defaults,
+    /// rejects unknown or missing fields.
+    fn build_struct(
+        &mut self,
+        name: &str,
+        given: Vec<(String, Value)>,
+        path: &str,
+        line: u32,
+    ) -> Result<Value> {
+        let err = |m: String| CdslError::new(ErrorKind::Type(m), path, line);
+        let def: StructDef = match self.schemas.get(name) {
+            Some(TypeDef::Struct(s)) => s.clone(),
+            Some(TypeDef::Enum(_)) => {
+                return Err(err(format!("{name} is an enum, not a struct")))
+            }
+            None => return Err(err(format!("unknown struct type: {name}"))),
+        };
+        for (fname, _) in &given {
+            if !def.fields.iter().any(|f| f.name == *fname) {
+                return Err(err(format!("struct {name} has no field {fname}")));
+            }
+        }
+        let mut fields = Vec::with_capacity(def.fields.len());
+        for fdef in &def.fields {
+            let provided = given.iter().find(|(n, _)| *n == fdef.name);
+            let value = match provided {
+                Some((_, v)) => self.coerce(v.clone(), &fdef.ty, &fdef.name, name, path, line)?,
+                None => match &fdef.default {
+                    Some(d) => {
+                        self.coerce(d.clone(), &fdef.ty, &fdef.name, name, path, line)?
+                    }
+                    None if fdef.optional => Value::Null,
+                    None => {
+                        return Err(err(format!(
+                            "missing required field {} of struct {name}",
+                            fdef.name
+                        )))
+                    }
+                },
+            };
+            fields.push((fdef.name.clone(), value));
+        }
+        Ok(Value::Struct(Rc::new(StructValue {
+            type_name: name.to_string(),
+            fields,
+        })))
+    }
+
+    /// Checks and coerces `v` to type `ty`.
+    fn coerce(
+        &mut self,
+        v: Value,
+        ty: &Type,
+        field: &str,
+        in_struct: &str,
+        path: &str,
+        line: u32,
+    ) -> Result<Value> {
+        let mismatch = |v: &Value| {
+            CdslError::new(
+                ErrorKind::Type(format!(
+                    "field {in_struct}.{field}: expected {}, found {}",
+                    ty.render(),
+                    v.type_name()
+                )),
+                path,
+                line,
+            )
+        };
+        match (ty, v) {
+            (Type::Bool, v @ Value::Bool(_)) => Ok(v),
+            (Type::I32, Value::Int(i)) => {
+                if i32::try_from(i).is_ok() {
+                    Ok(Value::Int(i))
+                } else {
+                    Err(CdslError::new(
+                        ErrorKind::Type(format!(
+                            "field {in_struct}.{field}: {i} out of range for i32"
+                        )),
+                        path,
+                        line,
+                    ))
+                }
+            }
+            (Type::I64, v @ Value::Int(_)) => Ok(v),
+            (Type::Double, Value::Int(i)) => Ok(Value::Float(i as f64)),
+            (Type::Double, v @ Value::Float(_)) => Ok(v),
+            (Type::String, v @ Value::Str(_)) => Ok(v),
+            (Type::List(inner), Value::List(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items.iter() {
+                    out.push(self.coerce(item.clone(), inner, field, in_struct, path, line)?);
+                }
+                Ok(Value::list(out))
+            }
+            (Type::Map(inner), Value::Dict(map)) => {
+                let mut out = BTreeMap::new();
+                for (k, item) in map.iter() {
+                    out.insert(
+                        k.clone(),
+                        self.coerce(item.clone(), inner, field, in_struct, path, line)?,
+                    );
+                }
+                Ok(Value::dict(out))
+            }
+            (Type::Named(tname), v) => match self.schemas.get(tname) {
+                Some(TypeDef::Enum(e)) => match &v {
+                    Value::Enum(ev) if ev.enum_name == *tname => Ok(v),
+                    // A bare string (e.g. a schema default) resolves to the
+                    // variant of that name.
+                    Value::Str(s) => e.variant(s).ok_or_else(|| {
+                        CdslError::new(
+                            ErrorKind::Type(format!(
+                                "field {in_struct}.{field}: enum {tname} has no variant {s}"
+                            )),
+                            path,
+                            line,
+                        )
+                    }),
+                    other => Err(mismatch(other)),
+                },
+                Some(TypeDef::Struct(_)) => match &v {
+                    Value::Struct(sv) if sv.type_name == *tname => Ok(v),
+                    other => Err(mismatch(other)),
+                },
+                None => Err(CdslError::new(
+                    ErrorKind::Type(format!(
+                        "field {in_struct}.{field}: unknown type {tname}"
+                    )),
+                    path,
+                    line,
+                )),
+            },
+            (_, other) => Err(mismatch(&other)),
+        }
+    }
+
+    fn call_builtin(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        kwargs: Vec<(String, Value)>,
+        module: usize,
+        path: &str,
+        line: u32,
+    ) -> Result<Value> {
+        let err = |m: String| CdslError::new(ErrorKind::Eval(m), path, line);
+        if !kwargs.is_empty() {
+            return Err(err(format!("builtin {name} takes no keyword arguments")));
+        }
+        let arity = |want: std::ops::RangeInclusive<usize>| -> Result<()> {
+            if want.contains(&args.len()) {
+                Ok(())
+            } else {
+                Err(err(format!(
+                    "builtin {name} expects {}..={} arguments, got {}",
+                    want.start(),
+                    want.end(),
+                    args.len()
+                )))
+            }
+        };
+        match name {
+            "export_if_last" => {
+                arity(1..=1)?;
+                if self.entry == Some(module) {
+                    if self.exported.is_some() {
+                        return Err(CdslError::new(
+                            ErrorKind::Export("config exported more than once".into()),
+                            path,
+                            line,
+                        ));
+                    }
+                    self.exported = Some(args.into_iter().next().expect("arity"));
+                }
+                Ok(Value::Null)
+            }
+            "require" => {
+                arity(1..=2)?;
+                let mut it = args.into_iter();
+                let cond = it.next().expect("arity");
+                let msg = it
+                    .next()
+                    .map(|m| m.to_string())
+                    .unwrap_or_else(|| "requirement failed".to_string());
+                if cond.truthy() {
+                    Ok(Value::Null)
+                } else {
+                    Err(CdslError::new(ErrorKind::Validation(msg), path, line))
+                }
+            }
+            "fail" => {
+                arity(1..=1)?;
+                Err(err(args[0].to_string()))
+            }
+            "len" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                    Value::List(l) => Ok(Value::Int(l.len() as i64)),
+                    Value::Dict(d) => Ok(Value::Int(d.len() as i64)),
+                    Value::Struct(s) => Ok(Value::Int(s.fields.len() as i64)),
+                    other => Err(err(format!("len of {}", other.type_name()))),
+                }
+            }
+            "str" => {
+                arity(1..=1)?;
+                Ok(Value::str(args[0].to_string()))
+            }
+            "int" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::Int(i) => Ok(Value::Int(*i)),
+                    Value::Float(f) => Ok(Value::Int(*f as i64)),
+                    Value::Bool(b) => Ok(Value::Int(*b as i64)),
+                    Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).map_err(|_| {
+                        err(format!("cannot parse {s:?} as int"))
+                    }),
+                    Value::Enum(e) => Ok(Value::Int(e.number)),
+                    other => Err(err(format!("int of {}", other.type_name()))),
+                }
+            }
+            "float" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::Int(i) => Ok(Value::Float(*i as f64)),
+                    Value::Float(f) => Ok(Value::Float(*f)),
+                    Value::Str(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| {
+                        err(format!("cannot parse {s:?} as float"))
+                    }),
+                    other => Err(err(format!("float of {}", other.type_name()))),
+                }
+            }
+            "range" => {
+                arity(1..=2)?;
+                let (lo, hi) = match (args.first(), args.get(1)) {
+                    (Some(Value::Int(n)), None) => (0, *n),
+                    (Some(Value::Int(a)), Some(Value::Int(b))) => (*a, *b),
+                    _ => return Err(err("range expects integer arguments".into())),
+                };
+                if hi - lo > self.limits.max_range {
+                    return Err(CdslError::new(
+                        ErrorKind::Budget(format!("range too large: {}", hi - lo)),
+                        path,
+                        line,
+                    ));
+                }
+                Ok(Value::list((lo..hi).map(Value::Int).collect()))
+            }
+            "min" | "max" => {
+                let items: Vec<Value> = if args.len() == 1 {
+                    match &args[0] {
+                        Value::List(l) => l.to_vec(),
+                        _ => args.clone(),
+                    }
+                } else {
+                    args.clone()
+                };
+                if items.is_empty() {
+                    return Err(err(format!("{name} of empty sequence")));
+                }
+                let mut best = items[0].clone();
+                for v in &items[1..] {
+                    let swap = match (vnum(v), vnum(&best)) {
+                        (Some(a), Some(b)) => {
+                            if name == "min" {
+                                a < b
+                            } else {
+                                a > b
+                            }
+                        }
+                        _ => match (v, &best) {
+                            (Value::Str(a), Value::Str(b)) => {
+                                if name == "min" {
+                                    a < b
+                                } else {
+                                    a > b
+                                }
+                            }
+                            _ => return Err(err(format!("{name} of mixed types"))),
+                        },
+                    };
+                    if swap {
+                        best = v.clone();
+                    }
+                }
+                Ok(best)
+            }
+            "abs" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::Int(i) => Ok(Value::Int(i.abs())),
+                    Value::Float(f) => Ok(Value::Float(f.abs())),
+                    other => Err(err(format!("abs of {}", other.type_name()))),
+                }
+            }
+            "sum" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::List(l) => {
+                        let mut acc_i: i64 = 0;
+                        let mut acc_f: f64 = 0.0;
+                        let mut is_float = false;
+                        for v in l.iter() {
+                            match v {
+                                Value::Int(i) => acc_i += i,
+                                Value::Float(f) => {
+                                    is_float = true;
+                                    acc_f += f;
+                                }
+                                other => {
+                                    return Err(err(format!(
+                                        "sum of list containing {}",
+                                        other.type_name()
+                                    )))
+                                }
+                            }
+                        }
+                        if is_float {
+                            Ok(Value::Float(acc_f + acc_i as f64))
+                        } else {
+                            Ok(Value::Int(acc_i))
+                        }
+                    }
+                    other => Err(err(format!("sum of {}", other.type_name()))),
+                }
+            }
+            "sorted" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::List(l) => {
+                        let mut items = l.to_vec();
+                        let mut bad = None;
+                        items.sort_by(|a, b| {
+                            match (vnum(a), vnum(b)) {
+                                (Some(x), Some(y)) => {
+                                    x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+                                }
+                                _ => match (a, b) {
+                                    (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                                    _ => {
+                                        bad = Some(());
+                                        std::cmp::Ordering::Equal
+                                    }
+                                },
+                            }
+                        });
+                        if bad.is_some() {
+                            return Err(err("sorted of mixed types".into()));
+                        }
+                        Ok(Value::list(items))
+                    }
+                    other => Err(err(format!("sorted of {}", other.type_name()))),
+                }
+            }
+            "keys" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::Dict(d) => Ok(Value::list(d.keys().map(Value::str).collect())),
+                    Value::Struct(s) => Ok(Value::list(
+                        s.fields.iter().map(|(k, _)| Value::str(k)).collect(),
+                    )),
+                    other => Err(err(format!("keys of {}", other.type_name()))),
+                }
+            }
+            "values" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::Dict(d) => Ok(Value::list(d.values().cloned().collect())),
+                    Value::Struct(s) => Ok(Value::list(
+                        s.fields.iter().map(|(_, v)| v.clone()).collect(),
+                    )),
+                    other => Err(err(format!("values of {}", other.type_name()))),
+                }
+            }
+            "append" => {
+                arity(2..=2)?;
+                match &args[0] {
+                    Value::List(l) => {
+                        let mut out = l.to_vec();
+                        out.push(args[1].clone());
+                        Ok(Value::list(out))
+                    }
+                    other => Err(err(format!("append to {}", other.type_name()))),
+                }
+            }
+            "merge" => {
+                arity(2..=2)?;
+                match (&args[0], &args[1]) {
+                    (Value::Dict(a), Value::Dict(b)) => {
+                        let mut out = (**a).clone();
+                        for (k, v) in b.iter() {
+                            out.insert(k.clone(), v.clone());
+                        }
+                        Ok(Value::dict(out))
+                    }
+                    _ => Err(err("merge expects two dicts".into())),
+                }
+            }
+            "get" => {
+                arity(2..=3)?;
+                match (&args[0], &args[1]) {
+                    (Value::Dict(d), Value::Str(k)) => Ok(d
+                        .get(&**k)
+                        .cloned()
+                        .or_else(|| args.get(2).cloned())
+                        .unwrap_or(Value::Null)),
+                    (Value::Struct(s), Value::Str(k)) => Ok(s
+                        .get(k)
+                        .cloned()
+                        .or_else(|| args.get(2).cloned())
+                        .unwrap_or(Value::Null)),
+                    _ => Err(err("get expects (dict, string, [default])".into())),
+                }
+            }
+            "has" => {
+                arity(2..=2)?;
+                match (&args[0], &args[1]) {
+                    (Value::Dict(d), Value::Str(k)) => Ok(Value::Bool(d.contains_key(&**k))),
+                    (Value::Struct(s), Value::Str(k)) => Ok(Value::Bool(s.get(k).is_some())),
+                    _ => Err(err("has expects (dict|struct, string)".into())),
+                }
+            }
+            "join" => {
+                arity(2..=2)?;
+                match (&args[0], &args[1]) {
+                    (Value::List(l), Value::Str(sep)) => {
+                        let parts: Vec<String> = l.iter().map(|v| v.to_string()).collect();
+                        Ok(Value::str(parts.join(sep)))
+                    }
+                    _ => Err(err("join expects (list, string)".into())),
+                }
+            }
+            "split" => {
+                arity(2..=2)?;
+                match (&args[0], &args[1]) {
+                    (Value::Str(s), Value::Str(sep)) if !sep.is_empty() => Ok(Value::list(
+                        s.split(&**sep).map(Value::str).collect(),
+                    )),
+                    _ => Err(err("split expects (string, nonempty string)".into())),
+                }
+            }
+            "upper" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::Str(s) => Ok(Value::str(s.to_uppercase())),
+                    other => Err(err(format!("upper of {}", other.type_name()))),
+                }
+            }
+            "lower" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::Str(s) => Ok(Value::str(s.to_lowercase())),
+                    other => Err(err(format!("lower of {}", other.type_name()))),
+                }
+            }
+            "startswith" | "endswith" => {
+                arity(2..=2)?;
+                match (&args[0], &args[1]) {
+                    (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(if name == "startswith" {
+                        s.starts_with(&**p)
+                    } else {
+                        s.ends_with(&**p)
+                    })),
+                    _ => Err(err(format!("{name} expects two strings"))),
+                }
+            }
+            "type" => {
+                arity(1..=1)?;
+                match &args[0] {
+                    Value::Struct(s) => Ok(Value::str(&s.type_name)),
+                    other => Ok(Value::str(other.type_name())),
+                }
+            }
+            other => Err(err(format!("unknown builtin: {other}"))),
+        }
+    }
+}
+
+fn vnum(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Names resolvable as builtin functions.
+pub const BUILTINS: &[&str] = &[
+    "export_if_last",
+    "require",
+    "fail",
+    "len",
+    "str",
+    "int",
+    "float",
+    "range",
+    "min",
+    "max",
+    "abs",
+    "sum",
+    "sorted",
+    "keys",
+    "values",
+    "append",
+    "merge",
+    "get",
+    "has",
+    "join",
+    "split",
+    "upper",
+    "lower",
+    "startswith",
+    "endswith",
+    "type",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)], entry: &str) -> Result<Value> {
+        let mut loader = BTreeMap::new();
+        for (p, s) in files {
+            loader.insert(p.to_string(), s.to_string());
+        }
+        let mut interp = Interp::new(&loader, Limits::default());
+        interp.run_entry(entry)?;
+        interp
+            .exported()
+            .cloned()
+            .ok_or_else(|| CdslError::nowhere(ErrorKind::Export("nothing exported".into())))
+    }
+
+    fn run_one(src: &str) -> Result<Value> {
+        run(&[("main.cconf", src)], "main.cconf")
+    }
+
+    #[test]
+    fn arithmetic_and_export() {
+        let v = run_one("x = 1 + 2 * 3\nexport_if_last(x)").unwrap();
+        assert_eq!(v, Value::Int(7));
+    }
+
+    #[test]
+    fn string_and_list_operations() {
+        let v = run_one("export_if_last(\"a\" + \"b\")").unwrap();
+        assert_eq!(v, Value::str("ab"));
+        let v = run_one("export_if_last([1] + [2, 3])").unwrap();
+        assert_eq!(v, Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
+    }
+
+    #[test]
+    fn functions_defaults_and_kwargs() {
+        let src = r#"
+def make(name, port=8089, replicas=3):
+    return {"name": name, "port": port, "replicas": replicas}
+
+export_if_last(make("cache", replicas=5))
+"#;
+        let v = run_one(src).unwrap();
+        assert_eq!(v.to_json(), r#"{"name":"cache","port":8089,"replicas":5}"#);
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = r#"
+total = 0
+for i in range(5):
+    if i % 2 == 0:
+        total = total + i
+export_if_last(total)
+"#;
+        assert_eq!(run_one(src).unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn conditional_expression_and_bool_ops() {
+        assert_eq!(
+            run_one("export_if_last(1 if true and not false else 2)").unwrap(),
+            Value::Int(1)
+        );
+        // `or` returns the first truthy operand, Python-style.
+        assert_eq!(run_one("export_if_last(null or 5)").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn import_copies_bindings() {
+        let files = [
+            ("app_port.cinc", "APP_PORT = 8089"),
+            (
+                "app.cconf",
+                "import \"app_port.cinc\"\nexport_if_last({\"port\": APP_PORT})",
+            ),
+        ];
+        let v = run(&files, "app.cconf").unwrap();
+        assert_eq!(v.to_json(), r#"{"port":8089}"#);
+    }
+
+    #[test]
+    fn imported_module_export_is_ignored() {
+        let files = [
+            ("lib.cinc", "export_if_last(\"not me\")\nHELPER = 1"),
+            ("main.cconf", "import \"lib.cinc\"\nexport_if_last(HELPER)"),
+        ];
+        assert_eq!(run(&files, "main.cconf").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn double_export_rejected() {
+        let e = run_one("export_if_last(1)\nexport_if_last(2)").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Export(_)));
+    }
+
+    #[test]
+    fn import_cycle_detected() {
+        let files = [
+            ("a.cinc", "import \"b.cinc\""),
+            ("b.cinc", "import \"a.cinc\""),
+            ("main.cconf", "import \"a.cinc\"\nexport_if_last(1)"),
+        ];
+        let e = run(&files, "main.cconf").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::ImportCycle(_)));
+    }
+
+    #[test]
+    fn missing_import_reported() {
+        let e = run_one("import \"ghost.cinc\"\nexport_if_last(1)").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::MissingSource(_)));
+    }
+
+    #[test]
+    fn deps_are_transitive() {
+        let files = [
+            ("a.cinc", "import \"b.cinc\"\nA = B + 1"),
+            ("b.cinc", "B = 1"),
+            ("main.cconf", "import \"a.cinc\"\nexport_if_last(A)"),
+        ];
+        let mut loader = BTreeMap::new();
+        for (p, s) in files {
+            loader.insert(p.to_string(), s.to_string());
+        }
+        let mut interp = Interp::new(&loader, Limits::default());
+        interp.run_entry("main.cconf").unwrap();
+        let deps: Vec<&str> = interp.deps().iter().map(String::as_str).collect();
+        assert_eq!(deps, vec!["a.cinc", "b.cinc"]);
+        assert_eq!(interp.exported(), Some(&Value::Int(2)));
+    }
+
+    const JOB_SCHEMA: &str = r#"
+enum JobKind { BATCH = 0, SERVICE = 1 }
+struct Job {
+    1: string name
+    2: optional i64 memory_mb = 1024
+    3: list<i64> ports
+    4: JobKind kind = BATCH
+}
+"#;
+
+    fn job_files(main: &str) -> Vec<(String, String)> {
+        vec![
+            ("job.schema".to_string(), JOB_SCHEMA.to_string()),
+            ("main.cconf".to_string(), main.to_string()),
+        ]
+    }
+
+    fn run_job(main: &str) -> Result<Value> {
+        let files: Vec<(String, String)> = job_files(main);
+        let refs: Vec<(&str, &str)> =
+            files.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        run(&refs, "main.cconf")
+    }
+
+    #[test]
+    fn struct_construction_fills_defaults_in_schema_order() {
+        let v = run_job(
+            "schema \"job.schema\"\nexport_if_last(Job { name: \"cache\", ports: [80, 81] })",
+        )
+        .unwrap();
+        assert_eq!(
+            v.to_json(),
+            r#"{"name":"cache","memory_mb":1024,"ports":[80,81],"kind":"BATCH"}"#
+        );
+    }
+
+    #[test]
+    fn struct_unknown_field_rejected() {
+        let e = run_job(
+            "schema \"job.schema\"\nexport_if_last(Job { name: \"x\", ports: [], bogus: 1 })",
+        )
+        .unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Type(_)), "{e}");
+    }
+
+    #[test]
+    fn struct_missing_required_rejected() {
+        let e = run_job("schema \"job.schema\"\nexport_if_last(Job { ports: [] })").unwrap_err();
+        assert!(e.to_string().contains("missing required field name"));
+    }
+
+    #[test]
+    fn struct_type_mismatch_rejected() {
+        let e = run_job(
+            "schema \"job.schema\"\nexport_if_last(Job { name: 5, ports: [] })",
+        )
+        .unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Type(_)));
+        let e = run_job(
+            "schema \"job.schema\"\nexport_if_last(Job { name: \"x\", ports: [\"p\"] })",
+        )
+        .unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Type(_)));
+    }
+
+    #[test]
+    fn enum_access_and_field_read() {
+        let src = r#"
+schema "job.schema"
+j = Job { name: "svc", ports: [1], kind: JobKind.SERVICE }
+export_if_last({"kind": j.kind, "mem": j.memory_mb})
+"#;
+        let v = run_job(src).unwrap();
+        assert_eq!(v.to_json(), r#"{"kind":"SERVICE","mem":1024}"#);
+    }
+
+    #[test]
+    fn require_builtin_raises_validation() {
+        let e = run_one("require(1 > 2, \"nope\")").unwrap_err();
+        assert!(e.is_validation());
+        assert_eq!(e.message(), "nope");
+        assert!(run_one("require(true)\nexport_if_last(1)").is_ok());
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_recursion() {
+        let src = "def f(x):\n    return f(x)\nexport_if_last(f(1))";
+        let e = run_one(src).unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Budget(_)));
+    }
+
+    #[test]
+    fn huge_range_rejected() {
+        let e = run_one("export_if_last(range(100000000))").unwrap_err();
+        assert!(matches!(e.kind, ErrorKind::Budget(_)));
+    }
+
+    #[test]
+    fn builtins_suite() {
+        let cases: &[(&str, &str)] = &[
+            ("len([1,2,3])", "3"),
+            ("len(\"abc\")", "3"),
+            ("str(12)", "\"12\""),
+            ("int(\"42\")", "42"),
+            ("int(3.9)", "3"),
+            ("float(2)", "2.0"),
+            ("min([3,1,2])", "1"),
+            ("max(3, 7)", "7"),
+            ("abs(-4)", "4"),
+            ("sum([1,2,3])", "6"),
+            ("sorted([3,1,2])", "[1,2,3]"),
+            ("keys({\"b\":1,\"a\":2})", "[\"a\",\"b\"]"),
+            ("append([1], 2)", "[1,2]"),
+            ("merge({\"a\":1}, {\"b\":2})", "{\"a\":1,\"b\":2}"),
+            ("get({\"a\":1}, \"b\", 9)", "9"),
+            ("has({\"a\":1}, \"a\")", "true"),
+            ("join([1,2], \"-\")", "\"1-2\""),
+            ("split(\"a,b\", \",\")", "[\"a\",\"b\"]"),
+            ("upper(\"ab\")", "\"AB\""),
+            ("startswith(\"abc\", \"ab\")", "true"),
+            ("type([1])", "\"list\""),
+            ("\"b\" in {\"b\": 1}", "true"),
+            ("2 in [1,2]", "true"),
+            ("\"bc\" in \"abcd\"", "true"),
+            ("5 not in [1,2]", "true"),
+        ];
+        for (expr, expected) in cases {
+            let v = run_one(&format!("export_if_last({expr})")).unwrap();
+            assert_eq!(v.to_json(), *expected, "case: {expr}");
+        }
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert_eq!(run_one("export_if_last(7 / 2)").unwrap(), Value::Float(3.5));
+        assert!(run_one("export_if_last(1 / 0)").is_err());
+        assert_eq!(run_one("export_if_last(7 % 3)").unwrap(), Value::Int(1));
+        assert_eq!(run_one("export_if_last(-7 % 3)").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn negative_list_index() {
+        assert_eq!(run_one("export_if_last([1,2,3][-1])").unwrap(), Value::Int(3));
+        assert!(run_one("export_if_last([1][5])").is_err());
+    }
+
+    #[test]
+    fn undefined_name_reports_location() {
+        let e = run_one("x = 1\ny = x + missing").unwrap_err();
+        assert_eq!(e.location.line, 2);
+        assert!(e.message().contains("missing"));
+    }
+
+    #[test]
+    fn call_global_invokes_validator_style_function() {
+        let files = [(
+            "v.cvalidator",
+            "def validate(cfg):\n    require(cfg[\"x\"] > 0, \"x must be positive\")",
+        )];
+        let mut loader = BTreeMap::new();
+        for (p, s) in files {
+            loader.insert(p.to_string(), s.to_string());
+        }
+        let mut interp = Interp::new(&loader, Limits::default());
+        let m = interp.run_module("v.cvalidator").unwrap();
+        let mut ok = BTreeMap::new();
+        ok.insert("x".to_string(), Value::Int(5));
+        assert!(interp
+            .call_global(m, "validate", vec![Value::dict(ok)])
+            .is_ok());
+        let mut bad = BTreeMap::new();
+        bad.insert("x".to_string(), Value::Int(-1));
+        let e = interp
+            .call_global(m, "validate", vec![Value::dict(bad)])
+            .unwrap_err();
+        assert!(e.is_validation());
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        let e = run_one("export_if_last(9223372036854775807 + 1)").unwrap_err();
+        assert!(e.message().contains("overflow"));
+    }
+}

@@ -1,0 +1,480 @@
+//! Tokenizer with Python-style significant indentation.
+//!
+//! Blocks are delimited by `Indent`/`Dedent` tokens computed from leading
+//! whitespace, so config programs read like the Python sources in the
+//! paper's Figure 2. Blank lines and `#` comments are skipped; parentheses,
+//! brackets, and braces suppress newline/indent handling so expressions can
+//! span lines.
+
+use crate::error::{CdslError, ErrorKind, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (already unescaped).
+    Str(String),
+    /// Logical end of statement.
+    Newline,
+    /// Block start.
+    Indent,
+    /// Block end.
+    Dedent,
+    /// End of input.
+    Eof,
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A token paired with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Tokenizes `src`, reporting errors against `path`.
+pub fn lex(src: &str, path: &str) -> Result<Vec<Spanned>> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        path,
+        out: Vec::new(),
+        indents: vec![0],
+        nesting: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    path: &'a str,
+    out: Vec<Spanned>,
+    indents: Vec<usize>,
+    nesting: usize,
+}
+
+impl Lexer<'_> {
+    fn err(&self, msg: impl Into<String>) -> CdslError {
+        CdslError::new(ErrorKind::Lex(msg.into()), self.path, self.line)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok) {
+        let line = self.line;
+        self.out.push(Spanned { tok, line });
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>> {
+        self.handle_line_start()?;
+        while let Some(c) = self.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    self.bump();
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '\n' => {
+                    self.bump();
+                    if self.nesting == 0 {
+                        // Collapse runs of blank lines into one Newline.
+                        if !matches!(
+                            self.out.last().map(|s| &s.tok),
+                            Some(Tok::Newline) | Some(Tok::Indent) | None
+                        ) {
+                            self.push(Tok::Newline);
+                        }
+                        self.handle_line_start()?;
+                    }
+                }
+                '"' | '\'' => self.string(c)?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                _ => self.punct()?,
+            }
+        }
+        if !matches!(self.out.last().map(|s| &s.tok), Some(Tok::Newline) | None) {
+            self.push(Tok::Newline);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(Tok::Dedent);
+        }
+        self.push(Tok::Eof);
+        Ok(self.out)
+    }
+
+    /// Measures leading indentation after a newline and emits
+    /// Indent/Dedent. Blank and comment-only lines are skipped entirely.
+    fn handle_line_start(&mut self) -> Result<()> {
+        loop {
+            let start = self.pos;
+            let mut width = 0usize;
+            while let Some(c) = self.peek() {
+                match c {
+                    ' ' => {
+                        width += 1;
+                        self.bump();
+                    }
+                    '\t' => {
+                        return Err(self.err("tabs are not allowed in indentation"));
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                // Blank or comment-only line: consume through the newline.
+                Some('\n') => {
+                    self.bump();
+                    continue;
+                }
+                Some('\r') => {
+                    self.bump();
+                    continue;
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                None => {
+                    let _ = start;
+                    return Ok(());
+                }
+                Some(_) => {
+                    let current = *self.indents.last().expect("indent stack never empty");
+                    if width > current {
+                        self.indents.push(width);
+                        self.push(Tok::Indent);
+                    } else if width < current {
+                        while *self.indents.last().expect("nonempty") > width {
+                            self.indents.pop();
+                            self.push(Tok::Dedent);
+                        }
+                        if *self.indents.last().expect("nonempty") != width {
+                            return Err(self.err("inconsistent dedent"));
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn string(&mut self, quote: char) -> Result<()> {
+        self.bump();
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some('\n') => return Err(self.err("newline in string literal")),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some('\'') => s.push('\''),
+                    Some(other) => {
+                        return Err(self.err(format!("unknown escape: \\{other}")));
+                    }
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(c) if c == quote => break,
+                Some(c) => s.push(c),
+            }
+        }
+        self.push(Tok::Str(s));
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<()> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else if c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit()) && !is_float {
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad float: {text}")))?;
+            self.push(Tok::Float(v));
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("integer overflow: {text}")))?;
+            self.push(Tok::Int(v));
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(s));
+    }
+
+    fn punct(&mut self) -> Result<()> {
+        let c = self.bump().expect("punct called at end");
+        let two = |l: &mut Self, next: char, a: Tok, b: Tok| {
+            if l.peek() == Some(next) {
+                l.bump();
+                l.push(a);
+            } else {
+                l.push(b);
+            }
+        };
+        match c {
+            '(' => {
+                self.nesting += 1;
+                self.push(Tok::LParen);
+            }
+            ')' => {
+                self.nesting = self.nesting.saturating_sub(1);
+                self.push(Tok::RParen);
+            }
+            '[' => {
+                self.nesting += 1;
+                self.push(Tok::LBracket);
+            }
+            ']' => {
+                self.nesting = self.nesting.saturating_sub(1);
+                self.push(Tok::RBracket);
+            }
+            '{' => {
+                self.nesting += 1;
+                self.push(Tok::LBrace);
+            }
+            '}' => {
+                self.nesting = self.nesting.saturating_sub(1);
+                self.push(Tok::RBrace);
+            }
+            ',' => self.push(Tok::Comma),
+            ':' => self.push(Tok::Colon),
+            '.' => self.push(Tok::Dot),
+            '+' => self.push(Tok::Plus),
+            '-' => self.push(Tok::Minus),
+            '*' => self.push(Tok::Star),
+            '/' => self.push(Tok::Slash),
+            '%' => self.push(Tok::Percent),
+            '=' => two(self, '=', Tok::Eq, Tok::Assign),
+            '<' => two(self, '=', Tok::Le, Tok::Lt),
+            '>' => two(self, '=', Tok::Ge, Tok::Gt),
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    self.push(Tok::Ne);
+                } else {
+                    return Err(self.err("unexpected '!'"));
+                }
+            }
+            other => return Err(self.err(format!("unexpected character: {other:?}"))),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src, "t").unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            toks("x = 1"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let t = toks("if x:\n    y = 1\nz = 2");
+        assert!(t.contains(&Tok::Indent));
+        assert!(t.contains(&Tok::Dedent));
+        let i = t.iter().position(|x| *x == Tok::Indent).unwrap();
+        let d = t.iter().position(|x| *x == Tok::Dedent).unwrap();
+        assert!(i < d);
+    }
+
+    #[test]
+    fn nested_dedents_stack() {
+        let t = toks("a:\n  b:\n    c = 1\nd = 2");
+        let dedents = t.iter().filter(|x| **x == Tok::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_ignored() {
+        let t = toks("x = 1\n\n   # comment only\n\ny = 2");
+        let newlines = t.iter().filter(|x| **x == Tok::Newline).count();
+        assert_eq!(newlines, 2);
+        assert!(!t.contains(&Tok::Indent));
+    }
+
+    #[test]
+    fn brackets_suppress_newlines() {
+        let t = toks("x = [1,\n     2,\n     3]");
+        assert_eq!(t.iter().filter(|x| **x == Tok::Newline).count(), 1);
+        assert!(!t.contains(&Tok::Indent));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#"s = "a\n\"b\"""#)[2],
+            Tok::Str("a\n\"b\"".into())
+        );
+        assert_eq!(toks("s = 'single'")[2], Tok::Str("single".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("x = 1_000")[2], Tok::Int(1000));
+        assert_eq!(toks("x = 3.5")[2], Tok::Float(3.5));
+        // Dot not followed by a digit is attribute access, not a float.
+        let t = toks("x = a.b");
+        assert!(t.contains(&Tok::Dot));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a == b != c <= d >= e < f > g")
+                .into_iter()
+                .filter(|t| {
+                    matches!(t, Tok::Eq | Tok::Ne | Tok::Le | Tok::Ge | Tok::Lt | Tok::Gt)
+                })
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("x = \"unterminated", "t").is_err());
+        assert!(lex("x = @", "t").is_err());
+        assert!(lex("\tx = 1", "t").is_err());
+        assert!(lex("if a:\n    b = 1\n  c = 2\n", "t").is_err(), "inconsistent dedent");
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let spanned = lex("a = 1\nb = 2", "t").unwrap();
+        let b = spanned
+            .iter()
+            .find(|s| s.tok == Tok::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn trailing_newline_and_dedents_at_eof() {
+        let t = toks("if x:\n    y = 1");
+        assert_eq!(t.last(), Some(&Tok::Eof));
+        assert!(t.contains(&Tok::Dedent));
+    }
+}

@@ -1,0 +1,265 @@
+//! The landing strip: serialized commits without stale-clone retries.
+//!
+//! Section 3.6: multiple engineers pushing concurrently to a shared git
+//! repository contend — git rejects a push from a stale clone even when
+//! the diffs touch different files, and each retry costs a clone sync. The
+//! landing strip fixes this by "1) receiving diffs from committers,
+//! 2) serializing them according to the first-come-first-served order, and
+//! 3) pushing them to the shared git repository on behalf of the
+//! committers, without requiring the committers to bring their local
+//! repository clones up to date. If there is a true conflict between a
+//! diff being pushed and some previously committed diffs, the shared git
+//! repository rejects the diff."
+//!
+//! A *true conflict* is detected per file: each [`SourceDiff`] records the
+//! content hash of every file it touches as observed when the diff was
+//! authored; if any of those files changed since, the diff is rejected back
+//! to the committer.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use gitstore::sha1::sha1;
+
+use crate::service::{CommitReport, ConfigeratorService, ServiceError, SOURCE_PREFIX};
+
+/// A proposed source change set, as produced by an engineer's working
+/// copy or an automation tool.
+#[derive(Debug, Clone)]
+pub struct SourceDiff {
+    /// Author identity.
+    pub author: String,
+    /// Commit message.
+    pub message: String,
+    /// Source path → new content (`None` = delete).
+    pub changes: BTreeMap<String, Option<String>>,
+    /// Content hash of each touched path as observed at authoring time
+    /// (`None` = the path did not exist). This is the diff's base view.
+    pub expected: BTreeMap<String, Option<[u8; 20]>>,
+}
+
+impl SourceDiff {
+    /// Builds a diff against the current state of `svc`, recording base
+    /// hashes for conflict detection.
+    pub fn against(
+        svc: &ConfigeratorService,
+        author: &str,
+        message: &str,
+        changes: BTreeMap<String, Option<String>>,
+    ) -> SourceDiff {
+        let expected = changes
+            .keys()
+            .map(|p| (p.clone(), current_hash(svc, p)))
+            .collect();
+        SourceDiff {
+            author: author.to_string(),
+            message: message.to_string(),
+            changes,
+            expected,
+        }
+    }
+}
+
+fn current_hash(svc: &ConfigeratorService, path: &str) -> Option<[u8; 20]> {
+    svc.repo()
+        .read_head(&format!("{SOURCE_PREFIX}{path}"))
+        .ok()
+        .map(|b| sha1(&b))
+}
+
+/// Why the landing strip bounced a diff.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LandError {
+    /// Another committed diff changed one of this diff's files since it
+    /// was authored — the only case that requires the committer to sync.
+    TrueConflict {
+        /// The conflicting path.
+        path: String,
+    },
+    /// Compilation/validation failed.
+    Service(ServiceError),
+}
+
+impl std::fmt::Display for LandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LandError::TrueConflict { path } => write!(f, "true conflict on {path}"),
+            LandError::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LandError {}
+
+/// Cumulative landing-strip counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LandingStats {
+    /// Diffs landed.
+    pub landed: u64,
+    /// Diffs bounced for true conflicts.
+    pub conflicts: u64,
+    /// Diffs bounced for compile/validation failures.
+    pub failed: u64,
+}
+
+/// The landing strip service.
+#[derive(Debug, Default)]
+pub struct LandingStrip {
+    queue: VecDeque<SourceDiff>,
+    stats: LandingStats,
+}
+
+impl LandingStrip {
+    /// Creates an empty landing strip.
+    pub fn new() -> LandingStrip {
+        LandingStrip::default()
+    }
+
+    /// Enqueues a diff (first-come-first-served).
+    pub fn submit(&mut self, diff: SourceDiff) {
+        self.queue.push_back(diff);
+    }
+
+    /// Number of queued diffs.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> LandingStats {
+        self.stats
+    }
+
+    /// Lands one queued diff against `svc`. Returns `None` when the queue
+    /// is empty; otherwise the per-diff outcome.
+    pub fn process_one(
+        &mut self,
+        svc: &mut ConfigeratorService,
+    ) -> Option<Result<CommitReport, (SourceDiff, LandError)>> {
+        let diff = self.queue.pop_front()?;
+        Some(self.land(svc, diff))
+    }
+
+    /// Drains the whole queue, returning each outcome in order.
+    pub fn process_all(
+        &mut self,
+        svc: &mut ConfigeratorService,
+    ) -> Vec<Result<CommitReport, (SourceDiff, LandError)>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.process_one(svc) {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Lands a diff immediately (used by the Mutator for automation
+    /// commits, which bypass the queue). The bounced diff is boxed so the
+    /// error path stays cheap on the hot landing loop.
+    #[allow(clippy::result_large_err)]
+    pub fn land(
+        &mut self,
+        svc: &mut ConfigeratorService,
+        diff: SourceDiff,
+    ) -> Result<CommitReport, (SourceDiff, LandError)> {
+        // True-conflict check: has any touched file changed since the diff
+        // was authored?
+        for (path, expected) in &diff.expected {
+            let now = current_hash(svc, path);
+            if now != *expected {
+                self.stats.conflicts += 1;
+                let path = path.clone();
+                return Err((diff, LandError::TrueConflict { path }));
+            }
+        }
+        match svc.commit_source(&diff.author, &diff.message, diff.changes.clone()) {
+            Ok(report) => {
+                self.stats.landed += 1;
+                Ok(report)
+            }
+            Err(e) => {
+                self.stats.failed += 1;
+                Err((diff, LandError::Service(e)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(pairs: &[(&str, &str)]) -> BTreeMap<String, Option<String>> {
+        pairs
+            .iter()
+            .map(|(p, s)| (p.to_string(), Some(s.to_string())))
+            .collect()
+    }
+
+    #[test]
+    fn disjoint_concurrent_diffs_both_land_without_sync() {
+        let mut svc = ConfigeratorService::new();
+        let mut strip = LandingStrip::new();
+        // Both authored against the same (empty) base — with raw git, the
+        // second would be rejected as stale.
+        let a = SourceDiff::against(&svc, "alice", "a", ch(&[("a.cconf", "export_if_last(1)")]));
+        let b = SourceDiff::against(&svc, "bob", "b", ch(&[("b.cconf", "export_if_last(2)")]));
+        strip.submit(a);
+        strip.submit(b);
+        let results = strip.process_all(&mut svc);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(strip.stats().landed, 2);
+        assert_eq!(strip.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn true_conflict_is_rejected_back() {
+        let mut svc = ConfigeratorService::new();
+        let mut strip = LandingStrip::new();
+        svc.commit_source("seed", "s", ch(&[("x.cconf", "export_if_last(1)")]))
+            .unwrap();
+        // Both edit the same file from the same base.
+        let a = SourceDiff::against(&svc, "alice", "a", ch(&[("x.cconf", "export_if_last(2)")]));
+        let b = SourceDiff::against(&svc, "bob", "b", ch(&[("x.cconf", "export_if_last(3)")]));
+        strip.submit(a);
+        strip.submit(b);
+        let results = strip.process_all(&mut svc);
+        assert!(results[0].is_ok());
+        let (bounced, err) = results[1].as_ref().unwrap_err();
+        assert_eq!(err, &LandError::TrueConflict { path: "x.cconf".into() });
+        assert_eq!(bounced.author, "bob");
+        // Bob syncs (re-authors against the new base) and retries.
+        let b2 = SourceDiff::against(&svc, "bob", "b", ch(&[("x.cconf", "export_if_last(3)")]));
+        strip.submit(b2);
+        assert!(strip.process_one(&mut svc).unwrap().is_ok());
+        assert!(svc.artifact("x").unwrap().json.contains('3'));
+    }
+
+    #[test]
+    fn compile_failure_bounces_without_landing() {
+        let mut svc = ConfigeratorService::new();
+        let mut strip = LandingStrip::new();
+        let bad = SourceDiff::against(&svc, "eve", "bad", ch(&[("x.cconf", "export_if_last(")]));
+        strip.submit(bad);
+        let results = strip.process_all(&mut svc);
+        assert!(matches!(results[0], Err((_, LandError::Service(_)))));
+        assert_eq!(strip.stats().failed, 1);
+        assert!(svc.artifact("x").is_none());
+    }
+
+    #[test]
+    fn delete_conflicts_are_detected_too() {
+        let mut svc = ConfigeratorService::new();
+        let mut strip = LandingStrip::new();
+        svc.commit_source("seed", "s", ch(&[("x.cconf", "export_if_last(1)")]))
+            .unwrap();
+        let mut del = BTreeMap::new();
+        del.insert("x.cconf".to_string(), None);
+        let d = SourceDiff::against(&svc, "alice", "rm", del);
+        // Meanwhile bob updates the file.
+        svc.commit_source("bob", "u", ch(&[("x.cconf", "export_if_last(2)")]))
+            .unwrap();
+        strip.submit(d);
+        let results = strip.process_all(&mut svc);
+        assert!(matches!(results[0], Err((_, LandError::TrueConflict { .. }))));
+        assert!(svc.artifact("x").is_some(), "delete must not land");
+    }
+}

@@ -1,0 +1,104 @@
+//! The Mutator: programmatic config updates for automation tools.
+//!
+//! "Config changes can also be initiated ... programmatically by an
+//! automation tool invoking the APIs provided by the Mutator component"
+//! (§3.1). The usage statistics show why this matters: "about 89% of the
+//! updates to raw configs are done by automation tools" (§6.1), and
+//! automated commits are what keep the weekend commit rate at a third of
+//! the weekday peak (§6.3).
+
+use bytes::Bytes;
+
+use crate::service::{CommitReport, ConfigeratorService, ServiceError};
+
+/// A handle automation tools use to make config changes.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    /// Tool identity, recorded as the commit author
+    /// (`"mutator:<tool>"`).
+    pub tool: String,
+}
+
+impl Mutator {
+    /// Creates a mutator for `tool`.
+    pub fn new(tool: &str) -> Mutator {
+        Mutator {
+            tool: tool.to_string(),
+        }
+    }
+
+    /// The author string recorded on commits.
+    pub fn author(&self) -> String {
+        format!("mutator:{}", self.tool)
+    }
+
+    /// Reads, transforms, and writes back a raw config in one step (e.g.
+    /// the traffic-shifting tools of §2 periodically rewriting weights).
+    pub fn update_raw(
+        &self,
+        svc: &mut ConfigeratorService,
+        name: &str,
+        message: &str,
+        f: impl FnOnce(Option<&str>) -> String,
+    ) -> Result<CommitReport, ServiceError> {
+        let current = svc.artifact(name).map(|a| a.json.clone());
+        let next = f(current.as_deref());
+        svc.commit_raw(&self.author(), message, name, Bytes::from(next))
+    }
+
+    /// Writes a source file directly (automation-owned config programs).
+    pub fn set_source(
+        &self,
+        svc: &mut ConfigeratorService,
+        path: &str,
+        message: &str,
+        content: &str,
+    ) -> Result<CommitReport, ServiceError> {
+        let mut changes = std::collections::BTreeMap::new();
+        changes.insert(path.to_string(), Some(content.to_string()));
+        svc.commit_source(&self.author(), message, changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_raw_read_modify_write() {
+        let mut svc = ConfigeratorService::new();
+        let m = Mutator::new("traffic-shifter");
+        m.update_raw(&mut svc, "weights.json", "init", |cur| {
+            assert!(cur.is_none());
+            "{\"region_a\": 50}".to_string()
+        })
+        .unwrap();
+        let report = m
+            .update_raw(&mut svc, "weights.json", "shift", |cur| {
+                assert_eq!(cur.unwrap(), "{\"region_a\": 50}");
+                "{\"region_a\": 80}".to_string()
+            })
+            .unwrap();
+        assert_eq!(report.updated_configs, vec!["weights.json"]);
+        assert!(svc.artifact("weights.json").unwrap().json.contains("80"));
+    }
+
+    #[test]
+    fn author_is_tagged_as_automation() {
+        let m = Mutator::new("loadtest");
+        assert_eq!(m.author(), "mutator:loadtest");
+    }
+
+    #[test]
+    fn set_source_compiles_like_any_commit() {
+        let mut svc = ConfigeratorService::new();
+        let m = Mutator::new("gen");
+        m.set_source(&mut svc, "auto.cconf", "gen", "export_if_last({\"x\": 1})")
+            .unwrap();
+        assert!(svc.artifact("auto").is_some());
+        // Broken generated source is still rejected by the compiler.
+        assert!(m
+            .set_source(&mut svc, "auto.cconf", "gen", "export_if_last(")
+            .is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! Code review (Phabricator) and continuous integration (Sandcastle).
+//!
+//! "A config change is treated the same as a code change and goes through
+//! the same rigorous code review process" (§1). "If the config is related
+//! to the frontend products ... the Sandcastle tool automatically performs
+//! a comprehensive set of synthetic, continuous integration tests of the
+//! site under the new config. Sandcastle posts the testing results to
+//! Phabricator for reviewers to access" (§3.3).
+//!
+//! The paper also records policy evolution (§6.6): Facebook moved "from
+//! optional diff review and optional manual testing ... to mandatory diff
+//! review and mandatory manual testing" — [`ReviewPolicy`] captures that
+//! knob.
+
+use std::fmt;
+
+use cdsl::compile::CompiledConfig;
+
+use crate::landing::SourceDiff;
+use crate::service::{ConfigeratorService, ServiceError};
+
+/// Review/test requirements in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReviewPolicy {
+    /// A human approval is required before landing.
+    pub mandatory_review: bool,
+    /// Test evidence (Sandcastle or manual) is required before landing.
+    pub mandatory_tests: bool,
+}
+
+impl Default for ReviewPolicy {
+    fn default() -> ReviewPolicy {
+        // The paper's current state: both mandatory (§6.6).
+        ReviewPolicy {
+            mandatory_review: true,
+            mandatory_tests: true,
+        }
+    }
+}
+
+/// A Sandcastle integration-test report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestReport {
+    /// Whether every check passed.
+    pub passed: bool,
+    /// Human-readable failures.
+    pub failures: Vec<String>,
+    /// Number of checks executed.
+    pub checks_run: usize,
+}
+
+/// One integration check run by Sandcastle over a compiled config.
+pub type IntegrationCheck = Box<dyn Fn(&CompiledConfig) -> Result<(), String>>;
+
+/// The continuous-integration sandbox.
+#[derive(Default)]
+pub struct Sandcastle {
+    checks: Vec<(String, IntegrationCheck)>,
+}
+
+impl Sandcastle {
+    /// Creates a Sandcastle with no registered checks (compilation and
+    /// validators still run — they are part of the compiler).
+    pub fn new() -> Sandcastle {
+        Sandcastle::default()
+    }
+
+    /// Registers a named integration check applied to every compiled
+    /// config affected by a diff.
+    pub fn register_check(
+        &mut self,
+        name: &str,
+        check: impl Fn(&CompiledConfig) -> Result<(), String> + 'static,
+    ) {
+        self.checks.push((name.to_string(), Box::new(check)));
+    }
+
+    /// Runs the diff in the sandbox: dry-run compile plus every registered
+    /// integration check on every affected config.
+    pub fn run(&self, svc: &ConfigeratorService, diff: &SourceDiff) -> TestReport {
+        let compiled = match svc.check_changes(&diff.changes) {
+            Ok(c) => c,
+            Err(e) => {
+                return TestReport {
+                    passed: false,
+                    failures: vec![format!("compile failed: {e}")],
+                    checks_run: 0,
+                }
+            }
+        };
+        let mut failures = Vec::new();
+        let mut checks_run = 0;
+        for cfg in &compiled {
+            for (name, check) in &self.checks {
+                checks_run += 1;
+                if let Err(msg) = check(cfg) {
+                    failures.push(format!("{name} on {}: {msg}", cfg.path));
+                }
+            }
+        }
+        TestReport {
+            passed: failures.is_empty(),
+            failures,
+            checks_run,
+        }
+    }
+}
+
+/// Review lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReviewState {
+    /// Submitted; awaiting test evidence (if required) and approval.
+    Open,
+    /// Approved by a reviewer.
+    Approved,
+    /// Rejected by a reviewer.
+    Rejected,
+    /// Landed into the repository.
+    Landed,
+}
+
+/// Why a review action failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReviewError {
+    /// Unknown review id.
+    NotFound(u64),
+    /// Action not valid in the current state.
+    BadState(ReviewState),
+    /// Policy requires test evidence before this action.
+    TestsRequired,
+    /// Policy requires approval before landing.
+    ApprovalRequired,
+    /// Tests ran and failed; landing is blocked until a new diff version.
+    TestsFailed,
+}
+
+impl fmt::Display for ReviewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReviewError::NotFound(id) => write!(f, "no review {id}"),
+            ReviewError::BadState(s) => write!(f, "invalid in state {s:?}"),
+            ReviewError::TestsRequired => write!(f, "test evidence required"),
+            ReviewError::ApprovalRequired => write!(f, "approval required"),
+            ReviewError::TestsFailed => write!(f, "tests failed"),
+        }
+    }
+}
+
+impl std::error::Error for ReviewError {}
+
+/// One review (a "diff" in Phabricator terms).
+#[derive(Debug)]
+pub struct Review {
+    /// Review id.
+    pub id: u64,
+    /// The proposed change.
+    pub diff: SourceDiff,
+    /// Current state.
+    pub state: ReviewState,
+    /// Attached test evidence.
+    pub report: Option<TestReport>,
+    /// Approving reviewer, once approved.
+    pub approved_by: Option<String>,
+}
+
+/// The review system.
+#[derive(Debug, Default)]
+pub struct Phabricator {
+    reviews: Vec<Review>,
+    policy: ReviewPolicy,
+}
+
+impl Phabricator {
+    /// Creates a review system with the default (mandatory) policy.
+    pub fn new() -> Phabricator {
+        Phabricator::default()
+    }
+
+    /// Overrides the policy (e.g. the paper's earlier optional-review era,
+    /// used in the incident-study experiment).
+    pub fn with_policy(policy: ReviewPolicy) -> Phabricator {
+        Phabricator {
+            reviews: Vec::new(),
+            policy,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> ReviewPolicy {
+        self.policy
+    }
+
+    /// Submits a diff for review, returning its id.
+    pub fn submit(&mut self, diff: SourceDiff) -> u64 {
+        let id = self.reviews.len() as u64;
+        self.reviews.push(Review {
+            id,
+            diff,
+            state: ReviewState::Open,
+            report: None,
+            approved_by: None,
+        });
+        id
+    }
+
+    /// Attaches a Sandcastle (or manual) test report.
+    pub fn attach_report(&mut self, id: u64, report: TestReport) -> Result<(), ReviewError> {
+        let r = self.get_mut(id)?;
+        r.report = Some(report);
+        Ok(())
+    }
+
+    /// Records an approval. Under a mandatory-tests policy, approval
+    /// requires attached passing evidence first.
+    pub fn approve(&mut self, id: u64, reviewer: &str) -> Result<(), ReviewError> {
+        let policy = self.policy;
+        let r = self.get_mut(id)?;
+        if r.state != ReviewState::Open {
+            return Err(ReviewError::BadState(r.state));
+        }
+        if policy.mandatory_tests {
+            match &r.report {
+                None => return Err(ReviewError::TestsRequired),
+                Some(rep) if !rep.passed => return Err(ReviewError::TestsFailed),
+                Some(_) => {}
+            }
+        }
+        r.state = ReviewState::Approved;
+        r.approved_by = Some(reviewer.to_string());
+        Ok(())
+    }
+
+    /// Records a rejection.
+    pub fn reject(&mut self, id: u64) -> Result<(), ReviewError> {
+        let r = self.get_mut(id)?;
+        if r.state != ReviewState::Open {
+            return Err(ReviewError::BadState(r.state));
+        }
+        r.state = ReviewState::Rejected;
+        Ok(())
+    }
+
+    /// Takes the diff out for landing, enforcing the policy. The caller
+    /// passes the result to the landing strip; on success, call
+    /// [`Phabricator::mark_landed`].
+    pub fn take_for_landing(&mut self, id: u64) -> Result<SourceDiff, ReviewError> {
+        let policy = self.policy;
+        let r = self.get_mut(id)?;
+        match r.state {
+            ReviewState::Approved => {}
+            ReviewState::Open if !policy.mandatory_review => {
+                if policy.mandatory_tests && r.report.as_ref().map(|t| t.passed) != Some(true) {
+                    return Err(ReviewError::TestsRequired);
+                }
+            }
+            ReviewState::Open => return Err(ReviewError::ApprovalRequired),
+            other => return Err(ReviewError::BadState(other)),
+        }
+        Ok(r.diff.clone())
+    }
+
+    /// Marks a review landed.
+    pub fn mark_landed(&mut self, id: u64) -> Result<(), ReviewError> {
+        let r = self.get_mut(id)?;
+        r.state = ReviewState::Landed;
+        Ok(())
+    }
+
+    /// Reads a review.
+    pub fn review(&self, id: u64) -> Option<&Review> {
+        self.reviews.get(id as usize)
+    }
+
+    fn get_mut(&mut self, id: u64) -> Result<&mut Review, ReviewError> {
+        self.reviews
+            .get_mut(id as usize)
+            .ok_or(ReviewError::NotFound(id))
+    }
+}
+
+/// Convenience for `ServiceError` conversions in pipeline code.
+impl From<ServiceError> for ReviewError {
+    fn from(_: ServiceError) -> ReviewError {
+        ReviewError::TestsFailed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn diff(svc: &ConfigeratorService, src: &str) -> SourceDiff {
+        let mut ch = BTreeMap::new();
+        ch.insert("x.cconf".to_string(), Some(src.to_string()));
+        SourceDiff::against(svc, "alice", "msg", ch)
+    }
+
+    #[test]
+    fn mandatory_pipeline_happy_path() {
+        let svc = ConfigeratorService::new();
+        let mut phab = Phabricator::new();
+        let sandcastle = Sandcastle::new();
+        let d = diff(&svc, "export_if_last({\"v\": 1})");
+        let id = phab.submit(d.clone());
+        // Cannot approve before tests.
+        assert_eq!(phab.approve(id, "rev").unwrap_err(), ReviewError::TestsRequired);
+        let report = sandcastle.run(&svc, &d);
+        assert!(report.passed);
+        phab.attach_report(id, report).unwrap();
+        // Cannot land before approval.
+        assert_eq!(
+            phab.take_for_landing(id).unwrap_err(),
+            ReviewError::ApprovalRequired
+        );
+        phab.approve(id, "rev").unwrap();
+        let landed = phab.take_for_landing(id).unwrap();
+        assert_eq!(landed.author, "alice");
+        phab.mark_landed(id).unwrap();
+        assert_eq!(phab.review(id).unwrap().state, ReviewState::Landed);
+    }
+
+    #[test]
+    fn failing_sandcastle_blocks_approval() {
+        let svc = ConfigeratorService::new();
+        let mut phab = Phabricator::new();
+        let mut sandcastle = Sandcastle::new();
+        sandcastle.register_check("no_big_values", |cfg| {
+            if cfg.json.contains("999") {
+                Err("value too large".into())
+            } else {
+                Ok(())
+            }
+        });
+        let d = diff(&svc, "export_if_last({\"v\": 999})");
+        let id = phab.submit(d.clone());
+        let report = sandcastle.run(&svc, &d);
+        assert!(!report.passed);
+        assert_eq!(report.checks_run, 1);
+        phab.attach_report(id, report).unwrap();
+        assert_eq!(phab.approve(id, "rev").unwrap_err(), ReviewError::TestsFailed);
+    }
+
+    #[test]
+    fn broken_diff_fails_sandcastle_compile() {
+        let svc = ConfigeratorService::new();
+        let sandcastle = Sandcastle::new();
+        let d = diff(&svc, "export_if_last(");
+        let report = sandcastle.run(&svc, &d);
+        assert!(!report.passed);
+        assert!(report.failures[0].contains("compile failed"));
+    }
+
+    #[test]
+    fn optional_policy_allows_direct_landing() {
+        let svc = ConfigeratorService::new();
+        let mut phab = Phabricator::with_policy(ReviewPolicy {
+            mandatory_review: false,
+            mandatory_tests: false,
+        });
+        let id = phab.submit(diff(&svc, "export_if_last(1)"));
+        assert!(phab.take_for_landing(id).is_ok());
+    }
+
+    #[test]
+    fn rejection_is_terminal() {
+        let svc = ConfigeratorService::new();
+        let mut phab = Phabricator::new();
+        let id = phab.submit(diff(&svc, "export_if_last(1)"));
+        phab.reject(id).unwrap();
+        assert!(matches!(
+            phab.take_for_landing(id),
+            Err(ReviewError::BadState(ReviewState::Rejected))
+        ));
+    }
+
+    #[test]
+    fn unknown_review_id() {
+        let mut phab = Phabricator::new();
+        assert_eq!(phab.approve(99, "r").unwrap_err(), ReviewError::NotFound(99));
+    }
+}

@@ -1,0 +1,229 @@
+//! Risk flagging for config updates — the paper's stated future work.
+//!
+//! §8: "Our major future work includes ... flagging high-risk config
+//! updates based on historical data", and §6.2 motivates it: "It would be
+//! helpful to automatically flag high-risk updates on these highly-shared
+//! configs" and "a dormant config is suddenly changed in an unusual way".
+//!
+//! [`RiskModel`] keeps a per-config update history (timestamps, change
+//! sizes, authors) and scores an incoming diff on four signals:
+//!
+//! * **dormancy** — the config has not changed for a long time relative to
+//!   its own historical cadence;
+//! * **unusual size** — the diff is far larger than the config's typical
+//!   change;
+//! * **stranger** — the author has never touched this config;
+//! * **blast radius** — many other configs depend on the touched files
+//!   (from the dependency service), or the config is highly co-authored.
+//!
+//! Scores are advisory: the stack surfaces them at review time (the paper
+//! empowers engineers rather than gating on committees, §6.6).
+
+use std::collections::{HashMap, HashSet};
+
+/// Per-config update history.
+#[derive(Debug, Clone, Default)]
+struct ConfigHistory {
+    /// Update timestamps (seconds), ascending.
+    updates: Vec<u64>,
+    /// Line-change sizes of past updates.
+    sizes: Vec<u32>,
+    /// Distinct past authors.
+    authors: HashSet<String>,
+}
+
+/// One flagged signal with its contribution to the score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskSignal {
+    /// Short signal name (`dormancy`, `unusual-size`, `stranger`,
+    /// `blast-radius`).
+    pub name: &'static str,
+    /// Human-readable explanation.
+    pub detail: String,
+    /// Contribution in [0, 1].
+    pub weight: f64,
+}
+
+/// The risk assessment of one proposed update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskAssessment {
+    /// Total score in [0, 1] (1 = maximally unusual).
+    pub score: f64,
+    /// The contributing signals, highest first.
+    pub signals: Vec<RiskSignal>,
+}
+
+impl RiskAssessment {
+    /// Whether the update should be flagged for extra scrutiny.
+    pub fn is_high_risk(&self) -> bool {
+        self.score >= 0.5
+    }
+}
+
+/// The history-driven risk model.
+#[derive(Debug, Clone, Default)]
+pub struct RiskModel {
+    histories: HashMap<String, ConfigHistory>,
+}
+
+impl RiskModel {
+    /// Creates an empty model.
+    pub fn new() -> RiskModel {
+        RiskModel::default()
+    }
+
+    /// Records a landed update so future assessments learn from it.
+    pub fn record(&mut self, config: &str, timestamp: u64, line_changes: u32, author: &str) {
+        let h = self.histories.entry(config.to_string()).or_default();
+        h.updates.push(timestamp);
+        h.sizes.push(line_changes);
+        h.authors.insert(author.to_string());
+    }
+
+    /// Number of recorded updates for `config`.
+    pub fn update_count(&self, config: &str) -> usize {
+        self.histories.get(config).map(|h| h.updates.len()).unwrap_or(0)
+    }
+
+    /// Scores a proposed update. `dependents` is the number of configs
+    /// that would recompile because of this change (from the dependency
+    /// service).
+    pub fn assess(
+        &self,
+        config: &str,
+        now: u64,
+        line_changes: u32,
+        author: &str,
+        dependents: usize,
+    ) -> RiskAssessment {
+        let mut signals = Vec::new();
+        if let Some(h) = self.histories.get(config) {
+            // Dormancy: compare the idle gap to the config's own median
+            // inter-update interval.
+            if h.updates.len() >= 3 {
+                let mut gaps: Vec<u64> = h.updates.windows(2).map(|w| w[1] - w[0]).collect();
+                gaps.sort_unstable();
+                let median_gap = gaps[gaps.len() / 2].max(1);
+                let idle = now.saturating_sub(*h.updates.last().expect("nonempty"));
+                let ratio = idle as f64 / median_gap as f64;
+                if ratio > 10.0 {
+                    signals.push(RiskSignal {
+                        name: "dormancy",
+                        detail: format!(
+                            "idle {idle}s vs median cadence {median_gap}s (×{ratio:.0})"
+                        ),
+                        weight: 0.35f64.min(0.05 * ratio.log2()),
+                    });
+                }
+            }
+            // Unusual size: diff much larger than the historical P90.
+            if h.sizes.len() >= 3 {
+                let mut sizes = h.sizes.clone();
+                sizes.sort_unstable();
+                let p90 = sizes[(sizes.len() - 1) * 9 / 10].max(1);
+                if line_changes > p90 * 5 {
+                    signals.push(RiskSignal {
+                        name: "unusual-size",
+                        detail: format!("{line_changes} lines vs historical P90 {p90}"),
+                        weight: 0.3,
+                    });
+                }
+            }
+            // Stranger: an author with no history on this config, on a
+            // config that already has several authors (highly shared).
+            if !h.authors.contains(author) && h.authors.len() >= 3 {
+                signals.push(RiskSignal {
+                    name: "stranger",
+                    detail: format!(
+                        "{author} has never updated this config ({} prior authors)",
+                        h.authors.len()
+                    ),
+                    weight: 0.2,
+                });
+            }
+        }
+        // Blast radius: independent of history.
+        if dependents >= 5 {
+            signals.push(RiskSignal {
+                name: "blast-radius",
+                detail: format!("{dependents} configs recompile on this change"),
+                weight: (0.1 * (dependents as f64).log2() / 3.0).min(0.3),
+            });
+        }
+        signals.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("no NaN weights"));
+        let score = signals.iter().map(|s| s.weight).sum::<f64>().min(1.0);
+        RiskAssessment { score, signals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: u64 = 86_400;
+
+    fn active_config(model: &mut RiskModel, name: &str, updates: usize) {
+        for i in 0..updates {
+            model.record(name, i as u64 * DAY, 2, &format!("author{}", i % 4));
+        }
+    }
+
+    #[test]
+    fn routine_update_scores_low() {
+        let mut m = RiskModel::new();
+        active_config(&mut m, "cfg", 20);
+        let a = m.assess("cfg", 20 * DAY, 2, "author1", 1);
+        assert!(!a.is_high_risk(), "score {}: {:?}", a.score, a.signals);
+    }
+
+    #[test]
+    fn dormant_config_suddenly_changed_is_flagged() {
+        // The paper's §8 example verbatim: a dormant config changed in an
+        // unusual way.
+        let mut m = RiskModel::new();
+        active_config(&mut m, "cfg", 10);
+        // Two years of silence, then a stranger lands a 500-line change.
+        let a = m.assess("cfg", 10 * DAY + 700 * DAY, 500, "newcomer", 12);
+        assert!(a.is_high_risk(), "score {}", a.score);
+        let names: Vec<&str> = a.signals.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"dormancy"));
+        assert!(names.contains(&"unusual-size"));
+        assert!(names.contains(&"stranger"));
+        assert!(names.contains(&"blast-radius"));
+    }
+
+    #[test]
+    fn unknown_config_only_scores_blast_radius() {
+        let m = RiskModel::new();
+        let a = m.assess("new_cfg", 100, 3, "alice", 0);
+        assert_eq!(a.score, 0.0);
+        let a = m.assess("new_cfg", 100, 3, "alice", 40);
+        assert!(a.signals.iter().any(|s| s.name == "blast-radius"));
+        assert!(!a.is_high_risk(), "blast radius alone is advisory");
+    }
+
+    #[test]
+    fn known_author_is_not_a_stranger() {
+        let mut m = RiskModel::new();
+        active_config(&mut m, "cfg", 10);
+        let a = m.assess("cfg", 11 * DAY, 2, "author2", 0);
+        assert!(a.signals.iter().all(|s| s.name != "stranger"));
+    }
+
+    #[test]
+    fn signals_are_sorted_by_weight() {
+        let mut m = RiskModel::new();
+        active_config(&mut m, "cfg", 10);
+        let a = m.assess("cfg", 2000 * DAY, 1000, "x", 100);
+        assert!(a.signals.windows(2).all(|w| w[0].weight >= w[1].weight));
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = RiskModel::new();
+        m.record("c", 1, 2, "a");
+        m.record("c", 2, 2, "b");
+        assert_eq!(m.update_count("c"), 2);
+        assert_eq!(m.update_count("ghost"), 0);
+    }
+}

@@ -1,0 +1,722 @@
+//! The Configerator service: version-controlled sources, the compiler
+//! pipeline, and the dependency service.
+//!
+//! "The source code of config programs and generated JSON configs are
+//! stored in a version control tool" (§3.1). A commit flows through this
+//! service as follows:
+//!
+//! 1. the staged source changes are overlaid on the current source tree;
+//! 2. the dependency service computes which config programs must be
+//!    (re)compiled — the changed entry files plus every entry whose
+//!    dependency set intersects the changed paths ("If APP_PORT in
+//!    app_port.cinc is changed, the Configerator compiler automatically
+//!    recompiles both app.cconf and firewall.cconf");
+//! 3. every affected program is compiled and validated; any failure
+//!    rejects the whole commit, leaving the repository untouched;
+//! 4. sources and regenerated JSON land in **one git commit**, "which
+//!    ensures consistency".
+//!
+//! Raw configs (§6.1) — files not produced by the compiler, usually
+//! written by automation tools — are stored and distributed unchanged.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use bytes::Bytes;
+use cdsl::compile::{CompiledConfig, Compiler};
+use cdsl::interp::Loader;
+use gitstore::multirepo::MultiRepo;
+use gitstore::object::ObjectId;
+use gitstore::repo::Change;
+
+/// Where compiled artifacts live in the repository namespace.
+pub const COMPILED_PREFIX: &str = "compiled/";
+/// Where source files live.
+pub const SOURCE_PREFIX: &str = "source/";
+/// Where raw configs live.
+pub const RAW_PREFIX: &str = "raw/";
+
+/// Classifies a repository path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// A config program entry point (`.cconf`) — compiles to an artifact.
+    Entry,
+    /// A reusable module, schema, or validator.
+    Support,
+    /// A raw config.
+    Raw,
+    /// A compiled artifact (managed by the service, not user-writable).
+    Compiled,
+    /// Anything else.
+    Other,
+}
+
+/// Classifies `path` by prefix and extension.
+pub fn classify(path: &str) -> PathKind {
+    if path.starts_with(COMPILED_PREFIX) {
+        PathKind::Compiled
+    } else if path.starts_with(RAW_PREFIX) {
+        PathKind::Raw
+    } else if path.starts_with(SOURCE_PREFIX) {
+        if path.ends_with(".cconf") {
+            PathKind::Entry
+        } else {
+            PathKind::Support
+        }
+    } else {
+        PathKind::Other
+    }
+}
+
+/// The distributable name of a config: for `source/a/b.cconf` it is
+/// `a/b`; for `raw/x/y.json` it is `x/y.json`.
+pub fn config_name(path: &str) -> Option<String> {
+    if let Some(rest) = path.strip_prefix(SOURCE_PREFIX) {
+        rest.strip_suffix(".cconf").map(str::to_string)
+    } else { path.strip_prefix(RAW_PREFIX).map(|rest| rest.to_string()) }
+}
+
+/// The repository path of a compiled artifact for config `name`.
+pub fn compiled_path(name: &str) -> String {
+    format!("{COMPILED_PREFIX}{name}.json")
+}
+
+/// Errors from the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// A change targets a path engineers may not write
+    /// (e.g. `compiled/…`).
+    ForbiddenPath(String),
+    /// Compilation or validation of a config program failed.
+    Compile {
+        /// The entry that failed.
+        entry: String,
+        /// The compiler error.
+        error: cdsl::CdslError,
+    },
+    /// The underlying store rejected the commit.
+    Store(gitstore::repo::Error),
+    /// The commit contained no changes.
+    Empty,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ForbiddenPath(p) => write!(f, "path not writable: {p}"),
+            ServiceError::Compile { entry, error } => {
+                write!(f, "compiling {entry}: {error}")
+            }
+            ServiceError::Store(e) => write!(f, "store error: {e}"),
+            ServiceError::Empty => write!(f, "empty commit"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A successful commit through the service.
+#[derive(Debug, Clone)]
+pub struct CommitReport {
+    /// The resulting commit ids, one per affected repository partition.
+    pub commits: Vec<ObjectId>,
+    /// Config names whose compiled artifacts changed (to be distributed).
+    pub updated_configs: Vec<String>,
+    /// Entries recompiled because a dependency changed (not directly
+    /// edited).
+    pub ripple_recompiles: Vec<String>,
+    /// Timestamp of the commit.
+    pub timestamp: u64,
+}
+
+/// The dependency service (Figure 3): tracks, for every source path, which
+/// entry configs depend on it. Dependencies are extracted by the compiler
+/// from `import`/`schema` statements — never declared by hand.
+#[derive(Debug, Clone, Default)]
+pub struct DependencyService {
+    /// dependency path → entry paths that depend on it.
+    dependents: HashMap<String, BTreeSet<String>>,
+    /// entry path → its dependency list.
+    deps: HashMap<String, Vec<String>>,
+}
+
+impl DependencyService {
+    /// Records the dependency list of `entry` (replacing any previous).
+    pub fn update(&mut self, entry: &str, deps: Vec<String>) {
+        if let Some(old) = self.deps.remove(entry) {
+            for d in old {
+                if let Some(set) = self.dependents.get_mut(&d) {
+                    set.remove(entry);
+                }
+            }
+        }
+        for d in &deps {
+            self.dependents
+                .entry(d.clone())
+                .or_default()
+                .insert(entry.to_string());
+        }
+        self.deps.insert(entry.to_string(), deps);
+    }
+
+    /// Removes an entry entirely.
+    pub fn remove(&mut self, entry: &str) {
+        self.update(entry, Vec::new());
+        self.deps.remove(entry);
+    }
+
+    /// Entries that depend on any of `paths`.
+    pub fn dependents_of<'a>(
+        &self,
+        paths: impl IntoIterator<Item = &'a str>,
+    ) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for p in paths {
+            if let Some(set) = self.dependents.get(p) {
+                out.extend(set.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// The recorded dependency list of `entry`.
+    pub fn deps_of(&self, entry: &str) -> Option<&[String]> {
+        self.deps.get(entry).map(Vec::as_slice)
+    }
+}
+
+/// A compiled artifact tracked by the service.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Config name (distribution path).
+    pub name: String,
+    /// Canonical JSON.
+    pub json: String,
+    /// Schema type, if the config is a struct.
+    pub type_name: Option<String>,
+}
+
+/// Loader view over a base snapshot plus staged overlay.
+struct OverlayLoader<'a> {
+    base: &'a MultiRepo,
+    overlay: &'a BTreeMap<String, Option<Bytes>>,
+}
+
+impl Loader for OverlayLoader<'_> {
+    fn load(&self, path: &str) -> Option<String> {
+        let full = format!("{SOURCE_PREFIX}{path}");
+        if let Some(staged) = self.overlay.get(&full) {
+            return staged
+                .as_ref()
+                .and_then(|b| String::from_utf8(b.to_vec()).ok());
+        }
+        self.base
+            .read_head(&full)
+            .ok()
+            .and_then(|b| String::from_utf8(b.to_vec()).ok())
+    }
+}
+
+/// The Configerator service for one region.
+#[derive(Clone)]
+pub struct ConfigeratorService {
+    repo: MultiRepo,
+    dependency: DependencyService,
+    artifacts: BTreeMap<String, Artifact>,
+    clock: u64,
+}
+
+impl Default for ConfigeratorService {
+    fn default() -> ConfigeratorService {
+        ConfigeratorService::new()
+    }
+}
+
+impl ConfigeratorService {
+    /// Creates an empty service with a single repository partition.
+    pub fn new() -> ConfigeratorService {
+        ConfigeratorService {
+            repo: MultiRepo::new(),
+            dependency: DependencyService::default(),
+            artifacts: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Adds a repository partition for `prefix` (§3.6's partitioned
+    /// namespace), e.g. `"source/feed/"`.
+    pub fn add_partition(&mut self, prefix: &str) {
+        self.repo.add_repo(prefix);
+    }
+
+    /// The underlying version-control store.
+    pub fn repo(&self) -> &MultiRepo {
+        &self.repo
+    }
+
+    /// The dependency service.
+    pub fn dependency(&self) -> &DependencyService {
+        &self.dependency
+    }
+
+    /// Advances and returns the logical clock (seconds).
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Sets the logical clock (for experiments replaying timed histories).
+    pub fn set_clock(&mut self, t: u64) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// The compiled artifact for config `name`.
+    pub fn artifact(&self, name: &str) -> Option<&Artifact> {
+        self.artifacts.get(name)
+    }
+
+    /// Names of all distributable configs (compiled and raw).
+    pub fn config_names(&self) -> Vec<String> {
+        self.artifacts.keys().cloned().collect()
+    }
+
+    /// Reads the current source of `path` (without the `source/` prefix).
+    pub fn read_source(&self, path: &str) -> Option<String> {
+        self.repo
+            .read_head(&format!("{SOURCE_PREFIX}{path}"))
+            .ok()
+            .and_then(|b| String::from_utf8(b.to_vec()).ok())
+    }
+
+    /// Dry-run: validates and compiles `changes` without committing.
+    /// Returns the compile results for every affected entry. This is what
+    /// Sandcastle and the manual-test path run against a proposed diff.
+    pub fn check_changes(
+        &self,
+        changes: &BTreeMap<String, Option<String>>,
+    ) -> Result<Vec<CompiledConfig>, ServiceError> {
+        let (_, results, _) = self.plan(changes)?;
+        Ok(results)
+    }
+
+    /// Shared front half of commit/check: builds the overlay, computes the
+    /// compile set, and compiles.
+    #[allow(clippy::type_complexity)]
+    fn plan(
+        &self,
+        changes: &BTreeMap<String, Option<String>>,
+    ) -> Result<
+        (
+            BTreeMap<String, Option<Bytes>>,
+            Vec<CompiledConfig>,
+            HashSet<String>,
+        ),
+        ServiceError,
+    > {
+        if changes.is_empty() {
+            return Err(ServiceError::Empty);
+        }
+        // Build the overlay, keyed by full repository path.
+        let mut overlay: BTreeMap<String, Option<Bytes>> = BTreeMap::new();
+        for (path, content) in changes {
+            let ok_shape = !path.is_empty()
+                && !path.starts_with('/')
+                && !path.ends_with('/')
+                && path.split('/').all(|s| !s.is_empty() && s != "." && s != "..");
+            if !ok_shape {
+                return Err(ServiceError::ForbiddenPath(path.clone()));
+            }
+            let full = format!("{SOURCE_PREFIX}{path}");
+            match classify(&full) {
+                PathKind::Entry | PathKind::Support => {}
+                _ => return Err(ServiceError::ForbiddenPath(path.clone())),
+            }
+            overlay.insert(full, content.clone().map(Bytes::from));
+        }
+
+        // Which entries must compile: directly changed `.cconf` files plus
+        // dependents of every changed path.
+        let changed_paths: Vec<String> = changes.keys().cloned().collect();
+        let mut to_compile: BTreeSet<String> = BTreeSet::new();
+        let mut direct: HashSet<String> = HashSet::new();
+        for p in &changed_paths {
+            if p.ends_with(".cconf") && changes[p].is_some() {
+                to_compile.insert(p.clone());
+                direct.insert(p.clone());
+            }
+        }
+        for dep_entry in self
+            .dependency
+            .dependents_of(changed_paths.iter().map(String::as_str))
+        {
+            // Skip entries being deleted in this very commit.
+            let full = format!("{SOURCE_PREFIX}{dep_entry}");
+            if overlay.get(&full).map(Option::is_some) != Some(false) {
+                to_compile.insert(dep_entry);
+            }
+        }
+
+        // Compile everything against the overlay view.
+        let loader = OverlayLoader {
+            base: &self.repo,
+            overlay: &overlay,
+        };
+        let mut results: Vec<CompiledConfig> = Vec::new();
+        {
+            let compiler = Compiler::new(&loader);
+            for entry in &to_compile {
+                match compiler.compile(entry) {
+                    Ok(out) => results.push(out),
+                    Err(error) => {
+                        return Err(ServiceError::Compile {
+                            entry: entry.clone(),
+                            error,
+                        })
+                    }
+                }
+            }
+        }
+        Ok((overlay, results, direct))
+    }
+
+    /// Commits source changes: validates, compiles, and lands sources plus
+    /// regenerated JSON in one commit per affected partition.
+    ///
+    /// `changes` maps source paths (without the `source/` prefix) to new
+    /// contents, or `None` to delete.
+    pub fn commit_source(
+        &mut self,
+        author: &str,
+        message: &str,
+        changes: BTreeMap<String, Option<String>>,
+    ) -> Result<CommitReport, ServiceError> {
+        let (overlay, results, direct) = self.plan(&changes)?;
+
+        // Assemble the git changes: sources plus compiled artifacts.
+        let mut git_changes: Vec<Change> = Vec::new();
+        for (full, content) in &overlay {
+            match content {
+                Some(bytes) => git_changes.push(Change::put(full.clone(), bytes.clone())),
+                None => {
+                    if self.repo.exists(full) {
+                        git_changes.push(Change::delete(full.clone()));
+                    }
+                    // Deleting an entry also deletes its artifact.
+                    if let Some(name) = config_name(full) {
+                        let cpath = compiled_path(&name);
+                        if self.repo.exists(&cpath) {
+                            git_changes.push(Change::delete(cpath));
+                        }
+                    }
+                }
+            }
+        }
+        let mut updated = Vec::new();
+        let mut ripple = Vec::new();
+        for out in &results {
+            let name = config_name(&format!("{SOURCE_PREFIX}{}", out.path))
+                .expect("entry paths always map to names");
+            let cpath = compiled_path(&name);
+            let changed_artifact = self
+                .artifacts
+                .get(&name)
+                .map(|a| a.json != out.json)
+                .unwrap_or(true);
+            if changed_artifact {
+                git_changes.push(Change::put(cpath, out.json.clone()));
+                updated.push(name.clone());
+                if !direct.contains(&out.path) {
+                    ripple.push(name.clone());
+                }
+            }
+        }
+
+        let ts = self.tick();
+        let commits = self
+            .repo
+            .commit(author, message, ts, git_changes)
+            .map_err(ServiceError::Store)?
+            .into_iter()
+            .map(|(_, o)| o.id)
+            .collect();
+
+        // Commit landed: update dependency maps and the artifact cache.
+        for (path, content) in &changes {
+            if path.ends_with(".cconf") && content.is_none() {
+                self.dependency.remove(path);
+                if let Some(name) = config_name(&format!("{SOURCE_PREFIX}{path}")) {
+                    self.artifacts.remove(&name);
+                }
+            }
+        }
+        for out in results {
+            self.dependency.update(&out.path, out.deps.clone());
+            let name = config_name(&format!("{SOURCE_PREFIX}{}", out.path)).expect("entry");
+            self.artifacts.insert(
+                name.clone(),
+                Artifact {
+                    name,
+                    json: out.json,
+                    type_name: out.type_name,
+                },
+            );
+        }
+        Ok(CommitReport {
+            commits,
+            updated_configs: updated,
+            ripple_recompiles: ripple,
+            timestamp: ts,
+        })
+    }
+
+    /// Commits a raw config (not compiler-produced; §6.1 reports most raw
+    /// config updates come from automation tools).
+    pub fn commit_raw(
+        &mut self,
+        author: &str,
+        message: &str,
+        name: &str,
+        content: impl Into<Bytes>,
+    ) -> Result<CommitReport, ServiceError> {
+        let content = content.into();
+        let path = format!("{RAW_PREFIX}{name}");
+        let ts = self.tick();
+        let json = String::from_utf8_lossy(&content).to_string();
+        let commits = self
+            .repo
+            .commit(author, message, ts, vec![Change::put(path, content)])
+            .map_err(ServiceError::Store)?
+            .into_iter()
+            .map(|(_, o)| o.id)
+            .collect();
+        self.artifacts.insert(
+            name.to_string(),
+            Artifact {
+                name: name.to_string(),
+                json,
+                type_name: None,
+            },
+        );
+        Ok(CommitReport {
+            commits,
+            updated_configs: vec![name.to_string()],
+            ripple_recompiles: Vec::new(),
+            timestamp: ts,
+        })
+    }
+
+    /// Compiles `entry` against the current tree without committing (the
+    /// manual-test / review preview path).
+    pub fn preview(&self, entry: &str) -> Result<CompiledConfig, ServiceError> {
+        let overlay = BTreeMap::new();
+        let loader = OverlayLoader {
+            base: &self.repo,
+            overlay: &overlay,
+        };
+        Compiler::new(&loader)
+            .compile(entry)
+            .map_err(|error| ServiceError::Compile {
+                entry: entry.to_string(),
+                error,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn changes(pairs: &[(&str, &str)]) -> BTreeMap<String, Option<String>> {
+        pairs
+            .iter()
+            .map(|(p, s)| (p.to_string(), Some(s.to_string())))
+            .collect()
+    }
+
+    fn service_with_port_example() -> ConfigeratorService {
+        let mut svc = ConfigeratorService::new();
+        svc.commit_source(
+            "alice",
+            "seed",
+            changes(&[
+                ("shared/app_port.cinc", "APP_PORT = 8089"),
+                (
+                    "app.cconf",
+                    "import \"shared/app_port.cinc\"\nexport_if_last({\"port\": APP_PORT})",
+                ),
+                (
+                    "firewall.cconf",
+                    "import \"shared/app_port.cinc\"\nexport_if_last({\"allow\": [APP_PORT]})",
+                ),
+            ]),
+        )
+        .unwrap();
+        svc
+    }
+
+    #[test]
+    fn commit_compiles_and_stores_artifacts() {
+        let svc = service_with_port_example();
+        assert_eq!(svc.artifact("app").unwrap().json.trim(), "{\n  \"port\": 8089\n}");
+        assert!(svc.artifact("firewall").unwrap().json.contains("8089"));
+        // Sources and compiled JSON are both in git.
+        assert!(svc.repo().exists("source/app.cconf"));
+        assert!(svc.repo().exists("compiled/app.json"));
+    }
+
+    #[test]
+    fn shared_module_change_recompiles_all_dependents_in_one_commit() {
+        let mut svc = service_with_port_example();
+        let report = svc
+            .commit_source(
+                "bob",
+                "bump port",
+                changes(&[("shared/app_port.cinc", "APP_PORT = 9090")]),
+            )
+            .unwrap();
+        // Both dependents recompiled, atomically (single partition → one
+        // commit id).
+        let mut updated = report.updated_configs.clone();
+        updated.sort();
+        assert_eq!(updated, vec!["app", "firewall"]);
+        assert_eq!(report.ripple_recompiles.len(), 2);
+        assert_eq!(report.commits.len(), 1);
+        assert!(svc.artifact("app").unwrap().json.contains("9090"));
+        assert!(svc.artifact("firewall").unwrap().json.contains("9090"));
+    }
+
+    #[test]
+    fn validator_failure_rejects_whole_commit() {
+        let mut svc = ConfigeratorService::new();
+        svc.commit_source(
+            "alice",
+            "seed",
+            changes(&[
+                ("schemas/job.schema", "struct Job { 1: string name 2: i64 mem = 64 }"),
+                (
+                    "schemas/job.cvalidator",
+                    "def validate(cfg):\n    require(cfg.mem >= 64, \"too small\")",
+                ),
+                (
+                    "cache.cconf",
+                    "schema \"schemas/job.schema\"\nexport_if_last(Job { name: \"c\" })",
+                ),
+            ]),
+        )
+        .unwrap();
+        let heads = svc.repo().heads();
+        // A schema-module edit that breaks the validator for the dependent
+        // config rejects the commit entirely.
+        let err = svc
+            .commit_source(
+                "bob",
+                "bad",
+                changes(&[(
+                    "cache.cconf",
+                    "schema \"schemas/job.schema\"\nexport_if_last(Job { name: \"c\", mem: 1 })",
+                )]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Compile { .. }));
+        assert_eq!(svc.repo().heads(), heads, "repository untouched");
+        assert!(svc.artifact("cache").unwrap().json.contains("64"));
+    }
+
+    #[test]
+    fn unchanged_artifacts_are_not_rewritten() {
+        let mut svc = service_with_port_example();
+        // A comment-only change to the shared module recompiles dependents
+        // but produces identical JSON → nothing to distribute.
+        let report = svc
+            .commit_source(
+                "bob",
+                "comment",
+                changes(&[("shared/app_port.cinc", "# note\nAPP_PORT = 8089")]),
+            )
+            .unwrap();
+        assert!(report.updated_configs.is_empty());
+    }
+
+    #[test]
+    fn deleting_entry_removes_artifact() {
+        let mut svc = service_with_port_example();
+        let mut ch = BTreeMap::new();
+        ch.insert("firewall.cconf".to_string(), None);
+        svc.commit_source("bob", "rm", ch).unwrap();
+        assert!(svc.artifact("firewall").is_none());
+        assert!(!svc.repo().exists("compiled/firewall.json"));
+        assert!(!svc.repo().exists("source/firewall.cconf"));
+        // The remaining dependent still recompiles on module changes.
+        let report = svc
+            .commit_source(
+                "bob",
+                "bump",
+                changes(&[("shared/app_port.cinc", "APP_PORT = 7000")]),
+            )
+            .unwrap();
+        assert_eq!(report.updated_configs, vec!["app"]);
+    }
+
+    #[test]
+    fn raw_configs_distribute_verbatim() {
+        let mut svc = ConfigeratorService::new();
+        let report = svc
+            .commit_raw("tool", "auto", "traffic/weights.json", "{\"w\": 3}")
+            .unwrap();
+        assert_eq!(report.updated_configs, vec!["traffic/weights.json"]);
+        assert_eq!(svc.artifact("traffic/weights.json").unwrap().json, "{\"w\": 3}");
+    }
+
+    #[test]
+    fn forbidden_paths_rejected() {
+        let mut svc = ConfigeratorService::new();
+        let mut ch = BTreeMap::new();
+        ch.insert("../etc/passwd".to_string(), Some("x".to_string()));
+        // `classify` only admits source-tree paths.
+        assert!(matches!(
+            svc.commit_source("m", "x", ch),
+            Err(ServiceError::ForbiddenPath(_))
+        ));
+    }
+
+    #[test]
+    fn dependency_service_bookkeeping() {
+        let mut d = DependencyService::default();
+        d.update("a.cconf", vec!["x.cinc".into(), "y.cinc".into()]);
+        d.update("b.cconf", vec!["y.cinc".into()]);
+        assert_eq!(d.dependents_of(["y.cinc"]).len(), 2);
+        assert_eq!(d.dependents_of(["x.cinc"]).len(), 1);
+        d.update("a.cconf", vec!["y.cinc".into()]);
+        assert!(d.dependents_of(["x.cinc"]).is_empty(), "stale edges removed");
+        d.remove("b.cconf");
+        assert_eq!(d.dependents_of(["y.cinc"]).len(), 1);
+        assert_eq!(d.deps_of("a.cconf").unwrap(), &["y.cinc".to_string()]);
+    }
+
+    #[test]
+    fn preview_compiles_without_committing() {
+        let svc = service_with_port_example();
+        let out = svc.preview("app.cconf").unwrap();
+        assert!(out.json.contains("8089"));
+        assert!(svc.preview("missing.cconf").is_err());
+    }
+
+    #[test]
+    fn partitioned_namespace_commits_concurrently_routable() {
+        let mut svc = ConfigeratorService::new();
+        svc.add_partition("source/feed/");
+        let report = svc
+            .commit_source(
+                "alice",
+                "two partitions",
+                changes(&[
+                    ("feed/rank.cconf", "export_if_last({\"model\": 3})"),
+                    ("misc.cconf", "export_if_last({\"v\": 1})"),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(report.commits.len(), 2, "one commit per partition");
+        assert!(svc.artifact("feed/rank").is_some());
+        assert!(svc.artifact("misc").is_some());
+    }
+}

@@ -1,0 +1,188 @@
+//! The git tailer: repository commits → distribution writes.
+//!
+//! "The Git Tailer continuously extracts config changes from the git
+//! repository, and writes them to Zeus for distribution" (§3.4). The
+//! tailer tracks the last commit it has seen per repository partition and,
+//! on each drain, diffs forward to the current head, emitting one update
+//! per changed distributable config (compiled artifacts and raw configs).
+
+use bytes::Bytes;
+use gitstore::multirepo::RepoId;
+use gitstore::object::ObjectId;
+
+use crate::service::{config_name, ConfigeratorService, COMPILED_PREFIX, RAW_PREFIX};
+
+/// One distributable config update extracted from the repository.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigUpdate {
+    /// Distribution path (config name).
+    pub name: String,
+    /// New content; empty when `deleted`.
+    pub data: Bytes,
+    /// Whether the config was removed.
+    pub deleted: bool,
+}
+
+/// The tailer's per-partition cursor.
+#[derive(Debug, Default)]
+pub struct GitTailer {
+    last: Vec<Option<ObjectId>>,
+}
+
+impl GitTailer {
+    /// Creates a tailer that has seen nothing (first drain emits the full
+    /// current state).
+    pub fn new() -> GitTailer {
+        GitTailer::default()
+    }
+
+    /// Extracts updates committed since the previous drain, in partition
+    /// order. Within a partition, per-path changes are coalesced to the
+    /// latest state at head.
+    pub fn drain(&mut self, svc: &ConfigeratorService) -> Vec<ConfigUpdate> {
+        let heads = svc.repo().heads();
+        if self.last.len() < heads.len() {
+            self.last.resize(heads.len(), None);
+        }
+        let mut out = Vec::new();
+        for (i, head) in heads.iter().enumerate() {
+            let Some(head) = head else { continue };
+            if self.last[i] == Some(*head) {
+                continue;
+            }
+            let repo = svc.repo().repo(RepoId(i));
+            let changed: Vec<(String, bool)> = match self.last[i] {
+                Some(prev) => repo
+                    .diff_commits(prev, *head)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|c| (c.path, c.new.is_none()))
+                    .collect(),
+                None => repo
+                    .snapshot(*head)
+                    .unwrap_or_default()
+                    .into_keys()
+                    .map(|p| (p, false))
+                    .collect(),
+            };
+            for (path, deleted) in changed {
+                if !(path.starts_with(COMPILED_PREFIX) || path.starts_with(RAW_PREFIX)) {
+                    continue;
+                }
+                let name = if let Some(stripped) = path.strip_prefix(COMPILED_PREFIX) {
+                    match stripped.strip_suffix(".json") {
+                        Some(n) => n.to_string(),
+                        None => stripped.to_string(),
+                    }
+                } else {
+                    config_name(&path).unwrap_or_else(|| path.clone())
+                };
+                let data = if deleted {
+                    Bytes::new()
+                } else {
+                    repo.read(*head, &path).unwrap_or_default()
+                };
+                out.push(ConfigUpdate {
+                    name,
+                    data,
+                    deleted,
+                });
+            }
+            self.last[i] = Some(*head);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn ch(pairs: &[(&str, &str)]) -> BTreeMap<String, Option<String>> {
+        pairs
+            .iter()
+            .map(|(p, s)| (p.to_string(), Some(s.to_string())))
+            .collect()
+    }
+
+    #[test]
+    fn first_drain_emits_current_state_then_deltas() {
+        let mut svc = ConfigeratorService::new();
+        let mut tailer = GitTailer::new();
+        svc.commit_source("a", "m", ch(&[("one.cconf", "export_if_last(1)")]))
+            .unwrap();
+        let first = tailer.drain(&svc);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].name, "one");
+        assert!(!first[0].deleted);
+        // No changes → nothing to emit.
+        assert!(tailer.drain(&svc).is_empty());
+        // A new commit emits only the delta.
+        svc.commit_source("a", "m", ch(&[("two.cconf", "export_if_last(2)")]))
+            .unwrap();
+        let delta = tailer.drain(&svc);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].name, "two");
+    }
+
+    #[test]
+    fn ripple_recompiles_are_emitted_for_all_dependents() {
+        let mut svc = ConfigeratorService::new();
+        let mut tailer = GitTailer::new();
+        svc.commit_source(
+            "a",
+            "seed",
+            ch(&[
+                ("p.cinc", "V = 1"),
+                ("x.cconf", "import \"p.cinc\"\nexport_if_last(V)"),
+                ("y.cconf", "import \"p.cinc\"\nexport_if_last(V + 1)"),
+            ]),
+        )
+        .unwrap();
+        tailer.drain(&svc);
+        svc.commit_source("a", "bump", ch(&[("p.cinc", "V = 10")]))
+            .unwrap();
+        let mut names: Vec<String> = tailer.drain(&svc).into_iter().map(|u| u.name).collect();
+        names.sort();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn raw_configs_and_deletions_flow_through() {
+        let mut svc = ConfigeratorService::new();
+        let mut tailer = GitTailer::new();
+        svc.commit_raw("tool", "m", "traffic.json", "{\"w\":1}").unwrap();
+        let ups = tailer.drain(&svc);
+        assert_eq!(ups[0].name, "traffic.json");
+        assert_eq!(&ups[0].data[..], b"{\"w\":1}");
+        // Delete the source of a compiled config.
+        svc.commit_source("a", "m", ch(&[("z.cconf", "export_if_last(9)")]))
+            .unwrap();
+        tailer.drain(&svc);
+        let mut del = BTreeMap::new();
+        del.insert("z.cconf".to_string(), None);
+        svc.commit_source("a", "rm", del).unwrap();
+        let ups = tailer.drain(&svc);
+        let z = ups.iter().find(|u| u.name == "z").unwrap();
+        assert!(z.deleted);
+    }
+
+    #[test]
+    fn partitions_get_independent_cursors() {
+        let mut svc = ConfigeratorService::new();
+        svc.add_partition("source/feed/");
+        svc.add_partition("compiled/feed/");
+        let mut tailer = GitTailer::new();
+        svc.commit_source("a", "m", ch(&[("feed/r.cconf", "export_if_last(1)")]))
+            .unwrap();
+        let ups = tailer.drain(&svc);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].name, "feed/r");
+        svc.commit_source("a", "m", ch(&[("misc.cconf", "export_if_last(2)")]))
+            .unwrap();
+        let ups = tailer.drain(&svc);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].name, "misc");
+    }
+}

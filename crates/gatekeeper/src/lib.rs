@@ -1,0 +1,57 @@
+//! # gatekeeper — feature gating and A/B experiments
+//!
+//! Reproduction of Gatekeeper (§4 of *Holistic Configuration Management at
+//! Facebook*, SOSP 2015): the tool that "helps mitigate the risk [of
+//! frequent software releases] by managing code rollouts through online
+//! config changes".
+//!
+//! * [`restraint`] — statically implemented predicates ("restraints"),
+//!   dynamically composed through configuration, negation built in.
+//! * [`project`] — the DNF gating logic (Figure 5), stored as a JSON
+//!   config that Configerator distributes.
+//! * [`runtime`] — `gk_check(project, user)` with deterministic per-user
+//!   sampling and SQL-style cost-based reordering of restraint evaluation.
+//! * [`experiment`] — A/B parameter experiments with deterministic group
+//!   assignment and winner analysis.
+//! * Integrates [`laser`] for data-backed restraints (`laser()`, §4).
+//!
+//! # Examples
+//!
+//! ```
+//! use gatekeeper::prelude::*;
+//!
+//! // "Initially Gatekeeper may only enable the product feature to the
+//! // engineers developing the feature. Then ... 1% → 10% → 100%" (§4).
+//! let mut rt = Runtime::new(laser::Laser::new(64));
+//! rt.update_project(Project::new(
+//!     "ProjectX",
+//!     vec![
+//!         Rule::new(vec![RestraintSpec::of(RestraintKind::Employee)], 1.0),
+//!         Rule::new(vec![RestraintSpec::of(RestraintKind::Always)], 0.01),
+//!     ],
+//! ));
+//!
+//! let engineer = UserContext::with_id(7).employee(true);
+//! assert!(rt.check("ProjectX", &engineer));
+//!
+//! // Expanding the rollout is just a config update.
+//! rt.update_project(Project::fraction_launch("ProjectX", 1.0));
+//! assert!(rt.check("ProjectX", &UserContext::with_id(123456)));
+//! ```
+
+pub mod context;
+pub mod experiment;
+pub mod project;
+pub mod restraint;
+pub mod runtime;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::context::{user_sample, UserContext};
+    pub use crate::experiment::{Experiment, ExperimentResults, Group, ParamValue};
+    pub use crate::project::{Project, Rule};
+    pub use crate::restraint::{RestraintKind, RestraintSpec};
+    pub use crate::runtime::{Runtime, RuntimeStats};
+}
+
+pub use prelude::*;

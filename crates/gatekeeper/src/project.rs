@@ -1,0 +1,124 @@
+//! Gatekeeper projects: the DNF gating logic stored as a config.
+//!
+//! "A Gatekeeper project's control logic is actually stored as a config
+//! that can be changed live without a code upgrade" (§4). A project is a
+//! series of if-then-else rules (Figure 5): each rule is a conjunction of
+//! restraints plus a pass probability; the first rule whose restraints all
+//! hold decides the outcome by sampling. Together with per-restraint
+//! negation this has "the full expressive power of DNF".
+
+use serde::{Deserialize, Serialize};
+
+use crate::restraint::RestraintSpec;
+
+/// One `if`-arm of the gating logic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Conjunction of restraints; all must pass for the rule to fire.
+    pub restraints: Vec<RestraintSpec>,
+    /// Probability in `[0, 1]` that a user matching the restraints passes
+    /// the gate (the `rand(user_id) < pass_prob` of Figure 5).
+    pub pass_prob: f64,
+}
+
+impl Rule {
+    /// A rule with the given restraints and pass probability (clamped to
+    /// `[0, 1]`).
+    pub fn new(restraints: Vec<RestraintSpec>, pass_prob: f64) -> Rule {
+        Rule {
+            restraints,
+            pass_prob: pass_prob.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A Gatekeeper project: named gating logic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Project {
+    /// Project name (e.g. `"ProjectX"`).
+    pub name: String,
+    /// Rules evaluated in order; the first whose restraints all pass
+    /// decides by sampling. No match → gate fails.
+    pub rules: Vec<Rule>,
+}
+
+impl Project {
+    /// Creates a project.
+    pub fn new(name: &str, rules: Vec<Rule>) -> Project {
+        Project {
+            name: name.to_string(),
+            rules,
+        }
+    }
+
+    /// A project that simply launches to a fraction of all users.
+    pub fn fraction_launch(name: &str, fraction: f64) -> Project {
+        Project::new(
+            name,
+            vec![Rule::new(
+                vec![RestraintSpec::of(crate::restraint::RestraintKind::Always)],
+                fraction,
+            )],
+        )
+    }
+
+    /// Serializes the project as the JSON config stored in Configerator.
+    pub fn to_config_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("project serializes")
+    }
+
+    /// Parses a project from its JSON config.
+    pub fn from_config_json(json: &str) -> Result<Project, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restraint::RestraintKind;
+
+    #[test]
+    fn json_round_trip() {
+        let p = Project::new(
+            "ProjectX",
+            vec![
+                Rule::new(
+                    vec![
+                        RestraintSpec::of(RestraintKind::Employee),
+                        RestraintSpec::of(RestraintKind::Country(vec!["US".into()])),
+                    ],
+                    0.1,
+                ),
+                Rule::new(
+                    vec![RestraintSpec::not(RestraintKind::NewUser)],
+                    0.01,
+                ),
+            ],
+        );
+        let json = p.to_config_json();
+        let back = Project::from_config_json(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(Project::from_config_json("{").is_err());
+        assert!(Project::from_config_json("{\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn pass_prob_clamped() {
+        let r = Rule::new(vec![], 1.7);
+        assert_eq!(r.pass_prob, 1.0);
+        let r = Rule::new(vec![], -0.3);
+        assert_eq!(r.pass_prob, 0.0);
+    }
+
+    #[test]
+    fn fraction_launch_shape() {
+        let p = Project::fraction_launch("L", 0.25);
+        assert_eq!(p.rules.len(), 1);
+        assert_eq!(p.rules[0].pass_prob, 0.25);
+    }
+}

@@ -1,0 +1,312 @@
+//! Restraints: the predicates gating logic is composed from.
+//!
+//! "Internally, a restraint is statically implemented in PHP or C++.
+//! Currently, hundreds of restraints have been implemented, which are used
+//! to compose tens of thousands of Gatekeeper projects" (§4). Here each
+//! restraint kind is a variant of [`RestraintSpec`] — statically
+//! implemented in Rust, dynamically composed through configuration. "The
+//! negation operator is built inside each restraint", so every spec carries
+//! a `negate` flag.
+//!
+//! Each kind declares a static `base_cost` (in [`laser::cost`]-compatible
+//! units); the runtime refines selectivity estimates from execution
+//! statistics and uses both for cost-based reordering.
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::UserContext;
+use laser::Laser;
+
+/// A configured restraint: a predicate kind plus the negation flag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestraintSpec {
+    /// The predicate.
+    pub kind: RestraintKind,
+    /// Whether the result is negated.
+    #[serde(default)]
+    pub negate: bool,
+}
+
+impl RestraintSpec {
+    /// Wraps a kind without negation.
+    pub fn of(kind: RestraintKind) -> RestraintSpec {
+        RestraintSpec {
+            kind,
+            negate: false,
+        }
+    }
+
+    /// Wraps a kind with negation.
+    pub fn not(kind: RestraintKind) -> RestraintSpec {
+        RestraintSpec { kind, negate: true }
+    }
+
+    /// Evaluates the restraint. `laser` serves the data-backed kinds.
+    pub fn eval(&self, ctx: &UserContext, laser: &mut Laser) -> bool {
+        let v = self.kind.eval(ctx, laser);
+        v ^ self.negate
+    }
+
+    /// Static cost estimate in cost units.
+    pub fn base_cost(&self) -> u64 {
+        self.kind.base_cost()
+    }
+
+    /// A short stable label for stats and display.
+    pub fn label(&self) -> String {
+        let base = self.kind.label();
+        if self.negate {
+            format!("not {base}")
+        } else {
+            base
+        }
+    }
+}
+
+/// The statically implemented predicate kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RestraintKind {
+    /// User is a Facebook employee.
+    Employee,
+    /// User's country is in the list.
+    Country(Vec<String>),
+    /// User's locale is in the list.
+    Locale(Vec<String>),
+    /// User is on one of these mobile apps.
+    MobileApp(Vec<String>),
+    /// User's device model is in the list.
+    DeviceModel(Vec<String>),
+    /// App version is at least (major, minor).
+    MinAppVersion(u32, u32),
+    /// Account was created recently.
+    NewUser,
+    /// Friend count is at least this.
+    MinFriends(u32),
+    /// Friend count is at most this.
+    MaxFriends(u32),
+    /// Account age in days is at least this.
+    MinAccountAgeDays(u32),
+    /// User id is in the explicit list (the `ID()` restraint used during
+    /// early development, §4).
+    IdList(Vec<u64>),
+    /// `user_id % modulus == remainder` (deterministic cohorting).
+    IdMod {
+        /// The modulus.
+        modulus: u64,
+        /// The required remainder.
+        remainder: u64,
+    },
+    /// Extension attribute equals a value.
+    AttrEquals(String, String),
+    /// The `laser()` restraint: passes if
+    /// `laser.get(dataset, "$project-$user_id") > threshold` (§4).
+    Laser {
+        /// Laser dataset name.
+        dataset: String,
+        /// Key prefix (the Gatekeeper project name by convention).
+        project: String,
+        /// Pass threshold.
+        threshold: f64,
+    },
+    /// Always passes (useful as a rule that gates purely on sampling).
+    Always,
+}
+
+impl RestraintKind {
+    /// Evaluates the predicate.
+    pub fn eval(&self, ctx: &UserContext, laser: &mut Laser) -> bool {
+        match self {
+            RestraintKind::Employee => ctx.employee,
+            RestraintKind::Country(list) => list.contains(&ctx.country),
+            RestraintKind::Locale(list) => list.contains(&ctx.locale),
+            RestraintKind::MobileApp(list) => ctx
+                .mobile_app
+                .as_ref()
+                .is_some_and(|a| list.iter().any(|x| x == a)),
+            RestraintKind::DeviceModel(list) => ctx
+                .device
+                .as_ref()
+                .is_some_and(|d| list.iter().any(|x| x == d)),
+            RestraintKind::MinAppVersion(maj, min) => ctx
+                .app_version
+                .is_some_and(|(a, b)| (a, b) >= (*maj, *min)),
+            RestraintKind::NewUser => ctx.new_user,
+            RestraintKind::MinFriends(n) => ctx.friend_count >= *n,
+            RestraintKind::MaxFriends(n) => ctx.friend_count <= *n,
+            RestraintKind::MinAccountAgeDays(n) => ctx.account_age_days >= *n,
+            RestraintKind::IdList(ids) => ids.contains(&ctx.user_id),
+            RestraintKind::IdMod { modulus, remainder } => {
+                *modulus != 0 && ctx.user_id % modulus == *remainder
+            }
+            RestraintKind::AttrEquals(k, v) => ctx.attrs.get(k).is_some_and(|x| x == v),
+            RestraintKind::Laser {
+                dataset,
+                project,
+                threshold,
+            } => laser
+                .get_project_user(dataset, project, ctx.user_id)
+                .is_some_and(|v| v > *threshold),
+            RestraintKind::Always => true,
+        }
+    }
+
+    /// Static cost estimate. In-memory field checks are cheap; list scans
+    /// scale with length; Laser pays a store read (the "computationally
+    /// too expensive to execute realtime" data path of §4 is priced in).
+    pub fn base_cost(&self) -> u64 {
+        match self {
+            RestraintKind::Employee
+            | RestraintKind::NewUser
+            | RestraintKind::MinFriends(_)
+            | RestraintKind::MaxFriends(_)
+            | RestraintKind::MinAccountAgeDays(_)
+            | RestraintKind::MinAppVersion(..)
+            | RestraintKind::IdMod { .. }
+            | RestraintKind::Always => 1,
+            RestraintKind::Country(l) | RestraintKind::Locale(l) | RestraintKind::MobileApp(l)
+            | RestraintKind::DeviceModel(l) => 1 + l.len() as u64 / 64,
+            RestraintKind::AttrEquals(..) => 2,
+            RestraintKind::IdList(ids) => 1 + ids.len() as u64 / 64,
+            RestraintKind::Laser { .. } => laser::cost::FLASH_READ * 4,
+        }
+    }
+
+    /// Short stable label.
+    pub fn label(&self) -> String {
+        match self {
+            RestraintKind::Employee => "employee".into(),
+            RestraintKind::Country(_) => "country".into(),
+            RestraintKind::Locale(_) => "locale".into(),
+            RestraintKind::MobileApp(_) => "mobile_app".into(),
+            RestraintKind::DeviceModel(_) => "device".into(),
+            RestraintKind::MinAppVersion(a, b) => format!("app_version>={a}.{b}"),
+            RestraintKind::NewUser => "new_user".into(),
+            RestraintKind::MinFriends(n) => format!("friends>={n}"),
+            RestraintKind::MaxFriends(n) => format!("friends<={n}"),
+            RestraintKind::MinAccountAgeDays(n) => format!("age_days>={n}"),
+            RestraintKind::IdList(_) => "id_list".into(),
+            RestraintKind::IdMod { modulus, remainder } => {
+                format!("id%{modulus}=={remainder}")
+            }
+            RestraintKind::AttrEquals(k, _) => format!("attr:{k}"),
+            RestraintKind::Laser { dataset, .. } => format!("laser:{dataset}"),
+            RestraintKind::Always => "always".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laser() -> Laser {
+        Laser::new(16)
+    }
+
+    fn ctx() -> UserContext {
+        UserContext::with_id(42)
+            .employee(true)
+            .country("US")
+            .device("Pixel 6")
+            .mobile_app("messenger")
+    }
+
+    #[test]
+    fn field_restraints() {
+        let mut l = laser();
+        let c = ctx();
+        assert!(RestraintSpec::of(RestraintKind::Employee).eval(&c, &mut l));
+        assert!(!RestraintSpec::not(RestraintKind::Employee).eval(&c, &mut l));
+        assert!(RestraintSpec::of(RestraintKind::Country(vec!["BR".into(), "US".into()]))
+            .eval(&c, &mut l));
+        assert!(!RestraintSpec::of(RestraintKind::Country(vec!["BR".into()])).eval(&c, &mut l));
+        assert!(RestraintSpec::of(RestraintKind::DeviceModel(vec!["Pixel 6".into()]))
+            .eval(&c, &mut l));
+        assert!(RestraintSpec::of(RestraintKind::MobileApp(vec!["messenger".into()]))
+            .eval(&c, &mut l));
+    }
+
+    #[test]
+    fn numeric_restraints() {
+        let mut l = laser();
+        let mut c = ctx();
+        c.friend_count = 100;
+        c.account_age_days = 30;
+        c.app_version = Some((12, 4));
+        assert!(RestraintSpec::of(RestraintKind::MinFriends(100)).eval(&c, &mut l));
+        assert!(!RestraintSpec::of(RestraintKind::MinFriends(101)).eval(&c, &mut l));
+        assert!(RestraintSpec::of(RestraintKind::MaxFriends(100)).eval(&c, &mut l));
+        assert!(RestraintSpec::of(RestraintKind::MinAccountAgeDays(30)).eval(&c, &mut l));
+        assert!(RestraintSpec::of(RestraintKind::MinAppVersion(12, 4)).eval(&c, &mut l));
+        assert!(RestraintSpec::of(RestraintKind::MinAppVersion(11, 9)).eval(&c, &mut l));
+        assert!(!RestraintSpec::of(RestraintKind::MinAppVersion(12, 5)).eval(&c, &mut l));
+    }
+
+    #[test]
+    fn id_restraints() {
+        let mut l = laser();
+        let c = ctx();
+        assert!(RestraintSpec::of(RestraintKind::IdList(vec![41, 42])).eval(&c, &mut l));
+        assert!(!RestraintSpec::of(RestraintKind::IdList(vec![7])).eval(&c, &mut l));
+        assert!(RestraintSpec::of(RestraintKind::IdMod {
+            modulus: 10,
+            remainder: 2
+        })
+        .eval(&c, &mut l));
+        // Zero modulus never passes (and never divides by zero).
+        assert!(!RestraintSpec::of(RestraintKind::IdMod {
+            modulus: 0,
+            remainder: 0
+        })
+        .eval(&c, &mut l));
+    }
+
+    #[test]
+    fn laser_restraint_threshold() {
+        let mut l = laser();
+        l.load_dataset("trending", vec![("ProjX-42".into(), 0.8)]);
+        let c = ctx();
+        let pass = RestraintKind::Laser {
+            dataset: "trending".into(),
+            project: "ProjX".into(),
+            threshold: 0.5,
+        };
+        let fail_thresh = RestraintKind::Laser {
+            dataset: "trending".into(),
+            project: "ProjX".into(),
+            threshold: 0.9,
+        };
+        assert!(RestraintSpec::of(pass).eval(&c, &mut l));
+        assert!(!RestraintSpec::of(fail_thresh).eval(&c, &mut l));
+        // Missing key fails.
+        let other_user = UserContext::with_id(7);
+        let kind = RestraintKind::Laser {
+            dataset: "trending".into(),
+            project: "ProjX".into(),
+            threshold: 0.5,
+        };
+        assert!(!RestraintSpec::of(kind).eval(&other_user, &mut l));
+    }
+
+    #[test]
+    fn costs_order_sensibly() {
+        let cheap = RestraintKind::Employee.base_cost();
+        let list = RestraintKind::IdList((0..1000).collect()).base_cost();
+        let data = RestraintKind::Laser {
+            dataset: "d".into(),
+            project: "p".into(),
+            threshold: 0.0,
+        }
+        .base_cost();
+        assert!(cheap < list);
+        assert!(list < data);
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let spec = RestraintSpec::not(RestraintKind::Country(vec!["US".into()]));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: RestraintSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,447 @@
+//! The Gatekeeper runtime: live projects, check evaluation, and the
+//! cost-based boolean-tree optimizer.
+//!
+//! "The Gatekeeper runtime reads the config and builds a boolean tree to
+//! represent the gating logic. Similar to how an SQL engine performs
+//! cost-based optimization, the Gatekeeper runtime can leverage execution
+//! statistics (e.g., the execution time of a restraint and its probability
+//! of returning true) to guide efficient evaluation of the boolean tree"
+//! (§4).
+//!
+//! Within a rule (a conjunction), restraints are reordered by ascending
+//! `cost / P(false)` — the classic optimal ordering for short-circuit AND:
+//! cheap, likely-to-fail predicates run first. Statistics are collected per
+//! restraint and the ordering is refreshed periodically; the optimizer can
+//! be disabled for the ablation benchmark.
+
+use std::collections::HashMap;
+
+use laser::Laser;
+
+use crate::context::{user_sample, UserContext};
+use crate::project::Project;
+
+/// Execution statistics for one restraint position.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RestraintStats {
+    /// Times evaluated.
+    pub evals: u64,
+    /// Times it returned true.
+    pub trues: u64,
+    /// Total cost units spent on it.
+    pub cost_units: u64,
+}
+
+impl RestraintStats {
+    /// Smoothed estimate of `P(true)` (Laplace +1/+2).
+    pub fn p_true(&self) -> f64 {
+        (self.trues as f64 + 1.0) / (self.evals as f64 + 2.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    /// Evaluation order as indices into the rule's restraint list.
+    order: Vec<usize>,
+    stats: Vec<RestraintStats>,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledProject {
+    project: Project,
+    rules: Vec<CompiledRule>,
+    checks: u64,
+    passes: u64,
+}
+
+/// Aggregate runtime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Total `check` calls.
+    pub checks: u64,
+    /// Total restraint evaluations.
+    pub restraint_evals: u64,
+    /// Total cost units spent evaluating restraints.
+    pub cost_units: u64,
+}
+
+/// The Gatekeeper runtime embedded in every frontend server (HHVM
+/// extension in the paper; a library here).
+pub struct Runtime {
+    projects: HashMap<String, CompiledProject>,
+    laser: Laser,
+    optimize: bool,
+    reoptimize_every: u64,
+    stats: RuntimeStats,
+}
+
+impl Runtime {
+    /// Creates a runtime with an embedded Laser store.
+    pub fn new(laser: Laser) -> Runtime {
+        Runtime {
+            projects: HashMap::new(),
+            laser,
+            optimize: true,
+            reoptimize_every: 4096,
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// Enables or disables cost-based reordering (ablation hook). When
+    /// disabled, restraints run in declaration order.
+    pub fn set_optimize(&mut self, on: bool) {
+        self.optimize = on;
+        if !on {
+            for p in self.projects.values_mut() {
+                for (rule, compiled) in p.project.rules.iter().zip(p.rules.iter_mut()) {
+                    compiled.order = (0..rule.restraints.len()).collect();
+                }
+            }
+        }
+    }
+
+    /// Sets how many checks pass between optimizer refreshes.
+    pub fn set_reoptimize_every(&mut self, n: u64) {
+        self.reoptimize_every = n.max(1);
+    }
+
+    /// Installs or replaces a project (a live config update). Statistics
+    /// for the project reset.
+    pub fn update_project(&mut self, project: Project) {
+        let rules = project
+            .rules
+            .iter()
+            .map(|r| CompiledRule {
+                order: (0..r.restraints.len()).collect(),
+                stats: vec![RestraintStats::default(); r.restraints.len()],
+            })
+            .collect();
+        self.projects.insert(
+            project.name.clone(),
+            CompiledProject {
+                project,
+                rules,
+                checks: 0,
+                passes: 0,
+            },
+        );
+    }
+
+    /// Installs a project from its JSON config (as delivered by
+    /// Configerator).
+    pub fn update_project_json(&mut self, json: &str) -> Result<(), String> {
+        let p = Project::from_config_json(json)?;
+        self.update_project(p);
+        Ok(())
+    }
+
+    /// Removes a project. Subsequent checks return false.
+    pub fn remove_project(&mut self, name: &str) {
+        self.projects.remove(name);
+    }
+
+    /// Returns whether `name` is installed.
+    pub fn has_project(&self, name: &str) -> bool {
+        self.projects.contains_key(name)
+    }
+
+    /// Mutable access to the embedded Laser store (for pipelines).
+    pub fn laser_mut(&mut self) -> &mut Laser {
+        &mut self.laser
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// `(checks, passes)` for one project.
+    pub fn project_counters(&self, name: &str) -> Option<(u64, u64)> {
+        self.projects.get(name).map(|p| (p.checks, p.passes))
+    }
+
+    /// The paper's `gk_check(project, user)` (Figure 4): evaluates the
+    /// project's gating logic for the user. Unknown projects fail closed.
+    pub fn check(&mut self, project: &str, ctx: &UserContext) -> bool {
+        self.stats.checks += 1;
+        let Some(compiled) = self.projects.get_mut(project) else {
+            return false;
+        };
+        compiled.checks += 1;
+        let mut outcome = false;
+        'rules: for (rule, crule) in compiled
+            .project
+            .rules
+            .iter()
+            .zip(compiled.rules.iter_mut())
+        {
+            let mut all = true;
+            for &idx in &crule.order {
+                let spec = &rule.restraints[idx];
+                let cost = spec.base_cost();
+                let v = spec.eval(ctx, &mut self.laser);
+                let st = &mut crule.stats[idx];
+                st.evals += 1;
+                st.cost_units += cost;
+                if v {
+                    st.trues += 1;
+                }
+                self.stats.restraint_evals += 1;
+                self.stats.cost_units += cost;
+                if !v {
+                    all = false;
+                    break;
+                }
+            }
+            if all {
+                // "Cast the die to decide pass or fail" (Figure 5) —
+                // deterministic per (project, user).
+                outcome = user_sample(project, ctx.user_id) < rule.pass_prob;
+                break 'rules;
+            }
+        }
+        if outcome {
+            compiled.passes += 1;
+        }
+        if self.optimize && compiled.checks % self.reoptimize_every == 0 {
+            Self::reoptimize(compiled);
+        }
+        outcome
+    }
+
+    /// Reorders every rule's restraints by ascending `cost / P(false)`.
+    fn reoptimize(compiled: &mut CompiledProject) {
+        for (rule, crule) in compiled
+            .project
+            .rules
+            .iter()
+            .zip(compiled.rules.iter_mut())
+        {
+            let mut scored: Vec<(usize, f64)> = (0..rule.restraints.len())
+                .map(|i| {
+                    let st = &crule.stats[i];
+                    let cost = if st.evals > 0 {
+                        st.cost_units as f64 / st.evals as f64
+                    } else {
+                        rule.restraints[i].base_cost() as f64
+                    };
+                    let p_false = 1.0 - st.p_true();
+                    let score = if p_false <= f64::EPSILON {
+                        f64::INFINITY
+                    } else {
+                        cost / p_false
+                    };
+                    (i, score)
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            crule.order = scored.into_iter().map(|(i, _)| i).collect();
+        }
+    }
+
+    /// Forces an immediate optimizer pass over every project.
+    pub fn optimize_now(&mut self) {
+        if self.optimize {
+            for p in self.projects.values_mut() {
+                Self::reoptimize(p);
+            }
+        }
+    }
+
+    /// The current evaluation order of a rule (for tests/inspection).
+    pub fn rule_order(&self, project: &str, rule: usize) -> Option<Vec<usize>> {
+        self.projects
+            .get(project)
+            .and_then(|p| p.rules.get(rule))
+            .map(|r| r.order.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::project::Rule;
+    use crate::restraint::{RestraintKind, RestraintSpec};
+
+    fn runtime() -> Runtime {
+        Runtime::new(Laser::new(64))
+    }
+
+    fn employee_project(prob: f64) -> Project {
+        Project::new(
+            "P",
+            vec![Rule::new(vec![RestraintSpec::of(RestraintKind::Employee)], prob)],
+        )
+    }
+
+    #[test]
+    fn unknown_project_fails_closed() {
+        let mut rt = runtime();
+        assert!(!rt.check("ghost", &UserContext::with_id(1)));
+    }
+
+    #[test]
+    fn restraints_gate_then_sampling_decides() {
+        let mut rt = runtime();
+        rt.update_project(employee_project(1.0));
+        let emp = UserContext::with_id(1).employee(true);
+        let civ = UserContext::with_id(1).employee(false);
+        assert!(rt.check("P", &emp));
+        assert!(!rt.check("P", &civ));
+        // prob 0 never passes even when restraints match.
+        rt.update_project(employee_project(0.0));
+        assert!(!rt.check("P", &emp));
+    }
+
+    #[test]
+    fn sampling_fraction_is_approximately_respected() {
+        let mut rt = runtime();
+        rt.update_project(Project::fraction_launch("L", 0.1));
+        let n = 20_000;
+        let passes = (0..n)
+            .filter(|&u| rt.check("L", &UserContext::with_id(u)))
+            .count();
+        let frac = passes as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn rollout_expansion_is_monotone() {
+        // Expanding 1% → 10% keeps every previously-passing user passing
+        // (stickiness of the deterministic die).
+        let mut rt = runtime();
+        rt.update_project(Project::fraction_launch("L", 0.01));
+        let at_1: Vec<u64> = (0..50_000)
+            .filter(|&u| rt.check("L", &UserContext::with_id(u)))
+            .collect();
+        rt.update_project(Project::fraction_launch("L", 0.10));
+        for &u in &at_1 {
+            assert!(rt.check("L", &UserContext::with_id(u)));
+        }
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        // Employees gated at 100%, everyone else at 0%.
+        let p = Project::new(
+            "P",
+            vec![
+                Rule::new(vec![RestraintSpec::of(RestraintKind::Employee)], 1.0),
+                Rule::new(vec![RestraintSpec::of(RestraintKind::Always)], 0.0),
+            ],
+        );
+        let mut rt = runtime();
+        rt.update_project(p);
+        assert!(rt.check("P", &UserContext::with_id(5).employee(true)));
+        assert!(!rt.check("P", &UserContext::with_id(5)));
+    }
+
+    #[test]
+    fn live_update_changes_behavior() {
+        let mut rt = runtime();
+        rt.update_project(Project::fraction_launch("L", 0.0));
+        let u = UserContext::with_id(3);
+        assert!(!rt.check("L", &u));
+        rt.update_project_json(&Project::fraction_launch("L", 1.0).to_config_json())
+            .unwrap();
+        assert!(rt.check("L", &u));
+        rt.remove_project("L");
+        assert!(!rt.check("L", &u));
+    }
+
+    #[test]
+    fn optimizer_moves_cheap_selective_restraint_first() {
+        // Rule: [expensive laser (always true), cheap employee (mostly
+        // false)] — the optimizer must flip the order.
+        let mut laser = Laser::new(1024);
+        let entries: Vec<(String, f64)> = (0..1000u64).map(|u| (format!("P-{u}"), 1.0)).collect();
+        laser.load_dataset("d", entries);
+        let mut rt = Runtime::new(laser);
+        rt.set_reoptimize_every(200);
+        rt.update_project(Project::new(
+            "P",
+            vec![Rule::new(
+                vec![
+                    RestraintSpec::of(RestraintKind::Laser {
+                        dataset: "d".into(),
+                        project: "P".into(),
+                        threshold: 0.5,
+                    }),
+                    RestraintSpec::of(RestraintKind::Employee),
+                ],
+                1.0,
+            )],
+        ));
+        assert_eq!(rt.rule_order("P", 0).unwrap(), vec![0, 1]);
+        for u in 0..1000u64 {
+            // 1 in 50 users is an employee.
+            let ctx = UserContext::with_id(u).employee(u % 50 == 0);
+            rt.check("P", &ctx);
+        }
+        assert_eq!(
+            rt.rule_order("P", 0).unwrap(),
+            vec![1, 0],
+            "cheap+selective employee check must now run first"
+        );
+    }
+
+    #[test]
+    fn optimizer_reduces_cost() {
+        let build = || {
+            let mut laser = Laser::new(4096);
+            let entries: Vec<(String, f64)> =
+                (0..2000u64).map(|u| (format!("P-{u}"), 1.0)).collect();
+            laser.load_dataset("d", entries);
+            let mut rt = Runtime::new(laser);
+            rt.update_project(Project::new(
+                "P",
+                vec![Rule::new(
+                    vec![
+                        RestraintSpec::of(RestraintKind::Laser {
+                            dataset: "d".into(),
+                            project: "P".into(),
+                            threshold: 0.5,
+                        }),
+                        RestraintSpec::of(RestraintKind::Employee),
+                    ],
+                    1.0,
+                )],
+            ));
+            rt
+        };
+        let run = |mut rt: Runtime| {
+            for u in 0..2000u64 {
+                let ctx = UserContext::with_id(u).employee(u % 100 == 0);
+                rt.check("P", &ctx);
+            }
+            rt.stats().cost_units
+        };
+        let mut unopt = build();
+        unopt.set_optimize(false);
+        let cost_unopt = run(unopt);
+        let mut opt = build();
+        opt.set_reoptimize_every(128);
+        let cost_opt = run(opt);
+        assert!(
+            cost_opt * 2 < cost_unopt,
+            "optimized {cost_opt} vs unoptimized {cost_unopt}"
+        );
+    }
+
+    #[test]
+    fn counters_track_checks_and_passes() {
+        let mut rt = runtime();
+        rt.update_project(employee_project(1.0));
+        for u in 0..10 {
+            rt.check("P", &UserContext::with_id(u).employee(u % 2 == 0));
+        }
+        let (checks, passes) = rt.project_counters("P").unwrap();
+        assert_eq!(checks, 10);
+        assert_eq!(passes, 5);
+        assert_eq!(rt.stats().checks, 10);
+    }
+}

@@ -1,0 +1,231 @@
+//! Working clones and the stale-push behaviour that causes commit
+//! contention.
+//!
+//! Section 3.6 of the paper: when an engineer pushes a diff, git first
+//! checks that the local clone is up to date with the shared repository —
+//! even if the two diffs touch *different files*, a push from a stale clone
+//! is rejected and the engineer must sync (which "may take 10s of seconds")
+//! and retry. [`WorkClone::push`] reproduces exactly that protocol; the
+//! landing strip (in the `configerator` crate) exists to avoid it.
+
+use std::fmt;
+
+use crate::object::ObjectId;
+use crate::repo::{Change, CommitOutcome, Error, Repository};
+
+/// A proposed change set based on a specific remote head, i.e. a "diff" in
+/// the paper's terminology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diff {
+    /// The remote head the author's clone was synced to when the diff was
+    /// produced (`None` for a diff against the empty repository).
+    pub base: Option<ObjectId>,
+    /// Author identity.
+    pub author: String,
+    /// Commit message.
+    pub message: String,
+    /// The staged changes.
+    pub changes: Vec<Change>,
+}
+
+impl Diff {
+    /// Returns the set of paths this diff touches.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.changes.iter().map(Change::path)
+    }
+}
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError {
+    /// The clone is stale: the remote head moved since the last sync. The
+    /// author must sync and retry (git's behaviour even when the concurrent
+    /// commits touch unrelated files).
+    Stale {
+        /// The remote's current head.
+        remote_head: Option<ObjectId>,
+    },
+    /// The underlying commit failed (invalid path, delete of missing file…).
+    Commit(Error),
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Stale { remote_head } => match remote_head {
+                Some(h) => write!(f, "stale clone: remote head moved to {}", h.short()),
+                None => write!(f, "stale clone: remote head moved"),
+            },
+            PushError::Commit(e) => write!(f, "commit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// An engineer's local clone of the shared repository.
+///
+/// # Examples
+///
+/// ```
+/// use gitstore::clone::{PushError, WorkClone};
+/// use gitstore::repo::{Change, Repository};
+///
+/// let mut shared = Repository::new();
+/// let mut alice = WorkClone::of(&shared);
+/// let mut bob = WorkClone::of(&shared);
+///
+/// alice.stage(Change::put("a.json", "1"));
+/// alice.push(&mut shared, "alice", "add a", 10).unwrap();
+///
+/// // Bob's clone is now stale — even though he touches a different file.
+/// bob.stage(Change::put("b.json", "2"));
+/// assert!(matches!(
+///     bob.push(&mut shared, "bob", "add b", 11),
+///     Err(PushError::Stale { .. })
+/// ));
+///
+/// // After syncing, the push succeeds.
+/// bob.sync(&shared);
+/// bob.push(&mut shared, "bob", "add b", 12).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkClone {
+    base: Option<ObjectId>,
+    staged: Vec<Change>,
+}
+
+impl WorkClone {
+    /// Clones the shared repository at its current head.
+    pub fn of(repo: &Repository) -> WorkClone {
+        WorkClone {
+            base: repo.head(),
+            staged: Vec::new(),
+        }
+    }
+
+    /// The remote head this clone last synced to.
+    pub fn base(&self) -> Option<ObjectId> {
+        self.base
+    }
+
+    /// Stages a change in the working copy.
+    pub fn stage(&mut self, change: Change) {
+        self.staged.push(change);
+    }
+
+    /// Number of staged changes.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Brings the clone up to date with the shared repository. Staged
+    /// changes are kept (they will be committed on top of the new base).
+    pub fn sync(&mut self, repo: &Repository) {
+        self.base = repo.head();
+    }
+
+    /// Returns whether the clone is up to date with `repo`.
+    pub fn is_fresh(&self, repo: &Repository) -> bool {
+        self.base == repo.head()
+    }
+
+    /// Packages the staged changes as a [`Diff`] (for submission to a
+    /// landing strip) without clearing them.
+    pub fn diff(&self, author: &str, message: &str) -> Diff {
+        Diff {
+            base: self.base,
+            author: author.to_string(),
+            message: message.to_string(),
+            changes: self.staged.clone(),
+        }
+    }
+
+    /// Pushes the staged changes directly to the shared repository.
+    ///
+    /// Fails with [`PushError::Stale`] if the remote head moved since the
+    /// last [`WorkClone::sync`], regardless of which files changed. On
+    /// success the staged changes are cleared and the clone is synced to the
+    /// new head.
+    pub fn push(
+        &mut self,
+        repo: &mut Repository,
+        author: &str,
+        message: &str,
+        timestamp: u64,
+    ) -> Result<CommitOutcome, PushError> {
+        if repo.head() != self.base {
+            return Err(PushError::Stale {
+                remote_head: repo.head(),
+            });
+        }
+        let changes = std::mem::take(&mut self.staged);
+        match repo.commit(author, message, timestamp, changes.clone()) {
+            Ok(out) => {
+                self.base = Some(out.id);
+                Ok(out)
+            }
+            Err(e) => {
+                self.staged = changes;
+                Err(PushError::Commit(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_disjoint_pushes_still_conflict() {
+        let mut shared = Repository::new();
+        let mut a = WorkClone::of(&shared);
+        let mut b = WorkClone::of(&shared);
+        a.stage(Change::put("x", "1"));
+        b.stage(Change::put("y", "2"));
+        a.push(&mut shared, "a", "m", 0).unwrap();
+        let err = b.push(&mut shared, "b", "m", 1).unwrap_err();
+        assert!(matches!(err, PushError::Stale { remote_head: Some(_) }));
+        // Staged changes survive the failed push.
+        assert_eq!(b.staged_len(), 1);
+        b.sync(&shared);
+        b.push(&mut shared, "b", "m", 2).unwrap();
+        assert_eq!(shared.file_count(), 2);
+    }
+
+    #[test]
+    fn failed_commit_keeps_staged_changes_and_base() {
+        let mut shared = Repository::new();
+        let mut a = WorkClone::of(&shared);
+        a.stage(Change::delete("missing"));
+        let err = a.push(&mut shared, "a", "m", 0).unwrap_err();
+        assert!(matches!(err, PushError::Commit(Error::NotFound(_))));
+        assert_eq!(a.staged_len(), 1);
+        assert!(a.is_fresh(&shared));
+    }
+
+    #[test]
+    fn successful_push_clears_staging_and_advances_base() {
+        let mut shared = Repository::new();
+        let mut a = WorkClone::of(&shared);
+        a.stage(Change::put("x", "1"));
+        let out = a.push(&mut shared, "a", "m", 0).unwrap();
+        assert_eq!(a.staged_len(), 0);
+        assert_eq!(a.base(), Some(out.id));
+        assert!(a.is_fresh(&shared));
+    }
+
+    #[test]
+    fn diff_packages_base_and_paths() {
+        let mut shared = Repository::new();
+        shared.commit("a", "seed", 0, vec![Change::put("s", "0")]).unwrap();
+        let mut c = WorkClone::of(&shared);
+        c.stage(Change::put("p/q", "1"));
+        c.stage(Change::delete("s"));
+        let d = c.diff("alice", "msg");
+        assert_eq!(d.base, shared.head());
+        let paths: Vec<&str> = d.paths().collect();
+        assert_eq!(paths, vec!["p/q", "s"]);
+    }
+}

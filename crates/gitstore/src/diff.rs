@@ -1,0 +1,278 @@
+//! Line-oriented diffing (Myers algorithm).
+//!
+//! Used by the review pipeline, by the landing strip's true-conflict check,
+//! and by the Table 2 reproduction ("number of line changes in a config
+//! update"), which follows the paper's Unix-`diff` line-counting convention:
+//! adding or deleting a line counts as one line change, so modifying a line
+//! counts as two.
+
+/// One operation of a line diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOp<'a> {
+    /// A line present in both sides.
+    Equal(&'a str),
+    /// A line only in the new side.
+    Insert(&'a str),
+    /// A line only in the old side.
+    Delete(&'a str),
+}
+
+/// Statistics of a diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiffStat {
+    /// Lines inserted.
+    pub inserted: usize,
+    /// Lines deleted.
+    pub deleted: usize,
+}
+
+impl DiffStat {
+    /// Total line changes in the paper's convention (insertions plus
+    /// deletions).
+    pub fn line_changes(&self) -> usize {
+        self.inserted + self.deleted
+    }
+}
+
+/// Computes the line diff between `old` and `new` using Myers' O(ND)
+/// algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use gitstore::diff::{diff_lines, DiffOp};
+///
+/// let ops = diff_lines("a\nb\nc", "a\nx\nc");
+/// assert!(ops.contains(&DiffOp::Delete("b")));
+/// assert!(ops.contains(&DiffOp::Insert("x")));
+/// ```
+pub fn diff_lines<'a>(old: &'a str, new: &'a str) -> Vec<DiffOp<'a>> {
+    let a: Vec<&str> = split_lines(old);
+    let b: Vec<&str> = split_lines(new);
+    let trace = myers_trace(&a, &b);
+    backtrack(&a, &b, &trace)
+}
+
+/// Computes only the insert/delete counts between `old` and `new`.
+pub fn diff_stat(old: &str, new: &str) -> DiffStat {
+    let mut stat = DiffStat::default();
+    for op in diff_lines(old, new) {
+        match op {
+            DiffOp::Insert(_) => stat.inserted += 1,
+            DiffOp::Delete(_) => stat.deleted += 1,
+            DiffOp::Equal(_) => {}
+        }
+    }
+    stat
+}
+
+/// Renders a diff in a compact unified-like text form (no hunk headers).
+pub fn render(ops: &[DiffOp<'_>]) -> String {
+    let mut out = String::new();
+    for op in ops {
+        match op {
+            DiffOp::Equal(l) => {
+                out.push(' ');
+                out.push_str(l);
+            }
+            DiffOp::Insert(l) => {
+                out.push('+');
+                out.push_str(l);
+            }
+            DiffOp::Delete(l) => {
+                out.push('-');
+                out.push_str(l);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn split_lines(s: &str) -> Vec<&str> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.lines().collect()
+    }
+}
+
+/// Runs the forward pass of Myers' algorithm, returning the trace of `V`
+/// arrays for backtracking.
+fn myers_trace(a: &[&str], b: &[&str]) -> Vec<Vec<isize>> {
+    let n = a.len() as isize;
+    let m = b.len() as isize;
+    let max = n + m;
+    let offset = max;
+    let mut v = vec![0isize; (2 * max + 1).max(1) as usize];
+    let mut trace = Vec::new();
+    if max == 0 {
+        return trace;
+    }
+    for d in 0..=max {
+        trace.push(v.clone());
+        let mut k = -d;
+        while k <= d {
+            let idx = (k + offset) as usize;
+            let mut x = if k == -d || (k != d && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1]
+            } else {
+                v[idx - 1] + 1
+            };
+            let mut y = x - k;
+            while x < n && y < m && a[x as usize] == b[y as usize] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                trace.push(v.clone());
+                return trace;
+            }
+            k += 2;
+        }
+    }
+    trace
+}
+
+fn backtrack<'a>(a: &[&'a str], b: &[&'a str], trace: &[Vec<isize>]) -> Vec<DiffOp<'a>> {
+    let mut ops = Vec::new();
+    let n = a.len() as isize;
+    let m = b.len() as isize;
+    if trace.is_empty() {
+        return ops;
+    }
+    let offset = n + m;
+    let mut x = n;
+    let mut y = m;
+    // Walk the D-path trace backwards from the end state.
+    for d in (0..trace.len().saturating_sub(1)).rev() {
+        let v = &trace[d];
+        let k = x - y;
+        let idx = (k + offset) as usize;
+        let prev_k = if k == -(d as isize) || (k != d as isize && v[idx - 1] < v[idx + 1]) {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_x = v[(prev_k + offset) as usize];
+        let prev_y = prev_x - prev_k;
+        while x > prev_x && y > prev_y {
+            ops.push(DiffOp::Equal(a[(x - 1) as usize]));
+            x -= 1;
+            y -= 1;
+        }
+        if d == 0 {
+            break;
+        }
+        if x == prev_x {
+            ops.push(DiffOp::Insert(b[(y - 1) as usize]));
+            y -= 1;
+        } else {
+            ops.push(DiffOp::Delete(a[(x - 1) as usize]));
+            x -= 1;
+        }
+    }
+    // Any remaining prefix is a common run reached at d == 0.
+    while x > 0 && y > 0 {
+        ops.push(DiffOp::Equal(a[(x - 1) as usize]));
+        x -= 1;
+        y -= 1;
+    }
+    while x > 0 {
+        ops.push(DiffOp::Delete(a[(x - 1) as usize]));
+        x -= 1;
+    }
+    while y > 0 {
+        ops.push(DiffOp::Insert(b[(y - 1) as usize]));
+        y -= 1;
+    }
+    ops.reverse();
+    ops
+}
+
+/// Applies a diff to `old`, reconstructing the new text. Used in tests to
+/// validate the diff round-trip property.
+pub fn apply(ops: &[DiffOp<'_>]) -> String {
+    let mut lines = Vec::new();
+    for op in ops {
+        match op {
+            DiffOp::Equal(l) | DiffOp::Insert(l) => lines.push(*l),
+            DiffOp::Delete(_) => {}
+        }
+    }
+    lines.join("\n")
+}
+
+/// Reconstructs the old text from a diff.
+pub fn apply_reverse(ops: &[DiffOp<'_>]) -> String {
+    let mut lines = Vec::new();
+    for op in ops {
+        match op {
+            DiffOp::Equal(l) | DiffOp::Delete(l) => lines.push(*l),
+            DiffOp::Insert(_) => {}
+        }
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(old: &str, new: &str) {
+        let ops = diff_lines(old, new);
+        assert_eq!(apply(&ops), new, "forward apply {old:?} -> {new:?}");
+        assert_eq!(apply_reverse(&ops), old, "reverse apply {old:?} -> {new:?}");
+    }
+
+    #[test]
+    fn identical_inputs_are_all_equal() {
+        let ops = diff_lines("a\nb", "a\nb");
+        assert!(ops.iter().all(|o| matches!(o, DiffOp::Equal(_))));
+        assert_eq!(diff_stat("a\nb", "a\nb").line_changes(), 0);
+    }
+
+    #[test]
+    fn single_line_modification_counts_two() {
+        // The paper: modifying an existing line = delete + add = 2 changes.
+        let s = diff_stat("a\nb\nc", "a\nB\nc");
+        assert_eq!(s.inserted, 1);
+        assert_eq!(s.deleted, 1);
+        assert_eq!(s.line_changes(), 2);
+    }
+
+    #[test]
+    fn pure_insertions_and_deletions() {
+        assert_eq!(diff_stat("", "a\nb").inserted, 2);
+        assert_eq!(diff_stat("a\nb", "").deleted, 2);
+        assert_eq!(diff_stat("a", "a\nb\nc").inserted, 2);
+    }
+
+    #[test]
+    fn round_trip_assorted() {
+        check("", "");
+        check("a", "");
+        check("", "a");
+        check("a\nb\nc", "c\nb\na");
+        check("x\ny\nz", "x\nq\nz\nw");
+        check("1\n2\n3\n4\n5", "0\n2\n4\n6");
+    }
+
+    #[test]
+    fn render_marks_lines() {
+        let ops = diff_lines("a", "b");
+        let text = render(&ops);
+        assert!(text.contains("-a"));
+        assert!(text.contains("+b"));
+    }
+
+    #[test]
+    fn diff_is_minimal_for_simple_cases() {
+        // Myers produces a shortest edit script.
+        let s = diff_stat("a\nb\nc\nd", "a\nc\nd");
+        assert_eq!(s.line_changes(), 1);
+        let s = diff_stat("a\nb\nc", "a\nx\ny\nc");
+        assert_eq!(s.line_changes(), 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! # gitstore — a from-scratch content-addressed version control store
+//!
+//! The Configerator paper (§3.1) stores both config source code and compiled
+//! JSON configs in git; git's behaviour shapes two of the paper's central
+//! results:
+//!
+//! * **Commit contention** (§3.6): a push from a stale clone is rejected
+//!   even when the concurrent commits touch different files —
+//!   [`clone::WorkClone::push`] reproduces the protocol, and the landing
+//!   strip (in the `configerator` crate) builds on [`clone::Diff`] to avoid
+//!   it.
+//! * **Throughput vs repository size** (Fig 13): commit cost grows with the
+//!   number of tracked files because the index is rewritten per commit —
+//!   [`repo::Repository::commit`] has the same cost profile, and
+//!   [`multirepo::MultiRepo`] implements the partitioned-namespace fix.
+//!
+//! Everything is implemented here from first principles: SHA-1
+//! ([`sha1`]), git-compatible object hashing ([`object`]), an object
+//! database ([`odb`]), Myers line diffs ([`diff`]), and history/snapshot
+//! queries ([`repo`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use gitstore::prelude::*;
+//!
+//! let mut repo = Repository::new();
+//! repo.commit("alice", "initial", 1, vec![Change::put("app/port.cinc", "PORT = 8089")])
+//!     .unwrap();
+//! repo.commit("bob", "bump", 2, vec![Change::put("app/port.cinc", "PORT = 9090")])
+//!     .unwrap();
+//! let head = repo.head().unwrap();
+//! assert_eq!(repo.log(head).unwrap().len(), 2);
+//! ```
+
+pub mod clone;
+pub mod diff;
+pub mod multirepo;
+pub mod object;
+pub mod odb;
+pub mod repo;
+pub mod sha1;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::clone::{Diff, PushError, WorkClone};
+    pub use crate::diff::{diff_lines, diff_stat, DiffOp, DiffStat};
+    pub use crate::multirepo::{MultiRepo, RepoId};
+    pub use crate::object::{Commit, EntryKind, Object, ObjectId, Tree, TreeEntry};
+    pub use crate::odb::Odb;
+    pub use crate::repo::{Change, CommitOutcome, Error, PathChange, Repository};
+}
+
+pub use prelude::*;

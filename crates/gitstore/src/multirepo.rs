@@ -1,0 +1,298 @@
+//! Partitioned multi-repository namespace.
+//!
+//! Section 3.6: to scale commit throughput beyond what one git repository
+//! can accept, Configerator migrates to "multiple smaller git repositories
+//! that collectively serve a partitioned global name space" — files under
+//! different path prefixes (e.g. `/feed`, `/tao`) live in different
+//! repositories that accept commits concurrently, and a metadata table maps
+//! paths to repositories. [`MultiRepo`] implements that routing layer,
+//! including incremental repository addition and prefix migration (which,
+//! as in the paper, "only requires updating the metadata").
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::object::ObjectId;
+use crate::repo::{Change, CommitOutcome, Error, Repository};
+
+/// Identifier of a repository within a [`MultiRepo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RepoId(pub usize);
+
+/// A partitioned global namespace over multiple repositories.
+///
+/// Routing is by longest matching path prefix; the root prefix `""` always
+/// routes to the initial repository, so every path is routable.
+///
+/// # Examples
+///
+/// ```
+/// use gitstore::multirepo::MultiRepo;
+/// use gitstore::repo::Change;
+///
+/// let mut m = MultiRepo::new();
+/// let feed = m.add_repo("feed/");
+/// let tao = m.add_repo("tao/");
+/// m.commit("alice", "m", 0, vec![
+///     Change::put("feed/ranker.json", "{}"),
+///     Change::put("tao/topology.json", "{}"),
+///     Change::put("misc.json", "{}"),
+/// ]).unwrap();
+/// assert_eq!(m.route("feed/ranker.json"), feed);
+/// assert_eq!(m.route("tao/topology.json"), tao);
+/// assert_eq!(m.repo(feed).file_count(), 1);
+/// assert_eq!(m.repo(m.route("misc.json")).file_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiRepo {
+    /// Prefix → repository, checked longest-prefix-first.
+    routes: BTreeMap<String, RepoId>,
+    repos: Vec<Repository>,
+}
+
+impl Default for MultiRepo {
+    fn default() -> MultiRepo {
+        MultiRepo::new()
+    }
+}
+
+impl MultiRepo {
+    /// Creates a namespace with a single root repository.
+    pub fn new() -> MultiRepo {
+        let mut routes = BTreeMap::new();
+        routes.insert(String::new(), RepoId(0));
+        MultiRepo {
+            routes,
+            repos: vec![Repository::new()],
+        }
+    }
+
+    /// Adds an empty repository serving `prefix` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` is already routed.
+    pub fn add_repo(&mut self, prefix: &str) -> RepoId {
+        assert!(
+            !self.routes.contains_key(prefix),
+            "prefix already routed: {prefix:?}"
+        );
+        let id = RepoId(self.repos.len());
+        self.repos.push(Repository::new());
+        self.routes.insert(prefix.to_string(), id);
+        id
+    }
+
+    /// Number of repositories.
+    pub fn num_repos(&self) -> usize {
+        self.repos.len()
+    }
+
+    /// The routing table (prefix → repository).
+    pub fn routes(&self) -> &BTreeMap<String, RepoId> {
+        &self.routes
+    }
+
+    /// Routes `path` to its repository by longest matching prefix.
+    pub fn route(&self, path: &str) -> RepoId {
+        self.routes
+            .iter()
+            .filter(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|(_, id)| *id)
+            .expect("root route always matches")
+    }
+
+    /// Shared access to a repository.
+    pub fn repo(&self, id: RepoId) -> &Repository {
+        &self.repos[id.0]
+    }
+
+    /// Mutable access to a repository (for per-partition landing strips).
+    pub fn repo_mut(&mut self, id: RepoId) -> &mut Repository {
+        &mut self.repos[id.0]
+    }
+
+    /// Commits `changes`, split by route. Each affected repository receives
+    /// one commit; commits in distinct repositories are independent (this is
+    /// what allows concurrent commits in the paper's partitioned design).
+    ///
+    /// Note: unlike a single repository, a multi-repo commit spanning
+    /// partitions is not atomic; the paper accepts this and keeps dependent
+    /// configs in one repository when atomicity matters.
+    pub fn commit(
+        &mut self,
+        author: &str,
+        message: &str,
+        timestamp: u64,
+        changes: Vec<Change>,
+    ) -> Result<Vec<(RepoId, CommitOutcome)>, Error> {
+        if changes.is_empty() {
+            return Err(Error::EmptyCommit);
+        }
+        let mut by_repo: BTreeMap<RepoId, Vec<Change>> = BTreeMap::new();
+        for c in changes {
+            by_repo.entry(self.route(c.path())).or_default().push(c);
+        }
+        // Validate everything up front so a failure leaves all partitions
+        // untouched. (Validation is O(changes), not O(repository) — this
+        // is on the Fig 13 hot path.)
+        for (&id, group) in &by_repo {
+            self.repos[id.0].validate_changes(group)?;
+        }
+        let mut out = Vec::new();
+        for (id, group) in by_repo {
+            let o = self.repos[id.0].commit(author, message, timestamp, group)?;
+            out.push((id, o));
+        }
+        Ok(out)
+    }
+
+    /// Reads `path` at the head of its routed repository.
+    pub fn read_head(&self, path: &str) -> Result<Bytes, Error> {
+        self.repo(self.route(path)).read_head(path)
+    }
+
+    /// Returns whether `path` exists at head.
+    pub fn exists(&self, path: &str) -> bool {
+        self.repo(self.route(path)).exists(path)
+    }
+
+    /// Total files across all repositories.
+    pub fn file_count(&self) -> usize {
+        self.repos.iter().map(Repository::file_count).sum()
+    }
+
+    /// Heads of all repositories, in repository order.
+    pub fn heads(&self) -> Vec<Option<ObjectId>> {
+        self.repos.iter().map(Repository::head).collect()
+    }
+
+    /// Migrates every file under `prefix` into a new repository, as the
+    /// paper does when one repository grows too large. File contents are
+    /// unchanged; only routing metadata and the two repositories' heads
+    /// move. Returns the new repository's id.
+    pub fn migrate_prefix(
+        &mut self,
+        prefix: &str,
+        author: &str,
+        timestamp: u64,
+    ) -> Result<RepoId, Error> {
+        let src_id = self.route(prefix);
+        let src = &self.repos[src_id.0];
+        let moved: Vec<(String, Bytes)> = match src.head() {
+            Some(head) => src
+                .snapshot(head)?
+                .into_keys()
+                .filter(|p| p.starts_with(prefix))
+                .map(|p| {
+                    let data = src.read(head, &p)?;
+                    Ok((p, data))
+                })
+                .collect::<Result<_, Error>>()?,
+            None => Vec::new(),
+        };
+        let new_id = self.add_repo(prefix);
+        if !moved.is_empty() {
+            let puts: Vec<Change> = moved
+                .iter()
+                .map(|(p, d)| Change::put(p.clone(), d.clone()))
+                .collect();
+            self.repos[new_id.0].commit(author, &format!("migrate {prefix}"), timestamp, puts)?;
+            let dels: Vec<Change> = moved
+                .iter()
+                .map(|(p, _)| Change::delete(p.clone()))
+                .collect();
+            self.repos[src_id.0].commit(
+                author,
+                &format!("migrated {prefix} out"),
+                timestamp,
+                dels,
+            )?;
+        }
+        Ok(new_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut m = MultiRepo::new();
+        let feed = m.add_repo("feed/");
+        let feed_ml = m.add_repo("feed/ml/");
+        assert_eq!(m.route("feed/a"), feed);
+        assert_eq!(m.route("feed/ml/model"), feed_ml);
+        assert_eq!(m.route("other"), RepoId(0));
+    }
+
+    #[test]
+    fn commit_splits_by_route() {
+        let mut m = MultiRepo::new();
+        let feed = m.add_repo("feed/");
+        let out = m
+            .commit(
+                "a",
+                "m",
+                0,
+                vec![Change::put("feed/x", "1"), Change::put("root", "2")],
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.repo(feed).file_count(), 1);
+        assert_eq!(m.repo(RepoId(0)).file_count(), 1);
+        assert_eq!(m.file_count(), 2);
+    }
+
+    #[test]
+    fn failed_commit_leaves_all_partitions_untouched() {
+        let mut m = MultiRepo::new();
+        m.add_repo("feed/");
+        m.commit("a", "m", 0, vec![Change::put("feed/x", "1")]).unwrap();
+        let heads = m.heads();
+        let err = m.commit(
+            "a",
+            "m",
+            1,
+            vec![Change::put("feed/y", "2"), Change::delete("missing")],
+        );
+        assert!(err.is_err());
+        assert_eq!(m.heads(), heads, "no partition advanced");
+    }
+
+    #[test]
+    fn migrate_prefix_moves_files_and_rewires_routing() {
+        let mut m = MultiRepo::new();
+        m.commit(
+            "a",
+            "m",
+            0,
+            vec![
+                Change::put("tao/one", "1"),
+                Change::put("tao/two", "2"),
+                Change::put("feed/x", "3"),
+            ],
+        )
+        .unwrap();
+        let tao = m.migrate_prefix("tao/", "admin", 10).unwrap();
+        assert_eq!(m.route("tao/one"), tao);
+        assert_eq!(m.repo(tao).file_count(), 2);
+        assert_eq!(m.repo(RepoId(0)).file_count(), 1);
+        // Contents unchanged after migration.
+        assert_eq!(&m.read_head("tao/one").unwrap()[..], b"1");
+        assert_eq!(&m.read_head("feed/x").unwrap()[..], b"3");
+    }
+
+    #[test]
+    fn duplicate_prefix_panics() {
+        let mut m = MultiRepo::new();
+        m.add_repo("x/");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.add_repo("x/");
+        }));
+        assert!(r.is_err());
+    }
+}

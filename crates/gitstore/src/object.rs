@@ -1,0 +1,245 @@
+//! Object model: blobs, trees, and commits, addressed by content hash.
+//!
+//! The serialization format mirrors git's loose-object layout
+//! (`"<type> <len>\0<payload>"`) so that identical content always hashes to
+//! the same [`ObjectId`] regardless of how it was produced.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::sha1::{self, Sha1};
+
+/// A 20-byte content hash identifying an object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub [u8; 20]);
+
+impl ObjectId {
+    /// Renders the id as 40 hex characters.
+    pub fn to_hex(&self) -> String {
+        sha1::to_hex(&self.0)
+    }
+
+    /// Returns a short 8-character prefix, as shown in UIs.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectId({})", self.short())
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// The kind of object a tree entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A file.
+    Blob,
+    /// A subdirectory.
+    Tree,
+}
+
+/// One entry of a [`Tree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeEntry {
+    /// Entry name within the directory (no slashes).
+    pub name: String,
+    /// Whether this is a file or a subdirectory.
+    pub kind: EntryKind,
+    /// The object the entry points at.
+    pub oid: ObjectId,
+}
+
+/// A directory: a sorted list of named entries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tree {
+    /// Entries sorted by name.
+    pub entries: Vec<TreeEntry>,
+}
+
+/// A commit: a snapshot plus history metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Commit {
+    /// Root tree of the snapshot.
+    pub tree: ObjectId,
+    /// Parent commits (empty for the root commit).
+    pub parents: Vec<ObjectId>,
+    /// Author identity.
+    pub author: String,
+    /// Commit message.
+    pub message: String,
+    /// Commit timestamp, in seconds (caller-defined epoch).
+    pub timestamp: u64,
+}
+
+/// Any object storable in the object database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Object {
+    /// File contents.
+    Blob(Bytes),
+    /// A directory.
+    Tree(Tree),
+    /// A commit.
+    Commit(Commit),
+}
+
+impl Object {
+    /// Serializes the object into its canonical byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, payload) = match self {
+            Object::Blob(b) => ("blob", b.to_vec()),
+            Object::Tree(t) => ("tree", encode_tree(t)),
+            Object::Commit(c) => ("commit", encode_commit(c)),
+        };
+        let mut out = Vec::with_capacity(payload.len() + 16);
+        out.extend_from_slice(kind.as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(payload.len().to_string().as_bytes());
+        out.push(0);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Computes the object's content id.
+    pub fn id(&self) -> ObjectId {
+        let mut h = Sha1::new();
+        h.update(&self.encode());
+        ObjectId(h.finalize())
+    }
+
+    /// Approximate in-memory size of the object in bytes, used for store
+    /// accounting.
+    pub fn size(&self) -> usize {
+        match self {
+            Object::Blob(b) => b.len(),
+            Object::Tree(t) => t
+                .entries
+                .iter()
+                .map(|e| e.name.len() + 21)
+                .sum::<usize>(),
+            Object::Commit(c) => c.author.len() + c.message.len() + 21 * (1 + c.parents.len()) + 8,
+        }
+    }
+}
+
+fn encode_tree(t: &Tree) -> Vec<u8> {
+    debug_assert!(
+        t.entries.windows(2).all(|w| w[0].name < w[1].name),
+        "tree entries must be sorted and unique"
+    );
+    let mut out = Vec::new();
+    for e in &t.entries {
+        let mode: &[u8] = match e.kind {
+            EntryKind::Blob => b"100644",
+            EntryKind::Tree => b"40000",
+        };
+        out.extend_from_slice(mode);
+        out.push(b' ');
+        out.extend_from_slice(e.name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&e.oid.0);
+    }
+    out
+}
+
+fn encode_commit(c: &Commit) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"tree ");
+    out.extend_from_slice(c.tree.to_hex().as_bytes());
+    out.push(b'\n');
+    for p in &c.parents {
+        out.extend_from_slice(b"parent ");
+        out.extend_from_slice(p.to_hex().as_bytes());
+        out.push(b'\n');
+    }
+    out.extend_from_slice(b"author ");
+    out.extend_from_slice(c.author.as_bytes());
+    out.extend_from_slice(b" ");
+    out.extend_from_slice(c.timestamp.to_string().as_bytes());
+    out.extend_from_slice(b"\n\n");
+    out.extend_from_slice(c.message.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(s: &str) -> Object {
+        Object::Blob(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    #[test]
+    fn blob_id_matches_git() {
+        // `echo -n "hello" | git hash-object --stdin` == this.
+        assert_eq!(
+            blob("hello").id().to_hex(),
+            "b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0"
+        );
+        assert_eq!(
+            blob("").id().to_hex(),
+            "e69de29bb2d1d6434b8b29ae775ad8c2e48c5391"
+        );
+    }
+
+    #[test]
+    fn same_content_same_id() {
+        assert_eq!(blob("x").id(), blob("x").id());
+        assert_ne!(blob("x").id(), blob("y").id());
+    }
+
+    #[test]
+    fn tree_id_depends_on_entries() {
+        let b = blob("f").id();
+        let t1 = Object::Tree(Tree {
+            entries: vec![TreeEntry {
+                name: "a".into(),
+                kind: EntryKind::Blob,
+                oid: b,
+            }],
+        });
+        let t2 = Object::Tree(Tree {
+            entries: vec![TreeEntry {
+                name: "b".into(),
+                kind: EntryKind::Blob,
+                oid: b,
+            }],
+        });
+        assert_ne!(t1.id(), t2.id());
+    }
+
+    #[test]
+    fn commit_encoding_includes_parents() {
+        let tree = blob("t").id();
+        let c1 = Object::Commit(Commit {
+            tree,
+            parents: vec![],
+            author: "alice".into(),
+            message: "init".into(),
+            timestamp: 100,
+        });
+        let c2 = Object::Commit(Commit {
+            tree,
+            parents: vec![c1.id()],
+            author: "alice".into(),
+            message: "init".into(),
+            timestamp: 100,
+        });
+        assert_ne!(c1.id(), c2.id());
+    }
+
+    #[test]
+    fn short_id_is_prefix() {
+        let id = blob("hello").id();
+        assert!(id.to_hex().starts_with(&id.short()));
+        assert_eq!(id.short().len(), 8);
+    }
+}

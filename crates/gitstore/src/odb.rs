@@ -1,0 +1,91 @@
+//! The object database: a content-addressed store of [`Object`]s.
+
+use std::collections::HashMap;
+
+use crate::object::{Object, ObjectId};
+
+/// In-memory content-addressed object store.
+///
+/// Writing the same content twice is free (deduplicated by id), exactly as
+/// in git's object database.
+#[derive(Debug, Default, Clone)]
+pub struct Odb {
+    objects: HashMap<ObjectId, Object>,
+    total_bytes: usize,
+}
+
+impl Odb {
+    /// Creates an empty store.
+    pub fn new() -> Odb {
+        Odb::default()
+    }
+
+    /// Inserts `obj`, returning its id. Duplicate content is deduplicated.
+    pub fn put(&mut self, obj: Object) -> ObjectId {
+        let id = obj.id();
+        if !self.objects.contains_key(&id) {
+            self.total_bytes += obj.size();
+            self.objects.insert(id, obj);
+        }
+        id
+    }
+
+    /// Looks up an object by id.
+    pub fn get(&self, id: ObjectId) -> Option<&Object> {
+        self.objects.get(&id)
+    }
+
+    /// Returns whether `id` is present.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Number of distinct objects stored.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Approximate total payload bytes stored (post-deduplication).
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut odb = Odb::new();
+        let obj = Object::Blob(Bytes::from_static(b"content"));
+        let id = odb.put(obj.clone());
+        assert_eq!(odb.get(id), Some(&obj));
+        assert!(odb.contains(id));
+        assert_eq!(odb.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_content_deduplicates() {
+        let mut odb = Odb::new();
+        let id1 = odb.put(Object::Blob(Bytes::from_static(b"same")));
+        let id2 = odb.put(Object::Blob(Bytes::from_static(b"same")));
+        assert_eq!(id1, id2);
+        assert_eq!(odb.len(), 1);
+        assert_eq!(odb.total_bytes(), 4);
+    }
+
+    #[test]
+    fn missing_lookup_is_none() {
+        let odb = Odb::new();
+        let ghost = Object::Blob(Bytes::from_static(b"ghost")).id();
+        assert!(odb.get(ghost).is_none());
+        assert!(odb.is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! # laser — tiered key-value store with batch-load pipelines
+//!
+//! Reproduction of the Laser store from §4 of *Holistic Configuration
+//! Management at Facebook* (SOSP 2015): "A special `laser()` restraint
+//! invokes `get("$project-$user_id")` on a key-value store called Laser.
+//! ... Laser stores data on flash or in memory for fast access. It has
+//! automated data pipelines to load data from the output of a stream
+//! processing system or a MapReduce job."
+//!
+//! The store keeps every dataset on a simulated flash tier and serves hot
+//! keys from a bounded in-memory cache; reads are cost-accounted so the
+//! Gatekeeper optimizer can treat `laser()` as an expensive restraint.
+//! Datasets load atomically: a batch pipeline (the stand-in for a MapReduce
+//! or stream job) replaces a whole generation at once, so readers never see
+//! a half-loaded dataset.
+
+use std::collections::HashMap;
+
+/// Read-cost units (arbitrary but fixed, used by the Gatekeeper optimizer
+/// and by cost accounting in experiments).
+pub mod cost {
+    /// Cost of a memory-tier hit.
+    pub const MEMORY_HIT: u64 = 1;
+    /// Cost of a flash-tier read.
+    pub const FLASH_READ: u64 = 25;
+    /// Cost of a miss (key absent — still pays a flash probe).
+    pub const MISS: u64 = 25;
+}
+
+/// Cumulative read statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaserStats {
+    /// Reads served from the memory tier.
+    pub memory_hits: u64,
+    /// Reads served from the flash tier.
+    pub flash_reads: u64,
+    /// Reads for absent keys.
+    pub misses: u64,
+    /// Total cost units spent.
+    pub cost_units: u64,
+}
+
+/// One generation of a named dataset.
+#[derive(Debug, Clone, Default)]
+struct Dataset {
+    generation: u64,
+    entries: HashMap<String, f64>,
+}
+
+/// The Laser store.
+///
+/// # Examples
+///
+/// ```
+/// use laser::Laser;
+///
+/// let mut laser = Laser::new(2);
+/// laser.load_dataset("trending", vec![("proj-42".into(), 0.9)]);
+/// assert_eq!(laser.get("trending", "proj-42"), Some(0.9));
+/// assert_eq!(laser.get("trending", "proj-7"), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Laser {
+    datasets: HashMap<String, Dataset>,
+    /// Bounded memory tier: (dataset, key) → (generation, value).
+    memory: HashMap<(String, String), (u64, f64)>,
+    memory_cap: usize,
+    /// Insertion order for FIFO eviction of the memory tier.
+    memory_order: Vec<(String, String)>,
+    stats: LaserStats,
+}
+
+impl Laser {
+    /// Creates a store whose memory tier holds up to `memory_cap` entries.
+    pub fn new(memory_cap: usize) -> Laser {
+        Laser {
+            datasets: HashMap::new(),
+            memory: HashMap::new(),
+            memory_cap,
+            memory_order: Vec::new(),
+            stats: LaserStats::default(),
+        }
+    }
+
+    /// Atomically replaces the contents of `dataset` with `entries` (a
+    /// batch-pipeline load). The dataset's generation increments; stale
+    /// memory-tier entries from the previous generation are ignored on
+    /// read.
+    pub fn load_dataset(&mut self, dataset: &str, entries: Vec<(String, f64)>) {
+        let d = self.datasets.entry(dataset.to_string()).or_default();
+        d.generation += 1;
+        d.entries = entries.into_iter().collect();
+    }
+
+    /// Incrementally upserts entries (a stream-pipeline load). Unlike
+    /// [`Laser::load_dataset`], existing keys not mentioned are kept. The
+    /// generation still increments so cached values refresh.
+    pub fn stream_upsert(&mut self, dataset: &str, entries: Vec<(String, f64)>) {
+        let d = self.datasets.entry(dataset.to_string()).or_default();
+        d.generation += 1;
+        for (k, v) in entries {
+            d.entries.insert(k, v);
+        }
+    }
+
+    /// Reads `key` from `dataset`, paying the tier-appropriate cost.
+    pub fn get(&mut self, dataset: &str, key: &str) -> Option<f64> {
+        let d = self.datasets.get(dataset)?;
+        let generation = d.generation;
+        let cache_key = (dataset.to_string(), key.to_string());
+        if let Some(&(gen_cached, v)) = self.memory.get(&cache_key) {
+            if gen_cached == generation {
+                self.stats.memory_hits += 1;
+                self.stats.cost_units += cost::MEMORY_HIT;
+                return Some(v);
+            }
+        }
+        match d.entries.get(key).copied() {
+            Some(v) => {
+                self.stats.flash_reads += 1;
+                self.stats.cost_units += cost::FLASH_READ;
+                self.memory_insert(cache_key, generation, v);
+                Some(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                self.stats.cost_units += cost::MISS;
+                None
+            }
+        }
+    }
+
+    /// Convenience for the Gatekeeper restraint: `get` on the conventional
+    /// `"$project-$user_id"` key (§4).
+    pub fn get_project_user(&mut self, dataset: &str, project: &str, user_id: u64) -> Option<f64> {
+        self.get(dataset, &format!("{project}-{user_id}"))
+    }
+
+    /// Number of keys in `dataset`.
+    pub fn dataset_len(&self, dataset: &str) -> usize {
+        self.datasets.get(dataset).map(|d| d.entries.len()).unwrap_or(0)
+    }
+
+    /// Current generation of `dataset` (0 if absent).
+    pub fn generation(&self, dataset: &str) -> u64 {
+        self.datasets.get(dataset).map(|d| d.generation).unwrap_or(0)
+    }
+
+    /// Read statistics so far.
+    pub fn stats(&self) -> LaserStats {
+        self.stats
+    }
+
+    fn memory_insert(&mut self, key: (String, String), generation: u64, v: f64) {
+        if self.memory_cap == 0 {
+            return;
+        }
+        if !self.memory.contains_key(&key) {
+            if self.memory.len() >= self.memory_cap {
+                // FIFO eviction keeps the implementation simple and
+                // deterministic; hit-rate subtleties are not the point here.
+                let evict = self.memory_order.remove(0);
+                self.memory.remove(&evict);
+            }
+            self.memory_order.push(key.clone());
+        }
+        self.memory.insert(key, (generation, v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_hits_flash_then_memory() {
+        let mut l = Laser::new(10);
+        l.load_dataset("d", vec![("k".into(), 1.5)]);
+        assert_eq!(l.get("d", "k"), Some(1.5));
+        assert_eq!(l.get("d", "k"), Some(1.5));
+        let s = l.stats();
+        assert_eq!(s.flash_reads, 1);
+        assert_eq!(s.memory_hits, 1);
+        assert_eq!(s.cost_units, cost::FLASH_READ + cost::MEMORY_HIT);
+    }
+
+    #[test]
+    fn miss_costs_a_probe() {
+        let mut l = Laser::new(10);
+        l.load_dataset("d", vec![]);
+        assert_eq!(l.get("d", "nope"), None);
+        assert_eq!(l.stats().misses, 1);
+        // Unknown dataset is a cheap None (no probe — dataset routing is
+        // in-memory metadata).
+        assert_eq!(l.get("ghost", "k"), None);
+        assert_eq!(l.stats().misses, 1);
+    }
+
+    #[test]
+    fn batch_reload_replaces_atomically_and_invalidates_cache() {
+        let mut l = Laser::new(10);
+        l.load_dataset("d", vec![("a".into(), 1.0), ("b".into(), 2.0)]);
+        assert_eq!(l.get("d", "a"), Some(1.0)); // cached now
+        l.load_dataset("d", vec![("a".into(), 9.0)]);
+        assert_eq!(l.get("d", "a"), Some(9.0), "stale cache must not serve");
+        assert_eq!(l.get("d", "b"), None, "removed by batch reload");
+        assert_eq!(l.generation("d"), 2);
+    }
+
+    #[test]
+    fn stream_upsert_keeps_existing_keys() {
+        let mut l = Laser::new(10);
+        l.load_dataset("d", vec![("a".into(), 1.0)]);
+        l.stream_upsert("d", vec![("b".into(), 2.0)]);
+        assert_eq!(l.get("d", "a"), Some(1.0));
+        assert_eq!(l.get("d", "b"), Some(2.0));
+    }
+
+    #[test]
+    fn memory_tier_is_bounded() {
+        let mut l = Laser::new(2);
+        l.load_dataset(
+            "d",
+            vec![("a".into(), 1.0), ("b".into(), 2.0), ("c".into(), 3.0)],
+        );
+        l.get("d", "a");
+        l.get("d", "b");
+        l.get("d", "c"); // evicts "a"
+        l.get("d", "a"); // flash again
+        let s = l.stats();
+        assert_eq!(s.flash_reads, 4);
+        assert_eq!(s.memory_hits, 0);
+    }
+
+    #[test]
+    fn project_user_key_convention() {
+        let mut l = Laser::new(10);
+        l.load_dataset("trending", vec![("ProjX-7".into(), 0.8)]);
+        assert_eq!(l.get_project_user("trending", "ProjX", 7), Some(0.8));
+        assert_eq!(l.get_project_user("trending", "ProjX", 8), None);
+    }
+
+    #[test]
+    fn zero_capacity_memory_tier() {
+        let mut l = Laser::new(0);
+        l.load_dataset("d", vec![("a".into(), 1.0)]);
+        l.get("d", "a");
+        l.get("d", "a");
+        assert_eq!(l.stats().flash_reads, 2);
+    }
+}

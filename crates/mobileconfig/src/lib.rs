@@ -1,0 +1,29 @@
+//! # mobileconfig — config management for mobile apps
+//!
+//! Reproduction of MobileConfig (§5 of *Holistic Configuration Management
+//! at Facebook*, SOSP 2015). Mobile differs from the data-center case in
+//! three ways the design must absorb:
+//!
+//! 1. **The network is a severe limiting factor** — so the client polls
+//!    with a hash of its schema and a hash of its cached values, and "the
+//!    server sends back only the configs that have changed and are relevant
+//!    to the client's schema version".
+//! 2. **Push notification is unreliable** — so the transport is a hybrid:
+//!    periodic pull plus an occasional [`MobileConfigServer::emergency_push_for`]
+//!    "e.g., to immediately disable a buggy product feature".
+//! 3. **Legacy app versions linger** — so "separating abstraction from
+//!    implementation is a first-class citizen": the [`TranslationLayer`]
+//!    maps each config field to a backend (a Gatekeeper project, an A/B
+//!    experiment parameter, or a Configerator constant), and remapping a
+//!    field — e.g. from a finished experiment to a constant — requires no
+//!    client change at all.
+
+pub mod client;
+pub mod schema;
+pub mod server;
+pub mod translation;
+
+pub use client::{MobileConfigClient, PollOutcome};
+pub use schema::{FieldType, MobileSchema};
+pub use server::{MobileConfigServer, PullReply, PullRequest, ServerStats};
+pub use translation::{Binding, TranslationLayer};

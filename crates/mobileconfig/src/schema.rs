@@ -1,0 +1,86 @@
+//! Config schemas shipped inside mobile app builds.
+//!
+//! Each app version compiles in a schema per config (the "context class" of
+//! §5). The client identifies its schema to the server by hash — "the
+//! client sends to the server the hash of the config schema (for schema
+//! versioning)" — so old app versions keep working against fields they
+//! know about.
+
+use std::collections::BTreeMap;
+
+use gatekeeper::context::{hash_str, mix64};
+use serde::{Deserialize, Serialize};
+
+/// The type of one config field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldType {
+    /// Boolean (typically Gatekeeper-backed).
+    Bool,
+    /// Integer.
+    Int,
+    /// Float.
+    Float,
+    /// String.
+    Str,
+}
+
+/// One config's schema as compiled into an app version.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MobileSchema {
+    /// Config name (the context class, e.g. `"MessengerVoip"`).
+    pub config: String,
+    /// Field name → type, sorted (canonical).
+    pub fields: BTreeMap<String, FieldType>,
+}
+
+impl MobileSchema {
+    /// Creates a schema.
+    pub fn new(config: &str, fields: &[(&str, FieldType)]) -> MobileSchema {
+        MobileSchema {
+            config: config.to_string(),
+            fields: fields
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+        }
+    }
+
+    /// A stable 64-bit schema-version hash over the canonical field list.
+    pub fn hash(&self) -> u64 {
+        let mut h = hash_str(&self.config);
+        for (name, ty) in &self.fields {
+            h = mix64(h ^ hash_str(name) ^ (*ty as u64 + 1));
+        }
+        h
+    }
+
+    /// Approximate serialized size (for bandwidth accounting).
+    pub fn wire_size(&self) -> u64 {
+        self.fields.keys().map(|n| n.len() as u64 + 2)
+            .sum::<u64>()
+            + self.config.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_field_sensitive() {
+        let a = MobileSchema::new("C", &[("x", FieldType::Bool), ("y", FieldType::Int)]);
+        let b = MobileSchema::new("C", &[("y", FieldType::Int), ("x", FieldType::Bool)]);
+        assert_eq!(a.hash(), b.hash(), "field order does not matter");
+        let c = MobileSchema::new("C", &[("x", FieldType::Bool)]);
+        assert_ne!(a.hash(), c.hash());
+        let d = MobileSchema::new("C", &[("x", FieldType::Int), ("y", FieldType::Int)]);
+        assert_ne!(a.hash(), d.hash(), "field type matters");
+    }
+
+    #[test]
+    fn config_name_matters() {
+        let a = MobileSchema::new("A", &[("x", FieldType::Bool)]);
+        let b = MobileSchema::new("B", &[("x", FieldType::Bool)]);
+        assert_ne!(a.hash(), b.hash());
+    }
+}

@@ -1,0 +1,365 @@
+//! The MobileConfig server side: translation servers bridging mobile
+//! clients to the backend systems.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use gatekeeper::context::{hash_str, mix64, UserContext};
+use gatekeeper::experiment::{Experiment, ParamValue};
+use gatekeeper::runtime::Runtime;
+
+use crate::schema::MobileSchema;
+use crate::translation::{Binding, TranslationLayer};
+
+/// A client pull request: hashes only, per §5's bandwidth minimization.
+#[derive(Debug, Clone)]
+pub struct PullRequest {
+    /// Config name.
+    pub config: String,
+    /// Hash of the client's compiled-in schema (version identification).
+    pub schema_hash: u64,
+    /// Hash of the values currently cached on the client.
+    pub values_hash: u64,
+    /// The requesting user/device.
+    pub user: UserContext,
+}
+
+impl PullRequest {
+    /// Wire size of the request: two hashes plus the config name.
+    pub fn wire_size(&self) -> u64 {
+        16 + self.config.len() as u64 + 8
+    }
+}
+
+/// The server's reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PullReply {
+    /// Client is current; nothing sent but the ack.
+    NotModified,
+    /// Fresh values for every field in the client's schema version.
+    Values {
+        /// Field → value.
+        values: BTreeMap<String, ParamValue>,
+        /// Hash of those values (client caches it for the next poll).
+        hash: u64,
+    },
+    /// The schema hash is unknown to the server.
+    UnknownSchema,
+}
+
+impl PullReply {
+    /// Wire size of the reply.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            PullReply::NotModified | PullReply::UnknownSchema => 16,
+            PullReply::Values { values, .. } => {
+                8 + values
+                    .iter()
+                    .map(|(k, v)| {
+                        k.len() as u64
+                            + match v {
+                                ParamValue::Str(s) => s.len() as u64 + 2,
+                                _ => 9,
+                            }
+                    })
+                    .sum::<u64>()
+            }
+        }
+    }
+}
+
+/// Cumulative server-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Pulls handled.
+    pub pulls: u64,
+    /// Pulls answered with `NotModified`.
+    pub not_modified: u64,
+    /// Total reply bytes.
+    pub reply_bytes: u64,
+    /// Emergency pushes sent.
+    pub pushes: u64,
+}
+
+/// The server: schema registry, translation layer, and backends.
+pub struct MobileConfigServer {
+    /// Schemas of every shipped app version, by hash.
+    schemas: HashMap<u64, MobileSchema>,
+    translation: TranslationLayer,
+    gatekeeper: Runtime,
+    experiments: HashMap<String, Experiment>,
+    stats: ServerStats,
+    /// Stateful sessions (the paper's footnote-2 future enhancement):
+    /// session id → (schema hash, last values hash), so repeat polls need
+    /// not retransmit the hashes.
+    sessions: HashMap<u64, (u64, u64)>,
+    next_session: u64,
+}
+
+impl MobileConfigServer {
+    /// Creates a server over a Gatekeeper runtime.
+    pub fn new(translation: TranslationLayer, gatekeeper: Runtime) -> MobileConfigServer {
+        MobileConfigServer {
+            schemas: HashMap::new(),
+            translation,
+            gatekeeper,
+            experiments: HashMap::new(),
+            stats: ServerStats::default(),
+            sessions: HashMap::new(),
+            next_session: 1,
+        }
+    }
+
+    /// Opens a stateful session for a client (§5 footnote 2: "make the
+    /// server stateful, i.e., remembering each client's hash values to
+    /// avoid repeated transfer of the hash values"). Returns a session id
+    /// the client passes to [`MobileConfigServer::pull_session`].
+    pub fn open_session(&mut self, schema_hash: u64) -> u64 {
+        let id = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(id, (schema_hash, 0));
+        id
+    }
+
+    /// Session-based pull: the request carries only the session id and the
+    /// user — the server remembers the schema and the last values hash it
+    /// served. Returns `None` for an unknown/expired session (the client
+    /// falls back to a stateless [`MobileConfigServer::pull`]).
+    pub fn pull_session(&mut self, session: u64, user: &UserContext) -> Option<PullReply> {
+        self.stats.pulls += 1;
+        let (schema_hash, last_values) = *self.sessions.get(&session)?;
+        let schema = self.schemas.get(&schema_hash)?.clone();
+        let values = self.resolve(&schema, user);
+        let hash = hash_values(&values);
+        let reply = if hash == last_values {
+            self.stats.not_modified += 1;
+            PullReply::NotModified
+        } else {
+            self.sessions.insert(session, (schema_hash, hash));
+            PullReply::Values { values, hash }
+        };
+        self.stats.reply_bytes += reply.wire_size();
+        Some(reply)
+    }
+
+    /// Registers a shipped app version's schema so legacy clients keep
+    /// resolving (§5's backward compatibility).
+    pub fn register_schema(&mut self, schema: MobileSchema) {
+        self.schemas.insert(schema.hash(), schema);
+    }
+
+    /// Installs or updates an experiment backend.
+    pub fn update_experiment(&mut self, exp: Experiment) {
+        self.experiments.insert(exp.name.clone(), exp);
+    }
+
+    /// Replaces the translation layer (a live config update).
+    pub fn update_translation(&mut self, t: TranslationLayer) {
+        self.translation = t;
+    }
+
+    /// Mutable access to the Gatekeeper runtime (live project updates).
+    pub fn gatekeeper_mut(&mut self) -> &mut Runtime {
+        &mut self.gatekeeper
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Resolves every field of `schema` for `user` through the translation
+    /// layer.
+    pub fn resolve(
+        &mut self,
+        schema: &MobileSchema,
+        user: &UserContext,
+    ) -> BTreeMap<String, ParamValue> {
+        let mut out = BTreeMap::new();
+        for field in schema.fields.keys() {
+            let value = match self.translation.lookup(&schema.config, field) {
+                Some(Binding::Gatekeeper { project }) => {
+                    ParamValue::Bool(self.gatekeeper.check(project, user))
+                }
+                Some(Binding::Experiment { name, param }) => self
+                    .experiments
+                    .get(name)
+                    .and_then(|e| e.param(user.user_id, param).cloned())
+                    .unwrap_or(ParamValue::Bool(false)),
+                Some(Binding::Constant(v)) => v.clone(),
+                // Unbound fields fail closed/zero.
+                None => ParamValue::Bool(false),
+            };
+            out.insert(field.clone(), value);
+        }
+        out
+    }
+
+    /// Handles a client pull (§5): compares the values hash and sends data
+    /// only when something changed for this user and schema version.
+    pub fn pull(&mut self, req: &PullRequest) -> PullReply {
+        self.stats.pulls += 1;
+        let Some(schema) = self.schemas.get(&req.schema_hash).cloned() else {
+            let reply = PullReply::UnknownSchema;
+            self.stats.reply_bytes += reply.wire_size();
+            return reply;
+        };
+        debug_assert_eq!(schema.config, req.config);
+        let values = self.resolve(&schema, &req.user);
+        let hash = hash_values(&values);
+        let reply = if hash == req.values_hash {
+            self.stats.not_modified += 1;
+            PullReply::NotModified
+        } else {
+            PullReply::Values { values, hash }
+        };
+        self.stats.reply_bytes += reply.wire_size();
+        reply
+    }
+
+    /// Resolves fresh values for an emergency push to one client (§5:
+    /// "the server occasionally pushes emergency config changes to the
+    /// client through push notification, e.g., to immediately disable a
+    /// buggy product feature").
+    pub fn emergency_push_for(
+        &mut self,
+        schema: &MobileSchema,
+        user: &UserContext,
+    ) -> (BTreeMap<String, ParamValue>, u64) {
+        self.stats.pushes += 1;
+        let values = self.resolve(schema, user);
+        let hash = hash_values(&values);
+        (values, hash)
+    }
+}
+
+/// Stable hash of a resolved value map.
+pub fn hash_values(values: &BTreeMap<String, ParamValue>) -> u64 {
+    let mut h: u64 = 0x243F6A8885A308D3;
+    for (k, v) in values {
+        let vh = match v {
+            ParamValue::Bool(b) => *b as u64,
+            ParamValue::Int(i) => mix64(*i as u64),
+            ParamValue::Float(f) => mix64(f.to_bits()),
+            ParamValue::Str(s) => hash_str(s),
+        };
+        h = mix64(h ^ hash_str(k) ^ vh);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldType;
+    use gatekeeper::project::Project;
+
+    fn server() -> MobileConfigServer {
+        let mut t = TranslationLayer::new();
+        t.bind("C", "feature_x", Binding::Gatekeeper { project: "ProjX".into() });
+        t.bind("C", "limit", Binding::Constant(ParamValue::Int(10)));
+        let mut gk = Runtime::new(laser::Laser::new(16));
+        gk.update_project(Project::fraction_launch("ProjX", 0.0));
+        let mut s = MobileConfigServer::new(t, gk);
+        s.register_schema(schema());
+        s
+    }
+
+    fn schema() -> MobileSchema {
+        MobileSchema::new("C", &[("feature_x", FieldType::Bool), ("limit", FieldType::Int)])
+    }
+
+    #[test]
+    fn pull_resolves_and_suppresses_unchanged() {
+        let mut s = server();
+        let req = PullRequest {
+            config: "C".into(),
+            schema_hash: schema().hash(),
+            values_hash: 0,
+            user: UserContext::with_id(1),
+        };
+        let PullReply::Values { values, hash } = s.pull(&req) else {
+            panic!("first pull must send values");
+        };
+        assert_eq!(values["feature_x"], ParamValue::Bool(false));
+        assert_eq!(values["limit"], ParamValue::Int(10));
+        // Second pull with the hash → NotModified, tiny reply.
+        let req2 = PullRequest {
+            values_hash: hash,
+            ..req
+        };
+        assert_eq!(s.pull(&req2), PullReply::NotModified);
+        assert_eq!(s.stats().not_modified, 1);
+    }
+
+    #[test]
+    fn backend_change_invalidates_hash() {
+        let mut s = server();
+        let req = PullRequest {
+            config: "C".into(),
+            schema_hash: schema().hash(),
+            values_hash: 0,
+            user: UserContext::with_id(1),
+        };
+        let PullReply::Values { hash, .. } = s.pull(&req) else { panic!() };
+        // Launch the feature to 100%.
+        s.gatekeeper_mut()
+            .update_project(Project::fraction_launch("ProjX", 1.0));
+        let req2 = PullRequest { values_hash: hash, ..req };
+        let PullReply::Values { values, .. } = s.pull(&req2) else {
+            panic!("changed gate must invalidate the hash");
+        };
+        assert_eq!(values["feature_x"], ParamValue::Bool(true));
+    }
+
+    #[test]
+    fn legacy_schema_resolves_only_its_fields() {
+        let mut s = server();
+        let legacy = MobileSchema::new("C", &[("feature_x", FieldType::Bool)]);
+        s.register_schema(legacy.clone());
+        let req = PullRequest {
+            config: "C".into(),
+            schema_hash: legacy.hash(),
+            values_hash: 0,
+            user: UserContext::with_id(1),
+        };
+        let PullReply::Values { values, .. } = s.pull(&req) else { panic!() };
+        assert_eq!(values.len(), 1, "legacy client must not see new fields");
+        assert!(values.contains_key("feature_x"));
+    }
+
+    #[test]
+    fn stateful_session_skips_hash_retransmission() {
+        let mut s = server();
+        let session = s.open_session(schema().hash());
+        let user = UserContext::with_id(1);
+        // First session pull sends values; second is NotModified without
+        // the client ever transmitting a hash.
+        assert!(matches!(
+            s.pull_session(session, &user),
+            Some(PullReply::Values { .. })
+        ));
+        assert_eq!(s.pull_session(session, &user), Some(PullReply::NotModified));
+        // A backend change invalidates the remembered hash.
+        s.gatekeeper_mut()
+            .update_project(Project::fraction_launch("ProjX", 1.0));
+        assert!(matches!(
+            s.pull_session(session, &user),
+            Some(PullReply::Values { .. })
+        ));
+        // Unknown session → stateless fallback required.
+        assert!(s.pull_session(9999, &user).is_none());
+    }
+
+    #[test]
+    fn unknown_schema_hash_is_flagged() {
+        let mut s = server();
+        let req = PullRequest {
+            config: "C".into(),
+            schema_hash: 0xDEAD,
+            values_hash: 0,
+            user: UserContext::with_id(1),
+        };
+        assert_eq!(s.pull(&req), PullReply::UnknownSchema);
+    }
+}

@@ -1,0 +1,123 @@
+//! The translation layer: one level of indirection between mobile config
+//! fields and backend systems.
+//!
+//! "The translation layer in Figure 6 provides one level of indirection to
+//! flexibly map a MobileConfig field to a backend config. The mapping can
+//! change. For example, initially VOIP_ECHO is mapped to a
+//! Gatekeeper-backed experiment ... After the experiment finishes and the
+//! best parameter is found, VOIP_ECHO can be remapped to a constant stored
+//! in Configerator" (§5). The mapping itself is serializable so it can be
+//! stored in Configerator and distributed to all translation servers.
+
+use std::collections::BTreeMap;
+
+use gatekeeper::experiment::ParamValue;
+use serde::{Deserialize, Serialize};
+
+/// What a mobile config field resolves against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Binding {
+    /// A Gatekeeper project: the field is `gk_check(project, user)`.
+    Gatekeeper {
+        /// Project name.
+        project: String,
+    },
+    /// An A/B experiment parameter: the field takes the user's group value.
+    Experiment {
+        /// Experiment name.
+        name: String,
+        /// Parameter within the experiment.
+        param: String,
+    },
+    /// A constant (e.g. a value stored in Configerator).
+    Constant(ParamValue),
+}
+
+/// The field → backend mapping for all configs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TranslationLayer {
+    /// `"config.field"` → binding.
+    map: BTreeMap<String, Binding>,
+}
+
+impl TranslationLayer {
+    /// Creates an empty mapping.
+    pub fn new() -> TranslationLayer {
+        TranslationLayer::default()
+    }
+
+    /// Maps `config.field` to `binding`, replacing any existing mapping
+    /// (this is the live remap operation of §5).
+    pub fn bind(&mut self, config: &str, field: &str, binding: Binding) {
+        self.map.insert(format!("{config}.{field}"), binding);
+    }
+
+    /// Looks up the binding for `config.field`.
+    pub fn lookup(&self, config: &str, field: &str) -> Option<&Binding> {
+        self.map.get(&format!("{config}.{field}"))
+    }
+
+    /// Number of bound fields.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns whether no fields are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Serializes the mapping as the JSON config stored in Configerator
+    /// and "distributed to all the translation servers" (§5).
+    pub fn to_config_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("mapping serializes")
+    }
+
+    /// Parses a mapping from JSON config.
+    pub fn from_config_json(json: &str) -> Result<TranslationLayer, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_lookup_and_remap() {
+        let mut t = TranslationLayer::new();
+        t.bind(
+            "MessengerVoip",
+            "VOIP_ECHO",
+            Binding::Experiment {
+                name: "echo".into(),
+                param: "VOIP_ECHO".into(),
+            },
+        );
+        assert!(matches!(
+            t.lookup("MessengerVoip", "VOIP_ECHO"),
+            Some(Binding::Experiment { .. })
+        ));
+        // Experiment concluded: remap to the winning constant.
+        t.bind(
+            "MessengerVoip",
+            "VOIP_ECHO",
+            Binding::Constant(ParamValue::Float(0.9)),
+        );
+        assert_eq!(
+            t.lookup("MessengerVoip", "VOIP_ECHO"),
+            Some(&Binding::Constant(ParamValue::Float(0.9)))
+        );
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup("MessengerVoip", "OTHER").is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut t = TranslationLayer::new();
+        t.bind("C", "f1", Binding::Gatekeeper { project: "P".into() });
+        t.bind("C", "f2", Binding::Constant(ParamValue::Int(7)));
+        let back = TranslationLayer::from_config_json(&t.to_config_json()).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,265 @@
+//! The per-server PackageVessel agent.
+//!
+//! On a metadata update (delivered through the Zeus subscription in the
+//! full stack — consistency of the metadata drives consistency of the bulk
+//! content, §3.5), the agent fetches the version's pieces: it asks the
+//! tracker for a source per piece, keeps a request window full, announces
+//! completed pieces, and abandons any in-flight fetch when newer metadata
+//! arrives — the version tag is what makes "naive P2P" consistency problems
+//! impossible by construction.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::Bytes;
+use rand::seq::SliceRandom;
+use simnet::{Actor, Ctx, Message, NodeId, Proximity, SimDuration};
+
+use crate::types::{BulkId, BulkMeta, PvMsg};
+
+const TIMER_RETRY: u64 = 1;
+
+/// Fetch state for the version currently being downloaded.
+#[derive(Debug)]
+struct Fetch {
+    meta: BulkMeta,
+    have: HashMap<u32, Bytes>,
+    /// Pieces requested but not yet received.
+    inflight: HashSet<u32>,
+    /// Pieces not yet requested, in randomized order.
+    queue: Vec<u32>,
+    done: bool,
+}
+
+/// The agent actor.
+pub struct PvAgentActor {
+    window: usize,
+    retry: SimDuration,
+    current: Option<Fetch>,
+    /// Completed versions: id → piece payloads (the local package store).
+    completed: HashMap<BulkId, Vec<Bytes>>,
+}
+
+impl Default for PvAgentActor {
+    fn default() -> PvAgentActor {
+        PvAgentActor::new(4)
+    }
+}
+
+impl PvAgentActor {
+    /// Creates an agent keeping up to `window` piece requests in flight.
+    pub fn new(window: usize) -> PvAgentActor {
+        PvAgentActor {
+            window: window.max(1),
+            retry: SimDuration::from_secs(15),
+            current: None,
+            completed: HashMap::new(),
+        }
+    }
+
+    /// Returns whether the agent holds the complete content for `id`.
+    pub fn has(&self, id: &BulkId) -> bool {
+        self.completed.contains_key(id)
+    }
+
+    /// Total bytes of a completed download, if present.
+    pub fn size_of(&self, id: &BulkId) -> Option<u64> {
+        self.completed
+            .get(id)
+            .map(|p| p.iter().map(|b| b.len() as u64).sum())
+    }
+
+    /// The highest completed version of `config`.
+    pub fn latest_version(&self, config: &str) -> Option<u64> {
+        self.completed
+            .keys()
+            .filter(|id| id.config == config)
+            .map(|id| id.version)
+            .max()
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(fetch) = &mut self.current else {
+            return;
+        };
+        if fetch.done {
+            return;
+        }
+        while fetch.inflight.len() < self.window {
+            let Some(piece) = fetch.queue.pop() else {
+                break;
+            };
+            fetch.inflight.insert(piece);
+            ctx.send_value(
+                fetch.meta.storage,
+                64,
+                PvMsg::GetSource {
+                    id: fetch.meta.id.clone(),
+                    piece,
+                },
+            );
+        }
+    }
+
+    fn maybe_complete(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(fetch) = &mut self.current else {
+            return;
+        };
+        if fetch.done || fetch.have.len() as u32 != fetch.meta.num_pieces {
+            return;
+        }
+        fetch.done = true;
+        let mut pieces: Vec<(u32, Bytes)> = fetch.have.drain().collect();
+        pieces.sort_by_key(|(i, _)| *i);
+        let id = fetch.meta.id.clone();
+        let elapsed = (ctx.now() - fetch.meta.origin).as_secs_f64();
+        self.completed
+            .insert(id, pieces.into_iter().map(|(_, b)| b).collect());
+        ctx.metrics().sample("pv.fetch_complete_s", elapsed);
+        ctx.metrics().incr("pv.fetches_completed", 1);
+        self.current = None;
+    }
+}
+
+impl Actor for PvAgentActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        let Ok(msg) = msg.downcast::<PvMsg>() else {
+            return;
+        };
+        match *msg {
+            PvMsg::MetadataUpdate { meta } => {
+                // Newer metadata supersedes any fetch in progress — this is
+                // the subscription-driven consistency guarantee.
+                if let Some(cur) = &self.current {
+                    if cur.meta.id.config == meta.id.config
+                        && cur.meta.id.version >= meta.id.version
+                    {
+                        return;
+                    }
+                    ctx.metrics().incr("pv.fetches_abandoned", 1);
+                }
+                if self.completed.contains_key(&meta.id) {
+                    return;
+                }
+                let mut queue: Vec<u32> = (0..meta.num_pieces).collect();
+                // Randomized piece order approximates rarest-first and
+                // spreads early load across the swarm.
+                queue.shuffle(ctx.rng());
+                self.current = Some(Fetch {
+                    meta,
+                    have: HashMap::new(),
+                    inflight: HashSet::new(),
+                    queue,
+                    done: false,
+                });
+                self.pump(ctx);
+                ctx.set_timer(self.retry, TIMER_RETRY);
+            }
+            PvMsg::Source { id, piece, source } => {
+                let relevant = self
+                    .current
+                    .as_ref()
+                    .is_some_and(|f| f.meta.id == id && f.inflight.contains(&piece));
+                if relevant {
+                    ctx.send_value(source, 64, PvMsg::RequestPiece { id, piece });
+                }
+            }
+            PvMsg::RequestPiece { id, piece } => {
+                // Serve peers from the completed store or the in-progress
+                // fetch.
+                let data = self
+                    .completed
+                    .get(&id)
+                    .and_then(|p| p.get(piece as usize).cloned())
+                    .or_else(|| {
+                        self.current
+                            .as_ref()
+                            .filter(|f| f.meta.id == id)
+                            .and_then(|f| f.have.get(&piece).cloned())
+                    });
+                match data {
+                    Some(data) => {
+                        let origin = self
+                            .current
+                            .as_ref()
+                            .filter(|f| f.meta.id == id)
+                            .map(|f| f.meta.origin)
+                            .unwrap_or(ctx.now());
+                        ctx.metrics().incr("pv.p2p_bytes_sent", data.len() as u64);
+                        ctx.metrics().incr("pv.p2p_pieces_sent", 1);
+                        match ctx.proximity(from) {
+                            Proximity::SameCluster | Proximity::SameNode => {
+                                ctx.metrics().incr("pv.p2p_pieces_same_cluster", 1)
+                            }
+                            Proximity::SameRegion => {
+                                ctx.metrics().incr("pv.p2p_pieces_same_region", 1)
+                            }
+                            Proximity::CrossRegion => {
+                                ctx.metrics().incr("pv.p2p_pieces_cross_region", 1)
+                            }
+                        }
+                        let size = data.len() as u64 + 64;
+                        ctx.send_value(
+                            from,
+                            size,
+                            PvMsg::Piece {
+                                id,
+                                piece,
+                                data,
+                                origin,
+                            },
+                        );
+                    }
+                    None => {
+                        ctx.send_value(from, 64, PvMsg::Deny { id, piece });
+                    }
+                }
+            }
+            PvMsg::Piece {
+                id, piece, data, ..
+            } => {
+                let Some(fetch) = &mut self.current else {
+                    return;
+                };
+                // Accept any piece the fetch still needs — a delivery may
+                // arrive after the retry timer already drained it from the
+                // in-flight set (slow storage under queueing), and dropping
+                // it would livelock the fetch.
+                if fetch.meta.id != id || fetch.have.contains_key(&piece) {
+                    return;
+                }
+                fetch.inflight.remove(&piece);
+                fetch.queue.retain(|p| *p != piece);
+                fetch.have.insert(piece, data);
+                let storage = fetch.meta.storage;
+                ctx.send_value(storage, 64, PvMsg::HavePiece { id, piece });
+                self.pump(ctx);
+                self.maybe_complete(ctx);
+            }
+            PvMsg::Deny { id, piece } => {
+                // Stale hint: put the piece back and retry via the tracker.
+                if let Some(fetch) = &mut self.current {
+                    if fetch.meta.id == id && fetch.inflight.remove(&piece) {
+                        fetch.queue.push(piece);
+                        self.pump(ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag != TIMER_RETRY {
+            return;
+        }
+        // Re-request anything stuck in flight (lost to a crashed peer).
+        if let Some(fetch) = &mut self.current {
+            if !fetch.done {
+                let stuck: Vec<u32> = fetch.inflight.drain().collect();
+                fetch.queue.extend(stuck);
+                self.pump(ctx);
+                ctx.set_timer(self.retry, TIMER_RETRY);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Deployment helpers for PackageVessel experiments.
+
+use bytes::Bytes;
+use simnet::{NodeId, Sim, SimTime};
+
+use crate::agent::PvAgentActor;
+use crate::storage::{PeerPolicy, StorageActor};
+use crate::types::{BulkId, BulkMeta, PvMsg};
+
+/// Handles to an installed PackageVessel swarm.
+#[derive(Debug, Clone)]
+pub struct PvDeployment {
+    /// The storage/tracker node.
+    pub storage: NodeId,
+    /// Every agent node.
+    pub agents: Vec<NodeId>,
+}
+
+impl PvDeployment {
+    /// Installs a storage node on node 0 and agents on every other server.
+    pub fn install(sim: &mut Sim, policy: PeerPolicy, window: usize) -> PvDeployment {
+        let storage = NodeId(0);
+        sim.add_actor(storage, Box::new(StorageActor::new(policy)));
+        let mut agents = Vec::new();
+        for node in sim.topology().nodes().collect::<Vec<_>>() {
+            if node == storage {
+                continue;
+            }
+            sim.add_actor(node, Box::new(PvAgentActor::new(window)));
+            agents.push(node);
+        }
+        PvDeployment { storage, agents }
+    }
+
+    /// Publishes `total_size` bytes as `config` version `version`, split
+    /// into `piece_size` pieces, and notifies every agent (standing in for
+    /// the Zeus metadata push; the caller can add per-agent delays to model
+    /// metadata propagation). Returns the metadata record.
+    pub fn publish(
+        &self,
+        sim: &mut Sim,
+        config: &str,
+        version: u64,
+        total_size: u64,
+        piece_size: u64,
+        at: SimTime,
+    ) -> BulkMeta {
+        assert!(piece_size > 0 && total_size > 0, "sizes must be nonzero");
+        let num_pieces = total_size.div_ceil(piece_size) as u32;
+        let meta = BulkMeta {
+            id: BulkId {
+                config: config.to_string(),
+                version,
+            },
+            num_pieces,
+            piece_size,
+            total_size,
+            storage: self.storage,
+            origin: at,
+        };
+        let mut pieces = Vec::with_capacity(num_pieces as usize);
+        let mut remaining = total_size;
+        for i in 0..num_pieces {
+            let this = remaining.min(piece_size);
+            remaining -= this;
+            // Deterministic filler content tagged with the piece index.
+            pieces.push(Bytes::from(vec![(i % 251) as u8; this as usize]));
+        }
+        sim.post(
+            at,
+            self.storage,
+            self.storage,
+            Box::new(PvMsg::Publish {
+                meta: meta.clone(),
+                pieces,
+            }),
+        );
+        for &a in &self.agents {
+            sim.post(
+                at,
+                a,
+                a,
+                Box::new(PvMsg::MetadataUpdate { meta: meta.clone() }),
+            );
+        }
+        meta
+    }
+
+    /// Fraction of agents holding the complete content for `id`.
+    pub fn completion(&self, sim: &Sim, id: &BulkId) -> f64 {
+        if self.agents.is_empty() {
+            return 0.0;
+        }
+        let done = self
+            .agents
+            .iter()
+            .filter(|&&a| {
+                sim.actor::<PvAgentActor>(a)
+                    .map(|x| x.has(id))
+                    .unwrap_or(false)
+            })
+            .count();
+        done as f64 / self.agents.len() as f64
+    }
+}

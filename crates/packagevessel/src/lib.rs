@@ -1,0 +1,51 @@
+//! # packagevessel — hybrid subscription-P2P bulk distribution
+//!
+//! Reproduction of the paper's PackageVessel (§3.5): large configs (e.g.
+//! "GBs of machine learning models") cannot go through the Zeus
+//! distribution tree without overloading its high-fanout inner nodes, so
+//! PackageVessel separates a large config's small *metadata* (distributed
+//! reliably through the Zeus subscription model) from its *bulk content*
+//! (fetched from a storage system via a locality-aware BitTorrent-style
+//! swarm). The subscription guarantees metadata consistency, which in turn
+//! drives consistency of the bulk content: every piece is tagged with the
+//! version from the metadata, and newer metadata aborts any in-flight fetch
+//! of an older version.
+//!
+//! The peer-selection policy is ablatable ([`storage::PeerPolicy`]):
+//! locality-aware (the paper's design), uniform random, and storage-only
+//! (no P2P), which is what the `repro packagevessel` experiment sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! use simnet::prelude::*;
+//! use packagevessel::prelude::*;
+//!
+//! let topo = Topology::symmetric(2, 2, 8);
+//! // Constrain bandwidth so the swarm effect is visible.
+//! let net = NetConfig {
+//!     egress_bytes_per_sec: 100_000_000,
+//!     ingress_bytes_per_sec: 100_000_000,
+//!     ..NetConfig::datacenter()
+//! };
+//! let mut sim = Sim::new(topo, net, 11);
+//! let pv = PvDeployment::install(&mut sim, PeerPolicy::LocalityAware, 4);
+//! let meta = pv.publish(&mut sim, "feed/model", 1, 8 << 20, 1 << 20, SimTime::ZERO);
+//! sim.run_for(SimDuration::from_secs(60));
+//! assert_eq!(pv.completion(&sim, &meta.id), 1.0);
+//! ```
+
+pub mod agent;
+pub mod deploy;
+pub mod storage;
+pub mod types;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::agent::PvAgentActor;
+    pub use crate::deploy::PvDeployment;
+    pub use crate::storage::{PeerPolicy, StorageActor};
+    pub use crate::types::{BulkId, BulkMeta, PvMsg};
+}
+
+pub use prelude::*;

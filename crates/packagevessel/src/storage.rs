@@ -1,0 +1,174 @@
+//! The storage system / tracker node.
+//!
+//! Holds the authoritative bulk content (the "storage system" of §3.5) and
+//! doubles as the swarm tracker: agents announce which pieces they hold,
+//! and the tracker answers source queries. The paper's locality preference
+//! — "a server prefers exchanging data with other servers in the same
+//! cluster" — is implemented as tracker policy so it can be ablated.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::seq::SliceRandom;
+use simnet::{Actor, Ctx, Message, NodeId, Proximity};
+
+use crate::types::{BulkId, PvMsg};
+
+/// Peer-selection policy for source queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerPolicy {
+    /// Prefer same-cluster holders, then same-region, then any, then the
+    /// storage node (the paper's design).
+    LocalityAware,
+    /// Any holder uniformly at random, else storage.
+    Random,
+    /// Always serve from storage (tree-only baseline — no P2P).
+    StorageOnly,
+}
+
+/// The storage/tracker actor.
+pub struct StorageActor {
+    policy: PeerPolicy,
+    /// Bulk contents by id.
+    contents: HashMap<BulkId, Vec<bytes::Bytes>>,
+    /// Which agents hold which pieces.
+    holders: HashMap<BulkId, HashMap<u32, Vec<NodeId>>>,
+    origins: HashMap<BulkId, simnet::SimTime>,
+}
+
+impl StorageActor {
+    /// Creates a storage node with the given peer policy.
+    pub fn new(policy: PeerPolicy) -> StorageActor {
+        StorageActor {
+            policy,
+            contents: HashMap::new(),
+            holders: HashMap::new(),
+            origins: HashMap::new(),
+        }
+    }
+
+    /// Number of published bulk versions.
+    pub fn published(&self) -> usize {
+        self.contents.len()
+    }
+
+    fn pick_source(
+        &self,
+        ctx: &mut Ctx<'_>,
+        requester: NodeId,
+        id: &BulkId,
+        piece: u32,
+    ) -> NodeId {
+        let me = ctx.node();
+        if self.policy == PeerPolicy::StorageOnly {
+            return me;
+        }
+        let Some(by_piece) = self.holders.get(id) else {
+            return me;
+        };
+        let Some(holders) = by_piece.get(&piece) else {
+            return me;
+        };
+        let candidates: Vec<NodeId> = holders
+            .iter()
+            .copied()
+            .filter(|&h| h != requester)
+            .collect();
+        if candidates.is_empty() {
+            return me;
+        }
+        match self.policy {
+            PeerPolicy::Random => *candidates.choose(ctx.rng()).expect("nonempty"),
+            PeerPolicy::LocalityAware => {
+                let topo = ctx.topology();
+                let rank = |h: NodeId| match topo.proximity(requester, h) {
+                    Proximity::SameNode | Proximity::SameCluster => 0u8,
+                    Proximity::SameRegion => 1,
+                    Proximity::CrossRegion => 2,
+                };
+                let best = candidates.iter().map(|&h| rank(h)).min().expect("nonempty");
+                let tier: Vec<NodeId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&h| rank(h) == best)
+                    .collect();
+                *tier.choose(ctx.rng()).expect("nonempty")
+            }
+            PeerPolicy::StorageOnly => me,
+        }
+    }
+}
+
+impl Actor for StorageActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        let Ok(msg) = msg.downcast::<PvMsg>() else {
+            return;
+        };
+        match *msg {
+            PvMsg::Publish { meta, pieces } => {
+                debug_assert_eq!(pieces.len() as u32, meta.num_pieces);
+                self.origins.insert(meta.id.clone(), meta.origin);
+                self.holders.insert(meta.id.clone(), HashMap::new());
+                self.contents.insert(meta.id, pieces);
+            }
+            PvMsg::GetSource { id, piece } => {
+                let source = self.pick_source(ctx, from, &id, piece);
+                ctx.send_value(from, 64, PvMsg::Source { id, piece, source });
+            }
+            PvMsg::RequestPiece { id, piece } => {
+                match self
+                    .contents
+                    .get(&id)
+                    .and_then(|p| p.get(piece as usize))
+                {
+                    Some(data) => {
+                        let data = data.clone();
+                        ctx.metrics().incr("pv.storage_bytes_sent", data.len() as u64);
+                        ctx.metrics().incr("pv.storage_pieces_sent", 1);
+                        let origin = self.origins.get(&id).copied().unwrap_or(ctx.now());
+                        let size = data.len() as u64 + 64;
+                        ctx.send_value(
+                            from,
+                            size,
+                            PvMsg::Piece {
+                                id,
+                                piece,
+                                data,
+                                origin,
+                            },
+                        );
+                    }
+                    None => {
+                        ctx.send_value(from, 64, PvMsg::Deny { id, piece });
+                    }
+                }
+            }
+            PvMsg::HavePiece { id, piece } => {
+                self.holders
+                    .entry(id)
+                    .or_default()
+                    .entry(piece)
+                    .or_default()
+                    .push(from);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Deduplicates a holder list in place (used when many announces arrive).
+pub fn dedup_holders(holders: &mut Vec<NodeId>) {
+    let mut seen = HashSet::new();
+    holders.retain(|h| seen.insert(*h));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        let mut v = vec![NodeId(3), NodeId(1), NodeId(3), NodeId(2), NodeId(1)];
+        dedup_holders(&mut v);
+        assert_eq!(v, vec![NodeId(3), NodeId(1), NodeId(2)]);
+    }
+}

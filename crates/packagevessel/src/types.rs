@@ -1,0 +1,128 @@
+//! PackageVessel protocol types.
+
+use bytes::Bytes;
+use simnet::{NodeId, SimTime};
+
+/// Identifies one version of one large config.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BulkId {
+    /// Config name (e.g. `"feed/ranking_model"`).
+    pub config: String,
+    /// Monotonic version number (driven by the Configerator metadata).
+    pub version: u64,
+}
+
+/// The small metadata record stored in Configerator and distributed through
+/// Zeus (§3.5): "When a large config changes, its bulk content is uploaded
+/// to a storage system. It then updates the config's small metadata stored
+/// in Configerator, including the version number of the new config and
+/// where to fetch the config's bulk content."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BulkMeta {
+    /// Which config/version this is.
+    pub id: BulkId,
+    /// Number of pieces.
+    pub num_pieces: u32,
+    /// Size of each piece in bytes (last piece may be smaller).
+    pub piece_size: u64,
+    /// Total size in bytes.
+    pub total_size: u64,
+    /// The storage/tracker node holding the full content.
+    pub storage: NodeId,
+    /// When the publishing client initiated the update.
+    pub origin: SimTime,
+}
+
+impl BulkMeta {
+    /// Serialized size of the metadata (small, by design).
+    pub fn wire_size(&self) -> u64 {
+        (self.id.config.len() + 48) as u64
+    }
+}
+
+/// Messages of the PackageVessel swarm protocol.
+#[derive(Debug, Clone)]
+pub enum PvMsg {
+    /// Driver → storage: store the bulk content and become its origin.
+    Publish {
+        /// Metadata of the new version.
+        meta: BulkMeta,
+        /// Piece payloads.
+        pieces: Vec<Bytes>,
+    },
+    /// Driver (standing in for the Zeus metadata subscription) → agent:
+    /// a new version exists; start fetching.
+    MetadataUpdate {
+        /// Metadata of the new version.
+        meta: BulkMeta,
+    },
+    /// Agent → tracker: who can serve this piece?
+    GetSource {
+        /// Target config/version.
+        id: BulkId,
+        /// Piece index.
+        piece: u32,
+    },
+    /// Tracker → agent: fetch the piece from `source`.
+    Source {
+        /// Target config/version.
+        id: BulkId,
+        /// Piece index.
+        piece: u32,
+        /// The suggested holder (may be the storage node itself).
+        source: NodeId,
+    },
+    /// Agent → holder: send me this piece.
+    RequestPiece {
+        /// Target config/version.
+        id: BulkId,
+        /// Piece index.
+        piece: u32,
+    },
+    /// Holder → agent: piece payload.
+    Piece {
+        /// Target config/version.
+        id: BulkId,
+        /// Piece index.
+        piece: u32,
+        /// Payload.
+        data: Bytes,
+        /// Origin timestamp carried through for latency metrics.
+        origin: SimTime,
+    },
+    /// Holder → agent: piece not available here (stale tracker hint).
+    Deny {
+        /// Target config/version.
+        id: BulkId,
+        /// Piece index.
+        piece: u32,
+    },
+    /// Agent → tracker: I now hold this piece (announce).
+    HavePiece {
+        /// Target config/version.
+        id: BulkId,
+        /// Piece index.
+        piece: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_is_small_regardless_of_bulk_size() {
+        let meta = BulkMeta {
+            id: BulkId {
+                config: "feed/model".into(),
+                version: 3,
+            },
+            num_pieces: 1000,
+            piece_size: 4 << 20,
+            total_size: 4 << 30,
+            storage: NodeId(0),
+            origin: SimTime::ZERO,
+        };
+        assert!(meta.wire_size() < 128);
+    }
+}

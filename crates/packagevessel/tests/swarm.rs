@@ -1,0 +1,145 @@
+//! End-to-end swarm tests: completion, consistency under concurrent
+//! versions, policy ablations, and storage-offload behaviour (§3.5).
+
+use packagevessel::prelude::*;
+use simnet::prelude::*;
+
+/// 100 MB/s links make transfer time dominate propagation, as in a real
+/// bulk distribution.
+fn net() -> NetConfig {
+    NetConfig {
+        egress_bytes_per_sec: 100_000_000,
+        ingress_bytes_per_sec: 100_000_000,
+        ..NetConfig::datacenter()
+    }
+}
+
+fn swarm(seed: u64, policy: PeerPolicy) -> (Sim, PvDeployment) {
+    let topo = Topology::symmetric(2, 2, 10);
+    let mut sim = Sim::new(topo, net(), seed);
+    let pv = PvDeployment::install(&mut sim, policy, 4);
+    (sim, pv)
+}
+
+#[test]
+fn swarm_completes_on_all_agents() {
+    let (mut sim, pv) = swarm(1, PeerPolicy::LocalityAware);
+    let meta = pv.publish(&mut sim, "m", 1, 16 << 20, 1 << 20, SimTime::ZERO);
+    sim.run_for(SimDuration::from_secs(120));
+    assert_eq!(pv.completion(&sim, &meta.id), 1.0);
+    // Every agent reports the full size.
+    for &a in &pv.agents {
+        let agent: &PvAgentActor = sim.actor(a).unwrap();
+        assert_eq!(agent.size_of(&meta.id), Some(16 << 20));
+    }
+}
+
+#[test]
+fn p2p_offloads_the_storage_node() {
+    let (mut sim, pv) = swarm(2, PeerPolicy::LocalityAware);
+    let meta = pv.publish(&mut sim, "m", 1, 16 << 20, 1 << 20, SimTime::ZERO);
+    sim.run_for(SimDuration::from_secs(120));
+    assert_eq!(pv.completion(&sim, &meta.id), 1.0);
+    let storage = sim.metrics().counter("pv.storage_pieces_sent");
+    let p2p = sim.metrics().counter("pv.p2p_pieces_sent");
+    // 39 agents × 16 pieces = 624 transfers; the swarm must carry most.
+    assert!(
+        p2p > storage,
+        "P2P should dominate: p2p={p2p} storage={storage}"
+    );
+}
+
+#[test]
+fn storage_only_baseline_is_slower_and_fully_centralized() {
+    let total = 16u64 << 20;
+    let run = |policy| {
+        let (mut sim, pv) = swarm(3, policy);
+        let meta = pv.publish(&mut sim, "m", 1, total, 1 << 20, SimTime::ZERO);
+        sim.run_for(SimDuration::from_secs(600));
+        assert_eq!(pv.completion(&sim, &meta.id), 1.0, "{policy:?}");
+        let s = sim.metrics().summary("pv.fetch_complete_s").unwrap();
+        (s.max, sim.metrics().counter("pv.p2p_pieces_sent"))
+    };
+    let (t_swarm, _) = run(PeerPolicy::LocalityAware);
+    let (t_central, p2p_central) = run(PeerPolicy::StorageOnly);
+    assert_eq!(p2p_central, 0, "storage-only must not use peers");
+    assert!(
+        t_central > t_swarm * 2.0,
+        "central={t_central:.1}s swarm={t_swarm:.1}s"
+    );
+}
+
+#[test]
+fn locality_prefers_same_cluster_transfers() {
+    let (mut sim, pv) = swarm(4, PeerPolicy::LocalityAware);
+    let meta = pv.publish(&mut sim, "m", 1, 16 << 20, 1 << 20, SimTime::ZERO);
+    sim.run_for(SimDuration::from_secs(120));
+    assert_eq!(pv.completion(&sim, &meta.id), 1.0);
+    let same = sim.metrics().counter("pv.p2p_pieces_same_cluster");
+    let cross = sim.metrics().counter("pv.p2p_pieces_cross_region")
+        + sim.metrics().counter("pv.p2p_pieces_same_region");
+    assert!(
+        same > cross,
+        "locality-aware should stay in-cluster: same={same} far={cross}"
+    );
+}
+
+#[test]
+fn newer_version_supersedes_inflight_fetch() {
+    let (mut sim, pv) = swarm(5, PeerPolicy::LocalityAware);
+    // Publish v1; shortly after (mid-download), publish v2.
+    let v1 = pv.publish(&mut sim, "model", 1, 32 << 20, 1 << 20, SimTime::ZERO);
+    let v2 = pv.publish(
+        &mut sim,
+        "model",
+        2,
+        8 << 20,
+        1 << 20,
+        SimTime::ZERO + SimDuration::from_millis(200),
+    );
+    sim.run_for(SimDuration::from_secs(300));
+    // Consistency: every agent converges on v2 as the latest version.
+    for &a in &pv.agents {
+        let agent: &PvAgentActor = sim.actor(a).unwrap();
+        assert_eq!(agent.latest_version("model"), Some(2));
+        assert!(agent.has(&v2.id));
+    }
+    assert!(
+        sim.metrics().counter("pv.fetches_abandoned") > 0,
+        "some agents must have abandoned v1 mid-fetch"
+    );
+    let _ = v1;
+}
+
+#[test]
+fn crashed_peer_does_not_stall_the_swarm() {
+    let (mut sim, pv) = swarm(6, PeerPolicy::LocalityAware);
+    let meta = pv.publish(&mut sim, "m", 1, 8 << 20, 1 << 20, SimTime::ZERO);
+    // Let some agents get a head start, then crash two of them; requests
+    // routed to the dead peers are lost and must be retried elsewhere.
+    sim.run_for(SimDuration::from_millis(300));
+    sim.crash(pv.agents[0]);
+    sim.crash(pv.agents[1]);
+    sim.run_for(SimDuration::from_secs(300));
+    let live: Vec<_> = pv.agents[2..].to_vec();
+    for &a in &live {
+        let agent: &PvAgentActor = sim.actor(a).unwrap();
+        assert!(agent.has(&meta.id), "agent {a} should finish despite dead peers");
+    }
+}
+
+#[test]
+fn duplicate_metadata_update_is_idempotent() {
+    let (mut sim, pv) = swarm(7, PeerPolicy::LocalityAware);
+    let meta = pv.publish(&mut sim, "m", 1, 4 << 20, 1 << 20, SimTime::ZERO);
+    sim.run_for(SimDuration::from_secs(120));
+    assert_eq!(pv.completion(&sim, &meta.id), 1.0);
+    let fetched = sim.metrics().counter("pv.fetches_completed");
+    // Re-deliver the same metadata: nothing should re-download.
+    let now = sim.now();
+    for &a in pv.agents.clone().iter() {
+        sim.post(now, a, a, Box::new(PvMsg::MetadataUpdate { meta: meta.clone() }));
+    }
+    sim.run_for(SimDuration::from_secs(30));
+    assert_eq!(sim.metrics().counter("pv.fetches_completed"), fetched);
+}

@@ -1,0 +1,61 @@
+//! # simnet — deterministic discrete-event fleet simulator
+//!
+//! This crate is the substrate standing in for Facebook's production fleet
+//! in the reproduction of *"Holistic Configuration Management at Facebook"*
+//! (SOSP 2015). The paper's distribution experiments run over hundreds of
+//! thousands of servers spread across regions and clusters (§3.4); here the
+//! same protocols run over a simulated topology with an explicit network
+//! model, so propagation-latency and fan-out results are reproducible on a
+//! laptop.
+//!
+//! The building blocks:
+//!
+//! * [`topology::Topology`] — region → cluster → server hierarchy.
+//! * [`net::NetConfig`] — propagation delay per proximity class, per-node
+//!   egress/ingress bandwidth, jitter.
+//! * [`sim::Sim`] / [`sim::Actor`] — the event loop and the process model.
+//! * [`stats::Metrics`] — measurement collection.
+//!
+//! # Examples
+//!
+//! ```
+//! use simnet::prelude::*;
+//!
+//! struct Sink;
+//! impl Actor for Sink {
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, _msg: Message) {
+//!         let t = ctx.now().as_secs_f64();
+//!         ctx.metrics().sample("arrival_s", t);
+//!     }
+//! }
+//!
+//! let topo = Topology::symmetric(2, 2, 10);
+//! let mut sim = Sim::new(topo, NetConfig::datacenter(), 1);
+//! for node in sim.topology().nodes().collect::<Vec<_>>() {
+//!     sim.add_actor(node, Box::new(Sink));
+//! }
+//! sim.post(SimTime::ZERO, NodeId(0), NodeId(39), Box::new(()));
+//! sim.run_until_idle();
+//! assert_eq!(sim.metrics().samples("arrival_s").len(), 1);
+//! ```
+
+pub mod net;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::net::NetConfig;
+    pub use crate::sim::{Actor, Ctx, Message, Sim};
+    pub use crate::stats::{Metrics, Summary};
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::topology::{ClusterId, NodeId, Proximity, RegionId, Topology, TopologyBuilder};
+}
+
+pub use net::NetConfig;
+pub use sim::{Actor, Ctx, Message, Sim};
+pub use stats::{Metrics, Summary};
+pub use time::{SimDuration, SimTime};
+pub use topology::{ClusterId, NodeId, Proximity, RegionId, Topology, TopologyBuilder};

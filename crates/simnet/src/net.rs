@@ -1,0 +1,117 @@
+//! Network latency and bandwidth model.
+//!
+//! Point-to-point delivery time is `propagation(proximity) + size/bandwidth`
+//! plus jitter. Each node additionally has a serialized egress link (and
+//! optionally ingress link), which is what makes a single origin server a
+//! bottleneck when it must push bulk data to thousands of receivers — the
+//! effect PackageVessel's P2P distribution exists to avoid (§3.5).
+
+use crate::time::SimDuration;
+use crate::topology::Proximity;
+
+/// Static parameters of the network model.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// One-way propagation delay between servers in the same cluster.
+    pub same_cluster_rtt2: SimDuration,
+    /// One-way propagation delay between clusters in the same region.
+    pub same_region_rtt2: SimDuration,
+    /// One-way propagation delay between regions.
+    pub cross_region_rtt2: SimDuration,
+    /// Per-node egress bandwidth in bytes per second.
+    pub egress_bytes_per_sec: u64,
+    /// Per-node ingress bandwidth in bytes per second.
+    pub ingress_bytes_per_sec: u64,
+    /// Maximum jitter added to each delivery, uniformly sampled.
+    pub max_jitter: SimDuration,
+    /// Fixed per-message processing overhead at the receiver.
+    pub per_message_overhead: SimDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            same_cluster_rtt2: SimDuration::from_micros(250),
+            same_region_rtt2: SimDuration::from_micros(1_500),
+            cross_region_rtt2: SimDuration::from_millis(40),
+            // 10 Gb/s ≈ 1.25 GB/s.
+            egress_bytes_per_sec: 1_250_000_000,
+            ingress_bytes_per_sec: 1_250_000_000,
+            max_jitter: SimDuration::from_micros(200),
+            per_message_overhead: SimDuration::from_micros(50),
+        }
+    }
+}
+
+impl NetConfig {
+    /// A configuration matching a wide-area deployment with commodity 10G
+    /// NICs (the default).
+    pub fn datacenter() -> NetConfig {
+        NetConfig::default()
+    }
+
+    /// Returns the one-way propagation delay for a link of the given
+    /// proximity class.
+    pub fn propagation(&self, prox: Proximity) -> SimDuration {
+        match prox {
+            Proximity::SameNode => SimDuration::ZERO,
+            Proximity::SameCluster => self.same_cluster_rtt2,
+            Proximity::SameRegion => self.same_region_rtt2,
+            Proximity::CrossRegion => self.cross_region_rtt2,
+        }
+    }
+
+    /// Returns the wire time for `bytes` at the egress rate.
+    pub fn egress_transmit(&self, bytes: u64) -> SimDuration {
+        transmit_time(bytes, self.egress_bytes_per_sec)
+    }
+
+    /// Returns the wire time for `bytes` at the ingress rate.
+    pub fn ingress_transmit(&self, bytes: u64) -> SimDuration {
+        transmit_time(bytes, self.ingress_bytes_per_sec)
+    }
+}
+
+fn transmit_time(bytes: u64, rate: u64) -> SimDuration {
+    if rate == 0 {
+        return SimDuration::ZERO;
+    }
+    // Ceil division in microseconds to never round a nonzero transfer to 0.
+    let us = (bytes as u128 * 1_000_000u128).div_ceil(rate as u128);
+    SimDuration::from_micros(us as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_ordering() {
+        let c = NetConfig::default();
+        assert!(c.propagation(Proximity::SameCluster) < c.propagation(Proximity::SameRegion));
+        assert!(c.propagation(Proximity::SameRegion) < c.propagation(Proximity::CrossRegion));
+        assert_eq!(c.propagation(Proximity::SameNode), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transmit_time_scales_with_size() {
+        let c = NetConfig {
+            egress_bytes_per_sec: 1_000_000, // 1 MB/s
+            ..NetConfig::default()
+        };
+        assert_eq!(c.egress_transmit(1_000_000), SimDuration::from_secs(1));
+        assert_eq!(c.egress_transmit(500_000), SimDuration::from_micros(500_000));
+        // Tiny transfers still cost at least one microsecond.
+        assert_eq!(c.egress_transmit(1), SimDuration::from_micros(1));
+        assert_eq!(c.egress_transmit(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_rate_is_instant() {
+        let c = NetConfig {
+            egress_bytes_per_sec: 0,
+            ..NetConfig::default()
+        };
+        assert_eq!(c.egress_transmit(1 << 30), SimDuration::ZERO);
+    }
+}

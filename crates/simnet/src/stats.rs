@@ -1,0 +1,199 @@
+//! Measurement collection for simulation runs.
+//!
+//! Actors record named samples and counters through [`crate::sim::Ctx`];
+//! experiments read them back as [`Summary`] statistics after the run.
+
+use std::collections::BTreeMap;
+
+/// A collection of named counters and sample series.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics store.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero if absent.
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Appends a sample to the series `name`.
+    pub fn sample(&mut self, name: &str, value: f64) {
+        self.series.entry(name.to_string()).or_default().push(value);
+    }
+
+    /// Returns the value of counter `name`, or zero if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Returns the raw samples of series `name`.
+    pub fn samples(&self, name: &str) -> &[f64] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Summarizes the series `name`. Returns `None` if it has no samples.
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        let s = self.samples(name);
+        if s.is_empty() {
+            None
+        } else {
+            Some(Summary::of(s))
+        }
+    }
+
+    /// Iterates over all counter names and values.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all series names.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Merges another metrics store into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.series {
+            self.series.entry(k.clone()).or_default().extend(v);
+        }
+    }
+}
+
+/// Order statistics over a sample series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "summary of empty series");
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+        }
+    }
+}
+
+/// Returns the `p`-th percentile (0-100) of an already-sorted slice using
+/// nearest-rank interpolation.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Returns the `p`-th percentile of an unsorted slice.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    percentile_sorted(&sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("x", 2);
+        m.incr("x", 3);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.p50, 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 50.0), 20.0);
+        assert_eq!(percentile(&v, 100.0), 30.0);
+        assert_eq!(percentile(&v, 25.0), 15.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.incr("c", 1);
+        a.sample("s", 1.0);
+        let mut b = Metrics::new();
+        b.incr("c", 2);
+        b.sample("s", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.samples("s"), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_series_has_no_summary() {
+        let m = Metrics::new();
+        assert!(m.summary("nope").is_none());
+    }
+}

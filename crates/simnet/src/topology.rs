@@ -1,0 +1,305 @@
+//! Fleet topology: regions, clusters, and servers.
+//!
+//! The paper's fleet is organized as geographically distributed *regions*
+//! (data centers), each containing multiple *clusters* of thousands of
+//! servers (§3.4). [`Topology`] captures that hierarchy and gives every
+//! server a dense [`NodeId`] so the simulator can index per-node state with
+//! plain vectors.
+
+use std::fmt;
+
+/// Dense identifier of a simulated node (server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a region (data center).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u16);
+
+/// Identifier of a cluster, unique across the whole topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Where a node sits in the region/cluster hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The node's region.
+    pub region: RegionId,
+    /// The node's cluster (globally unique id).
+    pub cluster: ClusterId,
+}
+
+/// The relative network distance between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proximity {
+    /// The two endpoints are the same node.
+    SameNode,
+    /// Same cluster, different servers.
+    SameCluster,
+    /// Same region, different clusters.
+    SameRegion,
+    /// Different regions (cross-continent in the paper's deployment).
+    CrossRegion,
+}
+
+/// A fleet topology: an immutable region → cluster → server hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::topology::Topology;
+///
+/// // Three regions, four clusters each, 100 servers per cluster.
+/// let topo = Topology::symmetric(3, 4, 100);
+/// assert_eq!(topo.num_nodes(), 1200);
+/// assert_eq!(topo.num_clusters(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    placements: Vec<Placement>,
+    clusters: Vec<Vec<NodeId>>,
+    cluster_region: Vec<RegionId>,
+    regions: Vec<Vec<ClusterId>>,
+}
+
+impl Topology {
+    /// Builds a symmetric topology: `regions` regions, each with
+    /// `clusters_per_region` clusters of `servers_per_cluster` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn symmetric(
+        regions: usize,
+        clusters_per_region: usize,
+        servers_per_cluster: usize,
+    ) -> Topology {
+        assert!(
+            regions > 0 && clusters_per_region > 0 && servers_per_cluster > 0,
+            "topology dimensions must be nonzero"
+        );
+        let mut builder = TopologyBuilder::new();
+        for _ in 0..regions {
+            let r = builder.add_region();
+            for _ in 0..clusters_per_region {
+                let c = builder.add_cluster(r);
+                builder.add_servers(c, servers_per_cluster);
+            }
+        }
+        builder.build()
+    }
+
+    /// Total number of server nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Total number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total number of regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns the placement of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn placement(&self, node: NodeId) -> Placement {
+        self.placements[node.0 as usize]
+    }
+
+    /// Returns the nodes of `cluster`.
+    pub fn cluster_nodes(&self, cluster: ClusterId) -> &[NodeId] {
+        &self.clusters[cluster.0 as usize]
+    }
+
+    /// Returns the region containing `cluster`.
+    pub fn cluster_region(&self, cluster: ClusterId) -> RegionId {
+        self.cluster_region[cluster.0 as usize]
+    }
+
+    /// Returns the clusters of `region`.
+    pub fn region_clusters(&self, region: RegionId) -> &[ClusterId] {
+        &self.regions[region.0 as usize]
+    }
+
+    /// Iterates over every node id in the topology.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.placements.len() as u32).map(NodeId)
+    }
+
+    /// Classifies the network distance between `a` and `b`.
+    pub fn proximity(&self, a: NodeId, b: NodeId) -> Proximity {
+        if a == b {
+            return Proximity::SameNode;
+        }
+        let pa = self.placement(a);
+        let pb = self.placement(b);
+        if pa.cluster == pb.cluster {
+            Proximity::SameCluster
+        } else if pa.region == pb.region {
+            Proximity::SameRegion
+        } else {
+            Proximity::CrossRegion
+        }
+    }
+}
+
+/// Incremental builder for irregular topologies.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::topology::TopologyBuilder;
+///
+/// let mut b = TopologyBuilder::new();
+/// let r = b.add_region();
+/// let c = b.add_cluster(r);
+/// let nodes = b.add_servers(c, 8);
+/// let topo = b.build();
+/// assert_eq!(topo.cluster_nodes(c), &nodes[..]);
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    placements: Vec<Placement>,
+    clusters: Vec<Vec<NodeId>>,
+    cluster_region: Vec<RegionId>,
+    regions: Vec<Vec<ClusterId>>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Adds a region and returns its id.
+    pub fn add_region(&mut self) -> RegionId {
+        let id = RegionId(self.regions.len() as u16);
+        self.regions.push(Vec::new());
+        id
+    }
+
+    /// Adds a cluster to `region` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` was not created by this builder.
+    pub fn add_cluster(&mut self, region: RegionId) -> ClusterId {
+        assert!((region.0 as usize) < self.regions.len(), "unknown region");
+        let id = ClusterId(self.clusters.len() as u32);
+        self.clusters.push(Vec::new());
+        self.cluster_region.push(region);
+        self.regions[region.0 as usize].push(id);
+        id
+    }
+
+    /// Adds one server to `cluster` and returns its node id.
+    pub fn add_server(&mut self, cluster: ClusterId) -> NodeId {
+        assert!((cluster.0 as usize) < self.clusters.len(), "unknown cluster");
+        let id = NodeId(self.placements.len() as u32);
+        self.placements.push(Placement {
+            region: self.cluster_region[cluster.0 as usize],
+            cluster,
+        });
+        self.clusters[cluster.0 as usize].push(id);
+        id
+    }
+
+    /// Adds `n` servers to `cluster`, returning their ids.
+    pub fn add_servers(&mut self, cluster: ClusterId, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_server(cluster)).collect()
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        Topology {
+            placements: self.placements,
+            clusters: self.clusters,
+            cluster_region: self.cluster_region,
+            regions: self.regions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_shape() {
+        let t = Topology::symmetric(2, 3, 10);
+        assert_eq!(t.num_regions(), 2);
+        assert_eq!(t.num_clusters(), 6);
+        assert_eq!(t.num_nodes(), 60);
+        for r in 0..2 {
+            assert_eq!(t.region_clusters(RegionId(r)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn placement_is_consistent() {
+        let t = Topology::symmetric(2, 2, 5);
+        for node in t.nodes() {
+            let p = t.placement(node);
+            assert!(t.cluster_nodes(p.cluster).contains(&node));
+            assert_eq!(t.cluster_region(p.cluster), p.region);
+            assert!(t.region_clusters(p.region).contains(&p.cluster));
+        }
+    }
+
+    #[test]
+    fn proximity_classification() {
+        let t = Topology::symmetric(2, 2, 2);
+        // Nodes 0,1 share cluster 0; nodes 2,3 share cluster 1 (region 0);
+        // nodes 4.. are region 1.
+        assert_eq!(t.proximity(NodeId(0), NodeId(0)), Proximity::SameNode);
+        assert_eq!(t.proximity(NodeId(0), NodeId(1)), Proximity::SameCluster);
+        assert_eq!(t.proximity(NodeId(0), NodeId(2)), Proximity::SameRegion);
+        assert_eq!(t.proximity(NodeId(0), NodeId(4)), Proximity::CrossRegion);
+    }
+
+    #[test]
+    fn irregular_builder() {
+        let mut b = TopologyBuilder::new();
+        let r0 = b.add_region();
+        let r1 = b.add_region();
+        let c0 = b.add_cluster(r0);
+        let c1 = b.add_cluster(r1);
+        b.add_servers(c0, 3);
+        b.add_servers(c1, 1);
+        let t = b.build();
+        assert_eq!(t.cluster_nodes(c0).len(), 3);
+        assert_eq!(t.cluster_nodes(c1).len(), 1);
+        assert_eq!(t.num_nodes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = Topology::symmetric(0, 1, 1);
+    }
+}

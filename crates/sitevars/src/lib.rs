@@ -1,0 +1,418 @@
+//! # sitevars — the easy-mode config shim for frontend products
+//!
+//! Reproduction of Sitevars (§3.2 of *Holistic Configuration Management at
+//! Facebook*, SOSP 2015): "a shim layer on top of Configerator to support
+//! simple configs used by frontend PHP products. It provides configurable
+//! name-value pairs. The value is a PHP expression." Here the value is a
+//! CDSL expression (evaluated by [`cdsl::interp::eval_expression`]).
+//!
+//! The paper's safety mechanisms are all present:
+//!
+//! * an optional **checker** per sitevar (`def check(value): require(...)`)
+//!   verifies invariants on every update, like the validator in Figure 2;
+//! * because the value language is weakly typed, the store **infers a data
+//!   type from historical values** — whether a string field is a JSON
+//!   string, a timestamp string, or a general string — and "if a sitevar
+//!   update deviates from the inferred data type, the UI displays a warning
+//!   message to the engineer" (§3.2). Updates with warnings still succeed;
+//!   checkers, by contrast, are hard failures.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cdsl::interp::{eval_expression, Interp, Limits};
+use cdsl::value::Value;
+use cdsl::{CdslError, Loader};
+
+/// The inferred type of a sitevar's value, refined for strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferredType {
+    /// Boolean.
+    Bool,
+    /// Integer.
+    Int,
+    /// Float.
+    Float,
+    /// List.
+    List,
+    /// Dict / object.
+    Dict,
+    /// A string that parses as JSON (object or array).
+    JsonString,
+    /// A string that looks like a timestamp (ISO date or epoch seconds).
+    TimestampString,
+    /// Any other string.
+    GeneralString,
+    /// Null.
+    Null,
+}
+
+/// Classifies a value, refining string values per the paper's inference.
+pub fn classify(v: &Value) -> InferredType {
+    match v {
+        Value::Bool(_) => InferredType::Bool,
+        Value::Int(_) => InferredType::Int,
+        Value::Float(_) => InferredType::Float,
+        Value::List(_) => InferredType::List,
+        Value::Dict(_) | Value::Struct(_) => InferredType::Dict,
+        Value::Null => InferredType::Null,
+        Value::Str(s) => classify_string(s),
+        _ => InferredType::GeneralString,
+    }
+}
+
+fn classify_string(s: &str) -> InferredType {
+    let t = s.trim();
+    if (t.starts_with('{') || t.starts_with('['))
+        && serde_json::from_str::<serde_json::Value>(t).is_ok()
+    {
+        return InferredType::JsonString;
+    }
+    if looks_like_timestamp(t) {
+        return InferredType::TimestampString;
+    }
+    InferredType::GeneralString
+}
+
+fn looks_like_timestamp(t: &str) -> bool {
+    // Epoch seconds or milliseconds.
+    if (t.len() == 10 || t.len() == 13) && t.chars().all(|c| c.is_ascii_digit()) {
+        return true;
+    }
+    // ISO-like date: YYYY-MM-DD optionally followed by time.
+    let b = t.as_bytes();
+    if t.len() >= 10
+        && b[0..4].iter().all(u8::is_ascii_digit)
+        && b[4] == b'-'
+        && b[5..7].iter().all(u8::is_ascii_digit)
+        && b[7] == b'-'
+        && b[8..10].iter().all(u8::is_ascii_digit)
+    {
+        return true;
+    }
+    false
+}
+
+/// Errors from sitevar operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SitevarError {
+    /// The value expression failed to parse or evaluate.
+    Expr(CdslError),
+    /// The sitevar's checker rejected the new value.
+    CheckFailed(String),
+    /// The checker source itself is broken.
+    BadChecker(CdslError),
+    /// Unknown sitevar.
+    NotFound(String),
+}
+
+impl fmt::Display for SitevarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SitevarError::Expr(e) => write!(f, "expression error: {e}"),
+            SitevarError::CheckFailed(m) => write!(f, "checker rejected update: {m}"),
+            SitevarError::BadChecker(e) => write!(f, "broken checker: {e}"),
+            SitevarError::NotFound(n) => write!(f, "no such sitevar: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SitevarError {}
+
+/// A warning surfaced to the engineer (the paper's UI warning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeWarning {
+    /// The sitevar name.
+    pub name: String,
+    /// The type inferred from history.
+    pub inferred: InferredType,
+    /// The type of the new value.
+    pub got: InferredType,
+}
+
+impl fmt::Display for TypeWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sitevar {}: update is {:?} but history suggests {:?}",
+            self.name, self.got, self.inferred
+        )
+    }
+}
+
+/// One sitevar: expression source, evaluated value, history, checker.
+#[derive(Debug, Clone)]
+pub struct Sitevar {
+    /// Sitevar name.
+    pub name: String,
+    /// The value expression source.
+    pub expr: String,
+    /// The evaluated value.
+    pub value: Value,
+    /// Types of historical values (most recent last).
+    pub history: Vec<InferredType>,
+    /// Optional checker source defining `check(value)`.
+    pub checker: Option<String>,
+    /// Number of updates over the sitevar's lifetime.
+    pub updates: u64,
+}
+
+/// The sitevar store.
+///
+/// # Examples
+///
+/// ```
+/// use sitevars::SitevarStore;
+///
+/// let mut store = SitevarStore::new();
+/// store.set("max_upload_mb", "25").unwrap();
+/// store.set("max_upload_mb", "50").unwrap();
+/// assert_eq!(store.get("max_upload_mb").unwrap().to_json(), "50");
+///
+/// // A type deviation warns but does not fail (§3.2).
+/// let out = store.set("max_upload_mb", "\"a lot\"").unwrap();
+/// assert_eq!(out.warnings.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SitevarStore {
+    vars: BTreeMap<String, Sitevar>,
+}
+
+/// Result of a successful update.
+#[derive(Debug, Clone)]
+pub struct SetOutcome {
+    /// The evaluated new value.
+    pub value: Value,
+    /// Type-deviation warnings (empty when the update matches history).
+    pub warnings: Vec<TypeWarning>,
+}
+
+impl SitevarStore {
+    /// Creates an empty store.
+    pub fn new() -> SitevarStore {
+        SitevarStore::default()
+    }
+
+    /// Creates or updates a sitevar from an expression. Runs the checker
+    /// (hard failure) and type inference (soft warning).
+    pub fn set(&mut self, name: &str, expr: &str) -> Result<SetOutcome, SitevarError> {
+        let value = eval_expression(expr).map_err(SitevarError::Expr)?;
+        let checker = self.vars.get(name).and_then(|v| v.checker.clone());
+        if let Some(src) = &checker {
+            run_checker(src, &value)?;
+        }
+        let got = classify(&value);
+        let mut warnings = Vec::new();
+        if let Some(existing) = self.vars.get(name) {
+            if let Some(inferred) = infer_from_history(&existing.history) {
+                if inferred != got {
+                    warnings.push(TypeWarning {
+                        name: name.to_string(),
+                        inferred,
+                        got,
+                    });
+                }
+            }
+        }
+        let entry = self.vars.entry(name.to_string()).or_insert_with(|| Sitevar {
+            name: name.to_string(),
+            expr: String::new(),
+            value: Value::Null,
+            history: Vec::new(),
+            checker: None,
+            updates: 0,
+        });
+        entry.expr = expr.to_string();
+        entry.value = value.clone();
+        entry.history.push(got);
+        entry.updates += 1;
+        Ok(SetOutcome { value, warnings })
+    }
+
+    /// Attaches a checker (`def check(value): ...`) to a sitevar. The
+    /// checker is validated against the current value immediately.
+    pub fn set_checker(&mut self, name: &str, checker_src: &str) -> Result<(), SitevarError> {
+        let var = self
+            .vars
+            .get_mut(name)
+            .ok_or_else(|| SitevarError::NotFound(name.to_string()))?;
+        let current = var.value.clone();
+        run_checker(checker_src, &current)?;
+        var.checker = Some(checker_src.to_string());
+        Ok(())
+    }
+
+    /// Reads a sitevar's evaluated value.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name).map(|v| &v.value)
+    }
+
+    /// Full sitevar record.
+    pub fn info(&self, name: &str) -> Option<&Sitevar> {
+        self.vars.get(name)
+    }
+
+    /// The type inferred from a sitevar's history, if consistent.
+    pub fn inferred_type(&self, name: &str) -> Option<InferredType> {
+        self.vars
+            .get(name)
+            .and_then(|v| infer_from_history(&v.history))
+    }
+
+    /// Number of sitevars.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Returns whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over all sitevars.
+    pub fn iter(&self) -> impl Iterator<Item = &Sitevar> {
+        self.vars.values()
+    }
+}
+
+/// Infers the historical type: `Some(t)` if every historical value had the
+/// same type, else `None` (mixed history — no warning basis).
+fn infer_from_history(history: &[InferredType]) -> Option<InferredType> {
+    let first = *history.first()?;
+    history.iter().all(|t| *t == first).then_some(first)
+}
+
+fn run_checker(src: &str, value: &Value) -> Result<(), SitevarError> {
+    let mut loader: BTreeMap<String, String> = BTreeMap::new();
+    loader.insert("<checker>".to_string(), src.to_string());
+    let mut interp = Interp::new(&loader as &dyn Loader, Limits::default());
+    let module = interp
+        .run_module("<checker>")
+        .map_err(SitevarError::BadChecker)?;
+    match interp.call_global(module, "check", vec![value.clone()]) {
+        Ok(_) => Ok(()),
+        Err(e) if e.is_validation() => Err(SitevarError::CheckFailed(e.message().to_string())),
+        Err(e) => Err(SitevarError::BadChecker(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_expression_values() {
+        let mut s = SitevarStore::new();
+        s.set("limit", "10 * 5").unwrap();
+        assert_eq!(s.get("limit").unwrap().to_json(), "50");
+        s.set("flags", "{\"dark_mode\": true}").unwrap();
+        assert_eq!(s.get("flags").unwrap().to_json(), r#"{"dark_mode":true}"#);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn broken_expression_is_rejected() {
+        let mut s = SitevarStore::new();
+        assert!(matches!(s.set("x", "1 +"), Err(SitevarError::Expr(_))));
+        assert!(matches!(s.set("x", "undefined_name"), Err(SitevarError::Expr(_))));
+        assert!(s.get("x").is_none(), "failed set must not create the var");
+    }
+
+    #[test]
+    fn checker_blocks_bad_updates() {
+        let mut s = SitevarStore::new();
+        s.set("rate", "100").unwrap();
+        s.set_checker(
+            "rate",
+            "def check(value):\n    require(value > 0, \"rate must be positive\")",
+        )
+        .unwrap();
+        assert!(matches!(
+            s.set("rate", "-5"),
+            Err(SitevarError::CheckFailed(m)) if m.contains("positive")
+        ));
+        // Value unchanged after rejected update.
+        assert_eq!(s.get("rate").unwrap().to_json(), "100");
+        assert!(s.set("rate", "200").is_ok());
+    }
+
+    #[test]
+    fn checker_must_accept_current_value() {
+        let mut s = SitevarStore::new();
+        s.set("rate", "-1").unwrap();
+        let err = s.set_checker(
+            "rate",
+            "def check(value):\n    require(value > 0, \"positive\")",
+        );
+        assert!(matches!(err, Err(SitevarError::CheckFailed(_))));
+    }
+
+    #[test]
+    fn checker_on_missing_sitevar() {
+        let mut s = SitevarStore::new();
+        assert!(matches!(
+            s.set_checker("ghost", "def check(value):\n    require(true)"),
+            Err(SitevarError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn type_inference_warns_on_deviation() {
+        let mut s = SitevarStore::new();
+        s.set("n", "1").unwrap();
+        s.set("n", "2").unwrap();
+        assert_eq!(s.inferred_type("n"), Some(InferredType::Int));
+        let out = s.set("n", "\"three\"").unwrap();
+        assert_eq!(out.warnings.len(), 1);
+        assert_eq!(out.warnings[0].inferred, InferredType::Int);
+        assert_eq!(out.warnings[0].got, InferredType::GeneralString);
+        // History is now mixed → no inference, no further warnings.
+        assert_eq!(s.inferred_type("n"), None);
+        assert!(s.set("n", "4").unwrap().warnings.is_empty());
+    }
+
+    #[test]
+    fn string_refinement_json_timestamp_general() {
+        assert_eq!(
+            classify(&Value::str("{\"a\": 1}")),
+            InferredType::JsonString
+        );
+        assert_eq!(classify(&Value::str("[1,2]")), InferredType::JsonString);
+        assert_eq!(classify(&Value::str("{not json")), InferredType::GeneralString);
+        assert_eq!(
+            classify(&Value::str("2015-10-04 09:00:00")),
+            InferredType::TimestampString
+        );
+        assert_eq!(
+            classify(&Value::str("1443945600")),
+            InferredType::TimestampString
+        );
+        assert_eq!(classify(&Value::str("hello")), InferredType::GeneralString);
+    }
+
+    #[test]
+    fn json_string_vs_general_string_deviation_warns() {
+        // The paper's example: "If so, it further infers whether it is a
+        // JSON string, a timestamp string, or a general string."
+        let mut s = SitevarStore::new();
+        s.set("cfg", "\"{\\\"a\\\": 1}\"").unwrap();
+        s.set("cfg", "\"{\\\"a\\\": 2}\"").unwrap();
+        let out = s.set("cfg", "\"oops not json\"").unwrap();
+        assert_eq!(out.warnings.len(), 1);
+        assert_eq!(out.warnings[0].inferred, InferredType::JsonString);
+    }
+
+    #[test]
+    fn update_counter_and_history_tracked() {
+        let mut s = SitevarStore::new();
+        s.set("v", "1").unwrap();
+        s.set("v", "2").unwrap();
+        s.set("v", "3.5").unwrap();
+        let info = s.info("v").unwrap();
+        assert_eq!(info.updates, 3);
+        assert_eq!(
+            info.history,
+            vec![InferredType::Int, InferredType::Int, InferredType::Float]
+        );
+    }
+}

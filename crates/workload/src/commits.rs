@@ -1,0 +1,325 @@
+//! The commit process (Figs 11–13).
+//!
+//! Two generators live here:
+//!
+//! * [`CommitProcess`] — an hourly-rate model of commit traffic with the
+//!   paper's weekly/diurnal patterns, automation floor, and 10-month
+//!   growth (Figs 11 and 12), including the www/fbcode comparison series.
+//! * [`CommitReplay`] — a synthetic git-commit stream that "follow\[s\] the statistical
+//!   statistical distribution of past real git commits" (§6.3), used to
+//!   grow a gitstore repository to a target size for the Fig 13
+//!   commit-throughput measurement.
+
+use bytes::Bytes;
+use gitstore::repo::Change;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::paper;
+
+/// Which repository's traffic shape to model (Fig 11 compares three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepoKind {
+    /// Configerator (high automation floor: weekend ≈ 33% of weekday).
+    Configerator,
+    /// The frontend code repository (weekend ≈ 10%).
+    Www,
+    /// The backend code repository (weekend ≈ 7%).
+    Fbcode,
+}
+
+impl RepoKind {
+    /// The §6.3 weekend-to-weekday ratio.
+    pub fn weekend_ratio(self) -> f64 {
+        match self {
+            RepoKind::Configerator => paper::WEEKEND_RATIO_CONFIGERATOR,
+            RepoKind::Www => paper::WEEKEND_RATIO_WWW,
+            RepoKind::Fbcode => paper::WEEKEND_RATIO_FBCODE,
+        }
+    }
+}
+
+/// Parameters of the commit-rate model.
+#[derive(Debug, Clone)]
+pub struct CommitProcess {
+    /// Peak weekday commits/hour at day 0.
+    pub base_hourly_peak: f64,
+    /// Multiplicative growth over `days` (1.8 = the paper's +180% per 10
+    /// months... precisely, ×1.8 at day 300).
+    pub growth_over_300d: f64,
+    /// Fraction of commits from automation (flat through nights/weekends).
+    pub automation_fraction: f64,
+    /// Which repository's weekly shape to use.
+    pub repo: RepoKind,
+}
+
+impl Default for CommitProcess {
+    fn default() -> CommitProcess {
+        CommitProcess {
+            base_hourly_peak: 120.0,
+            growth_over_300d: paper::TEN_MONTH_GROWTH,
+            automation_fraction: paper::AUTOMATED_COMMIT_FRACTION,
+            repo: RepoKind::Configerator,
+        }
+    }
+}
+
+impl CommitProcess {
+    /// Expected commits during hour `h` of day `d` (d0 = a Monday).
+    ///
+    /// Human traffic follows a diurnal bell (peak 10:00–18:00) and drops on
+    /// weekends; automation contributes a flat floor. The floor `A` and the
+    /// residual weekend human mass `h_w` are solved in closed form from the
+    /// two §6.3 constraints — automation share `a` of weekly commits and
+    /// weekend/weekday daily ratio `r`:
+    ///
+    /// ```text
+    /// 7·A·(1-a) = a·(5·H + 2·h_w)        (automation share)
+    /// h_w + A   = r·(H + A)              (weekend ratio)
+    /// ⇒ A = a·H·(5+2r) / (7(1-a) + 2a(1-r)),  h_w = r·H − (1−r)·A
+    /// ```
+    pub fn rate(&self, day: u32, hour: u32) -> f64 {
+        let growth = self.growth_over_300d.powf(day as f64 / 300.0);
+        let weekend = matches!(day % 7, 5 | 6);
+        let s: f64 = (0..24).map(diurnal_shape).sum();
+        let peak = self.base_hourly_peak * growth;
+        let h_daily = peak * s;
+        let a = self.automation_fraction_for_repo();
+        let r = self.repo.weekend_ratio();
+        let auto_daily = a * h_daily * (5.0 + 2.0 * r) / (7.0 * (1.0 - a) + 2.0 * a * (1.0 - r));
+        let weekend_frac = (r - (1.0 - r) * auto_daily / h_daily).max(0.0);
+        let human = if weekend {
+            weekend_frac * peak * diurnal_shape(hour)
+        } else {
+            peak * diurnal_shape(hour)
+        };
+        human + auto_daily / 24.0
+    }
+
+    fn automation_fraction_for_repo(&self) -> f64 {
+        match self.repo {
+            RepoKind::Configerator => self.automation_fraction,
+            // Code repos have little automated committing.
+            RepoKind::Www => 0.05,
+            RepoKind::Fbcode => 0.03,
+        }
+    }
+
+    /// A sampled hourly commit-count series of `days` days (Fig 12 uses 7).
+    pub fn hourly_series(&self, days: u32, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity((days * 24) as usize);
+        for d in 0..days {
+            for h in 0..24 {
+                out.push(poisson(&mut rng, self.rate(d, h)));
+            }
+        }
+        out
+    }
+
+    /// A daily commit-count series of `days` days (Fig 11 uses ~300).
+    pub fn daily_series(&self, days: u32, seed: u64) -> Vec<u64> {
+        let hourly = self.hourly_series(days, seed);
+        hourly.chunks(24).map(|day| day.iter().sum()).collect()
+    }
+}
+
+fn diurnal_shape(hour: u32) -> f64 {
+    // Bell centred at 14:00 with most mass in 10:00–18:00.
+    let x = (hour as f64 - 14.0) / 4.0;
+    (-0.5 * x * x).exp()
+}
+
+/// Poisson sampler (Knuth for small λ, normal approximation for large).
+pub fn poisson(rng: &mut SmallRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 50.0 {
+        let g: f64 = {
+            // Box-Muller.
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        return (lambda + lambda.sqrt() * g).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// A synthetic git-commit stream for growing a repository (Fig 13's
+/// replay).
+pub struct CommitReplay {
+    rng: SmallRng,
+    next_file: u64,
+    existing: Vec<String>,
+    /// Probability a commit creates a new file (the repository grows).
+    pub create_fraction: f64,
+    /// Files touched per commit: 1 + geometric tail.
+    pub extra_file_prob: f64,
+}
+
+impl CommitReplay {
+    /// Creates a replay stream.
+    pub fn new(seed: u64) -> CommitReplay {
+        CommitReplay {
+            rng: SmallRng::seed_from_u64(seed),
+            next_file: 0,
+            existing: Vec::new(),
+            create_fraction: 0.5,
+            extra_file_prob: 0.3,
+        }
+    }
+
+    /// Number of distinct files created so far.
+    pub fn files_created(&self) -> usize {
+        self.existing.len()
+    }
+
+    /// Produces the change set of the next commit. Paths mimic the
+    /// partitioned namespace (`team/subsystem/config_N`).
+    pub fn next_commit(&mut self) -> Vec<Change> {
+        let mut changes = Vec::new();
+        let mut files = 1;
+        while self.rng.gen::<f64>() < self.extra_file_prob && files < 8 {
+            files += 1;
+        }
+        for _ in 0..files {
+            let create = self.existing.is_empty() || self.rng.gen::<f64>() < self.create_fraction;
+            let path = if create {
+                let team = self.next_file % 40;
+                let subsystem = (self.next_file / 40) % 25;
+                let path = format!("team{team}/sub{subsystem}/config_{}.json", self.next_file);
+                self.next_file += 1;
+                self.existing.push(path.clone());
+                path
+            } else {
+                let idx = self.rng.gen_range(0..self.existing.len());
+                self.existing[idx].clone()
+            };
+            // Typical compiled-config payload around 1 KB (the paper's
+            // P50), varied content so blobs do not dedupe.
+            let salt: u64 = self.rng.gen();
+            let body = format!("{{\"cfg\":\"{path}\",\"salt\":{salt},\"pad\":\"{}\"}}", "x".repeat(900));
+            changes.push(Change::put(path, Bytes::from(body)));
+        }
+        changes
+    }
+
+    /// Grows `repo` until it tracks `target_files` files. Returns the
+    /// number of commits made.
+    pub fn grow_repo(&mut self, repo: &mut gitstore::repo::Repository, target_files: usize) -> u64 {
+        // Bulk-create in large commits for speed, preserving path shape.
+        let mut commits = 0;
+        while repo.file_count() < target_files {
+            let batch = (target_files - repo.file_count()).min(2000);
+            let mut changes = Vec::with_capacity(batch);
+            for _ in 0..batch {
+                let team = self.next_file % 40;
+                let subsystem = (self.next_file / 40) % 25;
+                let path = format!("team{team}/sub{subsystem}/config_{}.json", self.next_file);
+                self.next_file += 1;
+                self.existing.push(path.clone());
+                changes.push(Change::put(path, Bytes::from(vec![b'x'; 64])));
+            }
+            repo.commit("replay", "grow", commits, changes)
+                .expect("grow commit");
+            commits += 1;
+        }
+        commits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekend_ratios_order_as_in_fig11() {
+        let series = |repo| {
+            CommitProcess {
+                repo,
+                ..CommitProcess::default()
+            }
+            .daily_series(28, 1)
+        };
+        let ratio = |s: &[u64]| {
+            // d0 is a Monday; days 5,6 of each week are the weekend.
+            let weekend: u64 = s.iter().enumerate().filter(|(i, _)| matches!(i % 7, 5 | 6)).map(|(_, v)| v).sum();
+            let weekday: u64 = s.iter().enumerate().filter(|(i, _)| !matches!(i % 7, 5 | 6)).map(|(_, v)| v).sum();
+            (weekend as f64 / 2.0) / (weekday as f64 / 5.0)
+        };
+        let cfg = ratio(&series(RepoKind::Configerator));
+        let www = ratio(&series(RepoKind::Www));
+        let fb = ratio(&series(RepoKind::Fbcode));
+        assert!((cfg - 0.33).abs() < 0.08, "configerator ratio {cfg:.2}");
+        assert!(www < cfg, "www {www:.2} below configerator {cfg:.2}");
+        assert!(fb <= www + 0.02, "fbcode {fb:.2} at or below www {www:.2}");
+    }
+
+    #[test]
+    fn traffic_grows_180_percent_over_300_days() {
+        let p = CommitProcess::default();
+        // Compare the same weekday (day 0 and day 294 are both Mondays).
+        let early = p.rate(0, 14);
+        let late = p.rate(294, 14);
+        let expected = 1.8f64.powf(294.0 / 300.0);
+        assert!((late / early - expected).abs() < 0.01, "{}", late / early);
+    }
+
+    #[test]
+    fn diurnal_peak_in_working_hours() {
+        let p = CommitProcess::default();
+        assert!(p.rate(0, 14) > p.rate(0, 4) * 3.0, "working hours peak");
+        // Nights never drop below the automation floor (a steady fraction
+        // of the daily peak, not zero as in a purely human process).
+        assert!(p.rate(0, 4) > p.rate(0, 14) * 0.12, "automation floor");
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for lambda in [0.5, 5.0, 80.0] {
+            let n = 3000;
+            let mean: f64 = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.12, "λ={lambda} mean={mean}");
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn replay_commits_mix_creates_and_edits() {
+        let mut r = CommitReplay::new(3);
+        let mut edits = 0;
+        let mut creates = 0;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            for c in r.next_commit() {
+                if seen.insert(c.path().to_string()) {
+                    creates += 1;
+                } else {
+                    edits += 1;
+                }
+            }
+        }
+        assert!(creates > 100 && edits > 100, "creates={creates} edits={edits}");
+    }
+
+    #[test]
+    fn grow_repo_reaches_target() {
+        let mut repo = gitstore::repo::Repository::new();
+        let mut r = CommitReplay::new(4);
+        r.grow_repo(&mut repo, 5000);
+        assert!(repo.file_count() >= 5000);
+    }
+}

@@ -1,0 +1,26 @@
+//! # workload — calibrated generators for the paper's usage statistics
+//!
+//! The evaluation of *Holistic Configuration Management at Facebook*
+//! (SOSP 2015, §6) reports ten months of production usage. That data is
+//! not available, so this crate implements the substitution described in
+//! `DESIGN.md`: a generative model whose marginal distributions are set
+//! from every number the paper publishes ([`paper`]), plus the analysis
+//! code that measures a generated history with the paper's own bucketing
+//! ([`analysis`]) so the `repro` harness can print paper-vs-measured rows
+//! for Figures 7–12 and Tables 1–3.
+//!
+//! [`commits`] additionally models the commit *process* (diurnal/weekly
+//! shape, automation floor, growth) and provides the synthetic git-history
+//! replay used to drive the real `gitstore` for the Figure 13 throughput
+//! measurement — there the numbers come from executing actual commits, not
+//! from sampling.
+
+pub mod analysis;
+pub mod commits;
+pub mod history;
+pub mod paper;
+
+pub use analysis::{fig10_age_at_update, fig7_growth, fig8_size_cdf, fig9_freshness, table1, table2, table3};
+pub use commits::{CommitProcess, CommitReplay, RepoKind};
+pub use history::{generate, ConfigKind, ConfigRecord, History, HistoryParams, UpdateRecord};
+pub use paper::{render_rows, Row};

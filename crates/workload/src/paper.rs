@@ -1,0 +1,250 @@
+//! The paper's published statistics, transcribed as calibration targets.
+//!
+//! Every constant here is copied from §6 of *Holistic Configuration
+//! Management at Facebook* (SOSP 2015). The generators sample from these
+//! distributions; the analysis code then re-measures the generated history
+//! and the `repro` harness prints paper-vs-measured side by side.
+
+/// Bucket labels shared by Tables 1–3.
+pub const COUNT_BUCKETS: [&str; 8] = [
+    "1", "2", "3", "4", "[5,10]", "[11,100]", "[101,1000]", "[1001,inf)",
+];
+
+/// Bucket boundaries (inclusive lows) matching [`COUNT_BUCKETS`].
+pub const COUNT_BUCKET_RANGES: [(u64, u64); 8] = [
+    (1, 1),
+    (2, 2),
+    (3, 3),
+    (4, 4),
+    (5, 10),
+    (11, 100),
+    (101, 1000),
+    (1001, 100_000),
+];
+
+/// Table 1: "Number of times that a config gets updated" (percent per
+/// bucket), compiled configs.
+pub const T1_COMPILED: [f64; 8] = [25.0, 24.9, 14.1, 7.5, 15.9, 11.6, 0.8, 0.2];
+/// Table 1, raw configs.
+pub const T1_RAW: [f64; 8] = [56.9, 23.7, 5.2, 3.2, 6.6, 3.0, 0.7, 0.7];
+
+/// Bucket labels for Table 2 (line changes per update).
+pub const T2_BUCKETS: [&str; 8] = ["1", "2", "[3,4]", "[5,6]", "[7,10]", "[11,50]", "[51,100]", "[101,inf)"];
+
+/// Bucket boundaries for Table 2.
+pub const T2_BUCKET_RANGES: [(u64, u64); 8] = [
+    (1, 1),
+    (2, 2),
+    (3, 4),
+    (5, 6),
+    (7, 10),
+    (11, 50),
+    (51, 100),
+    (101, 5_000),
+];
+
+/// Table 2: compiled configs.
+pub const T2_COMPILED: [f64; 8] = [2.5, 49.5, 9.9, 3.9, 7.4, 15.3, 2.8, 8.7];
+/// Table 2: config source code.
+pub const T2_SOURCE: [f64; 8] = [2.7, 44.3, 13.5, 4.6, 6.1, 19.3, 2.3, 7.3];
+/// Table 2: raw configs.
+pub const T2_RAW: [f64; 8] = [2.3, 48.6, 32.5, 4.2, 3.6, 5.7, 1.1, 2.0];
+
+/// Bucket labels for Table 3 (number of co-authors).
+pub const T3_BUCKETS: [&str; 8] = ["1", "2", "3", "4", "[5,10]", "[11,50]", "[51,100]", "[101,inf)"];
+
+/// Bucket boundaries for Table 3.
+pub const T3_BUCKET_RANGES: [(u64, u64); 8] = [
+    (1, 1),
+    (2, 2),
+    (3, 3),
+    (4, 4),
+    (5, 10),
+    (11, 50),
+    (51, 100),
+    (101, 800),
+];
+
+/// Table 3: compiled configs.
+pub const T3_COMPILED: [f64; 8] = [49.5, 30.1, 9.2, 3.9, 5.7, 1.3, 0.2, 0.04];
+/// Table 3: raw configs.
+pub const T3_RAW: [f64; 8] = [70.0, 21.5, 5.1, 1.4, 1.2, 0.6, 0.1, 0.002];
+/// Table 3: fbcode (backend source code), for the comparison column.
+pub const T3_FBCODE: [f64; 8] = [44.0, 37.7, 7.6, 3.6, 5.6, 1.4, 0.02, 0.007];
+
+/// Figure 8 size quantiles for raw configs: (quantile, bytes).
+/// P50 = 400 B, P95 = 25 KB, max = 8.4 MB (§6.1).
+pub const SIZE_QUANTILES_RAW: [(f64, f64); 5] = [
+    (0.0, 16.0),
+    (0.50, 400.0),
+    (0.95, 25_000.0),
+    (0.999, 1_000_000.0),
+    (1.0, 8_400_000.0),
+];
+
+/// Figure 8 size quantiles for compiled configs: P50 = 1 KB, P95 = 45 KB,
+/// max = 14.8 MB.
+pub const SIZE_QUANTILES_COMPILED: [(f64, f64); 5] = [
+    (0.0, 32.0),
+    (0.50, 1_000.0),
+    (0.95, 45_000.0),
+    (0.999, 2_000_000.0),
+    (1.0, 14_800_000.0),
+];
+
+/// Figure 9: CDF of days since a config was last modified.
+/// (day, cumulative percent).
+pub const FIG9_FRESHNESS: [(f64, f64); 15] = [
+    (1.0, 0.5),
+    (5.0, 2.0),
+    (10.0, 4.0),
+    (20.0, 6.0),
+    (30.0, 9.0),
+    (60.0, 17.0),
+    (90.0, 28.0),
+    (120.0, 39.0),
+    (150.0, 44.0),
+    (200.0, 52.0),
+    (300.0, 65.0),
+    (400.0, 71.0),
+    (500.0, 78.0),
+    (600.0, 83.0),
+    (700.0, 95.0),
+];
+
+/// Figure 10: CDF of a config's age at the time of an update.
+pub const FIG10_AGE_AT_UPDATE: [(f64, f64); 15] = [
+    (1.0, 4.0),
+    (5.0, 6.0),
+    (10.0, 8.0),
+    (20.0, 13.0),
+    (30.0, 17.0),
+    (60.0, 29.0),
+    (90.0, 38.0),
+    (120.0, 45.0),
+    (150.0, 52.0),
+    (200.0, 60.0),
+    (300.0, 71.0),
+    (400.0, 80.0),
+    (500.0, 87.0),
+    (600.0, 93.0),
+    (700.0, 96.0),
+];
+
+/// §6.1: fraction of stored configs that are compiled (vs raw).
+pub const COMPILED_FRACTION: f64 = 0.75;
+/// §6.1: fraction of raw-config updates performed by automation tools.
+pub const RAW_AUTOMATION_FRACTION: f64 = 0.89;
+/// §6.3: fraction of all commits that are automated.
+pub const AUTOMATED_COMMIT_FRACTION: f64 = 0.39;
+/// §6.3: Configerator weekend-to-weekday commit ratio.
+pub const WEEKEND_RATIO_CONFIGERATOR: f64 = 0.33;
+/// §6.3: www weekend ratio.
+pub const WEEKEND_RATIO_WWW: f64 = 0.10;
+/// §6.3: fbcode weekend ratio.
+pub const WEEKEND_RATIO_FBCODE: f64 = 0.07;
+/// §6.3: peak daily commit throughput growth over 10 months.
+pub const TEN_MONTH_GROWTH: f64 = 1.8;
+
+/// §6.4: incident breakdown.
+pub const INCIDENT_TYPE_I: f64 = 0.42;
+/// §6.4: subtle config errors.
+pub const INCIDENT_TYPE_II: f64 = 0.36;
+/// §6.4: valid config changes exposing code bugs.
+pub const INCIDENT_TYPE_III: f64 = 0.22;
+/// §6.4: fraction of high-impact incidents related to configuration.
+pub const INCIDENTS_CONFIG_RELATED: f64 = 0.16;
+
+/// §6.3: mean lifetime updates per config kind (raw / compiled / source).
+pub const MEAN_UPDATES_RAW: f64 = 44.0;
+/// Mean lifetime updates, compiled configs.
+pub const MEAN_UPDATES_COMPILED: f64 = 16.0;
+/// Mean lifetime updates, config source files.
+pub const MEAN_UPDATES_SOURCE: f64 = 10.0;
+
+/// Figure 14: baseline end-to-end commit→fleet latency in seconds
+/// (~5 s git commit + ~5 s tailer + ~4.5 s tree propagation).
+pub const FIG14_BASELINE_S: f64 = 14.5;
+/// Figure 14 component: git commit seconds.
+pub const FIG14_COMMIT_S: f64 = 5.0;
+/// Figure 14 component: tailer seconds.
+pub const FIG14_TAILER_S: f64 = 5.0;
+/// Figure 14 component: tree propagation seconds.
+pub const FIG14_TREE_S: f64 = 4.5;
+
+/// §3.5: PackageVessel delivers large configs in under four minutes.
+pub const PV_DELIVERY_BOUND_S: f64 = 240.0;
+
+/// A generic table row: label, paper value, measured value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Bucket label.
+    pub label: String,
+    /// The paper's published percentage.
+    pub paper: f64,
+    /// The value measured from the generated/simulated data.
+    pub measured: f64,
+}
+
+impl Row {
+    /// Absolute difference between paper and measured.
+    pub fn abs_err(&self) -> f64 {
+        (self.paper - self.measured).abs()
+    }
+}
+
+/// Renders rows as an aligned text table.
+pub fn render_rows(title: &str, rows: &[Row]) -> String {
+    let mut out = format!("{title}\n{:<14} {:>9} {:>9} {:>7}\n", "bucket", "paper%", "measured%", "|err|");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>9.2} {:>9.2} {:>7.2}\n",
+            r.label,
+            r.paper,
+            r.measured,
+            r.abs_err()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_percentages_sum_to_about_100() {
+        for t in [T1_COMPILED, T1_RAW, T2_COMPILED, T2_SOURCE, T2_RAW, T3_COMPILED, T3_RAW, T3_FBCODE] {
+            let sum: f64 = t.iter().sum();
+            assert!((sum - 100.0).abs() < 1.0, "sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        for q in [SIZE_QUANTILES_RAW, SIZE_QUANTILES_COMPILED] {
+            assert!(q.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        }
+        assert!(FIG9_FRESHNESS.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(FIG10_AGE_AT_UPDATE.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn incident_fractions_partition() {
+        let sum = INCIDENT_TYPE_I + INCIDENT_TYPE_II + INCIDENT_TYPE_III;
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_rendering() {
+        let rows = vec![Row {
+            label: "1".into(),
+            paper: 25.0,
+            measured: 24.8,
+        }];
+        let s = render_rows("Table 1", &rows);
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("25.00"));
+        assert!(s.contains("0.20"));
+    }
+}

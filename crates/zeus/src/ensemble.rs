@@ -1,0 +1,433 @@
+//! The consensus ensemble: leader and followers with quorum commit.
+//!
+//! "Zeus ... runs a consensus protocol among servers distributed across
+//! multiple regions for resilience. If the leader fails, a follower is
+//! converted into a new leader" (§3.4). [`EnsembleActor`] implements a
+//! ZAB-flavoured protocol:
+//!
+//! * The leader assigns `(epoch, counter)` zxids to proposals, replicates
+//!   them to followers, and commits once a majority (counting itself) has
+//!   acknowledged.
+//! * Committed writes are pushed to observers in zxid order — the first
+//!   level of the paper's leader → observer → proxy distribution tree.
+//! * Followers monitor leader heartbeats; on silence, a follower starts an
+//!   election for the next epoch. Votes are granted to candidates whose log
+//!   is at least as advanced, and a candidate with a majority becomes the
+//!   new leader.
+//! * Late or restarted replicas (and observers) catch up by sending
+//!   `ObserverSync { last_zxid }`; the leader replies with the missing
+//!   committed writes, in order.
+
+use std::collections::{BTreeMap, HashSet};
+
+use rand::Rng;
+use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
+
+use crate::store::ConfigStore;
+use crate::types::{Write, ZeusMsg, Zxid};
+
+/// Timer tags.
+const TIMER_HEARTBEAT: u64 = 1;
+const TIMER_ELECTION: u64 = 2;
+
+/// Tuning knobs for the ensemble protocol.
+#[derive(Debug, Clone)]
+pub struct EnsembleConfig {
+    /// Leader heartbeat period.
+    pub heartbeat: SimDuration,
+    /// Base election timeout (randomized up to 2x).
+    pub election_timeout: SimDuration,
+    /// Writes retained for catch-up responses.
+    pub log_cap: usize,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> EnsembleConfig {
+        EnsembleConfig {
+            heartbeat: SimDuration::from_millis(50),
+            election_timeout: SimDuration::from_millis(400),
+            log_cap: 100_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Role {
+    Leader,
+    Follower,
+    Candidate,
+}
+
+/// One member of the Zeus ensemble (leader or follower, depending on
+/// elections).
+pub struct EnsembleActor {
+    cfg: EnsembleConfig,
+    peers: Vec<NodeId>,
+    observers: Vec<NodeId>,
+    role: Role,
+    epoch: u32,
+    /// Highest epoch this node has voted in (vote-once-per-epoch guard).
+    promised_epoch: u32,
+    current_leader: Option<NodeId>,
+    /// Proposals received (leader: all proposed; follower: all appended).
+    log: BTreeMap<Zxid, Write>,
+    committed: Zxid,
+    store: ConfigStore,
+    next_counter: u64,
+    acks: BTreeMap<Zxid, HashSet<NodeId>>,
+    votes: HashSet<NodeId>,
+    heard_from_leader: bool,
+}
+
+impl EnsembleActor {
+    /// Creates an ensemble member. `initial_leader` bootstraps epoch 1
+    /// without an election (as when the ensemble is first deployed).
+    pub fn new(
+        cfg: EnsembleConfig,
+        peers: Vec<NodeId>,
+        observers: Vec<NodeId>,
+        me: NodeId,
+        initial_leader: NodeId,
+    ) -> EnsembleActor {
+        let is_leader = me == initial_leader;
+        EnsembleActor {
+            store: ConfigStore::new(cfg.log_cap),
+            cfg,
+            peers,
+            observers,
+            role: if is_leader { Role::Leader } else { Role::Follower },
+            epoch: 1,
+            promised_epoch: 1,
+            current_leader: Some(initial_leader),
+            log: BTreeMap::new(),
+            committed: Zxid::ZERO,
+            next_counter: 0,
+            acks: BTreeMap::new(),
+            votes: HashSet::new(),
+            heard_from_leader: true,
+        }
+    }
+
+    /// Current role name, for assertions in tests and experiments.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Highest committed zxid.
+    pub fn committed(&self) -> Zxid {
+        self.committed
+    }
+
+    /// This node's view of the current leader.
+    pub fn known_leader(&self) -> Option<NodeId> {
+        self.current_leader
+    }
+
+    /// Read access to the applied store.
+    pub fn store(&self) -> &ConfigStore {
+        &self.store
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    fn quorum(&self) -> usize {
+        self.peers.len() / 2 + 1
+    }
+
+    fn broadcast(&self, ctx: &mut Ctx<'_>, msg: &ZeusMsg, size: u64) {
+        for &p in &self.peers {
+            if p != ctx.node() {
+                ctx.send_value(p, size, msg.clone());
+            }
+        }
+    }
+
+    fn become_leader(&mut self, ctx: &mut Ctx<'_>) {
+        self.role = Role::Leader;
+        self.current_leader = Some(ctx.node());
+        self.next_counter = 0;
+        self.acks.clear();
+        ctx.metrics().incr("zeus.leader_elections", 1);
+        let msg = ZeusMsg::NewLeader {
+            epoch: self.epoch,
+            leader: ctx.node(),
+        };
+        self.broadcast(ctx, &msg, 64);
+        for &o in &self.observers.clone() {
+            ctx.send_value(o, 64, msg.clone());
+        }
+        self.send_heartbeat(ctx);
+        ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+    }
+
+    fn send_heartbeat(&self, ctx: &mut Ctx<'_>) {
+        let msg = ZeusMsg::Heartbeat {
+            epoch: self.epoch,
+            committed: self.committed,
+        };
+        self.broadcast(ctx, &msg, 64);
+    }
+
+    /// Leader path: assign a zxid, append locally, replicate.
+    fn propose(&mut self, ctx: &mut Ctx<'_>, path: String, data: bytes::Bytes, origin: simnet::SimTime) {
+        self.next_counter += 1;
+        let write = Write {
+            zxid: Zxid {
+                epoch: self.epoch,
+                counter: self.next_counter,
+            },
+            path,
+            data,
+            origin,
+        };
+        self.log.insert(write.zxid, write.clone());
+        let mut set = HashSet::new();
+        set.insert(ctx.node());
+        self.acks.insert(write.zxid, set);
+        let size = write.wire_size();
+        self.broadcast(ctx, &ZeusMsg::Append { write }, size);
+        // A single-node ensemble commits immediately.
+        self.try_commit(ctx);
+    }
+
+    fn try_commit(&mut self, ctx: &mut Ctx<'_>) {
+        let quorum = self.quorum();
+        let mut new_commit = self.committed;
+        // Commits are in-order: advance through consecutive quorum-acked
+        // proposals only.
+        for (&zxid, ackers) in &self.acks {
+            if zxid <= new_commit {
+                continue;
+            }
+            if ackers.len() >= quorum {
+                new_commit = zxid;
+            } else {
+                break;
+            }
+        }
+        if new_commit > self.committed {
+            self.committed = new_commit;
+            // Apply and push to observers in order.
+            let to_apply: Vec<Write> = self
+                .log
+                .range(..=new_commit)
+                .filter(|(z, _)| **z > self.store.last_applied())
+                .map(|(_, w)| w.clone())
+                .collect();
+            for w in to_apply {
+                self.store.apply(w.clone());
+                let size = w.wire_size();
+                for &o in &self.observers.clone() {
+                    ctx.send_value(o, size, ZeusMsg::ObserverUpdate { write: w.clone() });
+                }
+            }
+            self.acks.retain(|z, _| *z > new_commit);
+            self.broadcast(ctx, &ZeusMsg::CommitUpTo { zxid: new_commit }, 64);
+            ctx.metrics().incr("zeus.commits", 1);
+        }
+    }
+
+    /// Follower path: apply commits up to `zxid` from the in-order log.
+    fn apply_commits(&mut self, upto: Zxid) {
+        if upto <= self.committed {
+            return;
+        }
+        let to_apply: Vec<Write> = self
+            .log
+            .range(..=upto)
+            .filter(|(z, _)| **z > self.store.last_applied())
+            .map(|(_, w)| w.clone())
+            .collect();
+        for w in to_apply {
+            self.store.apply(w);
+        }
+        self.committed = upto;
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ZeusMsg) {
+        match msg {
+            ZeusMsg::Propose { path, data, origin } => {
+                if self.role == Role::Leader {
+                    self.propose(ctx, path, data, origin);
+                } else if let Some(leader) = self.current_leader {
+                    // Forward to the leader.
+                    let size = (path.len() + data.len() + 64) as u64;
+                    ctx.send_value(leader, size, ZeusMsg::Propose { path, data, origin });
+                } else {
+                    ctx.metrics().incr("zeus.dropped_proposals", 1);
+                }
+            }
+            ZeusMsg::Append { write }
+                if self.role != Role::Leader && write.zxid.epoch >= self.epoch => {
+                    self.epoch = write.zxid.epoch;
+                    self.heard_from_leader = true;
+                    self.log.insert(write.zxid, write.clone());
+                    ctx.send_value(from, 64, ZeusMsg::AckAppend { zxid: write.zxid });
+                }
+            ZeusMsg::AckAppend { zxid }
+                if self.role == Role::Leader => {
+                    if let Some(set) = self.acks.get_mut(&zxid) {
+                        set.insert(from);
+                    }
+                    self.try_commit(ctx);
+                }
+            ZeusMsg::CommitUpTo { zxid }
+                if self.role != Role::Leader => {
+                    self.heard_from_leader = true;
+                    self.apply_commits(zxid);
+                }
+            ZeusMsg::Heartbeat { epoch, committed }
+                if epoch >= self.epoch => {
+                    self.epoch = epoch;
+                    if self.role != Role::Follower && from != ctx.node() {
+                        self.role = Role::Follower;
+                    }
+                    self.current_leader = Some(from);
+                    self.heard_from_leader = true;
+                    self.apply_commits(committed);
+                    // Detect log gaps: if the leader has committed past our
+                    // log, request the missing tail.
+                    if committed > self.store.last_applied() {
+                        ctx.send_value(
+                            from,
+                            64,
+                            ZeusMsg::ObserverSync {
+                                last_zxid: self.store.last_applied(),
+                            },
+                        );
+                    }
+                }
+            ZeusMsg::ElectMe { epoch, last_zxid }
+                if epoch > self.promised_epoch && last_zxid >= self.store.last_applied() => {
+                    self.promised_epoch = epoch;
+                    ctx.send_value(from, 64, ZeusMsg::Vote { epoch });
+                }
+            ZeusMsg::Vote { epoch }
+                if self.role == Role::Candidate && epoch == self.epoch => {
+                    self.votes.insert(from);
+                    if self.votes.len() >= self.quorum() {
+                        self.become_leader(ctx);
+                    }
+                }
+            ZeusMsg::NewLeader { epoch, leader }
+                if epoch >= self.epoch && leader != ctx.node() => {
+                    self.epoch = epoch;
+                    self.promised_epoch = self.promised_epoch.max(epoch);
+                    self.role = Role::Follower;
+                    self.current_leader = Some(leader);
+                    self.heard_from_leader = true;
+                    // Catch up with the new leader.
+                    ctx.send_value(
+                        leader,
+                        64,
+                        ZeusMsg::ObserverSync {
+                            last_zxid: self.store.last_applied(),
+                        },
+                    );
+                }
+            ZeusMsg::ObserverSync { last_zxid }
+                if self.role == Role::Leader => {
+                    let writes = match self.store.writes_after(last_zxid) {
+                        Some(w) => w,
+                        None => self.store.snapshot(),
+                    };
+                    for w in writes {
+                        let size = w.wire_size();
+                        ctx.send_value(from, size, ZeusMsg::ObserverUpdate { write: w });
+                    }
+                }
+            ZeusMsg::ObserverUpdate { write }
+                // Catch-up data from the (new) leader: committed writes.
+                if self.role != Role::Leader => {
+                    let z = write.zxid;
+                    self.log.insert(z, write.clone());
+                    self.store.apply(write);
+                    if z > self.committed {
+                        self.committed = z;
+                    }
+                }
+            _ => {}
+        }
+    }
+}
+
+impl Actor for EnsembleActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.role == Role::Leader {
+            ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+        } else {
+            let jitter = ctx.rng().gen_range(0..=self.cfg.election_timeout.as_micros());
+            ctx.set_timer(
+                self.cfg.election_timeout + SimDuration::from_micros(jitter),
+                TIMER_ELECTION,
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        if let Ok(m) = msg.downcast::<ZeusMsg>() {
+            self.handle(ctx, from, *m);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match tag {
+            TIMER_HEARTBEAT if self.role == Role::Leader => {
+                self.send_heartbeat(ctx);
+                ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+            }
+            TIMER_ELECTION if self.role != Role::Leader => {
+                if self.heard_from_leader {
+                    self.heard_from_leader = false;
+                } else {
+                    // Leader is silent: start an election for the next
+                    // epoch.
+                    self.role = Role::Candidate;
+                    self.epoch = self.promised_epoch + 1;
+                    self.promised_epoch = self.epoch;
+                    self.current_leader = None;
+                    self.votes.clear();
+                    self.votes.insert(ctx.node());
+                    let msg = ZeusMsg::ElectMe {
+                        epoch: self.epoch,
+                        last_zxid: self.store.last_applied(),
+                    };
+                    self.broadcast(ctx, &msg, 64);
+                    if self.votes.len() >= self.quorum() {
+                        // Single-node ensemble.
+                        self.become_leader(ctx);
+                    }
+                }
+                let jitter = ctx.rng().gen_range(0..=self.cfg.election_timeout.as_micros());
+                ctx.set_timer(
+                    self.cfg.election_timeout + SimDuration::from_micros(jitter),
+                    TIMER_ELECTION,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
+        // Rejoin as a follower and catch up.
+        self.role = Role::Follower;
+        self.heard_from_leader = false;
+        if let Some(leader) = self.current_leader {
+            ctx.send_value(
+                leader,
+                64,
+                ZeusMsg::ObserverSync {
+                    last_zxid: self.store.last_applied(),
+                },
+            );
+        }
+        let jitter = ctx.rng().gen_range(0..=self.cfg.election_timeout.as_micros());
+        ctx.set_timer(
+            self.cfg.election_timeout + SimDuration::from_micros(jitter),
+            TIMER_ELECTION,
+        );
+    }
+}

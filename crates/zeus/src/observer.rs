@@ -1,0 +1,123 @@
+//! Observers: the middle tier of the distribution tree.
+//!
+//! "Each cluster ... has multiple servers designated as Zeus observers.
+//! Each observer keeps a fully replicated read-only copy of the leader's
+//! data. Upon receiving a write, the leader commits the write on the
+//! followers, and then asynchronously pushes the write to each observer. If
+//! an observer fails and then reconnects to the leader, it sends the latest
+//! transaction ID it is aware of, and requests the missing writes" (§3.4).
+
+use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
+
+use crate::store::{ConfigStore, WatchTable};
+use crate::types::ZeusMsg;
+
+const TIMER_ANTI_ENTROPY: u64 = 1;
+
+/// An observer node: full replica plus per-path watches for the proxies in
+/// its cluster.
+pub struct ObserverActor {
+    leader: NodeId,
+    store: ConfigStore,
+    watches: WatchTable,
+    /// Periodic resync interval. Push delivery is the fast path; the
+    /// periodic `ObserverSync` is anti-entropy that repairs any updates
+    /// lost to partitions or drops (a caught-up observer costs the leader
+    /// one empty reply).
+    sync_every: SimDuration,
+}
+
+impl ObserverActor {
+    /// Creates an observer that syncs from `leader`.
+    pub fn new(leader: NodeId, log_cap: usize) -> ObserverActor {
+        ObserverActor {
+            leader,
+            store: ConfigStore::new(log_cap),
+            watches: WatchTable::new(),
+            sync_every: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Read access to the replica (for tests and experiments).
+    pub fn store(&self) -> &ConfigStore {
+        &self.store
+    }
+
+    /// Number of active watch registrations.
+    pub fn watch_count(&self) -> usize {
+        self.watches.len()
+    }
+
+    fn sync(&self, ctx: &mut Ctx<'_>) {
+        ctx.send_value(
+            self.leader,
+            64,
+            ZeusMsg::ObserverSync {
+                last_zxid: self.store.last_applied(),
+            },
+        );
+    }
+}
+
+impl Actor for ObserverActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.sync(ctx);
+        ctx.set_timer(self.sync_every, TIMER_ANTI_ENTROPY);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == TIMER_ANTI_ENTROPY {
+            self.sync(ctx);
+            ctx.set_timer(self.sync_every, TIMER_ANTI_ENTROPY);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        let Ok(msg) = msg.downcast::<ZeusMsg>() else {
+            return;
+        };
+        match *msg {
+            ZeusMsg::ObserverUpdate { write } => {
+                // Detect a gap within an epoch and request the missing tail
+                // before applying (jitter can reorder messages).
+                let last = self.store.last_applied();
+                if write.zxid.epoch == last.epoch && write.zxid.counter > last.counter + 1 {
+                    self.sync(ctx);
+                }
+                let path = write.path.clone();
+                if self.store.apply(write) {
+                    let current = self.store.get(&path).expect("just applied").clone();
+                    let size = current.wire_size();
+                    let watchers: Vec<NodeId> = self.watches.watchers(&path).collect();
+                    for w in watchers {
+                        ctx.send_value(w, size, ZeusMsg::Notify { write: current.clone() });
+                    }
+                    ctx.metrics().incr("zeus.observer_applied", 1);
+                }
+            }
+            ZeusMsg::Subscribe { path, have } => {
+                self.watches.watch(from, &path);
+                if let Some(w) = self.store.get(&path) {
+                    if w.zxid > have {
+                        ctx.send_value(from, w.wire_size(), ZeusMsg::Notify { write: w.clone() });
+                    }
+                }
+            }
+            ZeusMsg::NewLeader { leader, .. } => {
+                self.leader = leader;
+                self.sync(ctx);
+            }
+            ZeusMsg::ProxyPing => {
+                ctx.send_value(from, 16, ZeusMsg::ProxyPong);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
+        // "If an observer fails and then reconnects to the leader, it sends
+        // the latest transaction ID it is aware of" (§3.4).
+        self.sync(ctx);
+        ctx.set_timer(self.sync_every, TIMER_ANTI_ENTROPY);
+    }
+}

@@ -1,0 +1,246 @@
+//! The Configerator proxy: the leaf tier of the distribution tree.
+//!
+//! "Each server runs a Configerator Proxy process, which randomly picks an
+//! observer in the same cluster to connect to. If the observer fails, the
+//! proxy connects to another observer. ... It only fetches and caches the
+//! configs needed by the applications running on the server. ... The proxy
+//! stores the config in an on-disk cache for later reuse. If the proxy
+//! fails, the application falls back to read from the on-disk cache
+//! directly" (§3.4).
+//!
+//! The on-disk cache is modeled by [`DiskCache`], which survives proxy
+//! crashes in the simulation (a crash stops message processing but does not
+//! clear state), so the availability property is directly testable.
+
+use std::collections::{BTreeMap, HashSet};
+
+use rand::seq::SliceRandom;
+use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
+
+use crate::types::{Write, ZeusMsg, Zxid};
+
+const TIMER_HEALTHCHECK: u64 = 1;
+
+/// The proxy's persistent on-disk cache: `path → last seen write`.
+#[derive(Debug, Clone, Default)]
+pub struct DiskCache {
+    entries: BTreeMap<String, Write>,
+}
+
+impl DiskCache {
+    /// Reads a cached config.
+    pub fn get(&self, path: &str) -> Option<&Write> {
+        self.entries.get(path)
+    }
+
+    /// Stores a config if newer than what is cached. Returns whether the
+    /// cache changed.
+    pub fn put(&mut self, write: Write) -> bool {
+        match self.entries.get(&write.path) {
+            Some(existing) if existing.zxid >= write.zxid => false,
+            _ => {
+                self.entries.insert(write.path.clone(), write);
+                true
+            }
+        }
+    }
+
+    /// Number of cached configs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached version for `path`, or zero.
+    pub fn version(&self, path: &str) -> Zxid {
+        self.entries.get(path).map(|w| w.zxid).unwrap_or(Zxid::ZERO)
+    }
+}
+
+/// Local commands posted to a proxy by the application/driver layer.
+#[derive(Debug, Clone)]
+pub enum ProxyCmd {
+    /// Subscribe to a config path on behalf of a local application.
+    Subscribe {
+        /// The config path.
+        path: String,
+    },
+}
+
+/// The per-server proxy actor.
+pub struct ProxyActor {
+    cluster_observers: Vec<NodeId>,
+    current: Option<NodeId>,
+    cache: DiskCache,
+    subscriptions: HashSet<String>,
+    pong_seen: bool,
+    healthcheck: SimDuration,
+    /// Name under which propagation latency samples are recorded.
+    latency_metric: &'static str,
+}
+
+impl ProxyActor {
+    /// Creates a proxy that will pick among `cluster_observers` and
+    /// immediately subscribe to `subscriptions`.
+    pub fn new(cluster_observers: Vec<NodeId>, subscriptions: Vec<String>) -> ProxyActor {
+        ProxyActor {
+            cluster_observers,
+            current: None,
+            cache: DiskCache::default(),
+            subscriptions: subscriptions.into_iter().collect(),
+            pong_seen: true,
+            healthcheck: SimDuration::from_millis(500),
+            latency_metric: "zeus.propagation_s",
+        }
+    }
+
+    /// Overrides the metric name used for propagation latency samples.
+    pub fn with_latency_metric(mut self, name: &'static str) -> ProxyActor {
+        self.latency_metric = name;
+        self
+    }
+
+    /// The on-disk cache — readable even while the proxy is crashed, which
+    /// is exactly the paper's availability fallback.
+    pub fn disk_cache(&self) -> &DiskCache {
+        &self.cache
+    }
+
+    /// Reads a config as the application client library would: through the
+    /// proxy's cache.
+    pub fn read(&self, path: &str) -> Option<&Write> {
+        self.cache.get(path)
+    }
+
+    /// The observer this proxy is currently connected to.
+    pub fn connected_observer(&self) -> Option<NodeId> {
+        self.current
+    }
+
+    fn pick_observer(&mut self, ctx: &mut Ctx<'_>) {
+        let previous = self.current;
+        let choices: Vec<NodeId> = self
+            .cluster_observers
+            .iter()
+            .copied()
+            .filter(|o| Some(*o) != previous)
+            .collect();
+        self.current = choices.choose(ctx.rng()).copied().or(previous);
+        if let Some(obs) = self.current {
+            for path in self.subscriptions.clone() {
+                let have = self.cache.version(&path);
+                ctx.send_value(
+                    obs,
+                    (path.len() + 64) as u64,
+                    ZeusMsg::Subscribe { path, have },
+                );
+            }
+        }
+    }
+}
+
+impl Actor for ProxyActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.pick_observer(ctx);
+        ctx.set_timer(self.healthcheck, TIMER_HEALTHCHECK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+        let msg = match msg.downcast::<ProxyCmd>() {
+            Ok(cmd) => {
+                match *cmd {
+                    ProxyCmd::Subscribe { path } => {
+                        self.subscriptions.insert(path.clone());
+                        if let Some(obs) = self.current {
+                            let have = self.cache.version(&path);
+                            ctx.send_value(
+                                obs,
+                                (path.len() + 64) as u64,
+                                ZeusMsg::Subscribe { path, have },
+                            );
+                        }
+                    }
+                }
+                return;
+            }
+            Err(original) => original,
+        };
+        if let Ok(msg) = msg.downcast::<ZeusMsg>() {
+            match *msg {
+                ZeusMsg::Notify { write } => {
+                    let origin = write.origin;
+                    if self.cache.put(write) {
+                        let latency = (ctx.now() - origin).as_secs_f64();
+                        ctx.metrics().sample(self.latency_metric, latency);
+                        ctx.metrics().incr("zeus.proxy_updates", 1);
+                    }
+                }
+                ZeusMsg::ProxyPong => {
+                    self.pong_seen = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag != TIMER_HEALTHCHECK {
+            return;
+        }
+        if !self.pong_seen {
+            // Observer is unresponsive: reconnect to another one and
+            // re-subscribe with the cached versions.
+            ctx.metrics().incr("zeus.proxy_failovers", 1);
+            self.pick_observer(ctx);
+        }
+        self.pong_seen = false;
+        if let Some(obs) = self.current {
+            ctx.send_value(obs, 16, ZeusMsg::ProxyPing);
+        }
+        ctx.set_timer(self.healthcheck, TIMER_HEALTHCHECK);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
+        // The disk cache survived the crash; reconnect and resync deltas.
+        self.pick_observer(ctx);
+        ctx.set_timer(self.healthcheck, TIMER_HEALTHCHECK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use simnet::SimTime;
+
+    fn w(counter: u64, path: &str, data: &str) -> Write {
+        Write {
+            zxid: Zxid { epoch: 1, counter },
+            path: path.into(),
+            data: Bytes::copy_from_slice(data.as_bytes()),
+            origin: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn disk_cache_keeps_newest() {
+        let mut c = DiskCache::default();
+        assert!(c.put(w(2, "a", "v2")));
+        assert!(!c.put(w(1, "a", "v1")), "stale write ignored");
+        assert_eq!(&c.get("a").unwrap().data[..], b"v2");
+        assert_eq!(c.version("a"), Zxid { epoch: 1, counter: 2 });
+        assert_eq!(c.version("missing"), Zxid::ZERO);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_put_is_idempotent() {
+        let mut c = DiskCache::default();
+        assert!(c.put(w(1, "a", "v")));
+        assert!(!c.put(w(1, "a", "v")));
+    }
+}

@@ -1,0 +1,200 @@
+//! The pull-model baseline (ACMS-style) for the push-vs-pull comparison.
+//!
+//! Section 3.4: "The biggest advantage of the pull model is its simplicity
+//! ... However, the pull model is less efficient for two reasons. First,
+//! some polls return no new data and hence are pure overhead. ... Second,
+//! since the server side is stateless, the client has to include in each
+//! poll the full list of configs needed by the client, which is not
+//! scalable as the number of configs grows."
+//!
+//! [`PullServerActor`] is a stateless config server; [`PullClientActor`]
+//! polls it on a fixed interval, sending its full `(path, version)` list
+//! each time. The `repro pushpull` experiment sweeps the poll interval and
+//! compares bytes moved and staleness against the Zeus push tree.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use simnet::{Actor, Ctx, Message, NodeId, SimDuration, SimTime};
+
+use crate::types::{Write, Zxid};
+
+const TIMER_POLL: u64 = 1;
+
+/// Messages of the pull protocol.
+#[derive(Debug, Clone)]
+pub enum PullMsg {
+    /// Driver → server: apply a write (no consensus — single server
+    /// baseline).
+    Set {
+        /// Config path.
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Origination time, for staleness measurements.
+        origin: SimTime,
+    },
+    /// Client → server: the client's full interest list with versions.
+    Poll {
+        /// `(path, version held)` for every config the client needs.
+        interests: Vec<(String, Zxid)>,
+    },
+    /// Server → client: configs newer than the polled versions.
+    PollReply {
+        /// Changed configs.
+        changed: Vec<Write>,
+    },
+}
+
+impl PullMsg {
+    /// Approximate wire size: polls pay for the full interest list; this is
+    /// the per-poll overhead the paper calls out.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            PullMsg::Set { path, data, .. } => (path.len() + data.len() + 64) as u64,
+            PullMsg::Poll { interests } => interests
+                .iter()
+                .map(|(p, _)| p.len() as u64 + 12)
+                .sum::<u64>()
+                .max(16),
+            PullMsg::PollReply { changed } =>
+
+                changed.iter().map(Write::wire_size).sum::<u64>().max(16),
+        }
+    }
+}
+
+/// The stateless pull-model config server.
+#[derive(Default)]
+pub struct PullServerActor {
+    configs: BTreeMap<String, Write>,
+    counter: u64,
+}
+
+impl PullServerActor {
+    /// Creates an empty server.
+    pub fn new() -> PullServerActor {
+        PullServerActor::default()
+    }
+
+    /// Number of configs stored.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Returns whether the server stores no configs.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+impl Actor for PullServerActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        let Ok(msg) = msg.downcast::<PullMsg>() else {
+            return;
+        };
+        match *msg {
+            PullMsg::Set { path, data, origin } => {
+                self.counter += 1;
+                let write = Write {
+                    zxid: Zxid {
+                        epoch: 1,
+                        counter: self.counter,
+                    },
+                    path: path.clone(),
+                    data,
+                    origin,
+                };
+                self.configs.insert(path, write);
+            }
+            PullMsg::Poll { interests } => {
+                ctx.metrics().incr("pull.polls", 1);
+                let changed: Vec<Write> = interests
+                    .iter()
+                    .filter_map(|(path, have)| {
+                        self.configs
+                            .get(path)
+                            .filter(|w| w.zxid > *have)
+                            .cloned()
+                    })
+                    .collect();
+                if changed.is_empty() {
+                    ctx.metrics().incr("pull.empty_polls", 1);
+                }
+                let reply = PullMsg::PollReply { changed };
+                let size = reply.wire_size();
+                ctx.metrics().incr("pull.reply_bytes", size);
+                ctx.send_value(from, size, reply);
+            }
+            PullMsg::PollReply { .. } => {}
+        }
+    }
+}
+
+/// A pull-model client polling on a fixed interval.
+pub struct PullClientActor {
+    server: NodeId,
+    interval: SimDuration,
+    cache: BTreeMap<String, Write>,
+    paths: Vec<String>,
+}
+
+impl PullClientActor {
+    /// Creates a client polling `server` every `interval` for `paths`.
+    pub fn new(server: NodeId, interval: SimDuration, paths: Vec<String>) -> PullClientActor {
+        PullClientActor {
+            server,
+            interval,
+            cache: BTreeMap::new(),
+            paths,
+        }
+    }
+
+    /// Reads a config from the client's cache.
+    pub fn read(&self, path: &str) -> Option<&Write> {
+        self.cache.get(path)
+    }
+
+    fn poll(&self, ctx: &mut Ctx<'_>) {
+        let interests: Vec<(String, Zxid)> = self
+            .paths
+            .iter()
+            .map(|p| {
+                let have = self.cache.get(p).map(|w| w.zxid).unwrap_or(Zxid::ZERO);
+                (p.clone(), have)
+            })
+            .collect();
+        let msg = PullMsg::Poll { interests };
+        let size = msg.wire_size();
+        ctx.metrics().incr("pull.poll_bytes", size);
+        ctx.send_value(self.server, size, msg);
+    }
+}
+
+impl Actor for PullClientActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Desynchronize clients so the server is not hit in lockstep.
+        let offset = rand::Rng::gen_range(ctx.rng(), 0..=self.interval.as_micros());
+        ctx.set_timer(SimDuration::from_micros(offset), TIMER_POLL);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+        let Ok(msg) = msg.downcast::<PullMsg>() else {
+            return;
+        };
+        if let PullMsg::PollReply { changed } = *msg {
+            for w in changed {
+                let staleness = (ctx.now() - w.origin).as_secs_f64();
+                ctx.metrics().sample("pull.staleness_s", staleness);
+                self.cache.insert(w.path.clone(), w);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == TIMER_POLL {
+            self.poll(ctx);
+            ctx.set_timer(self.interval, TIMER_POLL);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The replicated data store and watch registry (pure state machines).
+//!
+//! These are the protocol-independent cores: [`ConfigStore`] applies
+//! committed writes in zxid order and answers reads; [`WatchTable`] tracks
+//! which subscriber watches which path. Both are plain data structures so
+//! they can be unit- and property-tested without a simulator, then embedded
+//! in observer/proxy actors.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use simnet::NodeId;
+
+use crate::types::{Write, Zxid};
+
+/// The materialized config state: `path → latest write`.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigStore {
+    data: HashMap<String, Write>,
+    last_applied: Zxid,
+    log: BTreeMap<Zxid, Write>,
+    log_cap: usize,
+}
+
+impl ConfigStore {
+    /// Creates an empty store retaining up to `log_cap` recent writes for
+    /// catch-up responses.
+    pub fn new(log_cap: usize) -> ConfigStore {
+        ConfigStore {
+            log_cap,
+            ..ConfigStore::default()
+        }
+    }
+
+    /// Applies a committed write. Returns `false` (and ignores the write)
+    /// if it is not newer than the last applied zxid — replays are no-ops,
+    /// which makes catch-up idempotent.
+    pub fn apply(&mut self, write: Write) -> bool {
+        if write.zxid <= self.last_applied && self.last_applied != Zxid::ZERO {
+            return false;
+        }
+        self.last_applied = write.zxid;
+        self.log.insert(write.zxid, write.clone());
+        if self.log.len() > self.log_cap {
+            let oldest = *self.log.keys().next().expect("nonempty");
+            self.log.remove(&oldest);
+        }
+        self.data.insert(write.path.clone(), write);
+        true
+    }
+
+    /// The latest write for `path`, if any.
+    pub fn get(&self, path: &str) -> Option<&Write> {
+        self.data.get(path)
+    }
+
+    /// The last applied zxid.
+    pub fn last_applied(&self) -> Zxid {
+        self.last_applied
+    }
+
+    /// Number of distinct paths stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the retained writes after `from` in zxid order (for syncing
+    /// an observer that reconnects with its last seen zxid, §3.4). Returns
+    /// `None` if the tail has been truncated and a full snapshot is needed.
+    pub fn writes_after(&self, from: Zxid) -> Option<Vec<Write>> {
+        if from < self.log_floor() && from != self.last_applied {
+            return None;
+        }
+        Some(
+            self.log
+                .range((
+                    std::ops::Bound::Excluded(from),
+                    std::ops::Bound::Unbounded,
+                ))
+                .map(|(_, w)| w.clone())
+                .collect(),
+        )
+    }
+
+    /// All current writes (full-snapshot sync), in zxid order.
+    pub fn snapshot(&self) -> Vec<Write> {
+        let mut all: Vec<Write> = self.data.values().cloned().collect();
+        all.sort_by_key(|w| w.zxid);
+        all
+    }
+
+    fn log_floor(&self) -> Zxid {
+        self.log.keys().next().copied().unwrap_or(Zxid::ZERO)
+    }
+}
+
+/// Which subscribers watch which paths.
+#[derive(Debug, Clone, Default)]
+pub struct WatchTable {
+    by_path: HashMap<String, HashSet<NodeId>>,
+    by_node: HashMap<NodeId, HashSet<String>>,
+}
+
+impl WatchTable {
+    /// Creates an empty table.
+    pub fn new() -> WatchTable {
+        WatchTable::default()
+    }
+
+    /// Registers `node` as a watcher of `path`.
+    pub fn watch(&mut self, node: NodeId, path: &str) {
+        self.by_path
+            .entry(path.to_string())
+            .or_default()
+            .insert(node);
+        self.by_node
+            .entry(node)
+            .or_default()
+            .insert(path.to_string());
+    }
+
+    /// Removes all watches held by `node` (e.g. when its connection dies).
+    pub fn drop_node(&mut self, node: NodeId) {
+        if let Some(paths) = self.by_node.remove(&node) {
+            for p in paths {
+                if let Some(set) = self.by_path.get_mut(&p) {
+                    set.remove(&node);
+                    if set.is_empty() {
+                        self.by_path.remove(&p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The watchers of `path`.
+    pub fn watchers(&self, path: &str) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_path
+            .get(path)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Number of (node, path) watch registrations.
+    pub fn len(&self) -> usize {
+        self.by_node.values().map(HashSet::len).sum()
+    }
+
+    /// Returns whether no watches are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_node.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use simnet::SimTime;
+
+    fn w(epoch: u32, counter: u64, path: &str, data: &str) -> Write {
+        Write {
+            zxid: Zxid { epoch, counter },
+            path: path.into(),
+            data: Bytes::copy_from_slice(data.as_bytes()),
+            origin: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn apply_in_order_and_read_back() {
+        let mut s = ConfigStore::new(100);
+        assert!(s.apply(w(1, 1, "a", "1")));
+        assert!(s.apply(w(1, 2, "b", "2")));
+        assert!(s.apply(w(1, 3, "a", "3")));
+        assert_eq!(&s.get("a").unwrap().data[..], b"3");
+        assert_eq!(&s.get("b").unwrap().data[..], b"2");
+        assert_eq!(s.last_applied(), Zxid { epoch: 1, counter: 3 });
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn stale_replays_ignored() {
+        let mut s = ConfigStore::new(100);
+        s.apply(w(1, 5, "a", "new"));
+        assert!(!s.apply(w(1, 3, "a", "old")));
+        assert_eq!(&s.get("a").unwrap().data[..], b"new");
+    }
+
+    #[test]
+    fn writes_after_returns_tail() {
+        let mut s = ConfigStore::new(100);
+        for i in 1..=5 {
+            s.apply(w(1, i, &format!("p{i}"), "x"));
+        }
+        let tail = s.writes_after(Zxid { epoch: 1, counter: 3 }).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].zxid.counter, 4);
+        assert_eq!(tail[1].zxid.counter, 5);
+        // Fully caught up → empty tail.
+        assert!(s
+            .writes_after(Zxid { epoch: 1, counter: 5 })
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn truncated_tail_forces_snapshot() {
+        let mut s = ConfigStore::new(3);
+        for i in 1..=10 {
+            s.apply(w(1, i, &format!("p{i}"), "x"));
+        }
+        // Asking for history older than the retained log fails over to a
+        // snapshot.
+        assert!(s.writes_after(Zxid { epoch: 1, counter: 2 }).is_none());
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 10);
+        assert!(snap.windows(2).all(|p| p[0].zxid < p[1].zxid));
+    }
+
+    #[test]
+    fn watch_table_round_trip() {
+        let mut t = WatchTable::new();
+        t.watch(NodeId(1), "a");
+        t.watch(NodeId(2), "a");
+        t.watch(NodeId(1), "b");
+        let mut watchers: Vec<u32> = t.watchers("a").map(|n| n.0).collect();
+        watchers.sort();
+        assert_eq!(watchers, vec![1, 2]);
+        assert_eq!(t.len(), 3);
+        t.drop_node(NodeId(1));
+        assert_eq!(t.watchers("b").count(), 0);
+        assert_eq!(t.watchers("a").count(), 1);
+    }
+
+    #[test]
+    fn duplicate_watch_is_idempotent() {
+        let mut t = WatchTable::new();
+        t.watch(NodeId(1), "a");
+        t.watch(NodeId(1), "a");
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Core protocol types: transaction ids, writes, and wire messages.
+
+use bytes::Bytes;
+use simnet::{NodeId, SimTime};
+
+/// A ZooKeeper-style transaction id: `(epoch, counter)`, totally ordered.
+///
+/// The epoch increments on every leader change; the counter increments per
+/// committed write within an epoch. The commit log's zxid order is the
+/// delivery order guarantee the paper relies on: "an application's instances
+/// running on different servers should eventually receive all config
+/// updates delivered in the same order" (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Zxid {
+    /// Leader epoch.
+    pub epoch: u32,
+    /// Counter within the epoch.
+    pub counter: u64,
+}
+
+impl Zxid {
+    /// The zero id (before any write).
+    pub const ZERO: Zxid = Zxid {
+        epoch: 0,
+        counter: 0,
+    };
+
+    /// Returns the next zxid within the same epoch.
+    pub fn next(self) -> Zxid {
+        Zxid {
+            epoch: self.epoch,
+            counter: self.counter + 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Zxid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.epoch, self.counter)
+    }
+}
+
+/// A single committed write: set `path` to `data`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Write {
+    /// Transaction id assigned by the leader.
+    pub zxid: Zxid,
+    /// Config path.
+    pub path: String,
+    /// Config payload (compiled JSON, or PackageVessel metadata).
+    pub data: Bytes,
+    /// When the originating client issued the write (for end-to-end
+    /// propagation measurements).
+    pub origin: SimTime,
+}
+
+impl Write {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        (self.path.len() + self.data.len() + 64) as u64
+    }
+}
+
+/// Messages of the Zeus protocol.
+#[derive(Debug, Clone)]
+pub enum ZeusMsg {
+    /// Client → leader: propose a write.
+    Propose {
+        /// Config path to set.
+        path: String,
+        /// Payload.
+        data: Bytes,
+        /// Client-side origination time.
+        origin: SimTime,
+    },
+    /// Leader → follower: replicate a proposal.
+    Append {
+        /// The proposed write.
+        write: Write,
+    },
+    /// Follower → leader: proposal persisted.
+    AckAppend {
+        /// Zxid being acknowledged.
+        zxid: Zxid,
+    },
+    /// Leader → follower: everything up to `zxid` is committed.
+    CommitUpTo {
+        /// Highest committed zxid.
+        zxid: Zxid,
+    },
+    /// Leader → everyone: liveness heartbeat (also carries commit point).
+    Heartbeat {
+        /// Leader's epoch.
+        epoch: u32,
+        /// Highest committed zxid.
+        committed: Zxid,
+    },
+    /// Candidate → ensemble: request votes for a new epoch.
+    ElectMe {
+        /// Proposed epoch.
+        epoch: u32,
+        /// Candidate's last logged zxid.
+        last_zxid: Zxid,
+    },
+    /// Voter → candidate: vote granted for `epoch`.
+    Vote {
+        /// Epoch voted for.
+        epoch: u32,
+    },
+    /// New leader → everyone: epoch established.
+    NewLeader {
+        /// The new epoch.
+        epoch: u32,
+        /// The new leader's node.
+        leader: NodeId,
+    },
+    /// Observer → leader: request committed writes after `last_zxid`
+    /// (initial sync and crash recovery).
+    ObserverSync {
+        /// Last zxid the observer has applied.
+        last_zxid: Zxid,
+    },
+    /// Leader → observer: a committed write (push path), in zxid order.
+    ObserverUpdate {
+        /// The committed write.
+        write: Write,
+    },
+    /// Proxy → observer: subscribe to a path with a watch.
+    Subscribe {
+        /// Path to watch.
+        path: String,
+        /// Version already cached at the proxy (0 if none).
+        have: Zxid,
+    },
+    /// Observer → proxy: current data for a watched path.
+    Notify {
+        /// The write (or current state) for the watched path.
+        write: Write,
+    },
+    /// Proxy → observer: liveness probe.
+    ProxyPing,
+    /// Observer → proxy: liveness response.
+    ProxyPong,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zxid_ordering_epoch_dominates() {
+        let a = Zxid { epoch: 1, counter: 99 };
+        let b = Zxid { epoch: 2, counter: 0 };
+        assert!(a < b);
+        assert!(Zxid::ZERO < a);
+        assert_eq!(a.next(), Zxid { epoch: 1, counter: 100 });
+    }
+
+    #[test]
+    fn wire_size_scales_with_payload() {
+        let w = Write {
+            zxid: Zxid::ZERO,
+            path: "a/b".into(),
+            data: Bytes::from(vec![0u8; 1000]),
+            origin: SimTime::ZERO,
+        };
+        assert_eq!(w.wire_size(), 3 + 1000 + 64);
+    }
+}

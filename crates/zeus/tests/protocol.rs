@@ -1,0 +1,294 @@
+//! End-to-end protocol tests for the Zeus deployment: propagation,
+//! ordering, leader failover, observer/proxy failure handling, and the
+//! on-disk-cache availability property from §3.4 of the paper.
+
+use simnet::prelude::*;
+use zeus::deploy::{DeployConfig, ZeusDeployment};
+use zeus::ensemble::EnsembleActor;
+use zeus::observer::ObserverActor;
+use zeus::proxy::ProxyActor;
+use zeus::pull::{PullClientActor, PullMsg, PullServerActor};
+
+fn deployment(seed: u64, subscriptions: Vec<String>) -> (Sim, ZeusDeployment) {
+    // 3 regions × 2 clusters × 10 servers = 60 nodes.
+    let topo = Topology::symmetric(3, 2, 10);
+    let mut sim = Sim::new(topo, NetConfig::datacenter(), seed);
+    let cfg = DeployConfig {
+        ensemble_size: 5,
+        observers_per_cluster: 2,
+        subscriptions,
+        ..DeployConfig::default()
+    };
+    let zeus = ZeusDeployment::install(&mut sim, &cfg);
+    sim.run_for(SimDuration::from_secs(1));
+    (sim, zeus)
+}
+
+#[test]
+fn write_reaches_every_proxy() {
+    let (mut sim, zeus) = deployment(1, vec!["cfg/a".into()]);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/a", &b"v1"[..]);
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(zeus.coverage(&sim, "cfg/a", b"v1"), 1.0);
+    // Propagation latency samples were recorded for every proxy.
+    let s = sim.metrics().summary("zeus.propagation_s").unwrap();
+    assert_eq!(s.count, zeus.proxies.len());
+    assert!(s.max < 2.0, "p100 propagation took {}s", s.max);
+}
+
+#[test]
+fn updates_arrive_in_order_and_last_wins() {
+    let (mut sim, zeus) = deployment(2, vec!["cfg/seq".into()]);
+    let t = sim.now();
+    for i in 0..20u32 {
+        zeus.write_at(&mut sim, t, "cfg/seq", format!("v{i}").into_bytes());
+    }
+    sim.run_for(SimDuration::from_secs(3));
+    assert_eq!(zeus.coverage(&sim, "cfg/seq", b"v19"), 1.0);
+}
+
+#[test]
+fn late_subscription_gets_current_value() {
+    let (mut sim, zeus) = deployment(3, vec![]);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/late", &b"current"[..]);
+    sim.run_for(SimDuration::from_secs(1));
+    // Nobody was subscribed; now everyone subscribes and must receive the
+    // value already committed (observer answers from its replica).
+    zeus.subscribe_all(&mut sim, "cfg/late");
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(zeus.coverage(&sim, "cfg/late", b"current"), 1.0);
+}
+
+#[test]
+fn leader_crash_elects_new_leader_and_writes_continue() {
+    let (mut sim, zeus) = deployment(4, vec!["cfg/f".into()]);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/f", &b"before"[..]);
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(zeus.coverage(&sim, "cfg/f", b"before"), 1.0);
+
+    // Kill the leader; a follower must take over.
+    let old_leader = zeus.initial_leader();
+    sim.crash(old_leader);
+    sim.run_for(SimDuration::from_secs(5));
+    let leaders: Vec<NodeId> = zeus
+        .ensemble
+        .iter()
+        .copied()
+        .filter(|&n| n != old_leader)
+        .filter(|&n| {
+            sim.actor::<EnsembleActor>(n)
+                .map(|a| a.is_leader())
+                .unwrap_or(false)
+        })
+        .collect();
+    assert_eq!(leaders.len(), 1, "exactly one live leader: {leaders:?}");
+    let new_leader = leaders[0];
+    assert!(sim.metrics().counter("zeus.leader_elections") >= 1);
+
+    // Writes through the new leader propagate to the whole fleet.
+    let msg = zeus::ZeusMsg::Propose {
+        path: "cfg/f".to_string(),
+        data: bytes::Bytes::from_static(b"after"),
+        origin: sim.now(),
+    };
+    let now = sim.now();
+    sim.post(now, new_leader, new_leader, Box::new(msg));
+    sim.run_for(SimDuration::from_secs(3));
+    assert_eq!(zeus.coverage(&sim, "cfg/f", b"after"), 1.0);
+}
+
+#[test]
+fn crashed_follower_catches_up_on_recovery() {
+    let (mut sim, zeus) = deployment(5, vec![]);
+    let victim = zeus.ensemble[3];
+    sim.crash(victim);
+    let t = sim.now();
+    for i in 0..5u32 {
+        zeus.write_at(&mut sim, t, &format!("cfg/k{i}"), format!("v{i}").into_bytes());
+    }
+    sim.run_for(SimDuration::from_secs(2));
+    sim.recover(victim);
+    sim.run_for(SimDuration::from_secs(3));
+    let actor: &EnsembleActor = sim.actor(victim).unwrap();
+    assert_eq!(actor.store().len(), 5, "recovered follower must catch up");
+}
+
+#[test]
+fn crashed_observer_catches_up_and_proxies_fail_over() {
+    let (mut sim, zeus) = deployment(6, vec!["cfg/x".into()]);
+    // Crash one observer, write, let proxies fail over to the sibling
+    // observer in the same cluster.
+    let victim = zeus.observers[0];
+    sim.crash(victim);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/x", &b"v1"[..]);
+    sim.run_for(SimDuration::from_secs(5));
+    assert_eq!(
+        zeus.coverage(&sim, "cfg/x", b"v1"),
+        1.0,
+        "proxies must reach the data through the surviving observer"
+    );
+    assert!(sim.metrics().counter("zeus.proxy_failovers") > 0);
+
+    // The observer recovers and must resync the missed write.
+    sim.recover(victim);
+    sim.run_for(SimDuration::from_secs(2));
+    let obs: &ObserverActor = sim.actor(victim).unwrap();
+    assert_eq!(&obs.store().get("cfg/x").unwrap().data[..], b"v1");
+}
+
+#[test]
+fn disk_cache_survives_proxy_crash() {
+    let (mut sim, zeus) = deployment(7, vec!["cfg/d".into()]);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/d", &b"cached"[..]);
+    sim.run_for(SimDuration::from_secs(2));
+    let proxy_node = zeus.proxies[0];
+    sim.crash(proxy_node);
+    // Even with the proxy process down, the application reads the on-disk
+    // cache directly (§3.4's availability fallback).
+    let proxy: &ProxyActor = sim.actor(proxy_node).unwrap();
+    assert_eq!(&proxy.disk_cache().get("cfg/d").unwrap().data[..], b"cached");
+}
+
+#[test]
+fn all_components_down_apps_still_read_cache() {
+    let (mut sim, zeus) = deployment(8, vec!["cfg/all".into()]);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/all", &b"v"[..]);
+    sim.run_for(SimDuration::from_secs(2));
+    // Crash everything: ensemble, observers, proxies.
+    for &n in zeus
+        .ensemble
+        .iter()
+        .chain(zeus.observers.iter())
+        .chain(zeus.proxies.iter())
+    {
+        sim.crash(n);
+    }
+    sim.run_for(SimDuration::from_secs(1));
+    for &p in &zeus.proxies {
+        let proxy: &ProxyActor = sim.actor(p).unwrap();
+        assert!(proxy.disk_cache().get("cfg/all").is_some());
+    }
+}
+
+#[test]
+fn pull_baseline_polls_and_converges() {
+    let topo = Topology::symmetric(1, 1, 21);
+    let mut sim = Sim::new(topo, NetConfig::datacenter(), 9);
+    let server = NodeId(0);
+    sim.add_actor(server, Box::new(PullServerActor::new()));
+    let paths: Vec<String> = (0..10).map(|i| format!("cfg/p{i}")).collect();
+    for n in 1..21u32 {
+        sim.add_actor(
+            NodeId(n),
+            Box::new(PullClientActor::new(
+                server,
+                SimDuration::from_secs(2),
+                paths.clone(),
+            )),
+        );
+    }
+    // Seed one config; most polls will be empty — the pure overhead the
+    // paper calls out.
+    let now = sim.now();
+    sim.post(
+        now,
+        server,
+        server,
+        Box::new(PullMsg::Set {
+            path: "cfg/p3".into(),
+            data: bytes::Bytes::from_static(b"v"),
+            origin: now,
+        }),
+    );
+    sim.run_for(SimDuration::from_secs(30));
+    for n in 1..21u32 {
+        let c: &PullClientActor = sim.actor(NodeId(n)).unwrap();
+        assert_eq!(&c.read("cfg/p3").unwrap().data[..], b"v");
+    }
+    let polls = sim.metrics().counter("pull.polls");
+    let empty = sim.metrics().counter("pull.empty_polls");
+    assert!(polls > 200, "20 clients × ~15 polls: got {polls}");
+    assert!(
+        empty as f64 / polls as f64 > 0.9,
+        "most polls should be empty: {empty}/{polls}"
+    );
+    // Staleness is bounded by the poll interval plus network time.
+    let s = sim.metrics().summary("pull.staleness_s").unwrap();
+    assert!(s.max <= 2.5, "staleness bounded by poll interval: {}", s.max);
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = |seed: u64| {
+        let (mut sim, zeus) = deployment(seed, vec!["cfg/det".into()]);
+        let t = sim.now();
+        zeus.write_at(&mut sim, t, "cfg/det", &b"v"[..]);
+        sim.run_for(SimDuration::from_secs(2));
+        let s = sim.metrics().summary("zeus.propagation_s").unwrap();
+        (s.mean, sim.events_processed())
+    };
+    assert_eq!(run(42), run(42));
+}
+
+#[test]
+fn minority_partition_stalls_then_catches_up() {
+    // 3 regions; the ensemble has 5 members spread 2/2/1. Partitioning
+    // region 2 (1 member + its observers/proxies) leaves a quorum of 4 on
+    // the majority side: writes keep committing there, the minority's
+    // proxies stop seeing updates, and everything converges after healing.
+    let (mut sim, zeus) = deployment(20, vec!["cfg/p".into()]);
+    let r2 = RegionId(2);
+    sim.partition(RegionId(0), r2);
+    sim.partition(RegionId(1), r2);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/p", &b"during"[..]);
+    sim.run_for(SimDuration::from_secs(5));
+
+    // Majority-side proxies have the write; minority-side do not.
+    let topo = sim.topology().clone();
+    let (minority, majority): (Vec<_>, Vec<_>) = zeus
+        .proxies
+        .iter()
+        .copied()
+        .partition(|&p| topo.placement(p).region == r2);
+    let have = |sim: &Sim, nodes: &[NodeId]| {
+        nodes
+            .iter()
+            .filter(|&&p| {
+                sim.actor::<ProxyActor>(p)
+                    .and_then(|a| a.read("cfg/p"))
+                    .map(|w| &w.data[..] == b"during")
+                    .unwrap_or(false)
+            })
+            .count()
+    };
+    assert_eq!(have(&sim, &majority), majority.len(), "majority side converged");
+    assert_eq!(have(&sim, &minority), 0, "partitioned region is stale");
+
+    // Heal: the minority observers resync from the leader and push to
+    // their proxies.
+    sim.heal(RegionId(0), r2);
+    sim.heal(RegionId(1), r2);
+    sim.run_for(SimDuration::from_secs(10));
+    assert_eq!(have(&sim, &minority), minority.len(), "minority caught up");
+}
+
+#[test]
+fn write_sizes_affect_bytes_accounting() {
+    let (mut sim, zeus) = deployment(21, vec!["big".into()]);
+    let before = sim.metrics().counter("simnet.bytes_sent");
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "big", vec![0u8; 100_000]);
+    sim.run_for(SimDuration::from_secs(3));
+    let moved = sim.metrics().counter("simnet.bytes_sent") - before;
+    // Ensemble replication + observer pushes + proxy notifies each carry
+    // the payload: at least (proxies + observers) × 100 KB must move.
+    let floor = (zeus.proxies.len() + zeus.observers.len()) as u64 * 100_000;
+    assert!(moved > floor, "moved {moved} < floor {floor}");
+}

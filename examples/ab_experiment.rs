@@ -1,0 +1,101 @@
+//! The VoIP echo-canceling story from §2/§5: run an A/B experiment on a
+//! mobile parameter through MobileConfig, find the winning value, then
+//! remap the field from the experiment to a constant — without any client
+//! change.
+//!
+//! Run with: `cargo run --example ab_experiment`
+
+use std::collections::BTreeMap;
+
+use gatekeeper::context::{mix64, UserContext};
+use gatekeeper::experiment::{Experiment, ExperimentResults, Group, ParamValue};
+use gatekeeper::project::Project;
+use gatekeeper::runtime::Runtime;
+use mobileconfig::{
+    Binding, FieldType, MobileConfigClient, MobileConfigServer, MobileSchema, TranslationLayer,
+};
+
+fn main() {
+    // The Messenger app ships with a schema containing VOIP_ECHO.
+    let schema = MobileSchema::new("MessengerVoip", &[("VOIP_ECHO", FieldType::Float)]);
+
+    // Phase 1: VOIP_ECHO is experiment-backed. Two candidate parameter
+    // values against a 0.5 default.
+    let experiment = Experiment::new(
+        "echo_tuning",
+        vec![
+            Group {
+                name: "gentle".into(),
+                fraction: 0.2,
+                params: BTreeMap::from([("VOIP_ECHO".to_string(), ParamValue::Float(0.3))]),
+            },
+            Group {
+                name: "aggressive".into(),
+                fraction: 0.2,
+                params: BTreeMap::from([("VOIP_ECHO".to_string(), ParamValue::Float(0.9))]),
+            },
+        ],
+        BTreeMap::from([("VOIP_ECHO".to_string(), ParamValue::Float(0.5))]),
+    );
+    let mut translation = TranslationLayer::new();
+    translation.bind(
+        "MessengerVoip",
+        "VOIP_ECHO",
+        Binding::Experiment {
+            name: "echo_tuning".into(),
+            param: "VOIP_ECHO".into(),
+        },
+    );
+    let mut gk = Runtime::new(laser::Laser::new(64));
+    gk.update_project(Project::fraction_launch("unused", 0.0));
+    let mut server = MobileConfigServer::new(translation, gk);
+    server.register_schema(schema.clone());
+    server.update_experiment(experiment.clone());
+
+    // 30k devices poll and run calls; call quality genuinely improves with
+    // a higher echo parameter on this hardware mix.
+    let mut results = ExperimentResults::new(experiment.groups.len());
+    let mut devices: Vec<MobileConfigClient> = (0..30_000u64)
+        .map(|u| MobileConfigClient::new(UserContext::with_id(u), schema.clone()))
+        .collect();
+    for (u, device) in devices.iter_mut().enumerate() {
+        device.poll(&mut server);
+        let echo = device.get_float("VOIP_ECHO");
+        let noise = (mix64(u as u64) % 1000) as f64 / 1000.0 - 0.5;
+        let call_quality = 3.0 + echo * 1.5 + noise;
+        results.record(experiment.assign(u as u64), call_quality);
+    }
+    for (i, g) in experiment.groups.iter().enumerate() {
+        let s = results.stats(Some(i)).unwrap();
+        println!(
+            "group {:<12} echo={:.1}  n={:5}  mean quality {:.3}",
+            g.name,
+            g.params["VOIP_ECHO"].as_f64().unwrap(),
+            s.n,
+            s.mean
+        );
+    }
+    let control = results.stats(None).unwrap();
+    println!("control      echo=0.5  n={:5}  mean quality {:.3}", control.n, control.mean);
+    let (winner, z) = results.winner().unwrap();
+    println!(
+        "\nwinner: {} (z = {z:.1} vs control)",
+        experiment.groups[winner].name
+    );
+
+    // Phase 2: "After the experiment finishes and the best parameter is
+    // found, VOIP_ECHO can be remapped to a constant stored in
+    // Configerator" (§5) — one translation-layer update, zero app changes.
+    let best = experiment.groups[winner].params["VOIP_ECHO"].clone();
+    let mut translation = TranslationLayer::new();
+    translation.bind("MessengerVoip", "VOIP_ECHO", Binding::Constant(best.clone()));
+    server.update_translation(translation);
+
+    let mut legacy_device = MobileConfigClient::new(UserContext::with_id(7), schema);
+    legacy_device.poll(&mut server);
+    println!(
+        "after remap, every device (old app builds included) reads VOIP_ECHO = {:?}",
+        legacy_device.get_float("VOIP_ECHO")
+    );
+    assert_eq!(ParamValue::Float(legacy_device.get_float("VOIP_ECHO")), best);
+}

@@ -1,0 +1,98 @@
+//! Quickstart: author a config as code, ship it through the full pipeline
+//! (review → Sandcastle → canary → landing strip), and watch a subscribed
+//! application receive the update — the Figure 2/Figure 3 flow end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use configerator::canary::{CanarySpec, SyntheticFleet};
+use configerator::stack::Stack;
+
+fn main() {
+    // A three-region Configerator deployment with the standard canary spec.
+    let mut stack = Stack::new(3);
+    stack.set_default_canary(CanarySpec::standard(1000));
+
+    // An application subscribes to its config, exactly as it would through
+    // the Configerator proxy's client library.
+    let app_config: Rc<RefCell<Option<String>>> = Rc::default();
+    let seen = app_config.clone();
+    stack.subscribe("cache/job", move |update| {
+        *seen.borrow_mut() = Some(String::from_utf8_lossy(&update.data).to_string());
+    });
+
+    // The scheduler team owns the schema, the reusable module, and the
+    // validator; the cache team writes a one-liner (§3.1, Figure 2).
+    let mut changes = BTreeMap::new();
+    changes.insert(
+        "schemas/job.schema".to_string(),
+        Some(
+            "enum JobKind { BATCH, SERVICE }\n\
+             struct Job {\n\
+               1: string name\n\
+               2: optional i64 memory_mb = 1024\n\
+               3: list<i64> ports\n\
+               4: JobKind kind = BATCH\n\
+             }"
+            .to_string(),
+        ),
+    );
+    changes.insert(
+        "schemas/job.cvalidator".to_string(),
+        Some(
+            "def validate(cfg):\n\
+             \x20   require(cfg.memory_mb >= 64, \"memory_mb too small\")\n\
+             \x20   require(len(cfg.ports) > 0, \"need at least one port\")\n"
+                .to_string(),
+        ),
+    );
+    changes.insert(
+        "create_job.cinc".to_string(),
+        Some(
+            "schema \"schemas/job.schema\"\n\
+             def create_job(name, memory_mb=1024):\n\
+             \x20   return Job { name: name, memory_mb: memory_mb, ports: [8089], kind: JobKind.SERVICE }\n"
+                .to_string(),
+        ),
+    );
+    changes.insert(
+        "cache/job.cconf".to_string(),
+        Some("import \"create_job.cinc\"\nexport_if_last(create_job(\"cache\"))".to_string()),
+    );
+
+    // Propose → Sandcastle runs automatically → review → ship (canary,
+    // land, replicate, distribute).
+    let id = stack.propose("alice", "add the cache job config", changes);
+    println!(
+        "sandcastle passed: {:?}",
+        stack.phab.review(id).unwrap().report.as_ref().unwrap().passed
+    );
+    stack.approve(id, "bob").expect("review approval");
+    let mut fleet = SyntheticFleet::new(4000, 42);
+    let out = stack.ship(id, Some(&mut fleet)).expect("ship");
+    println!("canary passed: {}", out.canary.as_ref().unwrap().passed);
+    println!("distributed configs: {:?}", out.distributed);
+
+    // The subscribed application got the compiled JSON.
+    println!("\napplication sees:\n{}", app_config.borrow().as_ref().unwrap());
+
+    // A validator-violating change is rejected before anything lands.
+    let mut bad = BTreeMap::new();
+    bad.insert(
+        "cache/job.cconf".to_string(),
+        Some(
+            "import \"create_job.cinc\"\nexport_if_last(create_job(\"cache\", memory_mb=8))"
+                .to_string(),
+        ),
+    );
+    let id = stack.propose("mallory", "shrink cache (oops)", bad);
+    let review = stack.phab.review(id).unwrap();
+    let report = review.report.as_ref().unwrap();
+    println!("\nbad change sandcastle verdict: passed={}", report.passed);
+    println!("  failure: {}", report.failures[0]);
+    assert!(stack.approve(id, "bob").is_err(), "cannot approve failing tests");
+    println!("review system refuses approval while tests fail — the §3.3 safety net.");
+}

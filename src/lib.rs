@@ -1,0 +1,40 @@
+//! # holoconfig — a Rust reproduction of Facebook's holistic configuration
+//! # management stack (SOSP 2015)
+//!
+//! This is the umbrella crate of the workspace: it re-exports every
+//! subsystem so examples and downstream users can depend on one crate.
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and experiment index, and `EXPERIMENTS.md` for the
+//! paper-vs-measured results.
+//!
+//! The subsystems:
+//!
+//! * [`configerator`] — the core pipeline: config repository, compiler,
+//!   dependency service, review, canary, landing strip, tailer, mutator,
+//!   multi-region stack.
+//! * [`cdsl`] — configuration-as-code: the config language, Thrift-style
+//!   schemas, validators, canonical JSON.
+//! * [`gitstore`] — the from-scratch content-addressed version control
+//!   substrate.
+//! * [`zeus`] — the replicated config store and leader→observer→proxy push
+//!   tree.
+//! * [`packagevessel`] — hybrid subscription-P2P bulk distribution.
+//! * [`gatekeeper`] / [`laser`] — feature gating, A/B experiments, and the
+//!   data store behind data-driven restraints.
+//! * [`sitevars`] — the name-value shim for frontend products.
+//! * [`mobileconfig`] — the mobile client/server with hash-based delta
+//!   sync and the translation layer.
+//! * [`simnet`] — the deterministic discrete-event fleet simulator.
+//! * [`workload`] — generators calibrated to the paper's usage statistics.
+
+pub use cdsl;
+pub use configerator;
+pub use gatekeeper;
+pub use gitstore;
+pub use laser;
+pub use mobileconfig;
+pub use packagevessel;
+pub use simnet;
+pub use sitevars;
+pub use workload;
+pub use zeus;

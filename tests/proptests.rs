@@ -1,0 +1,221 @@
+//! Property-based tests over the core data structures and invariants.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use gitstore::diff::{apply, apply_reverse, diff_lines, diff_stat};
+use gitstore::repo::{Change, Repository};
+use proptest::prelude::*;
+
+/// Model-based test: a gitstore repository's snapshot always equals a
+/// plain map driven by the same change sequence, and every historical
+/// snapshot stays readable.
+mod repo_model {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Put(u8, String),
+        Delete(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..20, "[a-z]{0,12}").prop_map(|(k, v)| Op::Put(k, v)),
+            (0u8..20).prop_map(Op::Delete),
+        ]
+    }
+
+    fn path(k: u8) -> String {
+        // Mix flat and nested paths.
+        if k.is_multiple_of(3) {
+            format!("dir{}/file{k}", k % 5)
+        } else {
+            format!("file{k}")
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn snapshot_matches_model(batches in prop::collection::vec(
+            prop::collection::vec(op_strategy(), 1..6), 1..12)
+        ) {
+            let mut repo = Repository::new();
+            let mut model: BTreeMap<String, String> = BTreeMap::new();
+            let mut heads = Vec::new();
+            let mut models = Vec::new();
+            for (ts, batch) in batches.into_iter().enumerate() {
+                let mut changes = Vec::new();
+                let mut staged = model.clone();
+                for op in batch {
+                    match op {
+                        Op::Put(k, v) => {
+                            let p = path(k);
+                            // Avoid file/dir collisions in the model too.
+                            let collides = staged.keys().any(|q| {
+                                q != &p && (q.starts_with(&format!("{p}/")) || p.starts_with(&format!("{q}/")))
+                            });
+                            if !collides {
+                                staged.insert(p.clone(), v.clone());
+                                changes.push(Change::put(p, v));
+                            }
+                        }
+                        Op::Delete(k) => {
+                            let p = path(k);
+                            if staged.remove(&p).is_some() {
+                                changes.push(Change::delete(p));
+                            }
+                        }
+                    }
+                }
+                if changes.is_empty() {
+                    continue;
+                }
+                let out = repo.commit("prop", "batch", ts as u64, changes);
+                prop_assert!(out.is_ok(), "commit failed: {out:?}");
+                model = staged;
+                heads.push(out.unwrap().id);
+                models.push(model.clone());
+                prop_assert_eq!(repo.file_count(), model.len());
+            }
+            // Every historical snapshot matches its model state.
+            for (head, m) in heads.iter().zip(&models) {
+                let snap = repo.snapshot(*head).unwrap();
+                prop_assert_eq!(snap.len(), m.len());
+                for (p, v) in m {
+                    let data = repo.read(*head, p).unwrap();
+                    prop_assert_eq!(&data[..], v.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Myers diff reconstructs both sides exactly, for arbitrary texts.
+    #[test]
+    fn diff_round_trips(old in "([a-c]{0,6}\n){0,12}", new in "([a-c]{0,6}\n){0,12}") {
+        let old = old.trim_end_matches('\n');
+        let new = new.trim_end_matches('\n');
+        let ops = diff_lines(old, new);
+        prop_assert_eq!(apply(&ops), new);
+        prop_assert_eq!(apply_reverse(&ops), old);
+    }
+
+    /// Diff size is bounded by the sum of line counts and zero iff equal.
+    #[test]
+    fn diff_stat_bounds(old in "([a-b]{0,4}\n){0,10}", new in "([a-b]{0,4}\n){0,10}") {
+        let s = diff_stat(&old, &new);
+        let max = old.lines().count() + new.lines().count();
+        prop_assert!(s.line_changes() <= max);
+        if old == new {
+            prop_assert_eq!(s.line_changes(), 0);
+        }
+    }
+
+    /// SHA-1 incremental hashing equals one-shot for arbitrary splits.
+    #[test]
+    fn sha1_incremental(data in prop::collection::vec(any::<u8>(), 0..2048), split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = gitstore::sha1::Sha1::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), gitstore::sha1::sha1(&data));
+    }
+
+    /// CDSL's canonical JSON is always parseable by serde_json and
+    /// deterministic.
+    #[test]
+    fn cdsl_json_is_valid(ints in prop::collection::vec(any::<i32>(), 0..8),
+                          strs in prop::collection::vec("[\\x00-\\x7f]{0,12}", 0..6),
+                          f in any::<f64>()) {
+        use cdsl::value::Value;
+        let mut map = BTreeMap::new();
+        map.insert("ints".to_string(), Value::list(ints.iter().map(|i| Value::Int(*i as i64)).collect()));
+        map.insert("strs".to_string(), Value::list(strs.iter().map(Value::str).collect()));
+        map.insert("f".to_string(), Value::Float(f));
+        let v = Value::dict(map);
+        let compact = v.to_json();
+        let parsed: Result<serde_json::Value, _> = serde_json::from_str(&compact);
+        prop_assert!(parsed.is_ok(), "invalid JSON: {compact}");
+        prop_assert_eq!(compact.clone(), v.to_json(), "deterministic");
+        // Pretty form parses to the same document.
+        let pretty: serde_json::Value = serde_json::from_str(&v.to_json_pretty()).unwrap();
+        prop_assert_eq!(parsed.unwrap(), pretty);
+    }
+
+    /// Gatekeeper sampling: in [0,1), deterministic, and monotone in the
+    /// rollout fraction for every user.
+    #[test]
+    fn gatekeeper_sampling(project in "[a-z]{1,10}", user in any::<u64>(),
+                           lo in 0.0f64..1.0, hi in 0.0f64..1.0) {
+        use gatekeeper::context::user_sample;
+        let s = user_sample(&project, user);
+        prop_assert!((0.0..1.0).contains(&s));
+        prop_assert_eq!(s, user_sample(&project, user));
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        // Monotone rollouts: passing at `lo` implies passing at `hi`.
+        if s < lo {
+            prop_assert!(s < hi);
+        }
+    }
+
+    /// Zeus's store is last-writer-wins per path under any interleaving of
+    /// (ordered) applies.
+    #[test]
+    fn zeus_store_last_write_wins(writes in prop::collection::vec((0u8..5, "[a-z]{0,4}"), 1..30)) {
+        use zeus::store::ConfigStore;
+        use zeus::types::{Write, Zxid};
+        let mut store = ConfigStore::new(1024);
+        let mut model: BTreeMap<String, String> = BTreeMap::new();
+        for (i, (k, v)) in writes.iter().enumerate() {
+            let path = format!("p{k}");
+            let w = Write {
+                zxid: Zxid { epoch: 1, counter: i as u64 + 1 },
+                path: path.clone(),
+                data: Bytes::from(v.clone().into_bytes()),
+                origin: simnet::SimTime::ZERO,
+            };
+            prop_assert!(store.apply(w));
+            model.insert(path, v.clone());
+        }
+        prop_assert_eq!(store.len(), model.len());
+        for (p, v) in &model {
+            prop_assert_eq!(&store.get(p).unwrap().data[..], v.as_bytes());
+        }
+    }
+
+    /// The workload bucket sampler always lands inside the chosen ranges.
+    #[test]
+    fn bucket_sampler_in_range(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let ranges = workload::paper::COUNT_BUCKET_RANGES;
+        for _ in 0..50 {
+            let v = workload::history::sample_bucketed(
+                &mut rng, &workload::paper::T1_COMPILED, &ranges);
+            prop_assert!(ranges.iter().any(|(lo, hi)| v >= *lo && v <= *hi));
+        }
+    }
+
+    /// MobileConfig value hashing: permutation-insensitive via BTreeMap,
+    /// sensitive to any value change.
+    #[test]
+    fn mobile_hash_discriminates(a in any::<i64>(), b in any::<i64>()) {
+        use gatekeeper::experiment::ParamValue;
+        use mobileconfig::server::hash_values;
+        let mk = |x: i64, y: i64| {
+            BTreeMap::from([
+                ("p".to_string(), ParamValue::Int(x)),
+                ("q".to_string(), ParamValue::Int(y)),
+            ])
+        };
+        prop_assert_eq!(hash_values(&mk(a, b)), hash_values(&mk(a, b)));
+        if a != b {
+            prop_assert_ne!(hash_values(&mk(a, b)), hash_values(&mk(b, a)));
+        }
+    }
+}
