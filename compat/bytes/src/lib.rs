@@ -1,0 +1,205 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! handful of external dependencies are vendored as minimal API-compatible
+//! stubs. This one provides [`Bytes`]: an immutable, cheaply cloneable byte
+//! buffer backed by an `Arc<[u8]>`. Only the surface the workspace uses is
+//! implemented.
+#![allow(clippy::all)] // vendored stand-in for an external crate
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Creates a buffer from a static slice (no copy semantics promised by
+    /// the real crate; this stub copies once).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes { data: data.into() }
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns a copy of the contents as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+
+    /// Returns a sub-buffer for the given range (copies in this stub).
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.data.len(),
+        };
+        Bytes {
+            data: self.data[start..end].into(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes {
+            data: s.into_bytes().into(),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes { data: s.into() }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Bytes {
+        Bytes {
+            data: s.as_bytes().into(),
+        }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Bytes {
+        Bytes {
+            data: s.as_slice().into(),
+        }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes {
+            data: iter.into_iter().collect::<Vec<u8>>().into(),
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self.data[..] == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.data.cmp(&other.data)
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data.hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(Bytes::from(vec![1, 2, 3]).to_vec(), vec![1, 2, 3]);
+        assert_eq!(&Bytes::from_static(b"abc")[..], b"abc");
+        assert_eq!(&Bytes::copy_from_slice(b"xy")[..], b"xy");
+        assert_eq!(&Bytes::from("hi")[..], b"hi");
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let a = Bytes::from(vec![9u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1024);
+    }
+
+    #[test]
+    fn slice_extracts_range() {
+        let a = Bytes::from_static(b"hello world");
+        assert_eq!(&a.slice(6..)[..], b"world");
+        assert_eq!(&a.slice(..5)[..], b"hello");
+    }
+}

@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the API surface the workspace's benches use (`Criterion`,
+//! benchmark groups, `iter` / `iter_batched`, `BenchmarkId`, `Throughput`)
+//! with a simple fixed-budget timing loop instead of criterion's statistical
+//! machinery: each benchmark warms up briefly, then runs for a small wall
+//! clock budget and prints the mean iteration time. Good enough to keep
+//! `cargo bench` compiling and producing indicative numbers offline.
+#![allow(clippy::all)] // vendored stand-in for an external crate
+
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display2,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.render(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Finalizes the run (matching criterion's API; nothing to aggregate).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display2,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.render()), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.render());
+        let mut b = Bencher::default();
+        f(&mut b, input); // warmup-discovery call
+        b.report(&name);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter.
+    pub fn from_parameter(p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: p.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{name}/{p}"),
+        }
+    }
+
+    fn render(&self) -> String {
+        self.text.clone()
+    }
+}
+
+/// Either a `BenchmarkId` or anything displayable can name a benchmark.
+pub trait Display2 {
+    /// The display text.
+    fn render(&self) -> String;
+}
+
+impl Display2 for BenchmarkId {
+    fn render(&self) -> String {
+        self.text.clone()
+    }
+}
+
+impl Display2 for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl Display2 for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+/// Declared throughput of one iteration (accepted, not reported).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched setup output is sized (accepted, not used).
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Drives the measured closure.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly under the fixed budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+        }
+        // Measure.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.iters += iters;
+        self.total += start.elapsed();
+    }
+
+    /// Times `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.iters += iters;
+        self.total += measured;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name}: no iterations recorded");
+            return;
+        }
+        let mean = self.total.as_nanos() as f64 / self.iters as f64;
+        println!("{name}: {} iters, mean {}", self.iters, fmt_ns(mean));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    b.report(name);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions (stub of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (stub of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        assert!(b.iters > 0);
+    }
+}

@@ -1,0 +1,608 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and macros the workspace's property
+//! tests use, built on the vendored deterministic `rand` stub. Differences
+//! from real proptest, deliberately accepted for an offline test container:
+//!
+//! * **No shrinking.** A failing case panics with its case index and seed;
+//!   the seed replays the exact inputs, which is enough to debug.
+//! * **Regex strategies** support the subset the tests use: literals,
+//!   character classes (with ranges and `\xHH` escapes), groups, and
+//!   `{m,n}` / `{n}` repetition.
+//! * Cases are generated from a fixed per-test seed, so runs are fully
+//!   deterministic rather than OS-entropy seeded.
+#![allow(clippy::all)] // vendored stand-in for an external crate
+
+use rand::prelude::*;
+
+/// The RNG driving all strategies.
+pub type TestRng = rand::rngs::SmallRng;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy (a boxed generator closure; no shrink tree).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy for any value of `T`'s natural domain (via `rand`'s `Standard`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the [`Any`] strategy for `T`.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// A uniform choice over type-erased alternatives (the `prop_oneof!` shape).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+// ------------------------------------------------------------------ regex
+
+/// `&str` literals are regex strategies producing matching strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes =
+            regex::parse(self).unwrap_or_else(|e| panic!("unsupported test regex {self:?}: {e}"));
+        let mut out = String::new();
+        regex::emit(&nodes, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    use super::TestRng;
+    use rand::Rng;
+
+    pub struct Node {
+        pub kind: Kind,
+        pub min: u32,
+        pub max: u32,
+    }
+
+    pub enum Kind {
+        Lit(char),
+        /// Inclusive char ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        Group(Vec<Node>),
+    }
+
+    pub fn parse(pattern: &str) -> Result<Vec<Node>, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let nodes = parse_seq(&chars, &mut pos, false)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected `{}` at {pos}", chars[pos]));
+        }
+        Ok(nodes)
+    }
+
+    fn parse_seq(c: &[char], pos: &mut usize, in_group: bool) -> Result<Vec<Node>, String> {
+        let mut nodes = Vec::new();
+        while let Some(&ch) = c.get(*pos) {
+            let kind = match ch {
+                ')' if in_group => break,
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(c, pos, true)?;
+                    if c.get(*pos) != Some(&')') {
+                        return Err("unbalanced group".to_string());
+                    }
+                    *pos += 1;
+                    Kind::Group(inner)
+                }
+                '[' => {
+                    *pos += 1;
+                    Kind::Class(parse_class(c, pos)?)
+                }
+                '\\' => {
+                    *pos += 1;
+                    Kind::Lit(parse_escape(c, pos)?)
+                }
+                '.' => {
+                    *pos += 1;
+                    // Printable ASCII, close enough for generation.
+                    Kind::Class(vec![(' ', '~')])
+                }
+                other => {
+                    *pos += 1;
+                    Kind::Lit(other)
+                }
+            };
+            let (min, max) = parse_rep(c, pos)?;
+            nodes.push(Node { kind, min, max });
+        }
+        Ok(nodes)
+    }
+
+    fn parse_class(c: &[char], pos: &mut usize) -> Result<Vec<(char, char)>, String> {
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match c.get(*pos) {
+                None => return Err("unterminated class".to_string()),
+                Some(']') => {
+                    *pos += 1;
+                    return Ok(ranges);
+                }
+                Some('\\') => {
+                    *pos += 1;
+                    parse_escape(c, pos)?
+                }
+                Some(&ch) => {
+                    *pos += 1;
+                    ch
+                }
+            };
+            if c.get(*pos) == Some(&'-') && c.get(*pos + 1).is_some_and(|&n| n != ']') {
+                *pos += 1;
+                let hi = match c.get(*pos) {
+                    Some('\\') => {
+                        *pos += 1;
+                        parse_escape(c, pos)?
+                    }
+                    Some(&ch) => {
+                        *pos += 1;
+                        ch
+                    }
+                    None => return Err("unterminated range".to_string()),
+                };
+                if hi < lo {
+                    return Err(format!("inverted range {lo:?}-{hi:?}"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+
+    fn parse_escape(c: &[char], pos: &mut usize) -> Result<char, String> {
+        let Some(&ch) = c.get(*pos) else {
+            return Err("dangling escape".to_string());
+        };
+        *pos += 1;
+        Ok(match ch {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            '0' => '\0',
+            'x' => {
+                let hex: String = c
+                    .get(*pos..*pos + 2)
+                    .ok_or("truncated \\x")?
+                    .iter()
+                    .collect();
+                *pos += 2;
+                let v = u8::from_str_radix(&hex, 16).map_err(|e| format!("bad \\x: {e}"))?;
+                v as char
+            }
+            other => other, // \\, \., \[, \( ...
+        })
+    }
+
+    fn parse_rep(c: &[char], pos: &mut usize) -> Result<(u32, u32), String> {
+        match c.get(*pos) {
+            Some('{') => {
+                *pos += 1;
+                let mut min = String::new();
+                while c.get(*pos).is_some_and(|ch| ch.is_ascii_digit()) {
+                    min.push(c[*pos]);
+                    *pos += 1;
+                }
+                let min: u32 = min.parse().map_err(|e| format!("bad repetition: {e}"))?;
+                let max = if c.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    let mut max = String::new();
+                    while c.get(*pos).is_some_and(|ch| ch.is_ascii_digit()) {
+                        max.push(c[*pos]);
+                        *pos += 1;
+                    }
+                    max.parse().map_err(|e| format!("bad repetition: {e}"))?
+                } else {
+                    min
+                };
+                if c.get(*pos) != Some(&'}') {
+                    return Err("unterminated repetition".to_string());
+                }
+                *pos += 1;
+                Ok((min, max))
+            }
+            Some('*') => {
+                *pos += 1;
+                Ok((0, 8))
+            }
+            Some('+') => {
+                *pos += 1;
+                Ok((1, 8))
+            }
+            Some('?') => {
+                *pos += 1;
+                Ok((0, 1))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    pub fn emit(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            let reps = rng.gen_range(node.min..=node.max);
+            for _ in 0..reps {
+                match &node.kind {
+                    Kind::Lit(c) => out.push(*c),
+                    Kind::Class(ranges) => {
+                        let total: u32 = ranges
+                            .iter()
+                            .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                            .sum();
+                        let mut idx = rng.gen_range(0..total);
+                        for (lo, hi) in ranges {
+                            let span = *hi as u32 - *lo as u32 + 1;
+                            if idx < span {
+                                out.push(char::from_u32(*lo as u32 + idx).unwrap_or('?'));
+                                break;
+                            }
+                            idx -= span;
+                        }
+                    }
+                    Kind::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- collections
+
+/// `prop::collection` equivalents.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy producing vectors of `inner`-generated elements.
+    pub struct VecStrategy<S> {
+        inner: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(inner: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { inner, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.inner.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace alias matching `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ------------------------------------------------------------------ runner
+
+/// Test-runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// How many cases to run, and (ignored) shrink settings.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Runs `f` for each case with a deterministic per-test RNG. Panics with
+    /// the case index and seed on the first failure (no shrinking).
+    pub fn run(
+        config: &Config,
+        name: &str,
+        mut f: impl FnMut(&mut super::TestRng) -> Result<(), String>,
+    ) {
+        use rand::SeedableRng;
+        let base = fnv1a(name.as_bytes());
+        for case in 0..config.cases {
+            let seed = base ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let mut rng = super::TestRng::seed_from_u64(seed);
+            if let Err(msg) = f(&mut rng) {
+                panic!("proptest `{name}` failed at case {case} (seed {seed:#x}): {msg}");
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+// ------------------------------------------------------------------ macros
+
+/// Declares property tests (stub of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let __case = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+    )*};
+}
+
+/// Uniformly chooses between strategy alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{} == {}`\n  left: {l:?}\n right: {r:?}",
+                        stringify!($left), stringify!($right)));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(
+                format!("{}\n  left: {l:?}\n right: {r:?}", format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `{} != {}`\n  both: {l:?}",
+                        stringify!($left), stringify!($right)));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err(
+                format!("{}\n  both: {l:?}", format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop, BoxedStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = crate::Strategy::generate(&"([a-c]{0,6}\n){0,12}", &mut rng);
+            assert!(s
+                .lines()
+                .all(|l| l.len() <= 6 && l.chars().all(|c| ('a'..='c').contains(&c))));
+
+            let s = crate::Strategy::generate(&"[\\x00-\\x7f]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| (c as u32) < 0x80));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_pipeline_works(v in prop::collection::vec(0u8..10, 0..5), s in "[a-z]{0,4}") {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(s.len() <= 4);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(v.len(), v.len() + 1);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        use rand::SeedableRng;
+        let strat = prop_oneof![
+            (0u8..3).prop_map(|v| v as u32),
+            (10u8..13).prop_map(|v| v as u32),
+        ];
+        let mut rng = crate::TestRng::seed_from_u64(9);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            assert!((0..3).contains(&v) || (10..13).contains(&v));
+            seen_low |= v < 3;
+            seen_high |= v >= 10;
+        }
+        assert!(seen_low && seen_high);
+    }
+}

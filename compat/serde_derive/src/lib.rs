@@ -1,0 +1,443 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls targeting the value-tree
+//! traits of the vendored `serde` stub. Written against `proc_macro`
+//! directly (no `syn`/`quote`, which are unavailable offline): the input is
+//! token-walked into a small AST, and the impl is emitted by formatting a
+//! code string and re-parsing it into a `TokenStream`.
+//!
+//! Supported shapes (everything the workspace derives):
+//!
+//! * structs with named fields, including `#[serde(default)]` fields;
+//! * enums with unit, tuple, and struct variants, using serde's default
+//!   externally tagged JSON representation.
+//!
+//! Generics, tuple structs, and other serde attributes are rejected with a
+//! compile error rather than silently mis-handled.
+#![allow(clippy::all)] // vendored stand-in for an external crate
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&str, &Shape) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok((name, shape)) => gen(&name, &shape).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub derive: generics unsupported on `{name}`"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "serde stub derive: `{name}` must have a brace-delimited body, got {other:?}"
+            ))
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)?),
+        "enum" => Shape::Enum(parse_variants(body)?),
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    Ok((name, shape))
+}
+
+/// Parses `name: Type, ...` fields, recording `#[serde(default)]`.
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let mut default = false;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if attr_is_serde_default(&g.stream()) {
+                    default = true;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after `{name}`, got {other:?}")),
+        }
+        // Skip the type: consume until a top-level comma (tracking angle
+        // bracket depth so `BTreeMap<String, V>` does not split early).
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn attr_is_serde_default(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Attributes (doc comments etc.).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Counts the comma-separated types in a tuple variant's parentheses.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    // Trailing comma does not add a field.
+    if !saw_tokens_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut b = String::from("let mut m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{n}\"), \
+                     ::serde::Serialize::serialize_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            b.push_str("::serde::Value::Object(m)");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\
+                             let mut m = ::std::collections::BTreeMap::new();\
+                             m.insert(::std::string::String::from(\"{v}\"), {inner});\
+                             ::serde::Value::Object(m) }}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner =
+                            String::from("let mut fm = ::std::collections::BTreeMap::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from(\"{n}\"), \
+                                 ::serde::Serialize::serialize_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\
+                             {inner}\
+                             let mut m = ::std::collections::BTreeMap::new();\
+                             m.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(fm));\
+                             ::serde::Value::Object(m) }}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut b = format!(
+                "let m = v.as_object().ok_or_else(|| \
+                 format!(\"{name}: expected object, got {{v:?}}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                b.push_str(&gen_field_init(name, &f.name, "m", f.default));
+            }
+            b.push_str("})");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "{name}::{v}(::serde::Deserialize::deserialize_value(inner)?)",
+                                v = v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_value(\
+                                         arr.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let arr = inner.as_array().ok_or_else(|| \
+                                 format!(\"{name}::{v}: expected array\"))?;\n\
+                                 {name}::{v}({items}) }}",
+                                v = v.name,
+                                items = items.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => return ::std::result::Result::Ok({build}),\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&gen_field_init(name, &f.name, "fm", f.default));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{ let fm = inner.as_object().ok_or_else(|| \
+                             format!(\"{name}::{v}: expected object\"))?;\n\
+                             return ::std::result::Result::Ok({name}::{v} {{ {inits} }}); }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(s) = v {{\n\
+                 match s.as_str() {{\n{unit_arms}\
+                 _ => return ::std::result::Result::Err(\
+                 format!(\"{name}: unknown variant `{{s}}`\")) }}\n}}\n\
+                 if let Some(m) = v.as_object() {{\n\
+                 if m.len() == 1 {{\n\
+                 let (tag, inner) = m.iter().next().expect(\"len 1\");\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 _ => return ::std::result::Result::Err(\
+                 format!(\"{name}: unknown variant `{{tag}}`\")) }}\n}}\n}}\n\
+                 ::std::result::Result::Err(format!(\"{name}: cannot deserialize {{v:?}}\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::std::string::String> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_field_init(ty: &str, field: &str, map: &str, default: bool) -> String {
+    if default {
+        format!(
+            "{field}: match {map}.get(\"{field}\") {{\n\
+             Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+             None => ::std::default::Default::default(),\n}},\n"
+        )
+    } else {
+        format!(
+            "{field}: match {map}.get(\"{field}\") {{\n\
+             Some(x) => ::serde::Deserialize::deserialize_value(x)?,\n\
+             None => return ::std::result::Result::Err(\
+             ::std::string::String::from(\"{ty}: missing field `{field}`\")),\n}},\n"
+        )
+    }
+}

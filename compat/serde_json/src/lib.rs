@@ -1,0 +1,115 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Thin facade over the vendored `serde` stub's [`Value`] tree: serialization
+//! renders `T::serialize_value()` to text, deserialization parses text into a
+//! `Value` and rebuilds `T` from it. Covers the surface the workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`from_value`], [`Value`] with indexing, and a scalar-friendly [`json!`]
+//! macro.
+#![allow(clippy::all)] // vendored stand-in for an external crate
+
+pub use serde::value::{Number, Value};
+
+/// Parse or conversion failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error { msg }
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.serialize_value().render_compact())
+}
+
+/// Serializes `value` as 2-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(value.serialize_value().render_pretty())
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let value = serde::value::parse(text).map_err(Error::from)?;
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::deserialize_value(&value).map_err(Error::from)
+}
+
+/// Builds a [`Value`] from a serializable expression.
+///
+/// Unlike real `serde_json::json!` this is not a full JSON-shaped DSL: it
+/// accepts any expression implementing `Serialize` (scalars, strings,
+/// vectors, derived types), which covers every call site in the workspace.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::to_value(&$e).expect("json! value")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        let back: Vec<u64> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_scalars() {
+        assert_eq!(json!(2), Value::Number(Number::from_i64(2)));
+        assert_eq!(json!("shard-7"), Value::String("shard-7".to_string()));
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v: Value = serde::value::parse(r#"{"a": {"b": [10, 20]}}"#).unwrap();
+        assert_eq!(v["a"]["b"][1].as_i64(), Some(20));
+        assert_eq!(v["missing"].as_i64(), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{nope").is_err());
+    }
+}

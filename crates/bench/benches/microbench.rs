@@ -71,7 +71,11 @@ fn gk_check(c: &mut Criterion) {
         let mut u = 0u64;
         group.throughput(Throughput::Elements(1));
         group.bench_function(
-            BenchmarkId::from_parameter(if optimized { "optimized" } else { "declared_order" }),
+            BenchmarkId::from_parameter(if optimized {
+                "optimized"
+            } else {
+                "declared_order"
+            }),
             |b| {
                 b.iter(|| {
                     u = (u + 1) % 10_000;
@@ -100,7 +104,8 @@ fn cdsl_compile(c: &mut Criterion) {
     );
     files.insert(
         "cache.cconf".to_string(),
-        "import \"create_job.cinc\"\nexport_if_last(create_job(\"cache\", memory_mb=2048))".to_string(),
+        "import \"create_job.cinc\"\nexport_if_last(create_job(\"cache\", memory_mb=2048))"
+            .to_string(),
     );
     c.bench_function("cdsl_compile", |b| {
         b.iter(|| {

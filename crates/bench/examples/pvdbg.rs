@@ -11,6 +11,13 @@ fn main() {
     let pv = PvDeployment::install(&mut sim, PeerPolicy::LocalityAware, 4);
     let meta = pv.publish(&mut sim, "feed/model", 1, 128 << 20, 4 << 20, SimTime::ZERO);
     sim.run_for(SimDuration::from_secs(100));
-    println!("now={} events={} completion={}", sim.now(), sim.events_processed(), pv.completion(&sim, &meta.id));
-    for (k, v) in sim.metrics().counters() { println!("{k} = {v}"); }
+    println!(
+        "now={} events={} completion={}",
+        sim.now(),
+        sim.events_processed(),
+        pv.completion(&sim, &meta.id)
+    );
+    for (k, v) in sim.metrics().counters() {
+        println!("{k} = {v}");
+    }
 }

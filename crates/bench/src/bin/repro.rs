@@ -6,6 +6,7 @@
 //! repro list                 # show available experiments
 //! repro <name> [--full]      # run one experiment (e.g. `repro fig13`)
 //! repro all [--full]         # run everything in order
+//! repro chaos [--seed <n>]   # chaos campaign, or replay one seed verbosely
 //! ```
 //!
 //! `--full` uses the larger scale quoted in `EXPERIMENTS.md`; the default
@@ -16,8 +17,43 @@ use bench::{run_experiment, Scale, ALL};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let names: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let seed: Option<u64> = match args.iter().position(|a| a == "--seed") {
+        None => None,
+        Some(i) => match args.get(i + 1).map(|v| v.parse::<u64>()) {
+            Some(Ok(n)) => Some(n),
+            // A typo'd seed must not silently fall back to the full
+            // campaign — the flag exists to replay one failing scenario.
+            _ => {
+                eprintln!("error: --seed requires an integer value");
+                std::process::exit(2);
+            }
+        },
+    };
+    let mut skip_next = false;
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--seed" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .collect();
     let scale = if full { Scale::Full } else { Scale::Small };
+
+    if names.first().copied() == Some("chaos") {
+        if let Some(seed) = seed {
+            banner("chaos");
+            println!("{}", bench::chaos_exp::replay(seed));
+            return;
+        }
+    }
 
     match names.first().copied() {
         None | Some("list") => {

@@ -131,7 +131,10 @@ pub fn pushpull(servers_per_cluster: usize) -> String {
             );
         }
         sim.run_until(SimTime(horizon * 1_000_000));
-        let stale = sim.metrics().summary("pull.staleness_s").expect("staleness");
+        let stale = sim
+            .metrics()
+            .summary("pull.staleness_s")
+            .expect("staleness");
         let polls = sim.metrics().counter("pull.polls");
         let bytes = sim.metrics().counter("pull.poll_bytes");
         out.push_str(&format!(
@@ -152,10 +155,18 @@ pub fn pushpull(servers_per_cluster: usize) -> String {
     sim.run_for(SimDuration::from_secs(1));
     for w in 0..writes {
         let at = SimTime((1 + w as u64 * horizon / writes as u64) * 1_000_000);
-        zeus.write_at(&mut sim, at, &format!("cfg/{}", w % n_configs), Bytes::from(vec![b'x'; 1024]));
+        zeus.write_at(
+            &mut sim,
+            at,
+            &format!("cfg/{}", w % n_configs),
+            Bytes::from(vec![b'x'; 1024]),
+        );
     }
     sim.run_until(SimTime(horizon * 1_000_000));
-    let prop = sim.metrics().summary("zeus.propagation_s").expect("propagation");
+    let prop = sim
+        .metrics()
+        .summary("zeus.propagation_s")
+        .expect("propagation");
     out.push_str(&format!(
         "push (zeus)    —        {:>8.3} / {:<8.3}         0            0\n\
          \npush wins on both axes: sub-second staleness with zero polling\n\
@@ -200,11 +211,18 @@ pub fn packagevessel(servers_per_cluster: usize, size_mb: u64) -> String {
         );
         sim.run_for(SimDuration::from_secs(1200));
         let done = pv.completion(&sim, &meta.id);
-        let s = sim.metrics().summary("pv.fetch_complete_s").expect("fetches");
+        let s = sim
+            .metrics()
+            .summary("pv.fetch_complete_s")
+            .expect("fetches");
         let storage = sim.metrics().counter("pv.storage_pieces_sent");
         let p2p = sim.metrics().counter("pv.p2p_pieces_sent");
         let same = sim.metrics().counter("pv.p2p_pieces_same_cluster");
-        let pct_same = if p2p > 0 { 100.0 * same as f64 / p2p as f64 } else { 0.0 };
+        let pct_same = if p2p > 0 {
+            100.0 * same as f64 / p2p as f64
+        } else {
+            0.0
+        };
         out.push_str(&format!(
             "{policy:?}{:pad$} {:>8.1} / {:<8.1}     {storage:>10} {p2p:>12}   {pct_same:>10.1}%{}\n",
             "",
@@ -247,14 +265,22 @@ pub fn tree_vs_pv(servers_per_cluster: usize) -> String {
     let t0 = sim.now();
     zeus.write_at(&mut sim, t0, "big", Bytes::from(vec![0u8; size as usize]));
     sim.run_for(SimDuration::from_secs(600));
-    let tree_done = sim.metrics().summary("zeus.propagation_s").map(|s| s.max).unwrap_or(f64::NAN);
+    let tree_done = sim
+        .metrics()
+        .summary("zeus.propagation_s")
+        .map(|s| s.max)
+        .unwrap_or(f64::NAN);
     let tree_bytes = sim.metrics().counter("simnet.bytes_sent");
 
     let mut sim2 = Sim::new(topo, net, 37);
     let pv = PvDeployment::install(&mut sim2, PeerPolicy::LocalityAware, 4);
     let meta = pv.publish(&mut sim2, "big", 1, size, 4 << 20, SimTime::ZERO);
     sim2.run_for(SimDuration::from_secs(600));
-    let pv_done = sim2.metrics().summary("pv.fetch_complete_s").map(|s| s.max).unwrap_or(f64::NAN);
+    let pv_done = sim2
+        .metrics()
+        .summary("pv.fetch_complete_s")
+        .map(|s| s.max)
+        .unwrap_or(f64::NAN);
     let done_frac = pv.completion(&sim2, &meta.id);
     format!(
         "§3.5 companion: 64 MB config through the Zeus tree vs PackageVessel\n\

@@ -181,7 +181,8 @@ pub fn partitioning(files_per_partition: usize, partitions: usize, commits: usiz
         // Grow each partition with its share of files (paths re-prefixed).
         let mut n = 0;
         while multi.repo(repo_id).file_count() < files_per_partition {
-            let batch: Vec<Change> = (0..2000.min(files_per_partition - multi.repo(repo_id).file_count()))
+            let batch: Vec<Change> = (0..2000
+                .min(files_per_partition - multi.repo(repo_id).file_count()))
                 .map(|_| {
                     n += 1;
                     Change::put(format!("p{p}/cfg_{n}.json"), "x")

@@ -68,8 +68,7 @@ fn realistic_runtime(projects: usize, users: u64) -> Runtime {
 
 fn random_user(rng: &mut SmallRng, users: u64) -> UserContext {
     let id = rng.gen_range(0..users);
-    let mut ctx = UserContext::with_id(id)
-        .country(if id % 3 == 0 { "US" } else { "IN" });
+    let mut ctx = UserContext::with_id(id).country(if id % 3 == 0 { "US" } else { "IN" });
     ctx.employee = id % 500 == 0;
     ctx.friend_count = (id % 1000) as u32;
     ctx.new_user = id % 20 == 0;
@@ -124,10 +123,7 @@ pub fn fig15() -> String {
     for day in 0..7u32 {
         for hour in (0..24).step_by(4) {
             let rate = per_core * fleet_cores * utilization * traffic(day, hour);
-            out.push_str(&format!(
-                "  {day}  {hour:02}    {:.2}\n",
-                rate / 1e9
-            ));
+            out.push_str(&format!("  {day}  {hour:02}    {:.2}\n", rate / 1e9));
         }
     }
     out.push_str(
@@ -194,7 +190,10 @@ pub fn rollout() -> String {
     for (label, rules) in [
         (
             "employees only",
-            vec![Rule::new(vec![RestraintSpec::of(RestraintKind::Employee)], 1.0)],
+            vec![Rule::new(
+                vec![RestraintSpec::of(RestraintKind::Employee)],
+                1.0,
+            )],
         ),
         (
             "employees + 1%",
@@ -212,7 +211,10 @@ pub fn rollout() -> String {
         ),
         (
             "global 100%",
-            vec![Rule::new(vec![RestraintSpec::of(RestraintKind::Always)], 1.0)],
+            vec![Rule::new(
+                vec![RestraintSpec::of(RestraintKind::Always)],
+                1.0,
+            )],
         ),
     ] {
         rt.update_project(Project::new("ProjectX", rules));

@@ -54,7 +54,10 @@ pub fn run(n: usize, with_cluster_phase: bool) -> BTreeMap<(IncidentType, Caught
     let mut seed = BTreeMap::new();
     seed.insert(
         "schemas/job.schema".to_string(),
-        Some("struct Job { 1: string cluster 2: i64 memory_mb = 1024 3: optional string mode }".to_string()),
+        Some(
+            "struct Job { 1: string cluster 2: i64 memory_mb = 1024 3: optional string mode }"
+                .to_string(),
+        ),
     );
     seed.insert(
         "schemas/job.cvalidator".to_string(),
@@ -67,7 +70,8 @@ pub fn run(n: usize, with_cluster_phase: bool) -> BTreeMap<(IncidentType, Caught
         "cache.cconf".to_string(),
         Some("schema \"schemas/job.schema\"\nexport_if_last(Job { cluster: \"c1\" })".to_string()),
     );
-    svc.commit_source("seed", "seed", seed).expect("seed commit");
+    svc.commit_source("seed", "seed", seed)
+        .expect("seed commit");
 
     let mut sandcastle = Sandcastle::new();
     sandcastle.register_check("known_cluster", |cfg| {
@@ -157,7 +161,8 @@ pub fn run(n: usize, with_cluster_phase: bool) -> BTreeMap<(IncidentType, Caught
         let caught = match svc.check_changes(&changes) {
             Err(_) => CaughtBy::Validator,
             Ok(compiled) => {
-                let diff = configerator::landing::SourceDiff::against(&svc, "eng", "m", changes.clone());
+                let diff =
+                    configerator::landing::SourceDiff::against(&svc, "eng", "m", changes.clone());
                 let report = sandcastle.run(&svc, &diff);
                 if !report.passed {
                     CaughtBy::Sandcastle
@@ -187,13 +192,20 @@ pub fn report(n: usize) -> String {
          paper mix: Type I 42%, Type II 36%, Type III 22%\n\n"
     );
     for (label, with_cluster) in [
-        ("canary = 20 servers only (the paper's original spec)", false),
+        (
+            "canary = 20 servers only (the paper's original spec)",
+            false,
+        ),
         ("canary = 20 servers + full cluster (the paper's fix)", true),
     ] {
         let outcomes = run(n, with_cluster);
         out.push_str(&format!("--- {label} ---\n"));
         out.push_str("type     validator sandcastle canary20 canaryCluster ESCAPED\n");
-        for itype in [IncidentType::TypeI, IncidentType::TypeII, IncidentType::TypeIII] {
+        for itype in [
+            IncidentType::TypeI,
+            IncidentType::TypeII,
+            IncidentType::TypeIII,
+        ] {
             let get = |c: CaughtBy| outcomes.get(&(itype, c)).copied().unwrap_or(0);
             out.push_str(&format!(
                 "{:<8} {:>9} {:>10} {:>8} {:>13} {:>7}\n",

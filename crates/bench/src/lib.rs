@@ -5,6 +5,7 @@
 //! binary dispatches to these; the Criterion benches reuse the same
 //! implementations for the measured kernels.
 
+pub mod chaos_exp;
 pub mod distribution;
 pub mod fig13;
 pub mod gatekeeper_exp;
@@ -82,13 +83,38 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "rollout" => gatekeeper_exp::rollout(),
         "mobile" => mobile::bandwidth(200, 30, 10),
         "canary" => mobile::canary_timing(),
+        "chaos" => chaos_exp::campaign(match s {
+            Scale::Small => 24,
+            Scale::Full => 60,
+        }),
         _ => return None,
     })
 }
 
 /// All experiment names, in presentation order.
 pub const ALL: &[&str] = &[
-    "fig7", "fig8", "table1", "table2", "table3", "fig9", "fig10", "headline", "fig11", "fig12",
-    "fig13", "contention", "partitioning", "fig14", "pushpull", "packagevessel", "tree_vs_pv",
-    "fig15", "gk_opt", "rollout", "incidents", "mobile", "canary",
+    "fig7",
+    "fig8",
+    "table1",
+    "table2",
+    "table3",
+    "fig9",
+    "fig10",
+    "headline",
+    "fig11",
+    "fig12",
+    "fig13",
+    "contention",
+    "partitioning",
+    "fig14",
+    "pushpull",
+    "packagevessel",
+    "tree_vs_pv",
+    "fig15",
+    "gk_opt",
+    "rollout",
+    "incidents",
+    "mobile",
+    "canary",
+    "chaos",
 ];

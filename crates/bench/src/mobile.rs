@@ -5,7 +5,9 @@ use gatekeeper::context::UserContext;
 use gatekeeper::experiment::ParamValue;
 use gatekeeper::project::Project;
 use gatekeeper::runtime::Runtime;
-use mobileconfig::{Binding, FieldType, MobileConfigClient, MobileSchema, MobileConfigServer, TranslationLayer};
+use mobileconfig::{
+    Binding, FieldType, MobileConfigClient, MobileConfigServer, MobileSchema, TranslationLayer,
+};
 
 /// §5 ablation: hash-based delta sync vs resending values on every poll.
 pub fn bandwidth(clients: usize, polls_per_client: usize, change_every: usize) -> String {
@@ -19,8 +21,18 @@ pub fn bandwidth(clients: usize, polls_per_client: usize, change_every: usize) -
         ],
     );
     let mut t = TranslationLayer::new();
-    t.bind("MainApp", "feature_x", Binding::Gatekeeper { project: "X".into() });
-    t.bind("MainApp", "feed_batch", Binding::Constant(ParamValue::Int(20)));
+    t.bind(
+        "MainApp",
+        "feature_x",
+        Binding::Gatekeeper {
+            project: "X".into(),
+        },
+    );
+    t.bind(
+        "MainApp",
+        "feed_batch",
+        Binding::Constant(ParamValue::Int(20)),
+    );
     t.bind(
         "MainApp",
         "greeting",

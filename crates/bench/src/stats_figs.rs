@@ -29,9 +29,7 @@ pub fn fig7(scale: usize) -> String {
     );
     for (day, compiled, raw) in &series {
         let pct = 100.0 * *compiled as f64 / (compiled + raw).max(1) as f64;
-        out.push_str(&format!(
-            "{day:6.0} {compiled:9} {raw:9}   {pct:6.1}%\n"
-        ));
+        out.push_str(&format!("{day:6.0} {compiled:9} {raw:9}   {pct:6.1}%\n"));
     }
     let (_, c_end, r_end) = series.last().expect("nonempty series");
     out.push_str(&format!(
@@ -82,8 +80,8 @@ pub fn table1(scale: usize) -> String {
         .collect();
     counts.sort_unstable_by(|a, b| b.cmp(a));
     let top = counts.len() / 100;
-    let share = 100.0 * counts[..top].iter().sum::<u64>() as f64
-        / counts.iter().sum::<u64>() as f64;
+    let share =
+        100.0 * counts[..top].iter().sum::<u64>() as f64 / counts.iter().sum::<u64>() as f64;
     out.push_str(&format!(
         "\ntop-1% of raw configs hold {share:.1}% of raw updates (paper: 92.8%)\n"
     ));
@@ -153,21 +151,22 @@ pub fn fig11() -> String {
          configerator 33%, www 10%, fbcode 7%.\n\n\
          day  configerator       www    fbcode\n",
     );
-    let series: Vec<(RepoKind, Vec<u64>)> = [RepoKind::Configerator, RepoKind::Www, RepoKind::Fbcode]
-        .into_iter()
-        .map(|repo| {
-            let p = CommitProcess {
-                repo,
-                base_hourly_peak: match repo {
-                    RepoKind::Configerator => 120.0,
-                    RepoKind::Www => 45.0,
-                    RepoKind::Fbcode => 60.0,
-                },
-                ..CommitProcess::default()
-            };
-            (repo, p.daily_series(days, 11))
-        })
-        .collect();
+    let series: Vec<(RepoKind, Vec<u64>)> =
+        [RepoKind::Configerator, RepoKind::Www, RepoKind::Fbcode]
+            .into_iter()
+            .map(|repo| {
+                let p = CommitProcess {
+                    repo,
+                    base_hourly_peak: match repo {
+                        RepoKind::Configerator => 120.0,
+                        RepoKind::Www => 45.0,
+                        RepoKind::Fbcode => 60.0,
+                    },
+                    ..CommitProcess::default()
+                };
+                (repo, p.daily_series(days, 11))
+            })
+            .collect();
     for d in (0..days as usize).step_by(14) {
         out.push_str(&format!(
             "{d:4} {:13} {:9} {:9}\n",
@@ -175,8 +174,18 @@ pub fn fig11() -> String {
         ));
     }
     for (repo, s) in &series {
-        let weekend: u64 = s.iter().enumerate().filter(|(i, _)| matches!(i % 7, 5 | 6)).map(|(_, v)| *v).sum();
-        let weekday: u64 = s.iter().enumerate().filter(|(i, _)| !matches!(i % 7, 5 | 6)).map(|(_, v)| *v).sum();
+        let weekend: u64 = s
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| matches!(i % 7, 5 | 6))
+            .map(|(_, v)| *v)
+            .sum();
+        let weekday: u64 = s
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !matches!(i % 7, 5 | 6))
+            .map(|(_, v)| *v)
+            .sum();
         let n_weeks = days as f64 / 7.0;
         let ratio = (weekend as f64 / (2.0 * n_weeks)) / (weekday as f64 / (5.0 * n_weeks));
         let paper_r = repo.weekend_ratio();
@@ -209,8 +218,18 @@ pub fn fig12() -> String {
         let bar = "#".repeat((*v as f64 / max * 50.0).round() as usize);
         out.push_str(&format!("  h{:02} {v:5} {bar}\n", i % 24));
     }
-    let night: u64 = hourly.iter().enumerate().filter(|(i, _)| (i % 24) < 6).map(|(_, v)| *v).sum();
-    let day: u64 = hourly.iter().enumerate().filter(|(i, _)| (10..18).contains(&(i % 24))).map(|(_, v)| *v).sum();
+    let night: u64 = hourly
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| (i % 24) < 6)
+        .map(|(_, v)| *v)
+        .sum();
+    let day: u64 = hourly
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| (10..18).contains(&(i % 24)))
+        .map(|(_, v)| *v)
+        .sum();
     out.push_str(&format!(
         "\nnight floor (automation) vs working-hours peak: {night} vs {day}\n"
     ));

@@ -196,9 +196,10 @@ impl<'l> Interp<'l> {
         if let Some(&idx) = self.module_ids.get(path) {
             return Ok(idx);
         }
-        let src = self.loader.load(path).ok_or_else(|| {
-            CdslError::nowhere(ErrorKind::MissingSource(path.to_string()))
-        })?;
+        let src = self
+            .loader
+            .load(path)
+            .ok_or_else(|| CdslError::nowhere(ErrorKind::MissingSource(path.to_string())))?;
         let module: Module = parse(&src, path)?;
         let idx = self.modules.len();
         self.modules.push(Scope::new());
@@ -295,11 +296,7 @@ impl<'l> Interp<'l> {
                     ));
                 }
                 let src = self.loader.load(target).ok_or_else(|| {
-                    CdslError::new(
-                        ErrorKind::MissingSource(target.clone()),
-                        &path,
-                        stmt.line,
-                    )
+                    CdslError::new(ErrorKind::MissingSource(target.clone()), &path, stmt.line)
                 })?;
                 self.schemas.load(&src, target)?;
                 // A schema file is always a dependency of the config.
@@ -406,9 +403,9 @@ impl<'l> Interp<'l> {
             ExprKind::Int(v) => Ok(Value::Int(*v)),
             ExprKind::Float(v) => Ok(Value::Float(*v)),
             ExprKind::Str(s) => Ok(Value::str(s)),
-            ExprKind::Name(n) => self.lookup(n, module, locals).ok_or_else(|| {
-                err(ErrorKind::Eval(format!("undefined name: {n}")))
-            }),
+            ExprKind::Name(n) => self
+                .lookup(n, module, locals)
+                .ok_or_else(|| err(ErrorKind::Eval(format!("undefined name: {n}")))),
             ExprKind::List(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for e in items {
@@ -481,9 +478,10 @@ impl<'l> Interp<'l> {
                             Ok(l[k as usize].clone())
                         }
                     }
-                    (Value::Dict(d), Value::Str(k)) => d.get(&**k).cloned().ok_or_else(|| {
-                        err(ErrorKind::Eval(format!("missing dict key: {k}")))
-                    }),
+                    (Value::Dict(d), Value::Str(k)) => d
+                        .get(&**k)
+                        .cloned()
+                        .ok_or_else(|| err(ErrorKind::Eval(format!("missing dict key: {k}")))),
                     _ => Err(err(ErrorKind::Eval(format!(
                         "cannot index {} with {}",
                         b.type_name(),
@@ -660,11 +658,10 @@ impl<'l> Interp<'l> {
         };
         match op {
             BinOp::Add => match (&l, &r) {
-                (Value::Int(a), Value::Int(b)) => {
-                    a.checked_add(*b).map(Value::Int).ok_or_else(|| {
-                        err("integer overflow in +".into())
-                    })
-                }
+                (Value::Int(a), Value::Int(b)) => a
+                    .checked_add(*b)
+                    .map(Value::Int)
+                    .ok_or_else(|| err("integer overflow in +".into())),
                 (Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
                 (Value::List(a), Value::List(b)) => {
                     let mut out = a.to_vec();
@@ -683,14 +680,16 @@ impl<'l> Interp<'l> {
             BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
                 match (&l, &r, op) {
                     (Value::Int(a), Value::Int(b), BinOp::Sub) => {
-                        return a.checked_sub(*b).map(Value::Int).ok_or_else(|| {
-                            err("integer overflow in -".into())
-                        });
+                        return a
+                            .checked_sub(*b)
+                            .map(Value::Int)
+                            .ok_or_else(|| err("integer overflow in -".into()));
                     }
                     (Value::Int(a), Value::Int(b), BinOp::Mul) => {
-                        return a.checked_mul(*b).map(Value::Int).ok_or_else(|| {
-                            err("integer overflow in *".into())
-                        });
+                        return a
+                            .checked_mul(*b)
+                            .map(Value::Int)
+                            .ok_or_else(|| err("integer overflow in *".into()));
                     }
                     (Value::Int(a), Value::Int(b), BinOp::Mod) => {
                         return if *b == 0 {
@@ -734,9 +733,9 @@ impl<'l> Interp<'l> {
                 let ord = match (&l, &r) {
                     (Value::Str(a), Value::Str(b)) => a.cmp(b),
                     _ => match (num(&l), num(&r)) {
-                        (Some(a), Some(b)) => a.partial_cmp(&b).ok_or_else(|| {
-                            err("cannot order NaN".into())
-                        })?,
+                        (Some(a), Some(b)) => a
+                            .partial_cmp(&b)
+                            .ok_or_else(|| err("cannot order NaN".into()))?,
                         _ => {
                             return Err(err(format!(
                                 "cannot order {} and {}",
@@ -758,9 +757,7 @@ impl<'l> Interp<'l> {
             BinOp::In => match (&l, &r) {
                 (v, Value::List(items)) => Ok(Value::Bool(items.contains(v))),
                 (Value::Str(k), Value::Dict(d)) => Ok(Value::Bool(d.contains_key(&**k))),
-                (Value::Str(needle), Value::Str(hay)) => {
-                    Ok(Value::Bool(hay.contains(&**needle)))
-                }
+                (Value::Str(needle), Value::Str(hay)) => Ok(Value::Bool(hay.contains(&**needle))),
                 _ => Err(err(format!(
                     "cannot test {} in {}",
                     l.type_name(),
@@ -783,9 +780,7 @@ impl<'l> Interp<'l> {
         let err = |m: String| CdslError::new(ErrorKind::Type(m), path, line);
         let def: StructDef = match self.schemas.get(name) {
             Some(TypeDef::Struct(s)) => s.clone(),
-            Some(TypeDef::Enum(_)) => {
-                return Err(err(format!("{name} is an enum, not a struct")))
-            }
+            Some(TypeDef::Enum(_)) => return Err(err(format!("{name} is an enum, not a struct"))),
             None => return Err(err(format!("unknown struct type: {name}"))),
         };
         for (fname, _) in &given {
@@ -799,9 +794,7 @@ impl<'l> Interp<'l> {
             let value = match provided {
                 Some((_, v)) => self.coerce(v.clone(), &fdef.ty, &fdef.name, name, path, line)?,
                 None => match &fdef.default {
-                    Some(d) => {
-                        self.coerce(d.clone(), &fdef.ty, &fdef.name, name, path, line)?
-                    }
+                    Some(d) => self.coerce(d.clone(), &fdef.ty, &fdef.name, name, path, line)?,
                     None if fdef.optional => Value::Null,
                     None => {
                         return Err(err(format!(
@@ -897,9 +890,7 @@ impl<'l> Interp<'l> {
                     other => Err(mismatch(other)),
                 },
                 None => Err(CdslError::new(
-                    ErrorKind::Type(format!(
-                        "field {in_struct}.{field}: unknown type {tname}"
-                    )),
+                    ErrorKind::Type(format!("field {in_struct}.{field}: unknown type {tname}")),
                     path,
                     line,
                 )),
@@ -986,9 +977,11 @@ impl<'l> Interp<'l> {
                     Value::Int(i) => Ok(Value::Int(*i)),
                     Value::Float(f) => Ok(Value::Int(*f as i64)),
                     Value::Bool(b) => Ok(Value::Int(*b as i64)),
-                    Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).map_err(|_| {
-                        err(format!("cannot parse {s:?} as int"))
-                    }),
+                    Value::Str(s) => s
+                        .trim()
+                        .parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| err(format!("cannot parse {s:?} as int"))),
                     Value::Enum(e) => Ok(Value::Int(e.number)),
                     other => Err(err(format!("int of {}", other.type_name()))),
                 }
@@ -998,9 +991,11 @@ impl<'l> Interp<'l> {
                 match &args[0] {
                     Value::Int(i) => Ok(Value::Float(*i as f64)),
                     Value::Float(f) => Ok(Value::Float(*f)),
-                    Value::Str(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| {
-                        err(format!("cannot parse {s:?} as float"))
-                    }),
+                    Value::Str(s) => s
+                        .trim()
+                        .parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| err(format!("cannot parse {s:?} as float"))),
                     other => Err(err(format!("float of {}", other.type_name()))),
                 }
             }
@@ -1104,19 +1099,17 @@ impl<'l> Interp<'l> {
                     Value::List(l) => {
                         let mut items = l.to_vec();
                         let mut bad = None;
-                        items.sort_by(|a, b| {
-                            match (vnum(a), vnum(b)) {
-                                (Some(x), Some(y)) => {
-                                    x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
-                                }
-                                _ => match (a, b) {
-                                    (Value::Str(x), Value::Str(y)) => x.cmp(y),
-                                    _ => {
-                                        bad = Some(());
-                                        std::cmp::Ordering::Equal
-                                    }
-                                },
+                        items.sort_by(|a, b| match (vnum(a), vnum(b)) {
+                            (Some(x), Some(y)) => {
+                                x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
                             }
+                            _ => match (a, b) {
+                                (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                                _ => {
+                                    bad = Some(());
+                                    std::cmp::Ordering::Equal
+                                }
+                            },
                         });
                         if bad.is_some() {
                             return Err(err("sorted of mixed types".into()));
@@ -1207,9 +1200,9 @@ impl<'l> Interp<'l> {
             "split" => {
                 arity(2..=2)?;
                 match (&args[0], &args[1]) {
-                    (Value::Str(s), Value::Str(sep)) if !sep.is_empty() => Ok(Value::list(
-                        s.split(&**sep).map(Value::str).collect(),
-                    )),
+                    (Value::Str(s), Value::Str(sep)) if !sep.is_empty() => {
+                        Ok(Value::list(s.split(&**sep).map(Value::str).collect()))
+                    }
                     _ => Err(err("split expects (string, nonempty string)".into())),
                 }
             }
@@ -1320,7 +1313,10 @@ mod tests {
         let v = run_one("export_if_last(\"a\" + \"b\")").unwrap();
         assert_eq!(v, Value::str("ab"));
         let v = run_one("export_if_last([1] + [2, 3])").unwrap();
-        assert_eq!(v, Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
+        assert_eq!(
+            v,
+            Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
     }
 
     #[test]
@@ -1439,8 +1435,10 @@ struct Job {
 
     fn run_job(main: &str) -> Result<Value> {
         let files: Vec<(String, String)> = job_files(main);
-        let refs: Vec<(&str, &str)> =
-            files.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let refs: Vec<(&str, &str)> = files
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         run(&refs, "main.cconf")
     }
 
@@ -1473,15 +1471,12 @@ struct Job {
 
     #[test]
     fn struct_type_mismatch_rejected() {
-        let e = run_job(
-            "schema \"job.schema\"\nexport_if_last(Job { name: 5, ports: [] })",
-        )
-        .unwrap_err();
+        let e = run_job("schema \"job.schema\"\nexport_if_last(Job { name: 5, ports: [] })")
+            .unwrap_err();
         assert!(matches!(e.kind, ErrorKind::Type(_)));
-        let e = run_job(
-            "schema \"job.schema\"\nexport_if_last(Job { name: \"x\", ports: [\"p\"] })",
-        )
-        .unwrap_err();
+        let e =
+            run_job("schema \"job.schema\"\nexport_if_last(Job { name: \"x\", ports: [\"p\"] })")
+                .unwrap_err();
         assert!(matches!(e.kind, ErrorKind::Type(_)));
     }
 
@@ -1562,7 +1557,10 @@ export_if_last({"kind": j.kind, "mem": j.memory_mb})
 
     #[test]
     fn negative_list_index() {
-        assert_eq!(run_one("export_if_last([1,2,3][-1])").unwrap(), Value::Int(3));
+        assert_eq!(
+            run_one("export_if_last([1,2,3][-1])").unwrap(),
+            Value::Int(3)
+        );
         assert!(run_one("export_if_last([1][5])").is_err());
     }
 

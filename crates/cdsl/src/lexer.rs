@@ -424,10 +424,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            toks(r#"s = "a\n\"b\"""#)[2],
-            Tok::Str("a\n\"b\"".into())
-        );
+        assert_eq!(toks(r#"s = "a\n\"b\"""#)[2], Tok::Str("a\n\"b\"".into()));
         assert_eq!(toks("s = 'single'")[2], Tok::Str("single".into()));
     }
 
@@ -458,7 +455,10 @@ mod tests {
         assert!(lex("x = \"unterminated", "t").is_err());
         assert!(lex("x = @", "t").is_err());
         assert!(lex("\tx = 1", "t").is_err());
-        assert!(lex("if a:\n    b = 1\n  c = 2\n", "t").is_err(), "inconsistent dedent");
+        assert!(
+            lex("if a:\n    b = 1\n  c = 2\n", "t").is_err(),
+            "inconsistent dedent"
+        );
     }
 
     #[test]

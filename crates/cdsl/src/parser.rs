@@ -32,11 +32,7 @@ use crate::lexer::{lex, Spanned, Tok};
 /// Parses `src` (reporting errors against `path`) into a [`Module`].
 pub fn parse(src: &str, path: &str) -> Result<Module> {
     let toks = lex(src, path)?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        path,
-    };
+    let mut p = Parser { toks, pos: 0, path };
     let mut stmts = Vec::new();
     while !p.at(&Tok::Eof) {
         stmts.push(p.stmt()?);
@@ -47,11 +43,7 @@ pub fn parse(src: &str, path: &str) -> Result<Module> {
 /// Parses a single expression (used by the Sitevars shim and tests).
 pub fn parse_expr(src: &str, path: &str) -> Result<Expr> {
     let toks = lex(src, path)?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        path,
-    };
+    let mut p = Parser { toks, pos: 0, path };
     let e = p.expr()?;
     p.eat_newlines();
     if !p.at(&Tok::Eof) {
@@ -653,19 +645,28 @@ mod tests {
     #[test]
     fn imports_and_schemas() {
         let m = p("import \"shared/ports.cinc\"\nschema \"job.schema\"");
-        assert_eq!(m.stmts[0].kind, StmtKind::Import("shared/ports.cinc".into()));
+        assert_eq!(
+            m.stmts[0].kind,
+            StmtKind::Import("shared/ports.cinc".into())
+        );
         assert_eq!(m.stmts[1].kind, StmtKind::Schema("job.schema".into()));
     }
 
     #[test]
     fn function_with_defaults_and_kwargs_call() {
         let m = p("def create_job(name, memory_mb=1024):\n    return name\nj = create_job(name=\"cache\")");
-        let StmtKind::Def(def) = &m.stmts[0].kind else { panic!() };
+        let StmtKind::Def(def) = &m.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(def.params.len(), 2);
         assert!(def.params[0].default.is_none());
         assert!(def.params[1].default.is_some());
-        let StmtKind::Assign { value, .. } = &m.stmts[1].kind else { panic!() };
-        let ExprKind::Call { kwargs, .. } = &value.kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &m.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Call { kwargs, .. } = &value.kind else {
+            panic!()
+        };
         assert_eq!(kwargs[0].0, "name");
     }
 
@@ -677,8 +678,12 @@ mod tests {
     #[test]
     fn struct_literal() {
         let m = p("j = Job {\n    name: \"cache\",\n    replicas: 3,\n}");
-        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else { panic!() };
-        let ExprKind::Struct { name, fields } = &value.kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Struct { name, fields } = &value.kind else {
+            panic!()
+        };
         assert_eq!(name, "Job");
         assert_eq!(fields.len(), 2);
     }
@@ -691,7 +696,9 @@ mod tests {
     #[test]
     fn if_elif_else_chain() {
         let m = p("if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3");
-        let StmtKind::If { otherwise, .. } = &m.stmts[0].kind else { panic!() };
+        let StmtKind::If { otherwise, .. } = &m.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(otherwise.len(), 1);
         let StmtKind::If { otherwise: o2, .. } = &otherwise[0].kind else {
             panic!("elif should nest as If")
@@ -708,30 +715,42 @@ mod tests {
     #[test]
     fn conditional_expression() {
         let m = p("x = 1 if flag else 2");
-        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(&value.kind, ExprKind::Cond { .. }));
     }
 
     #[test]
     fn not_in_operator() {
         let m = p("x = a not in b");
-        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else { panic!() };
-        let ExprKind::Un(UnOp::Not, inner) = &value.kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Un(UnOp::Not, inner) = &value.kind else {
+            panic!()
+        };
         assert!(matches!(inner.kind, ExprKind::Bin(BinOp::In, _, _)));
     }
 
     #[test]
     fn dict_and_list_literals() {
         let m = p("x = {\"a\": [1, 2], \"b\": {}}");
-        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else { panic!() };
-        let ExprKind::Dict(items) = &value.kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Dict(items) = &value.kind else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
     }
 
     #[test]
     fn attribute_and_index_postfix() {
         let m = p("x = cfg.jobs[0].name");
-        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(&value.kind, ExprKind::Attr(_, name) if name == "name"));
     }
 
@@ -755,8 +774,12 @@ mod tests {
     #[test]
     fn multiline_call_via_parens() {
         let m = p("x = f(\n    1,\n    2,\n)");
-        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else { panic!() };
-        let ExprKind::Call { args, .. } = &value.kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &m.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Call { args, .. } = &value.kind else {
+            panic!()
+        };
         assert_eq!(args.len(), 2);
     }
 }

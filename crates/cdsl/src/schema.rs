@@ -584,7 +584,9 @@ mod tests {
         assert_eq!(defs.len(), 2);
         let TypeDef::Enum(e) = &defs[0] else { panic!() };
         assert_eq!(e.variants, vec![("BATCH".into(), 0), ("SERVICE".into(), 1)]);
-        let TypeDef::Struct(s) = &defs[1] else { panic!() };
+        let TypeDef::Struct(s) = &defs[1] else {
+            panic!()
+        };
         assert_eq!(s.fields.len(), 5);
         assert_eq!(s.fields[1].default, Some(Value::Int(1024)));
         assert!(s.fields[1].optional);
@@ -626,7 +628,9 @@ mod tests {
         // Identical reload is fine.
         set.load("struct S { 1: i64 a }", "two.schema").unwrap();
         // Conflicting reload is not.
-        assert!(set.load("struct S { 1: string a }", "three.schema").is_err());
+        assert!(set
+            .load("struct S { 1: string a }", "three.schema")
+            .is_err());
         assert_eq!(set.origin("S"), Some("one.schema"));
     }
 

@@ -278,9 +278,7 @@ impl PartialEq for Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::List(a), Value::List(b)) => a == b,
             (Value::Dict(a), Value::Dict(b)) => a == b,
@@ -363,7 +361,10 @@ mod tests {
     #[test]
     fn pretty_round_trips_compact_semantics() {
         let mut m = BTreeMap::new();
-        m.insert("x".to_string(), Value::list(vec![Value::Int(1), Value::Int(2)]));
+        m.insert(
+            "x".to_string(),
+            Value::list(vec![Value::Int(1), Value::Int(2)]),
+        );
         m.insert("y".to_string(), Value::dict(BTreeMap::new()));
         let v = Value::dict(m);
         let pretty = v.to_json_pretty();

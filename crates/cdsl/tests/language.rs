@@ -120,7 +120,10 @@ fn diamond_imports_evaluate_once() {
 fn error_locations_point_at_the_right_file() {
     let fs = files(&[
         ("lib.cinc", "def helper(x):\n    return x + missing_name"),
-        ("main.cconf", "import \"lib.cinc\"\nexport_if_last(helper(1))"),
+        (
+            "main.cconf",
+            "import \"lib.cinc\"\nexport_if_last(helper(1))",
+        ),
     ]);
     let err = compile(&fs, "main.cconf").unwrap_err();
     assert_eq!(err.location.path, "lib.cinc");
@@ -206,13 +209,22 @@ fn export_from_helper_function_in_entry_module_counts() {
         "main.cconf",
         "def emit(v):\n    export_if_last(v)\nemit({\"ok\": true})",
     )]);
-    assert_eq!(compile(&fs, "main.cconf").unwrap().trim(), "{\n  \"ok\": true\n}");
+    assert_eq!(
+        compile(&fs, "main.cconf").unwrap().trim(),
+        "{\n  \"ok\": true\n}"
+    );
     let fs = files(&[
         ("lib.cinc", "def emit(v):\n    export_if_last(v)"),
-        ("main.cconf", "import \"lib.cinc\"\nemit({\"nope\": 1})\nexport_if_last({\"yes\": 1})"),
+        (
+            "main.cconf",
+            "import \"lib.cinc\"\nemit({\"nope\": 1})\nexport_if_last({\"yes\": 1})",
+        ),
     ]);
     let out = compile(&fs, "main.cconf").unwrap();
-    assert!(out.contains("yes"), "imported module's export must not fire: {out}");
+    assert!(
+        out.contains("yes"),
+        "imported module's export must not fire: {out}"
+    );
 }
 
 #[test]

@@ -224,7 +224,12 @@ mod tests {
         let results = strip.process_all(&mut svc);
         assert!(results[0].is_ok());
         let (bounced, err) = results[1].as_ref().unwrap_err();
-        assert_eq!(err, &LandError::TrueConflict { path: "x.cconf".into() });
+        assert_eq!(
+            err,
+            &LandError::TrueConflict {
+                path: "x.cconf".into()
+            }
+        );
         assert_eq!(bounced.author, "bob");
         // Bob syncs (re-authors against the new base) and retries.
         let b2 = SourceDiff::against(&svc, "bob", "b", ch(&[("x.cconf", "export_if_last(3)")]));
@@ -259,7 +264,10 @@ mod tests {
             .unwrap();
         strip.submit(d);
         let results = strip.process_all(&mut svc);
-        assert!(matches!(results[0], Err((_, LandError::TrueConflict { .. }))));
+        assert!(matches!(
+            results[0],
+            Err((_, LandError::TrueConflict { .. }))
+        ));
         assert!(svc.artifact("x").is_some(), "delete must not land");
     }
 }

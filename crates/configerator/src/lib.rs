@@ -13,7 +13,9 @@
 //! * [`landing`] — the landing strip that serializes commits and rejects
 //!   only true conflicts (§3.6).
 //! * [`tailer`] — the git tailer extracting committed config changes for
-//!   distribution.
+//!   distribution, and the lease-coordinated [`tailer::TailerGroup`] that
+//!   keeps extraction running across tailer failures without duplicating
+//!   or losing updates.
 //! * [`mutator`] — the programmatic API used by automation tools.
 //! * [`stack`] — the multi-region facade wiring everything together, with
 //!   master failover (§3.7) and an in-process subscription bus.
@@ -52,4 +54,4 @@ pub use review::{Phabricator, ReviewPolicy, Sandcastle, TestReport};
 pub use risk::{RiskAssessment, RiskModel, RiskSignal};
 pub use service::{Artifact, CommitReport, ConfigeratorService, DependencyService, ServiceError};
 pub use stack::{ShipError, ShipOutcome, Stack};
-pub use tailer::{ConfigUpdate, GitTailer};
+pub use tailer::{ConfigUpdate, GitTailer, TailerError, TailerGroup, TailerLease};

@@ -304,7 +304,10 @@ mod tests {
         let d = diff(&svc, "export_if_last({\"v\": 1})");
         let id = phab.submit(d.clone());
         // Cannot approve before tests.
-        assert_eq!(phab.approve(id, "rev").unwrap_err(), ReviewError::TestsRequired);
+        assert_eq!(
+            phab.approve(id, "rev").unwrap_err(),
+            ReviewError::TestsRequired
+        );
         let report = sandcastle.run(&svc, &d);
         assert!(report.passed);
         phab.attach_report(id, report).unwrap();
@@ -338,7 +341,10 @@ mod tests {
         assert!(!report.passed);
         assert_eq!(report.checks_run, 1);
         phab.attach_report(id, report).unwrap();
-        assert_eq!(phab.approve(id, "rev").unwrap_err(), ReviewError::TestsFailed);
+        assert_eq!(
+            phab.approve(id, "rev").unwrap_err(),
+            ReviewError::TestsFailed
+        );
     }
 
     #[test]
@@ -377,6 +383,9 @@ mod tests {
     #[test]
     fn unknown_review_id() {
         let mut phab = Phabricator::new();
-        assert_eq!(phab.approve(99, "r").unwrap_err(), ReviewError::NotFound(99));
+        assert_eq!(
+            phab.approve(99, "r").unwrap_err(),
+            ReviewError::NotFound(99)
+        );
     }
 }

@@ -82,7 +82,10 @@ impl RiskModel {
 
     /// Number of recorded updates for `config`.
     pub fn update_count(&self, config: &str) -> usize {
-        self.histories.get(config).map(|h| h.updates.len()).unwrap_or(0)
+        self.histories
+            .get(config)
+            .map(|h| h.updates.len())
+            .unwrap_or(0)
     }
 
     /// Scores a proposed update. `dependents` is the number of configs

@@ -73,7 +73,9 @@ pub fn classify(path: &str) -> PathKind {
 pub fn config_name(path: &str) -> Option<String> {
     if let Some(rest) = path.strip_prefix(SOURCE_PREFIX) {
         rest.strip_suffix(".cconf").map(str::to_string)
-    } else { path.strip_prefix(RAW_PREFIX).map(|rest| rest.to_string()) }
+    } else {
+        path.strip_prefix(RAW_PREFIX).map(|rest| rest.to_string())
+    }
 }
 
 /// The repository path of a compiled artifact for config `name`.
@@ -166,10 +168,7 @@ impl DependencyService {
     }
 
     /// Entries that depend on any of `paths`.
-    pub fn dependents_of<'a>(
-        &self,
-        paths: impl IntoIterator<Item = &'a str>,
-    ) -> BTreeSet<String> {
+    pub fn dependents_of<'a>(&self, paths: impl IntoIterator<Item = &'a str>) -> BTreeSet<String> {
         let mut out = BTreeSet::new();
         for p in paths {
             if let Some(set) = self.dependents.get(p) {
@@ -322,7 +321,9 @@ impl ConfigeratorService {
             let ok_shape = !path.is_empty()
                 && !path.starts_with('/')
                 && !path.ends_with('/')
-                && path.split('/').all(|s| !s.is_empty() && s != "." && s != "..");
+                && path
+                    .split('/')
+                    .all(|s| !s.is_empty() && s != "." && s != "..");
             if !ok_shape {
                 return Err(ServiceError::ForbiddenPath(path.clone()));
             }
@@ -557,7 +558,10 @@ mod tests {
     #[test]
     fn commit_compiles_and_stores_artifacts() {
         let svc = service_with_port_example();
-        assert_eq!(svc.artifact("app").unwrap().json.trim(), "{\n  \"port\": 8089\n}");
+        assert_eq!(
+            svc.artifact("app").unwrap().json.trim(),
+            "{\n  \"port\": 8089\n}"
+        );
         assert!(svc.artifact("firewall").unwrap().json.contains("8089"));
         // Sources and compiled JSON are both in git.
         assert!(svc.repo().exists("source/app.cconf"));
@@ -592,7 +596,10 @@ mod tests {
             "alice",
             "seed",
             changes(&[
-                ("schemas/job.schema", "struct Job { 1: string name 2: i64 mem = 64 }"),
+                (
+                    "schemas/job.schema",
+                    "struct Job { 1: string name 2: i64 mem = 64 }",
+                ),
                 (
                     "schemas/job.cvalidator",
                     "def validate(cfg):\n    require(cfg.mem >= 64, \"too small\")",
@@ -664,7 +671,10 @@ mod tests {
             .commit_raw("tool", "auto", "traffic/weights.json", "{\"w\": 3}")
             .unwrap();
         assert_eq!(report.updated_configs, vec!["traffic/weights.json"]);
-        assert_eq!(svc.artifact("traffic/weights.json").unwrap().json, "{\"w\": 3}");
+        assert_eq!(
+            svc.artifact("traffic/weights.json").unwrap().json,
+            "{\"w\": 3}"
+        );
     }
 
     #[test]
@@ -687,7 +697,10 @@ mod tests {
         assert_eq!(d.dependents_of(["y.cinc"]).len(), 2);
         assert_eq!(d.dependents_of(["x.cinc"]).len(), 1);
         d.update("a.cconf", vec!["y.cinc".into()]);
-        assert!(d.dependents_of(["x.cinc"]).is_empty(), "stale edges removed");
+        assert!(
+            d.dependents_of(["x.cinc"]).is_empty(),
+            "stale edges removed"
+        );
         d.remove("b.cconf");
         assert_eq!(d.dependents_of(["y.cinc"]).len(), 1);
         assert_eq!(d.deps_of("a.cconf").unwrap(), &["y.cinc".to_string()]);

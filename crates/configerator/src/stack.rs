@@ -267,8 +267,7 @@ impl Stack {
         // phases, the canary service asks the remote Landing Strip to
         // commit the change into the master git repository" (§3.3).
         let canary_outcome = if let Some(fleet) = fleet {
-            let compiled = self
-                .regions[self.master]
+            let compiled = self.regions[self.master]
                 .check_changes(&diff.changes)
                 .map_err(|e| ShipError::Land(LandError::Service(e)))?;
             let mut last = None;
@@ -376,10 +375,16 @@ mod tests {
         let seen: Rc<RefCell<Vec<String>>> = Rc::default();
         let seen2 = seen.clone();
         stack.subscribe("gate", move |u| {
-            seen2.borrow_mut().push(String::from_utf8_lossy(&u.data).to_string());
+            seen2
+                .borrow_mut()
+                .push(String::from_utf8_lossy(&u.data).to_string());
         });
 
-        let id = stack.propose("alice", "launch", ch(&[("gate.cconf", "export_if_last({\"pct\": 10})")]));
+        let id = stack.propose(
+            "alice",
+            "launch",
+            ch(&[("gate.cconf", "export_if_last({\"pct\": 10})")]),
+        );
         stack.approve(id, "bob").unwrap();
         let mut fleet = SyntheticFleet::new(4000, 1);
         let out = stack.ship(id, Some(&mut fleet)).unwrap();
@@ -438,7 +443,10 @@ mod tests {
 
         stack.fail_region(0);
         assert_eq!(stack.master_region(), 1);
-        assert!(stack.master().artifact("a").is_some(), "replica has the data");
+        assert!(
+            stack.master().artifact("a").is_some(),
+            "replica has the data"
+        );
 
         // Commits continue through the new master.
         let id = stack.propose("alice", "two", ch(&[("b.cconf", "export_if_last(2)")]));
@@ -458,8 +466,10 @@ mod tests {
         let c2 = count.clone();
         stack.subscribe("traffic.json", move |_| *c2.borrow_mut() += 1);
         let m = crate::mutator::Mutator::new("shifter");
-        m.update_raw(stack.master_mut(), "traffic.json", "shift", |_| "{\"w\":1}".into())
-            .unwrap();
+        m.update_raw(stack.master_mut(), "traffic.json", "shift", |_| {
+            "{\"w\":1}".into()
+        })
+        .unwrap();
         let distributed = stack.pump();
         assert_eq!(distributed, vec!["traffic.json"]);
         assert_eq!(*count.borrow(), 1);

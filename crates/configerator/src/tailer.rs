@@ -40,57 +40,251 @@ impl GitTailer {
     /// order. Within a partition, per-path changes are coalesced to the
     /// latest state at head.
     pub fn drain(&mut self, svc: &ConfigeratorService) -> Vec<ConfigUpdate> {
-        let heads = svc.repo().heads();
-        if self.last.len() < heads.len() {
-            self.last.resize(heads.len(), None);
+        drain_cursor(&mut self.last, svc)
+    }
+}
+
+/// Advances `cursor` (one entry per repository partition) to the current
+/// heads of `svc`, returning one update per distributable config that
+/// changed. This is the core of both [`GitTailer`] (private cursor) and
+/// [`TailerGroup`] (shared, lease-guarded cursor).
+fn drain_cursor(
+    cursor: &mut Vec<Option<ObjectId>>,
+    svc: &ConfigeratorService,
+) -> Vec<ConfigUpdate> {
+    let heads = svc.repo().heads();
+    if cursor.len() < heads.len() {
+        cursor.resize(heads.len(), None);
+    }
+    let mut out = Vec::new();
+    for (i, head) in heads.iter().enumerate() {
+        let Some(head) = head else { continue };
+        if cursor[i] == Some(*head) {
+            continue;
         }
-        let mut out = Vec::new();
-        for (i, head) in heads.iter().enumerate() {
-            let Some(head) = head else { continue };
-            if self.last[i] == Some(*head) {
+        let repo = svc.repo().repo(RepoId(i));
+        let changed: Vec<(String, bool)> = match cursor[i] {
+            Some(prev) => repo
+                .diff_commits(prev, *head)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|c| (c.path, c.new.is_none()))
+                .collect(),
+            None => repo
+                .snapshot(*head)
+                .unwrap_or_default()
+                .into_keys()
+                .map(|p| (p, false))
+                .collect(),
+        };
+        for (path, deleted) in changed {
+            if !(path.starts_with(COMPILED_PREFIX) || path.starts_with(RAW_PREFIX)) {
                 continue;
             }
-            let repo = svc.repo().repo(RepoId(i));
-            let changed: Vec<(String, bool)> = match self.last[i] {
-                Some(prev) => repo
-                    .diff_commits(prev, *head)
-                    .unwrap_or_default()
-                    .into_iter()
-                    .map(|c| (c.path, c.new.is_none()))
-                    .collect(),
-                None => repo
-                    .snapshot(*head)
-                    .unwrap_or_default()
-                    .into_keys()
-                    .map(|p| (p, false))
-                    .collect(),
-            };
-            for (path, deleted) in changed {
-                if !(path.starts_with(COMPILED_PREFIX) || path.starts_with(RAW_PREFIX)) {
-                    continue;
+            let name = if let Some(stripped) = path.strip_prefix(COMPILED_PREFIX) {
+                match stripped.strip_suffix(".json") {
+                    Some(n) => n.to_string(),
+                    None => stripped.to_string(),
                 }
-                let name = if let Some(stripped) = path.strip_prefix(COMPILED_PREFIX) {
-                    match stripped.strip_suffix(".json") {
-                        Some(n) => n.to_string(),
-                        None => stripped.to_string(),
-                    }
-                } else {
-                    config_name(&path).unwrap_or_else(|| path.clone())
-                };
-                let data = if deleted {
-                    Bytes::new()
-                } else {
-                    repo.read(*head, &path).unwrap_or_default()
-                };
-                out.push(ConfigUpdate {
-                    name,
-                    data,
-                    deleted,
-                });
-            }
-            self.last[i] = Some(*head);
+            } else {
+                config_name(&path).unwrap_or_else(|| path.clone())
+            };
+            let data = if deleted {
+                Bytes::new()
+            } else {
+                repo.read(*head, &path).unwrap_or_default()
+            };
+            out.push(ConfigUpdate {
+                name,
+                data,
+                deleted,
+            });
         }
-        out
+        cursor[i] = Some(*head);
+    }
+    out
+}
+
+/// A fencing lease over the tailer role, as held in Zeus.
+///
+/// In production the lease is a Zeus path written with compare-and-swap;
+/// the `epoch` is the fencing token: every successful acquisition bumps
+/// it, and any request carrying an older epoch is rejected no matter how
+/// convinced the sender is that it still holds the lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailerLease {
+    /// Index of the member holding the lease.
+    pub holder: usize,
+    /// Fencing token, unique per acquisition.
+    pub epoch: u64,
+    /// Tick at which the lease lapses unless renewed.
+    pub expires_at: u64,
+}
+
+/// Why a drain attempt was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailerError {
+    /// The member does not hold the lease (it lapsed, or another member
+    /// holds it).
+    NotHolder {
+        /// The current holder, if a live lease exists.
+        holder: Option<usize>,
+    },
+    /// The member presented a stale fencing epoch — it was deposed after a
+    /// takeover and must not emit.
+    Fenced {
+        /// The epoch the member presented.
+        presented: u64,
+        /// The epoch of the current lease.
+        current: u64,
+    },
+}
+
+impl std::fmt::Display for TailerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TailerError::NotHolder { holder: Some(h) } => {
+                write!(f, "lease held by member {h}")
+            }
+            TailerError::NotHolder { holder: None } => write!(f, "no live lease"),
+            TailerError::Fenced { presented, current } => {
+                write!(f, "fenced: presented epoch {presented}, current {current}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TailerError {}
+
+/// A group of tailer instances — one active, the rest standby — coordinated
+/// through a Zeus-held lease with cursor handoff.
+///
+/// Only the lease holder may drain, and the repository cursor is committed
+/// back under the same fencing epoch as part of the drain, so a takeover
+/// resumes exactly where the last *successful* drain ended:
+///
+/// * nothing is **lost** — a holder that crashes before draining never
+///   advanced the cursor, so the successor re-reads the same delta;
+/// * nothing is **duplicated** — a deposed holder's drain is fenced by the
+///   epoch check before it can emit, and a successful drain atomically
+///   advances the shared cursor past what it emitted.
+#[derive(Debug)]
+pub struct TailerGroup {
+    members: usize,
+    ttl: u64,
+    lease: Option<TailerLease>,
+    next_epoch: u64,
+    /// Shared committed cursor (the Zeus-held handoff state).
+    cursor: Vec<Option<ObjectId>>,
+}
+
+impl TailerGroup {
+    /// Creates a group of `members` tailers with the given lease TTL (in
+    /// caller-defined ticks). No lease is held initially.
+    pub fn new(members: usize, ttl: u64) -> TailerGroup {
+        assert!(members >= 1, "group must be nonempty");
+        assert!(ttl >= 1, "ttl must be positive");
+        TailerGroup {
+            members,
+            ttl,
+            lease: None,
+            next_epoch: 1,
+            cursor: Vec::new(),
+        }
+    }
+
+    /// The live lease at `now`, if any.
+    pub fn lease(&self, now: u64) -> Option<TailerLease> {
+        self.lease.filter(|l| l.expires_at > now)
+    }
+
+    /// The member currently holding a live lease.
+    pub fn holder(&self, now: u64) -> Option<usize> {
+        self.lease(now).map(|l| l.holder)
+    }
+
+    /// The shared committed cursor (for inspection in tests).
+    pub fn cursor(&self) -> &[Option<ObjectId>] {
+        &self.cursor
+    }
+
+    /// Attempts to acquire the lease for `member`. Succeeds — with a fresh
+    /// fencing epoch — iff no live lease exists; re-acquiring by the
+    /// current holder renews instead.
+    pub fn acquire(&mut self, member: usize, now: u64) -> Option<TailerLease> {
+        assert!(member < self.members, "unknown member {member}");
+        match self.lease(now) {
+            Some(l) if l.holder == member => {
+                // Idempotent: the holder re-acquiring just renews.
+                let renewed = TailerLease {
+                    expires_at: now + self.ttl,
+                    ..l
+                };
+                self.lease = Some(renewed);
+                Some(renewed)
+            }
+            Some(_) => None,
+            None => {
+                let lease = TailerLease {
+                    holder: member,
+                    epoch: self.next_epoch,
+                    expires_at: now + self.ttl,
+                };
+                self.next_epoch += 1;
+                self.lease = Some(lease);
+                Some(lease)
+            }
+        }
+    }
+
+    /// Renews the lease. Fails if `member` does not hold a live lease with
+    /// `epoch` (a lapsed holder must re-acquire and may lose the race).
+    pub fn renew(&mut self, member: usize, epoch: u64, now: u64) -> bool {
+        match self.lease(now) {
+            Some(l) if l.holder == member && l.epoch == epoch => {
+                self.lease = Some(TailerLease {
+                    expires_at: now + self.ttl,
+                    ..l
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drains as `member` under fencing `epoch`: validates the lease,
+    /// extracts updates since the shared cursor, and commits the cursor
+    /// forward in the same step. Returns the updates, or the reason the
+    /// drain was refused (in which case nothing was emitted and the cursor
+    /// is untouched).
+    pub fn drain(
+        &mut self,
+        member: usize,
+        epoch: u64,
+        svc: &ConfigeratorService,
+        now: u64,
+    ) -> Result<Vec<ConfigUpdate>, TailerError> {
+        let Some(lease) = self.lease(now) else {
+            return Err(TailerError::NotHolder { holder: None });
+        };
+        if lease.epoch != epoch {
+            return Err(TailerError::Fenced {
+                presented: epoch,
+                current: lease.epoch,
+            });
+        }
+        if lease.holder != member {
+            return Err(TailerError::NotHolder {
+                holder: Some(lease.holder),
+            });
+        }
+        // Draining implicitly renews: a holder actively doing work should
+        // not lapse between drains shorter than the TTL apart.
+        self.lease = Some(TailerLease {
+            expires_at: now + self.ttl,
+            ..lease
+        });
+        Ok(drain_cursor(&mut self.cursor, svc))
     }
 }
 
@@ -152,7 +346,8 @@ mod tests {
     fn raw_configs_and_deletions_flow_through() {
         let mut svc = ConfigeratorService::new();
         let mut tailer = GitTailer::new();
-        svc.commit_raw("tool", "m", "traffic.json", "{\"w\":1}").unwrap();
+        svc.commit_raw("tool", "m", "traffic.json", "{\"w\":1}")
+            .unwrap();
         let ups = tailer.drain(&svc);
         assert_eq!(ups[0].name, "traffic.json");
         assert_eq!(&ups[0].data[..], b"{\"w\":1}");
@@ -166,6 +361,118 @@ mod tests {
         let ups = tailer.drain(&svc);
         let z = ups.iter().find(|u| u.name == "z").unwrap();
         assert!(z.deleted);
+    }
+
+    #[test]
+    fn lease_grants_renews_and_expires() {
+        let mut g = TailerGroup::new(2, 10);
+        let l = g.acquire(0, 0).unwrap();
+        assert_eq!(l.holder, 0);
+        assert_eq!(g.holder(5), Some(0));
+        // A standby cannot steal a live lease.
+        assert!(g.acquire(1, 5).is_none());
+        // Renewal extends; re-acquire by the holder is a renewal.
+        assert!(g.renew(0, l.epoch, 8));
+        assert_eq!(g.holder(17), Some(0));
+        // After expiry the standby takes over with a higher fencing epoch.
+        let l2 = g.acquire(1, 30).unwrap();
+        assert!(l2.epoch > l.epoch);
+        // The old holder's renewals are now rejected.
+        assert!(!g.renew(0, l.epoch, 31));
+    }
+
+    #[test]
+    fn takeover_resumes_from_committed_cursor_without_loss() {
+        let mut svc = ConfigeratorService::new();
+        let mut g = TailerGroup::new(2, 10);
+        let l0 = g.acquire(0, 0).unwrap();
+
+        svc.commit_source("a", "m", ch(&[("one.cconf", "export_if_last(1)")]))
+            .unwrap();
+        let first = g.drain(0, l0.epoch, &svc, 1).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].name, "one");
+
+        // New work lands, then the active tailer dies without draining.
+        svc.commit_source("a", "m", ch(&[("two.cconf", "export_if_last(2)")]))
+            .unwrap();
+        // After the TTL the standby takes over and resumes from the
+        // committed cursor: exactly the missed delta, nothing re-emitted.
+        let l1 = g.acquire(1, 20).unwrap();
+        let handoff = g.drain(1, l1.epoch, &svc, 21).unwrap();
+        assert_eq!(handoff.len(), 1);
+        assert_eq!(handoff[0].name, "two");
+    }
+
+    #[test]
+    fn deposed_holder_is_fenced_and_emits_nothing() {
+        let mut svc = ConfigeratorService::new();
+        let mut g = TailerGroup::new(2, 10);
+        let l0 = g.acquire(0, 0).unwrap();
+        svc.commit_source("a", "m", ch(&[("one.cconf", "export_if_last(1)")]))
+            .unwrap();
+
+        // Member 0 stalls past its TTL; member 1 takes over and drains.
+        let l1 = g.acquire(1, 20).unwrap();
+        let ups = g.drain(1, l1.epoch, &svc, 21).unwrap();
+        assert_eq!(ups.len(), 1);
+
+        // The deposed member wakes up, still believing it is active. Its
+        // stale epoch is fenced; no duplicate emission is possible.
+        let err = g.drain(0, l0.epoch, &svc, 22).unwrap_err();
+        assert_eq!(
+            err,
+            TailerError::Fenced {
+                presented: l0.epoch,
+                current: l1.epoch,
+            }
+        );
+        // And the cursor did not move: the rightful holder sees no delta.
+        assert!(g.drain(1, l1.epoch, &svc, 23).unwrap().is_empty());
+    }
+
+    #[test]
+    fn drains_without_a_live_lease_are_refused() {
+        let svc = ConfigeratorService::new();
+        let mut g = TailerGroup::new(2, 10);
+        assert_eq!(
+            g.drain(0, 1, &svc, 0).unwrap_err(),
+            TailerError::NotHolder { holder: None }
+        );
+        let l = g.acquire(0, 0).unwrap();
+        // Wrong member presenting the right epoch is also refused.
+        assert_eq!(
+            g.drain(1, l.epoch, &svc, 1).unwrap_err(),
+            TailerError::NotHolder { holder: Some(0) }
+        );
+    }
+
+    #[test]
+    fn interleaved_takeovers_emit_each_update_exactly_once() {
+        let mut svc = ConfigeratorService::new();
+        let mut g = TailerGroup::new(3, 10);
+        let mut all: Vec<String> = Vec::new();
+        let mut now = 0u64;
+        for round in 0..9u32 {
+            svc.commit_source(
+                "a",
+                "m",
+                ch(&[(
+                    format!("c{round}.cconf").as_str(),
+                    format!("export_if_last({round})").as_str(),
+                )]),
+            )
+            .unwrap();
+            // Rotate the active member every round via lease expiry.
+            now += 20;
+            let member = (round as usize) % 3;
+            let lease = g.acquire(member, now).unwrap();
+            let ups = g.drain(member, lease.epoch, &svc, now + 1).unwrap();
+            all.extend(ups.into_iter().map(|u| u.name));
+        }
+        all.sort();
+        let expected: Vec<String> = (0..9).map(|r| format!("c{r}")).collect();
+        assert_eq!(all, expected, "each update exactly once, none lost");
     }
 
     #[test]

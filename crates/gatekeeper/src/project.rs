@@ -90,10 +90,7 @@ mod tests {
                     ],
                     0.1,
                 ),
-                Rule::new(
-                    vec![RestraintSpec::not(RestraintKind::NewUser)],
-                    0.01,
-                ),
+                Rule::new(vec![RestraintSpec::not(RestraintKind::NewUser)], 0.01),
             ],
         );
         let json = p.to_config_json();

@@ -127,9 +127,9 @@ impl RestraintKind {
                 .device
                 .as_ref()
                 .is_some_and(|d| list.iter().any(|x| x == d)),
-            RestraintKind::MinAppVersion(maj, min) => ctx
-                .app_version
-                .is_some_and(|(a, b)| (a, b) >= (*maj, *min)),
+            RestraintKind::MinAppVersion(maj, min) => {
+                ctx.app_version.is_some_and(|(a, b)| (a, b) >= (*maj, *min))
+            }
             RestraintKind::NewUser => ctx.new_user,
             RestraintKind::MinFriends(n) => ctx.friend_count >= *n,
             RestraintKind::MaxFriends(n) => ctx.friend_count <= *n,
@@ -163,7 +163,9 @@ impl RestraintKind {
             | RestraintKind::MinAppVersion(..)
             | RestraintKind::IdMod { .. }
             | RestraintKind::Always => 1,
-            RestraintKind::Country(l) | RestraintKind::Locale(l) | RestraintKind::MobileApp(l)
+            RestraintKind::Country(l)
+            | RestraintKind::Locale(l)
+            | RestraintKind::MobileApp(l)
             | RestraintKind::DeviceModel(l) => 1 + l.len() as u64 / 64,
             RestraintKind::AttrEquals(..) => 2,
             RestraintKind::IdList(ids) => 1 + ids.len() as u64 / 64,
@@ -217,13 +219,17 @@ mod tests {
         let c = ctx();
         assert!(RestraintSpec::of(RestraintKind::Employee).eval(&c, &mut l));
         assert!(!RestraintSpec::not(RestraintKind::Employee).eval(&c, &mut l));
-        assert!(RestraintSpec::of(RestraintKind::Country(vec!["BR".into(), "US".into()]))
-            .eval(&c, &mut l));
+        assert!(
+            RestraintSpec::of(RestraintKind::Country(vec!["BR".into(), "US".into()]))
+                .eval(&c, &mut l)
+        );
         assert!(!RestraintSpec::of(RestraintKind::Country(vec!["BR".into()])).eval(&c, &mut l));
-        assert!(RestraintSpec::of(RestraintKind::DeviceModel(vec!["Pixel 6".into()]))
-            .eval(&c, &mut l));
-        assert!(RestraintSpec::of(RestraintKind::MobileApp(vec!["messenger".into()]))
-            .eval(&c, &mut l));
+        assert!(
+            RestraintSpec::of(RestraintKind::DeviceModel(vec!["Pixel 6".into()])).eval(&c, &mut l)
+        );
+        assert!(
+            RestraintSpec::of(RestraintKind::MobileApp(vec!["messenger".into()])).eval(&c, &mut l)
+        );
     }
 
     #[test]

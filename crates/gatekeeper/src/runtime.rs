@@ -169,12 +169,7 @@ impl Runtime {
         };
         compiled.checks += 1;
         let mut outcome = false;
-        'rules: for (rule, crule) in compiled
-            .project
-            .rules
-            .iter()
-            .zip(compiled.rules.iter_mut())
-        {
+        'rules: for (rule, crule) in compiled.project.rules.iter().zip(compiled.rules.iter_mut()) {
             let mut all = true;
             for &idx in &crule.order {
                 let spec = &rule.restraints[idx];
@@ -211,12 +206,7 @@ impl Runtime {
 
     /// Reorders every rule's restraints by ascending `cost / P(false)`.
     fn reoptimize(compiled: &mut CompiledProject) {
-        for (rule, crule) in compiled
-            .project
-            .rules
-            .iter()
-            .zip(compiled.rules.iter_mut())
-        {
+        for (rule, crule) in compiled.project.rules.iter().zip(compiled.rules.iter_mut()) {
             let mut scored: Vec<(usize, f64)> = (0..rule.restraints.len())
                 .map(|i| {
                     let st = &crule.stats[i];
@@ -274,7 +264,10 @@ mod tests {
     fn employee_project(prob: f64) -> Project {
         Project::new(
             "P",
-            vec![Rule::new(vec![RestraintSpec::of(RestraintKind::Employee)], prob)],
+            vec![Rule::new(
+                vec![RestraintSpec::of(RestraintKind::Employee)],
+                prob,
+            )],
         )
     }
 

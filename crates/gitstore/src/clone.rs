@@ -186,7 +186,12 @@ mod tests {
         b.stage(Change::put("y", "2"));
         a.push(&mut shared, "a", "m", 0).unwrap();
         let err = b.push(&mut shared, "b", "m", 1).unwrap_err();
-        assert!(matches!(err, PushError::Stale { remote_head: Some(_) }));
+        assert!(matches!(
+            err,
+            PushError::Stale {
+                remote_head: Some(_)
+            }
+        ));
         // Staged changes survive the failed push.
         assert_eq!(b.staged_len(), 1);
         b.sync(&shared);
@@ -219,7 +224,9 @@ mod tests {
     #[test]
     fn diff_packages_base_and_paths() {
         let mut shared = Repository::new();
-        shared.commit("a", "seed", 0, vec![Change::put("s", "0")]).unwrap();
+        shared
+            .commit("a", "seed", 0, vec![Change::put("s", "0")])
+            .unwrap();
         let mut c = WorkClone::of(&shared);
         c.stage(Change::put("p/q", "1"));
         c.stage(Change::delete("s"));

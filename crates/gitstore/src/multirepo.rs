@@ -251,7 +251,8 @@ mod tests {
     fn failed_commit_leaves_all_partitions_untouched() {
         let mut m = MultiRepo::new();
         m.add_repo("feed/");
-        m.commit("a", "m", 0, vec![Change::put("feed/x", "1")]).unwrap();
+        m.commit("a", "m", 0, vec![Change::put("feed/x", "1")])
+            .unwrap();
         let heads = m.heads();
         let err = m.commit(
             "a",

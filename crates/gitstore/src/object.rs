@@ -120,11 +120,7 @@ impl Object {
     pub fn size(&self) -> usize {
         match self {
             Object::Blob(b) => b.len(),
-            Object::Tree(t) => t
-                .entries
-                .iter()
-                .map(|e| e.name.len() + 21)
-                .sum::<usize>(),
+            Object::Tree(t) => t.entries.iter().map(|e| e.name.len() + 21).sum::<usize>(),
             Object::Commit(c) => c.author.len() + c.message.len() + 21 * (1 + c.parents.len()) + 8,
         }
     }

@@ -289,7 +289,9 @@ impl Repository {
 
     /// Reads a file at the current head.
     pub fn read_head(&self, path: &str) -> Result<Bytes, Error> {
-        let head = self.head().ok_or_else(|| Error::NotFound(path.to_string()))?;
+        let head = self
+            .head()
+            .ok_or_else(|| Error::NotFound(path.to_string()))?;
         self.read(head, path)
     }
 
@@ -631,8 +633,13 @@ mod tests {
     #[test]
     fn commit_and_read_back() {
         let mut r = Repository::new();
-        r.commit("a", "m", 0, vec![put("x/y/z.json", "zzz"), put("top.json", "t")])
-            .unwrap();
+        r.commit(
+            "a",
+            "m",
+            0,
+            vec![put("x/y/z.json", "zzz"), put("top.json", "t")],
+        )
+        .unwrap();
         assert_eq!(&r.read_head("x/y/z.json").unwrap()[..], b"zzz");
         assert_eq!(&r.read_head("top.json").unwrap()[..], b"t");
         assert_eq!(r.file_count(), 2);
@@ -686,8 +693,10 @@ mod tests {
     #[test]
     fn delete_prunes_empty_dirs() {
         let mut r = Repository::new();
-        r.commit("a", "m", 0, vec![put("d/e/f", "1"), put("top", "2")]).unwrap();
-        r.commit("a", "m", 1, vec![Change::delete("d/e/f")]).unwrap();
+        r.commit("a", "m", 0, vec![put("d/e/f", "1"), put("top", "2")])
+            .unwrap();
+        r.commit("a", "m", 1, vec![Change::delete("d/e/f")])
+            .unwrap();
         assert_eq!(r.file_count(), 1);
         assert!(matches!(r.read_head("d/e/f"), Err(Error::NotFound(_))));
         let snap = r.snapshot(r.head().unwrap()).unwrap();
@@ -711,7 +720,12 @@ mod tests {
     fn diff_commits_reports_changed_paths_only() {
         let mut r = Repository::new();
         let c1 = r
-            .commit("a", "m", 0, vec![put("a/one", "1"), put("b/two", "2"), put("c", "3")])
+            .commit(
+                "a",
+                "m",
+                0,
+                vec![put("a/one", "1"), put("b/two", "2"), put("c", "3")],
+            )
             .unwrap()
             .id;
         let c2 = r
@@ -736,7 +750,10 @@ mod tests {
     #[test]
     fn commit_changes_of_root_lists_everything() {
         let mut r = Repository::new();
-        let c1 = r.commit("a", "m", 0, vec![put("x", "1"), put("y", "2")]).unwrap().id;
+        let c1 = r
+            .commit("a", "m", 0, vec![put("x", "1"), put("y", "2")])
+            .unwrap()
+            .id;
         let ch = r.commit_changes(c1).unwrap();
         assert_eq!(ch.len(), 2);
         assert!(ch.iter().all(|c| c.old.is_none()));

@@ -149,18 +149,27 @@ mod tests {
     // Known-answer tests from FIPS 180-1 and common vectors.
     #[test]
     fn empty_string() {
-        assert_eq!(to_hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            to_hex(&sha1(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn abc() {
-        assert_eq!(to_hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            to_hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn two_block_message() {
         let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
-        assert_eq!(to_hex(&sha1(msg)), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+        assert_eq!(
+            to_hex(&sha1(msg)),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
     }
 
     #[test]
@@ -174,7 +183,11 @@ mod tests {
 
     #[test]
     fn incremental_matches_one_shot() {
-        let data: Vec<u8> = (0..=255u16).map(|b| (b % 251) as u8).cycle().take(10_000).collect();
+        let data: Vec<u8> = (0..=255u16)
+            .map(|b| (b % 251) as u8)
+            .cycle()
+            .take(10_000)
+            .collect();
         let one = sha1(&data);
         for chunk_size in [1usize, 3, 63, 64, 65, 1000] {
             let mut h = Sha1::new();

@@ -138,12 +138,18 @@ impl Laser {
 
     /// Number of keys in `dataset`.
     pub fn dataset_len(&self, dataset: &str) -> usize {
-        self.datasets.get(dataset).map(|d| d.entries.len()).unwrap_or(0)
+        self.datasets
+            .get(dataset)
+            .map(|d| d.entries.len())
+            .unwrap_or(0)
     }
 
     /// Current generation of `dataset` (0 if absent).
     pub fn generation(&self, dataset: &str) -> u64 {
-        self.datasets.get(dataset).map(|d| d.generation).unwrap_or(0)
+        self.datasets
+            .get(dataset)
+            .map(|d| d.generation)
+            .unwrap_or(0)
     }
 
     /// Read statistics so far.

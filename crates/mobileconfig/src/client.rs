@@ -138,7 +138,13 @@ mod tests {
             ],
         );
         let mut t = TranslationLayer::new();
-        t.bind("C", "feature_x", Binding::Gatekeeper { project: "P".into() });
+        t.bind(
+            "C",
+            "feature_x",
+            Binding::Gatekeeper {
+                project: "P".into(),
+            },
+        );
         t.bind("C", "retry_limit", Binding::Constant(ParamValue::Int(3)));
         t.bind(
             "C",

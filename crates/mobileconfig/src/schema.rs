@@ -38,10 +38,7 @@ impl MobileSchema {
     pub fn new(config: &str, fields: &[(&str, FieldType)]) -> MobileSchema {
         MobileSchema {
             config: config.to_string(),
-            fields: fields
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            fields: fields.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
         }
     }
 
@@ -56,9 +53,7 @@ impl MobileSchema {
 
     /// Approximate serialized size (for bandwidth accounting).
     pub fn wire_size(&self) -> u64 {
-        self.fields.keys().map(|n| n.len() as u64 + 2)
-            .sum::<u64>()
-            + self.config.len() as u64
+        self.fields.keys().map(|n| n.len() as u64 + 2).sum::<u64>() + self.config.len() as u64
     }
 }
 

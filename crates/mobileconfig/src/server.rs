@@ -256,7 +256,13 @@ mod tests {
 
     fn server() -> MobileConfigServer {
         let mut t = TranslationLayer::new();
-        t.bind("C", "feature_x", Binding::Gatekeeper { project: "ProjX".into() });
+        t.bind(
+            "C",
+            "feature_x",
+            Binding::Gatekeeper {
+                project: "ProjX".into(),
+            },
+        );
         t.bind("C", "limit", Binding::Constant(ParamValue::Int(10)));
         let mut gk = Runtime::new(laser::Laser::new(16));
         gk.update_project(Project::fraction_launch("ProjX", 0.0));
@@ -266,7 +272,10 @@ mod tests {
     }
 
     fn schema() -> MobileSchema {
-        MobileSchema::new("C", &[("feature_x", FieldType::Bool), ("limit", FieldType::Int)])
+        MobileSchema::new(
+            "C",
+            &[("feature_x", FieldType::Bool), ("limit", FieldType::Int)],
+        )
     }
 
     #[test]
@@ -301,11 +310,16 @@ mod tests {
             values_hash: 0,
             user: UserContext::with_id(1),
         };
-        let PullReply::Values { hash, .. } = s.pull(&req) else { panic!() };
+        let PullReply::Values { hash, .. } = s.pull(&req) else {
+            panic!()
+        };
         // Launch the feature to 100%.
         s.gatekeeper_mut()
             .update_project(Project::fraction_launch("ProjX", 1.0));
-        let req2 = PullRequest { values_hash: hash, ..req };
+        let req2 = PullRequest {
+            values_hash: hash,
+            ..req
+        };
         let PullReply::Values { values, .. } = s.pull(&req2) else {
             panic!("changed gate must invalidate the hash");
         };
@@ -323,7 +337,9 @@ mod tests {
             values_hash: 0,
             user: UserContext::with_id(1),
         };
-        let PullReply::Values { values, .. } = s.pull(&req) else { panic!() };
+        let PullReply::Values { values, .. } = s.pull(&req) else {
+            panic!()
+        };
         assert_eq!(values.len(), 1, "legacy client must not see new fields");
         assert!(values.contains_key("feature_x"));
     }

@@ -115,7 +115,13 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let mut t = TranslationLayer::new();
-        t.bind("C", "f1", Binding::Gatekeeper { project: "P".into() });
+        t.bind(
+            "C",
+            "f1",
+            Binding::Gatekeeper {
+                project: "P".into(),
+            },
+        );
         t.bind("C", "f2", Binding::Constant(ParamValue::Int(7)));
         let back = TranslationLayer::from_config_json(&t.to_config_json()).unwrap();
         assert_eq!(t, back);

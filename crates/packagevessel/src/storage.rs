@@ -51,13 +51,7 @@ impl StorageActor {
         self.contents.len()
     }
 
-    fn pick_source(
-        &self,
-        ctx: &mut Ctx<'_>,
-        requester: NodeId,
-        id: &BulkId,
-        piece: u32,
-    ) -> NodeId {
+    fn pick_source(&self, ctx: &mut Ctx<'_>, requester: NodeId, id: &BulkId, piece: u32) -> NodeId {
         let me = ctx.node();
         if self.policy == PeerPolicy::StorageOnly {
             return me;
@@ -115,14 +109,11 @@ impl Actor for StorageActor {
                 ctx.send_value(from, 64, PvMsg::Source { id, piece, source });
             }
             PvMsg::RequestPiece { id, piece } => {
-                match self
-                    .contents
-                    .get(&id)
-                    .and_then(|p| p.get(piece as usize))
-                {
+                match self.contents.get(&id).and_then(|p| p.get(piece as usize)) {
                     Some(data) => {
                         let data = data.clone();
-                        ctx.metrics().incr("pv.storage_bytes_sent", data.len() as u64);
+                        ctx.metrics()
+                            .incr("pv.storage_bytes_sent", data.len() as u64);
                         ctx.metrics().incr("pv.storage_pieces_sent", 1);
                         let origin = self.origins.get(&id).copied().unwrap_or(ctx.now());
                         let size = data.len() as u64 + 64;

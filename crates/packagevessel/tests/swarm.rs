@@ -124,7 +124,10 @@ fn crashed_peer_does_not_stall_the_swarm() {
     let live: Vec<_> = pv.agents[2..].to_vec();
     for &a in &live {
         let agent: &PvAgentActor = sim.actor(a).unwrap();
-        assert!(agent.has(&meta.id), "agent {a} should finish despite dead peers");
+        assert!(
+            agent.has(&meta.id),
+            "agent {a} should finish despite dead peers"
+        );
     }
 }
 
@@ -138,7 +141,12 @@ fn duplicate_metadata_update_is_idempotent() {
     // Re-deliver the same metadata: nothing should re-download.
     let now = sim.now();
     for &a in pv.agents.clone().iter() {
-        sim.post(now, a, a, Box::new(PvMsg::MetadataUpdate { meta: meta.clone() }));
+        sim.post(
+            now,
+            a,
+            a,
+            Box::new(PvMsg::MetadataUpdate { meta: meta.clone() }),
+        );
     }
     sim.run_for(SimDuration::from_secs(30));
     assert_eq!(sim.metrics().counter("pv.fetches_completed"), fetched);

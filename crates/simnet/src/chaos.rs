@@ -1,0 +1,565 @@
+//! Seeded chaos schedules and invariant checking.
+//!
+//! A [`ChaosPlan`] is a reproducible fault schedule — node crash/recover
+//! windows, region partition/heal windows, and message drop/delay windows —
+//! generated deterministically from a seed and applied to any [`Sim`] as
+//! control events. Every fault heals before the plan's horizon, so a run
+//! always ends in a fault-free period where convergence can be asserted.
+//!
+//! The [`Invariant`] trait is the checker API: protocol crates implement it
+//! over their actor state (e.g. "no acknowledged commit lost"), and
+//! [`run_plan`] drives the simulation in slices, evaluating every invariant
+//! at each quiesce point and once more after the final heal.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::net::LinkFaults;
+use crate::sim::Sim;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, RegionId};
+
+/// What a single scheduled fault does while active.
+#[derive(Debug, Clone)]
+pub enum FaultKind {
+    /// Crash a node at `at`, recover it at `until`.
+    Crash {
+        /// The victim node.
+        node: NodeId,
+    },
+    /// Partition two regions at `at`, heal them at `until`.
+    Partition {
+        /// One side of the cut.
+        a: RegionId,
+        /// The other side of the cut.
+        b: RegionId,
+    },
+    /// Install message drop/delay parameters at `at`, clear them at `until`.
+    Degrade {
+        /// The drop/delay parameters for the window.
+        faults: LinkFaults,
+    },
+}
+
+/// One fault window inside a plan.
+#[derive(Debug, Clone)]
+pub struct Fault {
+    /// What happens.
+    pub kind: FaultKind,
+    /// When the fault is injected.
+    pub at: SimTime,
+    /// When the fault heals (crash recovers, partition heals, degradation
+    /// clears). Always at or before the plan horizon.
+    pub until: SimTime,
+    /// Human-readable label (e.g. the role of the crashed node).
+    pub label: String,
+}
+
+impl Fault {
+    /// One-line description: `[12.0s..14.5s] crash leader n3`.
+    pub fn describe(&self) -> String {
+        let window = format!(
+            "[{:.1}s..{:.1}s]",
+            self.at.as_secs_f64(),
+            self.until.as_secs_f64()
+        );
+        match &self.kind {
+            FaultKind::Crash { node } => format!("{window} crash {} {node}", self.label),
+            FaultKind::Partition { a, b } => format!("{window} partition {a} <-> {b}"),
+            FaultKind::Degrade { faults } => format!(
+                "{window} degrade links: drop {:.0}%, delay {:.0}% up to {:.0}ms",
+                faults.drop_prob * 100.0,
+                faults.delay_prob * 100.0,
+                faults.max_extra_delay.as_millis_f64()
+            ),
+        }
+    }
+}
+
+/// Parameters steering plan generation.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Faults are injected inside `[warmup, horizon]`; everything heals by
+    /// `horizon`.
+    pub warmup: SimDuration,
+    /// The instant by which every fault has healed.
+    pub horizon: SimDuration,
+    /// Labeled nodes eligible for crash faults (label, node), e.g.
+    /// `("leader", NodeId(3))`.
+    pub crash_candidates: Vec<(String, NodeId)>,
+    /// Maximum number of crash windows.
+    pub max_crashes: usize,
+    /// Number of regions in the topology (for partition faults).
+    pub regions: u16,
+    /// Maximum number of partition windows.
+    pub max_partitions: usize,
+    /// Maximum number of link degradation windows.
+    pub max_degrades: usize,
+    /// Range of per-message drop probability for degradation windows.
+    pub drop_prob: (f64, f64),
+    /// Upper bound on injected extra delay.
+    pub max_extra_delay: SimDuration,
+    /// Shortest fault window.
+    pub min_outage: SimDuration,
+    /// Longest fault window.
+    pub max_outage: SimDuration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            warmup: SimDuration::from_secs(2),
+            horizon: SimDuration::from_secs(20),
+            crash_candidates: Vec::new(),
+            max_crashes: 3,
+            regions: 1,
+            max_partitions: 2,
+            max_degrades: 2,
+            drop_prob: (0.02, 0.25),
+            max_extra_delay: SimDuration::from_millis(200),
+            min_outage: SimDuration::from_millis(500),
+            max_outage: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// A deterministic, replayable fault schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// The seed the plan was generated from.
+    pub seed: u64,
+    /// The scheduled faults, in injection order.
+    pub faults: Vec<Fault>,
+    /// The instant by which every fault has healed.
+    pub horizon: SimTime,
+}
+
+impl ChaosPlan {
+    /// Generates a plan from `seed`. The same seed and config always produce
+    /// the same plan, which is what makes failing scenarios replayable.
+    pub fn generate(seed: u64, cfg: &ChaosConfig) -> ChaosPlan {
+        assert!(cfg.warmup < cfg.horizon, "warmup must precede horizon");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A05);
+        let mut faults = Vec::new();
+        let horizon = SimTime::ZERO + cfg.horizon;
+
+        let window = |rng: &mut SmallRng| -> (SimTime, SimTime) {
+            let lo = cfg.warmup.as_micros();
+            let hi = cfg.horizon.as_micros();
+            let len = rng.gen_range(cfg.min_outage.as_micros()..=cfg.max_outage.as_micros());
+            let latest_start = hi.saturating_sub(len).max(lo);
+            let at = rng.gen_range(lo..=latest_start);
+            (SimTime(at), SimTime((at + len).min(hi)))
+        };
+
+        // Crashes: distinct victims, sampled without replacement.
+        if !cfg.crash_candidates.is_empty() && cfg.max_crashes > 0 {
+            let n = rng.gen_range(1..=cfg.max_crashes.min(cfg.crash_candidates.len()));
+            let mut pool: Vec<usize> = (0..cfg.crash_candidates.len()).collect();
+            pool.shuffle(&mut rng);
+            for &idx in pool.iter().take(n) {
+                let (label, node) = &cfg.crash_candidates[idx];
+                let (at, until) = window(&mut rng);
+                faults.push(Fault {
+                    kind: FaultKind::Crash { node: *node },
+                    at,
+                    until,
+                    label: label.clone(),
+                });
+            }
+        }
+
+        // Partitions: random distinct region pairs.
+        if cfg.regions >= 2 && cfg.max_partitions > 0 {
+            let n = rng.gen_range(0..=cfg.max_partitions);
+            for _ in 0..n {
+                let a = rng.gen_range(0..cfg.regions);
+                let mut b = rng.gen_range(0..cfg.regions - 1);
+                if b >= a {
+                    b += 1;
+                }
+                let (at, until) = window(&mut rng);
+                faults.push(Fault {
+                    kind: FaultKind::Partition {
+                        a: RegionId(a),
+                        b: RegionId(b),
+                    },
+                    at,
+                    until,
+                    label: String::new(),
+                });
+            }
+        }
+
+        // Link degradation: non-overlapping windows (the fault plane holds
+        // one parameter set at a time, so overlap would let an early clear
+        // cancel a later window).
+        if cfg.max_degrades > 0 {
+            let n = rng.gen_range(0..=cfg.max_degrades);
+            let mut cursor = cfg.warmup.as_micros();
+            for _ in 0..n {
+                let len = rng.gen_range(cfg.min_outage.as_micros()..=cfg.max_outage.as_micros());
+                let gap = rng.gen_range(0..=cfg.max_outage.as_micros());
+                let at = cursor + gap;
+                let until = (at + len).min(cfg.horizon.as_micros());
+                if at >= until {
+                    break;
+                }
+                cursor = until;
+                let drop_prob = rng.gen_range(cfg.drop_prob.0..=cfg.drop_prob.1);
+                let delay_prob = rng.gen_range(0.0..=0.5);
+                faults.push(Fault {
+                    kind: FaultKind::Degrade {
+                        faults: LinkFaults {
+                            drop_prob,
+                            delay_prob,
+                            max_extra_delay: SimDuration::from_micros(
+                                rng.gen_range(0..=cfg.max_extra_delay.as_micros()),
+                            ),
+                        },
+                    },
+                    at: SimTime(at),
+                    until: SimTime(until),
+                    label: String::new(),
+                });
+            }
+        }
+
+        faults.sort_by_key(|f| f.at);
+        ChaosPlan {
+            seed,
+            faults,
+            horizon,
+        }
+    }
+
+    /// Schedules every fault (and its heal) on `sim` as control events.
+    pub fn apply(&self, sim: &mut Sim) {
+        for fault in &self.faults {
+            match fault.kind.clone() {
+                FaultKind::Crash { node } => {
+                    sim.schedule(fault.at, move |s| {
+                        s.metrics_mut().incr("chaos.crashes", 1);
+                        s.crash(node);
+                    });
+                    sim.schedule(fault.until, move |s| s.recover(node));
+                }
+                FaultKind::Partition { a, b } => {
+                    sim.schedule(fault.at, move |s| {
+                        s.metrics_mut().incr("chaos.partitions", 1);
+                        s.partition(a, b);
+                    });
+                    sim.schedule(fault.until, move |s| s.heal(a, b));
+                }
+                FaultKind::Degrade { faults } => {
+                    sim.schedule(fault.at, move |s| {
+                        s.metrics_mut().incr("chaos.degrades", 1);
+                        s.set_link_faults(faults);
+                    });
+                    sim.schedule(fault.until, |s| s.clear_link_faults());
+                }
+            }
+        }
+    }
+
+    /// One description line per fault, in injection order.
+    pub fn describe(&self) -> Vec<String> {
+        self.faults.iter().map(Fault::describe).collect()
+    }
+}
+
+/// A safety or liveness property checked against the simulation.
+///
+/// Implementations inspect actor state through [`Sim::actor`] downcasts.
+/// `check_always` runs at every quiesce point, including while faults are
+/// active, so it must only assert properties that hold *under* faults
+/// (safety). `check_final` runs once after every fault has healed and the
+/// system has settled, so it may assert convergence (liveness).
+pub trait Invariant {
+    /// Short stable name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Safety check, evaluated at every quiesce point.
+    fn check_always(&mut self, _sim: &Sim) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Liveness check, evaluated once after all faults healed.
+    fn check_final(&mut self, _sim: &Sim) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Optional measurement reported alongside the verdict (e.g. observed
+    /// convergence time). Collected after `check_final`.
+    fn note(&self) -> Option<String> {
+        None
+    }
+}
+
+/// The verdict for one invariant after a chaos run.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The invariant's name.
+    pub name: &'static str,
+    /// `None` if the invariant held; otherwise the first failure message.
+    pub failure: Option<String>,
+    /// Simulated time of the first failure.
+    pub failed_at: Option<SimTime>,
+    /// Optional measurement reported by the invariant (see
+    /// [`Invariant::note`]).
+    pub note: Option<String>,
+}
+
+impl Verdict {
+    /// Whether the invariant held for the whole run.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// The result of [`run_plan`].
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Per-invariant verdicts, in the order the invariants were given.
+    pub verdicts: Vec<Verdict>,
+    /// Number of quiesce points at which `check_always` ran.
+    pub checkpoints: usize,
+    /// Simulated time when the run finished.
+    pub finished_at: SimTime,
+}
+
+impl ChaosReport {
+    /// Whether every invariant held.
+    pub fn all_ok(&self) -> bool {
+        self.verdicts.iter().all(Verdict::ok)
+    }
+}
+
+/// Applies `plan` to `sim` and drives it in `check_every` slices until
+/// `plan.horizon + settle`, evaluating every invariant's `check_always` at
+/// each slice boundary and `check_final` at the end. The first failure per
+/// invariant is recorded; checking continues for the others.
+pub fn run_plan(
+    sim: &mut Sim,
+    plan: &ChaosPlan,
+    invariants: &mut [Box<dyn Invariant>],
+    check_every: SimDuration,
+    settle: SimDuration,
+) -> ChaosReport {
+    plan.apply(sim);
+    let mut verdicts: Vec<Verdict> = invariants
+        .iter()
+        .map(|inv| Verdict {
+            name: inv.name(),
+            failure: None,
+            failed_at: None,
+            note: None,
+        })
+        .collect();
+    let end = plan.horizon + settle;
+    let mut checkpoints = 0usize;
+    while sim.now() < end {
+        sim.run_for(check_every);
+        checkpoints += 1;
+        for (inv, verdict) in invariants.iter_mut().zip(&mut verdicts) {
+            if verdict.failure.is_none() {
+                if let Err(msg) = inv.check_always(sim) {
+                    verdict.failure = Some(msg);
+                    verdict.failed_at = Some(sim.now());
+                }
+            }
+        }
+    }
+    for (inv, verdict) in invariants.iter_mut().zip(&mut verdicts) {
+        if verdict.failure.is_none() {
+            if let Err(msg) = inv.check_final(sim) {
+                verdict.failure = Some(msg);
+                verdict.failed_at = Some(sim.now());
+            }
+        }
+        verdict.note = inv.note();
+    }
+    ChaosReport {
+        verdicts,
+        checkpoints,
+        finished_at: sim.now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetConfig;
+    use crate::sim::{Actor, Ctx, Message};
+    use crate::topology::Topology;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let cfg = ChaosConfig {
+            crash_candidates: vec![
+                ("a".into(), NodeId(0)),
+                ("b".into(), NodeId(1)),
+                ("c".into(), NodeId(2)),
+            ],
+            regions: 3,
+            ..ChaosConfig::default()
+        };
+        let p1 = ChaosPlan::generate(42, &cfg);
+        let p2 = ChaosPlan::generate(42, &cfg);
+        assert_eq!(p1.describe(), p2.describe());
+        let p3 = ChaosPlan::generate(43, &cfg);
+        assert_ne!(p1.describe(), p3.describe());
+        assert!(!p1.faults.is_empty());
+    }
+
+    #[test]
+    fn every_fault_heals_before_horizon() {
+        let cfg = ChaosConfig {
+            crash_candidates: (0..10u32).map(|n| (format!("n{n}"), NodeId(n))).collect(),
+            max_crashes: 5,
+            regions: 4,
+            max_partitions: 4,
+            max_degrades: 4,
+            ..ChaosConfig::default()
+        };
+        for seed in 0..50 {
+            let plan = ChaosPlan::generate(seed, &cfg);
+            for fault in &plan.faults {
+                assert!(fault.at < fault.until, "{}", fault.describe());
+                assert!(fault.until <= plan.horizon, "{}", fault.describe());
+            }
+        }
+    }
+
+    struct Pinger {
+        peer: NodeId,
+        received: u64,
+    }
+
+    impl Actor for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(100), 0);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _msg: Message) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+            ctx.send_value(self.peer, 64, ());
+            ctx.set_timer(SimDuration::from_millis(100), 0);
+        }
+    }
+
+    #[test]
+    fn degrade_windows_drop_traffic_then_stop() {
+        let topo = Topology::symmetric(2, 1, 1);
+        let mut sim = Sim::new(topo, NetConfig::default(), 9);
+        sim.add_actor(
+            NodeId(0),
+            Box::new(Pinger {
+                peer: NodeId(1),
+                received: 0,
+            }),
+        );
+        sim.add_actor(
+            NodeId(1),
+            Box::new(Pinger {
+                peer: NodeId(0),
+                received: 0,
+            }),
+        );
+        sim.schedule(SimTime(0), |s| {
+            s.set_link_faults(LinkFaults {
+                drop_prob: 1.0,
+                delay_prob: 0.0,
+                max_extra_delay: SimDuration::ZERO,
+            });
+        });
+        sim.schedule(SimTime(5_000_000), Sim::clear_link_faults);
+        sim.run_until(SimTime(10_000_000));
+        assert!(sim.metrics().counter("simnet.dropped_chaos") > 0);
+        let a: &Pinger = sim.actor(NodeId(0)).unwrap();
+        // Nothing for 5s, then ~50 pings in the healthy half.
+        assert!(a.received >= 40, "received {}", a.received);
+        assert!(a.received <= 55, "received {}", a.received);
+    }
+
+    struct CountingInvariant {
+        calls: usize,
+        finals: usize,
+        fail_at_call: Option<usize>,
+    }
+
+    impl Invariant for CountingInvariant {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn check_always(&mut self, _sim: &Sim) -> Result<(), String> {
+            self.calls += 1;
+            if Some(self.calls) == self.fail_at_call {
+                return Err("injected failure".to_string());
+            }
+            Ok(())
+        }
+        fn check_final(&mut self, _sim: &Sim) -> Result<(), String> {
+            self.finals += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn run_plan_reports_first_failure_and_runs_finals() {
+        let topo = Topology::symmetric(2, 1, 2);
+        let mut sim = Sim::new(topo, NetConfig::default(), 5);
+        sim.add_actor(
+            NodeId(0),
+            Box::new(Pinger {
+                peer: NodeId(1),
+                received: 0,
+            }),
+        );
+        sim.add_actor(
+            NodeId(1),
+            Box::new(Pinger {
+                peer: NodeId(0),
+                received: 0,
+            }),
+        );
+        let cfg = ChaosConfig {
+            warmup: SimDuration::from_millis(500),
+            horizon: SimDuration::from_secs(4),
+            crash_candidates: vec![("pinger".into(), NodeId(2))],
+            regions: 2,
+            max_outage: SimDuration::from_secs(1),
+            ..ChaosConfig::default()
+        };
+        let plan = ChaosPlan::generate(7, &cfg);
+        let mut invariants: Vec<Box<dyn Invariant>> = vec![
+            Box::new(CountingInvariant {
+                calls: 0,
+                finals: 0,
+                fail_at_call: Some(2),
+            }),
+            Box::new(CountingInvariant {
+                calls: 0,
+                finals: 0,
+                fail_at_call: None,
+            }),
+        ];
+        let report = run_plan(
+            &mut sim,
+            &plan,
+            &mut invariants,
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(1),
+        );
+        assert!(!report.all_ok());
+        assert!(report.verdicts[0].failure.as_deref() == Some("injected failure"));
+        assert!(report.verdicts[0].failed_at.is_some());
+        assert!(report.verdicts[1].ok());
+        assert!(report.checkpoints >= 8);
+        // All faults healed: the sim must end without partitions or faults.
+        assert!(!sim.has_partitions());
+        assert!(!sim.link_faults().is_active());
+    }
+}

@@ -39,6 +39,7 @@
 //! assert_eq!(sim.metrics().samples("arrival_s").len(), 1);
 //! ```
 
+pub mod chaos;
 pub mod net;
 pub mod sim;
 pub mod stats;
@@ -47,14 +48,15 @@ pub mod topology;
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
-    pub use crate::net::NetConfig;
+    pub use crate::chaos::{ChaosConfig, ChaosPlan, ChaosReport, Invariant};
+    pub use crate::net::{LinkFaults, NetConfig};
     pub use crate::sim::{Actor, Ctx, Message, Sim};
     pub use crate::stats::{Metrics, Summary};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{ClusterId, NodeId, Proximity, RegionId, Topology, TopologyBuilder};
 }
 
-pub use net::NetConfig;
+pub use net::{LinkFaults, NetConfig};
 pub use sim::{Actor, Ctx, Message, Sim};
 pub use stats::{Metrics, Summary};
 pub use time::{SimDuration, SimTime};

@@ -72,6 +72,28 @@ impl NetConfig {
     }
 }
 
+/// Transient message-level fault injection on non-local links (the chaos
+/// fault plane). Applied by the simulator to every message that traverses
+/// the network (loopback traffic is exempt): with `drop_prob` the message
+/// vanishes, otherwise with `delay_prob` it is delayed by an extra uniform
+/// `0..=max_extra_delay`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkFaults {
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability in `[0, 1]` that a surviving message is delayed.
+    pub delay_prob: f64,
+    /// Upper bound of the uniformly sampled extra delay.
+    pub max_extra_delay: SimDuration,
+}
+
+impl LinkFaults {
+    /// Whether these parameters can affect any message.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || (self.delay_prob > 0.0 && self.max_extra_delay > SimDuration::ZERO)
+    }
+}
+
 fn transmit_time(bytes: u64, rate: u64) -> SimDuration {
     if rate == 0 {
         return SimDuration::ZERO;
@@ -100,7 +122,10 @@ mod tests {
             ..NetConfig::default()
         };
         assert_eq!(c.egress_transmit(1_000_000), SimDuration::from_secs(1));
-        assert_eq!(c.egress_transmit(500_000), SimDuration::from_micros(500_000));
+        assert_eq!(
+            c.egress_transmit(500_000),
+            SimDuration::from_micros(500_000)
+        );
         // Tiny transfers still cost at least one microsecond.
         assert_eq!(c.egress_transmit(1), SimDuration::from_micros(1));
         assert_eq!(c.egress_transmit(0), SimDuration::ZERO);

@@ -18,7 +18,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::net::NetConfig;
+use crate::net::{LinkFaults, NetConfig};
 use crate::stats::Metrics;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Proximity, RegionId, Topology};
@@ -49,9 +49,18 @@ pub trait Actor: Any {
 }
 
 enum EventKind {
-    Deliver { to: NodeId, from: NodeId, msg: Message },
-    Timer { node: NodeId, tag: u64 },
-    Start { node: NodeId },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: Message,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
+    Start {
+        node: NodeId,
+    },
     Control(Box<dyn FnOnce(&mut Sim)>),
 }
 
@@ -116,6 +125,7 @@ pub struct Sim {
     egress_free: Vec<SimTime>,
     ingress_free: Vec<SimTime>,
     partitions: HashSet<(u16, u16)>,
+    link_faults: LinkFaults,
     rng: SmallRng,
     metrics: Metrics,
     events_processed: u64,
@@ -137,6 +147,7 @@ impl Sim {
             egress_free: vec![SimTime::ZERO; n],
             ingress_free: vec![SimTime::ZERO; n],
             partitions: HashSet::new(),
+            link_faults: LinkFaults::default(),
             rng: SmallRng::seed_from_u64(seed),
             metrics: Metrics::new(),
             events_processed: 0,
@@ -245,6 +256,28 @@ impl Sim {
         self.partitions.remove(&normalize(a, b));
     }
 
+    /// Returns whether any region pair is currently partitioned.
+    pub fn has_partitions(&self) -> bool {
+        !self.partitions.is_empty()
+    }
+
+    /// Installs message-level fault injection on all non-local links,
+    /// replacing the previous parameters. Pass `LinkFaults::default()` (or
+    /// call [`Sim::clear_link_faults`]) to stop injecting.
+    pub fn set_link_faults(&mut self, faults: LinkFaults) {
+        self.link_faults = faults;
+    }
+
+    /// Removes all message-level fault injection.
+    pub fn clear_link_faults(&mut self) {
+        self.link_faults = LinkFaults::default();
+    }
+
+    /// The currently installed link fault parameters.
+    pub fn link_faults(&self) -> &LinkFaults {
+        &self.link_faults
+    }
+
     /// Runs a single event. Returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
@@ -344,6 +377,25 @@ impl Sim {
         let deliver = if prox == Proximity::SameNode {
             self.now + self.net.per_message_overhead
         } else {
+            // The chaos fault plane acts on every link that crosses the
+            // network; loopback traffic is exempt so a node can always talk
+            // to itself.
+            if self.link_faults.drop_prob > 0.0 && self.rng.gen_bool(self.link_faults.drop_prob) {
+                self.metrics.incr("simnet.dropped_chaos", 1);
+                return;
+            }
+            let chaos_delay = if self.link_faults.delay_prob > 0.0
+                && self.link_faults.max_extra_delay > SimDuration::ZERO
+                && self.rng.gen_bool(self.link_faults.delay_prob)
+            {
+                self.metrics.incr("simnet.delayed_chaos", 1);
+                SimDuration::from_micros(
+                    self.rng
+                        .gen_range(0..=self.link_faults.max_extra_delay.as_micros()),
+                )
+            } else {
+                SimDuration::ZERO
+            };
             let start = self.now.max(self.egress_free[from.0 as usize]);
             let egress_done = start + self.net.egress_transmit(size);
             self.egress_free[from.0 as usize] = egress_done;
@@ -352,7 +404,7 @@ impl Sim {
             } else {
                 SimDuration::from_micros(self.rng.gen_range(0..=self.net.max_jitter.as_micros()))
             };
-            let first_byte = start + self.net.propagation(prox) + jitter;
+            let first_byte = start + self.net.propagation(prox) + jitter + chaos_delay;
             let rx_start = first_byte.max(self.ingress_free[to.0 as usize]);
             let rx_done = rx_start + self.net.ingress_transmit(size);
             self.ingress_free[to.0 as usize] = rx_done;

@@ -219,7 +219,10 @@ impl TopologyBuilder {
 
     /// Adds one server to `cluster` and returns its node id.
     pub fn add_server(&mut self, cluster: ClusterId) -> NodeId {
-        assert!((cluster.0 as usize) < self.clusters.len(), "unknown cluster");
+        assert!(
+            (cluster.0 as usize) < self.clusters.len(),
+            "unknown cluster"
+        );
         let id = NodeId(self.placements.len() as u32);
         self.placements.push(Placement {
             region: self.cluster_region[cluster.0 as usize],

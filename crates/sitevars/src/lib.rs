@@ -214,14 +214,17 @@ impl SitevarStore {
                 }
             }
         }
-        let entry = self.vars.entry(name.to_string()).or_insert_with(|| Sitevar {
-            name: name.to_string(),
-            expr: String::new(),
-            value: Value::Null,
-            history: Vec::new(),
-            checker: None,
-            updates: 0,
-        });
+        let entry = self
+            .vars
+            .entry(name.to_string())
+            .or_insert_with(|| Sitevar {
+                name: name.to_string(),
+                expr: String::new(),
+                value: Value::Null,
+                history: Vec::new(),
+                checker: None,
+                updates: 0,
+            });
         entry.expr = expr.to_string();
         entry.value = value.clone();
         entry.history.push(got);
@@ -314,7 +317,10 @@ mod tests {
     fn broken_expression_is_rejected() {
         let mut s = SitevarStore::new();
         assert!(matches!(s.set("x", "1 +"), Err(SitevarError::Expr(_))));
-        assert!(matches!(s.set("x", "undefined_name"), Err(SitevarError::Expr(_))));
+        assert!(matches!(
+            s.set("x", "undefined_name"),
+            Err(SitevarError::Expr(_))
+        ));
         assert!(s.get("x").is_none(), "failed set must not create the var");
     }
 
@@ -378,7 +384,10 @@ mod tests {
             InferredType::JsonString
         );
         assert_eq!(classify(&Value::str("[1,2]")), InferredType::JsonString);
-        assert_eq!(classify(&Value::str("{not json")), InferredType::GeneralString);
+        assert_eq!(
+            classify(&Value::str("{not json")),
+            InferredType::GeneralString
+        );
         assert_eq!(
             classify(&Value::str("2015-10-04 09:00:00")),
             InferredType::TimestampString

@@ -151,8 +151,22 @@ pub fn fig8_size_cdf(history: &History, kind: ConfigKind) -> Vec<(u64, f64)> {
     sizes.sort_unstable();
     let n = sizes.len().max(1) as f64;
     let bounds = [
-        100u64, 200, 300, 400, 600, 800, 1_000, 2_000, 5_000, 10_000, 50_000, 100_000, 500_000,
-        1_000_000, 10_000_000, 100_000_000,
+        100u64,
+        200,
+        300,
+        400,
+        600,
+        800,
+        1_000,
+        2_000,
+        5_000,
+        10_000,
+        50_000,
+        100_000,
+        500_000,
+        1_000_000,
+        10_000_000,
+        100_000_000,
     ];
     bounds
         .iter()
@@ -203,7 +217,12 @@ mod tests {
         let h = history();
         for kind in [ConfigKind::Compiled, ConfigKind::Raw, ConfigKind::Source] {
             for row in table2(&h, kind) {
-                assert!(row.abs_err() < 1.5, "{kind:?} {}: {:.2}", row.label, row.abs_err());
+                assert!(
+                    row.abs_err() < 1.5,
+                    "{kind:?} {}: {:.2}",
+                    row.label,
+                    row.abs_err()
+                );
             }
         }
     }
@@ -215,8 +234,17 @@ mod tests {
             for row in table3(&h, kind) {
                 // Coauthors are capped by write count, which shifts a few
                 // percent into bucket 1; allow a wider margin there.
-                let margin = if row.label == "1" || row.label == "2" { 8.0 } else { 4.0 };
-                assert!(row.abs_err() < margin, "{kind:?} {}: {:.2}", row.label, row.abs_err());
+                let margin = if row.label == "1" || row.label == "2" {
+                    8.0
+                } else {
+                    4.0
+                };
+                assert!(
+                    row.abs_err() < margin,
+                    "{kind:?} {}: {:.2}",
+                    row.label,
+                    row.abs_err()
+                );
             }
         }
     }
@@ -232,7 +260,11 @@ mod tests {
         let at90 = f9.iter().find(|r| r.label == "≤90d").unwrap().measured;
         let at300 = f9.iter().find(|r| r.label == "≤300d").unwrap().measured;
         assert!(at90 > 10.0 && at90 < 55.0, "fresh mass at 90d: {at90:.1}");
-        assert!(100.0 - at300 > 15.0, "dormant mass beyond 300d: {:.1}", 100.0 - at300);
+        assert!(
+            100.0 - at300 > 15.0,
+            "dormant mass beyond 300d: {:.1}",
+            100.0 - at300
+        );
         let f10 = fig10_age_at_update(&h);
         let young = f10.iter().find(|r| r.label == "≤60d").unwrap().measured;
         let old = 100.0 - f10.iter().find(|r| r.label == "≤300d").unwrap().measured;
@@ -265,7 +297,10 @@ mod tests {
     fn top_one_percent_raw_configs_dominate_updates() {
         // §6.2: the top 1% of raw configs account for 92.8% of updates.
         let h = history();
-        let mut counts: Vec<u64> = h.of_kind(ConfigKind::Raw).map(|c| c.write_count()).collect();
+        let mut counts: Vec<u64> = h
+            .of_kind(ConfigKind::Raw)
+            .map(|c| c.write_count())
+            .collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let top = counts.len() / 100;
         let top_sum: u64 = counts[..top].iter().sum();

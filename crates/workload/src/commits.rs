@@ -210,7 +210,10 @@ impl CommitReplay {
             // Typical compiled-config payload around 1 KB (the paper's
             // P50), varied content so blobs do not dedupe.
             let salt: u64 = self.rng.gen();
-            let body = format!("{{\"cfg\":\"{path}\",\"salt\":{salt},\"pad\":\"{}\"}}", "x".repeat(900));
+            let body = format!(
+                "{{\"cfg\":\"{path}\",\"salt\":{salt},\"pad\":\"{}\"}}",
+                "x".repeat(900)
+            );
             changes.push(Change::put(path, Bytes::from(body)));
         }
         changes
@@ -255,8 +258,18 @@ mod tests {
         };
         let ratio = |s: &[u64]| {
             // d0 is a Monday; days 5,6 of each week are the weekend.
-            let weekend: u64 = s.iter().enumerate().filter(|(i, _)| matches!(i % 7, 5 | 6)).map(|(_, v)| v).sum();
-            let weekday: u64 = s.iter().enumerate().filter(|(i, _)| !matches!(i % 7, 5 | 6)).map(|(_, v)| v).sum();
+            let weekend: u64 = s
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| matches!(i % 7, 5 | 6))
+                .map(|(_, v)| v)
+                .sum();
+            let weekday: u64 = s
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !matches!(i % 7, 5 | 6))
+                .map(|(_, v)| v)
+                .sum();
             (weekend as f64 / 2.0) / (weekday as f64 / 5.0)
         };
         let cfg = ratio(&series(RepoKind::Configerator));
@@ -291,8 +304,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for lambda in [0.5, 5.0, 80.0] {
             let n = 3000;
-            let mean: f64 = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
-            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.12, "λ={lambda} mean={mean}");
+            let mean: f64 = (0..n)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.12,
+                "λ={lambda} mean={mean}"
+            );
         }
         assert_eq!(poisson(&mut rng, 0.0), 0);
     }
@@ -312,7 +331,10 @@ mod tests {
                 }
             }
         }
-        assert!(creates > 100 && edits > 100, "creates={creates} edits={edits}");
+        assert!(
+            creates > 100 && edits > 100,
+            "creates={creates} edits={edits}"
+        );
     }
 
     #[test]

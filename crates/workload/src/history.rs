@@ -58,7 +58,10 @@ impl ConfigRecord {
 
     /// Day of the last modification (creation if never updated).
     pub fn last_modified_day(&self) -> f64 {
-        self.updates.last().map(|u| u.day).unwrap_or(self.created_day)
+        self.updates
+            .last()
+            .map(|u| u.day)
+            .unwrap_or(self.created_day)
     }
 }
 
@@ -139,7 +142,10 @@ pub fn generate(params: &HistoryParams) -> History {
     // Source files: roughly one per 1.6 compiled configs (compiled configs
     // change 60% more often than sources because one source can emit
     // several configs, §6.1).
-    let n_compiled = configs.iter().filter(|c| c.kind == ConfigKind::Compiled).count();
+    let n_compiled = configs
+        .iter()
+        .filter(|c| c.kind == ConfigKind::Compiled)
+        .count();
     let n_sources = (n_compiled as f64 / 1.6) as usize;
     for _ in 0..n_sources {
         let created_day = sample_creation_day(&mut rng, params.horizon_days);
@@ -385,9 +391,15 @@ mod tests {
         };
         let raw = mean(ConfigKind::Raw);
         let compiled = mean(ConfigKind::Compiled);
-        assert!(raw > compiled * 1.8, "raw {raw:.1} vs compiled {compiled:.1}");
+        assert!(
+            raw > compiled * 1.8,
+            "raw {raw:.1} vs compiled {compiled:.1}"
+        );
         assert!(raw > 15.0 && raw < 90.0, "raw mean {raw:.1}");
-        assert!(compiled > 5.0 && compiled < 35.0, "compiled mean {compiled:.1}");
+        assert!(
+            compiled > 5.0 && compiled < 35.0,
+            "compiled mean {compiled:.1}"
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub mod commits;
 pub mod history;
 pub mod paper;
 
-pub use analysis::{fig10_age_at_update, fig7_growth, fig8_size_cdf, fig9_freshness, table1, table2, table3};
+pub use analysis::{
+    fig10_age_at_update, fig7_growth, fig8_size_cdf, fig9_freshness, table1, table2, table3,
+};
 pub use commits::{CommitProcess, CommitReplay, RepoKind};
 pub use history::{generate, ConfigKind, ConfigRecord, History, HistoryParams, UpdateRecord};
 pub use paper::{render_rows, Row};

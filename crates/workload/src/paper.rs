@@ -7,7 +7,14 @@
 
 /// Bucket labels shared by Tables 1–3.
 pub const COUNT_BUCKETS: [&str; 8] = [
-    "1", "2", "3", "4", "[5,10]", "[11,100]", "[101,1000]", "[1001,inf)",
+    "1",
+    "2",
+    "3",
+    "4",
+    "[5,10]",
+    "[11,100]",
+    "[101,1000]",
+    "[1001,inf)",
 ];
 
 /// Bucket boundaries (inclusive lows) matching [`COUNT_BUCKETS`].
@@ -29,7 +36,16 @@ pub const T1_COMPILED: [f64; 8] = [25.0, 24.9, 14.1, 7.5, 15.9, 11.6, 0.8, 0.2];
 pub const T1_RAW: [f64; 8] = [56.9, 23.7, 5.2, 3.2, 6.6, 3.0, 0.7, 0.7];
 
 /// Bucket labels for Table 2 (line changes per update).
-pub const T2_BUCKETS: [&str; 8] = ["1", "2", "[3,4]", "[5,6]", "[7,10]", "[11,50]", "[51,100]", "[101,inf)"];
+pub const T2_BUCKETS: [&str; 8] = [
+    "1",
+    "2",
+    "[3,4]",
+    "[5,6]",
+    "[7,10]",
+    "[11,50]",
+    "[51,100]",
+    "[101,inf)",
+];
 
 /// Bucket boundaries for Table 2.
 pub const T2_BUCKET_RANGES: [(u64, u64); 8] = [
@@ -51,7 +67,16 @@ pub const T2_SOURCE: [f64; 8] = [2.7, 44.3, 13.5, 4.6, 6.1, 19.3, 2.3, 7.3];
 pub const T2_RAW: [f64; 8] = [2.3, 48.6, 32.5, 4.2, 3.6, 5.7, 1.1, 2.0];
 
 /// Bucket labels for Table 3 (number of co-authors).
-pub const T3_BUCKETS: [&str; 8] = ["1", "2", "3", "4", "[5,10]", "[11,50]", "[51,100]", "[101,inf)"];
+pub const T3_BUCKETS: [&str; 8] = [
+    "1",
+    "2",
+    "3",
+    "4",
+    "[5,10]",
+    "[11,50]",
+    "[51,100]",
+    "[101,inf)",
+];
 
 /// Bucket boundaries for Table 3.
 pub const T3_BUCKET_RANGES: [(u64, u64); 8] = [
@@ -195,7 +220,10 @@ impl Row {
 
 /// Renders rows as an aligned text table.
 pub fn render_rows(title: &str, rows: &[Row]) -> String {
-    let mut out = format!("{title}\n{:<14} {:>9} {:>9} {:>7}\n", "bucket", "paper%", "measured%", "|err|");
+    let mut out = format!(
+        "{title}\n{:<14} {:>9} {:>9} {:>7}\n",
+        "bucket", "paper%", "measured%", "|err|"
+    );
     for r in rows {
         out.push_str(&format!(
             "{:<14} {:>9.2} {:>9.2} {:>7.2}\n",
@@ -214,7 +242,16 @@ mod tests {
 
     #[test]
     fn table_percentages_sum_to_about_100() {
-        for t in [T1_COMPILED, T1_RAW, T2_COMPILED, T2_SOURCE, T2_RAW, T3_COMPILED, T3_RAW, T3_FBCODE] {
+        for t in [
+            T1_COMPILED,
+            T1_RAW,
+            T2_COMPILED,
+            T2_SOURCE,
+            T2_RAW,
+            T3_COMPILED,
+            T3_RAW,
+            T3_FBCODE,
+        ] {
             let sum: f64 = t.iter().sum();
             assert!((sum - 100.0).abs() < 1.0, "sums to {sum}");
         }

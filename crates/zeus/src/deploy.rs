@@ -138,10 +138,7 @@ impl ZeusDeployment {
             let local_observers = observers_by_cluster[cluster.0 as usize].clone();
             sim.add_actor(
                 node,
-                Box::new(ProxyActor::new(
-                    local_observers,
-                    cfg.subscriptions.clone(),
-                )),
+                Box::new(ProxyActor::new(local_observers, cfg.subscriptions.clone())),
             );
             proxies.push(node);
         }
@@ -167,6 +164,43 @@ impl ZeusDeployment {
             origin: at,
         };
         sim.post(at, leader, leader, Box::new(msg));
+    }
+
+    /// Schedules a config write at `at`, routed when it fires to whichever
+    /// up ensemble member currently claims leadership (falling back to any
+    /// up member, which forwards to its known leader). Unlike [`write_at`],
+    /// which always targets the initial leader, this keeps a write workload
+    /// flowing across leader crashes and elections.
+    ///
+    /// [`write_at`]: ZeusDeployment::write_at
+    pub fn write_current(&self, sim: &mut Sim, at: SimTime, path: &str, data: impl Into<Bytes>) {
+        let ensemble = self.ensemble.clone();
+        let path = path.to_string();
+        let data = data.into();
+        sim.schedule(at, move |s| {
+            let target = ensemble
+                .iter()
+                .copied()
+                .filter(|n| s.is_up(*n))
+                .find(|n| {
+                    s.actor::<EnsembleActor>(*n)
+                        .is_some_and(EnsembleActor::is_leader)
+                })
+                .or_else(|| ensemble.iter().copied().find(|n| s.is_up(*n)));
+            let Some(target) = target else {
+                // Whole ensemble down: the write never enters the system
+                // (and is therefore never acknowledged).
+                s.metrics_mut().incr("zeus.writes_unroutable", 1);
+                return;
+            };
+            let now = s.now();
+            let msg = ZeusMsg::Propose {
+                path: path.clone(),
+                data: data.clone(),
+                origin: now,
+            };
+            s.post(now, target, target, Box::new(msg));
+        });
     }
 
     /// Subscribes every proxy to `path` (driver-side convenience).

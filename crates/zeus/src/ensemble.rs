@@ -26,9 +26,12 @@ use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
 use crate::store::ConfigStore;
 use crate::types::{Write, ZeusMsg, Zxid};
 
-/// Timer tags.
-const TIMER_HEARTBEAT: u64 = 1;
-const TIMER_ELECTION: u64 = 2;
+/// Timer tag for the leader heartbeat. Election timers use a per-node
+/// generation counter (1, 2, 3, ...) as their tag instead of a fixed value:
+/// timers cannot be cancelled, so bumping the generation is how a node
+/// retires its election chain when it becomes leader (and how a deposed
+/// leader starts a fresh chain without racing a stale one).
+const TIMER_HEARTBEAT: u64 = 0;
 
 /// Tuning knobs for the ensemble protocol.
 #[derive(Debug, Clone)]
@@ -77,6 +80,15 @@ pub struct EnsembleActor {
     acks: BTreeMap<Zxid, HashSet<NodeId>>,
     votes: HashSet<NodeId>,
     heard_from_leader: bool,
+    /// Tag of the live election-timer chain; older tags are stale chains.
+    election_gen: u64,
+    /// Contiguity cursor: the highest zxid up to which this node provably
+    /// holds *every* entry of the leader's history. Unlike
+    /// `store.last_applied()`, which advances past holes left by dropped
+    /// `Append`s, this only moves through gap-free prefixes — so gap
+    /// detection and election comparisons stay sound when a single message
+    /// in the middle of the stream is lost.
+    contig: Zxid,
 }
 
 impl EnsembleActor {
@@ -95,7 +107,11 @@ impl EnsembleActor {
             cfg,
             peers,
             observers,
-            role: if is_leader { Role::Leader } else { Role::Follower },
+            role: if is_leader {
+                Role::Leader
+            } else {
+                Role::Follower
+            },
             epoch: 1,
             promised_epoch: 1,
             current_leader: Some(initial_leader),
@@ -105,6 +121,8 @@ impl EnsembleActor {
             acks: BTreeMap::new(),
             votes: HashSet::new(),
             heard_from_leader: true,
+            election_gen: 0,
+            contig: Zxid::ZERO,
         }
     }
 
@@ -133,8 +151,116 @@ impl EnsembleActor {
         self.epoch
     }
 
+    /// The contiguity cursor (see the field docs). Exposed for tests and
+    /// chaos diagnostics.
+    pub fn contiguous(&self) -> Zxid {
+        self.contig
+    }
+
+    /// Whether an entry for `path` sits in the consensus log (appended or
+    /// re-proposed, possibly not yet applied). Used by chaos invariants: a
+    /// freshly elected leader holds re-proposed writes here until the
+    /// quorum re-acknowledges them.
+    pub fn pending_for_path(&self, path: &str) -> bool {
+        self.log.values().any(|w| w.path == path)
+    }
+
     fn quorum(&self) -> usize {
         self.peers.len() / 2 + 1
+    }
+
+    /// Walks the contiguity cursor forward through gap-free same-epoch
+    /// successors present in the log. The cursor never jumps epochs on its
+    /// own: locally there is no way to tell how much of the previous
+    /// epoch's tail we missed, so epoch boundaries are only crossed by a
+    /// leader-asserted `SyncReply` (the ZAB NEWLEADER-sync analogue) or by
+    /// becoming the leader ourselves.
+    fn extend_contig(&mut self) {
+        loop {
+            let next = if self.contig == Zxid::ZERO {
+                Zxid {
+                    epoch: 1,
+                    counter: 1,
+                }
+            } else {
+                self.contig.next()
+            };
+            if self.log.contains_key(&next) {
+                self.contig = next;
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// The election position: the highest zxid through which this node's
+    /// history is provably gap-free. Elections must compare gap-free
+    /// prefixes of full logs (not applied prefixes, and not raw log tails):
+    /// a follower that appended a quorum-committed entry but has not yet
+    /// seen the commit must still outrank peers that never saw the entry —
+    /// but a raw log tail would let a node with a *hole* below the tail
+    /// outrank a peer that actually holds the acknowledged write.
+    fn election_position(&self) -> Zxid {
+        self.contig
+    }
+
+    /// Heard from a leader of `leader_epoch`: drop uncommitted log entries
+    /// appended under earlier epochs. The new leader re-proposes its own
+    /// uncommitted suffix under its epoch, so any such entry is either
+    /// arriving again with a new zxid or was abandoned by the election;
+    /// keeping it would let a later `CommitUpTo` range-apply a write that
+    /// no quorum ever acknowledged. Keyed off the leader's epoch rather
+    /// than our own so a candidate that bumped its epoch and then lost the
+    /// election still truncates its stale suffix.
+    fn sync_epoch(&mut self, ctx: &mut Ctx<'_>, leader_epoch: u32) {
+        self.epoch = self.epoch.max(leader_epoch);
+        let committed = self.committed;
+        let has_stale = self
+            .log
+            .range((
+                std::ops::Bound::Excluded(committed),
+                std::ops::Bound::Unbounded,
+            ))
+            .next()
+            .is_some_and(|(z, _)| z.epoch < leader_epoch);
+        if !has_stale {
+            return;
+        }
+        let before = self.log.len();
+        self.log
+            .retain(|z, _| *z <= committed || z.epoch >= leader_epoch);
+        let dropped = before - self.log.len();
+        if dropped > 0 {
+            ctx.metrics()
+                .incr("zeus.truncated_uncommitted", dropped as u64);
+            // The truncated entries no longer back the contiguity cursor;
+            // leaving it past them would let this node overclaim abandoned
+            // history in elections (and in sync replies, as a leader).
+            self.contig = self.contig.min(committed);
+        }
+    }
+
+    /// Starts a fresh election-timer chain, retiring any previous one.
+    fn arm_election(&mut self, ctx: &mut Ctx<'_>) {
+        self.election_gen += 1;
+        let jitter = ctx
+            .rng()
+            .gen_range(0..=self.cfg.election_timeout.as_micros());
+        ctx.set_timer(
+            self.cfg.election_timeout + SimDuration::from_micros(jitter),
+            self.election_gen,
+        );
+    }
+
+    /// Demotion on hearing from a leader. A node that *was* the leader has
+    /// no election chain running (it retired it on winning), so it must
+    /// start one or it could never depose a failed successor.
+    fn step_down(&mut self, ctx: &mut Ctx<'_>) {
+        let was_leader = self.role == Role::Leader;
+        self.role = Role::Follower;
+        if was_leader {
+            self.arm_election(ctx);
+        }
     }
 
     fn broadcast(&self, ctx: &mut Ctx<'_>, msg: &ZeusMsg, size: u64) {
@@ -150,6 +276,8 @@ impl EnsembleActor {
         self.current_leader = Some(ctx.node());
         self.next_counter = 0;
         self.acks.clear();
+        // Retire the election chain; the heartbeat chain takes over.
+        self.election_gen += 1;
         ctx.metrics().incr("zeus.leader_elections", 1);
         let msg = ZeusMsg::NewLeader {
             epoch: self.epoch,
@@ -161,6 +289,33 @@ impl EnsembleActor {
         }
         self.send_heartbeat(ctx);
         ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
+        // Reconciliation: entries this node appended but never saw commit
+        // may or may not have reached a quorum under the old leader. Either
+        // way the only safe path is to re-propose them under the new epoch;
+        // followers truncate their own uncommitted old-epoch suffixes when
+        // they observe the epoch change, so no entry is applied twice.
+        let committed = self.committed;
+        let uncommitted: Vec<Write> = self
+            .log
+            .range((
+                std::ops::Bound::Excluded(committed),
+                std::ops::Bound::Unbounded,
+            ))
+            .map(|(_, w)| w.clone())
+            .collect();
+        self.log.retain(|z, _| *z <= committed);
+        // The winner's history is the ensemble's history by definition, so
+        // `propose` below (and for every later client write) re-asserts the
+        // contiguity cursor under the new epoch. Deliberately NOT widened to
+        // `store.last_applied()` here: the store may have applied past a
+        // hole while we were a follower, and the cursor must stay gap-free.
+        if !uncommitted.is_empty() {
+            ctx.metrics()
+                .incr("zeus.reproposed_on_election", uncommitted.len() as u64);
+        }
+        for w in uncommitted {
+            self.propose(ctx, w.path, w.data, w.origin);
+        }
     }
 
     fn send_heartbeat(&self, ctx: &mut Ctx<'_>) {
@@ -172,7 +327,13 @@ impl EnsembleActor {
     }
 
     /// Leader path: assign a zxid, append locally, replicate.
-    fn propose(&mut self, ctx: &mut Ctx<'_>, path: String, data: bytes::Bytes, origin: simnet::SimTime) {
+    fn propose(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        path: String,
+        data: bytes::Bytes,
+        origin: simnet::SimTime,
+    ) {
         self.next_counter += 1;
         let write = Write {
             zxid: Zxid {
@@ -184,6 +345,9 @@ impl EnsembleActor {
             origin,
         };
         self.log.insert(write.zxid, write.clone());
+        // The leader authors history in order; its own proposals are
+        // contiguous by construction.
+        self.contig = write.zxid;
         let mut set = HashSet::new();
         set.insert(ctx.node());
         self.acks.insert(write.zxid, set);
@@ -262,9 +426,10 @@ impl EnsembleActor {
             }
             ZeusMsg::Append { write }
                 if self.role != Role::Leader && write.zxid.epoch >= self.epoch => {
-                    self.epoch = write.zxid.epoch;
+                    self.sync_epoch(ctx, write.zxid.epoch);
                     self.heard_from_leader = true;
                     self.log.insert(write.zxid, write.clone());
+                    self.extend_contig();
                     ctx.send_value(from, 64, ZeusMsg::AckAppend { zxid: write.zxid });
                 }
             ZeusMsg::AckAppend { zxid }
@@ -281,29 +446,48 @@ impl EnsembleActor {
                 }
             ZeusMsg::Heartbeat { epoch, committed }
                 if epoch >= self.epoch => {
-                    self.epoch = epoch;
+                    self.sync_epoch(ctx, epoch);
                     if self.role != Role::Follower && from != ctx.node() {
-                        self.role = Role::Follower;
+                        self.step_down(ctx);
                     }
                     self.current_leader = Some(from);
                     self.heard_from_leader = true;
                     self.apply_commits(committed);
-                    // Detect log gaps: if the leader has committed past our
-                    // log, request the missing tail.
-                    if committed > self.store.last_applied() {
+                    // Detect gaps: if the leader has committed past our
+                    // gap-free prefix, request the missing range. Keyed off
+                    // the contiguity cursor, NOT `store.last_applied()` —
+                    // the store applies whatever the log holds and can
+                    // advance past a hole, which would mask the missing
+                    // write from a threshold comparison forever.
+                    if committed > self.contig {
                         ctx.send_value(
                             from,
                             64,
                             ZeusMsg::ObserverSync {
-                                last_zxid: self.store.last_applied(),
+                                last_zxid: self.contig,
                             },
                         );
                     }
                 }
             ZeusMsg::ElectMe { epoch, last_zxid }
-                if epoch > self.promised_epoch && last_zxid >= self.store.last_applied() => {
+                if epoch > self.promised_epoch => {
+                    // The promise advances whether or not the vote is
+                    // granted (as Raft updates currentTerm on any higher
+                    // term). Without this, a replica that inflated its
+                    // epoch through failed candidacies while partitioned
+                    // can never rejoin: it ignores the incumbent's
+                    // lower-epoch heartbeats forever. Adopting the promise
+                    // — and stepping down if we lead — forces the next
+                    // election to an epoch above the disruptor's, which
+                    // the up-to-date majority wins, and the stray replica
+                    // follows the new epoch home.
                     self.promised_epoch = epoch;
-                    ctx.send_value(from, 64, ZeusMsg::Vote { epoch });
+                    if last_zxid >= self.election_position() {
+                        ctx.send_value(from, 64, ZeusMsg::Vote { epoch });
+                    } else if self.role == Role::Leader {
+                        ctx.metrics().incr("zeus.leader_stepdowns", 1);
+                        self.step_down(ctx);
+                    }
                 }
             ZeusMsg::Vote { epoch }
                 if self.role == Role::Candidate && epoch == self.epoch => {
@@ -314,17 +498,18 @@ impl EnsembleActor {
                 }
             ZeusMsg::NewLeader { epoch, leader }
                 if epoch >= self.epoch && leader != ctx.node() => {
-                    self.epoch = epoch;
+                    self.sync_epoch(ctx, epoch);
                     self.promised_epoch = self.promised_epoch.max(epoch);
-                    self.role = Role::Follower;
+                    self.step_down(ctx);
                     self.current_leader = Some(leader);
                     self.heard_from_leader = true;
-                    // Catch up with the new leader.
+                    // Catch up with the new leader from the gap-free prefix
+                    // so the reply also repairs any holes behind our head.
                     ctx.send_value(
                         leader,
                         64,
                         ZeusMsg::ObserverSync {
-                            last_zxid: self.store.last_applied(),
+                            last_zxid: self.contig,
                         },
                     );
                 }
@@ -334,20 +519,46 @@ impl EnsembleActor {
                         Some(w) => w,
                         None => self.store.snapshot(),
                     };
-                    for w in writes {
-                        let size = w.wire_size();
-                        ctx.send_value(from, size, ZeusMsg::ObserverUpdate { write: w });
+                    // One atomic reply (ZooKeeper's DIFF/SNAP analogue):
+                    // a stream of per-write messages could lose its middle
+                    // to a drop window, leaving the receiver with a hole
+                    // behind its cursor that no retry would ever cover.
+                    //
+                    // Assert completeness only up to our own gap-free
+                    // prefix: a just-elected leader's `last_applied` can
+                    // itself sit past a hole inherited from its follower
+                    // days, and passing that on would corrupt the
+                    // receiver's cursor with a hole nobody ever re-checks.
+                    let size: u64 = writes.iter().map(Write::wire_size).sum::<u64>() + 64;
+                    let upto = self.store.last_applied().min(self.contig);
+                    ctx.send_value(from, size, ZeusMsg::SyncReply { writes, upto });
+                }
+            ZeusMsg::ObserverSync { .. } => {
+                // We are not the leader. An observer syncing against us
+                // has a stale leader pointer (its `NewLeader` was lost);
+                // redirect it rather than silently dropping the request,
+                // or it would anti-entropy into the void forever.
+                if let Some(leader) = self.current_leader {
+                    if leader != ctx.node() {
+                        ctx.metrics().incr("zeus.sync_redirects", 1);
+                        ctx.send_value(from, 64, ZeusMsg::NewLeader { epoch: self.epoch, leader });
                     }
                 }
-            ZeusMsg::ObserverUpdate { write }
-                // Catch-up data from the (new) leader: committed writes.
+            }
+            ZeusMsg::SyncReply { writes, upto }
+                // Catch-up data from the leader: committed writes, possibly
+                // repairing holes *behind* our applied head.
                 if self.role != Role::Leader => {
-                    let z = write.zxid;
-                    self.log.insert(z, write.clone());
-                    self.store.apply(write);
-                    if z > self.committed {
-                        self.committed = z;
+                    for w in writes {
+                        self.log.insert(w.zxid, w.clone());
+                        self.store.absorb(w);
                     }
+                    self.store.fast_forward(upto);
+                    self.committed = self.committed.max(upto);
+                    // The leader asserted completeness up to `upto`; this is
+                    // the only place the cursor may cross an epoch boundary.
+                    self.contig = self.contig.max(upto);
+                    self.extend_contig();
                 }
             _ => {}
         }
@@ -359,11 +570,7 @@ impl Actor for EnsembleActor {
         if self.role == Role::Leader {
             ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
         } else {
-            let jitter = ctx.rng().gen_range(0..=self.cfg.election_timeout.as_micros());
-            ctx.set_timer(
-                self.cfg.election_timeout + SimDuration::from_micros(jitter),
-                TIMER_ELECTION,
-            );
+            self.arm_election(ctx);
         }
     }
 
@@ -374,41 +581,68 @@ impl Actor for EnsembleActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
-        match tag {
-            TIMER_HEARTBEAT if self.role == Role::Leader => {
+        if tag == TIMER_HEARTBEAT {
+            if self.role == Role::Leader {
                 self.send_heartbeat(ctx);
-                ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
-            }
-            TIMER_ELECTION if self.role != Role::Leader => {
-                if self.heard_from_leader {
-                    self.heard_from_leader = false;
-                } else {
-                    // Leader is silent: start an election for the next
-                    // epoch.
-                    self.role = Role::Candidate;
-                    self.epoch = self.promised_epoch + 1;
-                    self.promised_epoch = self.epoch;
-                    self.current_leader = None;
-                    self.votes.clear();
-                    self.votes.insert(ctx.node());
-                    let msg = ZeusMsg::ElectMe {
-                        epoch: self.epoch,
-                        last_zxid: self.store.last_applied(),
-                    };
-                    self.broadcast(ctx, &msg, 64);
-                    if self.votes.len() >= self.quorum() {
-                        // Single-node ensemble.
-                        self.become_leader(ctx);
+                // Retransmit the uncommitted tail. Commits are strictly
+                // in-order, so a single proposal whose appends (or acks)
+                // were all lost would otherwise block every later commit
+                // forever — ZAB gets this for free from FIFO TCP channels,
+                // but this network drops individual messages. Re-appends
+                // are idempotent and followers re-ack what they hold.
+                let pending: Vec<Write> = self
+                    .log
+                    .range((
+                        std::ops::Bound::Excluded(self.committed),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .map(|(_, w)| w.clone())
+                    .collect();
+                if !pending.is_empty() {
+                    ctx.metrics()
+                        .incr("zeus.append_retransmits", pending.len() as u64);
+                    for w in pending {
+                        let size = w.wire_size();
+                        self.broadcast(ctx, &ZeusMsg::Append { write: w }, size);
                     }
                 }
-                let jitter = ctx.rng().gen_range(0..=self.cfg.election_timeout.as_micros());
-                ctx.set_timer(
-                    self.cfg.election_timeout + SimDuration::from_micros(jitter),
-                    TIMER_ELECTION,
-                );
+                ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);
             }
-            _ => {}
+            return;
         }
+        // Election chain: only the live generation counts; stale chains
+        // (from before a crash or a term as leader) die here.
+        if tag != self.election_gen || self.role == Role::Leader {
+            return;
+        }
+        if self.heard_from_leader {
+            self.heard_from_leader = false;
+        } else {
+            // Leader is silent: start an election for the next epoch.
+            self.role = Role::Candidate;
+            self.epoch = self.promised_epoch + 1;
+            self.promised_epoch = self.epoch;
+            self.current_leader = None;
+            self.votes.clear();
+            self.votes.insert(ctx.node());
+            let msg = ZeusMsg::ElectMe {
+                epoch: self.epoch,
+                last_zxid: self.election_position(),
+            };
+            self.broadcast(ctx, &msg, 64);
+            if self.votes.len() >= self.quorum() {
+                // Single-node ensemble.
+                self.become_leader(ctx);
+                return;
+            }
+        }
+        let jitter = ctx
+            .rng()
+            .gen_range(0..=self.cfg.election_timeout.as_micros());
+        ctx.set_timer(
+            self.cfg.election_timeout + SimDuration::from_micros(jitter),
+            self.election_gen,
+        );
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
@@ -420,14 +654,10 @@ impl Actor for EnsembleActor {
                 leader,
                 64,
                 ZeusMsg::ObserverSync {
-                    last_zxid: self.store.last_applied(),
+                    last_zxid: self.contig,
                 },
             );
         }
-        let jitter = ctx.rng().gen_range(0..=self.cfg.election_timeout.as_micros());
-        ctx.set_timer(
-            self.cfg.election_timeout + SimDuration::from_micros(jitter),
-            TIMER_ELECTION,
-        );
+        self.arm_election(ctx);
     }
 }

@@ -1,0 +1,377 @@
+//! Chaos invariants over a Zeus deployment.
+//!
+//! Implementations of [`simnet::chaos::Invariant`] that downcast the
+//! deployment's actors and assert the distribution pipeline's safety and
+//! liveness properties while a [`simnet::chaos::ChaosPlan`] injects
+//! crashes, partitions, and message-level faults:
+//!
+//! * [`NoAckedWriteLost`] — a write committed (acknowledged) at a leader is
+//!   never lost by later elections (safety).
+//! * [`MonotonicApplies`] — every replica applies writes in strictly
+//!   increasing zxid order, and no two replicas disagree on the content of
+//!   a zxid (safety).
+//! * [`ProxyConvergence`] — after all faults heal, every up proxy converges
+//!   to the leader's head value for every tracked path (liveness).
+//! * [`DiskCacheAvailability`] — a config cached on a proxy's disk stays
+//!   readable, and its version never regresses, throughout the run —
+//!   including while the proxy is crashed (§3.4's availability fallback).
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use simnet::chaos::Invariant;
+use simnet::{NodeId, Sim, SimTime};
+
+use crate::ensemble::EnsembleActor;
+use crate::observer::ObserverActor;
+use crate::proxy::ProxyActor;
+use crate::types::Zxid;
+
+/// The up ensemble member claiming leadership with the highest epoch, if
+/// any. Transiently there may be zero (mid-election) or several (a deposed
+/// leader that has not yet heard of the new epoch) claimants; the highest
+/// epoch is the authoritative one.
+fn current_leader<'a>(sim: &'a Sim, ensemble: &[NodeId]) -> Option<(NodeId, &'a EnsembleActor)> {
+    ensemble
+        .iter()
+        .filter(|n| sim.is_up(**n))
+        .filter_map(|n| sim.actor::<EnsembleActor>(*n).map(|a| (*n, a)))
+        .filter(|(_, a)| a.is_leader())
+        .max_by_key(|(_, a)| a.epoch())
+}
+
+/// Invariant (a): once a write is committed at a leader, no later election
+/// or fault may lose it — every subsequent leader must hold, for that path,
+/// a write at least as new (possibly the same content re-proposed under a
+/// newer epoch, possibly a genuinely newer write).
+pub struct NoAckedWriteLost {
+    ensemble: Vec<NodeId>,
+    prefix: String,
+    /// Highest acknowledged zxid seen per path.
+    acked: BTreeMap<String, Zxid>,
+}
+
+impl NoAckedWriteLost {
+    /// Tracks paths starting with `prefix` across `ensemble`.
+    pub fn new(ensemble: Vec<NodeId>, prefix: impl Into<String>) -> NoAckedWriteLost {
+        NoAckedWriteLost {
+            ensemble,
+            prefix: prefix.into(),
+            acked: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `actor` holds a write for `path` at least as new as `acked`,
+    /// either applied in its store or pending in its log (a freshly elected
+    /// leader re-proposes the uncommitted suffix before applying it).
+    fn holds(actor: &EnsembleActor, path: &str, acked: Zxid) -> bool {
+        actor.store().get(path).is_some_and(|w| w.zxid >= acked) || actor.pending_for_path(path)
+    }
+}
+
+impl Invariant for NoAckedWriteLost {
+    fn name(&self) -> &'static str {
+        "no-acked-write-lost"
+    }
+
+    fn check_always(&mut self, sim: &Sim) -> Result<(), String> {
+        let Some((node, leader)) = current_leader(sim, &self.ensemble) else {
+            return Ok(()); // Mid-election: nothing newly acknowledged.
+        };
+        // First verify previously acknowledged writes survived into this
+        // leader, then record its current committed state.
+        for (path, &acked) in &self.acked {
+            if !NoAckedWriteLost::holds(leader, path, acked) {
+                return Err(format!(
+                    "leader {node} (epoch {}) lost acknowledged write {acked:?} for {path}",
+                    leader.epoch()
+                ));
+            }
+        }
+        for w in leader.store().entries() {
+            if w.path.starts_with(&self.prefix) {
+                let slot = self.acked.entry(w.path.clone()).or_insert(Zxid::ZERO);
+                *slot = (*slot).max(w.zxid);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_final(&mut self, sim: &Sim) -> Result<(), String> {
+        // After every fault heals, the whole ensemble must hold every
+        // acknowledged write (applied, not merely logged).
+        for &node in &self.ensemble {
+            if !sim.is_up(node) {
+                continue;
+            }
+            let Some(actor) = sim.actor::<EnsembleActor>(node) else {
+                continue;
+            };
+            for (path, &acked) in &self.acked {
+                let have = actor.store().get(path).map(|w| w.zxid);
+                if have.is_none_or(|z| z < acked) {
+                    return Err(format!(
+                        "replica {node} ended with {have:?} for {path}, acknowledged {acked:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Invariant (b): zxid application order is monotonic at every replica, and
+/// all replicas agree on the `(path, data)` bound to each zxid. A divergent
+/// commit — two replicas applying different writes under one zxid — is the
+/// classic symptom of a broken election/reconciliation protocol.
+pub struct MonotonicApplies {
+    replicas: Vec<NodeId>,
+    /// Canonical content per zxid, accumulated across checkpoints.
+    canon: BTreeMap<Zxid, (String, Bytes)>,
+}
+
+impl MonotonicApplies {
+    /// Checks `replicas` (ensemble members and observers).
+    pub fn new(replicas: Vec<NodeId>) -> MonotonicApplies {
+        MonotonicApplies {
+            replicas,
+            canon: BTreeMap::new(),
+        }
+    }
+
+    fn check_store(
+        &mut self,
+        node: NodeId,
+        store: &crate::store::ConfigStore,
+    ) -> Result<(), String> {
+        let trace: Vec<Zxid> = store.applied_trace().collect();
+        if let Some(w) = trace.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(format!(
+                "replica {node} applied {:?} after {:?} (non-monotonic)",
+                w[1], w[0]
+            ));
+        }
+        for (z, w) in store.log_entries() {
+            match self.canon.get(z) {
+                None => {
+                    self.canon.insert(*z, (w.path.clone(), w.data.clone()));
+                }
+                Some((path, data)) => {
+                    if *path != w.path || *data != w.data {
+                        return Err(format!(
+                            "replica {node} applied {z:?} as {} but another replica applied it as {path} (divergent commit)",
+                            w.path
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Invariant for MonotonicApplies {
+    fn name(&self) -> &'static str {
+        "monotonic-applies"
+    }
+
+    fn check_always(&mut self, sim: &Sim) -> Result<(), String> {
+        for &node in &self.replicas.clone() {
+            if let Some(a) = sim.actor::<EnsembleActor>(node) {
+                self.check_store(node, a.store())?;
+            } else if let Some(o) = sim.actor::<ObserverActor>(node) {
+                self.check_store(node, o.store())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Invariant (c): after every fault heals, every subscribed up proxy
+/// converges to the leader's head value for every tracked path. Records the
+/// start of the final unbroken streak of converged checkpoints, so the
+/// reported time is the actual recovery point, not merely "was converged
+/// whenever we first looked".
+pub struct ProxyConvergence {
+    ensemble: Vec<NodeId>,
+    proxies: Vec<NodeId>,
+    prefix: String,
+    /// When the last fault heals; convergence is only demanded after this,
+    /// and the recovery lag is reported relative to it.
+    heal: SimTime,
+    converged_at: Option<SimTime>,
+}
+
+impl ProxyConvergence {
+    /// Demands convergence of `proxies` to the leader on `ensemble` for
+    /// paths starting with `prefix`, once the last fault has healed at
+    /// `heal`.
+    pub fn new(
+        ensemble: Vec<NodeId>,
+        proxies: Vec<NodeId>,
+        prefix: impl Into<String>,
+        heal: SimTime,
+    ) -> ProxyConvergence {
+        ProxyConvergence {
+            ensemble,
+            proxies,
+            prefix: prefix.into(),
+            heal,
+            converged_at: None,
+        }
+    }
+
+    /// The first checkpoint of the final converged streak, if any.
+    pub fn converged_at(&self) -> Option<SimTime> {
+        self.converged_at
+    }
+
+    fn all_converged(&self, sim: &Sim) -> bool {
+        let Some((_, leader)) = current_leader(sim, &self.ensemble) else {
+            return false;
+        };
+        let head: Vec<(&str, &Bytes)> = leader
+            .store()
+            .entries()
+            .filter(|w| w.path.starts_with(&self.prefix))
+            .map(|w| (w.path.as_str(), &w.data))
+            .collect();
+        self.proxies.iter().all(|&p| {
+            if !sim.is_up(p) {
+                return false;
+            }
+            let Some(proxy) = sim.actor::<ProxyActor>(p) else {
+                return false;
+            };
+            head.iter()
+                .all(|(path, data)| proxy.read(path).is_some_and(|w| w.data == **data))
+        })
+    }
+}
+
+impl Invariant for ProxyConvergence {
+    fn name(&self) -> &'static str {
+        "proxy-convergence"
+    }
+
+    fn check_always(&mut self, sim: &Sim) -> Result<(), String> {
+        // Track convergence at every checkpoint, resetting on divergence:
+        // what survives to the end is the start of the final converged
+        // streak. Divergence during an active fault window is expected and
+        // harmless (only the final state is pass/fail); divergence after the
+        // last heal pushes the recovery point later, which is exactly what
+        // the measurement should show.
+        if self.all_converged(sim) {
+            self.converged_at.get_or_insert(sim.now());
+        } else {
+            self.converged_at = None;
+        }
+        Ok(())
+    }
+
+    fn check_final(&mut self, sim: &Sim) -> Result<(), String> {
+        // A late checkpoint may have converged since the last check_always.
+        if self.converged_at.is_none() && self.all_converged(sim) {
+            self.converged_at = Some(sim.now());
+        }
+        match self.converged_at {
+            Some(_) => Ok(()),
+            None => {
+                let disconnected = self
+                    .proxies
+                    .iter()
+                    .filter(|&&p| {
+                        sim.actor::<ProxyActor>(p)
+                            .is_none_or(|proxy| proxy.connected_observer().is_none())
+                    })
+                    .count();
+                Err(format!(
+                    "proxies did not converge to the leader head within the settle window \
+                     ({disconnected}/{} disconnected)",
+                    self.proxies.len()
+                ))
+            }
+        }
+    }
+
+    fn note(&self) -> Option<String> {
+        self.converged_at.map(|t| {
+            if t >= self.heal {
+                format!(
+                    "converged {:.2}s after final heal",
+                    (t - self.heal).as_secs_f64()
+                )
+            } else {
+                // The final fault never disturbed convergence (e.g. a
+                // redundant observer crashed).
+                "converged through the final fault".to_string()
+            }
+        })
+    }
+}
+
+/// Invariant (d): once a config is in a proxy's on-disk cache it stays
+/// readable for the rest of the run — even while the proxy is crashed — and
+/// its version never regresses. This is the paper's fallback path: "if the
+/// proxy fails, the application falls back to read from the on-disk cache
+/// directly" (§3.4).
+pub struct DiskCacheAvailability {
+    proxies: Vec<NodeId>,
+    prefix: String,
+    /// Versions previously observed per (proxy, path).
+    seen: BTreeMap<(u32, String), Zxid>,
+}
+
+impl DiskCacheAvailability {
+    /// Tracks cached paths starting with `prefix` on `proxies`.
+    pub fn new(proxies: Vec<NodeId>, prefix: impl Into<String>) -> DiskCacheAvailability {
+        DiskCacheAvailability {
+            proxies,
+            prefix: prefix.into(),
+            seen: BTreeMap::new(),
+        }
+    }
+}
+
+impl Invariant for DiskCacheAvailability {
+    fn name(&self) -> &'static str {
+        "disk-cache-availability"
+    }
+
+    fn check_always(&mut self, sim: &Sim) -> Result<(), String> {
+        for &p in &self.proxies {
+            // Deliberately no `is_up` filter: the disk cache must serve
+            // reads while the proxy process is down.
+            let Some(proxy) = sim.actor::<ProxyActor>(p) else {
+                continue;
+            };
+            let cache = proxy.disk_cache();
+            for ((node, path), &seen) in self.seen.range((p.0, String::new())..) {
+                if *node != p.0 {
+                    break;
+                }
+                match cache.get(path) {
+                    None => {
+                        return Err(format!(
+                            "proxy {p} cache entry for {path} disappeared (was {seen:?})"
+                        ))
+                    }
+                    Some(w) if w.zxid < seen => {
+                        return Err(format!(
+                            "proxy {p} cache for {path} regressed from {seen:?} to {:?}",
+                            w.zxid
+                        ))
+                    }
+                    Some(_) => {}
+                }
+            }
+            for w in cache.entries() {
+                if w.path.starts_with(&self.prefix) {
+                    let slot = self.seen.entry((p.0, w.path.clone())).or_insert(Zxid::ZERO);
+                    *slot = (*slot).max(w.zxid);
+                }
+            }
+        }
+        Ok(())
+    }
+}

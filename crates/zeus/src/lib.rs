@@ -48,6 +48,7 @@
 
 pub mod deploy;
 pub mod ensemble;
+pub mod invariants;
 pub mod observer;
 pub mod proxy;
 pub mod pull;
@@ -56,6 +57,7 @@ pub mod types;
 
 pub use deploy::{DeployConfig, ZeusDeployment};
 pub use ensemble::{EnsembleActor, EnsembleConfig};
+pub use invariants::{DiskCacheAvailability, MonotonicApplies, NoAckedWriteLost, ProxyConvergence};
 pub use observer::ObserverActor;
 pub use proxy::{DiskCache, ProxyActor, ProxyCmd};
 pub use pull::{PullClientActor, PullMsg, PullServerActor};

@@ -10,7 +10,7 @@
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
 
 use crate::store::{ConfigStore, WatchTable};
-use crate::types::ZeusMsg;
+use crate::types::{ZeusMsg, Zxid};
 
 const TIMER_ANTI_ENTROPY: u64 = 1;
 
@@ -25,6 +25,13 @@ pub struct ObserverActor {
     /// lost to partitions or drops (a caught-up observer costs the leader
     /// one empty reply).
     sync_every: SimDuration,
+    /// Contiguity cursor: the highest zxid up to which this observer
+    /// provably holds every committed write. Advances one step at a time
+    /// through in-order pushes, and jumps only on a leader-asserted
+    /// `SyncReply`. Sync requests are keyed off this — NOT off
+    /// `store.last_applied()`, which moves past holes and would hide a
+    /// dropped update from every later catch-up request.
+    contig: Zxid,
 }
 
 impl ObserverActor {
@@ -35,6 +42,7 @@ impl ObserverActor {
             store: ConfigStore::new(log_cap),
             watches: WatchTable::new(),
             sync_every: SimDuration::from_secs(2),
+            contig: Zxid::ZERO,
         }
     }
 
@@ -53,9 +61,37 @@ impl ObserverActor {
             self.leader,
             64,
             ZeusMsg::ObserverSync {
-                last_zxid: self.store.last_applied(),
+                last_zxid: self.contig,
             },
         );
+    }
+
+    /// Whether `z` is the immediate successor of the contiguity cursor.
+    fn is_next(&self, z: Zxid) -> bool {
+        if self.contig == Zxid::ZERO {
+            z == Zxid {
+                epoch: 1,
+                counter: 1,
+            }
+        } else {
+            z == self.contig.next()
+        }
+    }
+
+    fn notify_watchers(&mut self, ctx: &mut Ctx<'_>, path: &str) {
+        if let Some(current) = self.store.get(path).cloned() {
+            let size = current.wire_size();
+            let watchers: Vec<NodeId> = self.watches.watchers(path).collect();
+            for w in watchers {
+                ctx.send_value(
+                    w,
+                    size,
+                    ZeusMsg::Notify {
+                        write: current.clone(),
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -78,21 +114,39 @@ impl Actor for ObserverActor {
         };
         match *msg {
             ZeusMsg::ObserverUpdate { write } => {
-                // Detect a gap within an epoch and request the missing tail
-                // before applying (jitter can reorder messages).
-                let last = self.store.last_applied();
-                if write.zxid.epoch == last.epoch && write.zxid.counter > last.counter + 1 {
+                let z = write.zxid;
+                if self.is_next(z) {
+                    self.contig = z;
+                } else if z > self.contig {
+                    // A gap: a counter jump within the epoch, or an epoch
+                    // boundary we cannot locally account for (how much of
+                    // the previous epoch's tail did we miss?). Either way,
+                    // request the missing range from the cursor; the write
+                    // itself is still applied below so reads stay fresh.
+                    ctx.metrics().incr("zeus.observer_gap_resyncs", 1);
                     self.sync(ctx);
                 }
                 let path = write.path.clone();
                 if self.store.apply(write) {
-                    let current = self.store.get(&path).expect("just applied").clone();
-                    let size = current.wire_size();
-                    let watchers: Vec<NodeId> = self.watches.watchers(&path).collect();
-                    for w in watchers {
-                        ctx.send_value(w, size, ZeusMsg::Notify { write: current.clone() });
-                    }
+                    self.notify_watchers(ctx, &path);
                     ctx.metrics().incr("zeus.observer_applied", 1);
+                }
+            }
+            ZeusMsg::SyncReply { writes, upto } => {
+                // Atomic catch-up from the leader: absorb may repair holes
+                // behind `last_applied`, so notify watchers of every path
+                // whose materialized value actually changed.
+                let mut changed: Vec<String> = Vec::new();
+                for w in writes {
+                    let path = w.path.clone();
+                    if self.store.absorb(w) {
+                        changed.push(path);
+                    }
+                }
+                self.store.fast_forward(upto);
+                self.contig = self.contig.max(upto);
+                for path in changed {
+                    self.notify_watchers(ctx, &path);
                 }
             }
             ZeusMsg::Subscribe { path, have } => {

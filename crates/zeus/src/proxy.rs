@@ -12,14 +12,15 @@
 //! crashes in the simulation (a crash stops message processing but does not
 //! clear state), so the availability property is directly testable.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::seq::SliceRandom;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
 
 use crate::types::{Write, ZeusMsg, Zxid};
 
-const TIMER_HEALTHCHECK: u64 = 1;
+// Healthcheck timers are tagged with a generation counter so a stale timer
+// chain from before a crash cannot race the one armed by `on_recover`.
 
 /// The proxy's persistent on-disk cache: `path → last seen write`.
 #[derive(Debug, Clone, Default)]
@@ -59,6 +60,11 @@ impl DiskCache {
     pub fn version(&self, path: &str) -> Zxid {
         self.entries.get(path).map(|w| w.zxid).unwrap_or(Zxid::ZERO)
     }
+
+    /// Iterates over all cached writes (for invariant checking).
+    pub fn entries(&self) -> impl Iterator<Item = &Write> {
+        self.entries.values()
+    }
 }
 
 /// Local commands posted to a proxy by the application/driver layer.
@@ -76,9 +82,20 @@ pub struct ProxyActor {
     cluster_observers: Vec<NodeId>,
     current: Option<NodeId>,
     cache: DiskCache,
-    subscriptions: HashSet<String>,
+    // Ordered so `resubscribe` sends in a stable order — hash-order
+    // iteration would break deterministic seeded replay.
+    subscriptions: BTreeSet<String>,
     pong_seen: bool,
+    /// Base healthcheck period (the interval while the connection is
+    /// healthy, and the starting point for backoff).
     healthcheck: SimDuration,
+    /// Current healthcheck delay: doubles on every failed check up to
+    /// `max_backoff`, resets to `healthcheck` on a successful pong.
+    backoff: SimDuration,
+    max_backoff: SimDuration,
+    timer_gen: u64,
+    /// Healthy checks since the last anti-entropy re-subscribe.
+    checks_since_resub: u32,
     /// Name under which propagation latency samples are recorded.
     latency_metric: &'static str,
 }
@@ -94,6 +111,10 @@ impl ProxyActor {
             subscriptions: subscriptions.into_iter().collect(),
             pong_seen: true,
             healthcheck: SimDuration::from_millis(500),
+            backoff: SimDuration::from_millis(500),
+            max_backoff: SimDuration::from_secs(8),
+            timer_gen: 0,
+            checks_since_resub: 0,
             latency_metric: "zeus.propagation_s",
         }
     }
@@ -121,6 +142,12 @@ impl ProxyActor {
         self.current
     }
 
+    /// The delay before the next healthcheck (grows under repeated
+    /// failures). Exposed for tests.
+    pub fn current_backoff(&self) -> SimDuration {
+        self.backoff
+    }
+
     fn pick_observer(&mut self, ctx: &mut Ctx<'_>) {
         let previous = self.current;
         let choices: Vec<NodeId> = self
@@ -129,24 +156,42 @@ impl ProxyActor {
             .copied()
             .filter(|o| Some(*o) != previous)
             .collect();
-        self.current = choices.choose(ctx.rng()).copied().or(previous);
-        if let Some(obs) = self.current {
-            for path in self.subscriptions.clone() {
-                let have = self.cache.version(&path);
-                ctx.send_value(
-                    obs,
-                    (path.len() + 64) as u64,
-                    ZeusMsg::Subscribe { path, have },
-                );
+        match choices.choose(ctx.rng()).copied() {
+            Some(obs) => self.current = Some(obs),
+            None => {
+                // No alternative observer exists. Keep (re)trying the only
+                // one we have — the backoff timer keeps the retry rate
+                // bounded — but make the exhaustion observable instead of
+                // silently pretending we failed over.
+                ctx.metrics().incr("zeus.proxy_failover_exhausted", 1);
+                self.current = previous.or_else(|| self.cluster_observers.first().copied());
             }
         }
+        self.resubscribe(ctx);
+    }
+
+    /// (Re)sends every subscription with the cached versions. The observer
+    /// replies only where it has something newer, so this doubles as
+    /// proxy-tier anti-entropy: a `Notify` lost to a drop window is
+    /// repaired by the next re-subscribe.
+    fn resubscribe(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(obs) = self.current else { return };
+        for path in self.subscriptions.clone() {
+            let have = self.cache.version(&path);
+            ctx.send_value(
+                obs,
+                (path.len() + 64) as u64,
+                ZeusMsg::Subscribe { path, have },
+            );
+        }
+        self.checks_since_resub = 0;
     }
 }
 
 impl Actor for ProxyActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.pick_observer(ctx);
-        ctx.set_timer(self.healthcheck, TIMER_HEALTHCHECK);
+        ctx.set_timer(self.backoff, self.timer_gen);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
@@ -188,26 +233,40 @@ impl Actor for ProxyActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
-        if tag != TIMER_HEALTHCHECK {
+        if tag != self.timer_gen {
             return;
         }
         if !self.pong_seen {
             // Observer is unresponsive: reconnect to another one and
-            // re-subscribe with the cached versions.
+            // re-subscribe with the cached versions. Back off exponentially
+            // so a cluster-wide observer outage does not turn every proxy
+            // into a 2 Hz retry storm against whatever recovers first.
             ctx.metrics().incr("zeus.proxy_failovers", 1);
             self.pick_observer(ctx);
+            self.backoff = (self.backoff * 2).min(self.max_backoff);
+        } else {
+            self.backoff = self.healthcheck;
+            self.checks_since_resub += 1;
+            if self.checks_since_resub >= 4 {
+                self.resubscribe(ctx);
+            }
         }
         self.pong_seen = false;
         if let Some(obs) = self.current {
             ctx.send_value(obs, 16, ZeusMsg::ProxyPing);
         }
-        ctx.set_timer(self.healthcheck, TIMER_HEALTHCHECK);
+        ctx.set_timer(self.backoff, self.timer_gen);
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
         // The disk cache survived the crash; reconnect and resync deltas.
+        // A timer armed before the crash could still be in flight, so start
+        // a new timer generation and let the old chain die.
+        self.timer_gen += 1;
+        self.backoff = self.healthcheck;
+        self.pong_seen = true;
         self.pick_observer(ctx);
-        ctx.set_timer(self.healthcheck, TIMER_HEALTHCHECK);
+        ctx.set_timer(self.backoff, self.timer_gen);
     }
 }
 
@@ -232,7 +291,13 @@ mod tests {
         assert!(c.put(w(2, "a", "v2")));
         assert!(!c.put(w(1, "a", "v1")), "stale write ignored");
         assert_eq!(&c.get("a").unwrap().data[..], b"v2");
-        assert_eq!(c.version("a"), Zxid { epoch: 1, counter: 2 });
+        assert_eq!(
+            c.version("a"),
+            Zxid {
+                epoch: 1,
+                counter: 2
+            }
+        );
         assert_eq!(c.version("missing"), Zxid::ZERO);
         assert_eq!(c.len(), 1);
     }

@@ -57,9 +57,9 @@ impl PullMsg {
                 .map(|(p, _)| p.len() as u64 + 12)
                 .sum::<u64>()
                 .max(16),
-            PullMsg::PollReply { changed } =>
-
-                changed.iter().map(Write::wire_size).sum::<u64>().max(16),
+            PullMsg::PollReply { changed } => {
+                changed.iter().map(Write::wire_size).sum::<u64>().max(16)
+            }
         }
     }
 }
@@ -112,10 +112,7 @@ impl Actor for PullServerActor {
                 let changed: Vec<Write> = interests
                     .iter()
                     .filter_map(|(path, have)| {
-                        self.configs
-                            .get(path)
-                            .filter(|w| w.zxid > *have)
-                            .cloned()
+                        self.configs.get(path).filter(|w| w.zxid > *have).cloned()
                     })
                     .collect();
                 if changed.is_empty() {

@@ -6,7 +6,7 @@
 //! they can be unit- and property-tested without a simulator, then embedded
 //! in observer/proxy actors.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use simnet::NodeId;
 
@@ -19,6 +19,11 @@ pub struct ConfigStore {
     last_applied: Zxid,
     log: BTreeMap<Zxid, Write>,
     log_cap: usize,
+    /// Zxids in the order `apply` accepted them, capped at `log_cap`.
+    /// Chaos invariants assert this is strictly increasing at every
+    /// replica — the store enforces it locally, but the trace makes an
+    /// out-of-order application visible instead of silently swallowed.
+    applied_trace: VecDeque<Zxid>,
 }
 
 impl ConfigStore {
@@ -44,8 +49,39 @@ impl ConfigStore {
             let oldest = *self.log.keys().next().expect("nonempty");
             self.log.remove(&oldest);
         }
+        self.applied_trace.push_back(write.zxid);
+        if self.applied_trace.len() > self.log_cap {
+            self.applied_trace.pop_front();
+        }
         self.data.insert(write.path.clone(), write);
         true
+    }
+
+    /// Absorbs a write from a sync reply, which may sit *behind*
+    /// `last_applied` (repairing a hole left by a dropped message). The
+    /// per-path newest-wins rule keeps this idempotent and regression-free;
+    /// `last_applied` and the application trace are untouched — callers
+    /// follow a batch of absorbs with [`ConfigStore::fast_forward`].
+    /// Returns whether the path's materialized value changed.
+    pub fn absorb(&mut self, write: Write) -> bool {
+        self.log.insert(write.zxid, write.clone());
+        if self.log.len() > self.log_cap {
+            let oldest = *self.log.keys().next().expect("nonempty");
+            self.log.remove(&oldest);
+        }
+        match self.data.get(&write.path) {
+            Some(existing) if existing.zxid >= write.zxid => false,
+            _ => {
+                self.data.insert(write.path.clone(), write);
+                true
+            }
+        }
+    }
+
+    /// Advances `last_applied` to `upto` (never backwards) after a sync
+    /// reply asserted completeness up to that point.
+    pub fn fast_forward(&mut self, upto: Zxid) {
+        self.last_applied = self.last_applied.max(upto);
     }
 
     /// The latest write for `path`, if any.
@@ -77,10 +113,7 @@ impl ConfigStore {
         }
         Some(
             self.log
-                .range((
-                    std::ops::Bound::Excluded(from),
-                    std::ops::Bound::Unbounded,
-                ))
+                .range((std::ops::Bound::Excluded(from), std::ops::Bound::Unbounded))
                 .map(|(_, w)| w.clone())
                 .collect(),
         )
@@ -93,16 +126,36 @@ impl ConfigStore {
         all
     }
 
+    /// Iterates over the latest write of every path (no cloning).
+    pub fn entries(&self) -> impl Iterator<Item = &Write> {
+        self.data.values()
+    }
+
+    /// Iterates over the retained log in zxid order (no cloning).
+    pub fn log_entries(&self) -> impl Iterator<Item = (&Zxid, &Write)> {
+        self.log.iter()
+    }
+
+    /// The zxids `apply` accepted, in application order (capped).
+    pub fn applied_trace(&self) -> impl Iterator<Item = Zxid> + '_ {
+        self.applied_trace.iter().copied()
+    }
+
     fn log_floor(&self) -> Zxid {
         self.log.keys().next().copied().unwrap_or(Zxid::ZERO)
     }
 }
 
 /// Which subscribers watch which paths.
+///
+/// Ordered collections, deliberately: watchers are iterated when fanning
+/// out notifications, and hash-order iteration would make message order —
+/// and therefore whole simulations — vary from process to process,
+/// breaking seeded chaos-scenario replay.
 #[derive(Debug, Clone, Default)]
 pub struct WatchTable {
-    by_path: HashMap<String, HashSet<NodeId>>,
-    by_node: HashMap<NodeId, HashSet<String>>,
+    by_path: BTreeMap<String, BTreeSet<NodeId>>,
+    by_node: BTreeMap<NodeId, BTreeSet<String>>,
 }
 
 impl WatchTable {
@@ -147,7 +200,7 @@ impl WatchTable {
 
     /// Number of (node, path) watch registrations.
     pub fn len(&self) -> usize {
-        self.by_node.values().map(HashSet::len).sum()
+        self.by_node.values().map(BTreeSet::len).sum()
     }
 
     /// Returns whether no watches are registered.
@@ -179,7 +232,13 @@ mod tests {
         assert!(s.apply(w(1, 3, "a", "3")));
         assert_eq!(&s.get("a").unwrap().data[..], b"3");
         assert_eq!(&s.get("b").unwrap().data[..], b"2");
-        assert_eq!(s.last_applied(), Zxid { epoch: 1, counter: 3 });
+        assert_eq!(
+            s.last_applied(),
+            Zxid {
+                epoch: 1,
+                counter: 3
+            }
+        );
         assert_eq!(s.len(), 2);
     }
 
@@ -192,18 +251,73 @@ mod tests {
     }
 
     #[test]
+    fn absorb_repairs_hole_behind_last_applied() {
+        let mut s = ConfigStore::new(100);
+        s.apply(w(1, 1, "a", "1"));
+        // A dropped message left a hole at (1,2); apply moved past it.
+        s.apply(w(1, 3, "c", "3"));
+        assert!(s.get("b").is_none());
+        // apply() refuses the old zxid, absorb() repairs it.
+        assert!(!s.apply(w(1, 2, "b", "2")));
+        assert!(s.absorb(w(1, 2, "b", "2")));
+        assert_eq!(&s.get("b").unwrap().data[..], b"2");
+        // Newest-wins: absorbing an older write for a fresher path is a
+        // no-op on the materialized value.
+        assert!(!s.absorb(w(1, 2, "c", "stale")));
+        assert_eq!(&s.get("c").unwrap().data[..], b"3");
+        // absorb never moved last_applied; fast_forward never regresses it.
+        assert_eq!(
+            s.last_applied(),
+            Zxid {
+                epoch: 1,
+                counter: 3
+            }
+        );
+        s.fast_forward(Zxid {
+            epoch: 1,
+            counter: 4,
+        });
+        assert_eq!(
+            s.last_applied(),
+            Zxid {
+                epoch: 1,
+                counter: 4
+            }
+        );
+        s.fast_forward(Zxid {
+            epoch: 1,
+            counter: 2,
+        });
+        assert_eq!(
+            s.last_applied(),
+            Zxid {
+                epoch: 1,
+                counter: 4
+            }
+        );
+    }
+
+    #[test]
     fn writes_after_returns_tail() {
         let mut s = ConfigStore::new(100);
         for i in 1..=5 {
             s.apply(w(1, i, &format!("p{i}"), "x"));
         }
-        let tail = s.writes_after(Zxid { epoch: 1, counter: 3 }).unwrap();
+        let tail = s
+            .writes_after(Zxid {
+                epoch: 1,
+                counter: 3,
+            })
+            .unwrap();
         assert_eq!(tail.len(), 2);
         assert_eq!(tail[0].zxid.counter, 4);
         assert_eq!(tail[1].zxid.counter, 5);
         // Fully caught up → empty tail.
         assert!(s
-            .writes_after(Zxid { epoch: 1, counter: 5 })
+            .writes_after(Zxid {
+                epoch: 1,
+                counter: 5
+            })
             .unwrap()
             .is_empty());
     }
@@ -216,7 +330,12 @@ mod tests {
         }
         // Asking for history older than the retained log fails over to a
         // snapshot.
-        assert!(s.writes_after(Zxid { epoch: 1, counter: 2 }).is_none());
+        assert!(s
+            .writes_after(Zxid {
+                epoch: 1,
+                counter: 2
+            })
+            .is_none());
         let snap = s.snapshot();
         assert_eq!(snap.len(), 10);
         assert!(snap.windows(2).all(|p| p[0].zxid < p[1].zxid));

@@ -125,6 +125,21 @@ pub enum ZeusMsg {
         /// The committed write.
         write: Write,
     },
+    /// Leader → syncing replica: the committed tail (or snapshot) answering
+    /// an [`ZeusMsg::ObserverSync`], as one atomic unit.
+    ///
+    /// Like ZooKeeper's DIFF/SNAP sync, the reply is all-or-nothing: either
+    /// the whole batch arrives or none of it does. Sending it as individual
+    /// updates would let the network drop the middle of a catch-up stream,
+    /// leaving the replica with a hole *behind* its sync cursor that no
+    /// later request would ever cover.
+    SyncReply {
+        /// Missing committed writes in zxid order.
+        writes: Vec<Write>,
+        /// The leader's applied head: after absorbing `writes`, the replica
+        /// provably holds every committed write up to this point.
+        upto: Zxid,
+    },
     /// Proxy → observer: subscribe to a path with a watch.
     Subscribe {
         /// Path to watch.
@@ -149,11 +164,23 @@ mod tests {
 
     #[test]
     fn zxid_ordering_epoch_dominates() {
-        let a = Zxid { epoch: 1, counter: 99 };
-        let b = Zxid { epoch: 2, counter: 0 };
+        let a = Zxid {
+            epoch: 1,
+            counter: 99,
+        };
+        let b = Zxid {
+            epoch: 2,
+            counter: 0,
+        };
         assert!(a < b);
         assert!(Zxid::ZERO < a);
-        assert_eq!(a.next(), Zxid { epoch: 1, counter: 100 });
+        assert_eq!(
+            a.next(),
+            Zxid {
+                epoch: 1,
+                counter: 100
+            }
+        );
     }
 
     #[test]

@@ -107,7 +107,12 @@ fn crashed_follower_catches_up_on_recovery() {
     sim.crash(victim);
     let t = sim.now();
     for i in 0..5u32 {
-        zeus.write_at(&mut sim, t, &format!("cfg/k{i}"), format!("v{i}").into_bytes());
+        zeus.write_at(
+            &mut sim,
+            t,
+            &format!("cfg/k{i}"),
+            format!("v{i}").into_bytes(),
+        );
     }
     sim.run_for(SimDuration::from_secs(2));
     sim.recover(victim);
@@ -151,7 +156,10 @@ fn disk_cache_survives_proxy_crash() {
     // Even with the proxy process down, the application reads the on-disk
     // cache directly (§3.4's availability fallback).
     let proxy: &ProxyActor = sim.actor(proxy_node).unwrap();
-    assert_eq!(&proxy.disk_cache().get("cfg/d").unwrap().data[..], b"cached");
+    assert_eq!(
+        &proxy.disk_cache().get("cfg/d").unwrap().data[..],
+        b"cached"
+    );
 }
 
 #[test]
@@ -220,7 +228,11 @@ fn pull_baseline_polls_and_converges() {
     );
     // Staleness is bounded by the poll interval plus network time.
     let s = sim.metrics().summary("pull.staleness_s").unwrap();
-    assert!(s.max <= 2.5, "staleness bounded by poll interval: {}", s.max);
+    assert!(
+        s.max <= 2.5,
+        "staleness bounded by poll interval: {}",
+        s.max
+    );
 }
 
 #[test]
@@ -268,7 +280,11 @@ fn minority_partition_stalls_then_catches_up() {
             })
             .count()
     };
-    assert_eq!(have(&sim, &majority), majority.len(), "majority side converged");
+    assert_eq!(
+        have(&sim, &majority),
+        majority.len(),
+        "majority side converged"
+    );
     assert_eq!(have(&sim, &minority), 0, "partitioned region is stale");
 
     // Heal: the minority observers resync from the leader and push to
@@ -277,6 +293,247 @@ fn minority_partition_stalls_then_catches_up() {
     sim.heal(RegionId(1), r2);
     sim.run_for(SimDuration::from_secs(10));
     assert_eq!(have(&sim, &minority), minority.len(), "minority caught up");
+}
+
+/// The up ensemble member claiming leadership with the highest epoch.
+fn max_epoch_leader(sim: &Sim, ensemble: &[NodeId]) -> NodeId {
+    ensemble
+        .iter()
+        .copied()
+        .filter(|&n| sim.is_up(n))
+        .filter(|&n| {
+            sim.actor::<EnsembleActor>(n)
+                .map(|a| a.is_leader())
+                .unwrap_or(false)
+        })
+        .max_by_key(|&n| sim.actor::<EnsembleActor>(n).unwrap().epoch())
+        .expect("a leader exists")
+}
+
+#[test]
+fn acked_write_survives_leader_crash_mid_propose() {
+    let (mut sim, zeus) = deployment(30, vec!["cfg/ack".into()]);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/ack", &b"acked"[..]);
+    // Long enough for the quorum commit (the acknowledgment), short enough
+    // that distribution to the fleet is still in flight.
+    sim.run_for(SimDuration::from_millis(300));
+    let old_leader = zeus.initial_leader();
+    assert!(
+        sim.actor::<EnsembleActor>(old_leader)
+            .unwrap()
+            .store()
+            .get("cfg/ack")
+            .is_some(),
+        "write must be committed at the leader before the crash"
+    );
+    sim.crash(old_leader);
+    sim.run_for(SimDuration::from_secs(5));
+
+    // The new leader inherited the acknowledged write, and the whole fleet
+    // converged to it despite the mid-distribution crash.
+    let new_leader = max_epoch_leader(&sim, &zeus.ensemble);
+    assert_ne!(new_leader, old_leader);
+    let a: &EnsembleActor = sim.actor(new_leader).unwrap();
+    assert_eq!(&a.store().get("cfg/ack").unwrap().data[..], b"acked");
+    assert_eq!(zeus.coverage(&sim, "cfg/ack", b"acked"), 1.0);
+}
+
+#[test]
+fn proxy_crash_recover_serves_stale_cache_under_partition() {
+    let (mut sim, zeus) = deployment(31, vec!["cfg/stale".into()]);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/stale", &b"v1"[..]);
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(zeus.coverage(&sim, "cfg/stale", b"v1"), 1.0);
+
+    // Cut region 2 off and advance the config on the majority side.
+    let r2 = RegionId(2);
+    sim.partition(RegionId(0), r2);
+    sim.partition(RegionId(1), r2);
+    let topo = sim.topology().clone();
+    let victim = zeus
+        .proxies
+        .iter()
+        .copied()
+        .find(|&p| topo.placement(p).region == r2)
+        .unwrap();
+    let t = sim.now();
+    zeus.write_current(&mut sim, t, "cfg/stale", &b"v2"[..]);
+    sim.run_for(SimDuration::from_secs(1));
+
+    // Crash the partitioned proxy: its on-disk cache keeps serving the
+    // stale-but-available value (§3.4's fallback).
+    sim.crash(victim);
+    sim.run_for(SimDuration::from_secs(1));
+    let proxy: &ProxyActor = sim.actor(victim).unwrap();
+    assert_eq!(
+        &proxy.disk_cache().get("cfg/stale").unwrap().data[..],
+        b"v1"
+    );
+
+    // Recovered but still partitioned: serves the stale value, not nothing.
+    sim.recover(victim);
+    sim.run_for(SimDuration::from_secs(2));
+    let proxy: &ProxyActor = sim.actor(victim).unwrap();
+    assert_eq!(&proxy.read("cfg/stale").unwrap().data[..], b"v1");
+
+    // Healed: converges to the majority's head.
+    sim.heal(RegionId(0), r2);
+    sim.heal(RegionId(1), r2);
+    sim.run_for(SimDuration::from_secs(5));
+    assert_eq!(zeus.coverage(&sim, "cfg/stale", b"v2"), 1.0);
+}
+
+#[test]
+fn sole_observer_crash_exhausts_failover_then_reconnects() {
+    // One observer per cluster: when it crashes, its proxies have no
+    // failover target and must back off instead of spinning.
+    let topo = Topology::symmetric(3, 2, 10);
+    let mut sim = Sim::new(topo, NetConfig::datacenter(), 32);
+    let cfg = DeployConfig {
+        ensemble_size: 5,
+        observers_per_cluster: 1,
+        subscriptions: vec!["cfg/sole".into()],
+        ..DeployConfig::default()
+    };
+    let zeus = ZeusDeployment::install(&mut sim, &cfg);
+    sim.run_for(SimDuration::from_secs(1));
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/sole", &b"v1"[..]);
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(zeus.coverage(&sim, "cfg/sole", b"v1"), 1.0);
+
+    let victim = zeus.observers[0];
+    sim.crash(victim);
+    sim.run_for(SimDuration::from_secs(10));
+    assert!(
+        sim.metrics().counter("zeus.proxy_failover_exhausted") > 0,
+        "orphaned proxies must report exhausted failover"
+    );
+    // Cached reads keep working the whole time.
+    assert_eq!(zeus.coverage(&sim, "cfg/sole", b"v1"), 1.0);
+
+    // Once the observer returns, backed-off proxies reconnect (within the
+    // 8s backoff cap) and new writes flow again.
+    sim.recover(victim);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/sole", &b"v2"[..]);
+    sim.run_for(SimDuration::from_secs(12));
+    assert_eq!(zeus.coverage(&sim, "cfg/sole", b"v2"), 1.0);
+}
+
+#[test]
+fn dropped_updates_heal_via_retransmit_and_gap_resync() {
+    let (mut sim, zeus) = deployment(33, vec!["cfg/loss".into()]);
+    // A lossy network drops 30% of messages: ensemble appends/acks and
+    // observer pushes all take hits.
+    sim.set_link_faults(LinkFaults {
+        drop_prob: 0.3,
+        delay_prob: 0.0,
+        max_extra_delay: SimDuration::ZERO,
+    });
+    let t = sim.now();
+    for i in 0..15u64 {
+        zeus.write_current(
+            &mut sim,
+            SimTime(t.0 + i * 200_000),
+            "cfg/loss",
+            format!("v{i}").into_bytes(),
+        );
+    }
+    sim.run_for(SimDuration::from_secs(5));
+    sim.clear_link_faults();
+    sim.run_for(SimDuration::from_secs(10));
+
+    // The leader had to retransmit stalled appends, observers had to detect
+    // push gaps and resync — and the final value still reached everyone.
+    assert!(sim.metrics().counter("zeus.append_retransmits") > 0);
+    assert!(sim.metrics().counter("zeus.observer_gap_resyncs") > 0);
+    assert_eq!(zeus.coverage(&sim, "cfg/loss", b"v14"), 1.0);
+}
+
+#[test]
+fn rejoining_partitioned_member_cannot_wedge_the_leader() {
+    // The sole region-2 member sits out a partition, inflating its promised
+    // epoch with doomed candidacies. On rejoin its high-epoch ElectMe would
+    // wedge a leader that silently ignored it (the classic disruptive-
+    // server livelock); instead the leader steps down and the next election
+    // outbids the disruptor.
+    let (mut sim, zeus) = deployment(34, vec!["cfg/rejoin".into()]);
+    let r2 = RegionId(2);
+    sim.partition(RegionId(0), r2);
+    sim.partition(RegionId(1), r2);
+    let t = sim.now();
+    for i in 0..10u64 {
+        zeus.write_current(
+            &mut sim,
+            SimTime(t.0 + i * 400_000),
+            "cfg/rejoin",
+            format!("v{i}").into_bytes(),
+        );
+    }
+    sim.run_for(SimDuration::from_secs(6));
+    sim.heal(RegionId(0), r2);
+    sim.heal(RegionId(1), r2);
+    sim.run_for(SimDuration::from_secs(8));
+
+    assert!(
+        sim.metrics().counter("zeus.leader_stepdowns") >= 1,
+        "the refused high-epoch candidacy must force a stepdown"
+    );
+    // The system settled on a working leader: a post-heal write commits
+    // fleet-wide.
+    let t = sim.now();
+    zeus.write_current(&mut sim, t, "cfg/rejoin", &b"post-heal"[..]);
+    sim.run_for(SimDuration::from_secs(3));
+    assert_eq!(zeus.coverage(&sim, "cfg/rejoin", b"post-heal"), 1.0);
+}
+
+#[test]
+fn uncommitted_minority_proposals_truncated_on_rejoin() {
+    let (mut sim, zeus) = deployment(35, vec!["cfg/trunc".into()]);
+    let t = sim.now();
+    zeus.write_at(&mut sim, t, "cfg/trunc", &b"base"[..]);
+    sim.run_for(SimDuration::from_secs(2));
+
+    // Cut the leader's region (2 of 5 members) away from the quorum side,
+    // then feed the stranded leader proposals it can never commit.
+    let r0 = RegionId(0);
+    sim.partition(r0, RegionId(1));
+    sim.partition(r0, RegionId(2));
+    let old_leader = zeus.initial_leader();
+    let t = sim.now();
+    for i in 0..3u32 {
+        let msg = zeus::ZeusMsg::Propose {
+            path: "cfg/trunc".into(),
+            data: bytes::Bytes::from(format!("minority{i}").into_bytes()),
+            origin: t,
+        };
+        sim.post(t, old_leader, old_leader, Box::new(msg));
+    }
+    // The majority elects a fresh leader and commits a competing value.
+    sim.run_for(SimDuration::from_secs(3));
+    let majority_leader = max_epoch_leader(&sim, &zeus.ensemble);
+    assert_ne!(majority_leader, old_leader);
+    let t = sim.now();
+    let msg = zeus::ZeusMsg::Propose {
+        path: "cfg/trunc".into(),
+        data: bytes::Bytes::from_static(b"majority"),
+        origin: t,
+    };
+    sim.post(t, majority_leader, majority_leader, Box::new(msg));
+    sim.run_for(SimDuration::from_secs(2));
+
+    // On heal the deposed leader must drop its uncommitted suffix and adopt
+    // the majority history — no divergence, no resurrected writes.
+    sim.heal(r0, RegionId(1));
+    sim.heal(r0, RegionId(2));
+    sim.run_for(SimDuration::from_secs(5));
+    assert!(sim.metrics().counter("zeus.truncated_uncommitted") > 0);
+    let a: &EnsembleActor = sim.actor(old_leader).unwrap();
+    assert_eq!(&a.store().get("cfg/trunc").unwrap().data[..], b"majority");
+    assert_eq!(zeus.coverage(&sim, "cfg/trunc", b"majority"), 1.0);
 }
 
 #[test]

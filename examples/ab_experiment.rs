@@ -76,7 +76,10 @@ fn main() {
         );
     }
     let control = results.stats(None).unwrap();
-    println!("control      echo=0.5  n={:5}  mean quality {:.3}", control.n, control.mean);
+    println!(
+        "control      echo=0.5  n={:5}  mean quality {:.3}",
+        control.n, control.mean
+    );
     let (winner, z) = results.winner().unwrap();
     println!(
         "\nwinner: {} (z = {z:.1} vs control)",
@@ -88,7 +91,11 @@ fn main() {
     // Configerator" (§5) — one translation-layer update, zero app changes.
     let best = experiment.groups[winner].params["VOIP_ECHO"].clone();
     let mut translation = TranslationLayer::new();
-    translation.bind("MessengerVoip", "VOIP_ECHO", Binding::Constant(best.clone()));
+    translation.bind(
+        "MessengerVoip",
+        "VOIP_ECHO",
+        Binding::Constant(best.clone()),
+    );
     server.update_translation(translation);
 
     let mut legacy_device = MobileConfigClient::new(UserContext::with_id(7), schema);
@@ -97,5 +104,8 @@ fn main() {
         "after remap, every device (old app builds included) reads VOIP_ECHO = {:?}",
         legacy_device.get_float("VOIP_ECHO")
     );
-    assert_eq!(ParamValue::Float(legacy_device.get_float("VOIP_ECHO")), best);
+    assert_eq!(
+        ParamValue::Float(legacy_device.get_float("VOIP_ECHO")),
+        best
+    );
 }

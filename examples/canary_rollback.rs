@@ -56,14 +56,29 @@ fn main() {
     stack.set_default_canary(CanarySpec::standard(2000));
 
     // Baseline config ships cleanly.
-    let id = stack.propose("alice", "baseline", change("export_if_last({\"mode\": \"normal\"})"));
-    stack.ship(id, Some(&mut fleet_with_incidents(1))).expect("baseline ships");
-    println!("baseline shipped: {:?}\n", stack.master().artifact("frontend/mode").is_some());
+    let id = stack.propose(
+        "alice",
+        "baseline",
+        change("export_if_last({\"mode\": \"normal\"})"),
+    );
+    stack
+        .ship(id, Some(&mut fleet_with_incidents(1)))
+        .expect("baseline ships");
+    println!(
+        "baseline shipped: {:?}\n",
+        stack.master().artifact("frontend/mode").is_some()
+    );
 
     let scenarios = [
         ("log spew (§6.4 incident 1)", "{\"mode\": \"old_schema\"}"),
-        ("backend overload at scale (§6.4 incident 3)", "{\"mode\": \"rare_path\"}"),
-        ("valid config, latent code bug (§6.4 type III)", "{\"mode\": \"new_code_path\"}"),
+        (
+            "backend overload at scale (§6.4 incident 3)",
+            "{\"mode\": \"rare_path\"}",
+        ),
+        (
+            "valid config, latent code bug (§6.4 type III)",
+            "{\"mode\": \"new_code_path\"}",
+        ),
     ];
     for (label, cfg) in scenarios {
         let id = stack.propose("bob", label, change(&format!("export_if_last({cfg})")));
@@ -78,7 +93,12 @@ fn main() {
                     }
                 }
                 // Rollback is implicit: the change never landed.
-                assert!(stack.master().artifact("frontend/mode").unwrap().json.contains("normal"));
+                assert!(stack
+                    .master()
+                    .artifact("frontend/mode")
+                    .unwrap()
+                    .json
+                    .contains("normal"));
                 println!("  production still runs the old config.\n");
             }
             other => panic!("expected canary block for {label}: {other:?}"),

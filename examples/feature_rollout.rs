@@ -15,9 +15,8 @@ fn gk_config(rules: &str) -> BTreeMap<String, Option<String>> {
     // The Gatekeeper project's control logic "is actually stored as a
     // config that can be changed live" (§4) — here authored as CDSL that
     // compiles to the project JSON the runtime consumes.
-    let src = format!(
-        "export_if_last({{\n    \"name\": \"ProjectX\",\n    \"rules\": [{rules}]\n}})"
-    );
+    let src =
+        format!("export_if_last({{\n    \"name\": \"ProjectX\",\n    \"rules\": [{rules}]\n}})");
     let mut ch = BTreeMap::new();
     ch.insert("gk/projectx.cconf".to_string(), Some(src));
     ch

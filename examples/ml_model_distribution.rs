@@ -20,11 +20,21 @@ fn main() {
     let pv = PvDeployment::install(&mut sim, PeerPolicy::LocalityAware, 4);
 
     // Publish model v1: 256 MB in 4 MB pieces.
-    let meta = pv.publish(&mut sim, "feed/ranking_model", 1, 256 << 20, 4 << 20, SimTime::ZERO);
+    let meta = pv.publish(
+        &mut sim,
+        "feed/ranking_model",
+        1,
+        256 << 20,
+        4 << 20,
+        SimTime::ZERO,
+    );
     sim.run_for(SimDuration::from_secs(600));
 
     let done = pv.completion(&sim, &meta.id);
-    let s = sim.metrics().summary("pv.fetch_complete_s").expect("fetches completed");
+    let s = sim
+        .metrics()
+        .summary("pv.fetch_complete_s")
+        .expect("fetches completed");
     println!("model v1 (256 MB) → {} servers", pv.agents.len());
     println!("  completion: {:.1}%", done * 100.0);
     println!("  time to last server: {:.1}s (paper bound: < 240s)", s.max);

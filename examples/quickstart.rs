@@ -68,7 +68,14 @@ fn main() {
     let id = stack.propose("alice", "add the cache job config", changes);
     println!(
         "sandcastle passed: {:?}",
-        stack.phab.review(id).unwrap().report.as_ref().unwrap().passed
+        stack
+            .phab
+            .review(id)
+            .unwrap()
+            .report
+            .as_ref()
+            .unwrap()
+            .passed
     );
     stack.approve(id, "bob").expect("review approval");
     let mut fleet = SyntheticFleet::new(4000, 42);
@@ -77,7 +84,10 @@ fn main() {
     println!("distributed configs: {:?}", out.distributed);
 
     // The subscribed application got the compiled JSON.
-    println!("\napplication sees:\n{}", app_config.borrow().as_ref().unwrap());
+    println!(
+        "\napplication sees:\n{}",
+        app_config.borrow().as_ref().unwrap()
+    );
 
     // A validator-violating change is rejected before anything lands.
     let mut bad = BTreeMap::new();
@@ -93,6 +103,9 @@ fn main() {
     let report = review.report.as_ref().unwrap();
     println!("\nbad change sandcastle verdict: passed={}", report.passed);
     println!("  failure: {}", report.failures[0]);
-    assert!(stack.approve(id, "bob").is_err(), "cannot approve failing tests");
+    assert!(
+        stack.approve(id, "bob").is_err(),
+        "cannot approve failing tests"
+    );
     println!("review system refuses approval while tests fail — the §3.3 safety net.");
 }

@@ -27,18 +27,27 @@ fn main() {
     stack.pump();
     for step in 1..=3 {
         shifter
-            .update_raw(stack.master_mut(), "traffic/weights.json", "rebalance", |cur| {
-                let cur = cur.expect("weights exist");
-                let atn = 50 - step * 15;
-                println!("shift {step}: {cur} → atn={atn}");
-                format!("{{\"atn\": {atn}, \"prn\": {}}}", 100 - atn)
-            })
+            .update_raw(
+                stack.master_mut(),
+                "traffic/weights.json",
+                "rebalance",
+                |cur| {
+                    let cur = cur.expect("weights exist");
+                    let atn = 50 - step * 15;
+                    println!("shift {step}: {cur} → atn={atn}");
+                    format!("{{\"atn\": {atn}, \"prn\": {}}}", 100 - atn)
+                },
+            )
             .expect("shift");
         stack.pump();
     }
     println!(
         "final weights at master: {}",
-        stack.master().artifact("traffic/weights.json").unwrap().json
+        stack
+            .master()
+            .artifact("traffic/weights.json")
+            .unwrap()
+            .json
     );
 
     // Part 2: the data plane. How fast does an emergency drain reach every
@@ -60,7 +69,10 @@ fn main() {
     sim.run_for(SimDuration::from_secs(5));
 
     let coverage = zeus.coverage(&sim, "traffic/weights.json", drain.as_bytes());
-    let s = sim.metrics().summary("zeus.propagation_s").expect("propagation");
+    let s = sim
+        .metrics()
+        .summary("zeus.propagation_s")
+        .expect("propagation");
     println!(
         "\nemergency drain \"atn → 0\" reached {:.1}% of {} load balancers",
         coverage * 100.0,

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, and the full test suite.
+# Run from anywhere; exits nonzero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+# compat/* carry #![allow(clippy::all)]: they are vendored stand-ins for
+# external crates, not first-party code.
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "all checks passed"

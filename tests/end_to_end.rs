@@ -157,7 +157,16 @@ fn defense_in_depth_layers() {
             "schema \"schemas/svc.schema\"\nexport_if_last(Svc { cluster: \"ghost\" })",
         )]),
     );
-    assert!(!stack.phab.review(id).unwrap().report.as_ref().unwrap().passed);
+    assert!(
+        !stack
+            .phab
+            .review(id)
+            .unwrap()
+            .report
+            .as_ref()
+            .unwrap()
+            .passed
+    );
 
     // Layer 3: the canary.
     let id = stack.propose(
@@ -204,9 +213,19 @@ fn multi_region_failover_with_automation_traffic() {
             assert_eq!(stack.master_region(), 1);
         }
     }
-    assert!(stack.master().artifact("weights.json").unwrap().json.contains('4'));
+    assert!(stack
+        .master()
+        .artifact("weights.json")
+        .unwrap()
+        .json
+        .contains('4'));
     stack.recover_region(0);
-    assert!(stack.region(0).artifact("weights.json").unwrap().json.contains('4'));
+    assert!(stack
+        .region(0)
+        .artifact("weights.json")
+        .unwrap()
+        .json
+        .contains('4'));
 }
 
 /// Sitevars and CDSL interop: a sitevar value produced by the expression
@@ -241,7 +260,10 @@ fn shared_module_ripple_distributes_all_dependents() {
         "seed",
         ch(&[
             ("shared/port.cinc", "PORT = 8089"),
-            ("app.cconf", "import \"shared/port.cinc\"\nexport_if_last({\"port\": PORT})"),
+            (
+                "app.cconf",
+                "import \"shared/port.cinc\"\nexport_if_last({\"port\": PORT})",
+            ),
             (
                 "firewall.cconf",
                 "import \"shared/port.cinc\"\nexport_if_last({\"allow\": [PORT]})",
@@ -254,7 +276,12 @@ fn shared_module_ripple_distributes_all_dependents() {
     let out = stack.ship(id, None).expect("bump");
     assert_eq!(out.report.ripple_recompiles.len(), 2);
     assert_eq!(*count.borrow(), 4, "both dependents redistributed");
-    assert!(stack.master().artifact("firewall").unwrap().json.contains("9090"));
+    assert!(stack
+        .master()
+        .artifact("firewall")
+        .unwrap()
+        .json
+        .contains("9090"));
 }
 
 /// The §8 future-work feature: a dormant config changed in an unusual way
@@ -264,7 +291,10 @@ fn high_risk_updates_are_flagged() {
     let mut stack = Stack::new(1);
     stack.set_policy(no_review());
     // An actively-maintained config with a small circle of authors.
-    for (i, author) in ["ann", "bo", "cy", "ann", "bo", "cy", "ann", "bo"].iter().enumerate() {
+    for (i, author) in ["ann", "bo", "cy", "ann", "bo", "cy", "ann", "bo"]
+        .iter()
+        .enumerate()
+    {
         let id = stack.propose(
             author,
             "tweak",
@@ -273,7 +303,11 @@ fn high_risk_updates_are_flagged() {
         stack.ship(id, None).expect("ship");
     }
     // Routine change by a known author: low risk.
-    let id = stack.propose("ann", "tweak", ch(&[("hot/knob.cconf", "export_if_last({\"v\": 99})")]));
+    let id = stack.propose(
+        "ann",
+        "tweak",
+        ch(&[("hot/knob.cconf", "export_if_last({\"v\": 99})")]),
+    );
     assert!(!stack.risk_of(id).unwrap().is_high_risk());
     stack.ship(id, None).expect("ship");
 
@@ -291,9 +325,18 @@ fn high_risk_updates_are_flagged() {
         .map(|i| format!("x{i} = {i}\n"))
         .chain(std::iter::once("export_if_last(x399)".to_string()))
         .collect();
-    let id = stack.propose("stranger", "big sweep", ch(&[("hot/knob.cconf", &big_change)]));
+    let id = stack.propose(
+        "stranger",
+        "big sweep",
+        ch(&[("hot/knob.cconf", &big_change)]),
+    );
     let risk = stack.risk_of(id).unwrap();
-    assert!(risk.is_high_risk(), "score {}: {:?}", risk.score, risk.signals);
+    assert!(
+        risk.is_high_risk(),
+        "score {}: {:?}",
+        risk.score,
+        risk.signals
+    );
     let names: Vec<&str> = risk.signals.iter().map(|s| s.name).collect();
     assert!(names.contains(&"dormancy"), "{names:?}");
     assert!(names.contains(&"unusual-size"), "{names:?}");
@@ -310,9 +353,9 @@ fn sitevars_compose_with_the_stack() {
     // Setting a sitevar = validating at the shim + committing the raw
     // expression through Configerator.
     let set = |stack: &mut Stack,
-                   shim: &mut sitevars::SitevarStore,
-                   name: &str,
-                   expr: &str|
+               shim: &mut sitevars::SitevarStore,
+               name: &str,
+               expr: &str|
      -> Result<(), String> {
         let out = shim.set(name, expr).map_err(|e| e.to_string())?;
         for w in &out.warnings {
@@ -321,7 +364,12 @@ fn sitevars_compose_with_the_stack() {
         }
         stack
             .master_mut()
-            .commit_raw("sitevar-ui", "update", &format!("sitevars/{name}"), expr.as_bytes().to_vec())
+            .commit_raw(
+                "sitevar-ui",
+                "update",
+                &format!("sitevars/{name}"),
+                expr.as_bytes().to_vec(),
+            )
             .map_err(|e| e.to_string())?;
         stack.pump();
         Ok(())
@@ -340,7 +388,11 @@ fn sitevars_compose_with_the_stack() {
     // A good update lands; the stored artifact is the raw expression.
     set(&mut stack, &mut shim, "upload_limit", "20 * 1024").unwrap();
     assert_eq!(
-        stack.master().artifact("sitevars/upload_limit").unwrap().json,
+        stack
+            .master()
+            .artifact("sitevars/upload_limit")
+            .unwrap()
+            .json,
         "20 * 1024"
     );
     assert_eq!(shim.get("upload_limit").unwrap().to_json(), "20480");
