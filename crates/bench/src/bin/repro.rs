@@ -7,6 +7,10 @@
 //! repro <name> [--full]      # run one experiment (e.g. `repro fig13`)
 //! repro all [--full]         # run everything in order
 //! repro chaos [--seed <n>]   # chaos campaign, or replay one seed verbosely
+//! repro trace [--seed <n>] [--chaos]
+//!                            # per-commit propagation waterfalls
+//! repro metrics [--seed <n>] [--chaos]
+//!                            # Prometheus-format metrics dump
 //! ```
 //!
 //! `--full` uses the larger scale quoted in `EXPERIMENTS.md`; the default
@@ -53,6 +57,27 @@ fn main() {
             println!("{}", bench::chaos_exp::replay(seed));
             return;
         }
+    }
+
+    let chaos_flag = args.iter().any(|a| a == "--chaos");
+    match names.first().copied() {
+        Some("trace") => {
+            banner("trace");
+            println!("{}", bench::trace_exp::trace(seed.unwrap_or(1), chaos_flag));
+            return;
+        }
+        Some("metrics") => {
+            // No banner: the output is a machine-diffable metrics snapshot
+            // (scripts/check.sh compares it byte-for-byte against goldens).
+            let seed = seed.unwrap_or(1);
+            if chaos_flag {
+                print!("{}", bench::chaos_exp::export_metrics(seed));
+            } else {
+                print!("{}", bench::trace_exp::metrics(seed, false));
+            }
+            return;
+        }
+        _ => {}
     }
 
     match names.first().copied() {

@@ -44,6 +44,9 @@ pub struct ScenarioOutcome {
     pub checkpoints: usize,
     /// Counters worth reporting (commits, elections, failovers, ...).
     pub counters: Vec<(&'static str, u64)>,
+    /// End-to-end propagation percentiles from the `zeus.propagation_s`
+    /// histogram, preformatted; `None` when no proxy applied any write.
+    pub propagation: Option<String>,
 }
 
 impl ScenarioOutcome {
@@ -55,10 +58,18 @@ impl ScenarioOutcome {
 
 /// Runs one seeded scenario to completion.
 pub fn run_scenario(seed: u64) -> ScenarioOutcome {
-    run_scenario_impl(seed, false)
+    run_scenario_impl(seed, false).0
 }
 
-fn run_scenario_impl(seed: u64, verbose: bool) -> ScenarioOutcome {
+/// Runs one seeded scenario and exports every counter and histogram in
+/// Prometheus text exposition format. Byte-deterministic per seed — this
+/// is the snapshot `scripts/check.sh` diffs against checked-in goldens.
+pub fn export_metrics(seed: u64) -> String {
+    let (_, sim) = run_scenario_impl(seed, false);
+    sim.metrics().export_prometheus()
+}
+
+fn run_scenario_impl(seed: u64, verbose: bool) -> (ScenarioOutcome, Sim) {
     let topo = Topology::symmetric(3, 2, 8);
     let mut sim = Sim::new(topo, NetConfig::datacenter(), seed);
     let cfg = DeployConfig {
@@ -136,18 +147,18 @@ fn run_scenario_impl(seed: u64, verbose: bool) -> ScenarioOutcome {
     );
 
     let counters = [
-        "zeus.commits",
-        "zeus.leader_elections",
-        "zeus.leader_stepdowns",
-        "zeus.reproposed_on_election",
-        "zeus.truncated_uncommitted",
-        "zeus.append_retransmits",
-        "zeus.observer_gap_resyncs",
-        "zeus.sync_redirects",
-        "zeus.proxy_failovers",
-        "zeus.proxy_failover_exhausted",
-        "simnet.dropped_chaos",
-        "simnet.delayed_chaos",
+        zeus::metrics::COMMITS,
+        zeus::metrics::LEADER_ELECTIONS,
+        zeus::metrics::LEADER_STEPDOWNS,
+        zeus::metrics::REPROPOSED_ON_ELECTION,
+        zeus::metrics::TRUNCATED_UNCOMMITTED,
+        zeus::metrics::APPEND_RETRANSMITS,
+        zeus::metrics::OBSERVER_GAP_RESYNCS,
+        zeus::metrics::SYNC_REDIRECTS,
+        zeus::metrics::PROXY_FAILOVERS,
+        zeus::metrics::PROXY_FAILOVER_EXHAUSTED,
+        simnet::stats::names::DROPPED_CHAOS,
+        simnet::stats::names::DELAYED_CHAOS,
     ]
     .iter()
     .map(|&name| (name, sim.metrics().counter(name)))
@@ -181,13 +192,29 @@ fn run_scenario_impl(seed: u64, verbose: bool) -> ScenarioOutcome {
         }
     }
 
-    ScenarioOutcome {
+    let propagation = sim
+        .metrics()
+        .histogram(zeus::metrics::PROPAGATION_S)
+        .map(|h| {
+            format!(
+                "propagation n={} p50={:.3}s p90={:.3}s p99={:.3}s p999={:.3}s",
+                h.count(),
+                h.quantile_secs(0.50),
+                h.quantile_secs(0.90),
+                h.quantile_secs(0.99),
+                h.quantile_secs(0.999),
+            )
+        });
+
+    let outcome = ScenarioOutcome {
         seed,
         faults: plan.describe(),
         verdicts: report.verdicts,
         checkpoints: report.checkpoints,
         counters,
-    }
+        propagation,
+    };
+    (outcome, sim)
 }
 
 fn verdict_line(v: &Verdict) -> String {
@@ -227,8 +254,15 @@ pub fn campaign(scenarios: u64) -> String {
             .and_then(|v| v.note.clone())
             .map(|n| format!(" — {n}"))
             .unwrap_or_default();
+        let propagation = o
+            .propagation
+            .as_deref()
+            .map(|p| format!("\n          {p}"))
+            .unwrap_or_default();
         if o.ok() {
-            out.push_str(&format!("seed {seed:>3}: OK   {faults}{convergence}\n"));
+            out.push_str(&format!(
+                "seed {seed:>3}: OK   {faults}{convergence}{propagation}\n"
+            ));
         } else {
             failing.push(seed);
             out.push_str(&format!("seed {seed:>3}: FAIL {faults}\n"));
@@ -255,7 +289,7 @@ pub fn campaign(scenarios: u64) -> String {
 /// Replays a single seed verbosely (fault schedule, per-invariant verdicts,
 /// and protocol counters).
 pub fn replay(seed: u64) -> String {
-    let o = run_scenario_impl(seed, true);
+    let (o, _) = run_scenario_impl(seed, true);
     let mut out = format!(
         "chaos scenario seed {seed} — {}\n\ninjected faults:\n",
         if o.ok() {
@@ -278,6 +312,9 @@ pub fn replay(seed: u64) -> String {
     out.push_str("\ncounters:\n");
     for (name, v) in &o.counters {
         out.push_str(&format!("  {name:<32} {v}\n"));
+    }
+    if let Some(p) = &o.propagation {
+        out.push_str(&format!("\n{p}\n"));
     }
     out
 }

@@ -64,7 +64,7 @@ pub fn fig14(scale_servers: usize) -> String {
         sim.run_for(SimDuration::from_secs(30));
         let s = sim
             .metrics()
-            .summary("zeus.propagation_s")
+            .summary(zeus::metrics::PROPAGATION_S)
             .expect("samples recorded");
         if load == 1 {
             baseline_p50 = s.p50;
@@ -133,10 +133,10 @@ pub fn pushpull(servers_per_cluster: usize) -> String {
         sim.run_until(SimTime(horizon * 1_000_000));
         let stale = sim
             .metrics()
-            .summary("pull.staleness_s")
+            .summary(zeus::metrics::pull::STALENESS_S)
             .expect("staleness");
-        let polls = sim.metrics().counter("pull.polls");
-        let bytes = sim.metrics().counter("pull.poll_bytes");
+        let polls = sim.metrics().counter(zeus::metrics::pull::POLLS);
+        let bytes = sim.metrics().counter(zeus::metrics::pull::POLL_BYTES);
         out.push_str(&format!(
             "pull      {interval:>6}s     {:>8.1} / {:<8.1} {polls:>9} {bytes:>12}\n",
             stale.p50, stale.max
@@ -165,7 +165,7 @@ pub fn pushpull(servers_per_cluster: usize) -> String {
     sim.run_until(SimTime(horizon * 1_000_000));
     let prop = sim
         .metrics()
-        .summary("zeus.propagation_s")
+        .summary(zeus::metrics::PROPAGATION_S)
         .expect("propagation");
     out.push_str(&format!(
         "push (zeus)    —        {:>8.3} / {:<8.3}         0            0\n\
@@ -213,11 +213,17 @@ pub fn packagevessel(servers_per_cluster: usize, size_mb: u64) -> String {
         let done = pv.completion(&sim, &meta.id);
         let s = sim
             .metrics()
-            .summary("pv.fetch_complete_s")
+            .summary(packagevessel::metrics::FETCH_COMPLETE_S)
             .expect("fetches");
-        let storage = sim.metrics().counter("pv.storage_pieces_sent");
-        let p2p = sim.metrics().counter("pv.p2p_pieces_sent");
-        let same = sim.metrics().counter("pv.p2p_pieces_same_cluster");
+        let storage = sim
+            .metrics()
+            .counter(packagevessel::metrics::STORAGE_PIECES_SENT);
+        let p2p = sim
+            .metrics()
+            .counter(packagevessel::metrics::P2P_PIECES_SENT);
+        let same = sim
+            .metrics()
+            .counter(packagevessel::metrics::P2P_PIECES_SAME_CLUSTER);
         let pct_same = if p2p > 0 {
             100.0 * same as f64 / p2p as f64
         } else {
@@ -267,10 +273,10 @@ pub fn tree_vs_pv(servers_per_cluster: usize) -> String {
     sim.run_for(SimDuration::from_secs(600));
     let tree_done = sim
         .metrics()
-        .summary("zeus.propagation_s")
+        .summary(zeus::metrics::PROPAGATION_S)
         .map(|s| s.max)
         .unwrap_or(f64::NAN);
-    let tree_bytes = sim.metrics().counter("simnet.bytes_sent");
+    let tree_bytes = sim.metrics().counter(simnet::stats::names::BYTES_SENT);
 
     let mut sim2 = Sim::new(topo, net, 37);
     let pv = PvDeployment::install(&mut sim2, PeerPolicy::LocalityAware, 4);
@@ -278,7 +284,7 @@ pub fn tree_vs_pv(servers_per_cluster: usize) -> String {
     sim2.run_for(SimDuration::from_secs(600));
     let pv_done = sim2
         .metrics()
-        .summary("pv.fetch_complete_s")
+        .summary(packagevessel::metrics::FETCH_COMPLETE_S)
         .map(|s| s.max)
         .unwrap_or(f64::NAN);
     let done_frac = pv.completion(&sim2, &meta.id);

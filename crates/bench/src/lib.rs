@@ -12,6 +12,7 @@ pub mod gatekeeper_exp;
 pub mod incidents;
 pub mod mobile;
 pub mod stats_figs;
+pub mod trace_exp;
 
 /// Scale presets for experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -14,6 +14,7 @@ use bytes::Bytes;
 use rand::seq::SliceRandom;
 use simnet::{Actor, Ctx, Message, NodeId, Proximity, SimDuration};
 
+use crate::metrics;
 use crate::types::{BulkId, BulkMeta, PvMsg};
 
 const TIMER_RETRY: u64 = 1;
@@ -114,8 +115,8 @@ impl PvAgentActor {
         let elapsed = (ctx.now() - fetch.meta.origin).as_secs_f64();
         self.completed
             .insert(id, pieces.into_iter().map(|(_, b)| b).collect());
-        ctx.metrics().sample("pv.fetch_complete_s", elapsed);
-        ctx.metrics().incr("pv.fetches_completed", 1);
+        ctx.metrics().sample(metrics::FETCH_COMPLETE_S, elapsed);
+        ctx.metrics().incr(metrics::FETCHES_COMPLETED, 1);
         self.current = None;
     }
 }
@@ -135,7 +136,7 @@ impl Actor for PvAgentActor {
                     {
                         return;
                     }
-                    ctx.metrics().incr("pv.fetches_abandoned", 1);
+                    ctx.metrics().incr(metrics::FETCHES_ABANDONED, 1);
                 }
                 if self.completed.contains_key(&meta.id) {
                     return;
@@ -184,17 +185,18 @@ impl Actor for PvAgentActor {
                             .filter(|f| f.meta.id == id)
                             .map(|f| f.meta.origin)
                             .unwrap_or(ctx.now());
-                        ctx.metrics().incr("pv.p2p_bytes_sent", data.len() as u64);
-                        ctx.metrics().incr("pv.p2p_pieces_sent", 1);
+                        ctx.metrics()
+                            .incr(metrics::P2P_BYTES_SENT, data.len() as u64);
+                        ctx.metrics().incr(metrics::P2P_PIECES_SENT, 1);
                         match ctx.proximity(from) {
                             Proximity::SameCluster | Proximity::SameNode => {
-                                ctx.metrics().incr("pv.p2p_pieces_same_cluster", 1)
+                                ctx.metrics().incr(metrics::P2P_PIECES_SAME_CLUSTER, 1)
                             }
                             Proximity::SameRegion => {
-                                ctx.metrics().incr("pv.p2p_pieces_same_region", 1)
+                                ctx.metrics().incr(metrics::P2P_PIECES_SAME_REGION, 1)
                             }
                             Proximity::CrossRegion => {
-                                ctx.metrics().incr("pv.p2p_pieces_cross_region", 1)
+                                ctx.metrics().incr(metrics::P2P_PIECES_CROSS_REGION, 1)
                             }
                         }
                         let size = data.len() as u64 + 64;

@@ -37,6 +37,7 @@
 
 pub mod agent;
 pub mod deploy;
+pub mod metrics;
 pub mod storage;
 pub mod types;
 

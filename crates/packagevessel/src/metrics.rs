@@ -1,0 +1,24 @@
+//! Centralised metric names for PackageVessel, mirroring `zeus::metrics`:
+//! recording and reporting sites share one constant per name so they
+//! cannot typo apart.
+
+/// Bytes served by the storage/tracker tier.
+pub const STORAGE_BYTES_SENT: &str = "pv.storage_bytes_sent";
+/// Pieces served by the storage/tracker tier.
+pub const STORAGE_PIECES_SENT: &str = "pv.storage_pieces_sent";
+/// Wall-clock (sim) time from announce to a complete fetch.
+pub const FETCH_COMPLETE_S: &str = "pv.fetch_complete_s";
+/// Fetches that completed.
+pub const FETCHES_COMPLETED: &str = "pv.fetches_completed";
+/// Fetches abandoned (e.g. superseded by a newer version).
+pub const FETCHES_ABANDONED: &str = "pv.fetches_abandoned";
+/// Bytes exchanged peer-to-peer.
+pub const P2P_BYTES_SENT: &str = "pv.p2p_bytes_sent";
+/// Pieces exchanged peer-to-peer.
+pub const P2P_PIECES_SENT: &str = "pv.p2p_pieces_sent";
+/// Peer-to-peer pieces that stayed within a cluster.
+pub const P2P_PIECES_SAME_CLUSTER: &str = "pv.p2p_pieces_same_cluster";
+/// Peer-to-peer pieces that crossed clusters within a region.
+pub const P2P_PIECES_SAME_REGION: &str = "pv.p2p_pieces_same_region";
+/// Peer-to-peer pieces that crossed regions.
+pub const P2P_PIECES_CROSS_REGION: &str = "pv.p2p_pieces_cross_region";

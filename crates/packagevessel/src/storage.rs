@@ -11,6 +11,7 @@ use std::collections::{HashMap, HashSet};
 use rand::seq::SliceRandom;
 use simnet::{Actor, Ctx, Message, NodeId, Proximity};
 
+use crate::metrics;
 use crate::types::{BulkId, PvMsg};
 
 /// Peer-selection policy for source queries.
@@ -113,8 +114,8 @@ impl Actor for StorageActor {
                     Some(data) => {
                         let data = data.clone();
                         ctx.metrics()
-                            .incr("pv.storage_bytes_sent", data.len() as u64);
-                        ctx.metrics().incr("pv.storage_pieces_sent", 1);
+                            .incr(metrics::STORAGE_BYTES_SENT, data.len() as u64);
+                        ctx.metrics().incr(metrics::STORAGE_PIECES_SENT, 1);
                         let origin = self.origins.get(&id).copied().unwrap_or(ctx.now());
                         let size = data.len() as u64 + 64;
                         ctx.send_value(

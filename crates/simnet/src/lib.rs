@@ -45,19 +45,22 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod trace;
 
 /// Convenient glob-import of the commonly used types.
 pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosPlan, ChaosReport, Invariant};
     pub use crate::net::{LinkFaults, NetConfig};
     pub use crate::sim::{Actor, Ctx, Message, Sim};
-    pub use crate::stats::{Metrics, Summary};
+    pub use crate::stats::{Histogram, Metrics, Summary};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{ClusterId, NodeId, Proximity, RegionId, Topology, TopologyBuilder};
+    pub use crate::trace::{SpanId, SpanRecord, TraceCtx, TraceId, Tracer};
 }
 
 pub use net::{LinkFaults, NetConfig};
 pub use sim::{Actor, Ctx, Message, Sim};
-pub use stats::{Metrics, Summary};
+pub use stats::{Histogram, Metrics, Summary};
 pub use time::{SimDuration, SimTime};
 pub use topology::{ClusterId, NodeId, Proximity, RegionId, Topology, TopologyBuilder};
+pub use trace::{SpanId, SpanRecord, TraceCtx, TraceId, Tracer};

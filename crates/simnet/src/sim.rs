@@ -19,9 +19,10 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use crate::net::{LinkFaults, NetConfig};
-use crate::stats::Metrics;
+use crate::stats::{names, Metrics};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Proximity, RegionId, Topology};
+use crate::trace::{TraceCtx, Tracer};
 
 /// An opaque message payload exchanged between actors.
 ///
@@ -53,6 +54,10 @@ enum EventKind {
         to: NodeId,
         from: NodeId,
         msg: Message,
+        /// Trace context riding on the delivery envelope (in addition to
+        /// whatever the protocol payload itself carries), so the engine can
+        /// annotate drops and retransmits onto the originating trace.
+        trace: Option<TraceCtx>,
     },
     Timer {
         node: NodeId,
@@ -128,6 +133,10 @@ pub struct Sim {
     link_faults: LinkFaults,
     rng: SmallRng,
     metrics: Metrics,
+    tracer: Tracer,
+    /// Trace context of the delivery currently being handled, readable by
+    /// the receiving actor via [`Ctx::incoming_trace`].
+    delivering_trace: Option<TraceCtx>,
     events_processed: u64,
 }
 
@@ -150,6 +159,8 @@ impl Sim {
             link_faults: LinkFaults::default(),
             rng: SmallRng::seed_from_u64(seed),
             metrics: Metrics::new(),
+            tracer: Tracer::new(),
+            delivering_trace: None,
             events_processed: 0,
         }
     }
@@ -172,6 +183,17 @@ impl Sim {
     /// Mutable access to collected metrics (for experiment drivers).
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    /// Collected trace records.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer (for experiment drivers starting
+    /// traces from outside the actor plane).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Number of events processed so far.
@@ -210,8 +232,28 @@ impl Sim {
     /// present), bypassing the network model. `from` is reported as the
     /// sender. Useful for experiment drivers injecting external stimuli.
     pub fn post(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: Message) {
+        self.post_traced(at, from, to, msg, None);
+    }
+
+    /// Like [`Sim::post`], with a trace context on the delivery envelope.
+    pub fn post_traced(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+        trace: Option<TraceCtx>,
+    ) {
         let at = at.max(self.now);
-        self.push(at, EventKind::Deliver { to, from, msg });
+        self.push(
+            at,
+            EventKind::Deliver {
+                to,
+                from,
+                msg,
+                trace,
+            },
+        );
     }
 
     /// Schedules `f` to run against the simulator at time `at` (clamped to
@@ -287,12 +329,29 @@ impl Sim {
         self.now = ev.at;
         self.events_processed += 1;
         match ev.kind {
-            EventKind::Deliver { to, from, msg } => {
+            EventKind::Deliver {
+                to,
+                from,
+                msg,
+                trace,
+            } => {
                 if !self.up[to.0 as usize] {
-                    self.metrics.incr("simnet.dropped_to_down_node", 1);
+                    self.metrics.incr(names::DROPPED_TO_DOWN_NODE, 1);
+                    if let Some(t) = trace {
+                        let at = self.now;
+                        self.tracer.annot(
+                            t,
+                            "net.drop",
+                            Some(to),
+                            at,
+                            vec![("reason", "node_down".into())],
+                        );
+                    }
                     return true;
                 }
+                self.delivering_trace = trace;
                 self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                self.delivering_trace = None;
             }
             EventKind::Timer { node, tag } => {
                 if self.up[node.0 as usize] {
@@ -365,12 +424,36 @@ impl Sim {
     /// `to` sent now, updating link occupancy, and enqueues the delivery.
     /// Messages across a partitioned region pair are dropped at send time.
     fn transmit(&mut self, from: NodeId, to: NodeId, size: u64, msg: Message) {
+        self.transmit_traced(from, to, size, msg, None);
+    }
+
+    /// [`Sim::transmit`] with a trace context riding the envelope. Drops
+    /// caused by partitions or injected faults are annotated onto the
+    /// trace, so a waterfall shows *why* a hop is missing or late.
+    fn transmit_traced(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        size: u64,
+        msg: Message,
+        trace: Option<TraceCtx>,
+    ) {
         let prox = self.topo.proximity(from, to);
         if prox == Proximity::CrossRegion {
             let ra = self.topo.placement(from).region;
             let rb = self.topo.placement(to).region;
             if self.partitions.contains(&normalize(ra, rb)) {
-                self.metrics.incr("simnet.dropped_partitioned", 1);
+                self.metrics.incr(names::DROPPED_PARTITIONED, 1);
+                if let Some(t) = trace {
+                    let at = self.now;
+                    self.tracer.annot(
+                        t,
+                        "net.drop",
+                        Some(from),
+                        at,
+                        vec![("reason", "partitioned".into())],
+                    );
+                }
                 return;
             }
         }
@@ -381,14 +464,24 @@ impl Sim {
             // network; loopback traffic is exempt so a node can always talk
             // to itself.
             if self.link_faults.drop_prob > 0.0 && self.rng.gen_bool(self.link_faults.drop_prob) {
-                self.metrics.incr("simnet.dropped_chaos", 1);
+                self.metrics.incr(names::DROPPED_CHAOS, 1);
+                if let Some(t) = trace {
+                    let at = self.now;
+                    self.tracer.annot(
+                        t,
+                        "net.drop",
+                        Some(from),
+                        at,
+                        vec![("reason", "chaos".into())],
+                    );
+                }
                 return;
             }
             let chaos_delay = if self.link_faults.delay_prob > 0.0
                 && self.link_faults.max_extra_delay > SimDuration::ZERO
                 && self.rng.gen_bool(self.link_faults.delay_prob)
             {
-                self.metrics.incr("simnet.delayed_chaos", 1);
+                self.metrics.incr(names::DELAYED_CHAOS, 1);
                 SimDuration::from_micros(
                     self.rng
                         .gen_range(0..=self.link_faults.max_extra_delay.as_micros()),
@@ -410,9 +503,17 @@ impl Sim {
             self.ingress_free[to.0 as usize] = rx_done;
             rx_done + self.net.per_message_overhead
         };
-        self.metrics.incr("simnet.messages_sent", 1);
-        self.metrics.incr("simnet.bytes_sent", size);
-        self.push(deliver, EventKind::Deliver { to, from, msg });
+        self.metrics.incr(names::MESSAGES_SENT, 1);
+        self.metrics.incr(names::BYTES_SENT, size);
+        self.push(
+            deliver,
+            EventKind::Deliver {
+                to,
+                from,
+                msg,
+                trace,
+            },
+        );
     }
 }
 
@@ -452,9 +553,53 @@ impl Ctx<'_> {
         self.sim.transmit(from, to, size, msg);
     }
 
+    /// Sends with a trace context riding the delivery envelope: engine-level
+    /// drops (partition, chaos, down node) are annotated onto the trace.
+    pub fn send_traced(&mut self, to: NodeId, size: u64, msg: Message, trace: Option<TraceCtx>) {
+        let from = self.node;
+        self.sim.transmit_traced(from, to, size, msg, trace);
+    }
+
     /// Convenience wrapper boxing `value` as the message payload.
     pub fn send_value<T: Any>(&mut self, to: NodeId, size: u64, value: T) {
         self.send(to, size, Box::new(value));
+    }
+
+    /// The trace context on the envelope of the message currently being
+    /// delivered, if the sender attached one via [`Ctx::send_traced`].
+    pub fn incoming_trace(&self) -> Option<TraceCtx> {
+        self.sim.delivering_trace
+    }
+
+    /// The trace collector.
+    pub fn tracer(&mut self) -> &mut Tracer {
+        &mut self.sim.tracer
+    }
+
+    /// Records a deduplicated hop span at this node, now, under `parent`.
+    /// Returns `None` (recording nothing) if this (trace, name, node) hop
+    /// was already taken — i.e. the triggering message was a duplicate.
+    pub fn trace_hop(
+        &mut self,
+        parent: TraceCtx,
+        name: &'static str,
+        attrs: Vec<(&'static str, String)>,
+    ) -> Option<TraceCtx> {
+        let node = self.node;
+        let at = self.sim.now;
+        self.sim.tracer.hop(parent, name, Some(node), at, attrs)
+    }
+
+    /// Records an annotation at this node, now, under `ctx`'s span.
+    pub fn trace_annot(
+        &mut self,
+        ctx: TraceCtx,
+        name: &'static str,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        let node = self.node;
+        let at = self.sim.now;
+        self.sim.tracer.annot(ctx, name, Some(node), at, attrs);
     }
 
     /// Schedules [`Actor::on_timer`] on this node after `after`, with `tag`

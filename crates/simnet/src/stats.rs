@@ -2,14 +2,40 @@
 //!
 //! Actors record named samples and counters through [`crate::sim::Ctx`];
 //! experiments read them back as [`Summary`] statistics after the run.
+//!
+//! Every sample is recorded twice: into the raw per-series `Vec<f64>`
+//! (kept for experiments that want the exact sequence, e.g. staleness over
+//! time) and into a log-bucketed [`Histogram`] keyed by the same name. The
+//! histograms are what reporting reads: they merge deterministically, keep
+//! exact counts, and answer p50/p90/p99/p999 in one bucket scan, which the
+//! raw series cannot do without a full sort per query.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Well-known metric names recorded by the simulator core. Centralised so
+/// recording and reporting sites cannot typo apart.
+pub mod names {
+    /// Messages whose destination node was down at delivery time.
+    pub const DROPPED_TO_DOWN_NODE: &str = "simnet.dropped_to_down_node";
+    /// Messages dropped at send time by a region partition.
+    pub const DROPPED_PARTITIONED: &str = "simnet.dropped_partitioned";
+    /// Messages dropped by injected link faults.
+    pub const DROPPED_CHAOS: &str = "simnet.dropped_chaos";
+    /// Messages delayed by injected link faults.
+    pub const DELAYED_CHAOS: &str = "simnet.delayed_chaos";
+    /// Total messages accepted by the network model.
+    pub const MESSAGES_SENT: &str = "simnet.messages_sent";
+    /// Total bytes accepted by the network model.
+    pub const BYTES_SENT: &str = "simnet.bytes_sent";
+}
 
 /// A collection of named counters and sample series.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     series: BTreeMap<String, Vec<f64>>,
+    hists: BTreeMap<String, Histogram>,
 }
 
 impl Metrics {
@@ -23,9 +49,16 @@ impl Metrics {
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
-    /// Appends a sample to the series `name`.
+    /// Appends a sample to the series `name` and records it into the
+    /// matching histogram. Histogram buckets live on a nonnegative
+    /// integer-microsecond domain; negative samples are clamped to zero
+    /// there but kept verbatim in the raw series.
     pub fn sample(&mut self, name: &str, value: f64) {
         self.series.entry(name.to_string()).or_default().push(value);
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record_secs(value);
     }
 
     /// Returns the value of counter `name`, or zero if never incremented.
@@ -36,6 +69,16 @@ impl Metrics {
     /// Returns the raw samples of series `name`.
     pub fn samples(&self, name: &str) -> &[f64] {
         self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Returns the histogram of series `name`, if any samples were taken.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Summarizes the series `name`. Returns `None` if it has no samples.
@@ -66,6 +109,227 @@ impl Metrics {
         for (k, v) in &other.series {
             self.series.entry(k.clone()).or_default().extend(v);
         }
+        for (k, h) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the whole store in the Prometheus text exposition format.
+    ///
+    /// Counters export as plain `counter` samples; every sampled series
+    /// exports as a `histogram` with cumulative `_bucket` lines (nonempty
+    /// buckets only), `_sum`/`_count`, and p50/p90/p99/p999 quantile
+    /// gauges. All values are printed from integer microsecond state with
+    /// fixed six-decimal seconds, so the output is byte-deterministic for a
+    /// deterministic run.
+    pub fn export_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.hists {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cum = 0u64;
+            for (le_us, count) in h.buckets() {
+                cum += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", fmt_us(le_us));
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{n}_sum {}", fmt_us(h.sum_us()));
+            let _ = writeln!(out, "{n}_count {}", h.count());
+            for (q, label) in [
+                (0.50, "0.5"),
+                (0.90, "0.9"),
+                (0.99, "0.99"),
+                (0.999, "0.999"),
+            ] {
+                let _ = writeln!(out, "{n}{{quantile=\"{label}\"}} {}", fmt_us(h.quantile(q)));
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; map everything else
+/// (dots, dashes) to underscores.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Formats integer microseconds as fixed-point seconds (six decimals).
+fn fmt_us(us: u64) -> String {
+    format!("{}.{:06}", us / 1_000_000, us % 1_000_000)
+}
+
+/// Number of linear sub-buckets per power-of-two octave. 32 sub-buckets
+/// bound the relative quantile error at 1/32 ≈ 3%.
+const SUBBUCKETS: u32 = 32;
+/// Values below this are bucketed exactly (one bucket per microsecond).
+const LINEAR_MAX: u64 = 64;
+
+/// A mergeable log-bucketed latency histogram over integer microseconds.
+///
+/// HDR-style layout: values below [`LINEAR_MAX`] get exact unit buckets;
+/// above, each power-of-two octave is split into [`SUBBUCKETS`] linear
+/// sub-buckets, so relative error stays bounded across the full `u64`
+/// range. Buckets are a sparse `BTreeMap`, so merging two histograms is a
+/// per-bucket sum — associative, commutative, and independent of sample
+/// arrival order, which is what makes multi-run aggregation deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+fn bucket_index(us: u64) -> u32 {
+    if us < LINEAR_MAX {
+        us as u32
+    } else {
+        let msb = 63 - us.leading_zeros();
+        // Shift so the top 6 bits survive: mantissa ∈ [32, 64).
+        let mantissa = (us >> (msb - 5)) as u32;
+        LINEAR_MAX as u32 + (msb - 6) * SUBBUCKETS + (mantissa - SUBBUCKETS)
+    }
+}
+
+/// Upper bound (inclusive) of the bucket, used as its representative value.
+fn bucket_high(index: u32) -> u64 {
+    if index < LINEAR_MAX as u32 {
+        index as u64
+    } else {
+        let rel = index - LINEAR_MAX as u32;
+        let octave = rel / SUBBUCKETS + 6;
+        let pos = (rel % SUBBUCKETS + SUBBUCKETS) as u64;
+        let width = 1u64 << (octave - 5);
+        (pos << (octave - 5)) + width - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one value in microseconds.
+    pub fn record(&mut self, us: u64) {
+        *self.buckets.entry(bucket_index(us)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min_us = us;
+            self.max_us = us;
+        } else {
+            self.min_us = self.min_us.min(us);
+            self.max_us = self.max_us.max(us);
+        }
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+    }
+
+    /// Records a value given in seconds (rounded to microseconds; negative
+    /// values clamp to zero).
+    pub fn record_secs(&mut self, secs: f64) {
+        let us = (secs.max(0.0) * 1e6).round() as u64;
+        self.record(us);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values in microseconds (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Exact minimum in microseconds (zero when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Exact maximum in microseconds (zero when empty).
+    pub fn max_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max_us
+        }
+    }
+
+    /// Mean in microseconds (zero when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (0..=1) in microseconds, from a bucket scan. The
+    /// representative value is the bucket's upper bound, clamped into the
+    /// exact observed [min, max]. Returns zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (&idx, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(idx).clamp(self.min_us, self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Convenience: quantile in seconds.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / 1e6
+    }
+
+    /// Nonempty buckets as (upper-bound-µs, count), ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&i, &c)| (bucket_high(i), c))
+    }
+
+    /// Merges `other` into this histogram (per-bucket sum; order
+    /// independent).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+        if self.count == 0 {
+            self.min_us = other.min_us;
+            self.max_us = other.max_us;
+        } else {
+            self.min_us = self.min_us.min(other.min_us);
+            self.max_us = self.max_us.max(other.max_us);
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
     }
 }
 
@@ -82,10 +346,14 @@ pub struct Summary {
     pub mean: f64,
     /// Median (50th percentile).
     pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
     /// 95th percentile.
     pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
 }
 
 impl Summary {
@@ -106,8 +374,10 @@ impl Summary {
             max: sorted[count - 1],
             mean,
             p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
             p95: percentile_sorted(&sorted, 95.0),
             p99: percentile_sorted(&sorted, 99.0),
+            p999: percentile_sorted(&sorted, 99.9),
         }
     }
 }
@@ -167,6 +437,7 @@ mod tests {
         assert_eq!(s.max, 4.0);
         assert_eq!(s.mean, 2.5);
         assert_eq!(s.p50, 2.5);
+        assert!(s.p90 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999);
     }
 
     #[test]
@@ -189,11 +460,123 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("c"), 3);
         assert_eq!(a.samples("s"), &[1.0, 3.0]);
+        assert_eq!(a.histogram("s").unwrap().count(), 2);
     }
 
     #[test]
     fn empty_series_has_no_summary() {
         let m = Metrics::new();
         assert!(m.summary("nope").is_none());
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_invertible_enough() {
+        let mut prev_idx = 0;
+        let mut prev_high = 0;
+        for us in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            4096,
+            1_000_000,
+            u64::MAX / 2,
+        ] {
+            let idx = bucket_index(us);
+            let high = bucket_high(idx);
+            assert!(high >= us, "bucket high {high} must bound {us}");
+            assert!(idx >= prev_idx, "indices monotone: {us}");
+            assert!(high >= prev_high);
+            prev_idx = idx;
+            prev_high = high;
+            // Relative error bound: high <= us * (1 + 1/SUBBUCKETS).
+            if us >= LINEAR_MAX {
+                assert!(high as f64 <= us as f64 * (1.0 + 1.0 / SUBBUCKETS as f64) + 1.0);
+            } else {
+                assert_eq!(high, us, "linear range is exact");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_exact_percentiles() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000); // 1ms .. 1s
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min_us(), 1000);
+        assert_eq!(h.max_us(), 1_000_000);
+        let p50 = h.quantile(0.5) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.05, "p50={p50}");
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.05, "p99={p99}");
+        assert!(h.quantile(0.999) <= h.max_us());
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        let samples: Vec<u64> = (0..500u64).map(|i| (i * 7919) % 1_000_003).collect();
+        // One histogram fed everything, versus two merged in either order.
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                a.record(s);
+            } else {
+                b.record(s);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for h in [&ab, &ba] {
+            assert_eq!(h.count(), whole.count());
+            assert_eq!(h.sum_us(), whole.sum_us());
+            assert_eq!(h.min_us(), whole.min_us());
+            assert_eq!(h.max_us(), whole.max_us());
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                assert_eq!(h.quantile(q), whole.quantile(q), "q={q}");
+            }
+        }
+        // And the exported text is byte-identical.
+        let mut ma = Metrics::new();
+        let mut mb = Metrics::new();
+        for (i, &s) in samples.iter().enumerate() {
+            let secs = s as f64 / 1e6;
+            if i % 2 == 0 {
+                ma.sample("lat", secs);
+            } else {
+                mb.sample("lat", secs);
+            }
+        }
+        let mut m1 = ma.clone();
+        m1.merge(&mb);
+        let mut m2 = mb.clone();
+        m2.merge(&ma);
+        assert_eq!(m1.export_prometheus(), m2.export_prometheus());
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let mut m = Metrics::new();
+        m.incr("zeus.commits", 7);
+        m.sample("zeus.propagation_s", 0.25);
+        m.sample("zeus.propagation_s", 0.75);
+        let text = m.export_prometheus();
+        assert!(text.contains("# TYPE zeus_commits counter"));
+        assert!(text.contains("zeus_commits 7"));
+        assert!(text.contains("# TYPE zeus_propagation_s histogram"));
+        assert!(text.contains("zeus_propagation_s_count 2"));
+        assert!(text.contains("zeus_propagation_s_sum 1.000000"));
+        assert!(text.contains("zeus_propagation_s_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("quantile=\"0.999\""));
     }
 }

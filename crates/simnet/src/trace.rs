@@ -1,0 +1,310 @@
+//! Causal tracing for simulated config propagation.
+//!
+//! A *trace* follows one logical operation — typically a single config
+//! commit — across every hop of the distribution pipeline: mutator →
+//! landing strip → gitstore → tailer → Zeus leader quorum → observer
+//! fan-out → proxy → client apply. Each hop is a [`SpanRecord`] stamped
+//! with the node, the simulated time, and key-value attributes; spans form
+//! a tree through parent links, and the whole tree shares one [`TraceId`].
+//!
+//! The [`Tracer`] lives on the [`crate::sim::Sim`] next to
+//! [`crate::stats::Metrics`]; actors reach it through [`crate::sim::Ctx`].
+//! Trace context ([`TraceCtx`]) rides inside protocol messages (and on the
+//! delivery envelope via `Ctx::send_traced`), so retransmissions and
+//! failovers carry the causal link with them. Duplicate deliveries are the
+//! norm in a lossy network, so hop recording goes through [`Tracer::hop`],
+//! which deduplicates on (trace, hop name, node): the first arrival wins,
+//! re-deliveries return `None` and record nothing.
+//!
+//! All IDs are allocated from sequential counters, so a run's trace output
+//! is as deterministic as the simulation itself.
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+use crate::topology::NodeId;
+
+/// Identifies one end-to-end trace (one config commit's journey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// The causal context carried in messages: which trace, and which span to
+/// parent new hops under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// The trace this context belongs to.
+    pub trace: TraceId,
+    /// The span new children should hang off.
+    pub span: SpanId,
+}
+
+/// Whether a record is a hop (a span with causal children) or an
+/// annotation (a point event attached to an existing span, e.g. a
+/// retransmission or a dropped packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span: one pipeline hop.
+    Span,
+    /// An annotation on an existing span.
+    Annot,
+}
+
+/// One recorded span or annotation.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// The trace this record belongs to.
+    pub trace: TraceId,
+    /// This record's span id (annotations get ids too, for ordering).
+    pub span: SpanId,
+    /// Parent span, `None` for a trace root.
+    pub parent: Option<SpanId>,
+    /// Hop or annotation name, e.g. `"zeus.quorum_commit"`.
+    pub name: &'static str,
+    /// Node the record was taken on; `None` for driver-side spans (the
+    /// in-process configerator pipeline runs outside the actor plane).
+    pub node: Option<NodeId>,
+    /// Simulated time of the record.
+    pub at: SimTime,
+    /// Free-form attributes (zxid, retry counts, drop reasons, ...).
+    pub attrs: Vec<(&'static str, String)>,
+    /// Span or annotation.
+    pub kind: RecordKind,
+}
+
+/// The simulation-wide trace collector.
+///
+/// Span and trace IDs are sequential; records append in the order they are
+/// taken, which (because handlers run at nondecreasing simulated time) is
+/// also time order.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    next_trace: u64,
+    next_span: u64,
+    records: Vec<SpanRecord>,
+    labels: BTreeMap<TraceId, String>,
+    seen_hops: HashSet<(TraceId, &'static str, i64)>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    fn alloc_span(&mut self) -> SpanId {
+        self.next_span += 1;
+        SpanId(self.next_span)
+    }
+
+    /// Starts a new trace with a human-readable `label` (e.g. the config
+    /// path) and a root span named `name`. Returns the root context.
+    pub fn start(
+        &mut self,
+        label: impl Into<String>,
+        name: &'static str,
+        node: Option<NodeId>,
+        at: SimTime,
+        attrs: Vec<(&'static str, String)>,
+    ) -> TraceCtx {
+        self.next_trace += 1;
+        let trace = TraceId(self.next_trace);
+        self.labels.insert(trace, label.into());
+        let span = self.alloc_span();
+        self.records.push(SpanRecord {
+            trace,
+            span,
+            parent: None,
+            name,
+            node,
+            at,
+            attrs,
+            kind: RecordKind::Span,
+        });
+        TraceCtx { trace, span }
+    }
+
+    /// Records a child span under `parent` unconditionally. Use for hops
+    /// that cannot be duplicated (driver-side pipeline stages).
+    pub fn child(
+        &mut self,
+        parent: TraceCtx,
+        name: &'static str,
+        node: Option<NodeId>,
+        at: SimTime,
+        attrs: Vec<(&'static str, String)>,
+    ) -> TraceCtx {
+        let span = self.alloc_span();
+        self.records.push(SpanRecord {
+            trace: parent.trace,
+            span,
+            parent: Some(parent.span),
+            name,
+            node,
+            at,
+            attrs,
+            kind: RecordKind::Span,
+        });
+        TraceCtx {
+            trace: parent.trace,
+            span,
+        }
+    }
+
+    /// Records a child span under `parent`, deduplicated on
+    /// (trace, name, node): if this hop was already recorded at this node,
+    /// nothing is recorded and `None` is returned. This is what keeps
+    /// retransmitted and duplicated messages from double-counting hops.
+    pub fn hop(
+        &mut self,
+        parent: TraceCtx,
+        name: &'static str,
+        node: Option<NodeId>,
+        at: SimTime,
+        attrs: Vec<(&'static str, String)>,
+    ) -> Option<TraceCtx> {
+        let key = (parent.trace, name, node.map(|n| n.0 as i64).unwrap_or(-1));
+        if !self.seen_hops.insert(key) {
+            return None;
+        }
+        Some(self.child(parent, name, node, at, attrs))
+    }
+
+    /// Records an annotation (retry, drop, redirect, ...) under `ctx`'s
+    /// span. Annotations are never deduplicated — every retransmission
+    /// counts.
+    pub fn annot(
+        &mut self,
+        ctx: TraceCtx,
+        name: &'static str,
+        node: Option<NodeId>,
+        at: SimTime,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        let span = self.alloc_span();
+        self.records.push(SpanRecord {
+            trace: ctx.trace,
+            span,
+            parent: Some(ctx.span),
+            name,
+            node,
+            at,
+            attrs,
+            kind: RecordKind::Annot,
+        });
+    }
+
+    /// All trace ids, in creation order.
+    pub fn traces(&self) -> Vec<TraceId> {
+        let mut ids: Vec<TraceId> = self.labels.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The label a trace was started with.
+    pub fn label(&self, trace: TraceId) -> Option<&str> {
+        self.labels.get(&trace).map(String::as_str)
+    }
+
+    /// All records, in recording order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// Records belonging to `trace`, in recording order.
+    pub fn trace_records(&self, trace: TraceId) -> Vec<&SpanRecord> {
+        self.records.iter().filter(|r| r.trace == trace).collect()
+    }
+
+    /// Records in `trace` whose parent span does not exist in the trace.
+    /// A correct instrumentation produces none: every hop's parent context
+    /// was recorded before the message carrying it was sent.
+    pub fn orphans(&self, trace: TraceId) -> Vec<&SpanRecord> {
+        let known: HashSet<SpanId> = self
+            .records
+            .iter()
+            .filter(|r| r.trace == trace && r.kind == RecordKind::Span)
+            .map(|r| r.span)
+            .collect();
+        self.records
+            .iter()
+            .filter(|r| r.trace == trace)
+            .filter(|r| match r.parent {
+                Some(p) => !known.contains(&p),
+                None => false,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_and_deterministic() {
+        let mut t = Tracer::new();
+        let a = t.start("x", "root", None, SimTime(0), vec![]);
+        let b = t.start("y", "root", None, SimTime(1), vec![]);
+        assert_eq!(a.trace, TraceId(1));
+        assert_eq!(b.trace, TraceId(2));
+        assert_eq!(t.traces(), vec![TraceId(1), TraceId(2)]);
+        assert_eq!(t.label(a.trace), Some("x"));
+    }
+
+    #[test]
+    fn hop_dedups_per_trace_name_node() {
+        let mut t = Tracer::new();
+        let root = t.start("c", "root", None, SimTime(0), vec![]);
+        let h1 = t.hop(root, "apply", Some(NodeId(3)), SimTime(5), vec![]);
+        assert!(h1.is_some());
+        // A duplicate delivery of the same message records nothing.
+        assert!(t
+            .hop(root, "apply", Some(NodeId(3)), SimTime(9), vec![])
+            .is_none());
+        // The same hop on a different node is a distinct record.
+        assert!(t
+            .hop(root, "apply", Some(NodeId(4)), SimTime(9), vec![])
+            .is_some());
+        let spans: Vec<_> = t
+            .trace_records(root.trace)
+            .into_iter()
+            .filter(|r| r.kind == RecordKind::Span)
+            .collect();
+        assert_eq!(spans.len(), 3);
+    }
+
+    #[test]
+    fn annotations_are_never_deduped() {
+        let mut t = Tracer::new();
+        let root = t.start("c", "root", None, SimTime(0), vec![]);
+        t.annot(root, "retry", Some(NodeId(0)), SimTime(1), vec![]);
+        t.annot(root, "retry", Some(NodeId(0)), SimTime(2), vec![]);
+        let annots: Vec<_> = t
+            .trace_records(root.trace)
+            .into_iter()
+            .filter(|r| r.kind == RecordKind::Annot)
+            .collect();
+        assert_eq!(annots.len(), 2);
+    }
+
+    #[test]
+    fn orphan_detection() {
+        let mut t = Tracer::new();
+        let root = t.start("c", "root", None, SimTime(0), vec![]);
+        let child = t.child(root, "mid", None, SimTime(1), vec![]);
+        assert!(t.orphans(root.trace).is_empty());
+        // Forge a context pointing at a span that was never recorded.
+        let forged = TraceCtx {
+            trace: root.trace,
+            span: SpanId(999),
+        };
+        t.child(forged, "lost", None, SimTime(2), vec![]);
+        assert_eq!(t.orphans(root.trace).len(), 1);
+        let _ = child;
+    }
+}

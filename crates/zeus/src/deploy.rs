@@ -5,9 +5,10 @@
 //! server, forming the three-level leader → observer → proxy tree.
 
 use bytes::Bytes;
-use simnet::{NodeId, Sim, SimTime};
+use simnet::{NodeId, Sim, SimTime, TraceCtx};
 
 use crate::ensemble::{EnsembleActor, EnsembleConfig};
+use crate::metrics::WRITES_UNROUTABLE;
 use crate::observer::ObserverActor;
 use crate::proxy::{ProxyActor, ProxyCmd};
 use crate::types::ZeusMsg;
@@ -162,6 +163,7 @@ impl ZeusDeployment {
             path: path.to_string(),
             data: data.into(),
             origin: at,
+            trace: None,
         };
         sim.post(at, leader, leader, Box::new(msg));
     }
@@ -174,6 +176,21 @@ impl ZeusDeployment {
     ///
     /// [`write_at`]: ZeusDeployment::write_at
     pub fn write_current(&self, sim: &mut Sim, at: SimTime, path: &str, data: impl Into<Bytes>) {
+        self.write_current_traced(sim, at, path, data, None);
+    }
+
+    /// [`write_current`] with an optional trace context: the proposal (and
+    /// every downstream hop) is attributed to the given trace.
+    ///
+    /// [`write_current`]: ZeusDeployment::write_current
+    pub fn write_current_traced(
+        &self,
+        sim: &mut Sim,
+        at: SimTime,
+        path: &str,
+        data: impl Into<Bytes>,
+        trace: Option<TraceCtx>,
+    ) {
         let ensemble = self.ensemble.clone();
         let path = path.to_string();
         let data = data.into();
@@ -190,7 +207,17 @@ impl ZeusDeployment {
             let Some(target) = target else {
                 // Whole ensemble down: the write never enters the system
                 // (and is therefore never acknowledged).
-                s.metrics_mut().incr("zeus.writes_unroutable", 1);
+                s.metrics_mut().incr(WRITES_UNROUTABLE, 1);
+                if let Some(t) = trace {
+                    let now = s.now();
+                    s.tracer_mut().annot(
+                        t,
+                        "zeus.unroutable",
+                        None,
+                        now,
+                        vec![("reason", "ensemble_down".into())],
+                    );
+                }
                 return;
             };
             let now = s.now();
@@ -198,8 +225,9 @@ impl ZeusDeployment {
                 path: path.clone(),
                 data: data.clone(),
                 origin: now,
+                trace,
             };
-            s.post(now, target, target, Box::new(msg));
+            s.post_traced(now, target, target, Box::new(msg), trace);
         });
     }
 

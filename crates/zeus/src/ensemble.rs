@@ -21,8 +21,11 @@
 use std::collections::{BTreeMap, HashSet};
 
 use rand::Rng;
-use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
+use simnet::{Actor, Ctx, Message, NodeId, SimDuration, TraceCtx};
 
+use crate::metrics::TRUNCATED_UNCOMMITTED;
+use crate::metrics::{hops, APPEND_RETRANSMITS, COMMITS, DROPPED_PROPOSALS, LEADER_ELECTIONS};
+use crate::metrics::{LEADER_STEPDOWNS, REPROPOSED_ON_ELECTION, SYNC_REDIRECTS};
 use crate::store::ConfigStore;
 use crate::types::{Write, ZeusMsg, Zxid};
 
@@ -231,8 +234,7 @@ impl EnsembleActor {
             .retain(|z, _| *z <= committed || z.epoch >= leader_epoch);
         let dropped = before - self.log.len();
         if dropped > 0 {
-            ctx.metrics()
-                .incr("zeus.truncated_uncommitted", dropped as u64);
+            ctx.metrics().incr(TRUNCATED_UNCOMMITTED, dropped as u64);
             // The truncated entries no longer back the contiguity cursor;
             // leaving it past them would let this node overclaim abandoned
             // history in elections (and in sync replies, as a leader).
@@ -278,7 +280,7 @@ impl EnsembleActor {
         self.acks.clear();
         // Retire the election chain; the heartbeat chain takes over.
         self.election_gen += 1;
-        ctx.metrics().incr("zeus.leader_elections", 1);
+        ctx.metrics().incr(LEADER_ELECTIONS, 1);
         let msg = ZeusMsg::NewLeader {
             epoch: self.epoch,
             leader: ctx.node(),
@@ -311,10 +313,13 @@ impl EnsembleActor {
         // hole while we were a follower, and the cursor must stay gap-free.
         if !uncommitted.is_empty() {
             ctx.metrics()
-                .incr("zeus.reproposed_on_election", uncommitted.len() as u64);
+                .incr(REPROPOSED_ON_ELECTION, uncommitted.len() as u64);
         }
         for w in uncommitted {
-            self.propose(ctx, w.path, w.data, w.origin);
+            if let Some(t) = w.trace {
+                ctx.trace_annot(t, hops::REPROPOSE, vec![("epoch", self.epoch.to_string())]);
+            }
+            self.propose(ctx, w.path, w.data, w.origin, w.trace);
         }
     }
 
@@ -333,16 +338,26 @@ impl EnsembleActor {
         path: String,
         data: bytes::Bytes,
         origin: simnet::SimTime,
+        trace: Option<TraceCtx>,
     ) {
         self.next_counter += 1;
+        let zxid = Zxid {
+            epoch: self.epoch,
+            counter: self.next_counter,
+        };
+        // Hang all downstream hops under the propose span. A re-proposal
+        // after election lands on a different node, so the dedup key admits
+        // it; a duplicate on the same leader keeps the original context.
+        let trace = trace.map(|t| {
+            ctx.trace_hop(t, hops::LEADER_PROPOSE, vec![("zxid", zxid.to_string())])
+                .unwrap_or(t)
+        });
         let write = Write {
-            zxid: Zxid {
-                epoch: self.epoch,
-                counter: self.next_counter,
-            },
+            zxid,
             path,
             data,
             origin,
+            trace,
         };
         self.log.insert(write.zxid, write.clone());
         // The leader authors history in order; its own proposals are
@@ -381,16 +396,33 @@ impl EnsembleActor {
                 .filter(|(z, _)| **z > self.store.last_applied())
                 .map(|(_, w)| w.clone())
                 .collect();
-            for w in to_apply {
+            for mut w in to_apply {
+                // Re-root the write's context at the commit span, so the
+                // observer/proxy fan-out hangs off the quorum decision.
+                if let Some(t) = w.trace {
+                    let acks = self.acks.get(&w.zxid).map(|s| s.len()).unwrap_or(0);
+                    if let Some(c) = ctx.trace_hop(
+                        t,
+                        hops::QUORUM_COMMIT,
+                        vec![("zxid", w.zxid.to_string()), ("acks", acks.to_string())],
+                    ) {
+                        w.trace = Some(c);
+                    }
+                }
                 self.store.apply(w.clone());
                 let size = w.wire_size();
                 for &o in &self.observers.clone() {
-                    ctx.send_value(o, size, ZeusMsg::ObserverUpdate { write: w.clone() });
+                    ctx.send_traced(
+                        o,
+                        size,
+                        Box::new(ZeusMsg::ObserverUpdate { write: w.clone() }),
+                        w.trace,
+                    );
                 }
             }
             self.acks.retain(|z, _| *z > new_commit);
             self.broadcast(ctx, &ZeusMsg::CommitUpTo { zxid: new_commit }, 64);
-            ctx.metrics().incr("zeus.commits", 1);
+            ctx.metrics().incr(COMMITS, 1);
         }
     }
 
@@ -413,21 +445,45 @@ impl EnsembleActor {
 
     fn handle(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ZeusMsg) {
         match msg {
-            ZeusMsg::Propose { path, data, origin } => {
+            ZeusMsg::Propose {
+                path,
+                data,
+                origin,
+                trace,
+            } => {
                 if self.role == Role::Leader {
-                    self.propose(ctx, path, data, origin);
+                    self.propose(ctx, path, data, origin, trace);
                 } else if let Some(leader) = self.current_leader {
                     // Forward to the leader.
                     let size = (path.len() + data.len() + 64) as u64;
-                    ctx.send_value(leader, size, ZeusMsg::Propose { path, data, origin });
+                    ctx.send_traced(
+                        leader,
+                        size,
+                        Box::new(ZeusMsg::Propose {
+                            path,
+                            data,
+                            origin,
+                            trace,
+                        }),
+                        trace,
+                    );
                 } else {
-                    ctx.metrics().incr("zeus.dropped_proposals", 1);
+                    ctx.metrics().incr(DROPPED_PROPOSALS, 1);
                 }
             }
             ZeusMsg::Append { write }
                 if self.role != Role::Leader && write.zxid.epoch >= self.epoch => {
                     self.sync_epoch(ctx, write.zxid.epoch);
                     self.heard_from_leader = true;
+                    if let Some(t) = write.trace {
+                        // Deduplicated per node: a retransmitted append does
+                        // not double-count the hop.
+                        ctx.trace_hop(
+                            t,
+                            hops::FOLLOWER_APPEND,
+                            vec![("zxid", write.zxid.to_string())],
+                        );
+                    }
                     self.log.insert(write.zxid, write.clone());
                     self.extend_contig();
                     ctx.send_value(from, 64, ZeusMsg::AckAppend { zxid: write.zxid });
@@ -485,7 +541,7 @@ impl EnsembleActor {
                     if last_zxid >= self.election_position() {
                         ctx.send_value(from, 64, ZeusMsg::Vote { epoch });
                     } else if self.role == Role::Leader {
-                        ctx.metrics().incr("zeus.leader_stepdowns", 1);
+                        ctx.metrics().incr(LEADER_STEPDOWNS, 1);
                         self.step_down(ctx);
                     }
                 }
@@ -540,7 +596,7 @@ impl EnsembleActor {
                 // or it would anti-entropy into the void forever.
                 if let Some(leader) = self.current_leader {
                     if leader != ctx.node() {
-                        ctx.metrics().incr("zeus.sync_redirects", 1);
+                        ctx.metrics().incr(SYNC_REDIRECTS, 1);
                         ctx.send_value(from, 64, ZeusMsg::NewLeader { epoch: self.epoch, leader });
                     }
                 }
@@ -599,9 +655,17 @@ impl Actor for EnsembleActor {
                     .map(|(_, w)| w.clone())
                     .collect();
                 if !pending.is_empty() {
-                    ctx.metrics()
-                        .incr("zeus.append_retransmits", pending.len() as u64);
+                    ctx.metrics().incr(APPEND_RETRANSMITS, pending.len() as u64);
                     for w in pending {
+                        if let Some(t) = w.trace {
+                            // Every retransmission is annotated (never
+                            // deduped) so the waterfall shows retry counts.
+                            ctx.trace_annot(
+                                t,
+                                hops::RETRANSMIT,
+                                vec![("zxid", w.zxid.to_string())],
+                            );
+                        }
                         let size = w.wire_size();
                         self.broadcast(ctx, &ZeusMsg::Append { write: w }, size);
                     }

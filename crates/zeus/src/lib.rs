@@ -49,6 +49,7 @@
 pub mod deploy;
 pub mod ensemble;
 pub mod invariants;
+pub mod metrics;
 pub mod observer;
 pub mod proxy;
 pub mod pull;

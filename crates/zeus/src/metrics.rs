@@ -1,0 +1,71 @@
+//! Centralised metric names for the Zeus tiers.
+//!
+//! Every `ctx.metrics().incr/sample` call site and every reporting site
+//! references these constants, so a recording name and its reader cannot
+//! silently typo apart (the failure mode: a counter recorded as
+//! `zeus.proxy_failover` and read as `zeus.proxy_failovers` reports an
+//! eternal zero instead of an error).
+
+/// End-to-end commit → client-apply latency, sampled at the proxy when a
+/// notify actually changes the on-disk cache (Fig. 13's quantity).
+pub const PROPAGATION_S: &str = "zeus.propagation_s";
+/// Writes committed by the leader after quorum ack.
+pub const COMMITS: &str = "zeus.commits";
+/// Leader elections completed.
+pub const LEADER_ELECTIONS: &str = "zeus.leader_elections";
+/// Leaders that stepped down on seeing a higher epoch.
+pub const LEADER_STEPDOWNS: &str = "zeus.leader_stepdowns";
+/// Proposals dropped because the receiver was not a leader.
+pub const DROPPED_PROPOSALS: &str = "zeus.dropped_proposals";
+/// Proposals redirected between ensemble members during sync.
+pub const SYNC_REDIRECTS: &str = "zeus.sync_redirects";
+/// Uncommitted log suffixes truncated on epoch change.
+pub const TRUNCATED_UNCOMMITTED: &str = "zeus.truncated_uncommitted";
+/// Writes re-proposed by a new leader after election.
+pub const REPROPOSED_ON_ELECTION: &str = "zeus.reproposed_on_election";
+/// Append retransmissions issued by the heartbeat pacer.
+pub const APPEND_RETRANSMITS: &str = "zeus.append_retransmits";
+/// Observer-applied committed writes.
+pub const OBSERVER_APPLIED: &str = "zeus.observer_applied";
+/// Observers that detected a gap and requested a resync.
+pub const OBSERVER_GAP_RESYNCS: &str = "zeus.observer_gap_resyncs";
+/// Proxy reconnects to a different observer after a failed healthcheck.
+pub const PROXY_FAILOVERS: &str = "zeus.proxy_failovers";
+/// Proxy failovers that found no alternative observer.
+pub const PROXY_FAILOVER_EXHAUSTED: &str = "zeus.proxy_failover_exhausted";
+/// Cache-changing notifies applied at proxies.
+pub const PROXY_UPDATES: &str = "zeus.proxy_updates";
+/// Driver writes that found no reachable leader.
+pub const WRITES_UNROUTABLE: &str = "zeus.writes_unroutable";
+
+/// Pull-based distribution (the §4 push-vs-pull comparison).
+pub mod pull {
+    /// Poll requests issued by pull clients.
+    pub const POLLS: &str = "pull.polls";
+    /// Polls that returned no change.
+    pub const EMPTY_POLLS: &str = "pull.empty_polls";
+    /// Bytes sent in poll replies.
+    pub const REPLY_BYTES: &str = "pull.reply_bytes";
+    /// Bytes sent in poll requests.
+    pub const POLL_BYTES: &str = "pull.poll_bytes";
+    /// Staleness of configs at poll observation points.
+    pub const STALENESS_S: &str = "pull.staleness_s";
+}
+
+/// Trace hop and annotation names for the Zeus leg of a commit's journey.
+pub mod hops {
+    /// Leader accepted a proposal and assigned a zxid.
+    pub const LEADER_PROPOSE: &str = "zeus.leader_propose";
+    /// Follower persisted an append.
+    pub const FOLLOWER_APPEND: &str = "zeus.follower_append";
+    /// Leader committed after quorum ack.
+    pub const QUORUM_COMMIT: &str = "zeus.quorum_commit";
+    /// Observer applied the committed write (push or sync path).
+    pub const OBSERVER_APPLY: &str = "zeus.observer_apply";
+    /// Proxy applied the write to the on-disk cache (client visibility).
+    pub const PROXY_APPLY: &str = "zeus.proxy_apply";
+    /// Annotation: heartbeat pacer retransmitted an append.
+    pub const RETRANSMIT: &str = "zeus.retransmit";
+    /// Annotation: write re-proposed by a newly elected leader.
+    pub const REPROPOSE: &str = "zeus.repropose";
+}

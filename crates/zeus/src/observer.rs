@@ -9,6 +9,7 @@
 
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
 
+use crate::metrics::{hops, OBSERVER_APPLIED, OBSERVER_GAP_RESYNCS};
 use crate::store::{ConfigStore, WatchTable};
 use crate::types::{ZeusMsg, Zxid};
 
@@ -83,12 +84,13 @@ impl ObserverActor {
             let size = current.wire_size();
             let watchers: Vec<NodeId> = self.watches.watchers(path).collect();
             for w in watchers {
-                ctx.send_value(
+                ctx.send_traced(
                     w,
                     size,
-                    ZeusMsg::Notify {
+                    Box::new(ZeusMsg::Notify {
                         write: current.clone(),
-                    },
+                    }),
+                    current.trace,
                 );
             }
         }
@@ -113,7 +115,7 @@ impl Actor for ObserverActor {
             return;
         };
         match *msg {
-            ZeusMsg::ObserverUpdate { write } => {
+            ZeusMsg::ObserverUpdate { mut write } => {
                 let z = write.zxid;
                 if self.is_next(z) {
                     self.contig = z;
@@ -123,13 +125,25 @@ impl Actor for ObserverActor {
                     // the previous epoch's tail did we miss?). Either way,
                     // request the missing range from the cursor; the write
                     // itself is still applied below so reads stay fresh.
-                    ctx.metrics().incr("zeus.observer_gap_resyncs", 1);
+                    ctx.metrics().incr(OBSERVER_GAP_RESYNCS, 1);
                     self.sync(ctx);
+                }
+                // Re-root the context at this observer so proxy hops hang
+                // off the observer that served them; the per-node dedup key
+                // makes retransmitted pushes record nothing.
+                if let Some(t) = write.trace {
+                    if let Some(c) = ctx.trace_hop(
+                        t,
+                        hops::OBSERVER_APPLY,
+                        vec![("zxid", z.to_string()), ("via", "push".into())],
+                    ) {
+                        write.trace = Some(c);
+                    }
                 }
                 let path = write.path.clone();
                 if self.store.apply(write) {
                     self.notify_watchers(ctx, &path);
-                    ctx.metrics().incr("zeus.observer_applied", 1);
+                    ctx.metrics().incr(OBSERVER_APPLIED, 1);
                 }
             }
             ZeusMsg::SyncReply { writes, upto } => {
@@ -137,7 +151,16 @@ impl Actor for ObserverActor {
                 // behind `last_applied`, so notify watchers of every path
                 // whose materialized value actually changed.
                 let mut changed: Vec<String> = Vec::new();
-                for w in writes {
+                for mut w in writes {
+                    if let Some(t) = w.trace {
+                        if let Some(c) = ctx.trace_hop(
+                            t,
+                            hops::OBSERVER_APPLY,
+                            vec![("zxid", w.zxid.to_string()), ("via", "sync".into())],
+                        ) {
+                            w.trace = Some(c);
+                        }
+                    }
                     let path = w.path.clone();
                     if self.store.absorb(w) {
                         changed.push(path);
@@ -151,9 +174,15 @@ impl Actor for ObserverActor {
             }
             ZeusMsg::Subscribe { path, have } => {
                 self.watches.watch(from, &path);
-                if let Some(w) = self.store.get(&path) {
+                if let Some(w) = self.store.get(&path).cloned() {
                     if w.zxid > have {
-                        ctx.send_value(from, w.wire_size(), ZeusMsg::Notify { write: w.clone() });
+                        let trace = w.trace;
+                        ctx.send_traced(
+                            from,
+                            w.wire_size(),
+                            Box::new(ZeusMsg::Notify { write: w }),
+                            trace,
+                        );
                     }
                 }
             }

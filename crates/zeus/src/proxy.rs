@@ -15,8 +15,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use rand::seq::SliceRandom;
+use rand::Rng;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
 
+use crate::metrics::PROXY_UPDATES;
+use crate::metrics::{hops, PROPAGATION_S, PROXY_FAILOVERS, PROXY_FAILOVER_EXHAUSTED};
 use crate::types::{Write, ZeusMsg, Zxid};
 
 // Healthcheck timers are tagged with a generation counter so a stale timer
@@ -89,8 +92,9 @@ pub struct ProxyActor {
     /// Base healthcheck period (the interval while the connection is
     /// healthy, and the starting point for backoff).
     healthcheck: SimDuration,
-    /// Current healthcheck delay: doubles on every failed check up to
-    /// `max_backoff`, resets to `healthcheck` on a successful pong.
+    /// Current healthcheck delay: grows by decorrelated jitter on every
+    /// failed check up to `max_backoff`, resets to `healthcheck` on a
+    /// successful pong.
     backoff: SimDuration,
     max_backoff: SimDuration,
     timer_gen: u64,
@@ -115,7 +119,7 @@ impl ProxyActor {
             max_backoff: SimDuration::from_secs(8),
             timer_gen: 0,
             checks_since_resub: 0,
-            latency_metric: "zeus.propagation_s",
+            latency_metric: PROPAGATION_S,
         }
     }
 
@@ -163,7 +167,7 @@ impl ProxyActor {
                 // one we have — the backoff timer keeps the retry rate
                 // bounded — but make the exhaustion observable instead of
                 // silently pretending we failed over.
-                ctx.metrics().incr("zeus.proxy_failover_exhausted", 1);
+                ctx.metrics().incr(PROXY_FAILOVER_EXHAUSTED, 1);
                 self.current = previous.or_else(|| self.cluster_observers.first().copied());
             }
         }
@@ -218,10 +222,26 @@ impl Actor for ProxyActor {
             match *msg {
                 ZeusMsg::Notify { write } => {
                     let origin = write.origin;
+                    let trace = write.trace;
+                    let zxid = write.zxid;
                     if self.cache.put(write) {
                         let latency = (ctx.now() - origin).as_secs_f64();
                         ctx.metrics().sample(self.latency_metric, latency);
-                        ctx.metrics().incr("zeus.proxy_updates", 1);
+                        ctx.metrics().incr(PROXY_UPDATES, 1);
+                        // The final hop: the config is now visible to the
+                        // application through the on-disk cache. Guarded by
+                        // `put` (and the per-node dedup), so duplicate
+                        // notifies never double-count client applies.
+                        if let Some(t) = trace {
+                            ctx.trace_hop(
+                                t,
+                                hops::PROXY_APPLY,
+                                vec![
+                                    ("zxid", zxid.to_string()),
+                                    ("latency_s", format!("{latency:.6}")),
+                                ],
+                            );
+                        }
                     }
                 }
                 ZeusMsg::ProxyPong => {
@@ -238,12 +258,22 @@ impl Actor for ProxyActor {
         }
         if !self.pong_seen {
             // Observer is unresponsive: reconnect to another one and
-            // re-subscribe with the cached versions. Back off exponentially
-            // so a cluster-wide observer outage does not turn every proxy
-            // into a 2 Hz retry storm against whatever recovers first.
-            ctx.metrics().incr("zeus.proxy_failovers", 1);
+            // re-subscribe with the cached versions. Back off with
+            // decorrelated jitter — `sleep = min(cap, uniform(base, 3 *
+            // prev))` — so a cluster-wide observer outage does not turn
+            // every proxy into a synchronized retry storm against whatever
+            // recovers first: plain doubling keeps the fleet phase-locked,
+            // while the jittered draw spreads reconnects across the window.
+            ctx.metrics().incr(PROXY_FAILOVERS, 1);
             self.pick_observer(ctx);
-            self.backoff = (self.backoff * 2).min(self.max_backoff);
+            let base = self.healthcheck.as_micros();
+            let hi = self
+                .backoff
+                .as_micros()
+                .saturating_mul(3)
+                .min(self.max_backoff.as_micros())
+                .max(base);
+            self.backoff = SimDuration::from_micros(ctx.rng().gen_range(base..=hi));
         } else {
             self.backoff = self.healthcheck;
             self.checks_since_resub += 1;
@@ -282,6 +312,7 @@ mod tests {
             path: path.into(),
             data: Bytes::copy_from_slice(data.as_bytes()),
             origin: SimTime::ZERO,
+            trace: None,
         }
     }
 

@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use bytes::Bytes;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration, SimTime};
 
+use crate::metrics::pull::{EMPTY_POLLS, POLLS, POLL_BYTES, REPLY_BYTES, STALENESS_S};
 use crate::types::{Write, Zxid};
 
 const TIMER_POLL: u64 = 1;
@@ -104,11 +105,12 @@ impl Actor for PullServerActor {
                     path: path.clone(),
                     data,
                     origin,
+                    trace: None,
                 };
                 self.configs.insert(path, write);
             }
             PullMsg::Poll { interests } => {
-                ctx.metrics().incr("pull.polls", 1);
+                ctx.metrics().incr(POLLS, 1);
                 let changed: Vec<Write> = interests
                     .iter()
                     .filter_map(|(path, have)| {
@@ -116,11 +118,11 @@ impl Actor for PullServerActor {
                     })
                     .collect();
                 if changed.is_empty() {
-                    ctx.metrics().incr("pull.empty_polls", 1);
+                    ctx.metrics().incr(EMPTY_POLLS, 1);
                 }
                 let reply = PullMsg::PollReply { changed };
                 let size = reply.wire_size();
-                ctx.metrics().incr("pull.reply_bytes", size);
+                ctx.metrics().incr(REPLY_BYTES, size);
                 ctx.send_value(from, size, reply);
             }
             PullMsg::PollReply { .. } => {}
@@ -163,7 +165,7 @@ impl PullClientActor {
             .collect();
         let msg = PullMsg::Poll { interests };
         let size = msg.wire_size();
-        ctx.metrics().incr("pull.poll_bytes", size);
+        ctx.metrics().incr(POLL_BYTES, size);
         ctx.send_value(self.server, size, msg);
     }
 }
@@ -182,7 +184,7 @@ impl Actor for PullClientActor {
         if let PullMsg::PollReply { changed } = *msg {
             for w in changed {
                 let staleness = (ctx.now() - w.origin).as_secs_f64();
-                ctx.metrics().sample("pull.staleness_s", staleness);
+                ctx.metrics().sample(STALENESS_S, staleness);
                 self.cache.insert(w.path.clone(), w);
             }
         }

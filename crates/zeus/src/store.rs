@@ -221,6 +221,7 @@ mod tests {
             path: path.into(),
             data: Bytes::copy_from_slice(data.as_bytes()),
             origin: SimTime::ZERO,
+            trace: None,
         }
     }
 

@@ -1,7 +1,7 @@
 //! Core protocol types: transaction ids, writes, and wire messages.
 
 use bytes::Bytes;
-use simnet::{NodeId, SimTime};
+use simnet::{NodeId, SimTime, TraceCtx};
 
 /// A ZooKeeper-style transaction id: `(epoch, counter)`, totally ordered.
 ///
@@ -52,6 +52,10 @@ pub struct Write {
     /// When the originating client issued the write (for end-to-end
     /// propagation measurements).
     pub origin: SimTime,
+    /// Causal trace context carried from the originating commit, if the
+    /// write is being traced. Clones (retransmits, sync replies, notifies)
+    /// keep the context, so every downstream hop stays attributable.
+    pub trace: Option<TraceCtx>,
 }
 
 impl Write {
@@ -72,6 +76,8 @@ pub enum ZeusMsg {
         data: Bytes,
         /// Client-side origination time.
         origin: SimTime,
+        /// Trace context of the originating commit, if traced.
+        trace: Option<TraceCtx>,
     },
     /// Leader → follower: replicate a proposal.
     Append {
@@ -190,6 +196,7 @@ mod tests {
             path: "a/b".into(),
             data: Bytes::from(vec![0u8; 1000]),
             origin: SimTime::ZERO,
+            trace: None,
         };
         assert_eq!(w.wire_size(), 3 + 1000 + 64);
     }

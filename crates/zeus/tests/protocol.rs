@@ -93,6 +93,7 @@ fn leader_crash_elects_new_leader_and_writes_continue() {
         path: "cfg/f".to_string(),
         data: bytes::Bytes::from_static(b"after"),
         origin: sim.now(),
+        trace: None,
     };
     let now = sim.now();
     sim.post(now, new_leader, new_leader, Box::new(msg));
@@ -454,6 +455,84 @@ fn dropped_updates_heal_via_retransmit_and_gap_resync() {
 }
 
 #[test]
+fn traces_survive_retransmission_without_orphans_or_double_counts() {
+    use simnet::trace::RecordKind;
+    use zeus::metrics::hops;
+
+    let (mut sim, zeus) = deployment(35, vec!["cfg/traced".into()]);
+    // 30% loss forces retransmits and duplicate deliveries on every tier.
+    sim.set_link_faults(LinkFaults {
+        drop_prob: 0.3,
+        delay_prob: 0.0,
+        max_extra_delay: SimDuration::ZERO,
+    });
+    let t = sim.now();
+    let mut roots = Vec::new();
+    for i in 0..10u64 {
+        let at = SimTime(t.0 + i * 200_000);
+        let root = sim
+            .tracer_mut()
+            .start("cfg/traced", "driver.write", None, at, vec![]);
+        roots.push(root);
+        zeus.write_current_traced(
+            &mut sim,
+            at,
+            "cfg/traced",
+            format!("v{i}").into_bytes(),
+            Some(root),
+        );
+    }
+    sim.run_for(SimDuration::from_secs(5));
+    sim.clear_link_faults();
+    sim.run_for(SimDuration::from_secs(10));
+    assert_eq!(zeus.coverage(&sim, "cfg/traced", b"v9"), 1.0);
+    assert!(sim.metrics().counter("zeus.append_retransmits") > 0);
+
+    let tracer = sim.tracer();
+    let mut retransmit_annots = 0usize;
+    for root in &roots {
+        // Every hop's parent context was recorded before the message
+        // carrying it was sent: no orphans, even across drops and resyncs.
+        assert!(
+            tracer.orphans(root.trace).is_empty(),
+            "orphan records in trace {:?}",
+            root.trace
+        );
+        // Duplicate deliveries never double-count a hop: each (hop, node)
+        // pair appears at most once per trace.
+        let mut seen = std::collections::HashSet::new();
+        for r in tracer.trace_records(root.trace) {
+            if r.kind == RecordKind::Span {
+                assert!(
+                    seen.insert((r.name, r.node)),
+                    "hop {} recorded twice on {:?} in trace {:?}",
+                    r.name,
+                    r.node,
+                    root.trace
+                );
+            } else if r.name == hops::RETRANSMIT {
+                retransmit_annots += 1;
+            }
+        }
+    }
+    // Retransmissions are annotated (every one counts), not re-recorded as
+    // hops.
+    assert!(
+        retransmit_annots > 0,
+        "lossy run produced no retransmit annotations"
+    );
+
+    // The final write's trace reaches client visibility on every proxy.
+    let last = roots.last().unwrap();
+    let proxy_applies = tracer
+        .trace_records(last.trace)
+        .iter()
+        .filter(|r| r.kind == RecordKind::Span && r.name == hops::PROXY_APPLY)
+        .count();
+    assert_eq!(proxy_applies, zeus.proxies.len());
+}
+
+#[test]
 fn rejoining_partitioned_member_cannot_wedge_the_leader() {
     // The sole region-2 member sits out a partition, inflating its promised
     // epoch with doomed candidacies. On rejoin its high-epoch ElectMe would
@@ -509,6 +588,7 @@ fn uncommitted_minority_proposals_truncated_on_rejoin() {
             path: "cfg/trunc".into(),
             data: bytes::Bytes::from(format!("minority{i}").into_bytes()),
             origin: t,
+            trace: None,
         };
         sim.post(t, old_leader, old_leader, Box::new(msg));
     }
@@ -521,6 +601,7 @@ fn uncommitted_minority_proposals_truncated_on_rejoin() {
         path: "cfg/trunc".into(),
         data: bytes::Bytes::from_static(b"majority"),
         origin: t,
+        trace: None,
     };
     sim.post(t, majority_leader, majority_leader, Box::new(msg));
     sim.run_for(SimDuration::from_secs(2));

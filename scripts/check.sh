@@ -15,4 +15,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== metrics determinism gate (chaos seeds 1 2 3)"
+# Chaos scenarios must be byte-for-byte reproducible: the exported metrics
+# snapshot for a fixed seed is diffed against a checked-in golden. A diff
+# means nondeterminism crept into the simulator (or the metrics surface
+# changed — regenerate with scripts/update_goldens.sh and review the diff).
+for seed in 1 2 3; do
+    cargo run -q --release -p bench --bin repro -- metrics --chaos --seed "$seed" \
+        | diff -u "scripts/goldens/chaos_metrics_seed${seed}.prom" - \
+        || { echo "metrics snapshot for chaos seed ${seed} diverged from golden"; exit 1; }
+done
+
 echo "all checks passed"

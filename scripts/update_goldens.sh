@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates the chaos metrics goldens that scripts/check.sh diffs
+# against. Run after an intentional change to the metrics surface or the
+# chaos pipeline, and review the resulting diff before committing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p scripts/goldens
+for seed in 1 2 3; do
+    cargo run -q --release -p bench --bin repro -- metrics --chaos --seed "$seed" \
+        > "scripts/goldens/chaos_metrics_seed${seed}.prom"
+    echo "wrote scripts/goldens/chaos_metrics_seed${seed}.prom"
+done

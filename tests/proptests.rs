@@ -178,6 +178,7 @@ proptest! {
                 path: path.clone(),
                 data: Bytes::from(v.clone().into_bytes()),
                 origin: simnet::SimTime::ZERO,
+                trace: None,
             };
             prop_assert!(store.apply(w));
             model.insert(path, v.clone());
