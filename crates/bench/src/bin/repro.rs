@@ -11,6 +11,8 @@
 //!                            # per-commit propagation waterfalls
 //! repro metrics [--seed <n>] [--chaos]
 //!                            # Prometheus-format metrics dump
+//! repro losssweep [--seed <n>]
+//!                            # bytes-on-wire under loss: batched vs baseline
 //! ```
 //!
 //! `--full` uses the larger scale quoted in `EXPERIMENTS.md`; the default
@@ -61,6 +63,11 @@ fn main() {
 
     let chaos_flag = args.iter().any(|a| a == "--chaos");
     match names.first().copied() {
+        Some("losssweep") => {
+            banner("losssweep");
+            println!("{}", bench::loss_exp::losssweep(seed.unwrap_or(1)));
+            return;
+        }
         Some("trace") => {
             banner("trace");
             println!("{}", bench::trace_exp::trace(seed.unwrap_or(1), chaos_flag));

@@ -10,6 +10,7 @@ pub mod distribution;
 pub mod fig13;
 pub mod gatekeeper_exp;
 pub mod incidents;
+pub mod loss_exp;
 pub mod mobile;
 pub mod stats_figs;
 pub mod trace_exp;
@@ -88,6 +89,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
             Scale::Small => 24,
             Scale::Full => 60,
         }),
+        "losssweep" => loss_exp::losssweep(1),
         _ => return None,
     })
 }
@@ -118,4 +120,5 @@ pub const ALL: &[&str] = &[
     "mobile",
     "canary",
     "chaos",
+    "losssweep",
 ];

@@ -54,10 +54,13 @@ enum EventKind {
         to: NodeId,
         from: NodeId,
         msg: Message,
-        /// Trace context riding on the delivery envelope (in addition to
+        /// Trace contexts riding on the delivery envelope (in addition to
         /// whatever the protocol payload itself carries), so the engine can
-        /// annotate drops and retransmits onto the originating trace.
-        trace: Option<TraceCtx>,
+        /// annotate drops and retransmits onto the originating traces. A
+        /// batched frame carries one context per batched write: if the
+        /// frame is dropped, *every* write's waterfall shows the drop, not
+        /// just the first one's. Empty for untraced messages.
+        traces: Vec<TraceCtx>,
     },
     Timer {
         node: NodeId,
@@ -134,9 +137,9 @@ pub struct Sim {
     rng: SmallRng,
     metrics: Metrics,
     tracer: Tracer,
-    /// Trace context of the delivery currently being handled, readable by
+    /// Trace contexts of the delivery currently being handled, readable by
     /// the receiving actor via [`Ctx::incoming_trace`].
-    delivering_trace: Option<TraceCtx>,
+    delivering_traces: Vec<TraceCtx>,
     events_processed: u64,
 }
 
@@ -160,7 +163,7 @@ impl Sim {
             rng: SmallRng::seed_from_u64(seed),
             metrics: Metrics::new(),
             tracer: Tracer::new(),
-            delivering_trace: None,
+            delivering_traces: Vec::new(),
             events_processed: 0,
         }
     }
@@ -251,7 +254,7 @@ impl Sim {
                 to,
                 from,
                 msg,
-                trace,
+                traces: trace.into_iter().collect(),
             },
         );
     }
@@ -333,12 +336,12 @@ impl Sim {
                 to,
                 from,
                 msg,
-                trace,
+                traces,
             } => {
                 if !self.up[to.0 as usize] {
                     self.metrics.incr(names::DROPPED_TO_DOWN_NODE, 1);
-                    if let Some(t) = trace {
-                        let at = self.now;
+                    let at = self.now;
+                    for t in traces {
                         self.tracer.annot(
                             t,
                             "net.drop",
@@ -349,9 +352,9 @@ impl Sim {
                     }
                     return true;
                 }
-                self.delivering_trace = trace;
+                self.delivering_traces = traces;
                 self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
-                self.delivering_trace = None;
+                self.delivering_traces.clear();
             }
             EventKind::Timer { node, tag } => {
                 if self.up[node.0 as usize] {
@@ -424,19 +427,20 @@ impl Sim {
     /// `to` sent now, updating link occupancy, and enqueues the delivery.
     /// Messages across a partitioned region pair are dropped at send time.
     fn transmit(&mut self, from: NodeId, to: NodeId, size: u64, msg: Message) {
-        self.transmit_traced(from, to, size, msg, None);
+        self.transmit_traced(from, to, size, msg, Vec::new());
     }
 
-    /// [`Sim::transmit`] with a trace context riding the envelope. Drops
-    /// caused by partitions or injected faults are annotated onto the
-    /// trace, so a waterfall shows *why* a hop is missing or late.
+    /// [`Sim::transmit`] with trace contexts riding the envelope (one per
+    /// batched write). Drops caused by partitions or injected faults are
+    /// annotated onto every carried trace, so a waterfall shows *why* a hop
+    /// is missing or late even when its write shared a frame with others.
     fn transmit_traced(
         &mut self,
         from: NodeId,
         to: NodeId,
         size: u64,
         msg: Message,
-        trace: Option<TraceCtx>,
+        traces: Vec<TraceCtx>,
     ) {
         let prox = self.topo.proximity(from, to);
         if prox == Proximity::CrossRegion {
@@ -444,8 +448,8 @@ impl Sim {
             let rb = self.topo.placement(to).region;
             if self.partitions.contains(&normalize(ra, rb)) {
                 self.metrics.incr(names::DROPPED_PARTITIONED, 1);
-                if let Some(t) = trace {
-                    let at = self.now;
+                let at = self.now;
+                for t in traces {
                     self.tracer.annot(
                         t,
                         "net.drop",
@@ -465,8 +469,8 @@ impl Sim {
             // to itself.
             if self.link_faults.drop_prob > 0.0 && self.rng.gen_bool(self.link_faults.drop_prob) {
                 self.metrics.incr(names::DROPPED_CHAOS, 1);
-                if let Some(t) = trace {
-                    let at = self.now;
+                let at = self.now;
+                for t in traces {
                     self.tracer.annot(
                         t,
                         "net.drop",
@@ -511,7 +515,7 @@ impl Sim {
                 to,
                 from,
                 msg,
-                trace,
+                traces,
             },
         );
     }
@@ -557,7 +561,23 @@ impl Ctx<'_> {
     /// drops (partition, chaos, down node) are annotated onto the trace.
     pub fn send_traced(&mut self, to: NodeId, size: u64, msg: Message, trace: Option<TraceCtx>) {
         let from = self.node;
-        self.sim.transmit_traced(from, to, size, msg, trace);
+        self.sim
+            .transmit_traced(from, to, size, msg, trace.into_iter().collect());
+    }
+
+    /// Sends one frame carrying several traced writes: every context in
+    /// `traces` rides the envelope, so an engine-level drop of the frame is
+    /// annotated onto each write's trace (a batch is all-or-nothing on the
+    /// wire — either every write arrives or none does).
+    pub fn send_traced_batch(
+        &mut self,
+        to: NodeId,
+        size: u64,
+        msg: Message,
+        traces: Vec<TraceCtx>,
+    ) {
+        let from = self.node;
+        self.sim.transmit_traced(from, to, size, msg, traces);
     }
 
     /// Convenience wrapper boxing `value` as the message payload.
@@ -565,10 +585,11 @@ impl Ctx<'_> {
         self.send(to, size, Box::new(value));
     }
 
-    /// The trace context on the envelope of the message currently being
-    /// delivered, if the sender attached one via [`Ctx::send_traced`].
+    /// The first trace context on the envelope of the message currently
+    /// being delivered, if the sender attached any via [`Ctx::send_traced`]
+    /// or [`Ctx::send_traced_batch`].
     pub fn incoming_trace(&self) -> Option<TraceCtx> {
-        self.sim.delivering_trace
+        self.sim.delivering_traces.first().copied()
     }
 
     /// The trace collector.
@@ -704,6 +725,36 @@ mod tests {
         sim.run_until_idle();
         let b: &Counter = sim.actor(NodeId(1)).unwrap();
         assert_eq!(b.got.len(), 1);
+    }
+
+    #[test]
+    fn dropped_batch_frame_annotates_every_carried_trace() {
+        use crate::trace::RecordKind;
+        let topo = Topology::symmetric(2, 1, 1);
+        let mut sim = Sim::new(topo, NetConfig::default(), 7);
+        sim.add_actor(NodeId(0), Box::new(Counter::default()));
+        sim.add_actor(NodeId(1), Box::new(Counter::default()));
+        let a = sim
+            .tracer_mut()
+            .start("a", "root", None, SimTime(0), vec![]);
+        let b = sim
+            .tracer_mut()
+            .start("b", "root", None, SimTime(0), vec![]);
+        sim.partition(RegionId(0), RegionId(1));
+        sim.schedule(SimTime::ZERO, move |s| {
+            s.transmit_traced(NodeId(0), NodeId(1), 8, Box::new(9u64), vec![a, b]);
+        });
+        sim.run_until_idle();
+        // One frame, two writes: the drop shows up on both waterfalls.
+        for root in [a, b] {
+            let drops = sim
+                .tracer()
+                .trace_records(root.trace)
+                .into_iter()
+                .filter(|r| r.kind == RecordKind::Annot && r.name == "net.drop")
+                .count();
+            assert_eq!(drops, 1, "trace {:?} missing its drop annot", root.trace);
+        }
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! which deduplicates on (trace, hop name, node): the first arrival wins,
 //! re-deliveries return `None` and record nothing.
 //!
+//! Batched frames (a retransmitted append batch, a coalesced observer or
+//! proxy push) carry one context *per batched write* on the envelope
+//! (`Ctx::send_traced_batch`): each write keeps its own trace, so the
+//! per-write dedup key still applies hop-by-hop, and an engine-level drop
+//! of the frame annotates every write's waterfall rather than only the
+//! first one's.
+//!
 //! All IDs are allocated from sequential counters, so a run's trace output
 //! is as deterministic as the simulation itself.
 

@@ -122,11 +122,15 @@ impl ZeusDeployment {
                 )),
             );
         }
-        // Install observers.
+        // Install observers. The legacy flag rides along so the losssweep
+        // baseline degrades the whole pipeline, not just the ensemble tier.
         for &node in &observers {
             sim.add_actor(
                 node,
-                Box::new(ObserverActor::new(leader, cfg.ensemble.log_cap)),
+                Box::new(
+                    ObserverActor::new(leader, cfg.ensemble.log_cap)
+                        .with_legacy_notify(cfg.ensemble.legacy_rebroadcast),
+                ),
             );
         }
         // Install proxies everywhere else.

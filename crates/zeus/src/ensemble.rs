@@ -27,7 +27,7 @@ use crate::metrics::TRUNCATED_UNCOMMITTED;
 use crate::metrics::{hops, APPEND_RETRANSMITS, COMMITS, DROPPED_PROPOSALS, LEADER_ELECTIONS};
 use crate::metrics::{LEADER_STEPDOWNS, REPROPOSED_ON_ELECTION, SYNC_REDIRECTS};
 use crate::store::ConfigStore;
-use crate::types::{Write, ZeusMsg, Zxid};
+use crate::types::{batch_traces, batch_wire_size, Write, ZeusMsg, Zxid, MAX_BATCH_WRITES};
 
 /// Timer tag for the leader heartbeat. Election timers use a per-node
 /// generation counter (1, 2, 3, ...) as their tag instead of a fixed value:
@@ -45,6 +45,13 @@ pub struct EnsembleConfig {
     pub election_timeout: SimDuration,
     /// Writes retained for catch-up responses.
     pub log_cap: usize,
+    /// Pre-batching baseline for A/B measurement (`repro losssweep`): the
+    /// heartbeat pacer re-broadcasts the entire uncommitted tail, one
+    /// `Append` frame per write, to every follower — acked or not — and
+    /// the leader pushes one frame per committed write to each observer
+    /// (with observers notifying proxies one frame per path). Leave off
+    /// for the ack-aware, batched behavior.
+    pub legacy_rebroadcast: bool,
 }
 
 impl Default for EnsembleConfig {
@@ -53,6 +60,7 @@ impl Default for EnsembleConfig {
             heartbeat: SimDuration::from_millis(50),
             election_timeout: SimDuration::from_millis(400),
             log_cap: 100_000,
+            legacy_rebroadcast: false,
         }
     }
 }
@@ -80,7 +88,19 @@ pub struct EnsembleActor {
     committed: Zxid,
     store: ConfigStore,
     next_counter: u64,
-    acks: BTreeMap<Zxid, HashSet<NodeId>>,
+    /// Leader-side per-follower cumulative ack cursors: the highest zxid
+    /// each peer has confirmed holding as a gap-free prefix of its epoch's
+    /// log (via [`ZeusMsg::AckUpTo`]). Commit counting and targeted
+    /// retransmission both read this — a write at or below a follower's
+    /// cursor is acked and is never re-sent to that follower.
+    peer_acked: BTreeMap<NodeId, Zxid>,
+    /// Follower-side cumulative ack position: the longest gap-free prefix
+    /// `(epoch, 1..=counter)` of the current epoch's appends held in the
+    /// log. Unlike `contig` it resets at every epoch boundary (a new
+    /// leader's log starts at counter 1 by construction), which is what
+    /// lets acks keep flowing right after an election, before a sync
+    /// reply walks `contig` across the boundary.
+    ack_upto: Zxid,
     votes: HashSet<NodeId>,
     heard_from_leader: bool,
     /// Tag of the live election-timer chain; older tags are stale chains.
@@ -121,7 +141,8 @@ impl EnsembleActor {
             log: BTreeMap::new(),
             committed: Zxid::ZERO,
             next_counter: 0,
-            acks: BTreeMap::new(),
+            peer_acked: BTreeMap::new(),
+            ack_upto: Zxid::ZERO,
             votes: HashSet::new(),
             heard_from_leader: true,
             election_gen: 0,
@@ -168,8 +189,52 @@ impl EnsembleActor {
         self.log.values().any(|w| w.path == path)
     }
 
+    /// The zxids currently held in the replication log. Exposed for tests
+    /// that audit the contiguity cursor against what is actually held: a
+    /// partially applied batch frame would leave a hole below the cursor.
+    pub fn logged_zxids(&self) -> Vec<Zxid> {
+        self.log.keys().copied().collect()
+    }
+
     fn quorum(&self) -> usize {
         self.peers.len() / 2 + 1
+    }
+
+    /// Advances and returns the follower-side cumulative ack position: the
+    /// longest gap-free `(epoch, 1..=counter)` prefix of `epoch`'s appends
+    /// held in the log. A leader's first proposal of an epoch is always
+    /// counter 1 (`become_leader` resets the counter), so the prefix walk
+    /// can start from zero at every epoch change.
+    fn ack_position(&mut self, epoch: u32) -> Zxid {
+        if self.ack_upto.epoch != epoch {
+            self.ack_upto = Zxid { epoch, counter: 0 };
+        }
+        loop {
+            let next = Zxid {
+                epoch,
+                counter: self.ack_upto.counter + 1,
+            };
+            if self.log.contains_key(&next) {
+                self.ack_upto = next;
+            } else {
+                break;
+            }
+        }
+        self.ack_upto
+    }
+
+    /// Leader-side support count for `zxid`: self plus every follower whose
+    /// cumulative ack covers it. Cursors are per-epoch (a follower acks the
+    /// gap-free prefix of the *current* epoch's appends), so only same-epoch
+    /// acks count — which is exactly right: every uncommitted log entry is
+    /// a current-epoch proposal (`become_leader` re-proposes the inherited
+    /// tail under its own epoch).
+    fn support_for(&self, zxid: Zxid) -> usize {
+        1 + self
+            .peer_acked
+            .values()
+            .filter(|a| a.epoch == zxid.epoch && a.counter >= zxid.counter)
+            .count()
     }
 
     /// Walks the contiguity cursor forward through gap-free same-epoch
@@ -260,6 +325,9 @@ impl EnsembleActor {
     fn step_down(&mut self, ctx: &mut Ctx<'_>) {
         let was_leader = self.role == Role::Leader;
         self.role = Role::Follower;
+        // Ack cursors are leader-side state; a deposed leader's copy is
+        // stale the moment the new epoch's proposals start flowing.
+        self.peer_acked.clear();
         if was_leader {
             self.arm_election(ctx);
         }
@@ -277,7 +345,7 @@ impl EnsembleActor {
         self.role = Role::Leader;
         self.current_leader = Some(ctx.node());
         self.next_counter = 0;
-        self.acks.clear();
+        self.peer_acked.clear();
         // Retire the election chain; the heartbeat chain takes over.
         self.election_gen += 1;
         ctx.metrics().incr(LEADER_ELECTIONS, 1);
@@ -329,6 +397,13 @@ impl EnsembleActor {
             committed: self.committed,
         };
         self.broadcast(ctx, &msg, 64);
+        // Observers get the heartbeat too: push frames are all-or-nothing,
+        // so a fully dropped push round is otherwise silent until the next
+        // anti-entropy tick. The 64-byte commit head lets an observer spot
+        // the hole within one heartbeat period and resync immediately.
+        for &o in &self.observers {
+            ctx.send_value(o, 64, msg.clone());
+        }
     }
 
     /// Leader path: assign a zxid, append locally, replicate.
@@ -363,9 +438,6 @@ impl EnsembleActor {
         // The leader authors history in order; its own proposals are
         // contiguous by construction.
         self.contig = write.zxid;
-        let mut set = HashSet::new();
-        set.insert(ctx.node());
-        self.acks.insert(write.zxid, set);
         let size = write.wire_size();
         self.broadcast(ctx, &ZeusMsg::Append { write }, size);
         // A single-node ensemble commits immediately.
@@ -375,13 +447,19 @@ impl EnsembleActor {
     fn try_commit(&mut self, ctx: &mut Ctx<'_>) {
         let quorum = self.quorum();
         let mut new_commit = self.committed;
-        // Commits are in-order: advance through consecutive quorum-acked
-        // proposals only.
-        for (&zxid, ackers) in &self.acks {
-            if zxid <= new_commit {
-                continue;
-            }
-            if ackers.len() >= quorum {
+        // Commits are in-order: advance through consecutive proposals whose
+        // cumulative-ack support reaches a quorum, stop at the first that
+        // lacks it. Cumulative cursors make the per-proposal check O(peers).
+        let candidates: Vec<Zxid> = self
+            .log
+            .range((
+                std::ops::Bound::Excluded(self.committed),
+                std::ops::Bound::Unbounded,
+            ))
+            .map(|(&z, _)| z)
+            .collect();
+        for zxid in candidates {
+            if self.support_for(zxid) >= quorum {
                 new_commit = zxid;
             } else {
                 break;
@@ -389,18 +467,22 @@ impl EnsembleActor {
         }
         if new_commit > self.committed {
             self.committed = new_commit;
-            // Apply and push to observers in order.
+            // Apply in order, then push to each observer as ONE batched
+            // frame. A quorum ack that commits several proposals at once
+            // (the norm when loss stalled the in-order commit point) used
+            // to fan out one message per write per observer.
             let to_apply: Vec<Write> = self
                 .log
                 .range(..=new_commit)
                 .filter(|(z, _)| **z > self.store.last_applied())
                 .map(|(_, w)| w.clone())
                 .collect();
+            let mut batch: Vec<Write> = Vec::with_capacity(to_apply.len());
             for mut w in to_apply {
                 // Re-root the write's context at the commit span, so the
                 // observer/proxy fan-out hangs off the quorum decision.
                 if let Some(t) = w.trace {
-                    let acks = self.acks.get(&w.zxid).map(|s| s.len()).unwrap_or(0);
+                    let acks = self.support_for(w.zxid);
                     if let Some(c) = ctx.trace_hop(
                         t,
                         hops::QUORUM_COMMIT,
@@ -410,19 +492,105 @@ impl EnsembleActor {
                     }
                 }
                 self.store.apply(w.clone());
-                let size = w.wire_size();
+                batch.push(w);
+            }
+            if !batch.is_empty() {
                 for &o in &self.observers.clone() {
-                    ctx.send_traced(
-                        o,
-                        size,
-                        Box::new(ZeusMsg::ObserverUpdate { write: w.clone() }),
-                        w.trace,
+                    if self.cfg.legacy_rebroadcast {
+                        // Baseline: one frame per committed write, asserting
+                        // completeness only up to itself — exactly the
+                        // information the pre-batching per-write push
+                        // carried.
+                        for w in &batch {
+                            ctx.send_traced_batch(
+                                o,
+                                batch_wire_size(std::slice::from_ref(w)),
+                                Box::new(ZeusMsg::ObserverUpdateBatch {
+                                    writes: vec![w.clone()],
+                                    upto: w.zxid,
+                                }),
+                                batch_traces(std::slice::from_ref(w)),
+                            );
+                        }
+                    } else {
+                        for chunk in batch.chunks(MAX_BATCH_WRITES) {
+                            ctx.send_traced_batch(
+                                o,
+                                batch_wire_size(chunk),
+                                Box::new(ZeusMsg::ObserverUpdateBatch {
+                                    writes: chunk.to_vec(),
+                                    upto: new_commit,
+                                }),
+                                batch_traces(chunk),
+                            );
+                        }
+                    }
+                }
+            }
+            self.broadcast(ctx, &ZeusMsg::CommitUpTo { zxid: new_commit }, 64);
+            // Counts committed WRITES, not commit-point advances: a quorum
+            // ack that lands several proposals at once is that many commits.
+            ctx.metrics().incr(COMMITS, batch.len() as u64);
+        }
+    }
+
+    /// Targeted retransmission: for each follower, send exactly the pending
+    /// writes its cumulative ack cursor does not cover, as one
+    /// all-or-nothing `AppendBatch` frame. Followers that already acked the
+    /// whole tail get nothing. `APPEND_RETRANSMITS` counts the actually
+    /// retransmitted (follower, write) pairs.
+    fn retransmit_targeted(&mut self, ctx: &mut Ctx<'_>, pending: &[Write]) {
+        let me = ctx.node();
+        for &f in &self.peers.clone() {
+            if f == me {
+                continue;
+            }
+            let acked = self.peer_acked.get(&f).copied().unwrap_or(Zxid::ZERO);
+            let floor = self.committed.max(acked);
+            let missing: Vec<Write> = pending.iter().filter(|w| w.zxid > floor).cloned().collect();
+            if missing.is_empty() {
+                continue;
+            }
+            ctx.metrics().incr(APPEND_RETRANSMITS, missing.len() as u64);
+            for w in &missing {
+                if let Some(t) = w.trace {
+                    // Every retransmission is annotated (never deduped) so
+                    // the waterfall shows per-follower retry counts.
+                    ctx.trace_annot(
+                        t,
+                        hops::RETRANSMIT,
+                        vec![("zxid", w.zxid.to_string()), ("to", f.0.to_string())],
                     );
                 }
             }
-            self.acks.retain(|z, _| *z > new_commit);
-            self.broadcast(ctx, &ZeusMsg::CommitUpTo { zxid: new_commit }, 64);
-            ctx.metrics().incr(COMMITS, 1);
+            for chunk in missing.chunks(MAX_BATCH_WRITES) {
+                ctx.send_traced_batch(
+                    f,
+                    batch_wire_size(chunk),
+                    Box::new(ZeusMsg::AppendBatch {
+                        writes: chunk.to_vec(),
+                    }),
+                    batch_traces(chunk),
+                );
+            }
+        }
+    }
+
+    /// Pre-batching baseline (`legacy_rebroadcast`): the whole pending tail
+    /// goes to every follower, one `Append` frame per write, acked or not.
+    /// Kept so `repro losssweep` can measure the bytes the targeted path
+    /// saves. `APPEND_RETRANSMITS` counts (follower, write) pairs here too,
+    /// so the two modes are comparable.
+    fn retransmit_blanket(&mut self, ctx: &mut Ctx<'_>, pending: &[Write]) {
+        let fanout = (self.peers.len() - 1) as u64;
+        ctx.metrics()
+            .incr(APPEND_RETRANSMITS, pending.len() as u64 * fanout);
+        for w in pending {
+            if let Some(t) = w.trace {
+                ctx.trace_annot(t, hops::RETRANSMIT, vec![("zxid", w.zxid.to_string())]);
+            }
+            let size = w.wire_size();
+            self.broadcast(ctx, &ZeusMsg::Append { write: w.clone() }, size);
         }
     }
 
@@ -473,7 +641,8 @@ impl EnsembleActor {
             }
             ZeusMsg::Append { write }
                 if self.role != Role::Leader && write.zxid.epoch >= self.epoch => {
-                    self.sync_epoch(ctx, write.zxid.epoch);
+                    let epoch = write.zxid.epoch;
+                    self.sync_epoch(ctx, epoch);
                     self.heard_from_leader = true;
                     if let Some(t) = write.trace {
                         // Deduplicated per node: a retransmitted append does
@@ -486,14 +655,42 @@ impl EnsembleActor {
                     }
                     self.log.insert(write.zxid, write.clone());
                     self.extend_contig();
-                    ctx.send_value(from, 64, ZeusMsg::AckAppend { zxid: write.zxid });
+                    // Cumulative ack: one frame covers everything held so
+                    // far, and re-acking a duplicate delivery is free.
+                    let upto = self.ack_position(epoch);
+                    ctx.send_value(from, 64, ZeusMsg::AckUpTo { upto });
                 }
-            ZeusMsg::AckAppend { zxid }
-                if self.role == Role::Leader => {
-                    if let Some(set) = self.acks.get_mut(&zxid) {
-                        set.insert(from);
+            ZeusMsg::AppendBatch { writes }
+                if self.role != Role::Leader
+                    && writes.first().is_some_and(|w| w.zxid.epoch >= self.epoch) => {
+                    // All-or-nothing retransmission frame: by the time this
+                    // arm runs, the whole batch was delivered (drops happen
+                    // at the network layer, frame-granular). Apply every
+                    // write, then ack once.
+                    let epoch = writes[0].zxid.epoch;
+                    self.sync_epoch(ctx, epoch);
+                    self.heard_from_leader = true;
+                    for write in writes {
+                        if let Some(t) = write.trace {
+                            ctx.trace_hop(
+                                t,
+                                hops::FOLLOWER_APPEND,
+                                vec![("zxid", write.zxid.to_string())],
+                            );
+                        }
+                        self.log.insert(write.zxid, write);
                     }
-                    self.try_commit(ctx);
+                    self.extend_contig();
+                    let upto = self.ack_position(epoch);
+                    ctx.send_value(from, 64, ZeusMsg::AckUpTo { upto });
+                }
+            ZeusMsg::AckUpTo { upto }
+                if self.role == Role::Leader => {
+                    let cur = self.peer_acked.entry(from).or_insert(Zxid::ZERO);
+                    if upto > *cur {
+                        *cur = upto;
+                        self.try_commit(ctx);
+                    }
                 }
             ZeusMsg::CommitUpTo { zxid }
                 if self.role != Role::Leader => {
@@ -615,6 +812,13 @@ impl EnsembleActor {
                     // the only place the cursor may cross an epoch boundary.
                     self.contig = self.contig.max(upto);
                     self.extend_contig();
+                    // The sync may have filled holes below appends we
+                    // already hold; re-ack so the leader's cursor (and the
+                    // commit point) can advance past the repaired range.
+                    let ack = self.ack_position(self.epoch);
+                    if ack.counter > 0 {
+                        ctx.send_value(from, 64, ZeusMsg::AckUpTo { upto: ack });
+                    }
                 }
             _ => {}
         }
@@ -655,19 +859,10 @@ impl Actor for EnsembleActor {
                     .map(|(_, w)| w.clone())
                     .collect();
                 if !pending.is_empty() {
-                    ctx.metrics().incr(APPEND_RETRANSMITS, pending.len() as u64);
-                    for w in pending {
-                        if let Some(t) = w.trace {
-                            // Every retransmission is annotated (never
-                            // deduped) so the waterfall shows retry counts.
-                            ctx.trace_annot(
-                                t,
-                                hops::RETRANSMIT,
-                                vec![("zxid", w.zxid.to_string())],
-                            );
-                        }
-                        let size = w.wire_size();
-                        self.broadcast(ctx, &ZeusMsg::Append { write: w }, size);
+                    if self.cfg.legacy_rebroadcast {
+                        self.retransmit_blanket(ctx, &pending);
+                    } else {
+                        self.retransmit_targeted(ctx, &pending);
                     }
                 }
                 ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);

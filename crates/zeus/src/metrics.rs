@@ -23,7 +23,11 @@ pub const SYNC_REDIRECTS: &str = "zeus.sync_redirects";
 pub const TRUNCATED_UNCOMMITTED: &str = "zeus.truncated_uncommitted";
 /// Writes re-proposed by a new leader after election.
 pub const REPROPOSED_ON_ELECTION: &str = "zeus.reproposed_on_election";
-/// Append retransmissions issued by the heartbeat pacer.
+/// (follower, write) pairs actually retransmitted by the heartbeat pacer:
+/// each unit is one pending write re-sent to one specific follower. The
+/// ack-aware pacer only counts followers whose cumulative ack misses the
+/// write; the legacy blanket re-broadcast counts every follower, so the two
+/// modes are directly comparable in `repro losssweep`.
 pub const APPEND_RETRANSMITS: &str = "zeus.append_retransmits";
 /// Observer-applied committed writes.
 pub const OBSERVER_APPLIED: &str = "zeus.observer_applied";

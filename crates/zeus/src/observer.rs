@@ -7,13 +7,20 @@
 //! an observer fails and then reconnects to the leader, it sends the latest
 //! transaction ID it is aware of, and requests the missing writes" (§3.4).
 
-use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
+use std::collections::BTreeMap;
+
+use simnet::{Actor, Ctx, Message, NodeId, SimDuration, SimTime};
 
 use crate::metrics::{hops, OBSERVER_APPLIED, OBSERVER_GAP_RESYNCS};
 use crate::store::{ConfigStore, WatchTable};
-use crate::types::{ZeusMsg, Zxid};
+use crate::types::{batch_traces, batch_wire_size, Write, ZeusMsg, Zxid, MAX_BATCH_WRITES};
 
 const TIMER_ANTI_ENTROPY: u64 = 1;
+/// Retry timer for an unanswered gap sync: a sync request (or its reply)
+/// lost after the final push frame of a commit round would otherwise go
+/// unnoticed until the next anti-entropy tick — there is no later frame
+/// left to re-trigger the ask.
+const TIMER_SYNC_RETRY: u64 = 2;
 
 /// An observer node: full replica plus per-path watches for the proxies in
 /// its cluster.
@@ -33,6 +40,26 @@ pub struct ObserverActor {
     /// `store.last_applied()`, which moves past holes and would hide a
     /// dropped update from every later catch-up request.
     contig: Zxid,
+    /// Pre-batching baseline (`repro losssweep`): notify proxies one
+    /// `Notify` frame per changed path instead of one coalesced
+    /// `NotifyBatch` frame per proxy.
+    legacy_notify: bool,
+    /// When the last sync request went out, if unanswered. Gap detections
+    /// while a sync is already in flight do not issue another request:
+    /// every chunk of a push round carries the same commit head, so an
+    /// ungated observer would ask for the same missing range once per
+    /// arriving frame and the leader would ship the (payload-heavy) reply
+    /// just as many times.
+    sync_inflight: Option<SimTime>,
+    /// How long an unanswered sync blocks re-requests (covers the
+    /// cross-region round trip; a lost reply is retried after this).
+    sync_retry: SimDuration,
+    /// Highest commit head any push frame has asserted. The retry timer
+    /// keeps asking until the contiguity cursor reaches it.
+    target_head: Zxid,
+    /// Whether a `TIMER_SYNC_RETRY` is outstanding (timers cannot be
+    /// cancelled, so arming is deduplicated instead).
+    retry_armed: bool,
 }
 
 impl ObserverActor {
@@ -44,7 +71,22 @@ impl ObserverActor {
             watches: WatchTable::new(),
             sync_every: SimDuration::from_secs(2),
             contig: Zxid::ZERO,
+            legacy_notify: false,
+            sync_inflight: None,
+            // Just over the worst cross-region round trip (~80 ms), so a
+            // lost ask or reply is re-asked on the next heartbeat after
+            // the window closes rather than after an anti-entropy tick.
+            sync_retry: SimDuration::from_millis(100),
+            target_head: Zxid::ZERO,
+            retry_armed: false,
         }
+    }
+
+    /// Switches the proxy fan-out to the per-path baseline (see
+    /// [`crate::ensemble::EnsembleConfig::legacy_rebroadcast`]).
+    pub fn with_legacy_notify(mut self, legacy: bool) -> ObserverActor {
+        self.legacy_notify = legacy;
+        self
     }
 
     /// Read access to the replica (for tests and experiments).
@@ -57,7 +99,14 @@ impl ObserverActor {
         self.watches.len()
     }
 
-    fn sync(&self, ctx: &mut Ctx<'_>) {
+    /// The contiguity cursor (see the field docs). Exposed for tests that
+    /// audit the cursor against the writes actually held.
+    pub fn contiguous(&self) -> Zxid {
+        self.contig
+    }
+
+    fn sync(&mut self, ctx: &mut Ctx<'_>) {
+        self.sync_inflight = Some(ctx.now());
         ctx.send_value(
             self.leader,
             64,
@@ -65,6 +114,37 @@ impl ObserverActor {
                 last_zxid: self.contig,
             },
         );
+    }
+
+    /// Gap-triggered sync, gated on the in-flight request: at most one
+    /// outstanding ask per `sync_retry` window, however many frames report
+    /// the same hole, with a retry timer covering a lost ask (or reply).
+    /// `OBSERVER_GAP_RESYNCS` counts requests actually sent. The legacy
+    /// baseline re-asks on every gap frame, as the pre-batching per-write
+    /// push path did — the leader then ships the payload-heavy reply once
+    /// per duplicate ask.
+    fn gap_sync(&mut self, ctx: &mut Ctx<'_>) {
+        if self.legacy_notify {
+            ctx.metrics().incr(OBSERVER_GAP_RESYNCS, 1);
+            self.sync(ctx);
+            return;
+        }
+        self.gated_sync(ctx);
+        if !self.retry_armed {
+            self.retry_armed = true;
+            ctx.set_timer(self.sync_retry, TIMER_SYNC_RETRY);
+        }
+    }
+
+    /// Sends a gap resync unless one is already in flight and fresh.
+    fn gated_sync(&mut self, ctx: &mut Ctx<'_>) {
+        let fresh = self
+            .sync_inflight
+            .is_some_and(|at| ctx.now() - at < self.sync_retry);
+        if !fresh {
+            ctx.metrics().incr(OBSERVER_GAP_RESYNCS, 1);
+            self.sync(ctx);
+        }
     }
 
     /// Whether `z` is the immediate successor of the contiguity cursor.
@@ -79,19 +159,50 @@ impl ObserverActor {
         }
     }
 
-    fn notify_watchers(&mut self, ctx: &mut Ctx<'_>, path: &str) {
-        if let Some(current) = self.store.get(path).cloned() {
-            let size = current.wire_size();
-            let watchers: Vec<NodeId> = self.watches.watchers(path).collect();
-            for w in watchers {
-                ctx.send_traced(
-                    w,
-                    size,
-                    Box::new(ZeusMsg::Notify {
-                        write: current.clone(),
-                    }),
-                    current.trace,
-                );
+    /// Coalesced watch fan-out for one applied batch: each watching proxy
+    /// gets ONE `NotifyBatch` frame carrying the current state of every
+    /// changed path it watches (in zxid order), instead of one `Notify`
+    /// per path. The legacy baseline keeps the per-path frames.
+    fn notify_watchers(&mut self, ctx: &mut Ctx<'_>, changed: &[String]) {
+        let mut per_watcher: BTreeMap<NodeId, Vec<Write>> = BTreeMap::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for path in changed {
+            // A batch with several writes to one path changes it once: the
+            // notify carries the current (latest) state.
+            if seen.contains(&path.as_str()) {
+                continue;
+            }
+            seen.push(path);
+            if let Some(current) = self.store.get(path).cloned() {
+                let watchers: Vec<NodeId> = self.watches.watchers(path).collect();
+                for w in watchers {
+                    per_watcher.entry(w).or_default().push(current.clone());
+                }
+            }
+        }
+        for (watcher, mut writes) in per_watcher {
+            writes.sort_by_key(|w| w.zxid);
+            if self.legacy_notify {
+                for w in writes {
+                    let trace = w.trace;
+                    ctx.send_traced(
+                        watcher,
+                        w.wire_size(),
+                        Box::new(ZeusMsg::Notify { write: w }),
+                        trace,
+                    );
+                }
+            } else {
+                for chunk in writes.chunks(MAX_BATCH_WRITES) {
+                    ctx.send_traced_batch(
+                        watcher,
+                        batch_wire_size(chunk),
+                        Box::new(ZeusMsg::NotifyBatch {
+                            writes: chunk.to_vec(),
+                        }),
+                        batch_traces(chunk),
+                    );
+                }
             }
         }
     }
@@ -107,6 +218,11 @@ impl Actor for ObserverActor {
         if tag == TIMER_ANTI_ENTROPY {
             self.sync(ctx);
             ctx.set_timer(self.sync_every, TIMER_ANTI_ENTROPY);
+        } else if tag == TIMER_SYNC_RETRY {
+            self.retry_armed = false;
+            if self.contig < self.target_head {
+                self.gap_sync(ctx);
+            }
         }
     }
 
@@ -115,41 +231,52 @@ impl Actor for ObserverActor {
             return;
         };
         match *msg {
-            ZeusMsg::ObserverUpdate { mut write } => {
-                let z = write.zxid;
-                if self.is_next(z) {
-                    self.contig = z;
-                } else if z > self.contig {
-                    // A gap: a counter jump within the epoch, or an epoch
-                    // boundary we cannot locally account for (how much of
-                    // the previous epoch's tail did we miss?). Either way,
-                    // request the missing range from the cursor; the write
-                    // itself is still applied below so reads stay fresh.
-                    ctx.metrics().incr(OBSERVER_GAP_RESYNCS, 1);
-                    self.sync(ctx);
-                }
-                // Re-root the context at this observer so proxy hops hang
-                // off the observer that served them; the per-node dedup key
-                // makes retransmitted pushes record nothing.
-                if let Some(t) = write.trace {
-                    if let Some(c) = ctx.trace_hop(
-                        t,
-                        hops::OBSERVER_APPLY,
-                        vec![("zxid", z.to_string()), ("via", "push".into())],
-                    ) {
-                        write.trace = Some(c);
+            ZeusMsg::ObserverUpdateBatch { writes, upto } => {
+                // All-or-nothing push frame: the writes arrive together, in
+                // zxid order. Walk the contiguity cursor through the whole
+                // frame, then compare it against the commit head the frame
+                // asserts: any shortfall — a hole inside this frame, a
+                // dropped sibling chunk, or an epoch boundary we cannot
+                // locally account for — is ONE gap, answered by ONE resync.
+                for w in &writes {
+                    let z = w.zxid;
+                    if self.is_next(z) {
+                        self.contig = z;
                     }
                 }
-                let path = write.path.clone();
-                if self.store.apply(write) {
-                    self.notify_watchers(ctx, &path);
-                    ctx.metrics().incr(OBSERVER_APPLIED, 1);
+                self.target_head = self.target_head.max(upto);
+                if self.contig < upto {
+                    // The writes are still applied below so reads stay
+                    // fresh; the resync repairs the missing range.
+                    self.gap_sync(ctx);
                 }
+                let mut changed: Vec<String> = Vec::new();
+                for mut write in writes {
+                    // Re-root the context at this observer so proxy hops
+                    // hang off the observer that served them; the per-node
+                    // dedup key makes retransmitted pushes record nothing.
+                    if let Some(t) = write.trace {
+                        if let Some(c) = ctx.trace_hop(
+                            t,
+                            hops::OBSERVER_APPLY,
+                            vec![("zxid", write.zxid.to_string()), ("via", "push".into())],
+                        ) {
+                            write.trace = Some(c);
+                        }
+                    }
+                    let path = write.path.clone();
+                    if self.store.apply(write) {
+                        changed.push(path);
+                        ctx.metrics().incr(OBSERVER_APPLIED, 1);
+                    }
+                }
+                self.notify_watchers(ctx, &changed);
             }
             ZeusMsg::SyncReply { writes, upto } => {
                 // Atomic catch-up from the leader: absorb may repair holes
                 // behind `last_applied`, so notify watchers of every path
                 // whose materialized value actually changed.
+                self.sync_inflight = None;
                 let mut changed: Vec<String> = Vec::new();
                 for mut w in writes {
                     if let Some(t) = w.trace {
@@ -168,8 +295,12 @@ impl Actor for ObserverActor {
                 }
                 self.store.fast_forward(upto);
                 self.contig = self.contig.max(upto);
-                for path in changed {
-                    self.notify_watchers(ctx, &path);
+                self.notify_watchers(ctx, &changed);
+                // The reply may assert less than the pushed head (a fresh
+                // leader clamps to its own gap-free prefix); keep asking
+                // until the cursor reaches everything a push promised.
+                if self.contig < self.target_head {
+                    self.gap_sync(ctx);
                 }
             }
             ZeusMsg::Subscribe { path, have } => {
@@ -189,6 +320,17 @@ impl Actor for ObserverActor {
             ZeusMsg::NewLeader { leader, .. } => {
                 self.leader = leader;
                 self.sync(ctx);
+            }
+            ZeusMsg::Heartbeat { committed, .. } => {
+                // The leader heartbeats observers with its commit head:
+                // push frames are all-or-nothing, so this 64-byte signal is
+                // what reveals a fully dropped push round. Gated in BOTH
+                // modes — at 20 heartbeats/s an ungated ask would turn one
+                // hole into a payload-heavy sync-reply flood.
+                self.target_head = self.target_head.max(committed);
+                if self.contig < committed {
+                    self.gated_sync(ctx);
+                }
             }
             ZeusMsg::ProxyPing => {
                 ctx.send_value(from, 16, ZeusMsg::ProxyPong);

@@ -190,6 +190,33 @@ impl ProxyActor {
         }
         self.checks_since_resub = 0;
     }
+
+    /// Lands one notified write in the on-disk cache: latency sample, final
+    /// trace hop. Shared by `Notify` and `NotifyBatch` deliveries.
+    fn apply_notify(&mut self, ctx: &mut Ctx<'_>, write: Write) {
+        let origin = write.origin;
+        let trace = write.trace;
+        let zxid = write.zxid;
+        if self.cache.put(write) {
+            let latency = (ctx.now() - origin).as_secs_f64();
+            ctx.metrics().sample(self.latency_metric, latency);
+            ctx.metrics().incr(PROXY_UPDATES, 1);
+            // The final hop: the config is now visible to the application
+            // through the on-disk cache. Guarded by `put` (and the
+            // per-node dedup), so duplicate notifies never double-count
+            // client applies.
+            if let Some(t) = trace {
+                ctx.trace_hop(
+                    t,
+                    hops::PROXY_APPLY,
+                    vec![
+                        ("zxid", zxid.to_string()),
+                        ("latency_s", format!("{latency:.6}")),
+                    ],
+                );
+            }
+        }
+    }
 }
 
 impl Actor for ProxyActor {
@@ -221,27 +248,14 @@ impl Actor for ProxyActor {
         if let Ok(msg) = msg.downcast::<ZeusMsg>() {
             match *msg {
                 ZeusMsg::Notify { write } => {
-                    let origin = write.origin;
-                    let trace = write.trace;
-                    let zxid = write.zxid;
-                    if self.cache.put(write) {
-                        let latency = (ctx.now() - origin).as_secs_f64();
-                        ctx.metrics().sample(self.latency_metric, latency);
-                        ctx.metrics().incr(PROXY_UPDATES, 1);
-                        // The final hop: the config is now visible to the
-                        // application through the on-disk cache. Guarded by
-                        // `put` (and the per-node dedup), so duplicate
-                        // notifies never double-count client applies.
-                        if let Some(t) = trace {
-                            ctx.trace_hop(
-                                t,
-                                hops::PROXY_APPLY,
-                                vec![
-                                    ("zxid", zxid.to_string()),
-                                    ("latency_s", format!("{latency:.6}")),
-                                ],
-                            );
-                        }
+                    self.apply_notify(ctx, write);
+                }
+                ZeusMsg::NotifyBatch { writes } => {
+                    // One coalesced frame per observer apply; each carried
+                    // write lands in the cache (and samples latency)
+                    // individually.
+                    for write in writes {
+                        self.apply_notify(ctx, write);
                     }
                 }
                 ZeusMsg::ProxyPong => {
@@ -277,7 +291,13 @@ impl Actor for ProxyActor {
         } else {
             self.backoff = self.healthcheck;
             self.checks_since_resub += 1;
-            if self.checks_since_resub >= 4 {
+            // Every healthy check: a `Subscribe { path, have }` is a tiny
+            // ask the observer answers only when it holds something newer,
+            // so this is the cheapest repair path for a dropped notify —
+            // the notify fan-out has no loss-detection signal of its own,
+            // and waiting several checks put a multi-second floor under
+            // the propagation tail on lossy networks.
+            if self.checks_since_resub >= 1 {
                 self.resubscribe(ctx);
             }
         }

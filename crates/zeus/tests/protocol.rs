@@ -630,3 +630,238 @@ fn write_sizes_affect_bytes_accounting() {
     let floor = (zeus.proxies.len() + zeus.observers.len()) as u64 * 100_000;
     assert!(moved > floor, "moved {moved} < floor {floor}");
 }
+
+/// Audits every ensemble member and observer: each zxid at or below the
+/// node's contiguity cursor must actually be held. Batch frames are
+/// all-or-nothing, and the cursor only advances through what arrived — a
+/// partially applied frame (or a cursor advanced past a dropped sibling)
+/// would surface here as a hole below the cursor.
+fn audit_no_holes_below_cursor(sim: &Sim, zeus: &ZeusDeployment) {
+    use std::collections::HashSet;
+    for &n in &zeus.ensemble {
+        let Some(a) = sim.actor::<EnsembleActor>(n) else {
+            continue;
+        };
+        let c = a.contiguous();
+        let held: HashSet<zeus::Zxid> = a.logged_zxids().into_iter().collect();
+        let mut z = zeus::Zxid {
+            epoch: c.epoch,
+            counter: 1,
+        };
+        while z <= c {
+            assert!(
+                held.contains(&z) || z <= a.committed(),
+                "ensemble {n:?}: hole at {z} below contiguity cursor {c}"
+            );
+            z = z.next();
+        }
+    }
+    for &n in &zeus.observers {
+        let Some(o) = sim.actor::<ObserverActor>(n) else {
+            continue;
+        };
+        let c = o.contiguous();
+        let held: HashSet<zeus::Zxid> = o.store().log_entries().map(|(z, _)| *z).collect();
+        let mut z = zeus::Zxid {
+            epoch: c.epoch,
+            counter: 1,
+        };
+        while z <= c {
+            assert!(
+                held.contains(&z),
+                "observer {n:?}: hole at {z} below contiguity cursor {c}"
+            );
+            z = z.next();
+        }
+    }
+}
+
+#[test]
+fn batch_frames_deliver_all_or_nothing_under_drops() {
+    // Every write goes to a distinct path so even a snapshot-shaped sync
+    // reply carries the full history, keeping the audit exact.
+    let (mut sim, zeus) = deployment(40, vec!["cfg/ao31".into()]);
+    sim.set_link_faults(LinkFaults {
+        drop_prob: 0.3,
+        delay_prob: 0.0,
+        max_extra_delay: SimDuration::ZERO,
+    });
+    let t = sim.now();
+    for b in 0..4u64 {
+        // Bursts land at one instant, which is what makes the leader form
+        // multi-write AppendBatch / ObserverUpdateBatch frames.
+        let at = SimTime(t.0 + b * 500_000);
+        for i in 0..8u64 {
+            let idx = b * 8 + i;
+            zeus.write_current(
+                &mut sim,
+                at,
+                &format!("cfg/ao{idx}"),
+                format!("v{idx}").into_bytes(),
+            );
+        }
+    }
+    // Sample the invariant repeatedly WHILE drops are active: a partially
+    // applied batch would be visible mid-flight, not after healing.
+    for _ in 0..10 {
+        sim.run_for(SimDuration::from_millis(400));
+        audit_no_holes_below_cursor(&sim, &zeus);
+    }
+    sim.clear_link_faults();
+    sim.run_for(SimDuration::from_secs(10));
+    audit_no_holes_below_cursor(&sim, &zeus);
+
+    // The lossy window really exercised the repair paths, and the watched
+    // path still converged everywhere.
+    assert!(sim.metrics().counter("zeus.append_retransmits") > 0);
+    assert!(sim.metrics().counter("zeus.observer_gap_resyncs") > 0);
+    assert_eq!(zeus.coverage(&sim, "cfg/ao31", b"v31"), 1.0);
+}
+
+#[test]
+fn delivered_batches_never_double_count_trace_hops() {
+    use simnet::trace::RecordKind;
+
+    let (mut sim, zeus) = deployment(
+        41,
+        vec![
+            "cfg/bt0".into(),
+            "cfg/bt1".into(),
+            "cfg/bt2".into(),
+            "cfg/bt3".into(),
+        ],
+    );
+    sim.set_link_faults(LinkFaults {
+        drop_prob: 0.3,
+        delay_prob: 0.0,
+        max_extra_delay: SimDuration::ZERO,
+    });
+    // Traced bursts: simultaneous writes travel inside shared batch frames
+    // (append retransmissions, observer pushes, coalesced notifies), so
+    // each trace's hops are recorded off batched deliveries.
+    let t = sim.now();
+    let mut roots = Vec::new();
+    for b in 0..3u64 {
+        let at = SimTime(t.0 + b * 500_000);
+        for i in 0..8u64 {
+            let path = format!("cfg/bt{}", i % 4);
+            let root = sim
+                .tracer_mut()
+                .start("cfg/bt", "driver.write", None, at, vec![]);
+            roots.push(root);
+            zeus.write_current_traced(
+                &mut sim,
+                at,
+                &path,
+                format!("v{}", b * 8 + i).into_bytes(),
+                Some(root),
+            );
+        }
+    }
+    sim.run_for(SimDuration::from_secs(5));
+    sim.clear_link_faults();
+    sim.run_for(SimDuration::from_secs(10));
+    assert!(sim.metrics().counter("zeus.append_retransmits") > 0);
+
+    // A write delivered once inside a batch and again solo (or in another
+    // batch) must still record each pipeline hop at most once per node.
+    let tracer = sim.tracer();
+    for root in &roots {
+        assert!(
+            tracer.orphans(root.trace).is_empty(),
+            "orphan records in trace {:?}",
+            root.trace
+        );
+        let mut seen = std::collections::HashSet::new();
+        for r in tracer.trace_records(root.trace) {
+            if r.kind == RecordKind::Span {
+                assert!(
+                    seen.insert((r.name, r.node)),
+                    "hop {} recorded twice on {:?} in trace {:?}",
+                    r.name,
+                    r.node,
+                    root.trace
+                );
+            }
+        }
+    }
+    // The last burst's final writes win their paths fleet-wide.
+    for i in 0..4u64 {
+        let idx = 2 * 8 + 4 + i; // last burst writes each path twice; the
+                                 // second write (i % 4 == i) is idx 20..23.
+        let path = format!("cfg/bt{}", idx % 4);
+        assert_eq!(
+            zeus.coverage(&sim, &path, format!("v{idx}").as_bytes()),
+            1.0,
+            "path {path} did not converge to v{idx}"
+        );
+    }
+}
+
+#[test]
+fn acked_write_is_never_retransmitted_to_that_follower() {
+    use simnet::trace::RecordKind;
+    use zeus::metrics::hops;
+
+    let (mut sim, zeus) = deployment(42, vec!["cfg/ackreg".into()]);
+    let leader = zeus.initial_leader();
+    let followers: Vec<NodeId> = zeus
+        .ensemble
+        .iter()
+        .copied()
+        .filter(|&n| n != leader)
+        .collect();
+    let live = followers[0];
+    let crashed = &followers[1..];
+    for &f in crashed {
+        sim.crash(f);
+    }
+
+    // With three of four followers down the write cannot reach a quorum
+    // (leader + one ack = 2 of 5), so it stays pending and the heartbeat
+    // pacer must keep retransmitting it — but only to the silent followers.
+    let t = sim.now();
+    let root = sim
+        .tracer_mut()
+        .start("cfg/ackreg", "driver.write", None, t, vec![]);
+    zeus.write_current_traced(&mut sim, t, "cfg/ackreg", &b"v1"[..], Some(root));
+    sim.run_for(SimDuration::from_secs(4));
+    assert_eq!(sim.metrics().counter("zeus.commits"), 0);
+
+    // Give the live follower's cumulative ack a generous second to land,
+    // then require that every later retransmission targets a crashed
+    // follower: an acked write is never re-sent to the follower that acked.
+    let cutoff = SimTime(t.0 + 1_000_000);
+    let mut late_to_crashed = 0u32;
+    let mut late_to_live = 0u32;
+    for r in sim.tracer().trace_records(root.trace) {
+        if r.kind != RecordKind::Annot || r.name != hops::RETRANSMIT || r.at < cutoff {
+            continue;
+        }
+        let Some((_, to)) = r.attrs.iter().find(|(k, _)| *k == "to") else {
+            continue;
+        };
+        if *to == live.0.to_string() {
+            late_to_live += 1;
+        } else {
+            late_to_crashed += 1;
+        }
+    }
+    assert!(
+        late_to_crashed > 0,
+        "pacer stopped retransmitting to silent followers"
+    );
+    assert_eq!(
+        late_to_live, 0,
+        "write was re-sent to the follower that already acked it"
+    );
+
+    // Recovery completes the story: the crashed followers ack, the write
+    // commits and reaches every proxy.
+    for &f in crashed {
+        sim.recover(f);
+    }
+    sim.run_for(SimDuration::from_secs(8));
+    assert!(sim.metrics().counter("zeus.commits") >= 1);
+    assert_eq!(zeus.coverage(&sim, "cfg/ackreg", b"v1"), 1.0);
+}

@@ -26,4 +26,15 @@ for seed in 1 2 3; do
         || { echo "metrics snapshot for chaos seed ${seed} diverged from golden"; exit 1; }
 done
 
+echo "== losssweep byte-determinism gate (seed 1)"
+# The loss sweep drives the retransmission/batching pipeline through four
+# drop rates; its report must be byte-identical across runs of one seed —
+# any divergence means the batched distribution path picked up a source of
+# nondeterminism (iteration order, unkeyed randomness, time-dependent
+# state).
+cargo run -q --release -p bench --bin repro -- losssweep > /tmp/losssweep_a.txt
+cargo run -q --release -p bench --bin repro -- losssweep > /tmp/losssweep_b.txt
+diff -u /tmp/losssweep_a.txt /tmp/losssweep_b.txt \
+    || { echo "losssweep output is not byte-deterministic"; exit 1; }
+
 echo "all checks passed"
