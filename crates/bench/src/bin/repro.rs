@@ -13,6 +13,7 @@
 //!                            # Prometheus-format metrics dump
 //! repro losssweep [--seed <n>]
 //!                            # bytes-on-wire under loss: batched vs baseline
+//! repro laser [--seed <n>]   # Laser serving tier: hedged vs unhedged reads
 //! ```
 //!
 //! `--full` uses the larger scale quoted in `EXPERIMENTS.md`; the default
@@ -66,6 +67,11 @@ fn main() {
         Some("losssweep") => {
             banner("losssweep");
             println!("{}", bench::loss_exp::losssweep(seed.unwrap_or(1)));
+            return;
+        }
+        Some("laser") => {
+            banner("laser");
+            println!("{}", bench::laser_exp::laser(seed.unwrap_or(1)));
             return;
         }
         Some("trace") => {

@@ -3,9 +3,10 @@
 //!
 //! Each scenario deploys a full leader → observer → proxy tree on a
 //! three-region fleet, generates a [`ChaosPlan`] from the scenario seed
-//! (leader/follower/observer/proxy crash windows, region partitions, and
-//! message drop/delay windows), keeps a write workload flowing throughout,
-//! and checks four invariants at every quiesce point:
+//! (leader/follower/observer/proxy crash windows, symmetric and one-way
+//! region partitions, and message drop/delay windows), keeps a write
+//! workload flowing throughout, and checks four invariants at every
+//! quiesce point:
 //!
 //! * **no-acked-write-lost** — a write committed at a leader survives every
 //!   election (safety);
@@ -237,7 +238,8 @@ pub fn campaign(scenarios: u64) -> String {
     let mut out = format!(
         "chaos campaign: {scenarios} seeded scenarios over a 3-region fleet\n\
          (5-node ensemble, 12 observers, 31 proxies; crashes at every tier,\n\
-         region partitions, message drop/delay; 4 invariants per scenario)\n\n"
+         symmetric and one-way region partitions, message drop/delay;\n\
+         4 invariants per scenario)\n\n"
     );
     let mut failing: Vec<u64> = Vec::new();
     for seed in 1..=scenarios {

@@ -10,6 +10,7 @@ pub mod distribution;
 pub mod fig13;
 pub mod gatekeeper_exp;
 pub mod incidents;
+pub mod laser_exp;
 pub mod loss_exp;
 pub mod mobile;
 pub mod stats_figs;
@@ -90,6 +91,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
             Scale::Full => 60,
         }),
         "losssweep" => loss_exp::losssweep(1),
+        "laser" => laser_exp::laser(1),
         _ => return None,
     })
 }
@@ -121,4 +123,5 @@ pub const ALL: &[&str] = &[
     "canary",
     "chaos",
     "losssweep",
+    "laser",
 ];

@@ -19,6 +19,15 @@
 //! re-proposals after elections, and proxies that apply seconds late via
 //! observer failover.
 //!
+//! Two delivery legs extend each waterfall past the proxy tier. A
+//! MobileConfig device polls the translation layer once a second; the
+//! poll that first observes a commit's payload appends a `mobile.pull`
+//! span (with the delta-sync byte count) to that commit's trace. And a
+//! PackageVessel bulk package published to the Laser tier gets its own
+//! trace: `pv.publish` roots it, the `laser-bulk/<dataset>` metadata
+//! announcements ride Zeus under it, and each shard server's atomic
+//! generation flip appends a `laser.bulk_activate` span.
+//!
 //! `repro metrics --seed <n>` runs the same pipeline and dumps every
 //! counter and HDR histogram in Prometheus text exposition format. The
 //! output is byte-deterministic per seed — `scripts/check.sh` diffs it
@@ -28,9 +37,20 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
+use bytes::Bytes;
 use configerator::landing::{LandingStrip, SourceDiff};
 use configerator::service::ConfigeratorService;
 use configerator::tailer::GitTailer;
+use gatekeeper::context::UserContext;
+use gatekeeper::experiment::ParamValue;
+use gatekeeper::runtime::Runtime;
+use laser::deploy::{LaserDeployConfig, LaserDeployment};
+use laser::feed;
+use mobileconfig::{
+    Binding, FieldType, MobileConfigClient, MobileConfigServer, MobileSchema, TranslationLayer,
+};
+use packagevessel::deploy::PvDeployment;
+use packagevessel::storage::{PeerPolicy, StorageActor};
 use simnet::chaos::ChaosConfig;
 use simnet::prelude::*;
 use simnet::trace::RecordKind;
@@ -42,6 +62,10 @@ const HOP_MUTATOR: &str = "mutator.commit";
 const HOP_LANDING: &str = "landing.land";
 const HOP_GITSTORE: &str = "gitstore.commit";
 const HOP_TAILER: &str = "tailer.pickup";
+/// A mobile client's delta-sync poll observes the commit on a device (§5).
+const HOP_MOBILE_PULL: &str = "mobile.pull";
+/// Bulk-package publication to the PackageVessel storage tier (§3.5).
+const HOP_PV_PUBLISH: &str = "pv.publish";
 
 /// Distinct config paths the commits cycle over.
 const PATHS: usize = 2;
@@ -55,6 +79,17 @@ const COMMIT_PERIOD_US: u64 = 3_000_000;
 const LANDING_DELAY_US: u64 = 300_000;
 /// Git tailer poll period.
 const TAILER_PERIOD_US: u64 = 500_000;
+/// Mobile device delta-sync poll period.
+const MOBILE_POLL_US: u64 = 1_000_000;
+/// When the bulk package is published to the storage tier.
+const BULK_PUBLISH_US: u64 = 2_000_000;
+/// Bulk metadata re-announcement period (a retrying publisher: a one-shot
+/// proposal during an election window would silently vanish).
+const BULK_ANNOUNCE_US: u64 = 1_000_000;
+/// The Laser bulk dataset the package targets.
+const BULK_DATASET: &str = "assets";
+/// Keys in the published bulk generation.
+const BULK_KEYS: usize = 24;
 
 /// The in-process configerator front-end plus the bookkeeping that links
 /// its commits to trace contexts. Shared across `Sim::schedule` closures.
@@ -67,6 +102,46 @@ struct Front {
     /// Distribution name → context of the `gitstore.commit` span, consumed
     /// by the tailer tick that first sees the commit.
     landed: HashMap<String, TraceCtx>,
+    /// Distribution name → (expected payload, tailer-pickup context) for
+    /// commits handed to Zeus but not yet observed by the mobile device.
+    /// BTreeMap so the poll tick visits pending names deterministically;
+    /// a newer commit to the same name supersedes the older entry.
+    mobile_pending: BTreeMap<String, (Bytes, TraceCtx)>,
+    /// The translation layer currently served to devices; rebound when the
+    /// watched proxy applies a commit, then pushed to the server.
+    translation: TranslationLayer,
+    mserver: MobileConfigServer,
+    mclient: MobileConfigClient,
+}
+
+/// The mobile schema field carrying config `name` ("trace/0" → "path_0").
+fn mobile_field(name: &str) -> String {
+    format!("path_{}", name.rsplit('/').next().unwrap_or(name))
+}
+
+/// Builds the device-facing stack: one schema with a string field per
+/// config path, every field bound to a constant the poll tick rebinds as
+/// commits reach the watched proxy.
+fn mobile_stack() -> (TranslationLayer, MobileConfigServer, MobileConfigClient) {
+    let fields: Vec<String> = (0..PATHS).map(|i| mobile_field(&dist_name(i))).collect();
+    let field_refs: Vec<(&str, FieldType)> = fields
+        .iter()
+        .map(|f| (f.as_str(), FieldType::Str))
+        .collect();
+    let schema = MobileSchema::new("TraceApp", &field_refs);
+    let mut translation = TranslationLayer::new();
+    for f in &fields {
+        translation.bind(
+            "TraceApp",
+            f,
+            Binding::Constant(ParamValue::Str(String::new())),
+        );
+    }
+    let mut mserver =
+        MobileConfigServer::new(translation.clone(), Runtime::new(laser::Laser::new(16)));
+    mserver.register_schema(schema.clone());
+    let mclient = MobileConfigClient::new(UserContext::with_id(7), schema);
+    (translation, mserver, mclient)
 }
 
 fn source_path(i: usize) -> String {
@@ -90,6 +165,32 @@ fn run_pipeline(seed: u64, chaos: bool) -> Sim {
     };
     let zeus = ZeusDeployment::install(&mut sim, &cfg);
 
+    // Carve the delivery-leg roles from the tail of the proxy pool, far
+    // from the chaos crash candidates at the front: a PackageVessel
+    // storage node, two Laser shard servers, and the proxy the mobile
+    // poll tick watches for commit arrival.
+    let np = zeus.proxies.len();
+    let storage = zeus.proxies[np - 1];
+    let laser_candidates = vec![zeus.proxies[np - 2], zeus.proxies[np - 3]];
+    let watch_proxy = zeus.proxies[np - 4];
+    sim.add_actor(
+        storage,
+        Box::new(StorageActor::new(PeerPolicy::LocalityAware)),
+    );
+    let laser_tier = LaserDeployment::install(
+        &mut sim,
+        &LaserDeployConfig {
+            shards: 2,
+            replicas: 1,
+            candidates: laser_candidates,
+            observers: zeus.observers.clone(),
+            stream_datasets: Vec::new(),
+            bulk_datasets: vec![BULK_DATASET.into()],
+            memory_cap: 4096,
+            pv_window: 4,
+        },
+    );
+
     let mut horizon = SimTime(FIRST_COMMIT_US + COMMITS as u64 * COMMIT_PERIOD_US + 10_000_000);
     if chaos {
         let chaos_cfg = ChaosConfig {
@@ -109,12 +210,17 @@ fn run_pipeline(seed: u64, chaos: bool) -> Sim {
         horizon = horizon.max(plan.horizon + SimDuration::from_secs(15));
     }
 
+    let (translation, mserver, mclient) = mobile_stack();
     let front = Rc::new(RefCell::new(Front {
         svc: ConfigeratorService::new(),
         strip: LandingStrip::new(),
         tailer: GitTailer::new(),
         queued_roots: VecDeque::new(),
         landed: HashMap::new(),
+        mobile_pending: BTreeMap::new(),
+        translation,
+        mserver,
+        mclient,
     }));
 
     // Commit workload: author a diff, submit it to the landing strip, and
@@ -212,10 +318,113 @@ fn run_pipeline(seed: u64, chaos: bool) -> Sim {
                         vec![("bytes", u.data.len().to_string())],
                     )
                 });
+                if let Some(ctx) = ctx {
+                    fr.borrow_mut()
+                        .mobile_pending
+                        .insert(u.name.clone(), (u.data.clone(), ctx));
+                }
                 dep.write_current_traced(s, now, &u.name, u.data, ctx);
             }
         });
         tick += TAILER_PERIOD_US;
+    }
+
+    // Mobile poll ticks: once the watched proxy has applied a pending
+    // commit's payload, rebind that path's translation constant and poll
+    // the device — the delta-sync reply closes the commit's waterfall
+    // with a `mobile.pull` span carrying the transfer size.
+    let mut tick = MOBILE_POLL_US;
+    while tick < horizon.0 {
+        let fr = Rc::clone(&front);
+        sim.schedule(SimTime(tick), move |s| {
+            let now = s.now();
+            let mut f = fr.borrow_mut();
+            let f = &mut *f;
+            let ready: Vec<String> = f
+                .mobile_pending
+                .iter()
+                .filter(|(name, (data, _))| {
+                    s.actor::<zeus::ProxyActor>(watch_proxy)
+                        .and_then(|p| p.read(name))
+                        .is_some_and(|w| w.data == *data)
+                })
+                .map(|(name, _)| name.clone())
+                .collect();
+            for name in ready {
+                let (data, ctx) = f.mobile_pending.remove(&name).unwrap();
+                let field = mobile_field(&name);
+                f.translation.bind(
+                    "TraceApp",
+                    &field,
+                    Binding::Constant(ParamValue::Str(String::from_utf8_lossy(&data).into_owned())),
+                );
+                f.mserver.update_translation(f.translation.clone());
+                let o = f.mclient.poll(&mut f.mserver);
+                s.tracer_mut().child(
+                    ctx,
+                    HOP_MOBILE_PULL,
+                    None,
+                    now,
+                    vec![
+                        ("field", field),
+                        ("bytes", o.bytes.to_string()),
+                        ("changed", o.changed.to_string()),
+                    ],
+                );
+            }
+        });
+        tick += MOBILE_POLL_US;
+    }
+
+    // Bulk leg: publish one package generation to the storage tier, root
+    // its trace at the publish, and announce the metadata through Zeus
+    // under that root until every shard server has activated it (the
+    // announcements retry because a proposal during an election window is
+    // silently lost; servers deduplicate repeats by version).
+    let bulk_config = feed::bulk_path(BULK_DATASET);
+    let entries: Vec<(String, f64)> = (0..BULK_KEYS)
+        .map(|i| (format!("asset-{i}"), 1.0 + i as f64 / 1000.0))
+        .collect();
+    let data = Bytes::from(feed::encode_entries(&entries));
+    let meta = PvDeployment::publish_bytes(
+        &mut sim,
+        storage,
+        &bulk_config,
+        1,
+        data.clone(),
+        256,
+        SimTime(BULK_PUBLISH_US),
+    );
+    let bulk_root = sim.tracer_mut().start(
+        bulk_config.clone(),
+        HOP_PV_PUBLISH,
+        Some(storage),
+        SimTime(BULK_PUBLISH_US),
+        vec![
+            ("bytes", data.len().to_string()),
+            ("pieces", meta.num_pieces.to_string()),
+            ("version", "1".into()),
+        ],
+    );
+    let meta_bytes = Bytes::from(feed::encode_bulk_meta(&meta));
+    let mut tick = BULK_PUBLISH_US + 100_000;
+    while tick < horizon.0 {
+        let dep = zeus_handle.clone();
+        let servers = laser_tier.servers.clone();
+        let config = bulk_config.clone();
+        let payload = meta_bytes.clone();
+        sim.schedule(SimTime(tick), move |s| {
+            let activated = servers.iter().all(|&n| {
+                s.actor::<laser::server::LaserShardServer>(n)
+                    .is_some_and(|a| a.activated_version(BULK_DATASET) >= 1)
+            });
+            if activated {
+                return;
+            }
+            let now = s.now();
+            dep.write_current_traced(s, now, &config, payload.clone(), Some(bulk_root));
+        });
+        tick += BULK_ANNOUNCE_US;
     }
 
     sim.run_until(horizon);
@@ -325,7 +534,8 @@ pub fn trace(seed: u64, chaos: bool) -> String {
     let sim = run_pipeline(seed, chaos);
     let mut out = format!(
         "propagation trace — seed {seed}{}\n\
-         pipeline: mutator → landing strip → gitstore → tailer → zeus\n\
+         pipeline: mutator → landing strip → gitstore → tailer → zeus → mobile pull\n\
+         bulk leg: packagevessel publish → zeus metadata → laser activation\n\
          fleet: 3 regions × 2 clusters × 8 servers, 5-node ensemble\n\n",
         if chaos { " (chaos overlay)" } else { "" },
     );
@@ -370,7 +580,8 @@ mod tests {
         let sim = run_pipeline(7, false);
         let tracer = sim.tracer();
         let traces = tracer.traces();
-        assert_eq!(traces.len(), COMMITS);
+        // One trace per commit plus the bulk package's trace.
+        assert_eq!(traces.len(), COMMITS + 1);
         for &t in &traces {
             assert!(tracer.orphans(t).is_empty(), "orphan spans in trace {t:?}");
             let names: Vec<&str> = tracer
@@ -379,19 +590,48 @@ mod tests {
                 .filter(|r| r.kind == RecordKind::Span)
                 .map(|r| r.name)
                 .collect();
-            for hop in [
-                HOP_MUTATOR,
-                HOP_LANDING,
-                HOP_GITSTORE,
-                HOP_TAILER,
-                zeus::metrics::hops::LEADER_PROPOSE,
-                zeus::metrics::hops::QUORUM_COMMIT,
-                zeus::metrics::hops::OBSERVER_APPLY,
-                zeus::metrics::hops::PROXY_APPLY,
-            ] {
-                assert!(names.contains(&hop), "trace {t:?} missing hop {hop}");
+            let is_bulk = tracer.label(t) == Some(feed::bulk_path(BULK_DATASET).as_str());
+            let hops: &[&str] = if is_bulk {
+                &[
+                    HOP_PV_PUBLISH,
+                    zeus::metrics::hops::LEADER_PROPOSE,
+                    zeus::metrics::hops::QUORUM_COMMIT,
+                    zeus::metrics::hops::OBSERVER_APPLY,
+                    laser::metrics::hops::BULK_ACTIVATE,
+                ]
+            } else {
+                &[
+                    HOP_MUTATOR,
+                    HOP_LANDING,
+                    HOP_GITSTORE,
+                    HOP_TAILER,
+                    zeus::metrics::hops::LEADER_PROPOSE,
+                    zeus::metrics::hops::QUORUM_COMMIT,
+                    zeus::metrics::hops::OBSERVER_APPLY,
+                    zeus::metrics::hops::PROXY_APPLY,
+                    HOP_MOBILE_PULL,
+                ]
+            };
+            for hop in hops {
+                assert!(names.contains(hop), "trace {t:?} missing hop {hop}");
+            }
+            if is_bulk {
+                // Both shard servers flip the generation atomically, each
+                // contributing one activation span.
+                let activations = names
+                    .iter()
+                    .filter(|n| **n == laser::metrics::hops::BULK_ACTIVATE)
+                    .count();
+                assert_eq!(activations, 2, "expected one activation per server");
             }
         }
+        assert_eq!(
+            traces
+                .iter()
+                .filter(|&&t| tracer.label(t) == Some(feed::bulk_path(BULK_DATASET).as_str()))
+                .count(),
+            1
+        );
     }
 
     #[test]

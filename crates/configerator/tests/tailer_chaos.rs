@@ -1,0 +1,179 @@
+//! Lease-holder crash during cursor handoff.
+//!
+//! A [`TailerGroup`] hands the repository cursor between members under a
+//! fenced lease: a holder that crashes mid-tenure never advanced the
+//! cursor past work it didn't emit, and a deposed holder that wakes up
+//! convinced it still leads is refused by the epoch check before it can
+//! emit anything. These tests drive that handoff — first choreographed,
+//! then under a seeded random crash schedule — and assert the
+//! exactly-once contract: no commit's effect is lost across a takeover,
+//! and no update is emitted twice.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use configerator::{ConfigUpdate, ConfigeratorService, TailerError, TailerGroup};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Commits `export_if_last(<version>)` to `<name>.cconf`. Config names
+/// carry no digits, so the compiled payload's digits are the version.
+fn commit(svc: &mut ConfigeratorService, name: &str, version: u64) {
+    let changes: BTreeMap<String, Option<String>> = [(
+        format!("{name}.cconf"),
+        Some(format!("export_if_last({version})")),
+    )]
+    .into_iter()
+    .collect();
+    svc.commit_source("chaos", &format!("v{version}"), changes)
+        .unwrap();
+}
+
+fn version_of(data: &Bytes) -> u64 {
+    let text = String::from_utf8_lossy(data);
+    let digits: String = text.chars().filter(char::is_ascii_digit).collect();
+    digits.parse().expect("compiled payload carries a version")
+}
+
+/// Applies a drained batch, asserting per-name versions strictly increase
+/// (an equal or older version means an update was emitted twice).
+fn apply(applied: &mut BTreeMap<String, u64>, updates: Vec<ConfigUpdate>) {
+    for u in updates {
+        assert!(!u.deleted, "workload never deletes");
+        let v = version_of(&u.data);
+        if let Some(&prev) = applied.get(&u.name) {
+            assert!(
+                v > prev,
+                "{} double-applied or regressed: saw {v} after {prev}",
+                u.name
+            );
+        }
+        applied.insert(u.name, v);
+    }
+}
+
+#[test]
+fn fenced_handoff_neither_skips_nor_duplicates() {
+    let mut svc = ConfigeratorService::new();
+    let mut g = TailerGroup::new(2, 10);
+    let mut applied = BTreeMap::new();
+
+    commit(&mut svc, "alpha", 1);
+    let l0 = g.acquire(0, 0).expect("no contention at start");
+    apply(&mut applied, g.drain(0, l0.epoch, &svc, 0).unwrap());
+    assert_eq!(applied.get("alpha"), Some(&1));
+
+    // A commit lands, then the holder crashes before its next drain. The
+    // standby cannot steal the live lease; only after the TTL lapses does
+    // it take over, under a fresh fencing epoch.
+    commit(&mut svc, "alpha", 2);
+    assert!(g.acquire(1, 5).is_none());
+    let l1 = g.acquire(1, 11).expect("lease lapsed");
+    assert_ne!(l1.epoch, l0.epoch);
+
+    // The successor's first drain picks up exactly the delta the crashed
+    // holder never emitted — nothing skipped, nothing repeated.
+    let handed = g.drain(1, l1.epoch, &svc, 11).unwrap();
+    assert_eq!(handed.len(), 1);
+    apply(&mut applied, handed);
+    assert_eq!(applied.get("alpha"), Some(&2));
+
+    // The deposed holder wakes up mid-handoff convinced it still leads:
+    // fenced by its stale epoch, with the shared cursor untouched.
+    let cursor = g.cursor().to_vec();
+    let err = g.drain(0, l0.epoch, &svc, 12).unwrap_err();
+    assert!(matches!(
+        err,
+        TailerError::Fenced { presented, current }
+            if presented == l0.epoch && current == l1.epoch
+    ));
+    assert_eq!(g.cursor(), &cursor[..]);
+
+    // The rightful holder sees nothing new (the fenced attempt emitted
+    // nothing and advanced nothing), then picks up the next commit once.
+    assert!(g.drain(1, l1.epoch, &svc, 12).unwrap().is_empty());
+    commit(&mut svc, "alpha", 3);
+    apply(&mut applied, g.drain(1, l1.epoch, &svc, 13).unwrap());
+    assert_eq!(applied.get("alpha"), Some(&3));
+}
+
+#[test]
+fn randomized_crash_schedule_preserves_exactly_once_handoff() {
+    const MEMBERS: usize = 3;
+    const TTL: u64 = 4;
+    const TICKS: u64 = 160;
+    const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+    let mut handoffs = 0u64;
+    let mut fenced = 0u64;
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut svc = ConfigeratorService::new();
+        let mut g = TailerGroup::new(MEMBERS, TTL);
+        let mut version = 0u64;
+        let mut latest: BTreeMap<String, u64> = BTreeMap::new();
+        let mut applied: BTreeMap<String, u64> = BTreeMap::new();
+        // What each member believes: the epoch of a lease it acquired and
+        // has not yet seen refused. A crashed member keeps its belief — the
+        // point of fencing is that stale belief is harmless.
+        let mut believed: Vec<Option<u64>> = vec![None; MEMBERS];
+        let mut down_until = [0u64; MEMBERS];
+
+        for now in 0..TICKS {
+            if rng.gen_bool(0.35) {
+                version += 1;
+                let name = NAMES[rng.gen_range(0..NAMES.len())];
+                commit(&mut svc, name, version);
+                latest.insert(name.to_string(), version);
+            }
+            // Crash the current holder mid-tenure sometimes, so the cursor
+            // handoff happens with undrained commits in flight.
+            if rng.gen_bool(0.08) {
+                if let Some(h) = g.holder(now) {
+                    down_until[h] = now + TTL + rng.gen_range(1..4u64);
+                }
+            }
+            for m in 0..MEMBERS {
+                if down_until[m] > now {
+                    continue;
+                }
+                if let Some(epoch) = believed[m] {
+                    match g.drain(m, epoch, &svc, now) {
+                        Ok(updates) => apply(&mut applied, updates),
+                        Err(TailerError::Fenced { .. }) => {
+                            fenced += 1;
+                            believed[m] = None;
+                        }
+                        Err(TailerError::NotHolder { .. }) => believed[m] = None,
+                    }
+                }
+                if believed[m].is_none() {
+                    if let Some(l) = g.acquire(m, now) {
+                        believed[m] = Some(l.epoch);
+                        if l.epoch > 1 {
+                            handoffs += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Quiesce: past every crash window and lease TTL, whoever can hold
+        // the lease drains the tail.
+        let end = TICKS + 2 * TTL;
+        let drained = (0..MEMBERS).any(|m| match g.acquire(m, end) {
+            Some(l) => {
+                apply(&mut applied, g.drain(m, l.epoch, &svc, end).unwrap());
+                true
+            }
+            None => false,
+        });
+        assert!(drained, "seed {seed}: no member could drain at quiesce");
+        assert_eq!(
+            applied, latest,
+            "seed {seed}: applied state diverged from committed state"
+        );
+    }
+    assert!(handoffs > 0, "crash schedule never forced a takeover");
+    assert!(fenced > 0, "no deposed holder was ever fenced");
+}

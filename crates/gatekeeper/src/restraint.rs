@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::context::UserContext;
-use laser::Laser;
+use laser::LaserBackend;
 
 /// A configured restraint: a predicate kind plus the negation flag.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,8 +41,10 @@ impl RestraintSpec {
         RestraintSpec { kind, negate: true }
     }
 
-    /// Evaluates the restraint. `laser` serves the data-backed kinds.
-    pub fn eval(&self, ctx: &UserContext, laser: &mut Laser) -> bool {
+    /// Evaluates the restraint. `laser` serves the data-backed kinds —
+    /// the in-process store, or values resolved through the distributed
+    /// Laser client (any [`LaserBackend`]).
+    pub fn eval(&self, ctx: &UserContext, laser: &mut dyn LaserBackend) -> bool {
         let v = self.kind.eval(ctx, laser);
         v ^ self.negate
     }
@@ -114,7 +116,7 @@ pub enum RestraintKind {
 
 impl RestraintKind {
     /// Evaluates the predicate.
-    pub fn eval(&self, ctx: &UserContext, laser: &mut Laser) -> bool {
+    pub fn eval(&self, ctx: &UserContext, laser: &mut dyn LaserBackend) -> bool {
         match self {
             RestraintKind::Employee => ctx.employee,
             RestraintKind::Country(list) => list.contains(&ctx.country),
@@ -200,6 +202,7 @@ impl RestraintKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use laser::Laser;
 
     fn laser() -> Laser {
         Laser::new(16)

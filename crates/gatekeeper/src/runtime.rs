@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use laser::Laser;
+use laser::{Laser, LaserBackend};
 
 use crate::context::{user_sample, UserContext};
 use crate::project::Project;
@@ -67,17 +67,21 @@ pub struct RuntimeStats {
 
 /// The Gatekeeper runtime embedded in every frontend server (HHVM
 /// extension in the paper; a library here).
-pub struct Runtime {
+///
+/// Generic over the [`LaserBackend`] serving `laser()` restraints: the
+/// default is the in-process [`Laser`] store; frontends on the distributed
+/// Laser tier plug in a `laser::ResolvedBackend` fed by the client router.
+pub struct Runtime<B: LaserBackend = Laser> {
     projects: HashMap<String, CompiledProject>,
-    laser: Laser,
+    laser: B,
     optimize: bool,
     reoptimize_every: u64,
     stats: RuntimeStats,
 }
 
-impl Runtime {
-    /// Creates a runtime with an embedded Laser store.
-    pub fn new(laser: Laser) -> Runtime {
+impl<B: LaserBackend> Runtime<B> {
+    /// Creates a runtime over the given Laser backend.
+    pub fn new(laser: B) -> Runtime<B> {
         Runtime {
             projects: HashMap::new(),
             laser,
@@ -145,8 +149,9 @@ impl Runtime {
         self.projects.contains_key(name)
     }
 
-    /// Mutable access to the embedded Laser store (for pipelines).
-    pub fn laser_mut(&mut self) -> &mut Laser {
+    /// Mutable access to the embedded Laser backend (for pipelines and for
+    /// frontends depositing client-resolved values).
+    pub fn laser_mut(&mut self) -> &mut B {
         &mut self.laser
     }
 

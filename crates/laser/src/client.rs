@@ -1,0 +1,496 @@
+//! The Laser client router.
+//!
+//! A [`LaserClient`] is a library embedded in a frontend actor (it is not
+//! an actor itself — the host forwards replies and its timer tags). It
+//! routes each get to the owning shard via the consistent-hash
+//! [`ShardMap`], preferring a same-region, non-suspect replica; keeps a
+//! read-through cache with TTL freshness; hedges slow requests to a
+//! sibling replica after an adaptive delay derived from its own observed
+//! p99; and degrades gracefully when a shard is unreachable — a deadline
+//! expiry serves stale cache instead of failing, and marks the silent
+//! replicas suspect so later queries fail over.
+//!
+//! Multi-key gets are cached as one atomic *bundle* per reply: assembling
+//! a multi-key answer from per-key entries cached at different times could
+//! mix two bulk generations, which the serving tier must never do.
+
+use std::collections::{BTreeMap, HashMap};
+
+use simnet::stats::Histogram;
+use simnet::trace::TraceCtx;
+use simnet::{Ctx, NodeId, RegionId, SimDuration, SimTime};
+
+use crate::metrics;
+use crate::msg::LaserMsg;
+use crate::route::ShardMap;
+
+/// First client timer tag; the host actor forwards all tags ≥ this.
+pub const TAG_BASE: u64 = 1 << 40;
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The deployment's shard map.
+    pub map: ShardMap,
+    /// Whether to hedge slow requests to a sibling replica.
+    pub hedge: bool,
+    /// Clamp bounds and pre-warm default for the adaptive hedge delay.
+    pub hedge_floor: SimDuration,
+    /// Upper clamp: fault-window samples inflate the observed p99, and an
+    /// unclamped delay would stop hedging exactly when it matters.
+    pub hedge_ceiling: SimDuration,
+    /// Hedge delay used until enough latency samples accumulate.
+    pub hedge_default: SimDuration,
+    /// Latency samples required before the adaptive delay kicks in.
+    pub min_latency_samples: u64,
+    /// Deadline after which a query is served from stale cache (or fails).
+    pub deadline: SimDuration,
+    /// Freshness TTL of the read-through cache.
+    pub cache_ttl: SimDuration,
+    /// How long a deadline marks the silent replicas suspect.
+    pub suspect_ttl: SimDuration,
+    /// The client's home region (same-region replicas are preferred).
+    pub home_region: RegionId,
+}
+
+impl ClientConfig {
+    /// Defaults tuned for the datacenter network model.
+    pub fn new(map: ShardMap, home_region: RegionId) -> ClientConfig {
+        ClientConfig {
+            map,
+            hedge: true,
+            hedge_floor: SimDuration::from_millis(5),
+            hedge_ceiling: SimDuration::from_millis(25),
+            hedge_default: SimDuration::from_millis(10),
+            min_latency_samples: 32,
+            deadline: SimDuration::from_millis(400),
+            cache_ttl: SimDuration::from_millis(500),
+            suspect_ttl: SimDuration::from_secs(2),
+            home_region,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    generation: u64,
+    value: Option<f64>,
+    fresh_until: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Bundle {
+    generation: u64,
+    /// Values in the bundle's normalized (sorted-key) order.
+    values: Vec<Option<f64>>,
+    fresh_until: SimTime,
+}
+
+#[derive(Debug)]
+struct Pending {
+    dataset: String,
+    keys: Vec<String>,
+    shard: usize,
+    targets: Vec<NodeId>,
+    sent_at: SimTime,
+    trace: Option<TraceCtx>,
+}
+
+/// How a completed query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// A shard server replied (possibly the hedge target).
+    Fresh {
+        /// The replica that answered first.
+        from: NodeId,
+        /// Whether the answer came from the hedge target.
+        hedge_win: bool,
+    },
+    /// Answered from the fresh read-through cache, no network.
+    Cache,
+    /// Deadline expired; answered from stale cache (graceful degradation).
+    Stale,
+    /// Deadline expired and nothing was cached.
+    Failed,
+}
+
+/// A finished query, delivered to the host actor.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Dataset queried.
+    pub dataset: String,
+    /// Keys queried, in request order.
+    pub keys: Vec<String>,
+    /// One value per key (request order).
+    pub values: Vec<Option<f64>>,
+    /// The store generation the values came from, when known (fresh and
+    /// cached answers; stale bundles keep their fill generation).
+    pub generation: Option<u64>,
+    /// How the answer was produced.
+    pub served: Served,
+    /// Issue → completion latency.
+    pub latency: SimDuration,
+}
+
+/// Cumulative client statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientStats {
+    /// Queries issued.
+    pub queries: u64,
+    /// Answered from fresh cache.
+    pub cache_answered: u64,
+    /// Answered by a shard server.
+    pub fresh: u64,
+    /// Hedge requests sent.
+    pub hedges: u64,
+    /// Queries won by the hedge target.
+    pub hedge_wins: u64,
+    /// Deadline expiries served from stale cache.
+    pub stale_served: u64,
+    /// Deadline expiries with no cover.
+    pub failed: u64,
+}
+
+/// The client router.
+pub struct LaserClient {
+    cfg: ClientConfig,
+    next_req: u64,
+    pending: HashMap<u64, Pending>,
+    cache: HashMap<(String, String), CacheEntry>,
+    bundles: HashMap<(String, Vec<String>), Bundle>,
+    latency: Histogram,
+    suspect_until: HashMap<NodeId, SimTime>,
+    /// Per-shard hot-key counters.
+    hot: Vec<BTreeMap<String, u64>>,
+    stats: ClientStats,
+}
+
+impl LaserClient {
+    /// Creates a client.
+    pub fn new(cfg: ClientConfig) -> LaserClient {
+        let shards = cfg.map.num_shards();
+        LaserClient {
+            cfg,
+            next_req: 0,
+            pending: HashMap::new(),
+            cache: HashMap::new(),
+            bundles: HashMap::new(),
+            latency: Histogram::new(),
+            suspect_until: HashMap::new(),
+            hot: vec![BTreeMap::new(); shards],
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Hot-key counters of `shard` (deterministic order).
+    pub fn hot_keys(&self, shard: usize) -> &BTreeMap<String, u64> {
+        &self.hot[shard]
+    }
+
+    /// The `n` hottest keys across all shards: `(count, shard, key)`,
+    /// hottest first, ties broken by shard then key.
+    pub fn top_hot(&self, n: usize) -> Vec<(u64, usize, String)> {
+        let mut all: Vec<(u64, usize, String)> = self
+            .hot
+            .iter()
+            .enumerate()
+            .flat_map(|(s, m)| m.iter().map(move |(k, &c)| (c, s, k.clone())))
+            .collect();
+        all.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        all.truncate(n);
+        all
+    }
+
+    /// The current adaptive hedge delay.
+    pub fn hedge_delay(&self) -> SimDuration {
+        if self.latency.count() < self.cfg.min_latency_samples {
+            return self.cfg.hedge_default;
+        }
+        let p99 = SimDuration::from_secs_f64(self.latency.quantile_secs(0.99));
+        p99.max(self.cfg.hedge_floor).min(self.cfg.hedge_ceiling)
+    }
+
+    fn bundle_key(dataset: &str, keys: &[String]) -> (String, Vec<String>) {
+        let mut sorted = keys.to_vec();
+        sorted.sort();
+        (dataset.to_string(), sorted)
+    }
+
+    /// Replicas of `shard` in preference order: home-region before remote,
+    /// non-suspect before suspect, original order as the tiebreak.
+    fn replica_order(&self, ctx: &Ctx<'_>, shard: usize, now: SimTime) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = self.cfg.map.replicas(shard).to_vec();
+        let topo = ctx.topology();
+        order.sort_by_key(|&n| {
+            let suspect = self.suspect_until.get(&n).is_some_and(|&until| until > now);
+            let remote = topo.placement(n).region != self.cfg.home_region;
+            (suspect, remote)
+        });
+        order
+    }
+
+    /// Issues a query. Returns the completion immediately if the fresh
+    /// cache covers every key; otherwise the completion arrives later
+    /// through [`LaserClient::on_message`] or [`LaserClient::on_timer`].
+    pub fn query(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        dataset: &str,
+        keys: Vec<String>,
+        trace: Option<TraceCtx>,
+    ) -> Option<Completion> {
+        assert!(!keys.is_empty());
+        let now = ctx.now();
+        self.stats.queries += 1;
+        ctx.metrics().incr(metrics::QUERIES, 1);
+        let shard = self.cfg.map.shard_for(&keys[0]);
+        for k in &keys {
+            *self.hot[shard].entry(k.clone()).or_insert(0) += 1;
+        }
+        if let Some((values, generation)) = self.cached(dataset, &keys, now, true) {
+            self.stats.cache_answered += 1;
+            ctx.metrics().incr(metrics::CACHE_HITS, 1);
+            return Some(Completion {
+                dataset: dataset.to_string(),
+                keys,
+                values,
+                generation: Some(generation),
+                served: Served::Cache,
+                latency: SimDuration::ZERO,
+            });
+        }
+        let req = self.next_req;
+        self.next_req += 1;
+        let order = self.replica_order(ctx, shard, now);
+        let primary = order[0];
+        let msg = LaserMsg::Get {
+            req,
+            dataset: dataset.to_string(),
+            keys: keys.clone(),
+            trace,
+        };
+        let size = msg.wire_size();
+        ctx.send_traced(primary, size, Box::new(msg), trace);
+        self.pending.insert(
+            req,
+            Pending {
+                dataset: dataset.to_string(),
+                keys,
+                shard,
+                targets: vec![primary],
+                sent_at: now,
+                trace,
+            },
+        );
+        if self.cfg.hedge && order.len() > 1 {
+            ctx.set_timer(self.hedge_delay(), TAG_BASE + req * 2);
+        }
+        ctx.set_timer(self.cfg.deadline, TAG_BASE + req * 2 + 1);
+        None
+    }
+
+    /// Looks the query up in the cache. `fresh_only` enforces the TTL;
+    /// the stale path ignores it. Single-key queries use the per-key
+    /// cache; multi-key queries use atomic bundles only.
+    fn cached(
+        &self,
+        dataset: &str,
+        keys: &[String],
+        now: SimTime,
+        fresh_only: bool,
+    ) -> Option<(Vec<Option<f64>>, u64)> {
+        if keys.len() == 1 {
+            let e = self.cache.get(&(dataset.to_string(), keys[0].clone()))?;
+            if fresh_only && e.fresh_until < now {
+                return None;
+            }
+            return Some((vec![e.value], e.generation));
+        }
+        let bkey = LaserClient::bundle_key(dataset, keys);
+        let b = self.bundles.get(&bkey)?;
+        if fresh_only && b.fresh_until < now {
+            return None;
+        }
+        let values = keys
+            .iter()
+            .map(|k| {
+                let i = bkey.1.iter().position(|s| s == k).unwrap();
+                b.values[i]
+            })
+            .collect();
+        Some((values, b.generation))
+    }
+
+    /// Handles a client timer tag (the host forwards tags ≥ [`TAG_BASE`]).
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) -> Option<Completion> {
+        if tag < TAG_BASE {
+            return None;
+        }
+        let req = (tag - TAG_BASE) / 2;
+        if (tag - TAG_BASE).is_multiple_of(2) {
+            self.fire_hedge(ctx, req);
+            return None;
+        }
+        self.fire_deadline(ctx, req)
+    }
+
+    fn fire_hedge(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let now = ctx.now();
+        let Some(p) = self.pending.get(&req) else {
+            return;
+        };
+        let order = self.replica_order(ctx, p.shard, now);
+        let Some(&target) = order.iter().find(|n| !p.targets.contains(n)) else {
+            return;
+        };
+        let msg = LaserMsg::Get {
+            req,
+            dataset: p.dataset.clone(),
+            keys: p.keys.clone(),
+            trace: p.trace,
+        };
+        let size = msg.wire_size();
+        let trace = p.trace;
+        ctx.send_traced(target, size, Box::new(msg), trace);
+        self.pending.get_mut(&req).unwrap().targets.push(target);
+        self.stats.hedges += 1;
+        ctx.metrics().incr(metrics::HEDGES, 1);
+    }
+
+    fn fire_deadline(&mut self, ctx: &mut Ctx<'_>, req: u64) -> Option<Completion> {
+        let now = ctx.now();
+        let p = self.pending.remove(&req)?;
+        // Every replica we asked stayed silent past the deadline: suspect
+        // them all so the next queries fail over to a sibling.
+        for &n in &p.targets {
+            self.suspect_until.insert(n, now + self.cfg.suspect_ttl);
+        }
+        let latency = now - p.sent_at;
+        self.latency.record_secs(latency.as_secs_f64());
+        ctx.metrics()
+            .sample(metrics::QUERY_S, latency.as_secs_f64());
+        match self.cached(&p.dataset, &p.keys, now, false) {
+            Some((values, generation)) => {
+                self.stats.stale_served += 1;
+                ctx.metrics().incr(metrics::STALE_SERVED, 1);
+                Some(Completion {
+                    dataset: p.dataset,
+                    keys: p.keys,
+                    values,
+                    generation: Some(generation),
+                    served: Served::Stale,
+                    latency,
+                })
+            }
+            None => {
+                self.stats.failed += 1;
+                ctx.metrics().incr(metrics::FAILED, 1);
+                let values = vec![None; p.keys.len()];
+                Some(Completion {
+                    dataset: p.dataset,
+                    keys: p.keys,
+                    values,
+                    generation: None,
+                    served: Served::Failed,
+                    latency,
+                })
+            }
+        }
+    }
+
+    /// Handles a [`LaserMsg`] delivered to the host actor.
+    pub fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        msg: LaserMsg,
+    ) -> Option<Completion> {
+        let LaserMsg::GetReply {
+            req,
+            dataset,
+            generation,
+            values,
+            ..
+        } = msg
+        else {
+            return None;
+        };
+        let now = ctx.now();
+        // A reply proves the replica is alive, whatever an earlier deadline
+        // concluded.
+        self.suspect_until.remove(&from);
+        let Some(p) = self.pending.remove(&req) else {
+            // Late reply: the deadline already answered this query from
+            // stale cache, or the hedge lost the race and this is the
+            // second answer. Unsuspecting the sender above is the useful
+            // part; the first answer already refreshed the cache.
+            return None;
+        };
+        self.fill_cache(&dataset, &p.keys, generation, &values, now);
+        let latency = now - p.sent_at;
+        self.latency.record_secs(latency.as_secs_f64());
+        ctx.metrics()
+            .sample(metrics::QUERY_S, latency.as_secs_f64());
+        let hedge_win = p.targets.first() != Some(&from);
+        if hedge_win {
+            self.stats.hedge_wins += 1;
+            ctx.metrics().incr(metrics::HEDGE_WINS, 1);
+        }
+        self.stats.fresh += 1;
+        Some(Completion {
+            dataset: p.dataset,
+            keys: p.keys,
+            values,
+            generation: Some(generation),
+            served: Served::Fresh { from, hedge_win },
+            latency,
+        })
+    }
+
+    fn fill_cache(
+        &mut self,
+        dataset: &str,
+        keys: &[String],
+        generation: u64,
+        values: &[Option<f64>],
+        now: SimTime,
+    ) {
+        if keys.len() != values.len() {
+            return;
+        }
+        let fresh_until = now + self.cfg.cache_ttl;
+        if keys.len() == 1 {
+            self.cache.insert(
+                (dataset.to_string(), keys[0].clone()),
+                CacheEntry {
+                    generation,
+                    value: values[0],
+                    fresh_until,
+                },
+            );
+            return;
+        }
+        let bkey = LaserClient::bundle_key(dataset, keys);
+        let sorted_values: Vec<Option<f64>> = bkey
+            .1
+            .iter()
+            .map(|k| {
+                let i = keys.iter().position(|s| s == k).unwrap();
+                values[i]
+            })
+            .collect();
+        self.bundles.insert(
+            bkey,
+            Bundle {
+                generation,
+                values: sorted_values,
+                fresh_until,
+            },
+        );
+    }
+}

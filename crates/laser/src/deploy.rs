@@ -1,0 +1,106 @@
+//! Deployment of a Laser serving tier onto a simulated fleet.
+
+use std::collections::VecDeque;
+
+use simnet::{NodeId, Sim};
+
+use crate::route::ShardMap;
+use crate::server::{LaserShardServer, ShardServerConfig};
+
+/// Configuration of a Laser tier.
+#[derive(Debug, Clone)]
+pub struct LaserDeployConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Candidate server nodes (e.g. carved from the Zeus proxy pool).
+    pub candidates: Vec<NodeId>,
+    /// Zeus observers the servers may subscribe to for ingestion; each
+    /// server picks a same-region one when available.
+    pub observers: Vec<NodeId>,
+    /// Stream datasets (partitioned by key ownership).
+    pub stream_datasets: Vec<String>,
+    /// Bulk datasets (fully replicated, atomically activated).
+    pub bulk_datasets: Vec<String>,
+    /// Memory-tier capacity per server.
+    pub memory_cap: usize,
+    /// PackageVessel request window per server.
+    pub pv_window: usize,
+}
+
+/// Handles to an installed Laser tier.
+#[derive(Debug, Clone)]
+pub struct LaserDeployment {
+    /// The routing map clients share.
+    pub map: ShardMap,
+    /// Every server node, in shard-then-replica order.
+    pub servers: Vec<NodeId>,
+}
+
+impl LaserDeployment {
+    /// Installs shard servers on nodes drawn from `cfg.candidates`.
+    ///
+    /// Replica `r` of shard `s` prefers region `(s + r) % regions`, so the
+    /// replicas of any shard land in different regions (a regional fault
+    /// takes out at most one replica per shard) while shards collectively
+    /// spread over all regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer candidates than `shards × replicas`, or
+    /// if `observers` is empty.
+    pub fn install(sim: &mut Sim, cfg: &LaserDeployConfig) -> LaserDeployment {
+        assert!(cfg.shards > 0 && cfg.replicas > 0);
+        assert!(!cfg.observers.is_empty(), "need at least one observer");
+        let topo = sim.topology().clone();
+        let nregions = topo.num_regions();
+        let mut by_region: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); nregions];
+        for &n in &cfg.candidates {
+            by_region[topo.placement(n).region.0 as usize].push_back(n);
+        }
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); cfg.shards];
+        for (s, group) in groups.iter_mut().enumerate() {
+            for r in 0..cfg.replicas {
+                let want = (s + r) % nregions;
+                let node = by_region[want]
+                    .pop_front()
+                    .or_else(|| {
+                        by_region
+                            .iter_mut()
+                            .find(|q| !q.is_empty())
+                            .and_then(|q| q.pop_front())
+                    })
+                    .expect("not enough Laser candidate nodes");
+                group.push(node);
+            }
+        }
+        let map = ShardMap::new(groups.clone());
+        let mut servers = Vec::new();
+        for (s, group) in groups.iter().enumerate() {
+            for &node in group {
+                let region = topo.placement(node).region;
+                let observer = cfg
+                    .observers
+                    .iter()
+                    .copied()
+                    .find(|&o| topo.placement(o).region == region)
+                    .unwrap_or(cfg.observers[0]);
+                sim.add_actor(
+                    node,
+                    Box::new(LaserShardServer::new(ShardServerConfig {
+                        shard: s as u32,
+                        map: map.clone(),
+                        observer,
+                        stream_datasets: cfg.stream_datasets.clone(),
+                        bulk_datasets: cfg.bulk_datasets.clone(),
+                        memory_cap: cfg.memory_cap,
+                        pv_window: cfg.pv_window,
+                    })),
+                );
+                servers.push(node);
+            }
+        }
+        LaserDeployment { map, servers }
+    }
+}

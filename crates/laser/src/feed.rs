@@ -1,0 +1,139 @@
+//! Encoding of Laser ingestion feeds as Zeus config writes.
+//!
+//! Stream updates ride the ordinary commit pipeline: a write to
+//! `laser/<dataset>` carries the full latest state of the stream output as
+//! a `k=v;` text payload. Full-state (latest-wins) payloads mean a shard
+//! that missed intermediate writes converges by applying only the newest
+//! one — exactly what the observer replays on re-subscription.
+//!
+//! Bulk loads are too large for the commit pipeline; a write to
+//! `laser-bulk/<dataset>` carries only the [`BulkMeta`] describing a
+//! PackageVessel package (config = the same `laser-bulk/<dataset>` name,
+//! version = the generation to activate). Shard servers fetch the content
+//! P2P and activate it atomically once assembled.
+
+use packagevessel::types::{BulkId, BulkMeta};
+use simnet::{NodeId, SimTime};
+
+/// The Zeus path carrying stream updates for `dataset`.
+pub fn stream_path(dataset: &str) -> String {
+    format!("laser/{dataset}")
+}
+
+/// The Zeus path (and PackageVessel config name) carrying bulk-load
+/// metadata for `dataset`.
+pub fn bulk_path(dataset: &str) -> String {
+    format!("laser-bulk/{dataset}")
+}
+
+/// Encodes dataset entries as a `k=v;` payload. Keys must not contain `=`
+/// or `;`.
+pub fn encode_entries(entries: &[(String, f64)]) -> Vec<u8> {
+    let mut out = String::new();
+    for (k, v) in entries {
+        debug_assert!(!k.contains('=') && !k.contains(';'));
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&format!("{v:.6}"));
+        out.push(';');
+    }
+    out.into_bytes()
+}
+
+/// Decodes a `k=v;` payload, skipping malformed fragments.
+pub fn parse_entries(data: &[u8]) -> Vec<(String, f64)> {
+    let Ok(text) = std::str::from_utf8(data) else {
+        return Vec::new();
+    };
+    text.split(';')
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            if k.is_empty() {
+                return None;
+            }
+            Some((k.to_string(), v.parse::<f64>().ok()?))
+        })
+        .collect()
+}
+
+/// Encodes the metadata of a published bulk package for the
+/// `laser-bulk/<dataset>` Zeus write.
+pub fn encode_bulk_meta(meta: &BulkMeta) -> Vec<u8> {
+    format!(
+        "version={};pieces={};piece_size={};total={};storage={}",
+        meta.id.version, meta.num_pieces, meta.piece_size, meta.total_size, meta.storage.0
+    )
+    .into_bytes()
+}
+
+/// Decodes bulk metadata written for `dataset`; `origin` is the commit
+/// origin time of the carrying write (used for activation-latency
+/// accounting).
+pub fn parse_bulk_meta(dataset: &str, data: &[u8], origin: SimTime) -> Option<BulkMeta> {
+    let text = std::str::from_utf8(data).ok()?;
+    let mut version = None;
+    let mut pieces = None;
+    let mut piece_size = None;
+    let mut total = None;
+    let mut storage = None;
+    for kv in text.split(';') {
+        let Some((k, v)) = kv.split_once('=') else {
+            continue;
+        };
+        match k {
+            "version" => version = v.parse::<u64>().ok(),
+            "pieces" => pieces = v.parse::<u32>().ok(),
+            "piece_size" => piece_size = v.parse::<u64>().ok(),
+            "total" => total = v.parse::<u64>().ok(),
+            "storage" => storage = v.parse::<u32>().ok().map(NodeId),
+            _ => {}
+        }
+    }
+    Some(BulkMeta {
+        id: BulkId {
+            config: bulk_path(dataset),
+            version: version?,
+        },
+        num_pieces: pieces?,
+        piece_size: piece_size?,
+        total_size: total?,
+        storage: storage?,
+        origin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_round_trip() {
+        let entries = vec![("proj-1".to_string(), 0.125), ("proj-2".to_string(), 3.0)];
+        let parsed = parse_entries(&encode_entries(&entries));
+        assert_eq!(parsed, entries);
+        assert!(parse_entries(b"garbage;;x=;=1;k=2.5").len() == 1);
+        assert!(parse_entries(&[0xff, 0xfe]).is_empty());
+    }
+
+    #[test]
+    fn bulk_meta_round_trips() {
+        let meta = BulkMeta {
+            id: BulkId {
+                config: bulk_path("ranker"),
+                version: 7,
+            },
+            num_pieces: 3,
+            piece_size: 4096,
+            total_size: 9000,
+            storage: NodeId(12),
+            origin: SimTime(55),
+        };
+        let parsed = parse_bulk_meta("ranker", &encode_bulk_meta(&meta), SimTime(55)).unwrap();
+        assert_eq!(parsed.id, meta.id);
+        assert_eq!(parsed.num_pieces, 3);
+        assert_eq!(parsed.piece_size, 4096);
+        assert_eq!(parsed.total_size, 9000);
+        assert_eq!(parsed.storage, NodeId(12));
+        assert!(parse_bulk_meta("ranker", b"version=;pieces=1", SimTime(0)).is_none());
+    }
+}

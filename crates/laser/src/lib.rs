@@ -13,8 +13,26 @@
 //! Datasets load atomically: a batch pipeline (the stand-in for a MapReduce
 //! or stream job) replaces a whole generation at once, so readers never see
 //! a half-loaded dataset.
+//!
+//! [`Laser`] is the single-node store. The rest of the crate turns it into
+//! a distributed serving tier on `simnet`: [`route::ShardMap`] partitions
+//! the key space over replica groups, [`server::LaserShardServer`] hosts
+//! one shard replica per node (ingesting committed stream writes from the
+//! Zeus observer feed and bulk loads via PackageVessel), and
+//! [`client::LaserClient`] routes reads with a read-through cache, hedged
+//! requests, and stale-cache degradation. Gatekeeper evaluates `laser()`
+//! restraints against any [`LaserBackend`], so the same rules run against
+//! the in-process store or values resolved through the client.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+pub mod client;
+pub mod deploy;
+pub mod feed;
+pub mod metrics;
+pub mod msg;
+pub mod route;
+pub mod server;
 
 /// Read-cost units (arbitrary but fixed, used by the Gatekeeper optimizer
 /// and by cost accounting in experiments).
@@ -66,7 +84,7 @@ pub struct Laser {
     memory: HashMap<(String, String), (u64, f64)>,
     memory_cap: usize,
     /// Insertion order for FIFO eviction of the memory tier.
-    memory_order: Vec<(String, String)>,
+    memory_order: VecDeque<(String, String)>,
     stats: LaserStats,
 }
 
@@ -77,7 +95,7 @@ impl Laser {
             datasets: HashMap::new(),
             memory: HashMap::new(),
             memory_cap,
-            memory_order: Vec::new(),
+            memory_order: VecDeque::new(),
             stats: LaserStats::default(),
         }
     }
@@ -136,6 +154,18 @@ impl Laser {
         self.get(dataset, &format!("{project}-{user_id}"))
     }
 
+    /// Reads `key` from `dataset` without touching the memory tier or the
+    /// statistics. For invariant checks and introspection; serving reads go
+    /// through [`Laser::get`].
+    pub fn peek(&self, dataset: &str, key: &str) -> Option<f64> {
+        self.datasets.get(dataset)?.entries.get(key).copied()
+    }
+
+    /// Number of entries currently resident in the memory tier.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
     /// Number of keys in `dataset`.
     pub fn dataset_len(&self, dataset: &str) -> usize {
         self.datasets
@@ -165,12 +195,82 @@ impl Laser {
             if self.memory.len() >= self.memory_cap {
                 // FIFO eviction keeps the implementation simple and
                 // deterministic; hit-rate subtleties are not the point here.
-                let evict = self.memory_order.remove(0);
-                self.memory.remove(&evict);
+                if let Some(evict) = self.memory_order.pop_front() {
+                    self.memory.remove(&evict);
+                }
             }
-            self.memory_order.push(key.clone());
+            self.memory_order.push_back(key.clone());
         }
         self.memory.insert(key, (generation, v));
+    }
+}
+
+/// Anything a `laser()` restraint can read through.
+///
+/// Gatekeeper evaluates against this trait rather than the concrete
+/// [`Laser`] store, so restraints run identically against the in-process
+/// store (unit tests, microbenchmarks) and against values resolved through
+/// the distributed [`client::LaserClient`] (a [`ResolvedBackend`]).
+pub trait LaserBackend {
+    /// Reads `key` from `dataset`.
+    fn get(&mut self, dataset: &str, key: &str) -> Option<f64>;
+
+    /// Reads the conventional `"$project-$user_id"` key (§4).
+    fn get_project_user(&mut self, dataset: &str, project: &str, user_id: u64) -> Option<f64> {
+        self.get(dataset, &format!("{project}-{user_id}"))
+    }
+}
+
+impl LaserBackend for Laser {
+    fn get(&mut self, dataset: &str, key: &str) -> Option<f64> {
+        Laser::get(self, dataset, key)
+    }
+}
+
+/// A [`LaserBackend`] answering from values resolved ahead of evaluation.
+///
+/// A frontend prefetches the keys a check needs through the
+/// [`client::LaserClient`] (fresh, cached, or stale-degraded), deposits them
+/// here, and evaluates the Gatekeeper project against this backend — the
+/// restraint evaluation itself stays synchronous even though the store is
+/// remote. `None` deposits record "the key was resolved and is absent",
+/// which is distinct from a read nobody resolved (counted in
+/// [`ResolvedBackend::unresolved`]).
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedBackend {
+    values: HashMap<(String, String), Option<f64>>,
+    /// Reads for keys nobody deposited (a routing bug or a failed query
+    /// with no stale cover).
+    pub unresolved: u64,
+}
+
+impl ResolvedBackend {
+    /// Creates an empty backend.
+    pub fn new() -> ResolvedBackend {
+        ResolvedBackend::default()
+    }
+
+    /// Deposits the resolved value for `(dataset, key)`.
+    pub fn set(&mut self, dataset: &str, key: &str, value: Option<f64>) {
+        self.values
+            .insert((dataset.to_string(), key.to_string()), value);
+    }
+
+    /// Clears all deposited values (between checks).
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+impl LaserBackend for ResolvedBackend {
+    fn get(&mut self, dataset: &str, key: &str) -> Option<f64> {
+        match self.values.get(&(dataset.to_string(), key.to_string())) {
+            Some(v) => *v,
+            None => {
+                self.unresolved += 1;
+                None
+            }
+        }
     }
 }
 
@@ -253,5 +353,95 @@ mod tests {
         l.get("d", "a");
         l.get("d", "a");
         assert_eq!(l.stats().flash_reads, 2);
+        assert_eq!(l.memory_len(), 0);
+    }
+
+    #[test]
+    fn eviction_at_exact_cap_boundary() {
+        let mut l = Laser::new(2);
+        l.load_dataset(
+            "d",
+            vec![("a".into(), 1.0), ("b".into(), 2.0), ("c".into(), 3.0)],
+        );
+        // Filling to exactly the cap evicts nothing.
+        l.get("d", "a");
+        l.get("d", "b");
+        assert_eq!(l.memory_len(), 2);
+        assert_eq!(l.get("d", "a"), Some(1.0));
+        assert_eq!(l.get("d", "b"), Some(2.0));
+        assert_eq!(l.stats().memory_hits, 2);
+        // The cap+1-th distinct key evicts the oldest ("a"), specifically —
+        // "b" must survive.
+        l.get("d", "c");
+        assert_eq!(l.memory_len(), 2);
+        let before = l.stats();
+        assert_eq!(l.get("d", "b"), Some(2.0));
+        assert_eq!(l.get("d", "c"), Some(3.0));
+        assert_eq!(l.stats().memory_hits, before.memory_hits + 2);
+        assert_eq!(l.get("d", "a"), Some(1.0), "evicted key re-reads flash");
+        assert_eq!(l.stats().flash_reads, before.flash_reads + 1);
+    }
+
+    #[test]
+    fn refresh_of_resident_key_does_not_evict_or_duplicate() {
+        let mut l = Laser::new(2);
+        l.load_dataset("d", vec![("a".into(), 1.0), ("b".into(), 2.0)]);
+        l.get("d", "a");
+        l.get("d", "b");
+        // A stale-generation re-read of a resident key refreshes it in
+        // place: it pays a flash read, but must not evict its neighbor or
+        // grow the FIFO order (which would double-evict "a" later).
+        l.stream_upsert("d", vec![("a".into(), 9.0)]);
+        assert_eq!(l.get("d", "a"), Some(9.0));
+        assert_eq!(l.memory_len(), 2);
+        assert_eq!(l.stats().flash_reads, 3);
+        // "b" was untouched by the refresh; generation advanced though, so
+        // its cached value is stale and promotion happens again.
+        assert_eq!(l.get("d", "b"), Some(2.0));
+        assert_eq!(l.stats().flash_reads, 4);
+        // Both now hit memory at the current generation.
+        l.get("d", "a");
+        l.get("d", "b");
+        let s = l.stats();
+        assert_eq!(s.memory_hits, 2);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.cost_units, 4 * cost::FLASH_READ + 2 * cost::MEMORY_HIT);
+    }
+
+    #[test]
+    fn promotion_accounting_across_generations() {
+        let mut l = Laser::new(4);
+        l.load_dataset("d", vec![("k".into(), 1.0)]);
+        l.get("d", "k"); // flash + promote
+        l.get("d", "k"); // memory
+        l.load_dataset("d", vec![("k".into(), 2.0)]);
+        l.get("d", "k"); // stale cache → flash + re-promote
+        l.get("d", "k"); // memory
+        let s = l.stats();
+        assert_eq!((s.flash_reads, s.memory_hits, s.misses), (2, 2, 0));
+        assert_eq!(l.memory_len(), 1, "re-promotion reuses the slot");
+    }
+
+    #[test]
+    fn resolved_backend_distinguishes_absent_from_unresolved() {
+        let mut b = ResolvedBackend::new();
+        b.set("d", "proj-1", Some(0.9));
+        b.set("d", "proj-2", None);
+        assert_eq!(b.get("d", "proj-1"), Some(0.9));
+        assert_eq!(b.get("d", "proj-2"), None);
+        assert_eq!(b.unresolved, 0);
+        assert_eq!(b.get_project_user("d", "proj", 3), None);
+        assert_eq!(b.unresolved, 1);
+        b.clear();
+        b.get("d", "proj-1");
+        assert_eq!(b.unresolved, 2);
+    }
+
+    #[test]
+    fn laser_implements_backend() {
+        let mut l = Laser::new(4);
+        l.load_dataset("t", vec![("P-7".into(), 0.8)]);
+        let b: &mut dyn LaserBackend = &mut l;
+        assert_eq!(b.get_project_user("t", "P", 7), Some(0.8));
     }
 }

@@ -1,0 +1,38 @@
+//! Metric and trace-hop names for the Laser serving tier.
+
+/// Queries issued by a [`crate::client::LaserClient`] (all outcomes).
+pub const QUERIES: &str = "laser.client.queries";
+/// End-to-end query latency (network-served and deadline completions;
+/// cache-answered queries are instantaneous and not sampled).
+pub const QUERY_S: &str = "laser.client.query_s";
+/// Queries answered entirely from the client's fresh read-through cache.
+pub const CACHE_HITS: &str = "laser.client.cache_hits";
+/// Hedge requests sent to a sibling replica.
+pub const HEDGES: &str = "laser.client.hedges";
+/// Queries whose first reply came from the hedge target.
+pub const HEDGE_WINS: &str = "laser.client.hedge_wins";
+/// Deadline expirations served from stale cache (graceful degradation).
+pub const STALE_SERVED: &str = "laser.client.stale_served";
+/// Deadline expirations with no cached cover at all.
+pub const FAILED: &str = "laser.client.failed";
+
+/// Get requests handled by shard servers.
+pub const SERVER_GETS: &str = "laser.server.gets";
+/// Committed stream writes applied by shard servers.
+pub const INGEST_APPLIED: &str = "laser.server.ingest_applied";
+/// Commit-origin → shard-apply lag for stream writes.
+pub const INGEST_LAG_S: &str = "laser.server.ingest_lag_s";
+/// Bulk dataset generations activated (atomic flips).
+pub const BULK_ACTIVATED: &str = "laser.server.bulk_activated";
+/// Publish-origin → activation latency for bulk loads.
+pub const BULK_ACTIVATE_S: &str = "laser.server.bulk_activate_s";
+
+/// Trace hop names on the ingest and query paths.
+pub mod hops {
+    /// A shard server applied a committed stream write.
+    pub const INGEST_APPLY: &str = "laser.ingest_apply";
+    /// A shard server atomically activated a bulk generation.
+    pub const BULK_ACTIVATE: &str = "laser.bulk_activate";
+    /// A shard server answered a get.
+    pub const SERVER_GET: &str = "laser.server_get";
+}

@@ -1,0 +1,50 @@
+//! Wire messages between [`crate::client::LaserClient`] routers and
+//! [`crate::server::LaserShardServer`] nodes.
+
+use simnet::trace::TraceCtx;
+
+/// Client ↔ shard-server protocol.
+#[derive(Debug, Clone)]
+pub enum LaserMsg {
+    /// Read `keys` from `dataset`. Multi-key gets are answered atomically
+    /// from one store snapshot (one handler invocation), which is what
+    /// makes the bulk-generation atomicity invariant checkable end to end.
+    Get {
+        /// Client-chosen request id (replies are deduplicated on it).
+        req: u64,
+        /// Dataset name.
+        dataset: String,
+        /// Keys to read, in reply order.
+        keys: Vec<String>,
+        /// Optional causal trace.
+        trace: Option<TraceCtx>,
+    },
+    /// Answer to a [`LaserMsg::Get`].
+    GetReply {
+        /// Echoed request id.
+        req: u64,
+        /// Echoed dataset name.
+        dataset: String,
+        /// The serving store's generation for `dataset` at read time. All
+        /// `values` come from this single generation.
+        generation: u64,
+        /// One value per requested key.
+        values: Vec<Option<f64>>,
+        /// Trace continued from the request.
+        trace: Option<TraceCtx>,
+    },
+}
+
+impl LaserMsg {
+    /// Approximate wire size in bytes (for the bandwidth model).
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            LaserMsg::Get { dataset, keys, .. } => {
+                64 + dataset.len() as u64 + keys.iter().map(|k| k.len() as u64).sum::<u64>()
+            }
+            LaserMsg::GetReply {
+                dataset, values, ..
+            } => 64 + dataset.len() as u64 + 16 * values.len() as u64,
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Consistent-hash routing of the Laser key space onto shard replica
+//! groups.
+//!
+//! A [`ShardMap`] is built once at deployment and shared (cloned) by
+//! servers and clients: servers use it to keep only the keys they own,
+//! clients use it to route gets. Virtual nodes smooth the per-shard share
+//! of the ring; FNV-1a keeps hashing dependency-free and deterministic
+//! across runs and platforms.
+
+use simnet::NodeId;
+
+/// Virtual ring points per shard. 64 points smooth the per-shard share of
+/// the key space to well within 2× of fair for small shard counts.
+const VNODES: usize = 64;
+
+/// 64-bit FNV-1a with a murmur-style finalizer. Plain FNV-1a has weak
+/// avalanche: short sequential keys (`proj-1`, `proj-2`, …) hash into a
+/// narrow band of the ring and starve shards; the finalizer spreads them.
+pub fn key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+    h ^ (h >> 33)
+}
+
+/// The key-space → replica-group mapping.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// `replicas[s]` lists the nodes serving shard `s`, primary first.
+    replicas: Vec<Vec<NodeId>>,
+    /// Sorted virtual ring: (point, shard).
+    ring: Vec<(u64, u32)>,
+}
+
+impl ShardMap {
+    /// Builds the map for the given replica groups.
+    pub fn new(replicas: Vec<Vec<NodeId>>) -> ShardMap {
+        assert!(!replicas.is_empty(), "at least one shard");
+        assert!(
+            replicas.iter().all(|r| !r.is_empty()),
+            "every shard needs at least one replica"
+        );
+        let mut ring = Vec::with_capacity(replicas.len() * VNODES);
+        for s in 0..replicas.len() {
+            for v in 0..VNODES {
+                ring.push((key_hash(&format!("shard-{s}#{v}")), s as u32));
+            }
+        }
+        ring.sort_unstable();
+        ShardMap { replicas, ring }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The shard owning `key`: the first ring point clockwise of the key's
+    /// hash.
+    pub fn shard_for(&self, key: &str) -> usize {
+        let h = key_hash(key);
+        let i = self.ring.partition_point(|&(p, _)| p < h);
+        let (_, s) = self.ring[i % self.ring.len()];
+        s as usize
+    }
+
+    /// Replica nodes of `shard`, primary first.
+    pub fn replicas(&self, shard: usize) -> &[NodeId] {
+        &self.replicas[shard]
+    }
+
+    /// All server nodes, in shard-then-replica order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.replicas.iter().flatten().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(shards: usize, reps: usize) -> ShardMap {
+        let replicas = (0..shards)
+            .map(|s| (0..reps).map(|r| NodeId((s * reps + r) as u32)).collect())
+            .collect();
+        ShardMap::new(replicas)
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let m = map(4, 2);
+        for i in 0..1000 {
+            let k = format!("proj-{i}");
+            let s = m.shard_for(&k);
+            assert!(s < 4);
+            assert_eq!(s, m.shard_for(&k), "same key, same shard");
+            assert_eq!(m.replicas(s).len(), 2);
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_spread_the_key_space() {
+        let m = map(4, 1);
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            counts[m.shard_for(&format!("key-{i}"))] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 400, "shard {s} starved: {counts:?} — ring too lumpy");
+        }
+    }
+
+    #[test]
+    fn nodes_lists_every_replica_once() {
+        let m = map(3, 2);
+        let nodes = m.nodes();
+        assert_eq!(nodes.len(), 6);
+        let mut sorted: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+}

@@ -1,0 +1,369 @@
+//! The per-node Laser shard server.
+//!
+//! Each server hosts one replica of one shard: a [`Laser`] store holding
+//! only the keys its shard owns (per the deployment's
+//! [`crate::route::ShardMap`]), fed two ways:
+//!
+//! - **Stream ingestion**: the server subscribes to a Zeus observer for
+//!   every stream dataset's `laser/<dataset>` path and applies committed
+//!   full-state writes as `stream_upsert`s, deduplicated and ordered by
+//!   zxid. Periodic re-subscription with the last applied zxid makes the
+//!   feed self-healing — whatever a crash or partition swallowed, the
+//!   observer replays the latest state on the next round trip.
+//! - **Bulk loads**: a `laser-bulk/<dataset>` write carries only package
+//!   metadata; the embedded PackageVessel agent fetches the content P2P,
+//!   and the server activates the assembled generation with a single
+//!   atomic `load_dataset` flip. Bulk datasets are replicated to every
+//!   shard (they are read with multi-key probes that must see one
+//!   generation), so no query can observe a mix of two generations.
+//!
+//! Reads arrive as [`LaserMsg::Get`] and are answered from one store
+//! snapshot. A configurable response delay models a degraded replica for
+//! tail-latency experiments.
+
+use std::collections::HashMap;
+
+use packagevessel::agent::PvAgentActor;
+use packagevessel::types::{BulkMeta, PvMsg};
+use simnet::trace::TraceCtx;
+use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
+use zeus::types::{Write, ZeusMsg, Zxid};
+
+use crate::msg::LaserMsg;
+use crate::route::ShardMap;
+use crate::{feed, metrics, Laser};
+
+/// Re-subscription / housekeeping period.
+const RESUB_EVERY: SimDuration = SimDuration(2_000_000);
+/// Housekeeping timer tags are `TAG_RESUB_BASE + epoch`; the epoch bumps on
+/// recovery so a pre-crash timer that survives the outage cannot double the
+/// housekeeping cadence.
+const TAG_RESUB_BASE: u64 = 1 << 16;
+/// Delayed-reply timer tags (degraded-replica mode).
+const TAG_DELAY_BASE: u64 = 1 << 32;
+
+/// Static configuration of one shard server.
+#[derive(Debug, Clone)]
+pub struct ShardServerConfig {
+    /// The shard this server replicates.
+    pub shard: u32,
+    /// The deployment's shard map (for key-ownership filtering).
+    pub map: ShardMap,
+    /// The Zeus observer this server subscribes to for ingestion.
+    pub observer: NodeId,
+    /// Stream datasets to ingest (partitioned by key ownership).
+    pub stream_datasets: Vec<String>,
+    /// Bulk datasets to ingest (fully replicated).
+    pub bulk_datasets: Vec<String>,
+    /// Memory-tier capacity of the local store.
+    pub memory_cap: usize,
+    /// PackageVessel agent request window.
+    pub pv_window: usize,
+}
+
+/// The shard server actor.
+pub struct LaserShardServer {
+    cfg: ShardServerConfig,
+    store: Laser,
+    pv: PvAgentActor,
+    started: bool,
+    resub_epoch: u64,
+    /// Last applied zxid per ingestion path (dedup + re-subscription
+    /// cursor).
+    last_zxid: HashMap<String, Zxid>,
+    /// Newest not-yet-activated bulk metadata per dataset.
+    pending_bulk: HashMap<String, (BulkMeta, Option<TraceCtx>)>,
+    /// Activated bulk version per dataset.
+    activated: HashMap<String, u64>,
+    /// Extra delay before answering gets (degraded-replica modeling).
+    respond_delay: SimDuration,
+    delayed: HashMap<u64, (NodeId, LaserMsg, Option<TraceCtx>)>,
+    next_delay_token: u64,
+}
+
+impl LaserShardServer {
+    /// Creates the server for `cfg`.
+    pub fn new(cfg: ShardServerConfig) -> LaserShardServer {
+        let store = Laser::new(cfg.memory_cap);
+        let pv = PvAgentActor::new(cfg.pv_window);
+        LaserShardServer {
+            cfg,
+            store,
+            pv,
+            started: false,
+            resub_epoch: 0,
+            last_zxid: HashMap::new(),
+            pending_bulk: HashMap::new(),
+            activated: HashMap::new(),
+            respond_delay: SimDuration::ZERO,
+            delayed: HashMap::new(),
+            next_delay_token: 0,
+        }
+    }
+
+    /// The shard this server replicates.
+    pub fn shard(&self) -> u32 {
+        self.cfg.shard
+    }
+
+    /// The local store (for invariant checks).
+    pub fn store(&self) -> &Laser {
+        &self.store
+    }
+
+    /// The activated bulk version of `dataset` (0 if none yet).
+    pub fn activated_version(&self, dataset: &str) -> u64 {
+        self.activated.get(dataset).copied().unwrap_or(0)
+    }
+
+    /// The last applied zxid for an ingestion `path`.
+    pub fn last_applied(&self, path: &str) -> Zxid {
+        self.last_zxid.get(path).copied().unwrap_or(Zxid::ZERO)
+    }
+
+    /// Sets the artificial response delay (degraded-replica modeling).
+    pub fn set_response_delay(&mut self, delay: SimDuration) {
+        self.respond_delay = delay;
+    }
+
+    fn paths(&self) -> Vec<String> {
+        self.cfg
+            .stream_datasets
+            .iter()
+            .map(|d| feed::stream_path(d))
+            .chain(self.cfg.bulk_datasets.iter().map(|d| feed::bulk_path(d)))
+            .collect()
+    }
+
+    /// Subscribes (or re-subscribes) to the observer feed and re-drives any
+    /// stalled bulk fetch. Runs at start, on every housekeeping tick, and
+    /// on recovery — the observer replays the newest state per path beyond
+    /// our cursor, which is all a full-state feed needs to converge.
+    fn housekeeping(&mut self, ctx: &mut Ctx<'_>) {
+        for path in self.paths() {
+            let have = self.last_applied(&path);
+            let size = 64 + path.len() as u64;
+            ctx.send_value(self.cfg.observer, size, ZeusMsg::Subscribe { path, have });
+        }
+        self.pv.kick(ctx);
+        // If the agent is idle, restart the newest pending bulk fetch (its
+        // retry chain dies if the node was down when the timer fired).
+        if self.pv.current_fetch().is_none() {
+            let mut ds: Vec<&String> = self.pending_bulk.keys().collect();
+            ds.sort();
+            if let Some(ds) = ds.first() {
+                let meta = self.pending_bulk[*ds].0.clone();
+                self.feed_meta(ctx, meta);
+            }
+        }
+        self.check_bulk_complete(ctx);
+    }
+
+    /// Hands bulk metadata to the embedded agent unless it is busy with a
+    /// different config (the agent fetches one config at a time; feeding
+    /// another would abandon the in-flight fetch and thrash).
+    fn feed_meta(&mut self, ctx: &mut Ctx<'_>, meta: BulkMeta) {
+        let ok = match self.pv.current_fetch() {
+            None => true,
+            Some(cur) => cur.config == meta.id.config,
+        };
+        if ok {
+            let node = ctx.node();
+            self.pv
+                .on_message(ctx, node, Box::new(PvMsg::MetadataUpdate { meta }));
+        }
+    }
+
+    fn handle_get(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: LaserMsg) {
+        let LaserMsg::Get {
+            req,
+            dataset,
+            keys,
+            trace,
+        } = msg
+        else {
+            return;
+        };
+        ctx.metrics().incr(metrics::SERVER_GETS, 1);
+        let tctx = trace
+            .and_then(|t| {
+                ctx.trace_hop(
+                    t,
+                    metrics::hops::SERVER_GET,
+                    vec![("shard", self.cfg.shard.to_string())],
+                )
+            })
+            .or(trace);
+        // One snapshot: generation and values are read in a single handler
+        // invocation, so a reply can never straddle a generation flip.
+        let generation = self.store.generation(&dataset);
+        let values: Vec<Option<f64>> = keys.iter().map(|k| self.store.get(&dataset, k)).collect();
+        let reply = LaserMsg::GetReply {
+            req,
+            dataset,
+            generation,
+            values,
+            trace: tctx,
+        };
+        if self.respond_delay > SimDuration::ZERO {
+            let tag = TAG_DELAY_BASE + self.next_delay_token;
+            self.next_delay_token += 1;
+            self.delayed.insert(tag, (from, reply, tctx));
+            ctx.set_timer(self.respond_delay, tag);
+        } else {
+            let size = reply.wire_size();
+            ctx.send_traced(from, size, Box::new(reply), tctx);
+        }
+    }
+
+    fn handle_feed(&mut self, ctx: &mut Ctx<'_>, msg: ZeusMsg) {
+        match msg {
+            ZeusMsg::Notify { write } => self.apply_write(ctx, write),
+            ZeusMsg::NotifyBatch { writes } => {
+                for w in writes {
+                    self.apply_write(ctx, w);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn apply_write(&mut self, ctx: &mut Ctx<'_>, w: Write) {
+        if w.zxid <= self.last_applied(&w.path) {
+            return;
+        }
+        self.last_zxid.insert(w.path.clone(), w.zxid);
+        if let Some(ds) = w.path.strip_prefix("laser/") {
+            if !self.cfg.stream_datasets.iter().any(|d| d == ds) {
+                return;
+            }
+            // Partitioning happens here: of the full-state payload, this
+            // replica keeps only the keys its shard owns.
+            let shard = self.cfg.shard as usize;
+            let mine: Vec<(String, f64)> = feed::parse_entries(&w.data)
+                .into_iter()
+                .filter(|(k, _)| self.cfg.map.shard_for(k) == shard)
+                .collect();
+            self.store.stream_upsert(ds, mine);
+            ctx.metrics().incr(metrics::INGEST_APPLIED, 1);
+            let lag = (ctx.now() - w.origin).as_secs_f64();
+            ctx.metrics().sample(metrics::INGEST_LAG_S, lag);
+            if let Some(t) = w.trace {
+                ctx.trace_hop(
+                    t,
+                    metrics::hops::INGEST_APPLY,
+                    vec![("shard", self.cfg.shard.to_string())],
+                );
+            }
+        } else if let Some(ds) = w.path.strip_prefix("laser-bulk/") {
+            if !self.cfg.bulk_datasets.iter().any(|d| d == ds) {
+                return;
+            }
+            let Some(meta) = feed::parse_bulk_meta(ds, &w.data, w.origin) else {
+                return;
+            };
+            if meta.id.version <= self.activated_version(ds) {
+                return;
+            }
+            if let Some((have, _)) = self.pending_bulk.get(ds) {
+                if have.id.version >= meta.id.version {
+                    return;
+                }
+            }
+            self.pending_bulk
+                .insert(ds.to_string(), (meta.clone(), w.trace));
+            self.feed_meta(ctx, meta);
+            self.check_bulk_complete(ctx);
+        }
+    }
+
+    /// Activates any pending bulk dataset whose content has fully arrived:
+    /// one `load_dataset` call per generation — the atomic flip.
+    fn check_bulk_complete(&mut self, ctx: &mut Ctx<'_>) {
+        let mut ready: Vec<String> = self
+            .pending_bulk
+            .iter()
+            .filter(|(_, (m, _))| self.pv.has(&m.id))
+            .map(|(ds, _)| ds.clone())
+            .collect();
+        ready.sort();
+        for ds in ready {
+            let (meta, trace) = self.pending_bulk.remove(&ds).unwrap();
+            if meta.id.version <= self.activated_version(&ds) {
+                continue;
+            }
+            let Some(content) = self.pv.content_of(&meta.id) else {
+                continue;
+            };
+            let entries = feed::parse_entries(&content);
+            self.store.load_dataset(&ds, entries);
+            self.activated.insert(ds.clone(), meta.id.version);
+            ctx.metrics().incr(metrics::BULK_ACTIVATED, 1);
+            let lag = (ctx.now() - meta.origin).as_secs_f64();
+            ctx.metrics().sample(metrics::BULK_ACTIVATE_S, lag);
+            if let Some(t) = trace {
+                ctx.trace_hop(
+                    t,
+                    metrics::hops::BULK_ACTIVATE,
+                    vec![
+                        ("shard", self.cfg.shard.to_string()),
+                        ("version", meta.id.version.to_string()),
+                    ],
+                );
+            }
+        }
+    }
+}
+
+impl Actor for LaserShardServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Installing over a previous actor (e.g. a default Zeus proxy)
+        // dispatches a Start event per installation; run once.
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.housekeeping(ctx);
+        ctx.set_timer(RESUB_EVERY, TAG_RESUB_BASE + self.resub_epoch);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        let msg = match msg.downcast::<LaserMsg>() {
+            Ok(m) => return self.handle_get(ctx, from, *m),
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ZeusMsg>() {
+            Ok(m) => return self.handle_feed(ctx, *m),
+            Err(m) => m,
+        };
+        // Everything else is PackageVessel traffic for the embedded agent.
+        self.pv.on_message(ctx, from, msg);
+        self.check_bulk_complete(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag >= TAG_DELAY_BASE {
+            if let Some((to, reply, trace)) = self.delayed.remove(&tag) {
+                let size = reply.wire_size();
+                ctx.send_traced(to, size, Box::new(reply), trace);
+            }
+        } else if tag >= TAG_RESUB_BASE {
+            if tag == TAG_RESUB_BASE + self.resub_epoch {
+                self.housekeeping(ctx);
+                ctx.set_timer(RESUB_EVERY, tag);
+            }
+        } else {
+            self.pv.on_timer(ctx, tag);
+            self.check_bulk_complete(ctx);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_>) {
+        // Timers that fired while the node was down were skipped, so the
+        // housekeeping chain is dead; start a new epoch (and invalidate any
+        // pre-crash timer still in flight).
+        self.resub_epoch += 1;
+        self.housekeeping(ctx);
+        ctx.set_timer(RESUB_EVERY, TAG_RESUB_BASE + self.resub_epoch);
+    }
+}

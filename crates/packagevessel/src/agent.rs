@@ -78,6 +78,39 @@ impl PvAgentActor {
             .max()
     }
 
+    /// The id of the fetch currently in progress, if any.
+    pub fn current_fetch(&self) -> Option<&BulkId> {
+        self.current.as_ref().map(|f| &f.meta.id)
+    }
+
+    /// The complete content of a finished download, reassembled in piece
+    /// order, if present.
+    pub fn content_of(&self, id: &BulkId) -> Option<Bytes> {
+        let pieces = self.completed.get(id)?;
+        let total: usize = pieces.iter().map(|b| b.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in pieces {
+            out.extend_from_slice(&p[..]);
+        }
+        Some(Bytes::from(out))
+    }
+
+    /// Re-drives a stalled in-flight fetch: anything stuck in flight is
+    /// re-queued and the request window refilled. Embedding actors call
+    /// this from their own recovery/housekeeping timers — the agent's
+    /// internal retry timer is skipped while its node is down, so a crash
+    /// mid-fetch would otherwise stall until the next metadata update.
+    pub fn kick(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(fetch) = &mut self.current {
+            if !fetch.done {
+                let mut stuck: Vec<u32> = fetch.inflight.drain().collect();
+                stuck.sort_unstable();
+                fetch.queue.extend(stuck);
+                self.pump(ctx);
+            }
+        }
+    }
+
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
         let Some(fetch) = &mut self.current else {
             return;
@@ -255,9 +288,11 @@ impl Actor for PvAgentActor {
             return;
         }
         // Re-request anything stuck in flight (lost to a crashed peer).
+        // Sorted re-queue order keeps retry-heavy runs byte-deterministic.
         if let Some(fetch) = &mut self.current {
             if !fetch.done {
-                let stuck: Vec<u32> = fetch.inflight.drain().collect();
+                let mut stuck: Vec<u32> = fetch.inflight.drain().collect();
+                stuck.sort_unstable();
                 fetch.queue.extend(stuck);
                 self.pump(ctx);
                 ctx.set_timer(self.retry, TIMER_RETRY);

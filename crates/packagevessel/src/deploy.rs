@@ -86,6 +86,53 @@ impl PvDeployment {
         meta
     }
 
+    /// Publishes real `data` to a storage node as `config` version
+    /// `version`, split into `piece_size` pieces. Unlike
+    /// [`PvDeployment::publish`], no agents are notified here: the caller
+    /// distributes the returned metadata out of band (in the full stack, a
+    /// Zeus write carrying the encoded metadata) and agents start fetching
+    /// when it reaches them.
+    pub fn publish_bytes(
+        sim: &mut Sim,
+        storage: NodeId,
+        config: &str,
+        version: u64,
+        data: Bytes,
+        piece_size: u64,
+        at: SimTime,
+    ) -> BulkMeta {
+        assert!(piece_size > 0 && !data.is_empty(), "nonzero payload");
+        let total_size = data.len() as u64;
+        let num_pieces = total_size.div_ceil(piece_size) as u32;
+        let meta = BulkMeta {
+            id: BulkId {
+                config: config.to_string(),
+                version,
+            },
+            num_pieces,
+            piece_size,
+            total_size,
+            storage,
+            origin: at,
+        };
+        let mut pieces = Vec::with_capacity(num_pieces as usize);
+        for i in 0..num_pieces as usize {
+            let lo = i * piece_size as usize;
+            let hi = (lo + piece_size as usize).min(data.len());
+            pieces.push(Bytes::from(data[lo..hi].to_vec()));
+        }
+        sim.post(
+            at,
+            storage,
+            storage,
+            Box::new(PvMsg::Publish {
+                meta: meta.clone(),
+                pieces,
+            }),
+        );
+        meta
+    }
+
     /// Fraction of agents holding the complete content for `id`.
     pub fn completion(&self, sim: &Sim, id: &BulkId) -> f64 {
         if self.agents.is_empty() {

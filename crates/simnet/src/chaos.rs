@@ -1,9 +1,9 @@
 //! Seeded chaos schedules and invariant checking.
 //!
 //! A [`ChaosPlan`] is a reproducible fault schedule — node crash/recover
-//! windows, region partition/heal windows, and message drop/delay windows —
-//! generated deterministically from a seed and applied to any [`Sim`] as
-//! control events. Every fault heals before the plan's horizon, so a run
+//! windows, region partition/heal windows (symmetric and one-way), and
+//! message drop/delay windows — generated deterministically from a seed and
+//! applied to any [`Sim`] as control events. Every fault heals before the plan's horizon, so a run
 //! always ends in a fault-free period where convergence can be asserted.
 //!
 //! The [`Invariant`] trait is the checker API: protocol crates implement it
@@ -34,6 +34,16 @@ pub enum FaultKind {
         a: RegionId,
         /// The other side of the cut.
         b: RegionId,
+    },
+    /// Cut one direction only at `at`, heal it at `until`: traffic from
+    /// `from` to `to` is dropped while replies keep flowing — the classic
+    /// asymmetric-routing failure where one side still believes the link
+    /// is healthy.
+    PartitionOneWay {
+        /// The side whose outbound traffic is dropped.
+        from: RegionId,
+        /// The unreachable destination region.
+        to: RegionId,
     },
     /// Install message drop/delay parameters at `at`, clear them at `until`.
     Degrade {
@@ -67,6 +77,9 @@ impl Fault {
         match &self.kind {
             FaultKind::Crash { node } => format!("{window} crash {} {node}", self.label),
             FaultKind::Partition { a, b } => format!("{window} partition {a} <-> {b}"),
+            FaultKind::PartitionOneWay { from, to } => {
+                format!("{window} partition {from} -> {to} (one-way)")
+            }
             FaultKind::Degrade { faults } => format!(
                 "{window} degrade links: drop {:.0}%, delay {:.0}% up to {:.0}ms",
                 faults.drop_prob * 100.0,
@@ -94,6 +107,8 @@ pub struct ChaosConfig {
     pub regions: u16,
     /// Maximum number of partition windows.
     pub max_partitions: usize,
+    /// Maximum number of one-way (asymmetric) partition windows.
+    pub max_oneway_partitions: usize,
     /// Maximum number of link degradation windows.
     pub max_degrades: usize,
     /// Range of per-message drop probability for degradation windows.
@@ -115,6 +130,7 @@ impl Default for ChaosConfig {
             max_crashes: 3,
             regions: 1,
             max_partitions: 2,
+            max_oneway_partitions: 2,
             max_degrades: 2,
             drop_prob: (0.02, 0.25),
             max_extra_delay: SimDuration::from_millis(200),
@@ -226,6 +242,30 @@ impl ChaosPlan {
             }
         }
 
+        // One-way partitions: random ordered distinct region pairs. Drawn
+        // last so earlier fault families keep their RNG streams when this
+        // knob is zeroed relative to older configs.
+        if cfg.regions >= 2 && cfg.max_oneway_partitions > 0 {
+            let n = rng.gen_range(0..=cfg.max_oneway_partitions);
+            for _ in 0..n {
+                let from = rng.gen_range(0..cfg.regions);
+                let mut to = rng.gen_range(0..cfg.regions - 1);
+                if to >= from {
+                    to += 1;
+                }
+                let (at, until) = window(&mut rng);
+                faults.push(Fault {
+                    kind: FaultKind::PartitionOneWay {
+                        from: RegionId(from),
+                        to: RegionId(to),
+                    },
+                    at,
+                    until,
+                    label: String::new(),
+                });
+            }
+        }
+
         faults.sort_by_key(|f| f.at);
         ChaosPlan {
             seed,
@@ -251,6 +291,13 @@ impl ChaosPlan {
                         s.partition(a, b);
                     });
                     sim.schedule(fault.until, move |s| s.heal(a, b));
+                }
+                FaultKind::PartitionOneWay { from, to } => {
+                    sim.schedule(fault.at, move |s| {
+                        s.metrics_mut().incr("chaos.oneway_partitions", 1);
+                        s.partition_oneway(from, to);
+                    });
+                    sim.schedule(fault.until, move |s| s.heal_oneway(from, to));
                 }
                 FaultKind::Degrade { faults } => {
                     sim.schedule(fault.at, move |s| {
@@ -430,6 +477,30 @@ mod tests {
                 assert!(fault.until <= plan.horizon, "{}", fault.describe());
             }
         }
+    }
+
+    #[test]
+    fn plans_include_oneway_partitions() {
+        let cfg = ChaosConfig {
+            regions: 3,
+            max_crashes: 0,
+            max_partitions: 0,
+            max_degrades: 0,
+            ..ChaosConfig::default()
+        };
+        let mut saw_oneway = false;
+        for seed in 0..20 {
+            let plan = ChaosPlan::generate(seed, &cfg);
+            for fault in &plan.faults {
+                let FaultKind::PartitionOneWay { from, to } = fault.kind else {
+                    panic!("only one-way faults were enabled: {}", fault.describe());
+                };
+                assert_ne!(from, to);
+                assert!(fault.describe().contains("one-way"));
+                saw_oneway = true;
+            }
+        }
+        assert!(saw_oneway, "no seed in 0..20 drew a one-way partition");
     }
 
     struct Pinger {

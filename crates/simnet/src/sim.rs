@@ -12,6 +12,7 @@
 use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use std::collections::HashSet;
 
 use rand::rngs::SmallRng;
@@ -50,6 +51,17 @@ pub trait Actor: Any {
 }
 
 enum EventKind {
+    /// First byte of a network message reaches the receiver's NIC. The
+    /// ingress link is claimed *here*, in arrival order — claiming it at
+    /// send time would let a message still in flight across a slow link
+    /// head-of-line-block later sends that arrive sooner.
+    Arrive {
+        to: NodeId,
+        from: NodeId,
+        size: u64,
+        msg: Message,
+        traces: Vec<TraceCtx>,
+    },
     Deliver {
         to: NodeId,
         from: NodeId,
@@ -132,7 +144,15 @@ pub struct Sim {
     up: Vec<bool>,
     egress_free: Vec<SimTime>,
     ingress_free: Vec<SimTime>,
+    /// Last scheduled first-byte arrival per directed link. Arrivals on one
+    /// link are clamped to this so a message never overtakes an earlier one
+    /// on the same (from, to) stream (TCP-like per-link FIFO), even when
+    /// jitter or injected delay would let it.
+    link_order: HashMap<(u32, u32), SimTime>,
     partitions: HashSet<(u16, u16)>,
+    /// Directed region cuts: `(from, to)` means traffic from `from` to `to`
+    /// is dropped while the reverse direction still flows.
+    partitions_oneway: HashSet<(u16, u16)>,
     link_faults: LinkFaults,
     rng: SmallRng,
     metrics: Metrics,
@@ -158,7 +178,9 @@ impl Sim {
             up: vec![true; n],
             egress_free: vec![SimTime::ZERO; n],
             ingress_free: vec![SimTime::ZERO; n],
+            link_order: HashMap::new(),
             partitions: HashSet::new(),
+            partitions_oneway: HashSet::new(),
             link_faults: LinkFaults::default(),
             rng: SmallRng::seed_from_u64(seed),
             metrics: Metrics::new(),
@@ -301,9 +323,23 @@ impl Sim {
         self.partitions.remove(&normalize(a, b));
     }
 
-    /// Returns whether any region pair is currently partitioned.
+    /// Partitions two regions asymmetrically: messages from `from` to `to`
+    /// are dropped while the reverse direction still flows. The one-way
+    /// failure is what makes real networks interesting — acks vanish while
+    /// requests arrive, so one side believes the link is healthy.
+    pub fn partition_oneway(&mut self, from: RegionId, to: RegionId) {
+        self.partitions_oneway.insert((from.0, to.0));
+    }
+
+    /// Heals a cut created by [`Sim::partition_oneway`].
+    pub fn heal_oneway(&mut self, from: RegionId, to: RegionId) {
+        self.partitions_oneway.remove(&(from.0, to.0));
+    }
+
+    /// Returns whether any region pair is currently partitioned (in either
+    /// or only one direction).
     pub fn has_partitions(&self) -> bool {
-        !self.partitions.is_empty()
+        !self.partitions.is_empty() || !self.partitions_oneway.is_empty()
     }
 
     /// Installs message-level fault injection on all non-local links,
@@ -332,6 +368,27 @@ impl Sim {
         self.now = ev.at;
         self.events_processed += 1;
         match ev.kind {
+            EventKind::Arrive {
+                to,
+                from,
+                size,
+                msg,
+                traces,
+            } => {
+                // Serialize the receiver's ingress link in arrival order.
+                let rx_start = self.now.max(self.ingress_free[to.0 as usize]);
+                let rx_done = rx_start + self.net.ingress_transmit(size);
+                self.ingress_free[to.0 as usize] = rx_done;
+                self.push(
+                    rx_done + self.net.per_message_overhead,
+                    EventKind::Deliver {
+                        to,
+                        from,
+                        msg,
+                        traces,
+                    },
+                );
+            }
             EventKind::Deliver {
                 to,
                 from,
@@ -460,9 +517,33 @@ impl Sim {
                 }
                 return;
             }
+            if self.partitions_oneway.contains(&(ra.0, rb.0)) {
+                self.metrics.incr(names::DROPPED_PARTITIONED, 1);
+                let at = self.now;
+                for t in traces {
+                    self.tracer.annot(
+                        t,
+                        "net.drop",
+                        Some(from),
+                        at,
+                        vec![("reason", "partitioned_oneway".into())],
+                    );
+                }
+                return;
+            }
         }
-        let deliver = if prox == Proximity::SameNode {
-            self.now + self.net.per_message_overhead
+        if prox == Proximity::SameNode {
+            self.metrics.incr(names::MESSAGES_SENT, 1);
+            self.metrics.incr(names::BYTES_SENT, size);
+            self.push(
+                self.now + self.net.per_message_overhead,
+                EventKind::Deliver {
+                    to,
+                    from,
+                    msg,
+                    traces,
+                },
+            );
         } else {
             // The chaos fault plane acts on every link that crosses the
             // network; loopback traffic is exempt so a node can always talk
@@ -501,23 +582,29 @@ impl Sim {
             } else {
                 SimDuration::from_micros(self.rng.gen_range(0..=self.net.max_jitter.as_micros()))
             };
-            let first_byte = start + self.net.propagation(prox) + jitter + chaos_delay;
-            let rx_start = first_byte.max(self.ingress_free[to.0 as usize]);
-            let rx_done = rx_start + self.net.ingress_transmit(size);
-            self.ingress_free[to.0 as usize] = rx_done;
-            rx_done + self.net.per_message_overhead
-        };
-        self.metrics.incr(names::MESSAGES_SENT, 1);
-        self.metrics.incr(names::BYTES_SENT, size);
-        self.push(
-            deliver,
-            EventKind::Deliver {
-                to,
-                from,
-                msg,
-                traces,
-            },
-        );
+            let mut first_byte = start + self.net.propagation(prox) + jitter + chaos_delay;
+            let fifo = self
+                .link_order
+                .entry((from.0, to.0))
+                .or_insert(SimTime::ZERO);
+            first_byte = first_byte.max(*fifo);
+            *fifo = first_byte;
+            self.metrics.incr(names::MESSAGES_SENT, 1);
+            self.metrics.incr(names::BYTES_SENT, size);
+            // Ingress serialization is applied when the first byte arrives
+            // (see `EventKind::Arrive`), not here: link occupancy at the
+            // receiver must follow arrival order, not send order.
+            self.push(
+                first_byte,
+                EventKind::Arrive {
+                    to,
+                    from,
+                    size,
+                    msg,
+                    traces,
+                },
+            );
+        }
     }
 }
 
@@ -725,6 +812,35 @@ mod tests {
         sim.run_until_idle();
         let b: &Counter = sim.actor(NodeId(1)).unwrap();
         assert_eq!(b.got.len(), 1);
+    }
+
+    #[test]
+    fn oneway_partition_drops_only_one_direction() {
+        let topo = Topology::symmetric(2, 1, 1);
+        let mut sim = Sim::new(topo, NetConfig::default(), 7);
+        sim.add_actor(NodeId(0), Box::new(Counter::default()));
+        sim.add_actor(NodeId(1), Box::new(Counter::default()));
+        sim.partition_oneway(RegionId(0), RegionId(1));
+        assert!(sim.has_partitions());
+        sim.schedule(SimTime::ZERO, |s| {
+            s.transmit(NodeId(0), NodeId(1), 8, Box::new(1u64));
+            s.transmit(NodeId(1), NodeId(0), 8, Box::new(2u64));
+        });
+        sim.run_until_idle();
+        // 0 -> 1 is cut; 1 -> 0 still flows.
+        assert_eq!(sim.metrics().counter("simnet.dropped_partitioned"), 1);
+        let fwd: &Counter = sim.actor(NodeId(1)).unwrap();
+        assert!(fwd.got.is_empty());
+        let back: &Counter = sim.actor(NodeId(0)).unwrap();
+        assert_eq!(back.got, vec![(NodeId(1), 2)]);
+        sim.heal_oneway(RegionId(0), RegionId(1));
+        assert!(!sim.has_partitions());
+        sim.schedule(sim.now(), |s| {
+            s.transmit(NodeId(0), NodeId(1), 8, Box::new(3u64));
+        });
+        sim.run_until_idle();
+        let fwd: &Counter = sim.actor(NodeId(1)).unwrap();
+        assert_eq!(fwd.got.len(), 1);
     }
 
     #[test]

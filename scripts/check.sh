@@ -26,6 +26,15 @@ for seed in 1 2 3; do
         || { echo "metrics snapshot for chaos seed ${seed} diverged from golden"; exit 1; }
 done
 
+echo "== laser determinism gate (seed 1)"
+# The laser sweep exercises the full serving tier (hedged reads, chaos
+# section, Gatekeeper routing); its report must match the checked-in
+# golden byte for byte. Regenerate intentional changes with
+# scripts/update_goldens.sh and review the diff.
+cargo run -q --release -p bench --bin repro -- laser \
+    | diff -u "scripts/goldens/laser_seed1.txt" - \
+    || { echo "laser report diverged from golden"; exit 1; }
+
 echo "== losssweep byte-determinism gate (seed 1)"
 # The loss sweep drives the retransmission/batching pipeline through four
 # drop rates; its report must be byte-identical across runs of one seed —

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Regenerates the chaos metrics goldens that scripts/check.sh diffs
-# against. Run after an intentional change to the metrics surface or the
-# chaos pipeline, and review the resulting diff before committing.
+# Regenerates the goldens that scripts/check.sh diffs against (chaos
+# metrics snapshots and the laser sweep report). Run after an intentional
+# change to the metrics surface or the distribution/serving pipelines,
+# and review the resulting diff before committing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,3 +12,6 @@ for seed in 1 2 3; do
         > "scripts/goldens/chaos_metrics_seed${seed}.prom"
     echo "wrote scripts/goldens/chaos_metrics_seed${seed}.prom"
 done
+cargo run -q --release -p bench --bin repro -- laser \
+    > "scripts/goldens/laser_seed1.txt"
+echo "wrote scripts/goldens/laser_seed1.txt"
