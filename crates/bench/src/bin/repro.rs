@@ -14,6 +14,9 @@
 //! repro losssweep [--seed <n>]
 //!                            # bytes-on-wire under loss: batched vs baseline
 //! repro laser [--seed <n>]   # Laser serving tier: hedged vs unhedged reads
+//! repro compile [--full]     # parallel + incremental compile pipeline
+//!                            # (deterministic report on stdout, timings on
+//!                            # stderr)
 //! ```
 //!
 //! `--full` uses the larger scale quoted in `EXPERIMENTS.md`; the default

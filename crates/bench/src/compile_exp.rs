@@ -1,0 +1,397 @@
+//! `repro compile`: the compile-pipeline benchmark — parallel, incremental
+//! compilation with the shared content-addressed parse cache.
+//!
+//! A synthetic corpus of entry configs fans in on shared support files:
+//! one comment-heavy "hot" module imported by a tenth of the entries
+//! (documentation-dominated shared configs are the paper's `app_port.cinc`
+//! writ large), a ring of medium modules each imported by a quarter of the
+//! entries, and a handful of schemas with validators. The experiment runs
+//! the same commits through three pipeline configurations:
+//!
+//! * **legacy** — serial, no parse cache, no fingerprint skips (the
+//!   pre-optimization compiler);
+//! * **serial cached** — one worker with the parse cache and fingerprint
+//!   skips, so every cache counter is exactly reproducible;
+//! * **fast** — the default options (parallel workers + cache + skips).
+//!
+//! Stdout is byte-deterministic — corpus shape, candidate/compiled/skipped
+//! counts, exact cache hit rates from the serial cached pipeline, the
+//! correctness gates, and a counters-only Prometheus export
+//! (`scripts/check.sh` diffs it against `scripts/goldens/compile.txt`).
+//! Wall-clock timings and the speedup gates go to **stderr**: they depend
+//! on the machine. The line `compile speedup gates: PASS` is printed to
+//! stderr when every enforced gate holds; `check.sh` greps for it. The
+//! parallel-vs-serial gate is only enforced when at least two workers are
+//! available.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use configerator::{CompileOptions, ConfigeratorService};
+
+use crate::Scale;
+
+/// Shared medium modules; every entry imports two of them.
+const MODULES: usize = 8;
+/// Schemas (each with a validator); entries round-robin over them.
+const SCHEMAS: usize = 4;
+/// One entry in `HOT_FANIN` imports the hot module.
+const HOT_FANIN: usize = 10;
+/// Helper functions in the hot module. Function bodies are parsed in full
+/// but binding a `def` is a refcount bump, so a library-style module is
+/// exactly what the shared parse cache saves: all the cost is in the
+/// parse.
+const HOT_FUNCS: usize = 250;
+/// Helper functions per medium module.
+const MOD_FUNCS: usize = 25;
+
+const HOT_PATH: &str = "shared/hot.cinc";
+
+/// Required speedup of warm-incremental recompile over a legacy serial
+/// recompile of the same ripple.
+const WARM_GATE: f64 = 5.0;
+/// Required speedup of the parallel cold compile over the legacy serial
+/// one (enforced only with ≥ 2 workers).
+const PARALLEL_GATE: f64 = 2.0;
+
+fn module_path(m: usize) -> String {
+    format!("shared/mod{m}.cinc")
+}
+
+fn schema_path(s: usize) -> String {
+    format!("schemas/conf{s}.schema")
+}
+
+fn validator_path(s: usize) -> String {
+    format!("schemas/conf{s}.cvalidator")
+}
+
+fn entry_path(e: usize) -> String {
+    format!("app/entry{e:04}.cconf")
+}
+
+/// A block of library-style helper functions: multi-line bodies with
+/// locals, conditionals, and arithmetic — realistic shared-config helper
+/// code whose cost is almost entirely in the parse.
+fn func_block(prefix: &str, count: usize, salt: u64) -> String {
+    let mut out = String::with_capacity(count * 160);
+    for i in 0..count {
+        let k = salt + i as u64;
+        let _ = writeln!(out, "def {prefix}_f{i}(x, scale={}):", 1 + k % 7);
+        let _ = writeln!(out, "    base = x * scale + {k}");
+        let _ = writeln!(out, "    spread = base - x + {}", k % 13);
+        let _ = writeln!(out, "    if spread > {}:", 50 + k % 50);
+        let _ = writeln!(out, "        return spread + base + 1");
+        let _ = writeln!(out, "    return base + spread + {}", k % 5);
+    }
+    out
+}
+
+fn hot_src(version: u64) -> String {
+    let mut out = func_block("hot", HOT_FUNCS, 17);
+    for i in 0..24 {
+        let _ = writeln!(out, "HOT_C{i} = {}", 1_000 + version * 100 + i);
+    }
+    out
+}
+
+fn module_src(m: usize, version: u64) -> String {
+    let mut out = func_block(&format!("m{m}"), MOD_FUNCS, 7 * m as u64);
+    for i in 0..16 {
+        let _ = writeln!(out, "M{m}_C{i} = {}", 10 * (m as u64 + 1) + version + i);
+    }
+    out
+}
+
+fn schema_src(s: usize) -> String {
+    format!("struct Conf{s} {{ 1: string name 2: i64 weight = 10 }}")
+}
+
+fn validator_src(_s: usize) -> String {
+    "def validate(cfg):\n    require(cfg.weight >= 0, \"weight must be nonnegative\")".to_string()
+}
+
+fn entry_src(e: usize, hot_importer: bool) -> String {
+    let a = e % MODULES;
+    let b = (e + 3) % MODULES;
+    let s = e % SCHEMAS;
+    let mut out = String::new();
+    let _ = writeln!(out, "import \"{}\"", module_path(a));
+    let _ = writeln!(out, "import \"{}\"", module_path(b));
+    if hot_importer {
+        let _ = writeln!(out, "import \"{HOT_PATH}\"");
+    }
+    let _ = writeln!(out, "schema \"{}\"", schema_path(s));
+    let weight = if hot_importer {
+        format!("hot_f{}(M{a}_C1) + HOT_C{}", e % HOT_FUNCS, e % 24)
+    } else {
+        format!("m{a}_f{}(M{a}_C1) + M{b}_C2 + {e}", e % MOD_FUNCS)
+    };
+    let _ = writeln!(
+        out,
+        "export_if_last(Conf{s} {{ name: \"entry{e}\", weight: {weight} }})"
+    );
+    out
+}
+
+/// The full source tree at hot-module `version`.
+fn corpus(entries: usize, version: u64) -> BTreeMap<String, Option<String>> {
+    let mut files = BTreeMap::new();
+    files.insert(HOT_PATH.to_string(), Some(hot_src(version)));
+    for m in 0..MODULES {
+        files.insert(module_path(m), Some(module_src(m, 0)));
+    }
+    for s in 0..SCHEMAS {
+        files.insert(schema_path(s), Some(schema_src(s)));
+        files.insert(validator_path(s), Some(validator_src(s)));
+    }
+    for e in 0..entries {
+        files.insert(entry_path(e), Some(entry_src(e, e % HOT_FANIN == 0)));
+    }
+    files
+}
+
+fn timed_commit(
+    svc: &mut ConfigeratorService,
+    message: &str,
+    changes: BTreeMap<String, Option<String>>,
+) -> (configerator::CommitReport, f64) {
+    let start = Instant::now();
+    let report = svc.commit_source("bench", message, changes).expect(message);
+    (report, start.elapsed().as_secs_f64())
+}
+
+/// Keeps only the counter sections of a Prometheus text export (histogram
+/// sections carry timings, which are not reproducible).
+fn counters_only(export: &str) -> String {
+    let mut out = String::new();
+    let mut keep = false;
+    for line in export.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            keep = rest.ends_with(" counter");
+        }
+        if keep {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Runs the compile benchmark; returns the deterministic report (stdout)
+/// and prints timings plus speedup-gate verdicts to stderr.
+pub fn compile(scale: Scale) -> String {
+    let entries = match scale {
+        Scale::Small => 1000,
+        Scale::Full => 2000,
+    };
+    let seed_tree = corpus(entries, 0);
+    let hot_dependents = entries / HOT_FANIN;
+
+    // Pipelines under test.
+    let mut legacy = ConfigeratorService::with_options(CompileOptions::legacy());
+    let mut cached = ConfigeratorService::with_options(CompileOptions {
+        workers: 1,
+        incremental: true,
+        parse_cache: true,
+    });
+    let mut fast = ConfigeratorService::new();
+
+    // Phase 1: cold full compile.
+    let (_, t_cold_legacy) = timed_commit(&mut legacy, "seed", seed_tree.clone());
+    let (rep_cold_cached, t_cold_cached) = timed_commit(&mut cached, "seed", seed_tree.clone());
+    let (rep_cold_fast, t_cold_fast) = timed_commit(&mut fast, "seed", seed_tree.clone());
+
+    // Phase 2: edit the hot module; the ripple is its dependents.
+    let predicted: Vec<String> = fast
+        .dependency()
+        .dependents_of([HOT_PATH])
+        .into_iter()
+        .collect();
+    let edit: BTreeMap<String, Option<String>> = [(HOT_PATH.to_string(), Some(hot_src(1)))]
+        .into_iter()
+        .collect();
+    let (_, t_warm_legacy) = timed_commit(&mut legacy, "hot edit", edit.clone());
+    let (rep_warm_cached, _) = timed_commit(&mut cached, "hot edit", edit.clone());
+    let (rep_warm_fast, t_warm_fast) = timed_commit(&mut fast, "hot edit", edit);
+
+    // Phase 3: a no-op rewrite of a medium module (automation tools land
+    // whole-tree rewrites; fingerprints make the untouched part free).
+    let noop: BTreeMap<String, Option<String>> = [(module_path(0), Some(module_src(0, 0)))]
+        .into_iter()
+        .collect();
+    let (_, _) = timed_commit(&mut legacy, "no-op rewrite", noop.clone());
+    let (_, _) = timed_commit(&mut cached, "no-op rewrite", noop.clone());
+    let (rep_noop_fast, _) = timed_commit(&mut fast, "no-op rewrite", noop);
+
+    // Gate: warm-incremental never recompiles more than the ripple.
+    let ripple_ok = rep_warm_fast.recompiled_entries.len() <= predicted.len()
+        && rep_warm_fast
+            .recompiled_entries
+            .iter()
+            .all(|e| predicted.contains(e));
+
+    // Gate: artifacts after the incremental walk are byte-identical to a
+    // from-scratch compile of the final tree.
+    let mut fresh = ConfigeratorService::with_options(CompileOptions::legacy());
+    fresh
+        .commit_source("bench", "replay", corpus(entries, 1))
+        .expect("replay");
+    let byte_identical = fresh.config_names() == fast.config_names()
+        && fresh
+            .config_names()
+            .iter()
+            .all(|n| fresh.artifact(n).unwrap().json == fast.artifact(n).unwrap().json);
+
+    // ---- deterministic report (stdout, golden-diffed) ----
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "corpus: {entries} entries | {} medium modules | {SCHEMAS} schemas + validators | hot module fan-in {hot_dependents}",
+        MODULES
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "phase            candidates  compiled  skipped");
+    for (label, rep) in [
+        ("cold", &rep_cold_fast),
+        ("warm hot-edit", &rep_warm_fast),
+        ("no-op rewrite", &rep_noop_fast),
+    ] {
+        let _ = writeln!(
+            out,
+            "{label:<16} {:>10}  {:>8}  {:>7}",
+            rep.stats.candidates, rep.stats.compiled, rep.stats.skipped
+        );
+    }
+    let _ = writeln!(out);
+    let cold = rep_cold_cached.stats;
+    let warm = rep_warm_cached.stats;
+    let rate = |h: u64, m: u64| 100.0 * h as f64 / (h + m).max(1) as f64;
+    let _ = writeln!(
+        out,
+        "parse cache (serial pipeline): cold {} hits / {} misses ({:.1}% hit rate)",
+        cold.parse_hits,
+        cold.parse_misses,
+        rate(cold.parse_hits, cold.parse_misses)
+    );
+    let _ = writeln!(
+        out,
+        "parse cache (serial pipeline): warm {} hits / {} misses ({:.1}% hit rate)",
+        warm.parse_hits,
+        warm.parse_misses,
+        rate(warm.parse_hits, warm.parse_misses)
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "ripple gate: warm-incremental recompiled {} of {} predicted dependents: {}",
+        rep_warm_fast.recompiled_entries.len(),
+        predicted.len(),
+        if ripple_ok { "PASS" } else { "FAIL" }
+    );
+    let _ = writeln!(
+        out,
+        "no-op skip gate: {} candidates, {} skipped: {}",
+        rep_noop_fast.stats.candidates,
+        rep_noop_fast.stats.skipped,
+        if rep_noop_fast.stats.compiled == 0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "byte-identity gate: {} artifacts identical to from-scratch rebuild: {}",
+        fast.config_names().len(),
+        if byte_identical { "PASS" } else { "FAIL" }
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "-- pipeline counters (serial cached pipeline) --");
+    out.push_str(&counters_only(&cached.metrics().export_prometheus()));
+
+    // ---- machine-dependent timings + speedup gates (stderr) ----
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8);
+    let parallel_speedup = t_cold_legacy / t_cold_fast.max(1e-9);
+    let warm_speedup = t_warm_legacy / t_warm_fast.max(1e-9);
+    eprintln!(
+        "cold compile:   legacy {:.1} ms | serial+cache {:.1} ms | fast({workers}w) {:.1} ms  ({parallel_speedup:.1}x)",
+        t_cold_legacy * 1e3,
+        t_cold_cached * 1e3,
+        t_cold_fast * 1e3
+    );
+    eprintln!(
+        "warm hot-edit:  legacy {:.1} ms | fast {:.1} ms  ({warm_speedup:.1}x, ripple {})",
+        t_warm_legacy * 1e3,
+        t_warm_fast * 1e3,
+        predicted.len()
+    );
+    let warm_ok = warm_speedup >= WARM_GATE;
+    let parallel_ok = workers < 2 || parallel_speedup >= PARALLEL_GATE;
+    eprintln!(
+        "gate: warm-incremental >= {WARM_GATE:.0}x legacy ripple recompile: {}",
+        if warm_ok { "PASS" } else { "FAIL" }
+    );
+    if workers < 2 {
+        eprintln!(
+            "gate: parallel cold >= {PARALLEL_GATE:.0}x serial: SKIPPED (1 worker available)"
+        );
+    } else {
+        eprintln!(
+            "gate: parallel cold >= {PARALLEL_GATE:.0}x serial: {}",
+            if parallel_speedup >= PARALLEL_GATE {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+    }
+    if warm_ok && parallel_ok && ripple_ok && byte_identical {
+        eprintln!("compile speedup gates: PASS");
+    } else {
+        eprintln!("compile speedup gates: FAIL");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_compiles_and_gates_hold_at_small_size() {
+        // A miniature corpus exercises the full report path quickly; the
+        // deterministic gates must read PASS (timing gates are stderr-only
+        // and not asserted here — debug builds on one core are too noisy).
+        let mut legacy = ConfigeratorService::with_options(CompileOptions::legacy());
+        let mut fast = ConfigeratorService::new();
+        let tree = corpus(40, 0);
+        legacy.commit_source("t", "seed", tree.clone()).unwrap();
+        fast.commit_source("t", "seed", tree).unwrap();
+        let edit: BTreeMap<String, Option<String>> = [(HOT_PATH.to_string(), Some(hot_src(1)))]
+            .into_iter()
+            .collect();
+        let a = legacy.commit_source("t", "edit", edit.clone()).unwrap();
+        let b = fast.commit_source("t", "edit", edit).unwrap();
+        assert_eq!(a.updated_configs, b.updated_configs);
+        assert_eq!(b.stats.candidates, 4, "40 entries / fan-in 10");
+        for n in &a.updated_configs {
+            assert_eq!(
+                legacy.artifact(n).unwrap().json,
+                fast.artifact(n).unwrap().json
+            );
+        }
+    }
+
+    #[test]
+    fn counters_only_drops_histograms() {
+        let filtered = counters_only(
+            "# TYPE a counter\na 3\n# TYPE b histogram\nb_bucket{le=\"1\"} 2\nb_sum 9\n# TYPE c counter\nc 7\n",
+        );
+        assert_eq!(filtered, "# TYPE a counter\na 3\n# TYPE c counter\nc 7\n");
+    }
+}

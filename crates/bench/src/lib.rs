@@ -6,6 +6,7 @@
 //! implementations for the measured kernels.
 
 pub mod chaos_exp;
+pub mod compile_exp;
 pub mod distribution;
 pub mod fig13;
 pub mod gatekeeper_exp;
@@ -92,6 +93,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         }),
         "losssweep" => loss_exp::losssweep(1),
         "laser" => laser_exp::laser(1),
+        "compile" => compile_exp::compile(s),
         _ => return None,
     })
 }
@@ -124,4 +126,5 @@ pub const ALL: &[&str] = &[
     "chaos",
     "losssweep",
     "laser",
+    "compile",
 ];

@@ -132,8 +132,9 @@ pub enum StmtKind {
     /// `schema "path"` — loads type definitions (the paper's
     /// `import_thrift`).
     Schema(String),
-    /// `def name(params): body`
-    Def(FuncDef),
+    /// `def name(params): body`. Arc'd so binding the function at module
+    /// evaluation is a refcount bump, not a deep clone of the body AST.
+    Def(std::sync::Arc<FuncDef>),
     /// `return expr` (or bare `return`).
     Return(Option<Expr>),
     /// `if cond: ... elif ...: ... else: ...` — encoded as a chain.

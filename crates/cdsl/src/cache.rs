@@ -1,0 +1,277 @@
+//! Shared, content-addressed parse cache.
+//!
+//! Lexing and parsing dominate the cost of compiling a wide ripple: when a
+//! shared `.cinc` changes, every dependent entry re-executes, and without a
+//! cache every one of those interpreters re-lexes and re-parses the same
+//! imported modules, schemas, and validators from scratch. The
+//! [`ParseCache`] keys parsed ASTs by *content*, not by path, so
+//!
+//! * all entries in one compile batch share a single parse of each source;
+//! * the cache stays valid across successive commits — an overlay edit
+//!   changes the content, which simply misses the cache, while every
+//!   untouched file keeps hitting it;
+//! * two paths with identical content share one AST.
+//!
+//! Parsed modules are path-independent (errors are attributed through the
+//! interpreter's module table, not the AST), which is what makes content
+//! addressing sound. Parse *failures* are never cached: their messages
+//! embed the path, and they are not on the hot path.
+//!
+//! The cache is `Sync` — one instance is shared by all worker threads of a
+//! parallel compile batch — and bounded: when the number of cached entries
+//! would exceed the capacity, the cache is wholesale cleared (entries are
+//! rebuilt on demand; content addressing makes this safe).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::ast::Module;
+use crate::error::Result;
+use crate::parser::parse;
+use crate::schema::{parse_schema, TypeDef};
+
+/// A content address: source length plus two independent FNV-1a passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ContentKey {
+    len: u64,
+    h1: u64,
+    h2: u64,
+}
+
+/// FNV-1a offset basis (the standard 64-bit one).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, unrelated basis so the two passes are independent.
+const FNV_OFFSET_ALT: u64 = 0x6c62_272e_07bb_0142;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`, starting from `seed`.
+pub fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Computes the content address of a source text. Both FNV passes run in
+/// a single sweep over the bytes — content keys are computed on every
+/// cache lookup and every fingerprint component, so this is hot.
+pub fn content_key(src: &str) -> ContentKey {
+    let mut h1 = FNV_OFFSET;
+    let mut h2 = FNV_OFFSET_ALT;
+    for &b in src.as_bytes() {
+        h1 = (h1 ^ b as u64).wrapping_mul(FNV_PRIME);
+        h2 = (h2 ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    ContentKey {
+        len: src.len() as u64,
+        h1,
+        h2,
+    }
+}
+
+impl ContentKey {
+    /// The key as bytes, for feeding into a larger digest (the service's
+    /// per-entry fingerprints hash the content keys of their inputs
+    /// rather than re-hashing the full sources).
+    pub fn to_bytes(self) -> [u8; 24] {
+        let mut out = [0u8; 24];
+        out[..8].copy_from_slice(&self.len.to_le_bytes());
+        out[8..16].copy_from_slice(&self.h1.to_le_bytes());
+        out[16..].copy_from_slice(&self.h2.to_le_bytes());
+        out
+    }
+}
+
+/// Cache hit/miss counters, cumulative over the cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to parse.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// hits − other.hits / misses − other.misses (for per-batch deltas).
+    pub fn since(self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// A thread-safe, content-addressed cache of parsed modules and schemas.
+pub struct ParseCache {
+    modules: RwLock<HashMap<ContentKey, Arc<Module>>>,
+    schemas: RwLock<HashMap<ContentKey, Arc<Vec<TypeDef>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for ParseCache {
+    fn default() -> ParseCache {
+        ParseCache::new()
+    }
+}
+
+impl ParseCache {
+    /// Creates a cache with the default capacity (64k parsed sources —
+    /// comfortably a full 10k-config repository with all its support
+    /// files).
+    pub fn new() -> ParseCache {
+        ParseCache::with_capacity(65_536)
+    }
+
+    /// Creates a cache bounded at `capacity` entries per kind.
+    pub fn with_capacity(capacity: usize) -> ParseCache {
+        ParseCache {
+            modules: RwLock::new(HashMap::new()),
+            schemas: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the parsed module for `src`, parsing at most once per
+    /// content. `path` is only used to attribute parse errors.
+    pub fn module(&self, src: &str, path: &str) -> Result<Arc<Module>> {
+        let key = content_key(src);
+        if let Some(m) = self.modules.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(m));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let parsed = Arc::new(parse(src, path)?);
+        let mut map = self.modules.write().expect("cache lock");
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        // A racing thread may have inserted meanwhile; keep one AST so all
+        // holders share.
+        Ok(Arc::clone(
+            map.entry(key).or_insert_with(|| Arc::clone(&parsed)),
+        ))
+    }
+
+    /// Returns the parsed type definitions of a schema source, parsing at
+    /// most once per content.
+    pub fn schema(&self, src: &str, path: &str) -> Result<Arc<Vec<TypeDef>>> {
+        let key = content_key(src);
+        if let Some(defs) = self.schemas.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(defs));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let parsed = Arc::new(parse_schema(src, path)?);
+        let mut map = self.schemas.write().expect("cache lock");
+        if map.len() >= self.capacity {
+            map.clear();
+        }
+        Ok(Arc::clone(
+            map.entry(key).or_insert_with(|| Arc::clone(&parsed)),
+        ))
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached entries (modules + schemas).
+    pub fn len(&self) -> usize {
+        self.modules.read().expect("cache lock").len()
+            + self.schemas.read().expect("cache lock").len()
+    }
+
+    /// Returns whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        self.modules.write().expect("cache lock").clear();
+        self.schemas.write().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_parsed_once_per_content() {
+        let cache = ParseCache::new();
+        let a = cache.module("x = 1", "a.cinc").unwrap();
+        let b = cache.module("x = 1", "elsewhere/b.cinc").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same content shares one AST");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        let c = cache.module("x = 2", "a.cinc").unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "different content, different AST");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let cache = ParseCache::new();
+        assert!(cache.module("def (", "bad.cinc").is_err());
+        assert!(cache.module("def (", "bad.cinc").is_err());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn schema_cached_by_content() {
+        let cache = ParseCache::new();
+        let src = "struct J { 1: string name }";
+        let a = cache.schema(src, "j.schema").unwrap();
+        let b = cache.schema(src, "j.schema").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn capacity_overflow_clears() {
+        let cache = ParseCache::with_capacity(2);
+        cache.module("a = 1", "a").unwrap();
+        cache.module("b = 2", "b").unwrap();
+        cache.module("c = 3", "c").unwrap();
+        // Insertion past capacity wipes the map, then inserts.
+        assert_eq!(cache.len(), 1);
+        // Cleared entries are simply re-parsed on demand.
+        cache.module("a = 1", "a").unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn content_keys_distinguish_lengths() {
+        assert_ne!(content_key("ab"), content_key("abc"));
+        assert_eq!(content_key("same"), content_key("same"));
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = ParseCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..16 {
+                        cache.module(&format!("x = {}", i % 4), "m.cinc").unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 64);
+        assert_eq!(cache.len(), 4);
+    }
+}

@@ -13,9 +13,16 @@
 
 use std::collections::BTreeMap;
 
+use crate::cache::ParseCache;
 use crate::error::{CdslError, ErrorKind, Result};
 use crate::interp::{Interp, Limits, Loader};
 use crate::value::Value;
+
+/// Version of the compiler pipeline. Any change to compilation semantics
+/// (language, schema handling, validator discovery, JSON emission) must
+/// bump this: it is folded into incremental-compilation fingerprints so
+/// stored artifacts from an older compiler are never reused.
+pub const COMPILER_VERSION: u32 = 2;
 
 /// The result of compiling one config program.
 #[derive(Debug, Clone)]
@@ -34,6 +41,10 @@ pub struct CompiledConfig {
     pub deps: Vec<String>,
     /// Validator files that ran (and passed).
     pub validators_run: Vec<String>,
+    /// Paths the compiler probed but found absent (the conventional
+    /// `<schema>.cvalidator` candidates). *Creating* one of these files
+    /// must also trigger recompilation, even though it was never loaded.
+    pub probed_absent: Vec<String>,
 }
 
 /// The CDSL compiler.
@@ -67,6 +78,7 @@ pub struct CompiledConfig {
 /// ```
 pub struct Compiler<'l> {
     loader: &'l dyn Loader,
+    cache: Option<&'l ParseCache>,
     limits: Limits,
     extra_validators: BTreeMap<String, Vec<String>>,
 }
@@ -76,6 +88,7 @@ impl<'l> Compiler<'l> {
     pub fn new(loader: &'l dyn Loader) -> Compiler<'l> {
         Compiler {
             loader,
+            cache: None,
             limits: Limits::default(),
             extra_validators: BTreeMap::new(),
         }
@@ -84,6 +97,14 @@ impl<'l> Compiler<'l> {
     /// Overrides the execution budgets.
     pub fn with_limits(mut self, limits: Limits) -> Compiler<'l> {
         self.limits = limits;
+        self
+    }
+
+    /// Shares parsed ASTs through `cache`: every source is lexed and
+    /// parsed at most once per content, across all entries compiled
+    /// against the cache (and across successive compile batches).
+    pub fn with_cache(mut self, cache: &'l ParseCache) -> Compiler<'l> {
+        self.cache = Some(cache);
         self
     }
 
@@ -99,6 +120,9 @@ impl<'l> Compiler<'l> {
     /// Compiles the config program at `entry`.
     pub fn compile(&self, entry: &str) -> Result<CompiledConfig> {
         let mut interp = Interp::new(self.loader, self.limits);
+        if let Some(cache) = self.cache {
+            interp = interp.with_parse_cache(cache);
+        }
         interp.run_entry(entry)?;
         let value = interp.exported().cloned().ok_or_else(|| {
             CdslError::new(
@@ -114,11 +138,14 @@ impl<'l> Compiler<'l> {
         // Collect validators: the `<schema>.cvalidator` convention plus
         // explicit registrations for the exported type.
         let mut validators: Vec<String> = Vec::new();
+        let mut probed_absent: Vec<String> = Vec::new();
         if let Some(tname) = &type_name {
             if let Some(origin) = interp.schemas().origin(tname) {
                 let candidate = validator_path(origin);
                 if self.loader.load(&candidate).is_some() {
                     validators.push(candidate);
+                } else {
+                    probed_absent.push(candidate);
                 }
             }
             if let Some(extra) = self.extra_validators.get(tname) {
@@ -133,7 +160,7 @@ impl<'l> Compiler<'l> {
         for vpath in &validators {
             let module = interp.run_module(vpath)?;
             interp
-                .call_global(module, "validate", vec![value.clone()])
+                .call_global(module, "validate", std::slice::from_ref(&value))
                 .map_err(|mut e| {
                     // Attribute validation failures to the validator file.
                     if e.location.path.is_empty() {
@@ -151,6 +178,7 @@ impl<'l> Compiler<'l> {
             type_name,
             deps,
             validators_run,
+            probed_absent,
         })
     }
 }

@@ -16,16 +16,20 @@
 //! program cannot hang the compiler.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{BinOp, Expr, ExprKind, Module, Stmt, StmtKind, UnOp};
+use crate::cache::ParseCache;
 use crate::error::{CdslError, ErrorKind, Result};
 use crate::parser::parse;
 use crate::schema::{SchemaSet, StructDef, Type, TypeDef};
 use crate::value::{FuncValue, StructValue, Value};
 
 /// Provides source text for config programs and schemas by path.
-pub trait Loader {
+///
+/// Loaders are `Sync` so one loader (and one [`ParseCache`]) can serve all
+/// worker threads of a parallel compile batch.
+pub trait Loader: Sync {
     /// Returns the source at `path`, or `None` if it does not exist.
     fn load(&self, path: &str) -> Option<String>;
 }
@@ -85,7 +89,7 @@ pub fn eval_expression(src: &str) -> Result<Value> {
     let loader: BTreeMap<String, String> = BTreeMap::new();
     let mut interp = Interp::new(&loader, Limits::default());
     interp.modules.push(Scope::new());
-    interp.module_paths.push(std::rc::Rc::from("<expr>"));
+    interp.module_paths.push(std::sync::Arc::from("<expr>"));
     interp.eval(&expr, 0, None)
 }
 
@@ -97,10 +101,11 @@ enum Flow {
 /// The interpreter: module registry, schema set, and execution state.
 pub struct Interp<'l> {
     loader: &'l dyn Loader,
+    cache: Option<&'l ParseCache>,
     limits: Limits,
     schemas: SchemaSet,
     modules: Vec<Scope>,
-    module_paths: Vec<Rc<str>>,
+    module_paths: Vec<Arc<str>>,
     module_ids: HashMap<String, usize>,
     loading: Vec<String>,
     entry: Option<usize>,
@@ -115,6 +120,7 @@ impl<'l> Interp<'l> {
     pub fn new(loader: &'l dyn Loader, limits: Limits) -> Interp<'l> {
         Interp {
             loader,
+            cache: None,
             limits,
             schemas: SchemaSet::new(),
             modules: Vec::new(),
@@ -127,6 +133,14 @@ impl<'l> Interp<'l> {
             steps: 0,
             depth: 0,
         }
+    }
+
+    /// Reads parsed ASTs through `cache` instead of re-parsing every
+    /// loaded source. The cache may be shared across interpreters and
+    /// threads.
+    pub fn with_parse_cache(mut self, cache: &'l ParseCache) -> Interp<'l> {
+        self.cache = Some(cache);
+        self
     }
 
     /// Executes `path` as the entry module. Returns the entry module index.
@@ -163,8 +177,11 @@ impl<'l> Interp<'l> {
     }
 
     /// Calls the function bound to `name` in `module` with positional
-    /// `args`. Used by the compiler to invoke validators.
-    pub fn call_global(&mut self, module: usize, name: &str, args: Vec<Value>) -> Result<Value> {
+    /// `args`. Used by the compiler to invoke validators. Arguments are
+    /// taken by reference: binding a parameter performs a shallow
+    /// (`Arc`-bump) clone, so invoking many validators against one large
+    /// config value never copies the value itself.
+    pub fn call_global(&mut self, module: usize, name: &str, args: &[Value]) -> Result<Value> {
         let f = match self.global(module, name) {
             Some(Value::Func(f)) => f.clone(),
             Some(other) => {
@@ -180,7 +197,7 @@ impl<'l> Interp<'l> {
             }
         };
         let path = self.module_paths[module].clone();
-        self.call_func(&f, args, Vec::new(), &path, 0)
+        self.call_func(&f, args.to_vec(), Vec::new(), &path, 0)
     }
 
     fn load_module(&mut self, path: &str, as_entry: bool) -> Result<usize> {
@@ -200,10 +217,13 @@ impl<'l> Interp<'l> {
             .loader
             .load(path)
             .ok_or_else(|| CdslError::nowhere(ErrorKind::MissingSource(path.to_string())))?;
-        let module: Module = parse(&src, path)?;
+        let module: Arc<Module> = match self.cache {
+            Some(cache) => cache.module(&src, path)?,
+            None => Arc::new(parse(&src, path)?),
+        };
         let idx = self.modules.len();
         self.modules.push(Scope::new());
-        self.module_paths.push(Rc::from(path));
+        self.module_paths.push(Arc::from(path));
         self.module_ids.insert(path.to_string(), idx);
         if as_entry {
             self.entry = Some(idx);
@@ -298,7 +318,13 @@ impl<'l> Interp<'l> {
                 let src = self.loader.load(target).ok_or_else(|| {
                     CdslError::new(ErrorKind::MissingSource(target.clone()), &path, stmt.line)
                 })?;
-                self.schemas.load(&src, target)?;
+                match self.cache {
+                    Some(cache) => {
+                        let defs = cache.schema(&src, target)?;
+                        self.schemas.load_defs(&defs, target)?;
+                    }
+                    None => self.schemas.load(&src, target)?,
+                }
                 // A schema file is always a dependency of the config.
                 self.deps.insert(target.clone());
                 Ok(Flow::Normal)
@@ -311,8 +337,8 @@ impl<'l> Interp<'l> {
                         stmt.line,
                     ));
                 }
-                let f = Value::Func(Rc::new(FuncValue {
-                    def: def.clone(),
+                let f = Value::Func(Arc::new(FuncValue {
+                    def: Arc::clone(def),
                     module,
                 }));
                 self.modules[module].insert(def.name.clone(), f);
@@ -806,7 +832,7 @@ impl<'l> Interp<'l> {
             };
             fields.push((fdef.name.clone(), value));
         }
-        Ok(Value::Struct(Rc::new(StructValue {
+        Ok(Value::Struct(Arc::new(StructValue {
             type_name: name.to_string(),
             fields,
         })))
@@ -1586,12 +1612,12 @@ export_if_last({"kind": j.kind, "mem": j.memory_mb})
         let mut ok = BTreeMap::new();
         ok.insert("x".to_string(), Value::Int(5));
         assert!(interp
-            .call_global(m, "validate", vec![Value::dict(ok)])
+            .call_global(m, "validate", &[Value::dict(ok)])
             .is_ok());
         let mut bad = BTreeMap::new();
         bad.insert("x".to_string(), Value::Int(-1));
         let e = interp
-            .call_global(m, "validate", vec![Value::dict(bad)])
+            .call_global(m, "validate", &[Value::dict(bad)])
             .unwrap_err();
         assert!(e.is_validation());
     }

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod ast;
+pub mod cache;
 pub mod compile;
 pub mod error;
 pub mod interp;
@@ -54,7 +55,8 @@ pub mod parser;
 pub mod schema;
 pub mod value;
 
-pub use compile::{CompiledConfig, Compiler};
+pub use cache::{content_key, CacheStats, ContentKey, ParseCache};
+pub use compile::{CompiledConfig, Compiler, COMPILER_VERSION};
 pub use error::{CdslError, ErrorKind, Result};
 pub use interp::{Interp, Limits, Loader};
 pub use schema::{SchemaSet, Type, TypeDef};

@@ -152,7 +152,7 @@ impl Parser<'_> {
         } else if self.at_kw("def") {
             self.bump();
             let def = self.func_def()?;
-            StmtKind::Def(def)
+            StmtKind::Def(std::sync::Arc::new(def))
         } else if self.at_kw("return") {
             self.bump();
             let value = if self.at(&Tok::Newline) || self.at(&Tok::Eof) || self.at(&Tok::Dedent) {

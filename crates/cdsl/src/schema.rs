@@ -25,7 +25,7 @@
 //! defense against configuration errors (§3.3).
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::{CdslError, ErrorKind, Result};
 use crate::value::{EnumValue, Value};
@@ -108,7 +108,7 @@ impl EnumDef {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(n, num)| {
-                Value::Enum(Rc::new(EnumValue {
+                Value::Enum(Arc::new(EnumValue {
                     enum_name: self.name.clone(),
                     variant: n.clone(),
                     number: *num,
@@ -191,10 +191,17 @@ impl SchemaSet {
     /// identical redefinition (the same file loaded twice) is a no-op.
     pub fn load(&mut self, src: &str, path: &str) -> Result<()> {
         let defs = parse_schema(src, path)?;
+        self.load_defs(&defs, path)
+    }
+
+    /// Merges already-parsed definitions (e.g. from a
+    /// [`crate::cache::ParseCache`]) under the same redefinition rules as
+    /// [`SchemaSet::load`].
+    pub fn load_defs(&mut self, defs: &[TypeDef], path: &str) -> Result<()> {
         for def in defs {
             let name = def.name().to_string();
             if let Some(existing) = self.types.get(&name) {
-                if *existing != def {
+                if existing != def {
                     return Err(CdslError::new(
                         ErrorKind::Schema(format!("conflicting redefinition of type {name}")),
                         path,
@@ -203,7 +210,7 @@ impl SchemaSet {
                 }
             } else {
                 self.origins.insert(name.clone(), path.to_string());
-                self.types.insert(name, def);
+                self.types.insert(name, def.clone());
             }
         }
         Ok(())

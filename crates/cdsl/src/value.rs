@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::FuncDef;
 
@@ -24,19 +24,19 @@ pub enum Value {
     /// 64-bit float.
     Float(f64),
     /// String.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// List.
-    List(Rc<Vec<Value>>),
+    List(Arc<Vec<Value>>),
     /// String-keyed map (JSON-compatible).
-    Dict(Rc<BTreeMap<String, Value>>),
+    Dict(Arc<BTreeMap<String, Value>>),
     /// An instance of a schema struct; fields in schema order.
-    Struct(Rc<StructValue>),
+    Struct(Arc<StructValue>),
     /// A user-defined function (closure over its defining module).
-    Func(Rc<FuncValue>),
+    Func(Arc<FuncValue>),
     /// A built-in function.
     Builtin(&'static str),
     /// An enum variant (`JobKind.SERVICE`).
-    Enum(Rc<EnumValue>),
+    Enum(Arc<EnumValue>),
 }
 
 /// An instantiated schema struct.
@@ -59,7 +59,7 @@ impl StructValue {
 #[derive(Debug)]
 pub struct FuncValue {
     /// The definition.
-    pub def: FuncDef,
+    pub def: Arc<FuncDef>,
     /// Index of the module scope the function closes over.
     pub module: usize,
 }
@@ -78,17 +78,17 @@ pub struct EnumValue {
 impl Value {
     /// Builds a string value.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Rc::from(s.as_ref()))
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     /// Builds a list value.
     pub fn list(items: Vec<Value>) -> Value {
-        Value::List(Rc::new(items))
+        Value::List(Arc::new(items))
     }
 
     /// Builds a dict value.
     pub fn dict(map: BTreeMap<String, Value>) -> Value {
-        Value::Dict(Rc::new(map))
+        Value::Dict(Arc::new(map))
     }
 
     /// A short name of the value's type, for error messages.
@@ -285,7 +285,7 @@ impl PartialEq for Value {
             (Value::Struct(a), Value::Struct(b)) => a == b,
             (Value::Enum(a), Value::Enum(b)) => a == b,
             (Value::Builtin(a), Value::Builtin(b)) => a == b,
-            (Value::Func(a), Value::Func(b)) => Rc::ptr_eq(a, b),
+            (Value::Func(a), Value::Func(b)) => Arc::ptr_eq(a, b),
             _ => false,
         }
     }
@@ -338,7 +338,7 @@ mod tests {
 
     #[test]
     fn struct_fields_keep_schema_order() {
-        let sv = Value::Struct(Rc::new(StructValue {
+        let sv = Value::Struct(Arc::new(StructValue {
             type_name: "Job".into(),
             fields: vec![
                 ("zeta".into(), Value::Int(1)),
@@ -350,7 +350,7 @@ mod tests {
 
     #[test]
     fn enum_serializes_as_variant_name() {
-        let e = Value::Enum(Rc::new(EnumValue {
+        let e = Value::Enum(Arc::new(EnumValue {
             enum_name: "JobKind".into(),
             variant: "SERVICE".into(),
             number: 1,

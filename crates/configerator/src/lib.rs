@@ -40,6 +40,7 @@
 
 pub mod canary;
 pub mod landing;
+pub mod metrics;
 pub mod mutator;
 pub mod review;
 pub mod risk;
@@ -52,6 +53,9 @@ pub use landing::{LandError, LandingStrip, SourceDiff};
 pub use mutator::Mutator;
 pub use review::{Phabricator, ReviewPolicy, Sandcastle, TestReport};
 pub use risk::{RiskAssessment, RiskModel, RiskSignal};
-pub use service::{Artifact, CommitReport, ConfigeratorService, DependencyService, ServiceError};
+pub use service::{
+    Artifact, CommitReport, CompileFailure, CompileOptions, CompileStats, ConfigeratorService,
+    DependencyService, ServiceError,
+};
 pub use stack::{ShipError, ShipOutcome, Stack};
 pub use tailer::{ConfigUpdate, GitTailer, TailerError, TailerGroup, TailerLease};

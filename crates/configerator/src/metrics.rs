@@ -1,0 +1,24 @@
+//! Metric names recorded by the Configerator service.
+//!
+//! Same convention as the rest of the workspace (`zeus::metrics`,
+//! `laser::metrics`): dotted lowercase names with the unit suffixed.
+//! Durations are sampled in seconds ([`simnet::stats::Metrics::sample`]
+//! buckets them into integer-microsecond histograms — hence the `_us`
+//! histogram name).
+
+/// Histogram: wall-clock time to compile one config entry.
+pub const COMPILE_US: &str = "configerator.compile_us";
+/// Counter: parse-cache lookups answered without parsing.
+pub const PARSE_CACHE_HITS: &str = "configerator.parse_cache_hits";
+/// Counter: parse-cache lookups that had to lex + parse.
+pub const PARSE_CACHE_MISSES: &str = "configerator.parse_cache_misses";
+/// Counter: compile candidates skipped because their fingerprint was
+/// unchanged (artifact reused verbatim).
+pub const FINGERPRINT_SKIPS: &str = "configerator.fingerprint_skips";
+/// Counter: entries actually compiled (executed, validated).
+pub const ENTRIES_COMPILED: &str = "configerator.entries_compiled";
+/// Counter: compile failures observed on the commit path (one per failed
+/// entry; a rejected commit with three broken configs counts three).
+pub const COMPILE_ERRORS: &str = "configerator.compile_errors";
+/// Counter: commits landed through the service (source and raw).
+pub const COMMITS: &str = "configerator.commits";

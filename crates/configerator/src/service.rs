@@ -12,22 +12,51 @@
 //!    app_port.cinc is changed, the Configerator compiler automatically
 //!    recompiles both app.cconf and firewall.cconf");
 //! 3. every affected program is compiled and validated; any failure
-//!    rejects the whole commit, leaving the repository untouched;
+//!    rejects the whole commit, leaving the repository untouched — and all
+//!    failures in the batch are reported together, not just the first;
 //! 4. sources and regenerated JSON land in **one git commit**, "which
 //!    ensures consistency".
+//!
+//! # Incremental, parallel compilation
+//!
+//! The compile step is engineered for wide ripples (a popular `.cinc`
+//! with thousands of dependents):
+//!
+//! * **Fingerprint skip** — every committed entry carries a fingerprint:
+//!   a SHA-1 over the compiler version, the entry source, every recorded
+//!   dependency source, and the probed-but-absent validator paths. During
+//!   planning, a candidate whose fingerprint is unchanged is skipped and
+//!   its stored artifact reused — byte-identical to a recompile by
+//!   construction, because identical inputs compile to identical canonical
+//!   JSON.
+//! * **Shared parse cache** — all compiles share one content-addressed
+//!   [`ParseCache`], so each module/schema/validator source is lexed and
+//!   parsed once per batch *and* stays warm across commits (an edit simply
+//!   misses on the new content).
+//! * **Parallel execution** — remaining candidates compile on a scoped
+//!   thread pool. Results are ordered by entry path and errors are
+//!   collected and sorted, so the outcome is byte-for-byte deterministic
+//!   regardless of worker count or cache state.
 //!
 //! Raw configs (§6.1) — files not produced by the compiler, usually
 //! written by automation tools — are stored and distributed unchanged.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 use bytes::Bytes;
-use cdsl::compile::{CompiledConfig, Compiler};
+use cdsl::compile::{CompiledConfig, Compiler, COMPILER_VERSION};
 use cdsl::interp::Loader;
+use cdsl::{content_key, CacheStats, ContentKey, ParseCache};
 use gitstore::multirepo::MultiRepo;
 use gitstore::object::ObjectId;
 use gitstore::repo::Change;
+use simnet::stats::Metrics;
+
+use crate::metrics;
 
 /// Where compiled artifacts live in the repository namespace.
 pub const COMPILED_PREFIX: &str = "compiled/";
@@ -83,19 +112,39 @@ pub fn compiled_path(name: &str) -> String {
     format!("{COMPILED_PREFIX}{name}.json")
 }
 
+/// One compile failure within a rejected batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileFailure {
+    /// The entry that failed.
+    pub entry: String,
+    /// The compiler error.
+    pub error: cdsl::CdslError,
+}
+
+impl fmt::Display for CompileFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compiling {}: {}", self.entry, self.error)
+    }
+}
+
 /// Errors from the service.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
     /// A change targets a path engineers may not write
     /// (e.g. `compiled/…`).
     ForbiddenPath(String),
-    /// Compilation or validation of a config program failed.
+    /// Compilation or validation of a single config program failed (the
+    /// preview path).
     Compile {
         /// The entry that failed.
         entry: String,
         /// The compiler error.
         error: cdsl::CdslError,
     },
+    /// One or more programs in a commit batch failed to compile or
+    /// validate. Sorted by entry path; every failure in the batch is
+    /// reported, not just the first.
+    CompileMany(Vec<CompileFailure>),
     /// The underlying store rejected the commit.
     Store(gitstore::repo::Error),
     /// The commit contained no changes.
@@ -109,6 +158,16 @@ impl fmt::Display for ServiceError {
             ServiceError::Compile { entry, error } => {
                 write!(f, "compiling {entry}: {error}")
             }
+            ServiceError::CompileMany(failures) => {
+                write!(f, "{} config(s) failed to compile: ", failures.len())?;
+                for (i, fail) in failures.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{fail}")?;
+                }
+                Ok(())
+            }
             ServiceError::Store(e) => write!(f, "store error: {e}"),
             ServiceError::Empty => write!(f, "empty commit"),
         }
@@ -116,6 +175,59 @@ impl fmt::Display for ServiceError {
 }
 
 impl std::error::Error for ServiceError {}
+
+/// Tuning knobs for the compile pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Worker threads for the compile step. `0` picks the machine's
+    /// available parallelism (capped at 8); `1` compiles serially.
+    pub workers: usize,
+    /// Skip candidates whose fingerprint is unchanged, reusing the stored
+    /// artifact.
+    pub incremental: bool,
+    /// Share parsed ASTs through the content-addressed [`ParseCache`].
+    pub parse_cache: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            workers: 0,
+            incremental: true,
+            parse_cache: true,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The pre-optimization pipeline: serial, no cache, no fingerprint
+    /// skips. Used as the baseline in benchmarks and differential tests.
+    pub fn legacy() -> CompileOptions {
+        CompileOptions {
+            workers: 1,
+            incremental: false,
+            parse_cache: false,
+        }
+    }
+}
+
+/// What the compile step of one plan did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Entries in the compile set (direct edits + dependency ripple).
+    pub candidates: usize,
+    /// Entries actually compiled.
+    pub compiled: usize,
+    /// Entries skipped by an unchanged fingerprint.
+    pub skipped: usize,
+    /// Parse-cache hits during this plan.
+    pub parse_hits: u64,
+    /// Parse-cache misses during this plan.
+    pub parse_misses: u64,
+    /// Total microseconds of compile work (summed across workers, so it
+    /// can exceed wall-clock under parallelism).
+    pub compile_us: u64,
+}
 
 /// A successful commit through the service.
 #[derive(Debug, Clone)]
@@ -127,6 +239,12 @@ pub struct CommitReport {
     /// Entries recompiled because a dependency changed (not directly
     /// edited).
     pub ripple_recompiles: Vec<String>,
+    /// Entry paths actually compiled in this commit, sorted.
+    pub recompiled_entries: Vec<String>,
+    /// Entry paths skipped by an unchanged fingerprint, sorted.
+    pub skipped_entries: Vec<String>,
+    /// Compile-step statistics.
+    pub stats: CompileStats,
     /// Timestamp of the commit.
     pub timestamp: u64,
 }
@@ -136,38 +254,54 @@ pub struct CommitReport {
 /// from `import`/`schema` statements — never declared by hand.
 #[derive(Debug, Clone, Default)]
 pub struct DependencyService {
-    /// dependency path → entry paths that depend on it.
+    /// dependency path → entry paths that depend on it (includes probe
+    /// edges: paths the compiler looked for but found absent).
     dependents: HashMap<String, BTreeSet<String>>,
     /// entry path → its dependency list.
     deps: HashMap<String, Vec<String>>,
+    /// entry path → paths probed but absent when it last compiled.
+    /// *Creating* one of these must recompile the entry, so they index
+    /// into `dependents` too.
+    probes: HashMap<String, Vec<String>>,
 }
 
 impl DependencyService {
     /// Records the dependency list of `entry` (replacing any previous).
     pub fn update(&mut self, entry: &str, deps: Vec<String>) {
-        if let Some(old) = self.deps.remove(entry) {
-            for d in old {
-                if let Some(set) = self.dependents.get_mut(&d) {
-                    set.remove(entry);
-                }
+        self.update_with_probes(entry, deps, Vec::new());
+    }
+
+    /// Records the dependency list of `entry` plus the paths its compile
+    /// probed but found absent (conventionally `<schema>.cvalidator`
+    /// candidates). Probe edges make *creating* such a file ripple into
+    /// the entries that would pick it up.
+    pub fn update_with_probes(&mut self, entry: &str, deps: Vec<String>, probed: Vec<String>) {
+        let old_deps = self.deps.remove(entry).unwrap_or_default();
+        let old_probes = self.probes.remove(entry).unwrap_or_default();
+        for d in old_deps.iter().chain(old_probes.iter()) {
+            if let Some(set) = self.dependents.get_mut(d) {
+                set.remove(entry);
             }
         }
-        for d in &deps {
+        for d in deps.iter().chain(probed.iter()) {
             self.dependents
                 .entry(d.clone())
                 .or_default()
                 .insert(entry.to_string());
         }
         self.deps.insert(entry.to_string(), deps);
+        if !probed.is_empty() {
+            self.probes.insert(entry.to_string(), probed);
+        }
     }
 
     /// Removes an entry entirely.
     pub fn remove(&mut self, entry: &str) {
-        self.update(entry, Vec::new());
+        self.update_with_probes(entry, Vec::new(), Vec::new());
         self.deps.remove(entry);
     }
 
-    /// Entries that depend on any of `paths`.
+    /// Entries that depend on any of `paths` (including probe edges).
     pub fn dependents_of<'a>(&self, paths: impl IntoIterator<Item = &'a str>) -> BTreeSet<String> {
         let mut out = BTreeSet::new();
         for p in paths {
@@ -178,9 +312,15 @@ impl DependencyService {
         out
     }
 
-    /// The recorded dependency list of `entry`.
+    /// The recorded dependency list of `entry` (real dependencies only,
+    /// not probe edges).
     pub fn deps_of(&self, entry: &str) -> Option<&[String]> {
         self.deps.get(entry).map(Vec::as_slice)
+    }
+
+    /// The paths `entry` probed but found absent at its last compile.
+    pub fn probes_of(&self, entry: &str) -> &[String] {
+        self.probes.get(entry).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 
@@ -193,6 +333,16 @@ pub struct Artifact {
     pub json: String,
     /// Schema type, if the config is a struct.
     pub type_name: Option<String>,
+}
+
+/// The compile record retained per entry for incremental planning.
+#[derive(Debug, Clone)]
+struct CompileRecord {
+    /// The full compile result of the last landed commit.
+    result: CompiledConfig,
+    /// Fingerprint of the inputs that produced it (`None` disables
+    /// skipping for this entry).
+    fingerprint: Option<[u8; 20]>,
 }
 
 /// Loader view over a base snapshot plus staged overlay.
@@ -216,12 +366,91 @@ impl Loader for OverlayLoader<'_> {
     }
 }
 
+/// Memoized per-path content keys over one plan's overlay view: a shared
+/// dependency (the hot `.cinc` of a wide ripple) is loaded and hashed
+/// once per plan, not once per dependent entry.
+struct SourceIndex<'a> {
+    loader: &'a dyn Loader,
+    keys: HashMap<String, Option<ContentKey>>,
+}
+
+impl<'a> SourceIndex<'a> {
+    fn new(loader: &'a dyn Loader) -> SourceIndex<'a> {
+        SourceIndex {
+            loader,
+            keys: HashMap::new(),
+        }
+    }
+
+    /// The content key of `path`, or `None` if it does not exist.
+    fn key(&mut self, path: &str) -> Option<ContentKey> {
+        if let Some(k) = self.keys.get(path) {
+            return *k;
+        }
+        let k = self.loader.load(path).map(|src| content_key(&src));
+        self.keys.insert(path.to_string(), k);
+        k
+    }
+
+    /// Computes the input fingerprint of a compiled entry: SHA-1 over the
+    /// compiler version and the content key of the entry source, every
+    /// dependency source (path + key, length-prefixed), and the
+    /// probed-absent paths. Hashing keys instead of full contents commits
+    /// to the same inputs while touching each distinct source once per
+    /// plan. Returns `None` when an input is missing or a probed-absent
+    /// path now exists — both mean "cannot prove freshness", which forces
+    /// a recompile.
+    fn fingerprint(&mut self, entry: &str, out: &CompiledConfig) -> Option<[u8; 20]> {
+        fn feed(buf: &mut Vec<u8>, tag: u8, path: &str, key: ContentKey) {
+            buf.push(tag);
+            buf.extend_from_slice(&(path.len() as u64).to_le_bytes());
+            buf.extend_from_slice(path.as_bytes());
+            buf.extend_from_slice(&key.to_bytes());
+        }
+        let mut buf = Vec::with_capacity(8 + 40 * (1 + out.deps.len() + out.probed_absent.len()));
+        buf.extend_from_slice(&COMPILER_VERSION.to_le_bytes());
+        feed(&mut buf, 1, entry, self.key(entry)?);
+        for dep in &out.deps {
+            let key = self.key(dep)?;
+            feed(&mut buf, 2, dep, key);
+        }
+        for probed in &out.probed_absent {
+            if self.key(probed).is_some() {
+                return None;
+            }
+            feed(&mut buf, 3, probed, ContentKey::default());
+        }
+        Some(gitstore::sha1::sha1(&buf))
+    }
+}
+
+/// One entry's outcome within a plan.
+struct PlannedEntry {
+    out: CompiledConfig,
+    fingerprint: Option<[u8; 20]>,
+    skipped: bool,
+    micros: u64,
+}
+
+/// The front half of a commit: overlay, compiled entries (ordered by
+/// entry path), directly-edited set, and compile statistics.
+struct PlanOutcome {
+    overlay: BTreeMap<String, Option<Bytes>>,
+    planned: Vec<PlannedEntry>,
+    direct: HashSet<String>,
+    stats: CompileStats,
+}
+
 /// The Configerator service for one region.
 #[derive(Clone)]
 pub struct ConfigeratorService {
     repo: MultiRepo,
     dependency: DependencyService,
     artifacts: BTreeMap<String, Artifact>,
+    records: HashMap<String, CompileRecord>,
+    options: CompileOptions,
+    parse_cache: Arc<ParseCache>,
+    metrics: Metrics,
     clock: u64,
 }
 
@@ -232,12 +461,22 @@ impl Default for ConfigeratorService {
 }
 
 impl ConfigeratorService {
-    /// Creates an empty service with a single repository partition.
+    /// Creates an empty service with a single repository partition and the
+    /// default (parallel, incremental, cached) compile options.
     pub fn new() -> ConfigeratorService {
+        ConfigeratorService::with_options(CompileOptions::default())
+    }
+
+    /// Creates an empty service with explicit compile options.
+    pub fn with_options(options: CompileOptions) -> ConfigeratorService {
         ConfigeratorService {
             repo: MultiRepo::new(),
             dependency: DependencyService::default(),
             artifacts: BTreeMap::new(),
+            records: HashMap::new(),
+            options,
+            parse_cache: Arc::new(ParseCache::new()),
+            metrics: Metrics::default(),
             clock: 0,
         }
     }
@@ -256,6 +495,27 @@ impl ConfigeratorService {
     /// The dependency service.
     pub fn dependency(&self) -> &DependencyService {
         &self.dependency
+    }
+
+    /// The current compile options.
+    pub fn compile_options(&self) -> CompileOptions {
+        self.options
+    }
+
+    /// Replaces the compile options (takes effect on the next plan).
+    pub fn set_compile_options(&mut self, options: CompileOptions) {
+        self.options = options;
+    }
+
+    /// Metrics recorded by the commit pipeline
+    /// ([`metrics::COMPILE_US`] and friends).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Cumulative parse-cache counters.
+    pub fn parse_cache_stats(&self) -> CacheStats {
+        self.parse_cache.stats()
     }
 
     /// Advances and returns the logical clock (seconds).
@@ -288,30 +548,42 @@ impl ConfigeratorService {
     }
 
     /// Dry-run: validates and compiles `changes` without committing.
-    /// Returns the compile results for every affected entry. This is what
-    /// Sandcastle and the manual-test path run against a proposed diff.
+    /// Returns the compile results for every affected entry (skipped
+    /// candidates report their stored result). This is what Sandcastle
+    /// and the manual-test path run against a proposed diff.
     pub fn check_changes(
         &self,
         changes: &BTreeMap<String, Option<String>>,
     ) -> Result<Vec<CompiledConfig>, ServiceError> {
-        let (_, results, _) = self.plan(changes)?;
-        Ok(results)
+        let outcome = self.plan(changes)?;
+        Ok(outcome.planned.into_iter().map(|p| p.out).collect())
+    }
+
+    /// The worker count a plan will actually use for `candidates` entries.
+    fn effective_workers(&self, candidates: usize) -> usize {
+        if candidates <= 1 {
+            return 1;
+        }
+        let configured = if self.options.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            self.options.workers
+        };
+        configured.clamp(1, candidates)
     }
 
     /// Shared front half of commit/check: builds the overlay, computes the
-    /// compile set, and compiles.
-    #[allow(clippy::type_complexity)]
+    /// compile set, skips fingerprint-fresh candidates, and compiles the
+    /// rest (in parallel when configured). The outcome is deterministic —
+    /// entries ordered by path, failures collected and sorted — regardless
+    /// of worker count or cache state.
     fn plan(
         &self,
         changes: &BTreeMap<String, Option<String>>,
-    ) -> Result<
-        (
-            BTreeMap<String, Option<Bytes>>,
-            Vec<CompiledConfig>,
-            HashSet<String>,
-        ),
-        ServiceError,
-    > {
+    ) -> Result<PlanOutcome, ServiceError> {
         if changes.is_empty() {
             return Err(ServiceError::Empty);
         }
@@ -357,27 +629,130 @@ impl ConfigeratorService {
             }
         }
 
-        // Compile everything against the overlay view.
         let loader = OverlayLoader {
             base: &self.repo,
             overlay: &overlay,
         };
-        let mut results: Vec<CompiledConfig> = Vec::new();
-        {
-            let compiler = Compiler::new(&loader);
-            for entry in &to_compile {
-                match compiler.compile(entry) {
-                    Ok(out) => results.push(out),
-                    Err(error) => {
-                        return Err(ServiceError::Compile {
-                            entry: entry.clone(),
-                            error,
-                        })
+        // Entry order is fixed up front (BTreeSet iteration is sorted);
+        // every later step addresses results by index into this list.
+        let entries: Vec<String> = to_compile.into_iter().collect();
+        let cache_before = self.parse_cache.stats();
+
+        // Incremental skip: candidates whose recorded fingerprint still
+        // matches the overlay view reuse their stored result. The source
+        // index memoizes per-path hashes, so a shared dependency is
+        // loaded and hashed once for the whole plan.
+        let mut index = SourceIndex::new(&loader);
+        let mut slots: Vec<Option<PlannedEntry>> = Vec::with_capacity(entries.len());
+        slots.resize_with(entries.len(), || None);
+        let mut work: Vec<(usize, &str)> = Vec::new();
+        for (i, entry) in entries.iter().enumerate() {
+            if self.options.incremental {
+                if let Some(rec) = self.records.get(entry) {
+                    if let Some(stored) = rec.fingerprint {
+                        if index.fingerprint(entry, &rec.result) == Some(stored) {
+                            slots[i] = Some(PlannedEntry {
+                                out: rec.result.clone(),
+                                fingerprint: Some(stored),
+                                skipped: true,
+                                micros: 0,
+                            });
+                            continue;
+                        }
                     }
                 }
             }
+            work.push((i, entry.as_str()));
         }
-        Ok((overlay, results, direct))
+
+        // Compile the remaining candidates, serially or on a scoped pool.
+        let cache = self.options.parse_cache.then_some(&*self.parse_cache);
+        let compile_one = |entry: &str| {
+            let start = Instant::now();
+            let mut compiler = Compiler::new(&loader);
+            if let Some(c) = cache {
+                compiler = compiler.with_cache(c);
+            }
+            let res = compiler.compile(entry);
+            (start.elapsed().as_micros() as u64, res)
+        };
+        let workers = self.effective_workers(work.len());
+        let mut outcomes: Vec<(usize, u64, cdsl::Result<CompiledConfig>)> =
+            Vec::with_capacity(work.len());
+        if workers <= 1 {
+            for (slot, entry) in &work {
+                let (micros, res) = compile_one(entry);
+                outcomes.push((*slot, micros, res));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel();
+            std::thread::scope(|s| {
+                let next = &next;
+                let work = &work;
+                let compile_one = &compile_one;
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    s.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(slot, entry)) = work.get(i) else {
+                            break;
+                        };
+                        let (micros, res) = compile_one(entry);
+                        if tx.send((slot, micros, res)).is_err() {
+                            break;
+                        }
+                    });
+                }
+            });
+            drop(tx);
+            outcomes.extend(rx);
+        }
+
+        let mut failures: Vec<CompileFailure> = Vec::new();
+        let mut compile_us = 0u64;
+        for (slot, micros, res) in outcomes {
+            compile_us += micros;
+            match res {
+                Ok(out) => {
+                    let fp = index.fingerprint(&entries[slot], &out);
+                    slots[slot] = Some(PlannedEntry {
+                        out,
+                        fingerprint: fp,
+                        skipped: false,
+                        micros,
+                    });
+                }
+                Err(error) => failures.push(CompileFailure {
+                    entry: entries[slot].clone(),
+                    error,
+                }),
+            }
+        }
+        if !failures.is_empty() {
+            failures.sort_by(|a, b| a.entry.cmp(&b.entry));
+            return Err(ServiceError::CompileMany(failures));
+        }
+
+        let cache_delta = self.parse_cache.stats().since(cache_before);
+        let stats = CompileStats {
+            candidates: entries.len(),
+            compiled: work.len(),
+            skipped: entries.len() - work.len(),
+            parse_hits: cache_delta.hits,
+            parse_misses: cache_delta.misses,
+            compile_us,
+        };
+        let planned = slots
+            .into_iter()
+            .map(|p| p.expect("every candidate compiled or skipped"))
+            .collect();
+        Ok(PlanOutcome {
+            overlay,
+            planned,
+            direct,
+            stats,
+        })
     }
 
     /// Commits source changes: validates, compiles, and lands sources plus
@@ -391,7 +766,21 @@ impl ConfigeratorService {
         message: &str,
         changes: BTreeMap<String, Option<String>>,
     ) -> Result<CommitReport, ServiceError> {
-        let (overlay, results, direct) = self.plan(&changes)?;
+        let PlanOutcome {
+            overlay,
+            planned,
+            direct,
+            stats,
+        } = match self.plan(&changes) {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                if let ServiceError::CompileMany(failures) = &err {
+                    self.metrics
+                        .incr(metrics::COMPILE_ERRORS, failures.len() as u64);
+                }
+                return Err(err);
+            }
+        };
 
         // Assemble the git changes: sources plus compiled artifacts.
         let mut git_changes: Vec<Change> = Vec::new();
@@ -414,7 +803,8 @@ impl ConfigeratorService {
         }
         let mut updated = Vec::new();
         let mut ripple = Vec::new();
-        for out in &results {
+        for p in &planned {
+            let out = &p.out;
             let name = config_name(&format!("{SOURCE_PREFIX}{}", out.path))
                 .expect("entry paths always map to names");
             let cpath = compiled_path(&name);
@@ -441,31 +831,66 @@ impl ConfigeratorService {
             .map(|(_, o)| o.id)
             .collect();
 
-        // Commit landed: update dependency maps and the artifact cache.
+        // Commit landed: update dependency maps, compile records, and the
+        // artifact cache.
         for (path, content) in &changes {
             if path.ends_with(".cconf") && content.is_none() {
                 self.dependency.remove(path);
+                self.records.remove(path);
                 if let Some(name) = config_name(&format!("{SOURCE_PREFIX}{path}")) {
                     self.artifacts.remove(&name);
                 }
             }
         }
-        for out in results {
-            self.dependency.update(&out.path, out.deps.clone());
+        let mut recompiled_entries = Vec::new();
+        let mut skipped_entries = Vec::new();
+        for p in planned {
+            let out = p.out;
+            if p.skipped {
+                skipped_entries.push(out.path.clone());
+            } else {
+                recompiled_entries.push(out.path.clone());
+                self.metrics
+                    .sample(metrics::COMPILE_US, p.micros as f64 / 1e6);
+            }
+            self.dependency.update_with_probes(
+                &out.path,
+                out.deps.clone(),
+                out.probed_absent.clone(),
+            );
             let name = config_name(&format!("{SOURCE_PREFIX}{}", out.path)).expect("entry");
             self.artifacts.insert(
                 name.clone(),
                 Artifact {
                     name,
-                    json: out.json,
-                    type_name: out.type_name,
+                    json: out.json.clone(),
+                    type_name: out.type_name.clone(),
+                },
+            );
+            self.records.insert(
+                out.path.clone(),
+                CompileRecord {
+                    fingerprint: p.fingerprint,
+                    result: out,
                 },
             );
         }
+        self.metrics.incr(metrics::COMMITS, 1);
+        self.metrics
+            .incr(metrics::ENTRIES_COMPILED, stats.compiled as u64);
+        self.metrics
+            .incr(metrics::FINGERPRINT_SKIPS, stats.skipped as u64);
+        self.metrics
+            .incr(metrics::PARSE_CACHE_HITS, stats.parse_hits);
+        self.metrics
+            .incr(metrics::PARSE_CACHE_MISSES, stats.parse_misses);
         Ok(CommitReport {
             commits,
             updated_configs: updated,
             ripple_recompiles: ripple,
+            recompiled_entries,
+            skipped_entries,
+            stats,
             timestamp: ts,
         })
     }
@@ -498,10 +923,14 @@ impl ConfigeratorService {
                 type_name: None,
             },
         );
+        self.metrics.incr(metrics::COMMITS, 1);
         Ok(CommitReport {
             commits,
             updated_configs: vec![name.to_string()],
             ripple_recompiles: Vec::new(),
+            recompiled_entries: Vec::new(),
+            skipped_entries: Vec::new(),
+            stats: CompileStats::default(),
             timestamp: ts,
         })
     }
@@ -514,7 +943,11 @@ impl ConfigeratorService {
             base: &self.repo,
             overlay: &overlay,
         };
-        Compiler::new(&loader)
+        let mut compiler = Compiler::new(&loader);
+        if self.options.parse_cache {
+            compiler = compiler.with_cache(&self.parse_cache);
+        }
+        compiler
             .compile(entry)
             .map_err(|error| ServiceError::Compile {
                 entry: entry.to_string(),
@@ -624,9 +1057,50 @@ mod tests {
                 )]),
             )
             .unwrap_err();
-        assert!(matches!(err, ServiceError::Compile { .. }));
+        match err {
+            ServiceError::CompileMany(failures) => {
+                assert_eq!(failures.len(), 1);
+                assert_eq!(failures[0].entry, "cache.cconf");
+            }
+            other => panic!("expected CompileMany, got {other:?}"),
+        }
         assert_eq!(svc.repo().heads(), heads, "repository untouched");
         assert!(svc.artifact("cache").unwrap().json.contains("64"));
+        assert_eq!(svc.metrics().counter(metrics::COMPILE_ERRORS), 1);
+    }
+
+    #[test]
+    fn all_failures_in_a_batch_are_reported_sorted() {
+        let mut svc = ConfigeratorService::new();
+        svc.commit_source(
+            "alice",
+            "seed",
+            changes(&[
+                ("shared/n.cinc", "N = 1"),
+                (
+                    "b.cconf",
+                    "import \"shared/n.cinc\"\nexport_if_last({\"n\": N})",
+                ),
+                (
+                    "a.cconf",
+                    "import \"shared/n.cinc\"\nexport_if_last({\"n\": N})",
+                ),
+            ]),
+        )
+        .unwrap();
+        // Breaking the shared module breaks both dependents; every failure
+        // is reported, ordered by entry path.
+        let err = svc
+            .commit_source("bob", "break", changes(&[("shared/n.cinc", "N = ")]))
+            .unwrap_err();
+        match err {
+            ServiceError::CompileMany(failures) => {
+                let entries: Vec<&str> = failures.iter().map(|f| f.entry.as_str()).collect();
+                assert_eq!(entries, vec!["a.cconf", "b.cconf"]);
+            }
+            other => panic!("expected CompileMany, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().counter(metrics::COMPILE_ERRORS), 2);
     }
 
     #[test]
@@ -642,6 +1116,163 @@ mod tests {
             )
             .unwrap();
         assert!(report.updated_configs.is_empty());
+    }
+
+    #[test]
+    fn identical_rewrite_skips_by_fingerprint() {
+        let mut svc = service_with_port_example();
+        // Rewriting the shared module with byte-identical content leaves
+        // every dependent's fingerprint unchanged → both are skipped, not
+        // recompiled.
+        let report = svc
+            .commit_source(
+                "tool",
+                "no-op rewrite",
+                changes(&[("shared/app_port.cinc", "APP_PORT = 8089")]),
+            )
+            .unwrap();
+        assert_eq!(report.stats.candidates, 2);
+        assert_eq!(report.stats.skipped, 2);
+        assert_eq!(report.stats.compiled, 0);
+        assert_eq!(
+            report.skipped_entries,
+            vec!["app.cconf".to_string(), "firewall.cconf".to_string()]
+        );
+        assert!(report.recompiled_entries.is_empty());
+        assert!(report.updated_configs.is_empty());
+        assert_eq!(svc.metrics().counter(metrics::FINGERPRINT_SKIPS), 2);
+        // The artifacts are still intact and identical.
+        assert!(svc.artifact("app").unwrap().json.contains("8089"));
+    }
+
+    #[test]
+    fn legacy_options_never_skip() {
+        let mut svc = ConfigeratorService::with_options(CompileOptions::legacy());
+        svc.commit_source(
+            "alice",
+            "seed",
+            changes(&[
+                ("shared/app_port.cinc", "APP_PORT = 8089"),
+                (
+                    "app.cconf",
+                    "import \"shared/app_port.cinc\"\nexport_if_last({\"port\": APP_PORT})",
+                ),
+            ]),
+        )
+        .unwrap();
+        let report = svc
+            .commit_source(
+                "tool",
+                "no-op rewrite",
+                changes(&[("shared/app_port.cinc", "APP_PORT = 8089")]),
+            )
+            .unwrap();
+        assert_eq!(report.stats.skipped, 0);
+        assert_eq!(report.stats.compiled, 1);
+        assert_eq!(report.stats.parse_hits, 0, "cache disabled");
+    }
+
+    #[test]
+    fn parse_cache_shares_parses_within_and_across_commits() {
+        let mut svc = service_with_port_example();
+        let seed = svc.parse_cache_stats();
+        // Both entries import the same module: compiling the seed commit
+        // parsed it once and hit the cache once.
+        assert!(seed.hits >= 1, "shared module parse reused");
+        // An unrelated new entry importing the same (unchanged) module
+        // hits the cache across commits.
+        svc.commit_source(
+            "carol",
+            "new dependent",
+            changes(&[(
+                "lb.cconf",
+                "import \"shared/app_port.cinc\"\nexport_if_last({\"lb\": APP_PORT})",
+            )]),
+        )
+        .unwrap();
+        let after = svc.parse_cache_stats().since(seed);
+        assert!(after.hits >= 1, "unchanged module stayed warm");
+    }
+
+    #[test]
+    fn creating_probed_validator_recompiles_dependents() {
+        let mut svc = ConfigeratorService::new();
+        svc.commit_source(
+            "alice",
+            "seed",
+            changes(&[
+                (
+                    "schemas/job.schema",
+                    "struct Job { 1: string name 2: i64 mem = 64 }",
+                ),
+                (
+                    "cache.cconf",
+                    "schema \"schemas/job.schema\"\nexport_if_last(Job { name: \"c\" })",
+                ),
+            ]),
+        )
+        .unwrap();
+        // The compiler probed for the validator and found it absent; that
+        // probe is indexed, so *creating* the file ripples.
+        assert!(svc
+            .dependency()
+            .probes_of("cache.cconf")
+            .contains(&"schemas/job.cvalidator".to_string()));
+        let err = svc
+            .commit_source(
+                "bob",
+                "add strict validator",
+                changes(&[(
+                    "schemas/job.cvalidator",
+                    "def validate(cfg):\n    require(cfg.mem >= 128, \"too small\")",
+                )]),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, ServiceError::CompileMany(f) if f[0].entry == "cache.cconf"),
+            "new validator must re-check existing dependents, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_plans_agree() {
+        let mut sources = vec![("shared/base.cinc".to_string(), "BASE = 10".to_string())];
+        for i in 0..24 {
+            sources.push((
+                format!("entry{i:02}.cconf"),
+                format!("import \"shared/base.cinc\"\nexport_if_last({{\"v\": BASE + {i}}})"),
+            ));
+        }
+        let as_changes: BTreeMap<String, Option<String>> = sources
+            .iter()
+            .map(|(p, s)| (p.clone(), Some(s.clone())))
+            .collect();
+        let mut serial = ConfigeratorService::with_options(CompileOptions {
+            workers: 1,
+            ..CompileOptions::default()
+        });
+        let mut parallel = ConfigeratorService::with_options(CompileOptions {
+            workers: 4,
+            ..CompileOptions::default()
+        });
+        let a = serial
+            .commit_source("alice", "seed", as_changes.clone())
+            .unwrap();
+        let b = parallel.commit_source("alice", "seed", as_changes).unwrap();
+        assert_eq!(a.updated_configs, b.updated_configs);
+        assert_eq!(a.recompiled_entries, b.recompiled_entries);
+        for name in &a.updated_configs {
+            assert_eq!(
+                serial.artifact(name).unwrap().json,
+                parallel.artifact(name).unwrap().json,
+                "artifact {name} must be byte-identical across worker counts"
+            );
+        }
+        // Errors also agree (collected and sorted, not first-wins).
+        let bad = changes(&[("shared/base.cinc", "BASE = ")]);
+        let ea = serial.commit_source("bob", "bad", bad.clone()).unwrap_err();
+        let eb = parallel.commit_source("bob", "bad", bad).unwrap_err();
+        assert_eq!(ea, eb);
     }
 
     #[test]
@@ -707,6 +1338,25 @@ mod tests {
     }
 
     #[test]
+    fn dependency_service_probe_edges() {
+        let mut d = DependencyService::default();
+        d.update_with_probes(
+            "a.cconf",
+            vec!["j.schema".into()],
+            vec!["j.cvalidator".into()],
+        );
+        // Probe edges ripple like real dependencies…
+        assert_eq!(d.dependents_of(["j.cvalidator"]).len(), 1);
+        // …but are not reported as dependencies.
+        assert_eq!(d.deps_of("a.cconf").unwrap(), &["j.schema".to_string()]);
+        assert_eq!(d.probes_of("a.cconf"), &["j.cvalidator".to_string()]);
+        // Replacing the record clears stale probe edges.
+        d.update_with_probes("a.cconf", vec!["j.schema".into()], Vec::new());
+        assert!(d.dependents_of(["j.cvalidator"]).is_empty());
+        assert!(d.probes_of("a.cconf").is_empty());
+    }
+
+    #[test]
     fn preview_compiles_without_committing() {
         let svc = service_with_port_example();
         let out = svc.preview("app.cconf").unwrap();
@@ -731,5 +1381,19 @@ mod tests {
         assert_eq!(report.commits.len(), 2, "one commit per partition");
         assert!(svc.artifact("feed/rank").is_some());
         assert!(svc.artifact("misc").is_some());
+    }
+
+    #[test]
+    fn commit_metrics_recorded() {
+        let svc = service_with_port_example();
+        let m = svc.metrics();
+        assert_eq!(m.counter(metrics::COMMITS), 1);
+        assert_eq!(m.counter(metrics::ENTRIES_COMPILED), 2);
+        assert_eq!(m.samples(metrics::COMPILE_US).len(), 2);
+        assert!(m.counter(metrics::PARSE_CACHE_MISSES) >= 1);
+        let text = m.export_prometheus();
+        assert!(
+            text.contains("configerator_entries_compiled") || text.contains("entries_compiled")
+        );
     }
 }

@@ -292,7 +292,7 @@ fn run_checker(src: &str, value: &Value) -> Result<(), SitevarError> {
     let module = interp
         .run_module("<checker>")
         .map_err(SitevarError::BadChecker)?;
-    match interp.call_global(module, "check", vec![value.clone()]) {
+    match interp.call_global(module, "check", std::slice::from_ref(value)) {
         Ok(_) => Ok(()),
         Err(e) if e.is_validation() => Err(SitevarError::CheckFailed(e.message().to_string())),
         Err(e) => Err(SitevarError::BadChecker(e)),

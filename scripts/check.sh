@@ -35,6 +35,20 @@ cargo run -q --release -p bench --bin repro -- laser \
     | diff -u "scripts/goldens/laser_seed1.txt" - \
     || { echo "laser report diverged from golden"; exit 1; }
 
+echo "== compile pipeline gate (golden + speedups)"
+# `repro compile` prints a deterministic report (candidate/compiled/skipped
+# counts, cache hit rates, ripple/skip/byte-identity gates, counters-only
+# Prometheus export) on stdout — diffed against a golden — and
+# machine-dependent timings on stderr. The stderr line
+# "compile speedup gates: PASS" asserts the warm-incremental (>= 5x) and,
+# with >= 2 workers, parallel (>= 2x) speedups; its absence fails the gate.
+cargo run -q --release -p bench --bin repro -- compile 2> /tmp/compile_timing.txt \
+    | diff -u "scripts/goldens/compile.txt" - \
+    || { echo "compile report diverged from golden"; exit 1; }
+cat /tmp/compile_timing.txt
+grep -q "compile speedup gates: PASS" /tmp/compile_timing.txt \
+    || { echo "compile speedup gates failed"; exit 1; }
+
 echo "== losssweep byte-determinism gate (seed 1)"
 # The loss sweep drives the retransmission/batching pipeline through four
 # drop rates; its report must be byte-identical across runs of one seed —
