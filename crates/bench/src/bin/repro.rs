@@ -14,6 +14,10 @@
 //! repro losssweep [--seed <n>]
 //!                            # bytes-on-wire under loss: batched vs baseline
 //! repro laser [--seed <n>]   # Laser serving tier: hedged vs unhedged reads
+//! repro canary [--seed <n>]  # fleet rollout pipeline under chaos: staged
+//!                            # canary phases, auto-rollback, drift audit
+//! repro audit [--seed <n>]   # drift auditor: seed cache faults, detect,
+//!                            # classify, repair
 //! repro compile [--full]     # parallel + incremental compile pipeline
 //!                            # (deterministic report on stdout, timings on
 //!                            # stderr)
@@ -75,6 +79,16 @@ fn main() {
         Some("laser") => {
             banner("laser");
             println!("{}", bench::laser_exp::laser(seed.unwrap_or(1)));
+            return;
+        }
+        Some("canary") => {
+            banner("canary");
+            println!("{}", bench::canary_exp::report(seed.unwrap_or(1)));
+            return;
+        }
+        Some("audit") => {
+            banner("audit");
+            println!("{}", bench::audit_exp::report(seed.unwrap_or(1)));
             return;
         }
         Some("trace") => {

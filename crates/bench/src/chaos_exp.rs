@@ -160,6 +160,9 @@ fn run_scenario_impl(seed: u64, verbose: bool) -> (ScenarioOutcome, Sim) {
         zeus::metrics::PROXY_FAILOVER_EXHAUSTED,
         simnet::stats::names::DROPPED_CHAOS,
         simnet::stats::names::DELAYED_CHAOS,
+        simnet::stats::names::CHAOS_CLOCK_SKEWS,
+        simnet::stats::names::CHAOS_STALLS,
+        simnet::stats::names::STALL_DEFERRED,
     ]
     .iter()
     .map(|&name| (name, sim.metrics().counter(name)))
@@ -238,8 +241,8 @@ pub fn campaign(scenarios: u64) -> String {
     let mut out = format!(
         "chaos campaign: {scenarios} seeded scenarios over a 3-region fleet\n\
          (5-node ensemble, 12 observers, 31 proxies; crashes at every tier,\n\
-         symmetric and one-way region partitions, message drop/delay;\n\
-         4 invariants per scenario)\n\n"
+         symmetric and one-way region partitions, message drop/delay,\n\
+         clock skew, process stalls; 4 invariants per scenario)\n\n"
     );
     let mut failing: Vec<u64> = Vec::new();
     for seed in 1..=scenarios {

@@ -5,6 +5,8 @@
 //! binary dispatches to these; the Criterion benches reuse the same
 //! implementations for the measured kernels.
 
+pub mod audit_exp;
+pub mod canary_exp;
 pub mod chaos_exp;
 pub mod compile_exp;
 pub mod distribution;
@@ -86,7 +88,9 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "gk_opt" => gatekeeper_exp::optimizer_ablation(),
         "rollout" => gatekeeper_exp::rollout(),
         "mobile" => mobile::bandwidth(200, 30, 10),
-        "canary" => mobile::canary_timing(),
+        "canary_timing" => mobile::canary_timing(),
+        "canary" => canary_exp::report(1),
+        "audit" => audit_exp::report(1),
         "chaos" => chaos_exp::campaign(match s {
             Scale::Small => 24,
             Scale::Full => 60,
@@ -122,7 +126,9 @@ pub const ALL: &[&str] = &[
     "rollout",
     "incidents",
     "mobile",
+    "canary_timing",
     "canary",
+    "audit",
     "chaos",
     "losssweep",
     "laser",

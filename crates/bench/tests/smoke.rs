@@ -50,8 +50,16 @@ fn contention_and_canary() {
     let c = run("contention");
     assert!(c.contains("stale-clone retries"));
     assert!(c.contains("0 syncs"));
-    let t = run("canary");
+    let t = run("canary_timing");
     assert!(t.contains("10 min"));
+}
+
+#[test]
+fn canary_rollout_and_audit() {
+    let c = run("canary");
+    assert!(c.contains("overall: PASS"), "canary gates failed:\n{c}");
+    let a = run("audit");
+    assert!(a.contains("overall: PASS"), "audit gates failed:\n{a}");
 }
 
 #[test]

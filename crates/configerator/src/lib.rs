@@ -10,6 +10,9 @@
 //! * [`review`] — Phabricator-style code review and Sandcastle CI.
 //! * [`canary`] — the automated canary service with phased testing,
 //!   healthcheck predicates, and automatic rollback.
+//! * [`rollout`] — the fleet-integrated rollout state machine: phase-gated
+//!   blast radius, incremental cohort-health verdicts, and the durable
+//!   mutator-landed revert path.
 //! * [`landing`] — the landing strip that serializes commits and rejects
 //!   only true conflicts (§3.6).
 //! * [`tailer`] — the git tailer extracting committed config changes for
@@ -44,6 +47,7 @@ pub mod metrics;
 pub mod mutator;
 pub mod review;
 pub mod risk;
+pub mod rollout;
 pub mod service;
 pub mod stack;
 pub mod tailer;
@@ -53,6 +57,10 @@ pub use landing::{LandError, LandingStrip, SourceDiff};
 pub use mutator::Mutator;
 pub use review::{Phabricator, ReviewPolicy, Sandcastle, TestReport};
 pub use risk::{RiskAssessment, RiskModel, RiskSignal};
+pub use rollout::{
+    evaluate_phase, land_revert, land_source_revert, previous_raw_content, previous_source_content,
+    CohortHealth, PhaseVerdict, Rollout, RolloutPhase, RolloutSpec, RolloutVerdict,
+};
 pub use service::{
     Artifact, CommitReport, CompileFailure, CompileOptions, CompileStats, ConfigeratorService,
     DependencyService, ServiceError,

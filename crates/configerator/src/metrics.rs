@@ -22,3 +22,13 @@ pub const ENTRIES_COMPILED: &str = "configerator.entries_compiled";
 pub const COMPILE_ERRORS: &str = "configerator.compile_errors";
 /// Counter: commits landed through the service (source and raw).
 pub const COMMITS: &str = "configerator.commits";
+
+/// Fleet-rollout pipeline counters (the `repro canary` experiment).
+pub mod canary {
+    /// Rollouts that promoted through every phase to the fleet.
+    pub const PROMOTIONS: &str = "canary.promotions";
+    /// Rollouts aborted by a failing phase (revert landed).
+    pub const ROLLBACKS: &str = "canary.rollbacks";
+    /// Individual phase promotions (blast-radius widenings).
+    pub const PHASE_PROMOTIONS: &str = "canary.phase_promotions";
+}

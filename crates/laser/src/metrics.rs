@@ -26,6 +26,9 @@ pub const INGEST_LAG_S: &str = "laser.server.ingest_lag_s";
 pub const BULK_ACTIVATED: &str = "laser.server.bulk_activated";
 /// Publish-origin → activation latency for bulk loads.
 pub const BULK_ACTIVATE_S: &str = "laser.server.bulk_activate_s";
+/// Ingestion cursors dropped and re-fetched from scratch on a
+/// [`crate::server::LaserCtl::Resync`] (the audit's repair verb).
+pub const RESYNCS: &str = "laser.server.resyncs";
 
 /// Trace hop names on the ingest and query paths.
 pub mod hops {

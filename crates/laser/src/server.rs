@@ -61,6 +61,24 @@ pub struct ShardServerConfig {
     pub pv_window: usize,
 }
 
+/// Driver commands posted to a shard server (audit repair).
+#[derive(Debug, Clone)]
+pub enum LaserCtl {
+    /// Drop the ingestion cursor for `path` and re-subscribe from scratch.
+    ///
+    /// The repair verb for stale-generation drift: a server whose
+    /// activation was rolled back (or lost) still advertises its *current*
+    /// feed cursor on every housekeeping tick, so the observer never
+    /// replays the metadata and the stale generation persists. Resync
+    /// subscribes with `have = 0`, forcing a full replay — the embedded
+    /// PackageVessel agent usually still holds the content, so the
+    /// re-activation flip is immediate.
+    Resync {
+        /// The ingestion path (`laser/<ds>` or `laser-bulk/<ds>`).
+        path: String,
+    },
+}
+
 /// The shard server actor.
 pub struct LaserShardServer {
     cfg: ShardServerConfig,
@@ -124,6 +142,37 @@ impl LaserShardServer {
     /// Sets the artificial response delay (degraded-replica modeling).
     pub fn set_response_delay(&mut self, delay: SimDuration) {
         self.respond_delay = delay;
+    }
+
+    /// Fault-seeding hook: rolls the activated generation of `dataset`
+    /// back one version while *keeping the feed cursor current* — the
+    /// protocol-invisible drift class. Housekeeping re-subscribes with the
+    /// current cursor, the observer replays nothing, and the server keeps
+    /// serving the stale generation until an audit notices the version gap
+    /// and issues a [`LaserCtl::Resync`]. Returns whether there was an
+    /// activation to roll back.
+    pub fn seed_stale_activation(&mut self, dataset: &str) -> bool {
+        match self.activated.get_mut(dataset) {
+            Some(v) if *v > 0 => {
+                *v -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn resync_path(&mut self, ctx: &mut Ctx<'_>, path: String) {
+        self.last_zxid.remove(&path);
+        ctx.metrics().incr(metrics::RESYNCS, 1);
+        let size = 64 + path.len() as u64;
+        ctx.send_value(
+            self.cfg.observer,
+            size,
+            ZeusMsg::Subscribe {
+                path,
+                have: Zxid::ZERO,
+            },
+        );
     }
 
     fn paths(&self) -> Vec<String> {
@@ -328,6 +377,13 @@ impl Actor for LaserShardServer {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        let msg = match msg.downcast::<LaserCtl>() {
+            Ok(cmd) => {
+                let LaserCtl::Resync { path } = *cmd;
+                return self.resync_path(ctx, path);
+            }
+            Err(m) => m,
+        };
         let msg = match msg.downcast::<LaserMsg>() {
             Ok(m) => return self.handle_get(ctx, from, *m),
             Err(m) => m,

@@ -50,6 +50,23 @@ pub enum FaultKind {
         /// The drop/delay parameters for the window.
         faults: LinkFaults,
     },
+    /// Skew the node's local clock by `offset_us` at `at`, restore it at
+    /// `until`. Scheduling runs on true time; only the node's own clock
+    /// reads (timestamps it originates, latency it computes against foreign
+    /// stamps) are off — a drifting NTP client.
+    ClockSkew {
+        /// The node whose clock drifts.
+        node: NodeId,
+        /// Signed offset in microseconds.
+        offset_us: i64,
+    },
+    /// Stall the node from `at` to `until` — a GC pause or disk stall.
+    /// Unlike a crash, deliveries and timers are deferred, not dropped, and
+    /// the backlog drains in order when the window ends.
+    Stall {
+        /// The paused node.
+        node: NodeId,
+    },
 }
 
 /// One fault window inside a plan.
@@ -86,6 +103,14 @@ impl Fault {
                 faults.delay_prob * 100.0,
                 faults.max_extra_delay.as_millis_f64()
             ),
+            FaultKind::ClockSkew { node, offset_us } => format!(
+                "{window} clock-skew {} {node} by {:+}ms",
+                self.label,
+                offset_us / 1000
+            ),
+            FaultKind::Stall { node } => {
+                format!("{window} stall {} {node} (pause, not crash)", self.label)
+            }
         }
     }
 }
@@ -119,6 +144,17 @@ pub struct ChaosConfig {
     pub min_outage: SimDuration,
     /// Longest fault window.
     pub max_outage: SimDuration,
+    /// Maximum number of clock-skew windows (victims drawn from
+    /// `crash_candidates`).
+    pub max_clock_skews: usize,
+    /// Largest clock offset magnitude injected by a skew window.
+    pub max_skew: SimDuration,
+    /// Maximum number of stall (GC-pause / slow-disk) windows (victims
+    /// drawn from `crash_candidates`).
+    pub max_stalls: usize,
+    /// Longest stall window. Stalls are kept shorter than generic outages:
+    /// a multi-second pause is a crash in all but name.
+    pub max_stall: SimDuration,
 }
 
 impl Default for ChaosConfig {
@@ -136,6 +172,10 @@ impl Default for ChaosConfig {
             max_extra_delay: SimDuration::from_millis(200),
             min_outage: SimDuration::from_millis(500),
             max_outage: SimDuration::from_secs(5),
+            max_clock_skews: 2,
+            max_skew: SimDuration::from_secs(2),
+            max_stalls: 2,
+            max_stall: SimDuration::from_millis(1500),
         }
     }
 }
@@ -266,6 +306,58 @@ impl ChaosPlan {
             }
         }
 
+        // Clock skews: victims drawn (with replacement) from the crash
+        // candidate pool — any labeled node can have a drifting clock.
+        // Drawn after one-way partitions so earlier fault families keep
+        // their RNG streams when this knob is zeroed relative to older
+        // configs.
+        if !cfg.crash_candidates.is_empty() && cfg.max_clock_skews > 0 {
+            let n = rng.gen_range(0..=cfg.max_clock_skews);
+            for _ in 0..n {
+                let idx = rng.gen_range(0..cfg.crash_candidates.len());
+                let (label, node) = cfg.crash_candidates[idx].clone();
+                let max_us = cfg.max_skew.as_micros().max(1);
+                let magnitude = rng.gen_range(max_us / 4..=max_us) as i64;
+                let offset_us = if rng.gen_bool(0.5) {
+                    magnitude
+                } else {
+                    -magnitude
+                };
+                let (at, until) = window(&mut rng);
+                faults.push(Fault {
+                    kind: FaultKind::ClockSkew { node, offset_us },
+                    at,
+                    until,
+                    label,
+                });
+            }
+        }
+
+        // Stalls: same victim pool, but bounded by `max_stall` rather than
+        // `max_outage` (drawn last, same stream-stability convention).
+        if !cfg.crash_candidates.is_empty() && cfg.max_stalls > 0 {
+            let n = rng.gen_range(0..=cfg.max_stalls);
+            for _ in 0..n {
+                let idx = rng.gen_range(0..cfg.crash_candidates.len());
+                let (label, node) = cfg.crash_candidates[idx].clone();
+                let hi = cfg.max_stall.as_micros().max(1);
+                let lo = cfg.min_outage.as_micros().min(hi);
+                let len = rng.gen_range(lo..=hi);
+                let latest_start = cfg
+                    .horizon
+                    .as_micros()
+                    .saturating_sub(len)
+                    .max(cfg.warmup.as_micros());
+                let at = rng.gen_range(cfg.warmup.as_micros()..=latest_start);
+                faults.push(Fault {
+                    kind: FaultKind::Stall { node },
+                    at: SimTime(at),
+                    until: SimTime((at + len).min(cfg.horizon.as_micros())),
+                    label,
+                });
+            }
+        }
+
         faults.sort_by_key(|f| f.at);
         ChaosPlan {
             seed,
@@ -305,6 +397,22 @@ impl ChaosPlan {
                         s.set_link_faults(faults);
                     });
                     sim.schedule(fault.until, |s| s.clear_link_faults());
+                }
+                FaultKind::ClockSkew { node, offset_us } => {
+                    sim.schedule(fault.at, move |s| {
+                        s.metrics_mut()
+                            .incr(crate::stats::names::CHAOS_CLOCK_SKEWS, 1);
+                        s.set_clock_skew(node, offset_us);
+                    });
+                    sim.schedule(fault.until, move |s| s.clear_clock_skew(node));
+                }
+                FaultKind::Stall { node } => {
+                    let until = fault.until;
+                    // The stall carries its own horizon; no heal event.
+                    sim.schedule(fault.at, move |s| {
+                        s.metrics_mut().incr(crate::stats::names::CHAOS_STALLS, 1);
+                        s.stall(node, until);
+                    });
                 }
             }
         }
@@ -501,6 +609,87 @@ mod tests {
             }
         }
         assert!(saw_oneway, "no seed in 0..20 drew a one-way partition");
+    }
+
+    #[test]
+    fn plans_include_clock_skews_and_stalls() {
+        let cfg = ChaosConfig {
+            crash_candidates: vec![("a".into(), NodeId(0)), ("b".into(), NodeId(1))],
+            regions: 1,
+            max_crashes: 0,
+            max_partitions: 0,
+            max_oneway_partitions: 0,
+            max_degrades: 0,
+            ..ChaosConfig::default()
+        };
+        let (mut saw_skew, mut saw_stall) = (false, false);
+        for seed in 0..20 {
+            let plan = ChaosPlan::generate(seed, &cfg);
+            for fault in &plan.faults {
+                match fault.kind {
+                    FaultKind::ClockSkew { offset_us, .. } => {
+                        assert_ne!(offset_us, 0);
+                        assert!(
+                            offset_us.unsigned_abs() <= cfg.max_skew.as_micros(),
+                            "{}",
+                            fault.describe()
+                        );
+                        assert!(fault.describe().contains("clock-skew"));
+                        saw_skew = true;
+                    }
+                    FaultKind::Stall { .. } => {
+                        assert!(
+                            fault.until - fault.at <= cfg.max_stall,
+                            "{}",
+                            fault.describe()
+                        );
+                        assert!(fault.describe().contains("stall"));
+                        saw_stall = true;
+                    }
+                    _ => panic!("only skew/stall were enabled: {}", fault.describe()),
+                }
+            }
+        }
+        assert!(saw_skew, "no seed in 0..20 drew a clock skew");
+        assert!(saw_stall, "no seed in 0..20 drew a stall");
+    }
+
+    #[test]
+    fn applied_skews_and_stalls_fire_and_heal() {
+        let cfg = ChaosConfig {
+            warmup: SimDuration::from_millis(500),
+            horizon: SimDuration::from_secs(6),
+            crash_candidates: vec![("n".into(), NodeId(0))],
+            regions: 1,
+            max_crashes: 0,
+            max_partitions: 0,
+            max_oneway_partitions: 0,
+            max_degrades: 0,
+            max_clock_skews: 2,
+            max_stalls: 2,
+            ..ChaosConfig::default()
+        };
+        // Pick a seed whose plan has at least one of each.
+        let (seed, plan) = (0..50)
+            .map(|s| (s, ChaosPlan::generate(s, &cfg)))
+            .find(|(_, p)| {
+                p.faults
+                    .iter()
+                    .any(|f| matches!(f.kind, FaultKind::ClockSkew { .. }))
+                    && p.faults
+                        .iter()
+                        .any(|f| matches!(f.kind, FaultKind::Stall { .. }))
+            })
+            .expect("some seed draws both fault kinds");
+        let topo = Topology::symmetric(1, 1, 2);
+        let mut sim = Sim::new(topo, NetConfig::default(), seed);
+        plan.apply(&mut sim);
+        sim.run_until(plan.horizon + SimDuration::from_secs(1));
+        assert!(sim.metrics().counter("chaos.clock_skews") >= 1);
+        assert!(sim.metrics().counter("chaos.stalls") >= 1);
+        // Everything healed by the horizon.
+        assert!(!sim.is_stalled(NodeId(0)));
+        assert_eq!(sim.local_now(NodeId(0)), sim.now());
     }
 
     struct Pinger {

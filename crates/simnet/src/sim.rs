@@ -153,6 +153,14 @@ pub struct Sim {
     /// Directed region cuts: `(from, to)` means traffic from `from` to `to`
     /// is dropped while the reverse direction still flows.
     partitions_oneway: HashSet<(u16, u16)>,
+    /// Per-node stall horizon: while `now < stalled_until[n]`, local
+    /// processing on `n` (deliveries, timers, starts) is deferred to the
+    /// horizon instead of running — a GC pause or disk stall, where work
+    /// queues up rather than being lost.
+    stalled_until: Vec<SimTime>,
+    /// Per-node clock offset in signed microseconds: what the node's local
+    /// clock reads relative to true simulation time.
+    clock_skew: Vec<i64>,
     link_faults: LinkFaults,
     rng: SmallRng,
     metrics: Metrics,
@@ -181,6 +189,8 @@ impl Sim {
             link_order: HashMap::new(),
             partitions: HashSet::new(),
             partitions_oneway: HashSet::new(),
+            stalled_until: vec![SimTime::ZERO; n],
+            clock_skew: vec![0; n],
             link_faults: LinkFaults::default(),
             rng: SmallRng::seed_from_u64(seed),
             metrics: Metrics::new(),
@@ -312,6 +322,42 @@ impl Sim {
         self.up[node.0 as usize]
     }
 
+    /// Stalls `node` until `until`: deliveries, timers, and starts targeting
+    /// it are deferred to `until` instead of running — modeling a GC pause
+    /// or a disk stall. Unlike [`Sim::crash`], nothing is dropped; the
+    /// backlog drains (in its original order) when the window ends. Extends
+    /// any stall already in effect; a `until` in the past is a no-op.
+    pub fn stall(&mut self, node: NodeId, until: SimTime) {
+        let slot = &mut self.stalled_until[node.0 as usize];
+        *slot = (*slot).max(until);
+    }
+
+    /// Returns whether `node` is currently inside a stall window.
+    pub fn is_stalled(&self, node: NodeId) -> bool {
+        self.stalled_until[node.0 as usize] > self.now
+    }
+
+    /// Skews `node`'s local clock by `offset_us` microseconds: its
+    /// [`Ctx::now`] reads true time plus the offset (clamped at zero).
+    /// Skew corrupts cross-node latency accounting — an origin stamped by a
+    /// fast clock looks slower everywhere else — without perturbing event
+    /// scheduling, which runs on true time.
+    pub fn set_clock_skew(&mut self, node: NodeId, offset_us: i64) {
+        self.clock_skew[node.0 as usize] = offset_us;
+    }
+
+    /// Removes any clock skew on `node`.
+    pub fn clear_clock_skew(&mut self, node: NodeId) {
+        self.clock_skew[node.0 as usize] = 0;
+    }
+
+    /// The local clock reading on `node`: true time plus its skew,
+    /// saturating at the epoch.
+    pub fn local_now(&self, node: NodeId) -> SimTime {
+        let off = self.clock_skew[node.0 as usize];
+        SimTime((self.now.0 as i64).saturating_add(off).max(0) as u64)
+    }
+
     /// Partitions two regions: messages between them are dropped until
     /// [`Sim::heal`] is called.
     pub fn partition(&mut self, a: RegionId, b: RegionId) {
@@ -367,6 +413,24 @@ impl Sim {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         self.events_processed += 1;
+        // A stalled node defers local processing: the event is parked at
+        // the stall horizon, not dropped. Re-pushing in pop order assigns
+        // increasing sequence numbers, so the backlog replays in its
+        // original order. Network arrivals (`Arrive`) are exempt — the NIC
+        // still accepts bytes while the process is paused.
+        let stall_target = match &ev.kind {
+            EventKind::Deliver { to, .. } => Some(*to),
+            EventKind::Timer { node, .. } | EventKind::Start { node } => Some(*node),
+            _ => None,
+        };
+        if let Some(node) = stall_target {
+            let until = self.stalled_until[node.0 as usize];
+            if until > self.now {
+                self.metrics.incr(names::STALL_DEFERRED, 1);
+                self.push(until, ev.kind);
+                return true;
+            }
+        }
         match ev.kind {
             EventKind::Arrive {
                 to,
@@ -623,9 +687,13 @@ pub struct Ctx<'a> {
 }
 
 impl Ctx<'_> {
-    /// Current simulated time.
+    /// The node's local clock reading. Equal to true simulated time unless
+    /// the node has been given a skew via [`Sim::set_clock_skew`], in which
+    /// case timestamps this actor originates (and latency computed against
+    /// foreign stamps) are off by that skew — exactly the failure class a
+    /// drifting NTP client inflicts in production.
     pub fn now(&self) -> SimTime {
-        self.sim.now
+        self.sim.local_now(self.node)
     }
 
     /// The node this actor runs on.
@@ -871,6 +939,61 @@ mod tests {
                 .count();
             assert_eq!(drops, 1, "trace {:?} missing its drop annot", root.trace);
         }
+    }
+
+    #[test]
+    fn stall_defers_without_dropping_and_preserves_order() {
+        let mut sim = two_node_sim();
+        sim.stall(NodeId(0), SimTime(50_000));
+        sim.post(SimTime(100), NodeId(1), NodeId(0), Box::new(1u64));
+        sim.post(SimTime(200), NodeId(1), NodeId(0), Box::new(2u64));
+        sim.run_until(SimTime(10_000));
+        let a: &Counter = sim.actor(NodeId(0)).unwrap();
+        assert!(a.got.is_empty(), "stalled node must not process yet");
+        assert!(sim.metrics().counter(names::STALL_DEFERRED) >= 2);
+        sim.run_until_idle();
+        let a: &Counter = sim.actor(NodeId(0)).unwrap();
+        assert_eq!(a.got, vec![(NodeId(1), 1), (NodeId(1), 2)]);
+        assert_eq!(sim.metrics().counter(names::DROPPED_TO_DOWN_NODE), 0);
+        assert!(sim.now() >= SimTime(50_000), "backlog drained at stall end");
+    }
+
+    #[test]
+    fn stall_defers_timers_unlike_crash() {
+        let topo = Topology::symmetric(1, 1, 1);
+        let mut sim = Sim::new(topo, NetConfig::default(), 7);
+        sim.schedule(SimTime(1_000), |s| {
+            s.stall(NodeId(0), SimTime(30_000));
+        });
+        struct T;
+        impl Actor for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(5), 1);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+                let now = ctx.now();
+                ctx.metrics().sample("fired_at", now.as_secs_f64());
+            }
+        }
+        sim.add_actor(NodeId(0), Box::new(T));
+        sim.run_until_idle();
+        // The 5 ms timer fired, but only once the 30 ms stall ended.
+        assert_eq!(sim.metrics().samples("fired_at"), &[0.03]);
+    }
+
+    #[test]
+    fn clock_skew_shifts_local_reads_only() {
+        let mut sim = two_node_sim();
+        sim.set_clock_skew(NodeId(0), 2_000_000);
+        sim.set_clock_skew(NodeId(1), -10_000_000);
+        sim.run_until(SimTime(1_000_000));
+        assert_eq!(sim.local_now(NodeId(0)), SimTime(3_000_000));
+        // Negative skew saturates at the epoch instead of underflowing.
+        assert_eq!(sim.local_now(NodeId(1)), SimTime::ZERO);
+        assert_eq!(sim.now(), SimTime(1_000_000), "true time unaffected");
+        sim.clear_clock_skew(NodeId(0));
+        assert_eq!(sim.local_now(NodeId(0)), sim.now());
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub mod names {
     pub const DROPPED_CHAOS: &str = "simnet.dropped_chaos";
     /// Messages delayed by injected link faults.
     pub const DELAYED_CHAOS: &str = "simnet.delayed_chaos";
+    /// Local events (deliveries, timers, starts) deferred by a node stall.
+    pub const STALL_DEFERRED: &str = "simnet.stall_deferred";
+    /// Clock-skew faults injected by a chaos plan.
+    pub const CHAOS_CLOCK_SKEWS: &str = "chaos.clock_skews";
+    /// Process-stall faults injected by a chaos plan.
+    pub const CHAOS_STALLS: &str = "chaos.stalls";
     /// Total messages accepted by the network model.
     pub const MESSAGES_SENT: &str = "simnet.messages_sent";
     /// Total bytes accepted by the network model.

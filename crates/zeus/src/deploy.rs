@@ -237,8 +237,16 @@ impl ZeusDeployment {
 
     /// Subscribes every proxy to `path` (driver-side convenience).
     pub fn subscribe_all(&self, sim: &mut Sim, path: &str) {
+        self.subscribe_cohort(sim, path, &self.proxies.clone());
+    }
+
+    /// Subscribes only `cohort` to `path`: the scoped delivery under the
+    /// canary pipeline's phase-gated blast radius — a staged artifact
+    /// reaches exactly the designated canary servers, never the rest of
+    /// the fleet, until the phase verdict promotes it.
+    pub fn subscribe_cohort(&self, sim: &mut Sim, path: &str, cohort: &[NodeId]) {
         let now = sim.now();
-        for &p in &self.proxies {
+        for &p in cohort {
             sim.post(
                 now,
                 p,
@@ -253,11 +261,21 @@ impl ZeusDeployment {
     /// Fraction of proxies whose cache holds `path` at a version ≥ the
     /// given payload check (by data equality).
     pub fn coverage(&self, sim: &Sim, path: &str, expected: &[u8]) -> f64 {
-        if self.proxies.is_empty() {
+        Self::coverage_among(sim, &self.proxies, path, expected)
+    }
+
+    /// [`coverage`] over an explicit proxy subset — the phase-gate check of
+    /// the canary pipeline (how much of *this cohort* holds the staged
+    /// bytes) and its blast-radius invariant (no proxy *outside* the
+    /// cohort ever does).
+    ///
+    /// [`coverage`]: ZeusDeployment::coverage
+    pub fn coverage_among(sim: &Sim, proxies: &[NodeId], path: &str, expected: &[u8]) -> f64 {
+        if proxies.is_empty() {
             return 0.0;
         }
         let mut have = 0usize;
-        for &p in &self.proxies {
+        for &p in proxies {
             if let Some(actor) = sim.actor::<ProxyActor>(p) {
                 if let Some(w) = actor.read(path) {
                     if &w.data[..] == expected {
@@ -266,6 +284,6 @@ impl ZeusDeployment {
                 }
             }
         }
-        have as f64 / self.proxies.len() as f64
+        have as f64 / proxies.len() as f64
     }
 }

@@ -27,7 +27,8 @@ use crate::metrics::TRUNCATED_UNCOMMITTED;
 use crate::metrics::{hops, APPEND_RETRANSMITS, COMMITS, DROPPED_PROPOSALS, LEADER_ELECTIONS};
 use crate::metrics::{LEADER_STEPDOWNS, REPROPOSED_ON_ELECTION, SYNC_REDIRECTS};
 use crate::store::ConfigStore;
-use crate::types::{batch_traces, batch_wire_size, Write, ZeusMsg, Zxid, MAX_BATCH_WRITES};
+use crate::types::{adaptive_batch_size, batch_traces, batch_wire_size, Write, ZeusMsg, Zxid};
+use crate::types::{MAX_BATCH_WRITES, MIN_LOSS_SAMPLES};
 
 /// Timer tag for the leader heartbeat. Election timers use a per-node
 /// generation counter (1, 2, 3, ...) as their tag instead of a fixed value:
@@ -65,6 +66,23 @@ impl Default for EnsembleConfig {
     }
 }
 
+/// Per-follower transmission counters feeding the loss estimate.
+///
+/// `sends` counts every (follower, write) transmission — first appends
+/// and repeats alike. `resends` counts only *second-and-later*
+/// retransmissions of a write: a write's first retransmission is as
+/// often ack round-trip lag as loss (a burst proposed just before a
+/// heartbeat tick is re-sent once even on a perfect network), so it is
+/// deliberately not counted as loss evidence. `retx_head` is the highest
+/// zxid ever retransmitted toward the follower — a write at or below it
+/// that shows up missing again has provably been retransmitted before.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkStats {
+    sends: u64,
+    resends: u64,
+    retx_head: Zxid,
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Role {
     Leader,
@@ -94,6 +112,12 @@ pub struct EnsembleActor {
     /// retransmission both read this — a write at or below a follower's
     /// cursor is acked and is never re-sent to that follower.
     peer_acked: BTreeMap<NodeId, Zxid>,
+    /// Leader-side per-follower link statistics backing the adaptive
+    /// retransmission chunk size. Kept across elections: loss is a
+    /// property of the network path, not of the epoch, and a re-elected
+    /// leader should start from warm estimates rather than re-learn a
+    /// lossy link.
+    peer_link: BTreeMap<NodeId, LinkStats>,
     /// Follower-side cumulative ack position: the longest gap-free prefix
     /// `(epoch, 1..=counter)` of the current epoch's appends held in the
     /// log. Unlike `contig` it resets at every epoch boundary (a new
@@ -142,6 +166,7 @@ impl EnsembleActor {
             committed: Zxid::ZERO,
             next_counter: 0,
             peer_acked: BTreeMap::new(),
+            peer_link: BTreeMap::new(),
             ack_upto: Zxid::ZERO,
             votes: HashSet::new(),
             heard_from_leader: true,
@@ -235,6 +260,36 @@ impl EnsembleActor {
             .values()
             .filter(|a| a.epoch == zxid.epoch && a.counter >= zxid.counter)
             .count()
+    }
+
+    /// Measured one-way frame-loss rate toward follower `f`, from the
+    /// counted repeat rate `resends / sends`. Two inversions sit between
+    /// them. A write needs a retransmission when *either* its append or
+    /// its ack was lost, so with one-way loss `p` the round-trip loss is
+    /// `q = 1 - (1-p)²`; and because a write's first retransmission is not
+    /// counted (see [`LinkStats`]), the counted repeats per write converge
+    /// to `q²/(1-q)` against `1/(1-q)` transmissions — a repeat rate of
+    /// `q²`. So `q = √rate` and `p = 1 - √(1-q)`. `None` until
+    /// [`MIN_LOSS_SAMPLES`] transmissions have been observed.
+    fn loss_estimate(&self, f: NodeId) -> Option<f64> {
+        let link = self.peer_link.get(&f).copied().unwrap_or_default();
+        if link.sends < MIN_LOSS_SAMPLES {
+            return None;
+        }
+        let repeat_rate = (link.resends as f64 / link.sends as f64).min(1.0);
+        let roundtrip = repeat_rate.sqrt();
+        Some(1.0 - (1.0 - roundtrip).sqrt())
+    }
+
+    /// The retransmission chunk size currently in effect toward follower
+    /// `f` (exposed for tests and loss-sweep diagnostics): adaptive once
+    /// the link has a trusted loss estimate, the fixed
+    /// [`MAX_BATCH_WRITES`] tuning until then.
+    pub fn retransmit_chunk_for(&self, f: NodeId) -> usize {
+        match self.loss_estimate(f) {
+            Some(p) => adaptive_batch_size(p),
+            None => MAX_BATCH_WRITES,
+        }
     }
 
     /// Walks the contiguity cursor forward through gap-free same-epoch
@@ -439,6 +494,14 @@ impl EnsembleActor {
         // contiguous by construction.
         self.contig = write.zxid;
         let size = write.wire_size();
+        // First transmission toward every follower: feeds the denominator
+        // of the per-link loss estimate.
+        let me = ctx.node();
+        for &p in &self.peers {
+            if p != me {
+                self.peer_link.entry(p).or_default().sends += 1;
+            }
+        }
         self.broadcast(ctx, &ZeusMsg::Append { write }, size);
         // A single-node ensemble commits immediately.
         self.try_commit(ctx);
@@ -535,10 +598,12 @@ impl EnsembleActor {
     }
 
     /// Targeted retransmission: for each follower, send exactly the pending
-    /// writes its cumulative ack cursor does not cover, as one
-    /// all-or-nothing `AppendBatch` frame. Followers that already acked the
-    /// whole tail get nothing. `APPEND_RETRANSMITS` counts the actually
-    /// retransmitted (follower, write) pairs.
+    /// writes its cumulative ack cursor does not cover, as all-or-nothing
+    /// `AppendBatch` frames chunked by the link's measured loss rate (see
+    /// [`adaptive_batch_size`]) — big frames on clean links, small blast
+    /// radii on lossy ones. Followers that already acked the whole tail get
+    /// nothing. `APPEND_RETRANSMITS` counts the actually retransmitted
+    /// (follower, write) pairs.
     fn retransmit_targeted(&mut self, ctx: &mut Ctx<'_>, pending: &[Write]) {
         let me = ctx.node();
         for &f in &self.peers.clone() {
@@ -552,6 +617,16 @@ impl EnsembleActor {
                 continue;
             }
             ctx.metrics().incr(APPEND_RETRANSMITS, missing.len() as u64);
+            let link = self.peer_link.entry(f).or_default();
+            link.sends += missing.len() as u64;
+            // Only second-and-later retransmissions count as loss
+            // evidence: anything at or below the retransmit head has been
+            // re-sent before and is still missing.
+            link.resends += missing.iter().filter(|w| w.zxid <= link.retx_head).count() as u64;
+            if let Some(last) = missing.last() {
+                link.retx_head = link.retx_head.max(last.zxid);
+            }
+            let chunk_size = self.retransmit_chunk_for(f);
             for w in &missing {
                 if let Some(t) = w.trace {
                     // Every retransmission is annotated (never deduped) so
@@ -563,7 +638,7 @@ impl EnsembleActor {
                     );
                 }
             }
-            for chunk in missing.chunks(MAX_BATCH_WRITES) {
+            for chunk in missing.chunks(chunk_size) {
                 ctx.send_traced_batch(
                     f,
                     batch_wire_size(chunk),

@@ -46,6 +46,7 @@
 //! assert_eq!(zeus.coverage(&sim, "app/x.json", b"{\"v\":1}"), 1.0);
 //! ```
 
+pub mod audit;
 pub mod deploy;
 pub mod ensemble;
 pub mod invariants;
@@ -56,6 +57,7 @@ pub mod pull;
 pub mod store;
 pub mod types;
 
+pub use audit::{audit_proxies, repair, CanonicalSet, DriftFinding, DriftKind};
 pub use deploy::{DeployConfig, ZeusDeployment};
 pub use ensemble::{EnsembleActor, EnsembleConfig};
 pub use invariants::{DiskCacheAvailability, MonotonicApplies, NoAckedWriteLost, ProxyConvergence};

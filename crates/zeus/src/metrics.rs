@@ -41,6 +41,21 @@ pub const PROXY_FAILOVER_EXHAUSTED: &str = "zeus.proxy_failover_exhausted";
 pub const PROXY_UPDATES: &str = "zeus.proxy_updates";
 /// Driver writes that found no reachable leader.
 pub const WRITES_UNROUTABLE: &str = "zeus.writes_unroutable";
+/// Proxy cache entries dropped and re-fetched from scratch on a
+/// [`crate::proxy::ProxyCmd::Resync`] (the audit's repair verb).
+pub const PROXY_RESYNCS: &str = "zeus.proxy_resyncs";
+
+/// Drift-audit sweep results (the `repro audit` fingerprint pass).
+pub mod audit {
+    /// Proxy cache entries missing a path they subscribe to.
+    pub const DRIFT_MISSING: &str = "audit.drift_missing";
+    /// Proxy cache entries behind the canonical zxid.
+    pub const DRIFT_STALE: &str = "audit.drift_stale";
+    /// Proxy cache entries at the canonical zxid with wrong bytes.
+    pub const DRIFT_CORRUPT: &str = "audit.drift_corrupt";
+    /// Targeted resyncs issued to repair detected drift.
+    pub const REPAIRS: &str = "audit.repairs";
+}
 
 /// Pull-based distribution (the §4 push-vs-pull comparison).
 pub mod pull {

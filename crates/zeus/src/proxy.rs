@@ -14,6 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use bytes::Bytes;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
@@ -68,6 +69,35 @@ impl DiskCache {
     pub fn entries(&self) -> impl Iterator<Item = &Write> {
         self.entries.values()
     }
+
+    /// Fault-seeding hook: flips the cached bytes for `path` while keeping
+    /// the zxid. This is the drift class the subscription protocol can
+    /// never repair on its own — anti-entropy re-subscribes with the cached
+    /// version, the observer sees nothing newer, and the corruption sits
+    /// there forever. Only the audit's byte-level fingerprint catches it.
+    /// Returns whether an entry existed to corrupt.
+    pub fn seed_corruption(&mut self, path: &str, data: Bytes) -> bool {
+        match self.entries.get_mut(path) {
+            Some(w) => {
+                w.data = data;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fault-seeding hook: drops the entry for `path` entirely (a lost or
+    /// truncated cache file). Returns whether an entry existed.
+    pub fn seed_missing(&mut self, path: &str) -> bool {
+        self.entries.remove(path).is_some()
+    }
+
+    /// Fault-seeding hook: force-installs `write` even if older than the
+    /// cached entry, bypassing the newest-wins rule of [`DiskCache::put`]
+    /// (models a cache rolled back to stale bytes by a bad restore).
+    pub fn seed_stale(&mut self, write: Write) {
+        self.entries.insert(write.path.clone(), write);
+    }
 }
 
 /// Local commands posted to a proxy by the application/driver layer.
@@ -76,6 +106,18 @@ pub enum ProxyCmd {
     /// Subscribe to a config path on behalf of a local application.
     Subscribe {
         /// The config path.
+        path: String,
+    },
+    /// Discard the cached entry for `path` and re-fetch from scratch.
+    ///
+    /// The repair verb of the drift audit: a corrupted entry still carries
+    /// the *current* zxid, so the regular anti-entropy re-subscribe
+    /// (`Subscribe { have: cached }`) gets no reply — the observer only
+    /// answers with newer versions. Resync drops the poisoned entry and
+    /// subscribes with `have = 0`, forcing a full re-send of canonical
+    /// bytes.
+    Resync {
+        /// The config path to re-fetch.
         path: String,
     },
 }
@@ -135,6 +177,12 @@ impl ProxyActor {
         &self.cache
     }
 
+    /// Mutable cache access for fault seeding (audit experiments corrupt,
+    /// drop, or roll back entries through the `seed_*` hooks).
+    pub fn disk_cache_mut(&mut self) -> &mut DiskCache {
+        &mut self.cache
+    }
+
     /// Reads a config as the application client library would: through the
     /// proxy's cache.
     pub fn read(&self, path: &str) -> Option<&Write> {
@@ -144,6 +192,12 @@ impl ProxyActor {
     /// The observer this proxy is currently connected to.
     pub fn connected_observer(&self) -> Option<NodeId> {
         self.current
+    }
+
+    /// The paths this proxy subscribes to (the audit only fingerprints
+    /// entries the proxy is supposed to hold).
+    pub fn subscriptions(&self) -> impl Iterator<Item = &str> {
+        self.subscriptions.iter().map(String::as_str)
     }
 
     /// The delay before the next healthcheck (grows under repeated
@@ -237,6 +291,21 @@ impl Actor for ProxyActor {
                                 obs,
                                 (path.len() + 64) as u64,
                                 ZeusMsg::Subscribe { path, have },
+                            );
+                        }
+                    }
+                    ProxyCmd::Resync { path } => {
+                        self.cache.seed_missing(&path);
+                        self.subscriptions.insert(path.clone());
+                        ctx.metrics().incr(crate::metrics::PROXY_RESYNCS, 1);
+                        if let Some(obs) = self.current {
+                            ctx.send_value(
+                                obs,
+                                (path.len() + 64) as u64,
+                                ZeusMsg::Subscribe {
+                                    path,
+                                    have: Zxid::ZERO,
+                                },
                             );
                         }
                     }

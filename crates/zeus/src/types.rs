@@ -65,7 +65,9 @@ impl Write {
     }
 }
 
-/// Maximum writes per batched frame. Batches are all-or-nothing, so an
+/// Default writes per batched frame, used wherever no per-link loss
+/// estimate exists (observer pushes, and retransmission before enough
+/// transmissions have been observed). Batches are all-or-nothing, so an
 /// unbounded frame turns one drop into a silent loss of the whole tail —
 /// the receiver sees *nothing* and cannot even detect a gap until the next
 /// anti-entropy tick. Chunking bounds that blast radius: under loss, most
@@ -76,6 +78,36 @@ impl Write {
 /// byte reduction (headers are small next to payloads — the savings come
 /// from targeting) but measurably fatten the delivery tail.
 pub const MAX_BATCH_WRITES: usize = 4;
+
+/// Ceiling for the adaptive retransmission chunk size on links measured
+/// to be clean. Headers are 64 bytes against kilobyte payloads, so going
+/// past this buys nothing measurable while widening the all-or-nothing
+/// blast radius if the estimate is stale.
+pub const MAX_ADAPTIVE_BATCH_WRITES: usize = 16;
+
+/// Transmissions observed toward a follower before its loss estimate is
+/// trusted. Below this the retransmission path chunks at
+/// [`MAX_BATCH_WRITES`], the fixed tuning the sweep validated.
+pub const MIN_LOSS_SAMPLES: u64 = 16;
+
+/// Retransmission chunk size for a link with measured frame-loss rate
+/// `loss`, as a fraction in `[0, 1]`.
+///
+/// A frame of `k` writes is all-or-nothing; at loss rate `p` the expected
+/// writes lost to one dropped frame is `k·p`. Holding that blast radius
+/// constant at ~half a write per frame gives `k = 0.5 / p`: clean links
+/// (`p → 0`) amortize headers across up to [`MAX_ADAPTIVE_BATCH_WRITES`]
+/// writes, while at the losssweep's 30% worst case the chunk shrinks to 2
+/// so a drop costs at most two writes' worth of tail. At `p = 12.5%` this
+/// reproduces the fixed [`MAX_BATCH_WRITES`] = 4 the sweep originally
+/// tuned.
+pub fn adaptive_batch_size(loss: f64) -> usize {
+    if loss <= 0.0 {
+        return MAX_ADAPTIVE_BATCH_WRITES;
+    }
+    let k = (0.5 / loss).ceil() as usize;
+    k.clamp(1, MAX_ADAPTIVE_BATCH_WRITES)
+}
 
 /// Approximate wire size of a frame carrying `writes` plus a fixed header.
 /// One batched frame costs one header; the per-write overhead is already
@@ -257,6 +289,20 @@ mod tests {
             trace: None,
         };
         assert_eq!(w.wire_size(), 3 + 1000 + 64);
+    }
+
+    #[test]
+    fn adaptive_batch_size_tracks_loss() {
+        // Clean link: amortize headers up to the ceiling.
+        assert_eq!(adaptive_batch_size(0.0), MAX_ADAPTIVE_BATCH_WRITES);
+        assert_eq!(adaptive_batch_size(0.01), MAX_ADAPTIVE_BATCH_WRITES);
+        // The fixed tuning's operating point.
+        assert_eq!(adaptive_batch_size(0.125), MAX_BATCH_WRITES);
+        // losssweep worst case: small frames, small blast radius.
+        assert_eq!(adaptive_batch_size(0.30), 2);
+        // Pathological loss still sends one write at a time, never zero.
+        assert_eq!(adaptive_batch_size(0.99), 1);
+        assert_eq!(adaptive_batch_size(1.0), 1);
     }
 
     #[test]

@@ -865,3 +865,49 @@ fn acked_write_is_never_retransmitted_to_that_follower() {
     assert!(sim.metrics().counter("zeus.commits") >= 1);
     assert_eq!(zeus.coverage(&sim, "cfg/ackreg", b"v1"), 1.0);
 }
+
+#[test]
+fn retransmit_chunk_adapts_to_measured_loss() {
+    // Clean network: after enough appends the loss estimate settles at
+    // zero and the retransmission chunk grows past the fixed default.
+    let (mut sim, zeus) = deployment(31, vec![]);
+    let t = sim.now();
+    for i in 0..30u32 {
+        zeus.write_at(&mut sim, t, &format!("cfg/clean{i}"), &b"v"[..]);
+    }
+    sim.run_for(SimDuration::from_secs(3));
+    let leader = max_epoch_leader(&sim, &zeus.ensemble);
+    let a: &EnsembleActor = sim.actor(leader).unwrap();
+    for &f in zeus.ensemble.iter().filter(|&&n| n != leader) {
+        assert!(
+            a.retransmit_chunk_for(f) > zeus::types::MAX_BATCH_WRITES,
+            "clean link should amortize past the fixed chunk"
+        );
+    }
+
+    // Lossy network: the same workload drives the estimate up and the
+    // chunk below the fixed default, bounding the all-or-nothing blast
+    // radius per frame.
+    let (mut sim, zeus) = deployment(32, vec![]);
+    sim.set_link_faults(LinkFaults {
+        drop_prob: 0.4,
+        ..LinkFaults::default()
+    });
+    let t = sim.now();
+    for i in 0..30u32 {
+        zeus.write_at(&mut sim, t, &format!("cfg/lossy{i}"), &b"v"[..]);
+    }
+    sim.run_for(SimDuration::from_secs(6));
+    let leader = max_epoch_leader(&sim, &zeus.ensemble);
+    let a: &EnsembleActor = sim.actor(leader).unwrap();
+    let adapted = zeus
+        .ensemble
+        .iter()
+        .filter(|&&n| n != leader)
+        .filter(|&&f| a.retransmit_chunk_for(f) < zeus::types::MAX_BATCH_WRITES)
+        .count();
+    assert!(
+        adapted > 0,
+        "40% drop must shrink the retransmission chunk on some link"
+    );
+}

@@ -35,6 +35,23 @@ cargo run -q --release -p bench --bin repro -- laser \
     | diff -u "scripts/goldens/laser_seed1.txt" - \
     || { echo "laser report diverged from golden"; exit 1; }
 
+echo "== canary rollout gate (seed 1)"
+# The rollout pipeline runs under chaos with injected-bad commits and
+# seeded cache drift; the report carries its own acceptance gates
+# (containment, convergence, drift repair) and must end "overall: PASS"
+# byte-identically. Regenerate intentional changes with
+# scripts/update_goldens.sh and review the diff — especially the gates.
+cargo run -q --release -p bench --bin repro -- canary \
+    | diff -u "scripts/goldens/canary_seed1.txt" - \
+    || { echo "canary report diverged from golden"; exit 1; }
+
+echo "== drift audit gate (seed 1)"
+# The auditor must detect exactly the seeded fault set (no misses, no
+# false positives) and leave a clean fleet; the report gates on both.
+cargo run -q --release -p bench --bin repro -- audit \
+    | diff -u "scripts/goldens/audit_seed1.txt" - \
+    || { echo "audit report diverged from golden"; exit 1; }
+
 echo "== compile pipeline gate (golden + speedups)"
 # `repro compile` prints a deterministic report (candidate/compiled/skipped
 # counts, cache hit rates, ripple/skip/byte-identity gates, counters-only

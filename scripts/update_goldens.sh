@@ -15,6 +15,12 @@ done
 cargo run -q --release -p bench --bin repro -- laser \
     > "scripts/goldens/laser_seed1.txt"
 echo "wrote scripts/goldens/laser_seed1.txt"
+cargo run -q --release -p bench --bin repro -- canary \
+    > "scripts/goldens/canary_seed1.txt"
+echo "wrote scripts/goldens/canary_seed1.txt"
+cargo run -q --release -p bench --bin repro -- audit \
+    > "scripts/goldens/audit_seed1.txt"
+echo "wrote scripts/goldens/audit_seed1.txt"
 cargo run -q --release -p bench --bin repro -- compile \
     > "scripts/goldens/compile.txt"
 echo "wrote scripts/goldens/compile.txt"
