@@ -21,6 +21,15 @@
 //! repro compile [--full]     # parallel + incremental compile pipeline
 //!                            # (deterministic report on stdout, timings on
 //!                            # stderr)
+//! repro perf [--check]       # simnet self-profiler benchmark: events/sec
+//!                            # at three fleet sizes, hot-actor tables,
+//!                            # folded stacks; writes BENCH_simnet.json.
+//!                            # --check prints only virtual-time fields
+//!                            # (byte-deterministic, golden-gated)
+//! repro health [--seed <n>]  # ODS fleet health plane: per-tier rollups +
+//!                            # multi-window SLO burn rates under chaos
+//! repro storm [--seed <n>]   # observer mass-restart reconnect storm under
+//!                            # decorrelated-jitter backoff
 //! ```
 //!
 //! `--full` uses the larger scale quoted in `EXPERIMENTS.md`; the default
@@ -89,6 +98,22 @@ fn main() {
         Some("audit") => {
             banner("audit");
             println!("{}", bench::audit_exp::report(seed.unwrap_or(1)));
+            return;
+        }
+        Some("perf") => {
+            let check = args.iter().any(|a| a == "--check");
+            banner("perf");
+            println!("{}", bench::perf_exp::perf(check));
+            return;
+        }
+        Some("health") => {
+            banner("health");
+            println!("{}", bench::health_exp::report(seed.unwrap_or(1)));
+            return;
+        }
+        Some("storm") => {
+            banner("storm");
+            println!("{}", bench::storm_exp::report(seed.unwrap_or(1)));
             return;
         }
         Some("trace") => {

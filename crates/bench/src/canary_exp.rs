@@ -26,6 +26,7 @@
 //! always leave a revert in gitstore history; good commits fully converge
 //! despite the chaos.
 
+use configerator::metrics::health;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
@@ -100,11 +101,11 @@ fn artifact_of(i: usize) -> Bytes {
 fn spec() -> RolloutSpec {
     let predicates = vec![
         HealthPredicate::MaxRelativeIncrease {
-            metric: "error_rate".into(),
+            metric: health::ERROR_RATE.into(),
             limit: 0.25,
         },
         HealthPredicate::MaxRelativeIncrease {
-            metric: "latency_ms".into(),
+            metric: health::LATENCY_MS.into(),
             limit: 0.25,
         },
     ];
@@ -143,7 +144,7 @@ fn noise(seed: u64, node: u32, at_us: u64, salt: u64) -> f64 {
 /// runs an injected-bad config (error rate +0.05, latency +80ms).
 fn sample(metric: &str, bad: bool, seed: u64, node: u32, at_us: u64) -> f64 {
     match metric {
-        "error_rate" => {
+        m if m == health::ERROR_RATE => {
             0.01 * (1.0 + 0.02 * noise(seed, node, at_us, 1)) + if bad { 0.05 } else { 0.0 }
         }
         _ => 100.0 * (1.0 + 0.02 * noise(seed, node, at_us, 2)) + if bad { 80.0 } else { 0.0 },
@@ -478,7 +479,7 @@ fn run_impl(cfg: RunConfig) -> (RunOutcome, Sim) {
                         continue;
                     }
                     let bad = f.bad_payloads.contains(&active.staged);
-                    for m in ["error_rate", "latency_ms"] {
+                    for m in [health::ERROR_RATE, health::LATENCY_MS] {
                         active
                             .rollout
                             .record_canary(m, sample(m, bad, seed, p.0, now_us));
@@ -488,7 +489,7 @@ fn run_impl(cfg: RunConfig) -> (RunOutcome, Sim) {
                     if !s.is_up(p) {
                         continue;
                     }
-                    for m in ["error_rate", "latency_ms"] {
+                    for m in [health::ERROR_RATE, health::LATENCY_MS] {
                         active
                             .rollout
                             .record_control(m, sample(m, false, seed, p.0, now_us));

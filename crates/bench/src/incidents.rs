@@ -10,6 +10,7 @@
 //! catches what, including the two configurations the paper contrasts
 //! (canary with and without the cluster phase).
 
+use configerator::metrics::health;
 use std::collections::BTreeMap;
 
 use configerator::canary::{CanaryService, CanarySpec, SyntheticFleet};
@@ -131,7 +132,7 @@ pub fn run(n: usize, with_cluster_phase: bool) -> BTreeMap<(IncidentType, Caught
                 (
                     "schema \"schemas/job.schema\"\nexport_if_last(Job { cluster: \"c1\", mode: \"rare_path\" })".into(),
                     Box::new(|cfg: &str, metric: &str, frac: f64| {
-                        if metric == "latency_ms" && cfg.contains("rare_path") && frac > 0.05 {
+                        if metric == health::LATENCY_MS && cfg.contains("rare_path") && frac > 0.05 {
                             900.0 * frac
                         } else {
                             0.0
@@ -146,7 +147,7 @@ pub fn run(n: usize, with_cluster_phase: bool) -> BTreeMap<(IncidentType, Caught
                 (
                     "schema \"schemas/job.schema\"\nexport_if_last(Job { cluster: \"c1\", mode: \"new_path\" })".into(),
                     Box::new(|cfg: &str, metric: &str, _| {
-                        if metric == "error_rate" && cfg.contains("new_path") {
+                        if metric == health::ERROR_RATE && cfg.contains("new_path") {
                             0.02
                         } else {
                             0.0

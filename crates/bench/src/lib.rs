@@ -12,11 +12,14 @@ pub mod compile_exp;
 pub mod distribution;
 pub mod fig13;
 pub mod gatekeeper_exp;
+pub mod health_exp;
 pub mod incidents;
 pub mod laser_exp;
 pub mod loss_exp;
 pub mod mobile;
+pub mod perf_exp;
 pub mod stats_figs;
+pub mod storm_exp;
 pub mod trace_exp;
 
 /// Scale presets for experiments.
@@ -98,6 +101,9 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "losssweep" => loss_exp::losssweep(1),
         "laser" => laser_exp::laser(1),
         "compile" => compile_exp::compile(s),
+        "perf" => perf_exp::perf(false),
+        "health" => health_exp::report(1),
+        "storm" => storm_exp::report(1),
         _ => return None,
     })
 }
@@ -133,4 +139,7 @@ pub const ALL: &[&str] = &[
     "losssweep",
     "laser",
     "compile",
+    "perf",
+    "health",
+    "storm",
 ];

@@ -1,0 +1,343 @@
+//! `repro perf`: the simnet self-profiler benchmark.
+//!
+//! Replays a `crates/workload`-calibrated mixed scenario (Zeus consensus +
+//! observer fan-out + proxy tree, plus a MobileConfig pull leg, with write
+//! arrivals paced by the paper's diurnal commit-rate model) at three fleet
+//! sizes, with the engine's self-profiler enabled. The live report prints
+//! events/sec, the hot-actor table, per-subsystem wall-time shares, and
+//! flamegraph-compatible folded stacks, and writes `BENCH_simnet.json` to
+//! seed the ROADMAP's perf trajectory ("fast enough for 100k servers"
+//! starts with knowing where time goes today).
+//!
+//! Wall-clock numbers are machine-dependent, so they go to the live report
+//! and the JSON only. `perf --check` prints the *virtual* profile — event
+//! counts, message bytes, queue depths — which replays byte-identically
+//! per seed and is what `scripts/check.sh` golden-gates (and diffs across
+//! two runs to prove profiler determinism).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bytes::Bytes;
+use simnet::prelude::*;
+use workload::commits::CommitProcess;
+use zeus::deploy::{DeployConfig, ZeusDeployment};
+use zeus::pull::{PullClientActor, PullMsg, PullServerActor};
+
+/// Config paths the workload writes and every proxy subscribes to.
+const PATHS: usize = 4;
+/// Events/sec floor enforced on stderr by `scripts/check.sh`. Debug builds
+/// and loaded CI machines are ~20-50x slower than a quiet release run, so
+/// this is set far below the measured baseline (see EXPERIMENTS.md) —
+/// it exists to catch order-of-magnitude regressions, not noise.
+const EVENTS_PER_SEC_FLOOR: f64 = 100_000.0;
+/// Seed for every fleet run (the profile must replay deterministically).
+const SEED: u64 = 1;
+
+/// The three fleet sizes of the trajectory benchmark.
+const FLEETS: &[(&str, usize, usize, usize)] = &[
+    ("small", 2, 2, 8),
+    ("medium", 3, 2, 16),
+    ("large", 3, 4, 25),
+];
+
+struct FleetRun {
+    name: &'static str,
+    nodes: usize,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    queue_peak: usize,
+    queue_mean: f64,
+    bytes_sent: u64,
+    shares: Vec<(&'static str, f64)>,
+    hot_table: String,
+    busy_table: String,
+    folded_virtual: String,
+    folded_wall: String,
+}
+
+/// Builds the mixed scenario on `sim` and returns the horizon to run to.
+///
+/// Write arrivals follow the paper's commit-rate model: one simulated
+/// second per modeled hour, with each hour's commit count drawn from
+/// [`CommitProcess::hourly_series`] and scaled down to keep the replay
+/// tractable. The mix exercises consensus appends, observer fan-out, proxy
+/// notifies, and a stateless pull server polled by mobile-style clients.
+fn build_scenario(sim: &mut Sim) -> SimTime {
+    let cfg = DeployConfig {
+        subscriptions: (0..PATHS).map(|i| format!("perf/{i}")).collect(),
+        ..DeployConfig::default()
+    };
+    let zeus = ZeusDeployment::install(sim, &cfg);
+
+    // Carve the MobileConfig pull leg out of the proxy pool: one stateless
+    // server, four polling clients.
+    let pull_server = *zeus.proxies.last().expect("proxy pool nonempty");
+    sim.add_actor(pull_server, Box::new(PullServerActor::new()));
+    let pull_paths: Vec<String> = (0..PATHS).map(|i| format!("perf/{i}")).collect();
+    for &c in zeus.proxies.iter().rev().skip(1).take(4) {
+        sim.add_actor(
+            c,
+            Box::new(PullClientActor::new(
+                pull_server,
+                SimDuration::from_secs(2),
+                pull_paths.clone(),
+            )),
+        );
+    }
+
+    // One modeled hour compresses to one simulated second; a day's diurnal
+    // commit curve becomes a 24s replay. Scale each hour's commit count to
+    // at most 12 writes/s so the large fleet finishes promptly.
+    let hours = CommitProcess::default().hourly_series(1, SEED);
+    let scale = 12.0 / hours.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let mut seq = 0u64;
+    for (h, &commits) in hours.iter().enumerate() {
+        let window_start = 1_000_000 + h as u64 * 1_000_000;
+        let n = ((commits as f64 * scale).round() as u64).max(1);
+        for k in 0..n {
+            let at = SimTime(window_start + k * (1_000_000 / n));
+            let path = format!("perf/{}", seq as usize % PATHS);
+            let data = Bytes::from(format!("v{seq}"));
+            zeus.write_current(sim, at, &path, data.clone());
+            // Mirror the write into the pull server so the polling leg
+            // carries real deltas.
+            sim.post(
+                at,
+                pull_server,
+                pull_server,
+                Box::new(PullMsg::Set {
+                    path,
+                    data,
+                    origin: at,
+                }),
+            );
+            seq += 1;
+        }
+    }
+    SimTime(1_000_000 + hours.len() as u64 * 1_000_000 + 5_000_000)
+}
+
+fn run_fleet(name: &'static str, regions: usize, clusters: usize, servers: usize) -> FleetRun {
+    let topo = Topology::symmetric(regions, clusters, servers);
+    let nodes = topo.num_nodes();
+    let mut sim = Sim::new(topo, NetConfig::datacenter(), SEED);
+    sim.enable_profiler();
+    let horizon = build_scenario(&mut sim);
+    let start = Instant::now();
+    sim.run_until(horizon);
+    let wall = start.elapsed();
+    let events = sim.events_processed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let p = sim.profiler();
+    FleetRun {
+        name,
+        nodes,
+        events,
+        wall_ms,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        queue_peak: p.queue_peak(),
+        queue_mean: p.queue_mean(),
+        bytes_sent: sim.metrics().counter(simnet::stats::names::BYTES_SENT),
+        shares: p.subsystem_wall_shares(),
+        hot_table: p.render_hot_actors(5, true),
+        busy_table: p.render_hot_actors(5, false),
+        folded_virtual: p.folded_stacks(false),
+        folded_wall: p.folded_stacks(true),
+    }
+}
+
+fn render_json(runs: &[FleetRun]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"simnet_events_per_sec\",\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let shares: Vec<String> = r
+            .shares
+            .iter()
+            .map(|(k, s)| format!("      \"{k}\": {s:.4}"))
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\n      \"fleet\": \"{}\",\n      \"nodes\": {},\n      \"events\": {},\n      \"events_per_sec\": {:.1},\n      \"wall_ms\": {:.2},\n      \"peak_queue_depth\": {},\n      \"mean_queue_depth\": {:.2},\n      \"subsystem_wall_shares\": {{\n{}\n      }}\n    }}",
+            r.name,
+            r.nodes,
+            r.events,
+            r.events_per_sec,
+            r.wall_ms,
+            r.queue_peak,
+            r.queue_mean,
+            shares.join(",\n")
+        );
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates the written JSON against the trajectory schema by parsing it
+/// back: top-level `benchmark` + `runs`, and every run carrying the five
+/// required numeric fields plus the shares map. Returns an error string on
+/// the first violation.
+fn validate_json(text: &str) -> Result<(), String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("unparseable: {e:?}"))?;
+    let obj = v.as_object().ok_or("top level is not an object")?;
+    match obj.get("benchmark").and_then(|b| b.as_str()) {
+        Some("simnet_events_per_sec") => {}
+        _ => return Err("benchmark name missing or wrong".into()),
+    }
+    let runs = obj
+        .get("runs")
+        .and_then(|r| r.as_array())
+        .ok_or("runs is not an array")?;
+    if runs.len() < 3 {
+        return Err(format!("need >= 3 fleet sizes, got {}", runs.len()));
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let run = run.as_object().ok_or(format!("run {i} not an object"))?;
+        run.get("fleet")
+            .and_then(|f| f.as_str())
+            .ok_or(format!("run {i} missing fleet"))?;
+        for field in [
+            "nodes",
+            "events",
+            "events_per_sec",
+            "wall_ms",
+            "peak_queue_depth",
+            "mean_queue_depth",
+        ] {
+            let x = run
+                .get(field)
+                .and_then(|n| n.as_f64())
+                .ok_or(format!("run {i} missing numeric {field}"))?;
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!("run {i} field {field} not a finite non-negative"));
+            }
+        }
+        let shares = run
+            .get("subsystem_wall_shares")
+            .and_then(|s| s.as_object())
+            .ok_or(format!("run {i} missing subsystem_wall_shares"))?;
+        if shares.is_empty() {
+            return Err(format!("run {i} has no subsystem shares"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the benchmark. With `check` set, prints only the deterministic
+/// virtual profile (golden-gated, byte-identical across runs); otherwise
+/// prints the live wall-time report, writes `BENCH_simnet.json`, and emits
+/// the schema + throughput gates on stderr.
+pub fn perf(check: bool) -> String {
+    let mut out = String::new();
+    let runs: Vec<FleetRun> = FLEETS
+        .iter()
+        .map(|&(name, r, c, s)| run_fleet(name, r, c, s))
+        .collect();
+
+    if check {
+        let _ = writeln!(
+            out,
+            "simnet perf profile — virtual (deterministic) fields only\n\
+             (event counts, bytes, queue depths; wall time excluded)\n"
+        );
+        for r in &runs {
+            let _ = writeln!(
+                out,
+                "fleet={} nodes={} events={} bytes_sent={} peak_queue={} mean_queue={:.2}",
+                r.name, r.nodes, r.events, r.bytes_sent, r.queue_peak, r.queue_mean
+            );
+            let _ = writeln!(out, "busiest actors (by events):\n{}", r.busy_table);
+        }
+        let last = runs.last().expect("fleets nonempty");
+        let _ = writeln!(
+            out,
+            "folded stacks, largest fleet (event counts):\n{}",
+            last.folded_virtual
+        );
+        return out;
+    }
+
+    let _ = writeln!(
+        out,
+        "simnet self-profiler benchmark — workload-calibrated mixed scenario\n\
+         (zeus ensemble + observers + proxies + mobile pull leg; write\n\
+         arrivals follow the diurnal commit-rate model, 1 modeled hour = 1s)\n"
+    );
+    for r in &runs {
+        let _ = writeln!(
+            out,
+            "fleet={} nodes={} events={} wall_ms={:.1} events/sec={:.0} peak_queue={} mean_queue={:.2}",
+            r.name, r.nodes, r.events, r.wall_ms, r.events_per_sec, r.queue_peak, r.queue_mean
+        );
+        let _ = writeln!(out, "hot actors (by wall time):\n{}", r.hot_table);
+        let shares: Vec<String> = r
+            .shares
+            .iter()
+            .map(|(k, s)| format!("{k}={:.1}%", s * 100.0))
+            .collect();
+        let _ = writeln!(out, "subsystem wall-time shares: {}\n", shares.join(" "));
+    }
+    let last = runs.last().expect("fleets nonempty");
+    let _ = writeln!(
+        out,
+        "folded stacks, largest fleet (wall ns; flamegraph.pl-compatible):\n{}",
+        last.folded_wall
+    );
+
+    let json = render_json(&runs);
+    match std::fs::write("BENCH_simnet.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_simnet.json"),
+        Err(e) => eprintln!("perf: failed to write BENCH_simnet.json: {e}"),
+    }
+    match validate_json(&json) {
+        Ok(()) => eprintln!("perf schema: OK"),
+        Err(e) => eprintln!("perf schema: FAIL ({e})"),
+    }
+    let worst = runs
+        .iter()
+        .map(|r| r.events_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    if worst >= EVENTS_PER_SEC_FLOOR {
+        eprintln!(
+            "perf throughput gate: PASS (slowest fleet {worst:.0} events/s >= floor {EVENTS_PER_SEC_FLOOR:.0})"
+        );
+    } else {
+        eprintln!(
+            "perf throughput gate: FAIL (slowest fleet {worst:.0} events/s < floor {EVENTS_PER_SEC_FLOOR:.0})"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_mode_is_deterministic() {
+        let a = perf(true);
+        let b = perf(true);
+        assert_eq!(a, b, "perf --check output must be byte-identical");
+        assert!(a.contains("fleet=small"));
+        assert!(a.contains("sim;zeus.ensemble;deliver"));
+    }
+
+    #[test]
+    fn json_schema_round_trips() {
+        let runs: Vec<FleetRun> = FLEETS
+            .iter()
+            .take(3)
+            .map(|&(name, r, c, s)| run_fleet(name, r, c, s))
+            .collect();
+        let json = render_json(&runs);
+        validate_json(&json).expect("schema-valid");
+    }
+
+    #[test]
+    fn validate_rejects_missing_fields() {
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("{\"benchmark\": \"simnet_events_per_sec\", \"runs\": []}").is_err());
+    }
+}

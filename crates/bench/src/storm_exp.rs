@@ -1,0 +1,170 @@
+//! `repro storm`: reconnection storm after a mass observer restart.
+//!
+//! The paper calls out correlated restarts as the scariest load pattern for
+//! the distribution tier: when every observer in the fleet bounces at once
+//! (a bad push, a kernel upgrade wave), every proxy loses its feed
+//! simultaneously and the reconnect herd can overwhelm the observers that
+//! come back first. The proxies' decorrelated-jitter backoff
+//! (`uniform(base, 3×prev)`, capped) is what spreads that herd out.
+//!
+//! This experiment warms a full Zeus tree, crashes *every* observer at a
+//! fixed instant, restarts them shortly after, and reads the reconnect
+//! attempts off the ODS plane (`proxy/reconnects` raw points) to report the
+//! rate-over-time shape: per-bucket attempt counts, the peak bucket, and
+//! how long after the restart the storm takes to settle. All numbers are
+//! virtual-time only, so the report is byte-deterministic per seed and
+//! golden-gated.
+
+use std::fmt::Write as _;
+
+use bytes::Bytes;
+use simnet::ods::{series, tiers};
+use simnet::prelude::*;
+use zeus::deploy::{DeployConfig, ZeusDeployment};
+
+/// Paths the warm-up workload cycles through.
+const PATHS: usize = 3;
+/// Histogram bucket width for the reconnect-rate shape.
+const BUCKET_US: u64 = 500_000;
+/// When every observer crashes.
+const CRASH_US: u64 = 6_000_000;
+/// When they all come back (the mass restart completes).
+const RESTART_US: u64 = 7_500_000;
+/// End of the observation window — long enough for capped backoff
+/// (8s max) to drain fully.
+const HORIZON_US: u64 = 32_000_000;
+
+fn bar(n: u64) -> String {
+    "#".repeat(n.min(60) as usize)
+}
+
+fn run_seed(seed: u64, out: &mut String) {
+    let topo = Topology::symmetric(3, 2, 8);
+    let mut sim = Sim::new(topo, NetConfig::datacenter(), seed);
+    // The plane only collects; we never scrape, so raw points are retained
+    // for the whole run and bucketed below.
+    sim.enable_ods(SimDuration::from_secs(5), SimDuration::from_secs(60));
+
+    let zeus = ZeusDeployment::install(
+        &mut sim,
+        &DeployConfig {
+            subscriptions: (0..PATHS).map(|i| format!("storm/{i}")).collect(),
+            ..DeployConfig::default()
+        },
+    );
+    let observers = zeus.observers.clone();
+    let proxies = zeus.proxies.len();
+
+    // Warm-up + steady-state writes so proxies hold live subscriptions
+    // through the storm.
+    let mut at = 1_000_000u64;
+    let mut seq = 0u64;
+    while at < HORIZON_US - 2_000_000 {
+        let path = format!("storm/{}", seq as usize % PATHS);
+        zeus.write_current(&mut sim, SimTime(at), &path, Bytes::from(format!("v{seq}")));
+        at += 400_000;
+        seq += 1;
+    }
+
+    // The mass restart: every observer down at once, all back together.
+    for &o in &observers {
+        sim.schedule(SimTime(CRASH_US), move |s| s.crash(o));
+        sim.schedule(SimTime(RESTART_US), move |s| s.recover(o));
+    }
+
+    sim.run_until(SimTime(HORIZON_US));
+
+    let points = sim.ods().points(tiers::PROXY, series::RECONNECTS);
+    let storm: Vec<&(SimTime, f64)> = points
+        .iter()
+        .filter(|(t, _)| t.as_micros() >= CRASH_US)
+        .collect();
+    let total: u64 = storm.iter().map(|(_, v)| *v as u64).sum();
+    let buckets = ((HORIZON_US - CRASH_US) / BUCKET_US) as usize;
+    let mut hist = vec![0u64; buckets];
+    for (t, v) in &storm {
+        let b = ((t.as_micros() - CRASH_US) / BUCKET_US) as usize;
+        if b < buckets {
+            hist[b] += *v as u64;
+        }
+    }
+    let peak = hist.iter().copied().max().unwrap_or(0);
+    let peak_at = hist.iter().position(|&v| v == peak).unwrap_or(0);
+    let settle_us = storm
+        .last()
+        .map(|(t, _)| t.as_micros().saturating_sub(RESTART_US))
+        .unwrap_or(0);
+
+    let _ = writeln!(
+        out,
+        "seed {seed}: {} observers restarted at {:.1}s (down from {:.1}s), {} proxies reconnecting",
+        observers.len(),
+        RESTART_US as f64 / 1e6,
+        CRASH_US as f64 / 1e6,
+        proxies
+    );
+    let _ = writeln!(
+        out,
+        "  reconnect attempts after crash: {total} | peak bucket: {peak} attempts at t+{:.1}s | settled {:.1}s after restart",
+        (peak_at as u64 * BUCKET_US) as f64 / 1e6,
+        settle_us as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "  rate over time ({:.1}s buckets from crash):",
+        BUCKET_US as f64 / 1e6
+    );
+    for (i, &n) in hist.iter().enumerate() {
+        // Compress the long settled tail: stop after the last active bucket.
+        if hist[i..].iter().all(|&v| v == 0) {
+            let _ = writeln!(
+                out,
+                "    (quiet through {:.1}s)",
+                (HORIZON_US - CRASH_US) as f64 / 1e6
+            );
+            break;
+        }
+        let _ = writeln!(
+            out,
+            "    t+{:>4.1}s {:>4}{}{}",
+            (i as u64 * BUCKET_US) as f64 / 1e6,
+            n,
+            if n > 0 { " " } else { "" },
+            bar(n)
+        );
+    }
+}
+
+/// Runs the storm under two seeds so the golden shows the jitter spreading
+/// the herd differently while the envelope (peak, settle) stays tame.
+pub fn report(seed: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "observer mass-restart reconnect storm — decorrelated-jitter backoff\n\
+         (uniform(base, 3x prev) capped at 8s; shape read off proxy/reconnects\n\
+         ODS points, bucketed)\n"
+    );
+    for s in [seed, seed + 1] {
+        run_seed(s, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_report_is_deterministic_and_settles() {
+        let a = report(1);
+        let b = report(1);
+        assert_eq!(a, b, "storm report must be byte-identical per seed");
+        assert!(a.contains("reconnect attempts after crash:"));
+        assert!(
+            a.contains("settled"),
+            "storm should settle within the horizon:\n{a}"
+        );
+    }
+}

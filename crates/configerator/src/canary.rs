@@ -19,6 +19,7 @@
 //! "added a canary phase to test a new config on thousands of servers in a
 //! cluster").
 
+use crate::metrics::health;
 use std::collections::HashMap;
 
 use rand::rngs::SmallRng;
@@ -130,11 +131,11 @@ impl CanarySpec {
     pub fn standard(cluster_size: usize) -> CanarySpec {
         let predicates = vec![
             HealthPredicate::MaxRelativeIncrease {
-                metric: "error_rate".into(),
+                metric: health::ERROR_RATE.into(),
                 limit: 0.25,
             },
             HealthPredicate::MaxRelativeIncrease {
-                metric: "latency_ms".into(),
+                metric: health::LATENCY_MS.into(),
                 limit: 0.25,
             },
             HealthPredicate::MaxRelativeDecrease {
@@ -271,8 +272,8 @@ impl SyntheticFleet {
     /// `error_rate` 0.01, `latency_ms` 100, `ctr` 0.05.
     pub fn new(servers: usize, seed: u64) -> SyntheticFleet {
         let mut baselines = HashMap::new();
-        baselines.insert("error_rate".to_string(), 0.01);
-        baselines.insert("latency_ms".to_string(), 100.0);
+        baselines.insert(health::ERROR_RATE.to_string(), 0.01);
+        baselines.insert(health::LATENCY_MS.to_string(), 100.0);
         baselines.insert("ctr".to_string(), 0.05);
         SyntheticFleet {
             servers,
@@ -338,7 +339,7 @@ mod tests {
         // The §6.4 log-spew incident: the config triggers errors
         // immediately, at any scale.
         fleet.add_effect(|cfg, metric, _| {
-            if metric == "error_rate" && cfg.contains("\"bad\"") {
+            if metric == health::ERROR_RATE && cfg.contains("\"bad\"") {
                 0.05
             } else {
                 0.0
@@ -361,7 +362,7 @@ mod tests {
         let make_fleet = || {
             let mut fleet = SyntheticFleet::new(5000, 3);
             fleet.add_effect(|cfg, metric, frac| {
-                if metric == "latency_ms" && cfg.contains("rare_path") && frac > 0.05 {
+                if metric == health::LATENCY_MS && cfg.contains("rare_path") && frac > 0.05 {
                     2000.0 * frac
                 } else {
                     0.0

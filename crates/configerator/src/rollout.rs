@@ -17,6 +17,7 @@
 //! both the bad commit and its revert are permanent gitstore history —
 //! the verdict is auditable, not just an in-memory abort.
 
+use crate::metrics::health;
 use std::collections::BTreeMap;
 
 use crate::canary::HealthPredicate;
@@ -51,11 +52,11 @@ impl RolloutSpec {
     pub fn standard() -> RolloutSpec {
         let predicates = vec![
             HealthPredicate::MaxRelativeIncrease {
-                metric: "error_rate".into(),
+                metric: health::ERROR_RATE.into(),
                 limit: 0.25,
             },
             HealthPredicate::MaxRelativeIncrease {
-                metric: "latency_ms".into(),
+                metric: health::LATENCY_MS.into(),
                 limit: 0.25,
             },
         ];
@@ -345,10 +346,10 @@ mod tests {
 
     fn feed(r: &mut Rollout, n: u64, canary_err: f64) {
         for _ in 0..n {
-            r.record_canary("error_rate", canary_err);
-            r.record_canary("latency_ms", 100.0);
-            r.record_control("error_rate", 0.01);
-            r.record_control("latency_ms", 100.0);
+            r.record_canary(health::ERROR_RATE, canary_err);
+            r.record_canary(health::LATENCY_MS, 100.0);
+            r.record_control(health::ERROR_RATE, 0.01);
+            r.record_control(health::LATENCY_MS, 100.0);
         }
     }
 
@@ -384,8 +385,8 @@ mod tests {
         // in Wait forever, not promote or roll back on no evidence.
         let mut r = Rollout::new("traffic.json", spec(4));
         for _ in 0..100 {
-            r.record_control("error_rate", 0.01);
-            r.record_control("latency_ms", 100.0);
+            r.record_control(health::ERROR_RATE, 0.01);
+            r.record_control(health::LATENCY_MS, 100.0);
         }
         assert_eq!(r.tick(), PhaseVerdict::Wait);
         assert!(r.done.is_none());

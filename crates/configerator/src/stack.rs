@@ -358,6 +358,7 @@ impl Stack {
 mod tests {
     use super::*;
     use crate::canary::SyntheticFleet;
+    use crate::metrics::health;
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -413,7 +414,7 @@ mod tests {
         stack.approve(id, "bob").unwrap();
         let mut fleet = SyntheticFleet::new(4000, 2);
         fleet.add_effect(|cfg, metric, _| {
-            if metric == "error_rate" && cfg.contains("bad") {
+            if metric == health::ERROR_RATE && cfg.contains("bad") {
                 0.5
             } else {
                 0.0

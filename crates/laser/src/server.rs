@@ -25,6 +25,7 @@ use std::collections::HashMap;
 
 use packagevessel::agent::PvAgentActor;
 use packagevessel::types::{BulkMeta, PvMsg};
+use simnet::ods;
 use simnet::trace::TraceCtx;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
 use zeus::types::{Write, ZeusMsg, Zxid};
@@ -234,6 +235,7 @@ impl LaserShardServer {
             return;
         };
         ctx.metrics().incr(metrics::SERVER_GETS, 1);
+        ctx.ods_counter(ods::tiers::LASER, ods::series::GETS, 1.0);
         let tctx = trace
             .and_then(|t| {
                 ctx.trace_hop(
@@ -297,6 +299,7 @@ impl LaserShardServer {
             ctx.metrics().incr(metrics::INGEST_APPLIED, 1);
             let lag = (ctx.now() - w.origin).as_secs_f64();
             ctx.metrics().sample(metrics::INGEST_LAG_S, lag);
+            ctx.ods_sample(ods::tiers::LASER, ods::series::INGEST_LAG_S, lag);
             if let Some(t) = w.trace {
                 ctx.trace_hop(
                     t,
@@ -365,6 +368,10 @@ impl LaserShardServer {
 }
 
 impl Actor for LaserShardServer {
+    fn kind(&self) -> &'static str {
+        "laser.server"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         // Installing over a previous actor (e.g. a default Zeus proxy)
         // dispatches a Start event per installation; run once.

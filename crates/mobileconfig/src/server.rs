@@ -81,6 +81,40 @@ pub struct ServerStats {
     pub pushes: u64,
 }
 
+impl ServerStats {
+    /// Publishes this server's cumulative stats as deltas into the ODS
+    /// fleet plane. `prev` is the snapshot published at the previous scrape
+    /// interval (so repeated publishes emit increments, not lifetime
+    /// totals); pass `ServerStats::default()` the first time.
+    pub fn publish_ods(
+        &self,
+        prev: &ServerStats,
+        ods: &mut simnet::ods::Ods,
+        node: simnet::NodeId,
+        at: simnet::SimTime,
+    ) {
+        use simnet::ods::{series, tiers};
+        ods.emit_counter(
+            node,
+            tiers::MOBILE,
+            series::POLLS,
+            at,
+            self.pulls.saturating_sub(prev.pulls) as f64,
+        );
+        ods.emit_gauge(
+            node,
+            tiers::MOBILE,
+            "not_modified_fraction",
+            at,
+            if self.pulls == 0 {
+                0.0
+            } else {
+                self.not_modified as f64 / self.pulls as f64
+            },
+        );
+    }
+}
+
 /// The server: schema registry, translation layer, and backends.
 pub struct MobileConfigServer {
     /// Schemas of every shipped app version, by hash.

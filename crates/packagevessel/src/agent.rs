@@ -155,6 +155,10 @@ impl PvAgentActor {
 }
 
 impl Actor for PvAgentActor {
+    fn kind(&self) -> &'static str {
+        "pv.agent"
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
         let Ok(msg) = msg.downcast::<PvMsg>() else {
             return;

@@ -94,6 +94,10 @@ impl StorageActor {
 }
 
 impl Actor for StorageActor {
+    fn kind(&self) -> &'static str {
+        "pv.storage"
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
         let Ok(msg) = msg.downcast::<PvMsg>() else {
             return;

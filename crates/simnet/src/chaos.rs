@@ -17,6 +17,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::net::LinkFaults;
 use crate::sim::Sim;
+use crate::stats::names;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, RegionId};
 
@@ -372,28 +373,28 @@ impl ChaosPlan {
             match fault.kind.clone() {
                 FaultKind::Crash { node } => {
                     sim.schedule(fault.at, move |s| {
-                        s.metrics_mut().incr("chaos.crashes", 1);
+                        s.metrics_mut().incr(names::CHAOS_CRASHES, 1);
                         s.crash(node);
                     });
                     sim.schedule(fault.until, move |s| s.recover(node));
                 }
                 FaultKind::Partition { a, b } => {
                     sim.schedule(fault.at, move |s| {
-                        s.metrics_mut().incr("chaos.partitions", 1);
+                        s.metrics_mut().incr(names::CHAOS_PARTITIONS, 1);
                         s.partition(a, b);
                     });
                     sim.schedule(fault.until, move |s| s.heal(a, b));
                 }
                 FaultKind::PartitionOneWay { from, to } => {
                     sim.schedule(fault.at, move |s| {
-                        s.metrics_mut().incr("chaos.oneway_partitions", 1);
+                        s.metrics_mut().incr(names::CHAOS_ONEWAY_PARTITIONS, 1);
                         s.partition_oneway(from, to);
                     });
                     sim.schedule(fault.until, move |s| s.heal_oneway(from, to));
                 }
                 FaultKind::Degrade { faults } => {
                     sim.schedule(fault.at, move |s| {
-                        s.metrics_mut().incr("chaos.degrades", 1);
+                        s.metrics_mut().incr(names::CHAOS_DEGRADES, 1);
                         s.set_link_faults(faults);
                     });
                     sim.schedule(fault.until, |s| s.clear_link_faults());
@@ -685,8 +686,8 @@ mod tests {
         let mut sim = Sim::new(topo, NetConfig::default(), seed);
         plan.apply(&mut sim);
         sim.run_until(plan.horizon + SimDuration::from_secs(1));
-        assert!(sim.metrics().counter("chaos.clock_skews") >= 1);
-        assert!(sim.metrics().counter("chaos.stalls") >= 1);
+        assert!(sim.metrics().counter(names::CHAOS_CLOCK_SKEWS) >= 1);
+        assert!(sim.metrics().counter(names::CHAOS_STALLS) >= 1);
         // Everything healed by the horizon.
         assert!(!sim.is_stalled(NodeId(0)));
         assert_eq!(sim.local_now(NodeId(0)), sim.now());

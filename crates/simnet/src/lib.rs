@@ -41,6 +41,8 @@
 
 pub mod chaos;
 pub mod net;
+pub mod ods;
+pub mod profile;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -51,6 +53,8 @@ pub mod trace;
 pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosPlan, ChaosReport, Invariant};
     pub use crate::net::{LinkFaults, NetConfig};
+    pub use crate::ods::{tiers, Ods, OdsScraper, SeriesKind, SloAlert, SloPolicy, WindowStats};
+    pub use crate::profile::{EventClass, HotActor, Profiler};
     pub use crate::sim::{Actor, Ctx, Message, Sim};
     pub use crate::stats::{Histogram, Metrics, Summary};
     pub use crate::time::{SimDuration, SimTime};

@@ -1,0 +1,611 @@
+//! ODS-style fleet health aggregation.
+//!
+//! The paper's evaluation (Figs 7–12) is built on Facebook's ODS monitoring
+//! pipeline: every server publishes named counters and latency samples, an
+//! aggregation tier rolls them up into fleet-wide time series, and SLO
+//! dashboards read the rollups. This module is the simulation-side
+//! equivalent: actors emit points through [`Ctx`](crate::sim::Ctx)
+//! (`ods_counter` / `ods_sample` / `ods_gauge`), an [`OdsScraper`] actor
+//! periodically rolls the raw points up into per-tier [`WindowStats`] over
+//! a fast and a slow window of *simulated* time, and registered
+//! [`SloPolicy`] objectives are evaluated as burn rates at every scrape.
+//!
+//! Everything here runs on virtual time and deterministic inputs, so the
+//! `repro health` report diffs byte-for-byte against its golden.
+//!
+//! Disabled by default: every emit call is one branch until
+//! [`Sim::enable_ods`](crate::sim::Sim::enable_ods) is called, so
+//! experiments that never read the plane pay nothing.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+use crate::sim::{Actor, Ctx, Message};
+use crate::stats::{escape_label_value, percentile_sorted};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+
+/// Well-known tier labels, so emitters across crates cannot drift apart.
+pub mod tiers {
+    /// The Zeus consensus ensemble.
+    pub const ZEUS: &str = "zeus";
+    /// The observer fan-out tier.
+    pub const OBSERVER: &str = "observer";
+    /// The per-server Configerator proxies.
+    pub const PROXY: &str = "proxy";
+    /// The Laser serving tier.
+    pub const LASER: &str = "laser";
+    /// The Configerator commit/compile pipeline.
+    pub const CONFIGERATOR: &str = "configerator";
+    /// MobileConfig pull clients.
+    pub const MOBILE: &str = "mobile";
+}
+
+/// Well-known series names within tiers, mirroring `stats::names`: emitters
+/// across crates reference these constants so spellings cannot drift.
+pub mod series {
+    /// Committed writes (counter, [`tiers::ZEUS`](super::tiers::ZEUS)).
+    pub const COMMITS: &str = "commits";
+    /// Dropped/rejected proposals (counter, zeus).
+    pub const ERRORS: &str = "errors";
+    /// Writes applied by observers (counter, observer).
+    pub const APPLIED: &str = "applied";
+    /// Origin→visible propagation latency in seconds (sample, proxy).
+    pub const PROPAGATION_S: &str = "propagation_s";
+    /// Proxy failover reconnect attempts (counter, proxy).
+    pub const RECONNECTS: &str = "reconnects";
+    /// Point reads served (counter, laser).
+    pub const GETS: &str = "gets";
+    /// Stream-ingest lag behind the origin commit, seconds (sample, laser).
+    pub const INGEST_LAG_S: &str = "ingest_lag_s";
+    /// Staleness of pulled config at the client, seconds (sample, mobile).
+    pub const STALENESS_S: &str = "staleness_s";
+    /// Poll round-trips (counter, mobile).
+    pub const POLLS: &str = "polls";
+    /// Landed commits through the compile pipeline (counter, configerator).
+    pub const LANDED: &str = "landed";
+    /// Compile failures (counter, configerator).
+    pub const COMPILE_ERRORS: &str = "compile_errors";
+    /// Per-commit compile latency in seconds (sample, configerator).
+    pub const COMPILE_S: &str = "compile_s";
+}
+
+/// How points of a series combine inside a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotonic event deltas: windows report `sum / window` as a rate.
+    Counter,
+    /// Point-in-time readings: windows report the last value.
+    Gauge,
+    /// Latency-style samples: windows report count, rate, and percentiles.
+    Sample,
+}
+
+#[derive(Debug)]
+struct Series {
+    kind: SeriesKind,
+    /// Raw points in emit order (timestamps are nondecreasing because
+    /// emits happen at the simulation's current instant). Pruned at scrape
+    /// time to the slow window.
+    points: VecDeque<(SimTime, f64)>,
+    /// Distinct nodes that ever emitted into this series.
+    nodes: BTreeSet<u32>,
+    total_count: u64,
+    total_sum: f64,
+}
+
+/// Rolled-up statistics of one series over one trailing window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowStats {
+    /// Points inside the window.
+    pub count: u64,
+    /// Sum of point values inside the window.
+    pub sum: f64,
+    /// Counters: `sum / window_secs`. Samples: `count / window_secs`.
+    pub rate_per_s: f64,
+    /// Sample percentiles (zero for counters/gauges or empty windows).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest value in the window.
+    pub max: f64,
+    /// Gauges: the most recent value in the window.
+    pub last: f64,
+    /// Fraction of sample points breaching the registered SLO threshold
+    /// (zero when no policy covers the series).
+    pub breach_fraction: f64,
+    /// `breach_fraction / (1 - objective)` — how many times faster than
+    /// sustainable the error budget is burning. 1.0 = exactly on budget.
+    pub burn_rate: f64,
+}
+
+/// A propagation-style SLO: `objective` of samples must stay at or under
+/// `threshold`.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// Tier the policy applies to.
+    pub tier: String,
+    /// Series name within the tier.
+    pub series: String,
+    /// Sample values above this breach the objective.
+    pub threshold: f64,
+    /// Target good fraction, e.g. 0.99 → 1% error budget.
+    pub objective: f64,
+    /// Burn-rate level at which the fast+slow window pair pages.
+    pub page_burn: f64,
+}
+
+/// One series' rollup at one scrape instant.
+#[derive(Debug, Clone)]
+pub struct ScrapeRow {
+    /// Tier label.
+    pub tier: String,
+    /// Series name.
+    pub name: String,
+    /// Series kind.
+    pub kind: SeriesKind,
+    /// Distinct emitting nodes seen so far.
+    pub nodes: u64,
+    /// Stats over the fast window.
+    pub fast: WindowStats,
+    /// Stats over the slow window.
+    pub slow: WindowStats,
+}
+
+/// One scrape: every live series rolled up at a single instant.
+#[derive(Debug, Clone)]
+pub struct Scrape {
+    /// Scrape instant (virtual time).
+    pub at: SimTime,
+    /// Per-series rollups, in (tier, name) order.
+    pub rows: Vec<ScrapeRow>,
+}
+
+/// An SLO page: both burn windows above the policy's page level.
+#[derive(Debug, Clone)]
+pub struct SloAlert {
+    /// When the page fired.
+    pub at: SimTime,
+    /// Tier of the offending series.
+    pub tier: String,
+    /// Series name.
+    pub series: String,
+    /// Fast-window burn rate at the firing scrape.
+    pub fast_burn: f64,
+    /// Slow-window burn rate at the firing scrape.
+    pub slow_burn: f64,
+}
+
+/// The aggregation plane. Owned by [`Sim`](crate::sim::Sim); emitters reach
+/// it through `Ctx::ods_*`, drivers through `Sim::ods()` / `Sim::ods_mut()`.
+#[derive(Debug)]
+pub struct Ods {
+    enabled: bool,
+    fast: SimDuration,
+    slow: SimDuration,
+    series: BTreeMap<(String, String), Series>,
+    slos: Vec<SloPolicy>,
+    scrapes: Vec<Scrape>,
+}
+
+impl Default for Ods {
+    fn default() -> Ods {
+        Ods {
+            enabled: false,
+            // The paper's fleet dashboards read minute-level rollups; the
+            // simulation compresses that to 5s/60s of virtual time so a
+            // short experiment still exercises both burn windows.
+            fast: SimDuration::from_secs(5),
+            slow: SimDuration::from_secs(60),
+            series: BTreeMap::new(),
+            slos: Vec::new(),
+            scrapes: Vec::new(),
+        }
+    }
+}
+
+impl Ods {
+    /// Turns the plane on with the given burn-rate windows.
+    pub fn enable(&mut self, fast: SimDuration, slow: SimDuration) {
+        self.enabled = true;
+        self.fast = fast;
+        self.slow = slow;
+    }
+
+    /// Whether emits are being collected.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The (fast, slow) burn windows.
+    pub fn windows(&self) -> (SimDuration, SimDuration) {
+        (self.fast, self.slow)
+    }
+
+    /// Registers an SLO to evaluate at every scrape.
+    pub fn register_slo(&mut self, policy: SloPolicy) {
+        self.slos.push(policy);
+    }
+
+    fn emit(
+        &mut self,
+        kind: SeriesKind,
+        node: NodeId,
+        tier: &str,
+        name: &str,
+        at: SimTime,
+        value: f64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let key = (tier.to_string(), name.to_string());
+        let s = self.series.entry(key).or_insert_with(|| Series {
+            kind,
+            points: VecDeque::new(),
+            nodes: BTreeSet::new(),
+            total_count: 0,
+            total_sum: 0.0,
+        });
+        debug_assert!(
+            s.kind == kind,
+            "series {tier}/{name} emitted with two kinds"
+        );
+        s.points.push_back((at, value));
+        s.nodes.insert(node.0);
+        s.total_count += 1;
+        s.total_sum += value;
+    }
+
+    /// Emits a counter delta attributed to `node` at `at`.
+    pub fn emit_counter(&mut self, node: NodeId, tier: &str, name: &str, at: SimTime, delta: f64) {
+        self.emit(SeriesKind::Counter, node, tier, name, at, delta);
+    }
+
+    /// Emits a latency-style sample.
+    pub fn emit_sample(&mut self, node: NodeId, tier: &str, name: &str, at: SimTime, value: f64) {
+        self.emit(SeriesKind::Sample, node, tier, name, at, value);
+    }
+
+    /// Emits a point-in-time gauge reading.
+    pub fn emit_gauge(&mut self, node: NodeId, tier: &str, name: &str, at: SimTime, value: f64) {
+        self.emit(SeriesKind::Gauge, node, tier, name, at, value);
+    }
+
+    fn window_stats(
+        &self,
+        points: &VecDeque<(SimTime, f64)>,
+        kind: SeriesKind,
+        now: SimTime,
+        window: SimDuration,
+        slo: Option<&SloPolicy>,
+    ) -> WindowStats {
+        let cutoff = SimTime(now.0.saturating_sub(window.as_micros()));
+        let mut vals: Vec<f64> = Vec::new();
+        let mut sum = 0.0;
+        let mut last = 0.0;
+        let mut max = f64::NEG_INFINITY;
+        let mut bad = 0u64;
+        for &(t, v) in points.iter() {
+            if t <= cutoff || t > now {
+                continue;
+            }
+            sum += v;
+            last = v;
+            if v > max {
+                max = v;
+            }
+            if let Some(p) = slo {
+                if v > p.threshold {
+                    bad += 1;
+                }
+            }
+            vals.push(v);
+        }
+        let count = vals.len() as u64;
+        let secs = window.as_secs_f64();
+        let mut stats = WindowStats {
+            count,
+            sum,
+            rate_per_s: if secs == 0.0 {
+                0.0
+            } else if kind == SeriesKind::Counter {
+                sum / secs
+            } else {
+                count as f64 / secs
+            },
+            max: if count == 0 { 0.0 } else { max },
+            last,
+            ..WindowStats::default()
+        };
+        if kind == SeriesKind::Sample && count > 0 {
+            vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN ODS sample"));
+            stats.p50 = percentile_sorted(&vals, 50.0);
+            stats.p90 = percentile_sorted(&vals, 90.0);
+            stats.p99 = percentile_sorted(&vals, 99.0);
+        }
+        if let Some(p) = slo {
+            if count > 0 {
+                stats.breach_fraction = bad as f64 / count as f64;
+                let budget = (1.0 - p.objective).max(1e-9);
+                stats.burn_rate = stats.breach_fraction / budget;
+            }
+        }
+        stats
+    }
+
+    /// Rolls every series up at `now`, appends the scrape, and prunes raw
+    /// points that have aged out of the slow window.
+    pub fn scrape(&mut self, now: SimTime) {
+        if !self.enabled {
+            return;
+        }
+        let mut rows = Vec::with_capacity(self.series.len());
+        let slos = std::mem::take(&mut self.slos);
+        for ((tier, name), s) in &self.series {
+            let slo = slos.iter().find(|p| p.tier == *tier && p.series == *name);
+            let fast = self.window_stats(&s.points, s.kind, now, self.fast, slo);
+            let slow = self.window_stats(&s.points, s.kind, now, self.slow, slo);
+            rows.push(ScrapeRow {
+                tier: tier.clone(),
+                name: name.clone(),
+                kind: s.kind,
+                nodes: s.nodes.len() as u64,
+                fast,
+                slow,
+            });
+        }
+        self.slos = slos;
+        self.scrapes.push(Scrape { at: now, rows });
+        let cutoff = SimTime(now.0.saturating_sub(self.slow.as_micros()));
+        for s in self.series.values_mut() {
+            while s.points.front().is_some_and(|&(t, _)| t <= cutoff) {
+                s.points.pop_front();
+            }
+        }
+    }
+
+    /// All scrapes taken so far, in time order.
+    pub fn scrapes(&self) -> &[Scrape] {
+        &self.scrapes
+    }
+
+    /// The named fleet time series derived from scrapes: one
+    /// `(at, WindowStats)` pair per scrape where the series existed, over
+    /// the fast window.
+    pub fn fleet_series(&self, tier: &str, name: &str) -> Vec<(SimTime, WindowStats)> {
+        self.scrapes
+            .iter()
+            .filter_map(|s| {
+                s.rows
+                    .iter()
+                    .find(|r| r.tier == tier && r.name == name)
+                    .map(|r| (s.at, r.fast))
+            })
+            .collect()
+    }
+
+    /// Raw points of a series still inside the retention window (scrapes
+    /// prune to the slow window; an unscraped plane retains everything).
+    /// Used by shape analyses — e.g. bucketing reconnects over time.
+    pub fn points(&self, tier: &str, name: &str) -> Vec<(SimTime, f64)> {
+        self.series
+            .get(&(tier.to_string(), name.to_string()))
+            .map(|s| s.points.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Lifetime totals for a series: `(points, sum)`.
+    pub fn totals(&self, tier: &str, name: &str) -> (u64, f64) {
+        self.series
+            .get(&(tier.to_string(), name.to_string()))
+            .map(|s| (s.total_count, s.total_sum))
+            .unwrap_or((0, 0.0))
+    }
+
+    /// Every (tier, name) pair with its kind and emitting-node count.
+    pub fn series_index(&self) -> Vec<(String, String, SeriesKind, u64)> {
+        self.series
+            .iter()
+            .map(|((t, n), s)| (t.clone(), n.clone(), s.kind, s.nodes.len() as u64))
+            .collect()
+    }
+
+    /// SLO pages: scrapes where a policy's fast *and* slow burn rates both
+    /// reached its page level — the standard multi-window burn alert (the
+    /// fast window catches the spike, the slow window filters blips).
+    pub fn slo_alerts(&self) -> Vec<SloAlert> {
+        let mut alerts = Vec::new();
+        for scrape in &self.scrapes {
+            for p in &self.slos {
+                if let Some(r) = scrape
+                    .rows
+                    .iter()
+                    .find(|r| r.tier == p.tier && r.name == p.series)
+                {
+                    if r.fast.burn_rate >= p.page_burn && r.slow.burn_rate >= p.page_burn {
+                        alerts.push(SloAlert {
+                            at: scrape.at,
+                            tier: p.tier.clone(),
+                            series: p.series.clone(),
+                            fast_burn: r.fast.burn_rate,
+                            slow_burn: r.slow.burn_rate,
+                        });
+                    }
+                }
+            }
+        }
+        alerts
+    }
+
+    /// Registered SLO policies.
+    pub fn slos(&self) -> &[SloPolicy] {
+        &self.slos
+    }
+
+    /// Renders the most recent scrape as Prometheus text with `tier`,
+    /// `series`, `window`, and `stat` labels (values escaped per the
+    /// exposition format). Deterministic: virtual-time stats only.
+    pub fn export_prometheus(&self) -> String {
+        let mut out = String::new();
+        let Some(last) = self.scrapes.last() else {
+            return out;
+        };
+        let _ = writeln!(
+            out,
+            "# HELP ods_window_stat Fleet rollup at the last ODS scrape."
+        );
+        let _ = writeln!(out, "# TYPE ods_window_stat gauge");
+        for r in &last.rows {
+            for (win, st) in [("fast", &r.fast), ("slow", &r.slow)] {
+                let stats: &[(&str, f64)] = match r.kind {
+                    SeriesKind::Counter => {
+                        &[("rate_per_s", st.rate_per_s), ("count", st.count as f64)]
+                    }
+                    SeriesKind::Gauge => &[("last", st.last), ("count", st.count as f64)],
+                    SeriesKind::Sample => &[
+                        ("rate_per_s", st.rate_per_s),
+                        ("p50", st.p50),
+                        ("p90", st.p90),
+                        ("p99", st.p99),
+                    ],
+                };
+                for (stat, v) in stats {
+                    let _ = writeln!(
+                        out,
+                        "ods_window_stat{{tier=\"{}\",series=\"{}\",window=\"{win}\",stat=\"{stat}\"}} {v:.6}",
+                        escape_label_value(&r.tier),
+                        escape_label_value(&r.name),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An actor that drives periodic scrapes from inside the simulation, the
+/// way the real ODS aggregation tier polls its publishers.
+pub struct OdsScraper {
+    period: SimDuration,
+}
+
+impl OdsScraper {
+    /// Creates a scraper that rolls the plane up every `period`.
+    pub fn new(period: SimDuration) -> OdsScraper {
+        OdsScraper { period }
+    }
+}
+
+impl Actor for OdsScraper {
+    fn kind(&self) -> &'static str {
+        "ods.scraper"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.period, 0);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _msg: Message) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+        ctx.ods_scrape();
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plane_collects_nothing() {
+        let mut ods = Ods::default();
+        ods.emit_counter(NodeId(0), tiers::ZEUS, "commits", SimTime(1), 1.0);
+        ods.scrape(SimTime(10));
+        assert!(ods.scrapes().is_empty());
+        assert_eq!(ods.totals(tiers::ZEUS, "commits"), (0, 0.0));
+    }
+
+    #[test]
+    fn counter_rate_and_sample_percentiles() {
+        let mut ods = Ods::default();
+        ods.enable(SimDuration::from_secs(5), SimDuration::from_secs(60));
+        let t = |s: u64| SimTime(s * 1_000_000);
+        for i in 1..=10u64 {
+            ods.emit_counter(NodeId(0), tiers::ZEUS, "commits", t(i), 2.0);
+            ods.emit_sample(
+                NodeId(1),
+                tiers::PROXY,
+                "propagation_s",
+                t(i),
+                0.1 * i as f64,
+            );
+        }
+        ods.scrape(t(10));
+        let s = &ods.scrapes()[0];
+        let commits = s.rows.iter().find(|r| r.name == "commits").unwrap();
+        // Fast window (5s, 10s] holds emits at t=6..=10: 5 deltas of 2.0.
+        assert_eq!(commits.fast.count, 5);
+        assert!((commits.fast.rate_per_s - 2.0).abs() < 1e-9);
+        assert_eq!(commits.slow.count, 10);
+        let prop = s.rows.iter().find(|r| r.name == "propagation_s").unwrap();
+        assert_eq!(prop.fast.count, 5);
+        assert!(prop.fast.p50 >= 0.6 && prop.fast.p99 <= 1.0 + 1e-9);
+        assert_eq!(prop.nodes, 1);
+    }
+
+    #[test]
+    fn slo_burn_rates_and_paging() {
+        let mut ods = Ods::default();
+        ods.enable(SimDuration::from_secs(5), SimDuration::from_secs(60));
+        ods.register_slo(SloPolicy {
+            tier: tiers::PROXY.into(),
+            series: "propagation_s".into(),
+            threshold: 1.0,
+            objective: 0.9, // 10% budget
+            page_burn: 2.0,
+        });
+        let t = |s: u64| SimTime(s * 1_000_000);
+        // 40% of samples breach: burn = 0.4 / 0.1 = 4x in both windows.
+        for i in 0..10u64 {
+            let v = if i % 5 < 2 { 5.0 } else { 0.1 };
+            ods.emit_sample(NodeId(0), tiers::PROXY, "propagation_s", t(i + 1), v);
+        }
+        ods.scrape(t(10));
+        let r = &ods.scrapes()[0].rows[0];
+        assert!((r.slow.breach_fraction - 0.4).abs() < 1e-9);
+        assert!((r.slow.burn_rate - 4.0).abs() < 1e-9);
+        let alerts = ods.slo_alerts();
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].fast_burn >= 2.0 && alerts[0].slow_burn >= 2.0);
+    }
+
+    #[test]
+    fn scrape_prunes_to_slow_window() {
+        let mut ods = Ods::default();
+        ods.enable(SimDuration::from_secs(5), SimDuration::from_secs(10));
+        ods.emit_gauge(NodeId(0), tiers::LASER, "lag", SimTime(1_000_000), 3.0);
+        ods.emit_gauge(NodeId(0), tiers::LASER, "lag", SimTime(20_000_000), 1.0);
+        ods.scrape(SimTime(25_000_000));
+        // The t=1s point aged out; only the t=20s point remains windowed.
+        let r = &ods.scrapes()[0].rows[0];
+        assert_eq!(r.slow.count, 1);
+        assert_eq!(r.slow.last, 1.0);
+        // Lifetime totals survive pruning.
+        assert_eq!(ods.totals(tiers::LASER, "lag").0, 2);
+    }
+
+    #[test]
+    fn prometheus_export_escapes_labels() {
+        let mut ods = Ods::default();
+        ods.enable(SimDuration::from_secs(5), SimDuration::from_secs(60));
+        ods.emit_gauge(NodeId(0), "we\"ird\\tier\n", "g", SimTime(1), 1.0);
+        ods.scrape(SimTime(2));
+        let text = ods.export_prometheus();
+        assert!(text.contains("tier=\"we\\\"ird\\\\tier\\n\""), "{text}");
+        assert!(text.contains("# TYPE ods_window_stat gauge"));
+    }
+}

@@ -20,6 +20,8 @@ use rand::Rng;
 use rand::SeedableRng;
 
 use crate::net::{LinkFaults, NetConfig};
+use crate::ods::Ods;
+use crate::profile::{EventClass, Profiler};
 use crate::stats::{names, Metrics};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Proximity, RegionId, Topology};
@@ -48,6 +50,14 @@ pub trait Actor: Any {
 
     /// Called when the node recovers from a crash.
     fn on_recover(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A stable label for the subsystem this actor belongs to (e.g.
+    /// `"zeus.observer"`), used by the self-profiler to aggregate dispatch
+    /// counts and wall time per tier. The default groups unlabeled actors
+    /// under `"actor"`.
+    fn kind(&self) -> &'static str {
+        "actor"
+    }
 }
 
 enum EventKind {
@@ -169,6 +179,8 @@ pub struct Sim {
     /// the receiving actor via [`Ctx::incoming_trace`].
     delivering_traces: Vec<TraceCtx>,
     events_processed: u64,
+    profiler: Profiler,
+    ods: Ods,
 }
 
 impl Sim {
@@ -197,6 +209,8 @@ impl Sim {
             tracer: Tracer::new(),
             delivering_traces: Vec::new(),
             events_processed: 0,
+            profiler: Profiler::new(n),
+            ods: Ods::default(),
         }
     }
 
@@ -234,6 +248,33 @@ impl Sim {
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Turns on the self-profiler. Until called, every profiling hook is a
+    /// single branch (no clock reads), so unprofiled runs — and their
+    /// goldens — are unaffected.
+    pub fn enable_profiler(&mut self) {
+        self.profiler.enable();
+    }
+
+    /// The self-profiler's accumulated accounting.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Turns on the ODS aggregation plane with the given burn-rate windows.
+    pub fn enable_ods(&mut self, fast: SimDuration, slow: SimDuration) {
+        self.ods.enable(fast, slow);
+    }
+
+    /// The ODS aggregation plane.
+    pub fn ods(&self) -> &Ods {
+        &self.ods
+    }
+
+    /// Mutable access to the ODS plane (register SLOs, force scrapes).
+    pub fn ods_mut(&mut self) -> &mut Ods {
+        &mut self.ods
     }
 
     /// Installs `actor` on `node`, replacing any existing actor. The actor's
@@ -310,8 +351,17 @@ impl Sim {
         if !self.up[node.0 as usize] {
             self.up[node.0 as usize] = true;
             if let Some(mut actor) = self.actors[node.0 as usize].take() {
+                let start = self.profiler.enabled().then(std::time::Instant::now);
                 let mut ctx = Ctx { sim: self, node };
                 actor.on_recover(&mut ctx);
+                if let Some(start) = start {
+                    self.profiler.record_dispatch(
+                        node,
+                        actor.kind(),
+                        EventClass::Recover,
+                        start.elapsed().as_nanos() as u64,
+                    );
+                }
                 self.actors[node.0 as usize] = Some(actor);
             }
         }
@@ -413,6 +463,9 @@ impl Sim {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         self.events_processed += 1;
+        if self.profiler.enabled() {
+            self.profiler.observe_queue_step(self.queue.len());
+        }
         // A stalled node defers local processing: the event is parked at
         // the stall horizon, not dropped. Re-pushing in pop order assigns
         // increasing sequence numbers, so the backlog replays in its
@@ -439,6 +492,9 @@ impl Sim {
                 msg,
                 traces,
             } => {
+                if self.profiler.enabled() {
+                    self.profiler.record_bytes_in(to, size);
+                }
                 // Serialize the receiver's ingress link in arrival order.
                 let rx_start = self.now.max(self.ingress_free[to.0 as usize]);
                 let rx_done = rx_start + self.net.ingress_transmit(size);
@@ -474,20 +530,33 @@ impl Sim {
                     return true;
                 }
                 self.delivering_traces = traces;
-                self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                self.with_actor(to, EventClass::Deliver, |actor, ctx| {
+                    actor.on_message(ctx, from, msg)
+                });
                 self.delivering_traces.clear();
             }
             EventKind::Timer { node, tag } => {
                 if self.up[node.0 as usize] {
-                    self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
+                    self.with_actor(node, EventClass::Timer, |actor, ctx| {
+                        actor.on_timer(ctx, tag)
+                    });
                 }
             }
             EventKind::Start { node } => {
                 if self.up[node.0 as usize] {
-                    self.with_actor(node, |actor, ctx| actor.on_start(ctx));
+                    self.with_actor(node, EventClass::Start, |actor, ctx| actor.on_start(ctx));
                 }
             }
-            EventKind::Control(f) => f(self),
+            EventKind::Control(f) => {
+                if self.profiler.enabled() {
+                    let start = std::time::Instant::now();
+                    f(self);
+                    self.profiler
+                        .record_control(start.elapsed().as_nanos() as u64);
+                } else {
+                    f(self);
+                }
+            }
         }
         true
     }
@@ -527,10 +596,24 @@ impl Sim {
         self.run_until(deadline);
     }
 
-    fn with_actor(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>)) {
+    fn with_actor(
+        &mut self,
+        node: NodeId,
+        class: EventClass,
+        f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>),
+    ) {
         if let Some(mut actor) = self.actors[node.0 as usize].take() {
+            let start = self.profiler.enabled().then(std::time::Instant::now);
             let mut ctx = Ctx { sim: self, node };
             f(actor.as_mut(), &mut ctx);
+            if let Some(start) = start {
+                self.profiler.record_dispatch(
+                    node,
+                    actor.kind(),
+                    class,
+                    start.elapsed().as_nanos() as u64,
+                );
+            }
             // A handler may have installed a replacement actor; keep it.
             if self.actors[node.0 as usize].is_none() {
                 self.actors[node.0 as usize] = Some(actor);
@@ -542,6 +625,9 @@ impl Sim {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Event { at, seq, kind });
+        if self.profiler.enabled() {
+            self.profiler.observe_queue_push(self.queue.len());
+        }
     }
 
     /// Computes the delivery time of a `size`-byte message from `from` to
@@ -599,6 +685,10 @@ impl Sim {
         if prox == Proximity::SameNode {
             self.metrics.incr(names::MESSAGES_SENT, 1);
             self.metrics.incr(names::BYTES_SENT, size);
+            if self.profiler.enabled() {
+                self.profiler.record_bytes_out(from, size);
+                self.profiler.record_bytes_in(to, size);
+            }
             self.push(
                 self.now + self.net.per_message_overhead,
                 EventKind::Deliver {
@@ -655,6 +745,9 @@ impl Sim {
             *fifo = first_byte;
             self.metrics.incr(names::MESSAGES_SENT, 1);
             self.metrics.incr(names::BYTES_SENT, size);
+            if self.profiler.enabled() {
+                self.profiler.record_bytes_out(from, size);
+            }
             // Ingress serialization is applied when the first byte arrives
             // (see `EventKind::Arrive`), not here: link occupancy at the
             // receiver must follow arrival order, not send order.
@@ -801,6 +894,35 @@ impl Ctx<'_> {
     /// Classifies the network distance from this node to `other`.
     pub fn proximity(&self, other: NodeId) -> Proximity {
         self.sim.topo.proximity(self.node, other)
+    }
+
+    /// Publishes a counter delta into the ODS fleet plane, attributed to
+    /// this node at true simulation time. One branch when the plane is off.
+    pub fn ods_counter(&mut self, tier: &str, name: &str, delta: f64) {
+        let node = self.node;
+        let at = self.sim.now;
+        self.sim.ods.emit_counter(node, tier, name, at, delta);
+    }
+
+    /// Publishes a latency-style sample into the ODS fleet plane.
+    pub fn ods_sample(&mut self, tier: &str, name: &str, value: f64) {
+        let node = self.node;
+        let at = self.sim.now;
+        self.sim.ods.emit_sample(node, tier, name, at, value);
+    }
+
+    /// Publishes a point-in-time gauge reading into the ODS fleet plane.
+    pub fn ods_gauge(&mut self, tier: &str, name: &str, value: f64) {
+        let node = self.node;
+        let at = self.sim.now;
+        self.sim.ods.emit_gauge(node, tier, name, at, value);
+    }
+
+    /// Rolls the ODS plane up at the current instant (used by
+    /// [`OdsScraper`](crate::ods::OdsScraper)).
+    pub fn ods_scrape(&mut self) {
+        let at = self.sim.now;
+        self.sim.ods.scrape(at);
     }
 }
 

@@ -30,18 +30,30 @@ pub mod names {
     pub const CHAOS_CLOCK_SKEWS: &str = "chaos.clock_skews";
     /// Process-stall faults injected by a chaos plan.
     pub const CHAOS_STALLS: &str = "chaos.stalls";
+    /// Node crashes injected by a chaos plan.
+    pub const CHAOS_CRASHES: &str = "chaos.crashes";
+    /// Symmetric region partitions injected by a chaos plan.
+    pub const CHAOS_PARTITIONS: &str = "chaos.partitions";
+    /// One-way region cuts injected by a chaos plan.
+    pub const CHAOS_ONEWAY_PARTITIONS: &str = "chaos.oneway_partitions";
+    /// Link drop/delay windows injected by a chaos plan.
+    pub const CHAOS_DEGRADES: &str = "chaos.degrades";
     /// Total messages accepted by the network model.
     pub const MESSAGES_SENT: &str = "simnet.messages_sent";
     /// Total bytes accepted by the network model.
     pub const BYTES_SENT: &str = "simnet.bytes_sent";
 }
 
-/// A collection of named counters and sample series.
+/// A collection of named counters, sample series, and labeled gauges.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     series: BTreeMap<String, Vec<f64>>,
     hists: BTreeMap<String, Histogram>,
+    /// Labeled gauges: name → (sorted label set → value).
+    gauges: BTreeMap<String, BTreeMap<Vec<(String, String)>, f64>>,
+    /// Optional `# HELP` text per metric name.
+    helps: BTreeMap<String, String>,
 }
 
 impl Metrics {
@@ -70,6 +82,36 @@ impl Metrics {
     /// Returns the value of counter `name`, or zero if never incremented.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the labeled gauge `name{labels}` to `value`. Labels are sorted
+    /// by key so the same set in any order addresses the same sample.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        self.gauges
+            .entry(name.to_string())
+            .or_default()
+            .insert(key, value);
+    }
+
+    /// Reads back a labeled gauge, if set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        self.gauges.get(name).and_then(|g| g.get(&key)).copied()
+    }
+
+    /// Registers `# HELP` text for `name`, emitted by
+    /// [`Metrics::export_prometheus`] ahead of the `# TYPE` line.
+    pub fn set_help(&mut self, name: &str, help: &str) {
+        self.helps.insert(name.to_string(), help.to_string());
     }
 
     /// Returns the raw samples of series `name`.
@@ -118,6 +160,15 @@ impl Metrics {
         for (k, h) in &other.hists {
             self.hists.entry(k.clone()).or_default().merge(h);
         }
+        for (k, g) in &other.gauges {
+            let mine = self.gauges.entry(k.clone()).or_default();
+            for (labels, v) in g {
+                mine.insert(labels.clone(), *v);
+            }
+        }
+        for (k, h) in &other.helps {
+            self.helps.entry(k.clone()).or_insert_with(|| h.clone());
+        }
     }
 
     /// Renders the whole store in the Prometheus text exposition format.
@@ -132,11 +183,31 @@ impl Metrics {
         let mut out = String::new();
         for (name, v) in &self.counters {
             let n = sanitize_metric_name(name);
+            self.write_help(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} counter");
             let _ = writeln!(out, "{n} {v}");
         }
+        for (name, g) in &self.gauges {
+            let n = sanitize_metric_name(name);
+            self.write_help(&mut out, name, &n);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            for (labels, v) in g {
+                if labels.is_empty() {
+                    let _ = writeln!(out, "{n} {v}");
+                } else {
+                    let rendered: Vec<String> = labels
+                        .iter()
+                        .map(|(k, lv)| {
+                            format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(lv))
+                        })
+                        .collect();
+                    let _ = writeln!(out, "{n}{{{}}} {v}", rendered.join(","));
+                }
+            }
+        }
         for (name, h) in &self.hists {
             let n = sanitize_metric_name(name);
+            self.write_help(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} histogram");
             let mut cum = 0u64;
             for (le_us, count) in h.buckets() {
@@ -157,6 +228,67 @@ impl Metrics {
         }
         out
     }
+}
+
+impl Metrics {
+    fn write_help(&self, out: &mut String, raw: &str, sanitized: &str) {
+        if let Some(help) = self.helps.get(raw) {
+            let _ = writeln!(out, "# HELP {sanitized} {}", escape_help_text(help));
+        }
+    }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote, and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_label_value`] (used by tests to prove the escaping
+/// round-trips; a scraper would apply the same rules).
+pub fn unescape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text: backslash and newline only (quotes are legal
+/// there per the exposition format).
+fn escape_help_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Prometheus metric names allow `[a-zA-Z0-9_:]`; map everything else
@@ -568,6 +700,45 @@ mod tests {
         let mut m2 = mb.clone();
         m2.merge(&ma);
         assert_eq!(m1.export_prometheus(), m2.export_prometheus());
+    }
+
+    #[test]
+    fn prometheus_help_and_labeled_gauges() {
+        let mut m = Metrics::new();
+        m.set_help("ods.up", "Whether the tier's scrape target\nis \\up.");
+        m.set_gauge("ods.up", &[("tier", "proxy")], 1.0);
+        m.set_gauge("ods.up", &[("tier", "laser")], 0.0);
+        let text = m.export_prometheus();
+        // HELP precedes TYPE; newline/backslash in the help text escaped.
+        let help_at = text.find("# HELP ods_up").unwrap();
+        let type_at = text.find("# TYPE ods_up gauge").unwrap();
+        assert!(help_at < type_at);
+        assert!(text.contains("# HELP ods_up Whether the tier's scrape target\\nis \\\\up."));
+        assert!(text.contains("ods_up{tier=\"laser\"} 0"));
+        assert!(text.contains("ods_up{tier=\"proxy\"} 1"));
+    }
+
+    #[test]
+    fn label_value_escaping_round_trips() {
+        // The satellite case: a value containing `"`, `\n`, and `\\`.
+        let nasty = "cluster \"a\"\nwith \\ backslash";
+        let escaped = escape_label_value(nasty);
+        assert!(!escaped.contains('\n'), "escaped value must be one line");
+        assert_eq!(escaped, "cluster \\\"a\\\"\\nwith \\\\ backslash");
+        assert_eq!(unescape_label_value(&escaped), nasty);
+
+        // And through the full exporter: the emitted line parses back to
+        // the original value.
+        let mut m = Metrics::new();
+        m.set_gauge("weird", &[("where", nasty)], 7.0);
+        let text = m.export_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("weird{"))
+            .expect("gauge line");
+        let start = line.find("where=\"").unwrap() + 7;
+        let end = line.rfind('"').unwrap();
+        assert_eq!(unescape_label_value(&line[start..end]), nasty);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use std::collections::{BTreeMap, HashSet};
 
 use rand::Rng;
+use simnet::ods;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration, TraceCtx};
 
 use crate::metrics::TRUNCATED_UNCOMMITTED;
@@ -594,6 +595,7 @@ impl EnsembleActor {
             // Counts committed WRITES, not commit-point advances: a quorum
             // ack that lands several proposals at once is that many commits.
             ctx.metrics().incr(COMMITS, batch.len() as u64);
+            ctx.ods_counter(ods::tiers::ZEUS, ods::series::COMMITS, batch.len() as f64);
         }
     }
 
@@ -712,6 +714,7 @@ impl EnsembleActor {
                     );
                 } else {
                     ctx.metrics().incr(DROPPED_PROPOSALS, 1);
+                    ctx.ods_counter(ods::tiers::ZEUS, ods::series::ERRORS, 1.0);
                 }
             }
             ZeusMsg::Append { write }
@@ -901,6 +904,10 @@ impl EnsembleActor {
 }
 
 impl Actor for EnsembleActor {
+    fn kind(&self) -> &'static str {
+        "zeus.ensemble"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         if self.role == Role::Leader {
             ctx.set_timer(self.cfg.heartbeat, TIMER_HEARTBEAT);

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use simnet::ods;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration, SimTime};
 
 use crate::metrics::{hops, OBSERVER_APPLIED, OBSERVER_GAP_RESYNCS};
@@ -209,6 +210,10 @@ impl ObserverActor {
 }
 
 impl Actor for ObserverActor {
+    fn kind(&self) -> &'static str {
+        "zeus.observer"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.sync(ctx);
         ctx.set_timer(self.sync_every, TIMER_ANTI_ENTROPY);
@@ -268,6 +273,7 @@ impl Actor for ObserverActor {
                     if self.store.apply(write) {
                         changed.push(path);
                         ctx.metrics().incr(OBSERVER_APPLIED, 1);
+                        ctx.ods_counter(ods::tiers::OBSERVER, ods::series::APPLIED, 1.0);
                     }
                 }
                 self.notify_watchers(ctx, &changed);

@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use bytes::Bytes;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use simnet::ods;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
 
 use crate::metrics::PROXY_UPDATES;
@@ -255,6 +256,7 @@ impl ProxyActor {
             let latency = (ctx.now() - origin).as_secs_f64();
             ctx.metrics().sample(self.latency_metric, latency);
             ctx.metrics().incr(PROXY_UPDATES, 1);
+            ctx.ods_sample(ods::tiers::PROXY, ods::series::PROPAGATION_S, latency);
             // The final hop: the config is now visible to the application
             // through the on-disk cache. Guarded by `put` (and the
             // per-node dedup), so duplicate notifies never double-count
@@ -274,6 +276,10 @@ impl ProxyActor {
 }
 
 impl Actor for ProxyActor {
+    fn kind(&self) -> &'static str {
+        "zeus.proxy"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.pick_observer(ctx);
         ctx.set_timer(self.backoff, self.timer_gen);
@@ -348,6 +354,7 @@ impl Actor for ProxyActor {
             // recovers first: plain doubling keeps the fleet phase-locked,
             // while the jittered draw spreads reconnects across the window.
             ctx.metrics().incr(PROXY_FAILOVERS, 1);
+            ctx.ods_counter(ods::tiers::PROXY, ods::series::RECONNECTS, 1.0);
             self.pick_observer(ctx);
             let base = self.healthcheck.as_micros();
             let hi = self

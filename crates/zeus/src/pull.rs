@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
+use simnet::ods;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration, SimTime};
 
 use crate::metrics::pull::{EMPTY_POLLS, POLLS, POLL_BYTES, REPLY_BYTES, STALENESS_S};
@@ -90,6 +91,10 @@ impl PullServerActor {
 }
 
 impl Actor for PullServerActor {
+    fn kind(&self) -> &'static str {
+        "mobile.pull_server"
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
         let Ok(msg) = msg.downcast::<PullMsg>() else {
             return;
@@ -111,6 +116,7 @@ impl Actor for PullServerActor {
             }
             PullMsg::Poll { interests } => {
                 ctx.metrics().incr(POLLS, 1);
+                ctx.ods_counter(ods::tiers::MOBILE, ods::series::POLLS, 1.0);
                 let changed: Vec<Write> = interests
                     .iter()
                     .filter_map(|(path, have)| {
@@ -171,6 +177,10 @@ impl PullClientActor {
 }
 
 impl Actor for PullClientActor {
+    fn kind(&self) -> &'static str {
+        "mobile.pull_client"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         // Desynchronize clients so the server is not hit in lockstep.
         let offset = rand::Rng::gen_range(ctx.rng(), 0..=self.interval.as_micros());
@@ -185,6 +195,7 @@ impl Actor for PullClientActor {
             for w in changed {
                 let staleness = (ctx.now() - w.origin).as_secs_f64();
                 ctx.metrics().sample(STALENESS_S, staleness);
+                ctx.ods_sample(ods::tiers::MOBILE, ods::series::STALENESS_S, staleness);
                 self.cache.insert(w.path.clone(), w);
             }
         }

@@ -66,6 +66,43 @@ cat /tmp/compile_timing.txt
 grep -q "compile speedup gates: PASS" /tmp/compile_timing.txt \
     || { echo "compile speedup gates failed"; exit 1; }
 
+echo "== simnet perf benchmark gate (profiler + BENCH_simnet.json)"
+# `repro perf` replays a workload-calibrated mixed scenario at three fleet
+# sizes with the self-profiler on. The live run writes BENCH_simnet.json,
+# self-validates it against the schema ("perf schema: OK" on stderr), and
+# enforces the events/sec floor ("perf throughput gate: PASS"). The
+# --check run prints only virtual-time fields (event counts, bytes, queue
+# depths — no wall time), so it is byte-deterministic: it is diffed
+# against a golden AND against a second run of itself.
+cargo run -q --release -p bench --bin repro -- perf > /tmp/perf_live.txt 2> /tmp/perf_gates.txt
+cat /tmp/perf_gates.txt
+grep -q "perf schema: OK" /tmp/perf_gates.txt \
+    || { echo "BENCH_simnet.json failed schema validation"; exit 1; }
+grep -q "perf throughput gate: PASS" /tmp/perf_gates.txt \
+    || { echo "perf throughput floor not met"; exit 1; }
+cargo run -q --release -p bench --bin repro -- perf --check 2> /dev/null > /tmp/perf_check_a.txt
+cargo run -q --release -p bench --bin repro -- perf --check 2> /dev/null > /tmp/perf_check_b.txt
+diff -u /tmp/perf_check_a.txt /tmp/perf_check_b.txt \
+    || { echo "perf --check output is not byte-deterministic"; exit 1; }
+diff -u "scripts/goldens/perf_check.txt" /tmp/perf_check_a.txt \
+    || { echo "perf --check profile diverged from golden"; exit 1; }
+
+echo "== fleet health plane gate (seeds 1 2)"
+# `repro health` runs every tier's ODS emitters under two chaos seeds and
+# reports per-tier rollups plus multi-window SLO burn rates. All numbers
+# are virtual-time only; the report is golden-gated byte for byte.
+cargo run -q --release -p bench --bin repro -- health \
+    | diff -u "scripts/goldens/health_seed1.txt" - \
+    || { echo "health report diverged from golden"; exit 1; }
+
+echo "== reconnect storm gate (seeds 1 2)"
+# `repro storm` mass-restarts every observer and reads the reconnect herd
+# off the ODS plane; decorrelated-jitter backoff must keep the shape tame
+# (peak bounded by the proxy count, settling within the horizon).
+cargo run -q --release -p bench --bin repro -- storm \
+    | diff -u "scripts/goldens/storm_seed1.txt" - \
+    || { echo "storm report diverged from golden"; exit 1; }
+
 echo "== losssweep byte-determinism gate (seed 1)"
 # The loss sweep drives the retransmission/batching pipeline through four
 # drop rates; its report must be byte-identical across runs of one seed —

@@ -24,3 +24,12 @@ echo "wrote scripts/goldens/audit_seed1.txt"
 cargo run -q --release -p bench --bin repro -- compile \
     > "scripts/goldens/compile.txt"
 echo "wrote scripts/goldens/compile.txt"
+cargo run -q --release -p bench --bin repro -- perf --check 2> /dev/null \
+    > "scripts/goldens/perf_check.txt"
+echo "wrote scripts/goldens/perf_check.txt"
+cargo run -q --release -p bench --bin repro -- health \
+    > "scripts/goldens/health_seed1.txt"
+echo "wrote scripts/goldens/health_seed1.txt"
+cargo run -q --release -p bench --bin repro -- storm \
+    > "scripts/goldens/storm_seed1.txt"
+echo "wrote scripts/goldens/storm_seed1.txt"
