@@ -26,6 +26,11 @@
 //!                            # folded stacks; writes BENCH_simnet.json.
 //!                            # --check prints only virtual-time fields
 //!                            # (byte-deterministic, golden-gated)
+//! repro fleet [--check]      # paper-scale diurnal replay: 1k/5k/20k-node
+//!                            # propagation-delay tables; appends the
+//!                            # fleet_runs section of BENCH_simnet.json.
+//!                            # --check prints only virtual-time fields
+//!                            # (byte-deterministic, golden-gated)
 //! repro health [--seed <n>]  # ODS fleet health plane: per-tier rollups +
 //!                            # multi-window SLO burn rates under chaos
 //! repro storm [--seed <n>]   # observer mass-restart reconnect storm under
@@ -104,6 +109,12 @@ fn main() {
             let check = args.iter().any(|a| a == "--check");
             banner("perf");
             println!("{}", bench::perf_exp::perf(check));
+            return;
+        }
+        Some("fleet") => {
+            let check = args.iter().any(|a| a == "--check");
+            banner("fleet");
+            println!("{}", bench::fleet_exp::fleet(check));
             return;
         }
         Some("health") => {

@@ -1,0 +1,262 @@
+//! `repro fleet`: paper-scale diurnal replay of the distribution tree.
+//!
+//! The paper's production numbers are fleet-wide: hundreds of thousands of
+//! servers receiving config updates through the Zeus ensemble → observer →
+//! proxy tree, with commit arrivals following the strong diurnal cycle of
+//! §5. This experiment replays that shape at three sizes (1k / 5k / 20k
+//! nodes) on the allocation-free event core and recomputes the paper's
+//! propagation-delay distribution table at each size: the delay from a
+//! committed write to its landing in each subscribed proxy's on-disk
+//! cache, summarized as p50/p90/p99/p999/max over every (write, proxy)
+//! pair.
+//!
+//! Write arrivals are calibrated by `crates/workload`'s commit-rate model
+//! (one modeled hour = one simulated second, so a day's diurnal curve is a
+//! 24 s replay), exactly as `repro perf` does, so the two benchmarks stay
+//! comparable. Propagation delays are *virtual* time: deterministic per
+//! seed and byte-stable across queue implementations, machines, and runs.
+//!
+//! `fleet --check` prints only those deterministic fields (and skips the
+//! 20k size to keep the gate fast); the live mode runs all three sizes,
+//! reports wall-clock throughput, appends the `"fleet_runs"` section to
+//! `BENCH_simnet.json` (preserving `repro perf`'s `"runs"`), and emits
+//! schema + throughput gates on stderr. The throughput floor — 100k
+//! events/s at ≥ 5k nodes — is deliberately far below a quiet release-mode
+//! run: it catches order-of-magnitude regressions, not machine noise.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bytes::Bytes;
+use simnet::prelude::*;
+use workload::commits::CommitProcess;
+use zeus::deploy::{DeployConfig, ZeusDeployment};
+use zeus::metrics::{PROPAGATION_S, PROXY_UPDATES};
+
+use crate::bench_json::{self, FleetRow};
+
+/// Config paths the diurnal workload writes and every proxy subscribes to.
+const PATHS: usize = 4;
+/// Seed for every fleet size (the replay must be deterministic).
+const SEED: u64 = 1;
+/// Events/sec floor enforced on stderr for every fleet at or above
+/// [`FLOOR_MIN_NODES`] nodes.
+const EVENTS_PER_SEC_FLOOR: f64 = 100_000.0;
+/// The floor applies from this fleet size up (the ISSUE's "≥ 5k nodes").
+const FLOOR_MIN_NODES: usize = 5_000;
+
+/// The three fleet sizes: (label, regions, clusters/region, servers/cluster).
+const FLEETS: &[(&str, usize, usize, usize)] = &[
+    ("1k", 3, 4, 84),    // 1008 nodes
+    ("5k", 3, 7, 240),   // 5040 nodes
+    ("20k", 4, 10, 500), // 20000 nodes
+];
+
+struct FleetResult {
+    row: FleetRow,
+    bytes_sent: u64,
+    queue_peak: usize,
+    queue_mean: f64,
+}
+
+/// Installs the Zeus tree and schedules the diurnal write day; returns
+/// `(horizon, writes)`.
+fn build_scenario(sim: &mut Sim) -> (SimTime, u64) {
+    let cfg = DeployConfig {
+        subscriptions: (0..PATHS).map(|i| format!("fleet/{i}")).collect(),
+        ..DeployConfig::default()
+    };
+    let zeus = ZeusDeployment::install(sim, &cfg);
+
+    // One modeled hour compresses to one simulated second; each hour's
+    // commit count comes from the diurnal model and is scaled to at most
+    // 12 writes/s so the 20k-node size stays tractable.
+    let hours = CommitProcess::default().hourly_series(1, SEED);
+    let scale = 12.0 / hours.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let mut seq = 0u64;
+    for (h, &commits) in hours.iter().enumerate() {
+        let window_start = 1_000_000 + h as u64 * 1_000_000;
+        let n = ((commits as f64 * scale).round() as u64).max(1);
+        for k in 0..n {
+            let at = SimTime(window_start + k * (1_000_000 / n));
+            let path = format!("fleet/{}", seq as usize % PATHS);
+            zeus.write_current(sim, at, &path, Bytes::from(format!("v{seq}")));
+            seq += 1;
+        }
+    }
+    (
+        SimTime(1_000_000 + hours.len() as u64 * 1_000_000 + 5_000_000),
+        seq,
+    )
+}
+
+fn run_fleet(name: &str, regions: usize, clusters: usize, servers: usize) -> FleetResult {
+    let topo = Topology::symmetric(regions, clusters, servers);
+    let nodes = topo.num_nodes();
+    let mut sim = Sim::new(topo, NetConfig::datacenter(), SEED);
+    sim.enable_profiler();
+    let (horizon, writes) = build_scenario(&mut sim);
+    let start = Instant::now();
+    sim.run_until(horizon);
+    let wall = start.elapsed();
+    let events = sim.events_processed();
+    // The paper's propagation table: virtual delay from commit to each
+    // proxy's on-disk apply, from the log-bucketed histogram every proxy
+    // samples into. All quantiles are deterministic.
+    let prop = |q: f64| -> f64 {
+        sim.metrics()
+            .histogram(PROPAGATION_S)
+            .map(|h| h.quantile_secs(q) * 1e3)
+            .unwrap_or(0.0)
+    };
+    let propagation_ms = [prop(0.50), prop(0.90), prop(0.99), prop(0.999), prop(1.0)];
+    let p = sim.profiler();
+    FleetResult {
+        row: FleetRow {
+            fleet: name.to_string(),
+            nodes: nodes as u64,
+            events,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+            writes,
+            proxy_updates: sim.metrics().counter(PROXY_UPDATES),
+            propagation_ms,
+        },
+        bytes_sent: sim.metrics().counter(simnet::stats::names::BYTES_SENT),
+        queue_peak: p.queue_peak(),
+        queue_mean: p.queue_mean(),
+    }
+}
+
+fn virtual_report(out: &mut String, r: &FleetResult) {
+    let row = &r.row;
+    let _ = writeln!(
+        out,
+        "fleet={} nodes={} events={} writes={} proxy_updates={} bytes_sent={} peak_queue={} mean_queue={:.2}",
+        row.fleet,
+        row.nodes,
+        row.events,
+        row.writes,
+        row.proxy_updates,
+        r.bytes_sent,
+        r.queue_peak,
+        r.queue_mean,
+    );
+    let p = &row.propagation_ms;
+    let _ = writeln!(
+        out,
+        "propagation delay (virtual ms): p50={:.3} p90={:.3} p99={:.3} p999={:.3} max={:.3}\n",
+        p[0], p[1], p[2], p[3], p[4]
+    );
+}
+
+/// Runs the paper-scale replay. With `check` set, runs the 1k and 5k
+/// sizes and prints only the deterministic virtual fields (golden-gated
+/// by `scripts/check.sh`); otherwise runs all three sizes, prints the live
+/// wall-clock report, updates `BENCH_simnet.json`, and emits the schema +
+/// throughput gates on stderr.
+pub fn fleet(check: bool) -> String {
+    let mut out = String::new();
+    let sizes: Vec<&(&str, usize, usize, usize)> = FLEETS
+        .iter()
+        .filter(|&&(name, ..)| !(check && name == "20k"))
+        .collect();
+    let results: Vec<FleetResult> = sizes
+        .iter()
+        .map(|&&(name, r, c, s)| run_fleet(name, r, c, s))
+        .collect();
+
+    if check {
+        let _ = writeln!(
+            out,
+            "paper-scale fleet replay — virtual (deterministic) fields only\n\
+             (diurnal write day over the zeus tree; propagation delays are\n\
+             simulated time and replay byte-identically per seed)\n"
+        );
+        for r in &results {
+            virtual_report(&mut out, r);
+        }
+        return out;
+    }
+
+    let _ = writeln!(
+        out,
+        "paper-scale fleet replay — diurnal commit day over the zeus tree\n\
+         (1 modeled hour = 1 s; propagation table recomputed per fleet size)\n"
+    );
+    for r in &results {
+        let row = &r.row;
+        let _ = writeln!(
+            out,
+            "fleet={} nodes={} events={} wall_ms={:.1} events/sec={:.0}",
+            row.fleet, row.nodes, row.events, row.wall_ms, row.events_per_sec
+        );
+        virtual_report(&mut out, r);
+    }
+
+    let rows: Vec<FleetRow> = results.iter().map(|r| r.row.clone()).collect();
+    match bench_json::write_fleet(bench_json::PATH, &rows) {
+        Ok(()) => eprintln!("wrote {} (fleet_runs section)", bench_json::PATH),
+        Err(e) => eprintln!("fleet: failed to write {}: {e}", bench_json::PATH),
+    }
+    match std::fs::read_to_string(bench_json::PATH)
+        .map_err(|e| format!("unreadable: {e}"))
+        .and_then(|t| bench_json::validate(&t))
+    {
+        Ok(()) => eprintln!("fleet schema: OK"),
+        Err(e) => eprintln!("fleet schema: FAIL ({e})"),
+    }
+    let gated: Vec<&FleetResult> = results
+        .iter()
+        .filter(|r| r.row.nodes >= FLOOR_MIN_NODES as u64)
+        .collect();
+    let worst = gated
+        .iter()
+        .map(|r| r.row.events_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    if gated.is_empty() {
+        eprintln!("fleet throughput gate: SKIP (no fleet at >= {FLOOR_MIN_NODES} nodes)");
+    } else if worst >= EVENTS_PER_SEC_FLOOR {
+        eprintln!(
+            "fleet throughput gate: PASS (slowest >= {FLOOR_MIN_NODES}-node fleet {worst:.0} events/s >= floor {EVENTS_PER_SEC_FLOOR:.0})"
+        );
+    } else {
+        eprintln!(
+            "fleet throughput gate: FAIL (slowest >= {FLOOR_MIN_NODES}-node fleet {worst:.0} events/s < floor {EVENTS_PER_SEC_FLOOR:.0})"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_k_replay_is_deterministic_and_converges() {
+        let (name, r, c, s) = FLEETS[0];
+        let a = run_fleet(name, r, c, s);
+        let b = run_fleet(name, r, c, s);
+        let mut ra = String::new();
+        let mut rb = String::new();
+        virtual_report(&mut ra, &a);
+        virtual_report(&mut rb, &b);
+        assert_eq!(ra, rb, "virtual fleet report must be byte-identical");
+        // Wall-clock leak audit: the --check surface is built from
+        // `virtual_report` only, so nothing wall-clock may appear in it.
+        for leak in ["wall_ms", "events/sec", "wall"] {
+            assert!(
+                !ra.contains(leak),
+                "wall-clock field {leak:?} leaked into --check"
+            );
+        }
+        assert_eq!(a.row.nodes, 1008);
+        assert!(a.row.writes > 100, "diurnal day must commit writes");
+        assert!(
+            a.row.proxy_updates >= a.row.writes,
+            "each write must land in at least one proxy cache"
+        );
+        let p = &a.row.propagation_ms;
+        assert!(p[0] > 0.0 && p[0] <= p[1] && p[1] <= p[2] && p[2] <= p[4]);
+    }
+}

@@ -6,11 +6,13 @@
 //! implementations for the measured kernels.
 
 pub mod audit_exp;
+pub mod bench_json;
 pub mod canary_exp;
 pub mod chaos_exp;
 pub mod compile_exp;
 pub mod distribution;
 pub mod fig13;
+pub mod fleet_exp;
 pub mod gatekeeper_exp;
 pub mod health_exp;
 pub mod incidents;
@@ -102,6 +104,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "laser" => laser_exp::laser(1),
         "compile" => compile_exp::compile(s),
         "perf" => perf_exp::perf(false),
+        "fleet" => fleet_exp::fleet(false),
         "health" => health_exp::report(1),
         "storm" => storm_exp::report(1),
         _ => return None,
@@ -140,6 +143,7 @@ pub const ALL: &[&str] = &[
     "laser",
     "compile",
     "perf",
+    "fleet",
     "health",
     "storm",
 ];

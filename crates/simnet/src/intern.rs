@@ -1,0 +1,225 @@
+//! String interning and fast hashing for the simulator's hot paths.
+//!
+//! The metric and ODS planes are keyed by short, low-cardinality names
+//! (`"zeus.commits"`, `"proxy"/"propagation_s"`) that arrive as `&str` on
+//! every single event. Before this module, each recording call paid a
+//! `String` allocation (to key a `BTreeMap`) plus SipHash or an O(log n)
+//! string-compare walk. A [`SymbolTable`] maps each distinct name to a
+//! dense [`Sym`] id exactly once; every subsequent hit is one FxHash of a
+//! short string and an equality check — no allocation, no tree walk. Ids
+//! index plain `Vec` side tables, and names are resolved back only at
+//! export/report time, which is where the sorted, byte-stable ordering of
+//! the old `BTreeMap` surface is reproduced.
+//!
+//! [`FxHasher`] is the rustc/Firefox hash: not DoS-resistant (irrelevant
+//! here — all keys are compiled-in names or seeded-deterministic strings)
+//! but several times cheaper than SipHash on short keys, and fully
+//! deterministic across runs, which the byte-identical goldens require.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`] (deterministic, fast on short keys).
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Multiplicative constant from the rustc-hash / FxHash design: a random
+/// odd number with good bit dispersion under wrapping multiplication.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/Firefox "Fx" hash: rotate, xor, multiply per word.
+///
+/// Deterministic (no per-process random state), so anything iterated in
+/// hash order must still be sorted before it reaches golden-gated output —
+/// determinism of the *hash* does not make bucket order meaningful.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" cannot collide by
+            // construction of the tail word alone.
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A dense id for an interned string. Ids are assigned in first-seen order
+/// and are only meaningful within the [`SymbolTable`] that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The id as a `usize` index into a side table.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string → dense-id table.
+///
+/// `intern` allocates only the first time a name is seen; every later call
+/// is a hash lookup on the borrowed `&str`. `resolve` is O(1).
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    index: FxHashMap<Box<str>, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Returns the id for `name`, assigning the next dense id (and making
+    /// the table's single copy of the string) if it is new.
+    #[inline]
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&id) = self.index.get(name) {
+            return Sym(id);
+        }
+        self.intern_slow(name)
+    }
+
+    #[cold]
+    fn intern_slow(&mut self, name: &str) -> Sym {
+        let id = self.names.len() as u32;
+        let owned: Box<str> = name.into();
+        self.names.push(owned.clone());
+        self.index.insert(owned, id);
+        Sym(id)
+    }
+
+    /// Returns the id for `name` if it was ever interned, without
+    /// inserting. The allocation-free read path.
+    #[inline]
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.index.get(name).map(|&id| Sym(id))
+    }
+
+    /// The string a [`Sym`] stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not issued by this table.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.idx()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All `(id, name)` pairs with ids sorted by *name* — the order every
+    /// exported report uses, reproducing the old `BTreeMap` iteration.
+    pub fn sorted_by_name(&self) -> Vec<(Sym, &str)> {
+        let mut v: Vec<(Sym, &str)> = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_ref()))
+            .collect();
+        v.sort_by(|a, b| a.1.cmp(b.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("zeus.commits");
+        let b = t.intern("zeus.errors");
+        assert_eq!(a, Sym(0));
+        assert_eq!(b, Sym(1));
+        assert_eq!(t.intern("zeus.commits"), a, "re-intern returns same id");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "zeus.commits");
+        assert_eq!(t.get("zeus.errors"), Some(b));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn sorted_by_name_reproduces_btreemap_order() {
+        let mut t = SymbolTable::new();
+        t.intern("c");
+        t.intern("a");
+        t.intern("b");
+        let names: Vec<&str> = t.sorted_by_name().iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fx_hash_is_deterministic_across_hashers() {
+        use std::hash::Hash;
+        let h = |s: &str| {
+            let mut hasher = FxHasher::default();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h("proxy.updates"), h("proxy.updates"));
+        assert_ne!(h("a"), h("b"));
+        assert_ne!(h("ab"), h("ab\0"));
+    }
+}

@@ -40,9 +40,11 @@
 //! ```
 
 pub mod chaos;
+pub mod intern;
 pub mod net;
 pub mod ods;
 pub mod profile;
+pub mod queue;
 pub mod sim;
 pub mod stats;
 pub mod time;

@@ -17,9 +17,10 @@
 //! [`Sim::enable_ods`](crate::sim::Sim::enable_ods) is called, so
 //! experiments that never read the plane pay nothing.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt::Write as _;
 
+use crate::intern::{FxHashMap, Sym, SymbolTable};
 use crate::sim::{Actor, Ctx, Message};
 use crate::stats::{escape_label_value, percentile_sorted};
 use crate::time::{SimDuration, SimTime};
@@ -83,6 +84,8 @@ pub enum SeriesKind {
 
 #[derive(Debug)]
 struct Series {
+    tier: Sym,
+    name: Sym,
     kind: SeriesKind,
     /// Raw points in emit order (timestamps are nondecreasing because
     /// emits happen at the simulation's current instant). Pruned at scrape
@@ -185,7 +188,15 @@ pub struct Ods {
     enabled: bool,
     fast: SimDuration,
     slow: SimDuration,
-    series: BTreeMap<(String, String), Series>,
+    /// Interned tier/series names. The hot emit path hashes the two
+    /// borrowed `&str`s once each; `String` keys are only materialised at
+    /// scrape/report time.
+    syms: SymbolTable,
+    /// `(tier, name)` symbol pair → slot in `table`.
+    index: FxHashMap<(Sym, Sym), u32>,
+    /// Series storage in first-emit order; report paths sort by resolved
+    /// `(tier, name)` to reproduce the old `BTreeMap` iteration order.
+    table: Vec<Series>,
     slos: Vec<SloPolicy>,
     scrapes: Vec<Scrape>,
 }
@@ -199,7 +210,9 @@ impl Default for Ods {
             // short experiment still exercises both burn windows.
             fast: SimDuration::from_secs(5),
             slow: SimDuration::from_secs(60),
-            series: BTreeMap::new(),
+            syms: SymbolTable::new(),
+            index: FxHashMap::default(),
+            table: Vec::new(),
             slos: Vec::new(),
             scrapes: Vec::new(),
         }
@@ -241,14 +254,26 @@ impl Ods {
         if !self.enabled {
             return;
         }
-        let key = (tier.to_string(), name.to_string());
-        let s = self.series.entry(key).or_insert_with(|| Series {
-            kind,
-            points: VecDeque::new(),
-            nodes: BTreeSet::new(),
-            total_count: 0,
-            total_sum: 0.0,
-        });
+        let t = self.syms.intern(tier);
+        let n = self.syms.intern(name);
+        let slot = match self.index.get(&(t, n)) {
+            Some(&i) => i as usize,
+            None => {
+                let i = self.table.len();
+                self.table.push(Series {
+                    tier: t,
+                    name: n,
+                    kind,
+                    points: VecDeque::new(),
+                    nodes: BTreeSet::new(),
+                    total_count: 0,
+                    total_sum: 0.0,
+                });
+                self.index.insert((t, n), i as u32);
+                i
+            }
+        };
+        let s = &mut self.table[slot];
         debug_assert!(
             s.kind == kind,
             "series {tier}/{name} emitted with two kinds"
@@ -257,6 +282,27 @@ impl Ods {
         s.nodes.insert(node.0);
         s.total_count += 1;
         s.total_sum += value;
+    }
+
+    /// Slots of `table` sorted by resolved `(tier, name)` — the iteration
+    /// order every report surface promises (and the old `BTreeMap` gave
+    /// for free).
+    fn sorted_slots(&self) -> Vec<usize> {
+        let mut slots: Vec<usize> = (0..self.table.len()).collect();
+        slots.sort_by(|&a, &b| {
+            let sa = &self.table[a];
+            let sb = &self.table[b];
+            (self.syms.resolve(sa.tier), self.syms.resolve(sa.name))
+                .cmp(&(self.syms.resolve(sb.tier), self.syms.resolve(sb.name)))
+        });
+        slots
+    }
+
+    /// Allocation-free lookup of a series by its string key.
+    fn lookup(&self, tier: &str, name: &str) -> Option<&Series> {
+        let t = self.syms.get(tier)?;
+        let n = self.syms.get(name)?;
+        self.index.get(&(t, n)).map(|&i| &self.table[i as usize])
     }
 
     /// Emits a counter delta attributed to `node` at `at`.
@@ -342,15 +388,18 @@ impl Ods {
         if !self.enabled {
             return;
         }
-        let mut rows = Vec::with_capacity(self.series.len());
+        let mut rows = Vec::with_capacity(self.table.len());
         let slos = std::mem::take(&mut self.slos);
-        for ((tier, name), s) in &self.series {
-            let slo = slos.iter().find(|p| p.tier == *tier && p.series == *name);
+        for slot in self.sorted_slots() {
+            let s = &self.table[slot];
+            let tier = self.syms.resolve(s.tier);
+            let name = self.syms.resolve(s.name);
+            let slo = slos.iter().find(|p| p.tier == tier && p.series == name);
             let fast = self.window_stats(&s.points, s.kind, now, self.fast, slo);
             let slow = self.window_stats(&s.points, s.kind, now, self.slow, slo);
             rows.push(ScrapeRow {
-                tier: tier.clone(),
-                name: name.clone(),
+                tier: tier.to_string(),
+                name: name.to_string(),
                 kind: s.kind,
                 nodes: s.nodes.len() as u64,
                 fast,
@@ -360,7 +409,7 @@ impl Ods {
         self.slos = slos;
         self.scrapes.push(Scrape { at: now, rows });
         let cutoff = SimTime(now.0.saturating_sub(self.slow.as_micros()));
-        for s in self.series.values_mut() {
+        for s in &mut self.table {
             while s.points.front().is_some_and(|&(t, _)| t <= cutoff) {
                 s.points.pop_front();
             }
@@ -391,25 +440,32 @@ impl Ods {
     /// prune to the slow window; an unscraped plane retains everything).
     /// Used by shape analyses — e.g. bucketing reconnects over time.
     pub fn points(&self, tier: &str, name: &str) -> Vec<(SimTime, f64)> {
-        self.series
-            .get(&(tier.to_string(), name.to_string()))
+        self.lookup(tier, name)
             .map(|s| s.points.iter().copied().collect())
             .unwrap_or_default()
     }
 
     /// Lifetime totals for a series: `(points, sum)`.
     pub fn totals(&self, tier: &str, name: &str) -> (u64, f64) {
-        self.series
-            .get(&(tier.to_string(), name.to_string()))
+        self.lookup(tier, name)
             .map(|s| (s.total_count, s.total_sum))
             .unwrap_or((0, 0.0))
     }
 
-    /// Every (tier, name) pair with its kind and emitting-node count.
+    /// Every (tier, name) pair with its kind and emitting-node count, in
+    /// (tier, name) order.
     pub fn series_index(&self) -> Vec<(String, String, SeriesKind, u64)> {
-        self.series
-            .iter()
-            .map(|((t, n), s)| (t.clone(), n.clone(), s.kind, s.nodes.len() as u64))
+        self.sorted_slots()
+            .into_iter()
+            .map(|i| {
+                let s = &self.table[i];
+                (
+                    self.syms.resolve(s.tier).to_string(),
+                    self.syms.resolve(s.name).to_string(),
+                    s.kind,
+                    s.nodes.len() as u64,
+                )
+            })
             .collect()
     }
 

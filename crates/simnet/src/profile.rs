@@ -19,8 +19,54 @@
 //! [`Actor::kind`]: crate::sim::Actor::kind
 
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 use crate::topology::NodeId;
+
+/// A raw monotonic timestamp in *ticks* (TSC counts on x86_64, nanoseconds
+/// elsewhere). Differences of these are converted to nanoseconds by the
+/// profiler's calibration factor; reading one is several times cheaper
+/// than `Instant::now`, which matters because the profiler reads two per
+/// dispatched event.
+#[inline]
+pub(crate) fn now_ticks() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: RDTSC has no preconditions; it reads the timestamp counter.
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Measures nanoseconds per tick over a short spin. On non-x86 the tick
+/// already *is* a nanosecond and the factor is exactly 1.
+fn calibrate_ns_per_tick() -> f64 {
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        1.0
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let start = Instant::now();
+        let t0 = now_ticks();
+        // ~200µs is plenty: TSC rates are GHz-scale, so this spans
+        // hundreds of thousands of ticks.
+        while start.elapsed().as_micros() < 200 {
+            std::hint::spin_loop();
+        }
+        let ticks = now_ticks().saturating_sub(t0);
+        if ticks == 0 {
+            1.0
+        } else {
+            start.elapsed().as_nanos() as f64 / ticks as f64
+        }
+    }
+}
 
 /// The class of event being dispatched to an actor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -102,7 +148,17 @@ pub struct HotActor {
 #[derive(Debug, Default)]
 pub struct Profiler {
     enabled: bool,
-    cells: BTreeMap<(&'static str, EventClass), Cell>,
+    /// Flat cell table scanned linearly on the hot path. The working set is
+    /// a handful of (kind, class) pairs and `kind` labels are `'static`
+    /// literals, so a pointer-equality fast path resolves almost every
+    /// lookup without touching string bytes — measurably cheaper than the
+    /// `BTreeMap` walk this replaces, which string-compared on every probe.
+    cells: Vec<((&'static str, EventClass), Cell)>,
+    /// Nanoseconds per raw [`now_ticks`] tick, calibrated at [`enable`]
+    /// time (1.0 until then, and exactly 1.0 off x86_64).
+    ///
+    /// [`enable`]: Profiler::enable
+    ns_per_tick: f64,
     nodes: Vec<NodeProfile>,
     queue_peak: usize,
     queue_depth_sum: u128,
@@ -113,7 +169,8 @@ impl Profiler {
     pub(crate) fn new(num_nodes: usize) -> Profiler {
         Profiler {
             enabled: false,
-            cells: BTreeMap::new(),
+            cells: Vec::new(),
+            ns_per_tick: 1.0,
             nodes: (0..num_nodes).map(|_| NodeProfile::default()).collect(),
             queue_peak: 0,
             queue_depth_sum: 0,
@@ -123,6 +180,7 @@ impl Profiler {
 
     pub(crate) fn enable(&mut self) {
         self.enabled = true;
+        self.ns_per_tick = calibrate_ns_per_tick();
     }
 
     /// Whether the profiler is recording.
@@ -131,14 +189,30 @@ impl Profiler {
     }
 
     #[inline]
+    fn cell_mut(&mut self, kind: &'static str, class: EventClass) -> &mut Cell {
+        let pos = self.cells.iter().position(|((k, c), _)| {
+            *c == class && (std::ptr::eq(k.as_ptr(), kind.as_ptr()) || *k == kind)
+        });
+        let pos = match pos {
+            Some(p) => p,
+            None => {
+                self.cells.push(((kind, class), Cell::default()));
+                self.cells.len() - 1
+            }
+        };
+        &mut self.cells[pos].1
+    }
+
+    #[inline]
     pub(crate) fn record_dispatch(
         &mut self,
         node: NodeId,
         kind: &'static str,
         class: EventClass,
-        wall_ns: u64,
+        ticks: u64,
     ) {
-        let cell = self.cells.entry((kind, class)).or_default();
+        let wall_ns = (ticks as f64 * self.ns_per_tick) as u64;
+        let cell = self.cell_mut(kind, class);
         cell.events += 1;
         cell.wall_ns += wall_ns;
         let n = &mut self.nodes[node.0 as usize];
@@ -148,11 +222,9 @@ impl Profiler {
     }
 
     #[inline]
-    pub(crate) fn record_control(&mut self, wall_ns: u64) {
-        let cell = self
-            .cells
-            .entry(("driver", EventClass::Control))
-            .or_default();
+    pub(crate) fn record_control(&mut self, ticks: u64) {
+        let wall_ns = (ticks as f64 * self.ns_per_tick) as u64;
+        let cell = self.cell_mut("driver", EventClass::Control);
         cell.events += 1;
         cell.wall_ns += wall_ns;
     }
@@ -196,15 +268,22 @@ impl Profiler {
         }
     }
 
-    /// All (kind, class) cells in key order.
+    /// All (kind, class) cells in key order. The hot-path table is insertion
+    /// ordered, so sort a snapshot here — report time, not dispatch time.
     pub fn cells(&self) -> impl Iterator<Item = (&'static str, EventClass, Cell)> + '_ {
-        self.cells.iter().map(|(&(k, c), &cell)| (k, c, cell))
+        let mut rows: Vec<(&'static str, EventClass, Cell)> = self
+            .cells
+            .iter()
+            .map(|&((k, c), cell)| (k, c, cell))
+            .collect();
+        rows.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        rows.into_iter()
     }
 
     /// Per-kind aggregation over event classes, in kind order.
     pub fn by_kind(&self) -> Vec<(&'static str, Cell)> {
         let mut agg: BTreeMap<&'static str, Cell> = BTreeMap::new();
-        for (&(kind, _), cell) in &self.cells {
+        for &((kind, _), cell) in &self.cells {
             let a = agg.entry(kind).or_default();
             a.events += cell.events;
             a.wall_ns += cell.wall_ns;
@@ -326,7 +405,7 @@ impl Profiler {
 
     /// Total handler dispatches across all cells.
     pub fn total_dispatches(&self) -> u64 {
-        self.cells.values().map(|c| c.events).sum()
+        self.cells.iter().map(|(_, c)| c.events).sum()
     }
 }
 
@@ -338,6 +417,7 @@ mod tests {
     fn cells_and_nodes_accumulate() {
         let mut p = Profiler::new(4);
         p.enable();
+        p.ns_per_tick = 1.0; // pin the calibration so ticks == ns in assertions
         p.record_dispatch(NodeId(1), "zeus.proxy", EventClass::Deliver, 100);
         p.record_dispatch(NodeId(1), "zeus.proxy", EventClass::Deliver, 50);
         p.record_dispatch(NodeId(2), "zeus.observer", EventClass::Timer, 300);
@@ -360,6 +440,7 @@ mod tests {
     fn folded_stacks_are_sorted_and_stable() {
         let mut p = Profiler::new(2);
         p.enable();
+        p.ns_per_tick = 1.0;
         p.record_dispatch(NodeId(0), "b", EventClass::Timer, 10);
         p.record_dispatch(NodeId(1), "a", EventClass::Deliver, 20);
         p.record_control(5);

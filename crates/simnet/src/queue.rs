@@ -1,0 +1,496 @@
+//! The event queue and event slab backing [`crate::sim::Sim`].
+//!
+//! The seed engine kept every pending event in one `BinaryHeap<Event>`,
+//! where `Event` owned its (boxed, potentially closure-carrying) payload.
+//! Two costs dominated at fleet scale: every push sifted a fat element
+//! through the heap, and the observer fan-out path allocated and dropped
+//! heap nodes at the event rate. This module splits the two concerns:
+//!
+//! * [`Slab`] — an index-allocated arena for event payloads. Payloads are
+//!   written once on push and moved out once on pop; the queue itself only
+//!   carries copyable 20-byte [`EventKey`]s.
+//! * [`CalendarQueue`] — a hierarchical timer wheel: a *near* min-heap for
+//!   the bucket currently being drained, a ring of `NB` fixed-width
+//!   buckets covering the next ~131 ms of virtual time, and a *far*
+//!   min-heap for everything beyond the ring horizon. Most simulation
+//!   traffic (RPC latencies of 50 µs–40 ms) lands in a ring bucket with an
+//!   O(1) push, and only the handful of events inside one 128 µs bucket
+//!   ever pay heap sifting.
+//! * [`EventQueue`] — the calendar queue plus a debug/reference mode that
+//!   is the seed's plain `BinaryHeap`, used by determinism tests to prove
+//!   the calendar ordering is *exactly* the historical `(at, seq)` order.
+//!
+//! # Ordering contract
+//!
+//! `pop` returns keys in strictly ascending `(at_us, seq)` order — the
+//! same total order as the seed heap's reversed `(at, seq)` comparison.
+//! This holds because of three invariants, maintained by every operation:
+//!
+//! 1. every key in `near` has `at_us < boundary` where `boundary` is the
+//!    upper edge of the bucket the cursor has consumed;
+//! 2. ring bucket `b` holds exactly the keys with
+//!    `base + b·W ≤ at_us < base + (b+1)·W`, and only buckets strictly
+//!    after the cursor are occupied;
+//! 3. every key in `far` has `at_us ≥ base + NB·W` (the ring horizon).
+//!
+//! The simulator only pushes keys with `at_us ≥ now`, and `now` is always
+//! the timestamp of the last popped key, so a late push can never land in
+//! a bucket the cursor has already passed — it routes into `near`, whose
+//! heap restores order locally.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Number of ring buckets. Power of two so the occupancy bitmap is a
+/// whole number of words.
+const NB: usize = 1024;
+/// Bucket width in microseconds. 128 µs × 1024 buckets ≈ 131 ms horizon,
+/// which covers every modeled one-hop latency (50 µs overhead → 40 ms
+/// cross-region) without touching the far heap.
+const WIDTH_US: u64 = 128;
+/// Ring horizon: events at `base + SPAN_US` or later go to the far heap.
+const SPAN_US: u64 = NB as u64 * WIDTH_US;
+/// Words in the occupancy bitmap.
+const BITMAP_WORDS: usize = NB / 64;
+
+/// The queue's view of one pending event: its virtual timestamp, the
+/// global insertion sequence (tie-break), and the slab slot holding the
+/// payload. Field order gives derived `Ord` the `(at, seq)` contract;
+/// `idx` never decides (seq is unique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Virtual due time in microseconds.
+    pub at_us: u64,
+    /// Global insertion sequence; unique, so ties on `at_us` are broken
+    /// deterministically by push order.
+    pub seq: u64,
+    /// Slot in the event [`Slab`] holding this event's payload.
+    pub idx: u32,
+}
+
+/// An index-allocated arena with a free list. `insert` reuses freed slots
+/// (LIFO), so a steady-state simulation reaches a high-water mark of live
+/// events and then stops allocating entirely.
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Slab<T> {
+        Slab::default()
+    }
+
+    /// Stores `value`, returning the slot index to fetch it back with.
+    #[inline]
+    pub fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Some(value);
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Some(value));
+                idx
+            }
+        }
+    }
+
+    /// Moves the value out of `idx` and recycles the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not currently occupied.
+    #[inline]
+    pub fn remove(&mut self, idx: u32) -> T {
+        let v = self.slots[idx as usize].take().expect("slab slot occupied");
+        self.free.push(idx);
+        v
+    }
+
+    /// Number of live (occupied) slots.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether no slots are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity high-water mark (total slots ever allocated).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Hierarchical (calendar) event queue. See the module docs for the
+/// structure and ordering proof.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// Min-heap of keys below `boundary` — the bucket(s) already consumed
+    /// by the cursor plus any late pushes.
+    near: BinaryHeap<Reverse<EventKey>>,
+    /// Fixed-width buckets relative to `base`; unsorted within a bucket.
+    ring: Vec<Vec<EventKey>>,
+    /// One bit per ring bucket: does it hold any keys?
+    occupied: [u64; BITMAP_WORDS],
+    /// Virtual time of ring bucket 0's lower edge, aligned to `WIDTH_US`.
+    base: u64,
+    /// Index of the last bucket drained into `near`; buckets `<= cursor`
+    /// are empty.
+    cursor: usize,
+    /// Min-heap of keys at or beyond the ring horizon.
+    far: BinaryHeap<Reverse<EventKey>>,
+    len: usize,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl CalendarQueue {
+    /// Creates an empty queue anchored at virtual time zero.
+    pub fn new() -> CalendarQueue {
+        CalendarQueue {
+            near: BinaryHeap::new(),
+            ring: (0..NB).map(|_| Vec::new()).collect(),
+            occupied: [0; BITMAP_WORDS],
+            base: 0,
+            cursor: 0,
+            far: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Upper edge of the consumed region: keys below this must live in
+    /// `near`.
+    #[inline]
+    fn boundary(&self) -> u64 {
+        self.base + (self.cursor as u64 + 1) * WIDTH_US
+    }
+
+    #[inline]
+    fn mark(&mut self, b: usize) {
+        self.occupied[b / 64] |= 1u64 << (b % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, b: usize) {
+        self.occupied[b / 64] &= !(1u64 << (b % 64));
+    }
+
+    /// Inserts a key. O(1) for the common ring-bucket case.
+    #[inline]
+    pub fn push(&mut self, key: EventKey) {
+        self.len += 1;
+        if key.at_us < self.boundary() {
+            self.near.push(Reverse(key));
+        } else if key.at_us < self.base + SPAN_US {
+            let b = ((key.at_us - self.base) / WIDTH_US) as usize;
+            self.ring[b].push(key);
+            self.mark(b);
+        } else {
+            self.far.push(Reverse(key));
+        }
+    }
+
+    /// Removes and returns the minimum key, or `None` if empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<EventKey> {
+        if self.near.is_empty() {
+            self.prime();
+        }
+        let key = self.near.pop().map(|Reverse(k)| k);
+        if key.is_some() {
+            self.len -= 1;
+        }
+        key
+    }
+
+    /// Returns the minimum key without removing it. Takes `&mut self`
+    /// because it may need to drain the next bucket into `near`.
+    #[inline]
+    pub fn peek_min(&mut self) -> Option<EventKey> {
+        if self.near.is_empty() {
+            self.prime();
+        }
+        self.near.peek().map(|&Reverse(k)| k)
+    }
+
+    /// Number of pending keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no keys are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Refills `near` from the first occupied ring bucket after the
+    /// cursor, or — if the ring is drained — rebases onto the far heap.
+    /// Leaves `near` non-empty iff the queue is non-empty.
+    #[cold]
+    fn prime(&mut self) {
+        debug_assert!(self.near.is_empty());
+        if let Some(b) = self.next_occupied() {
+            self.cursor = b;
+            let bucket = std::mem::take(&mut self.ring[b]);
+            self.clear(b);
+            for key in bucket {
+                self.near.push(Reverse(key));
+            }
+            return;
+        }
+        // Ring fully drained: jump the window to the earliest far event
+        // and redistribute everything inside the new horizon.
+        let Some(&Reverse(min)) = self.far.peek() else {
+            return;
+        };
+        self.base = min.at_us - (min.at_us % WIDTH_US);
+        self.cursor = 0;
+        let horizon = self.base + SPAN_US;
+        while let Some(&Reverse(k)) = self.far.peek() {
+            if k.at_us >= horizon {
+                break;
+            }
+            let Reverse(k) = self.far.pop().expect("peeked far key");
+            if k.at_us < self.boundary() {
+                // `min` itself lands here: cursor 0's bucket is `near`.
+                self.near.push(Reverse(k));
+            } else {
+                let b = ((k.at_us - self.base) / WIDTH_US) as usize;
+                self.ring[b].push(k);
+                self.mark(b);
+            }
+        }
+        debug_assert!(!self.near.is_empty());
+    }
+
+    /// First occupied bucket index strictly after the cursor, via a word-
+    /// at-a-time bitmap scan.
+    #[inline]
+    fn next_occupied(&self) -> Option<usize> {
+        let start = self.cursor + 1;
+        if start >= NB {
+            return None;
+        }
+        let mut w = start / 64;
+        // Mask off bits at or below the cursor within the first word.
+        let mut word = self.occupied[w] & !((1u64 << (start % 64)) - 1);
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= BITMAP_WORDS {
+                return None;
+            }
+            word = self.occupied[w];
+        }
+    }
+}
+
+/// The engine's pluggable queue: the production [`CalendarQueue`], or the
+/// seed's plain binary heap kept as a reference implementation so tests
+/// can prove both produce byte-identical schedules.
+#[derive(Debug)]
+pub enum EventQueue {
+    /// Hierarchical calendar queue (production default).
+    Calendar(CalendarQueue),
+    /// Single `BinaryHeap` with the seed's reversed `(at, seq)` ordering.
+    Reference(BinaryHeap<Reverse<EventKey>>),
+}
+
+impl EventQueue {
+    /// Creates the production calendar queue.
+    pub fn calendar() -> EventQueue {
+        EventQueue::Calendar(CalendarQueue::new())
+    }
+
+    /// Creates the reference binary-heap queue.
+    pub fn reference() -> EventQueue {
+        EventQueue::Reference(BinaryHeap::new())
+    }
+
+    /// Inserts a key.
+    #[inline]
+    pub fn push(&mut self, key: EventKey) {
+        match self {
+            EventQueue::Calendar(q) => q.push(key),
+            EventQueue::Reference(h) => h.push(Reverse(key)),
+        }
+    }
+
+    /// Removes and returns the minimum key.
+    #[inline]
+    pub fn pop(&mut self) -> Option<EventKey> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Reference(h) => h.pop().map(|Reverse(k)| k),
+        }
+    }
+
+    /// Returns the minimum key without removing it.
+    #[inline]
+    pub fn peek_min(&mut self) -> Option<EventKey> {
+        match self {
+            EventQueue::Calendar(q) => q.peek_min(),
+            EventQueue::Reference(h) => h.peek().map(|&Reverse(k)| k),
+        }
+    }
+
+    /// Number of pending keys.
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len(),
+            EventQueue::Reference(h) => h.len(),
+        }
+    }
+
+    /// Whether no keys are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(at_us: u64, seq: u64) -> EventKey {
+        EventKey {
+            at_us,
+            seq,
+            idx: seq as u32,
+        }
+    }
+
+    /// Deterministic xorshift so the test needs no external RNG crate.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn slab_reuses_slots() {
+        let mut s: Slab<String> = Slab::new();
+        let a = s.insert("a".into());
+        let b = s.insert("b".into());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), "a");
+        let c = s.insert("c".into());
+        assert_eq!(c, a, "freed slot is recycled");
+        assert_eq!(s.capacity(), 2, "no growth past the high-water mark");
+        assert_eq!(s.remove(b), "b");
+        assert_eq!(s.remove(c), "c");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pops_in_at_seq_order_within_bucket_ties() {
+        let mut q = CalendarQueue::new();
+        // Same timestamp, shuffled insertion — must come back by seq.
+        q.push(key(100, 3));
+        q.push(key(100, 1));
+        q.push(key(100, 2));
+        assert_eq!(q.pop(), Some(key(100, 1)));
+        assert_eq!(q.pop(), Some(key(100, 2)));
+        assert_eq!(q.pop(), Some(key(100, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn spans_ring_and_far_horizons() {
+        let mut q = CalendarQueue::new();
+        // One event per regime: near bucket, deep ring, past horizon.
+        q.push(key(10, 1));
+        q.push(key(SPAN_US - 1, 2));
+        q.push(key(SPAN_US * 3 + 17, 3));
+        q.push(key(SPAN_US * 3 + 17, 4));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some(key(10, 1)));
+        assert_eq!(q.pop(), Some(key(SPAN_US - 1, 2)));
+        assert_eq!(q.pop(), Some(key(SPAN_US * 3 + 17, 3)));
+        assert_eq!(q.pop(), Some(key(SPAN_US * 3 + 17, 4)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference_heap() {
+        let mut cal = CalendarQueue::new();
+        let mut reference: BinaryHeap<Reverse<EventKey>> = BinaryHeap::new();
+        let mut rng = Rng(0x9e3779b97f4a7c15);
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for round in 0..10_000 {
+            // Pushes are always scheduled at or after `now`, like the sim.
+            let burst = rng.next() % 4;
+            for _ in 0..=burst {
+                // Mix of near (µs), mid (ms), and far (second+) offsets.
+                let off = match rng.next() % 10 {
+                    0..=5 => rng.next() % 500,
+                    6..=8 => rng.next() % 40_000,
+                    _ => rng.next() % 3_000_000,
+                };
+                let k = key(now + off, seq);
+                seq += 1;
+                cal.push(k);
+                reference.push(Reverse(k));
+            }
+            if round % 3 != 0 {
+                let a = cal.pop();
+                let b = reference.pop().map(|Reverse(k)| k);
+                assert_eq!(a, b, "divergence at round {round}");
+                if let Some(k) = a {
+                    assert!(k.at_us >= now, "time went backwards");
+                    now = k.at_us;
+                }
+            }
+            assert_eq!(cal.len(), reference.len());
+        }
+        // Drain both completely.
+        loop {
+            let a = cal.pop();
+            let b = reference.pop().map(|Reverse(k)| k);
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        q.push(key(SPAN_US + 5, 1));
+        q.push(key(7, 2));
+        assert_eq!(q.peek_min(), Some(key(7, 2)));
+        assert_eq!(q.pop(), Some(key(7, 2)));
+        assert_eq!(q.peek_min(), Some(key(SPAN_US + 5, 1)));
+        assert_eq!(q.pop(), Some(key(SPAN_US + 5, 1)));
+        assert_eq!(q.peek_min(), None);
+    }
+}

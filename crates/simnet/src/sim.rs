@@ -10,18 +10,17 @@
 //! all randomness flows from the seed passed to [`Sim::new`].
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashMap;
-use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
 
+use crate::intern::{FxHashMap, FxHashSet, Sym};
 use crate::net::{LinkFaults, NetConfig};
 use crate::ods::Ods;
 use crate::profile::{EventClass, Profiler};
+use crate::queue::{EventKey, EventQueue, Slab};
 use crate::stats::{names, Metrics};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Proximity, RegionId, Topology};
@@ -94,28 +93,17 @@ enum EventKind {
     Control(Box<dyn FnOnce(&mut Sim)>),
 }
 
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
+/// When set, every subsequently created [`Sim`] starts on the reference
+/// binary-heap queue instead of the calendar queue. Used by determinism
+/// tests to prove both queues produce identical schedules; safe to flip
+/// globally because the two orderings are identical by construction.
+static REFERENCE_QUEUE_DEFAULT: AtomicBool = AtomicBool::new(false);
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Event) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Event) -> Ordering {
-        // BinaryHeap is a max-heap; reverse to pop the earliest event first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+/// Selects which event queue newly created simulators use: the reference
+/// seed `BinaryHeap` (`true`) or the production calendar queue (`false`,
+/// the default). Exists for byte-determinism tests.
+pub fn set_default_reference_queue(on: bool) {
+    REFERENCE_QUEUE_DEFAULT.store(on, AtomicOrdering::SeqCst);
 }
 
 /// The discrete-event simulator.
@@ -149,7 +137,11 @@ pub struct Sim {
     net: NetConfig,
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Event>,
+    /// Pending event keys, ordered by `(at, seq)`; payloads live in
+    /// `events` and the queue only moves copyable keys around.
+    queue: EventQueue,
+    /// Slab of pending event payloads, indexed by [`EventKey::idx`].
+    events: Slab<EventKind>,
     actors: Vec<Option<Box<dyn Actor>>>,
     up: Vec<bool>,
     egress_free: Vec<SimTime>,
@@ -157,12 +149,14 @@ pub struct Sim {
     /// Last scheduled first-byte arrival per directed link. Arrivals on one
     /// link are clamped to this so a message never overtakes an earlier one
     /// on the same (from, to) stream (TCP-like per-link FIFO), even when
-    /// jitter or injected delay would let it.
-    link_order: HashMap<(u32, u32), SimTime>,
-    partitions: HashSet<(u16, u16)>,
+    /// jitter or injected delay would let it. Entries whose clamp time has
+    /// passed are dead weight (a future arrival's first byte is always
+    /// `>= now`) and are pruned periodically in [`Sim::step`].
+    link_order: FxHashMap<(u32, u32), SimTime>,
+    partitions: FxHashSet<(u16, u16)>,
     /// Directed region cuts: `(from, to)` means traffic from `from` to `to`
     /// is dropped while the reverse direction still flows.
-    partitions_oneway: HashSet<(u16, u16)>,
+    partitions_oneway: FxHashSet<(u16, u16)>,
     /// Per-node stall horizon: while `now < stalled_until[n]`, local
     /// processing on `n` (deliveries, timers, starts) is deferred to the
     /// horizon instead of running — a GC pause or disk stall, where work
@@ -181,6 +175,10 @@ pub struct Sim {
     events_processed: u64,
     profiler: Profiler,
     ods: Ods,
+    /// Pre-interned symbols for the two counters bumped on every message
+    /// accepted by the network model, so `transmit` skips the name hash.
+    sym_messages_sent: Sym,
+    sym_bytes_sent: Sym,
 }
 
 impl Sim {
@@ -188,28 +186,38 @@ impl Sim {
     /// seed. Every node starts up with no actor installed.
     pub fn new(topo: Topology, net: NetConfig, seed: u64) -> Sim {
         let n = topo.num_nodes();
+        let mut metrics = Metrics::new();
+        let sym_messages_sent = metrics.counter_sym(names::MESSAGES_SENT);
+        let sym_bytes_sent = metrics.counter_sym(names::BYTES_SENT);
         Sim {
             topo,
             net,
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: if REFERENCE_QUEUE_DEFAULT.load(AtomicOrdering::SeqCst) {
+                EventQueue::reference()
+            } else {
+                EventQueue::calendar()
+            },
+            events: Slab::new(),
             actors: (0..n).map(|_| None).collect(),
             up: vec![true; n],
             egress_free: vec![SimTime::ZERO; n],
             ingress_free: vec![SimTime::ZERO; n],
-            link_order: HashMap::new(),
-            partitions: HashSet::new(),
-            partitions_oneway: HashSet::new(),
+            link_order: FxHashMap::default(),
+            partitions: FxHashSet::default(),
+            partitions_oneway: FxHashSet::default(),
             stalled_until: vec![SimTime::ZERO; n],
             clock_skew: vec![0; n],
             link_faults: LinkFaults::default(),
             rng: SmallRng::seed_from_u64(seed),
-            metrics: Metrics::new(),
+            metrics,
             tracer: Tracer::new(),
             delivering_traces: Vec::new(),
             events_processed: 0,
             profiler: Profiler::new(n),
+            sym_messages_sent,
+            sym_bytes_sent,
             ods: Ods::default(),
         }
     }
@@ -351,16 +359,13 @@ impl Sim {
         if !self.up[node.0 as usize] {
             self.up[node.0 as usize] = true;
             if let Some(mut actor) = self.actors[node.0 as usize].take() {
-                let start = self.profiler.enabled().then(std::time::Instant::now);
+                let start = self.profiler.enabled().then(crate::profile::now_ticks);
                 let mut ctx = Ctx { sim: self, node };
                 actor.on_recover(&mut ctx);
                 if let Some(start) = start {
-                    self.profiler.record_dispatch(
-                        node,
-                        actor.kind(),
-                        EventClass::Recover,
-                        start.elapsed().as_nanos() as u64,
-                    );
+                    let ticks = crate::profile::now_ticks().saturating_sub(start);
+                    self.profiler
+                        .record_dispatch(node, actor.kind(), EventClass::Recover, ticks);
                 }
                 self.actors[node.0 as usize] = Some(actor);
             }
@@ -457,21 +462,30 @@ impl Sim {
 
     /// Runs a single event. Returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        let Some(key) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        let kind = self.events.remove(key.idx);
+        debug_assert!(key.at_us >= self.now.0, "time went backwards");
+        self.now = SimTime(key.at_us);
         self.events_processed += 1;
         if self.profiler.enabled() {
             self.profiler.observe_queue_step(self.queue.len());
+        }
+        // Opportunistic upkeep: drop per-link FIFO clamps that can no
+        // longer affect anything (a future arrival's first byte is always
+        // `>= now`). Amortized over 64Ki events so the common step stays
+        // branch-cheap; keyed to virtual progress, so it is deterministic.
+        if self.events_processed & 0xFFFF == 0 && !self.link_order.is_empty() {
+            let now = self.now;
+            self.link_order.retain(|_, t| *t > now);
         }
         // A stalled node defers local processing: the event is parked at
         // the stall horizon, not dropped. Re-pushing in pop order assigns
         // increasing sequence numbers, so the backlog replays in its
         // original order. Network arrivals (`Arrive`) are exempt — the NIC
         // still accepts bytes while the process is paused.
-        let stall_target = match &ev.kind {
+        let stall_target = match &kind {
             EventKind::Deliver { to, .. } => Some(*to),
             EventKind::Timer { node, .. } | EventKind::Start { node } => Some(*node),
             _ => None,
@@ -480,11 +494,11 @@ impl Sim {
             let until = self.stalled_until[node.0 as usize];
             if until > self.now {
                 self.metrics.incr(names::STALL_DEFERRED, 1);
-                self.push(until, ev.kind);
+                self.push(until, kind);
                 return true;
             }
         }
-        match ev.kind {
+        match kind {
             EventKind::Arrive {
                 to,
                 from,
@@ -549,10 +563,10 @@ impl Sim {
             }
             EventKind::Control(f) => {
                 if self.profiler.enabled() {
-                    let start = std::time::Instant::now();
+                    let start = crate::profile::now_ticks();
                     f(self);
-                    self.profiler
-                        .record_control(start.elapsed().as_nanos() as u64);
+                    let ticks = crate::profile::now_ticks().saturating_sub(start);
+                    self.profiler.record_control(ticks);
                 } else {
                     f(self);
                 }
@@ -579,8 +593,8 @@ impl Sim {
     /// Runs events with timestamps up to and including `deadline`; the clock
     /// is advanced to `deadline` afterwards even if the queue drains early.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(ev) = self.queue.peek() {
-            if ev.at > deadline {
+        while let Some(key) = self.queue.peek_min() {
+            if key.at_us > deadline.0 {
                 break;
             }
             self.step();
@@ -603,16 +617,13 @@ impl Sim {
         f: impl FnOnce(&mut dyn Actor, &mut Ctx<'_>),
     ) {
         if let Some(mut actor) = self.actors[node.0 as usize].take() {
-            let start = self.profiler.enabled().then(std::time::Instant::now);
+            let start = self.profiler.enabled().then(crate::profile::now_ticks);
             let mut ctx = Ctx { sim: self, node };
             f(actor.as_mut(), &mut ctx);
             if let Some(start) = start {
-                self.profiler.record_dispatch(
-                    node,
-                    actor.kind(),
-                    class,
-                    start.elapsed().as_nanos() as u64,
-                );
+                let ticks = crate::profile::now_ticks().saturating_sub(start);
+                self.profiler
+                    .record_dispatch(node, actor.kind(), class, ticks);
             }
             // A handler may have installed a replacement actor; keep it.
             if self.actors[node.0 as usize].is_none() {
@@ -624,10 +635,32 @@ impl Sim {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        let idx = self.events.insert(kind);
+        self.queue.push(EventKey {
+            at_us: at.0,
+            seq,
+            idx,
+        });
         if self.profiler.enabled() {
             self.profiler.observe_queue_push(self.queue.len());
         }
+    }
+
+    /// Switches this simulator onto the reference binary-heap queue,
+    /// carrying over any pending events. Ordering is unchanged — the
+    /// reference queue exists so tests can prove exactly that.
+    pub fn use_reference_queue(&mut self) {
+        let mut reference = EventQueue::reference();
+        while let Some(key) = self.queue.pop() {
+            reference.push(key);
+        }
+        self.queue = reference;
+    }
+
+    /// Number of live per-link FIFO clamp entries (see `link_order`).
+    /// Exposed so tests can assert the map stays bounded on long runs.
+    pub fn link_order_entries(&self) -> usize {
+        self.link_order.len()
     }
 
     /// Computes the delivery time of a `size`-byte message from `from` to
@@ -683,8 +716,8 @@ impl Sim {
             }
         }
         if prox == Proximity::SameNode {
-            self.metrics.incr(names::MESSAGES_SENT, 1);
-            self.metrics.incr(names::BYTES_SENT, size);
+            self.metrics.incr_sym(self.sym_messages_sent, 1);
+            self.metrics.incr_sym(self.sym_bytes_sent, size);
             if self.profiler.enabled() {
                 self.profiler.record_bytes_out(from, size);
                 self.profiler.record_bytes_in(to, size);
@@ -743,8 +776,8 @@ impl Sim {
                 .or_insert(SimTime::ZERO);
             first_byte = first_byte.max(*fifo);
             *fifo = first_byte;
-            self.metrics.incr(names::MESSAGES_SENT, 1);
-            self.metrics.incr(names::BYTES_SENT, size);
+            self.metrics.incr_sym(self.sym_messages_sent, 1);
+            self.metrics.incr_sym(self.sym_bytes_sent, size);
             if self.profiler.enabled() {
                 self.profiler.record_bytes_out(from, size);
             }
@@ -1199,5 +1232,53 @@ mod tests {
         sim.add_actor(NodeId(0), Box::new(Bulk));
         sim.run_until_idle();
         assert!(sim.now().as_secs_f64() >= 4.0, "now = {}", sim.now());
+    }
+
+    /// The per-link FIFO clamp map must not grow with simulated time: a
+    /// 10-minute run where every node slowly rotates through fresh peers
+    /// (a new peer every simulated minute) would otherwise accumulate one
+    /// entry per (from, to) pair ever used — all 16 x 15 = 240 here,
+    /// unbounded on bigger fleets. The opportunistic prune in `step` keeps
+    /// only links whose clamp is still in the future, so the map tracks
+    /// the recently active set instead.
+    #[test]
+    fn link_order_stays_bounded_over_ten_minutes() {
+        struct Rotator {
+            n: u32,
+            tick: u64,
+        }
+        impl Actor for Rotator {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(200), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+                let me = ctx.node().0;
+                // One message every 200 ms; a fresh peer every 60 s.
+                let peer = (me + 1 + ((self.tick / 300) % (self.n as u64 - 1)) as u32) % self.n;
+                ctx.send_value(NodeId(peer), 256, self.tick);
+                self.tick += 1;
+                ctx.set_timer(SimDuration::from_millis(200), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+        }
+        let topo = Topology::symmetric(2, 2, 4);
+        let n = topo.num_nodes() as u32;
+        let mut sim = Sim::new(topo, NetConfig::default(), 3);
+        for i in 0..n {
+            sim.add_actor(NodeId(i), Box::new(Rotator { n, tick: 0 }));
+        }
+        sim.run_until(SimTime(600_000_000));
+        assert!(
+            sim.events_processed() > 2 * 65_536,
+            "run too short to exercise the prune cadence ({} events)",
+            sim.events_processed()
+        );
+        let entries = sim.link_order_entries();
+        assert!(
+            entries > 0 && entries < 100,
+            "link_order must stay near the active link set, got {entries} \
+             (unpruned would reach {})",
+            n * (n - 1)
+        );
     }
 }

@@ -13,6 +13,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::intern::{Sym, SymbolTable};
+
 /// Well-known metric names recorded by the simulator core. Centralised so
 /// recording and reporting sites cannot typo apart.
 pub mod names {
@@ -45,15 +47,51 @@ pub mod names {
 }
 
 /// A collection of named counters, sample series, and labeled gauges.
+///
+/// Storage is keyed by interned [`Sym`] ids into dense `Vec` side tables:
+/// the recording paths ([`Metrics::incr`], [`Metrics::sample`]) are
+/// allocation-free in the steady state (one FxHash lookup of the borrowed
+/// `&str`, then an indexed slot), which matters because the simulator's
+/// hot actors record several metrics per delivered event. Name-ordered
+/// iteration — what the old `BTreeMap` layout gave for free — is
+/// reconstructed at export/report time only.
 #[derive(Debug, Default, Clone)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    series: BTreeMap<String, Vec<f64>>,
-    hists: BTreeMap<String, Histogram>,
-    /// Labeled gauges: name → (sorted label set → value).
-    gauges: BTreeMap<String, BTreeMap<Vec<(String, String)>, f64>>,
-    /// Optional `# HELP` text per metric name.
-    helps: BTreeMap<String, String>,
+    syms: SymbolTable,
+    /// `Sym`-indexed counter slots. `None` = name interned by another
+    /// plane (series, gauge) but never incremented.
+    counters: Vec<Option<u64>>,
+    /// `Sym`-indexed raw sample series (empty = never sampled).
+    series: Vec<Vec<f64>>,
+    /// `Sym`-indexed histograms, populated alongside `series`.
+    hists: Vec<Option<Histogram>>,
+    /// `Sym`-indexed labeled gauges: (sorted label set, value) entries in
+    /// first-set order; export sorts label sets lexicographically.
+    gauges: Vec<GaugeEntries>,
+    /// `Sym`-indexed optional `# HELP` text.
+    helps: Vec<Option<String>>,
+}
+
+/// One metric's labeled gauge entries: (sorted label set, value) pairs.
+type GaugeEntries = Vec<(Vec<(String, String)>, f64)>;
+
+/// Grows `v` with defaults so index `i` exists, and returns its slot.
+#[inline]
+fn slot<T: Default>(v: &mut Vec<T>, i: usize) -> &mut T {
+    if v.len() <= i {
+        v.resize_with(i + 1, T::default);
+    }
+    &mut v[i]
+}
+
+/// Whether a stored (owned) sorted label set equals a probe (borrowed)
+/// sorted label set, without allocating.
+fn labels_eq(stored: &[(String, String)], probe: &[(&str, &str)]) -> bool {
+    stored.len() == probe.len()
+        && stored
+            .iter()
+            .zip(probe)
+            .all(|((sk, sv), &(pk, pv))| sk == pk && sv == pv)
 }
 
 impl Metrics {
@@ -63,70 +101,118 @@ impl Metrics {
     }
 
     /// Adds `delta` to the counter `name`, creating it at zero if absent.
+    /// Allocation-free once `name` has been seen.
+    #[inline]
     pub fn incr(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        let s = self.syms.intern(name);
+        self.incr_sym(s, delta);
+    }
+
+    /// Interns `name` and returns its symbol for use with
+    /// [`incr_sym`](Metrics::incr_sym). Callers on a per-event path can
+    /// resolve the symbol once and skip the hash lookup on every hit.
+    pub fn counter_sym(&mut self, name: &str) -> Sym {
+        self.syms.intern(name)
+    }
+
+    /// Increments a counter by pre-resolved symbol: a bounds check and an
+    /// add, no hashing.
+    #[inline]
+    pub fn incr_sym(&mut self, s: Sym, delta: u64) {
+        *slot(&mut self.counters, s.idx()).get_or_insert(0) += delta;
     }
 
     /// Appends a sample to the series `name` and records it into the
     /// matching histogram. Histogram buckets live on a nonnegative
     /// integer-microsecond domain; negative samples are clamped to zero
-    /// there but kept verbatim in the raw series.
+    /// there but kept verbatim in the raw series. Allocation-free in the
+    /// steady state (series growth is amortized).
+    #[inline]
     pub fn sample(&mut self, name: &str, value: f64) {
-        self.series.entry(name.to_string()).or_default().push(value);
-        self.hists
-            .entry(name.to_string())
-            .or_default()
+        let s = self.syms.intern(name);
+        slot(&mut self.series, s.idx()).push(value);
+        slot(&mut self.hists, s.idx())
+            .get_or_insert_with(Histogram::new)
             .record_secs(value);
     }
 
     /// Returns the value of counter `name`, or zero if never incremented.
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.syms
+            .get(name)
+            .and_then(|s| self.counters.get(s.idx()).copied().flatten())
+            .unwrap_or(0)
     }
 
     /// Sets the labeled gauge `name{labels}` to `value`. Labels are sorted
     /// by key so the same set in any order addresses the same sample.
+    /// Label strings are cloned only the first time a label set is seen;
+    /// re-sets of an existing set are clone-free.
     pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
-        let mut key: Vec<(String, String)> = labels
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.to_string()))
-            .collect();
-        key.sort();
-        self.gauges
-            .entry(name.to_string())
-            .or_default()
-            .insert(key, value);
+        let s = self.syms.intern(name);
+        let mut probe: Vec<(&str, &str)> = labels.to_vec();
+        probe.sort();
+        let g = slot(&mut self.gauges, s.idx());
+        if let Some(entry) = g.iter_mut().find(|(k, _)| labels_eq(k, &probe)) {
+            entry.1 = value;
+        } else {
+            g.push((
+                probe
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+                value,
+            ));
+        }
     }
 
     /// Reads back a labeled gauge, if set.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        let mut key: Vec<(String, String)> = labels
+        let s = self.syms.get(name)?;
+        let mut probe: Vec<(&str, &str)> = labels.to_vec();
+        probe.sort();
+        self.gauges
+            .get(s.idx())?
             .iter()
-            .map(|(k, v)| (k.to_string(), v.to_string()))
-            .collect();
-        key.sort();
-        self.gauges.get(name).and_then(|g| g.get(&key)).copied()
+            .find(|(k, _)| labels_eq(k, &probe))
+            .map(|&(_, v)| v)
     }
 
     /// Registers `# HELP` text for `name`, emitted by
     /// [`Metrics::export_prometheus`] ahead of the `# TYPE` line.
     pub fn set_help(&mut self, name: &str, help: &str) {
-        self.helps.insert(name.to_string(), help.to_string());
+        let s = self.syms.intern(name);
+        *slot(&mut self.helps, s.idx()) = Some(help.to_string());
     }
 
     /// Returns the raw samples of series `name`.
     pub fn samples(&self, name: &str) -> &[f64] {
-        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+        self.syms
+            .get(name)
+            .and_then(|s| self.series.get(s.idx()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Returns the histogram of series `name`, if any samples were taken.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.hists.get(name)
+        self.syms
+            .get(name)
+            .and_then(|s| self.hists.get(s.idx()))
+            .and_then(Option::as_ref)
     }
 
     /// Iterates over all histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+        self.syms
+            .sorted_by_name()
+            .into_iter()
+            .filter_map(|(s, name)| {
+                self.hists
+                    .get(s.idx())
+                    .and_then(Option::as_ref)
+                    .map(|h| (name, h))
+            })
     }
 
     /// Summarizes the series `name`. Returns `None` if it has no samples.
@@ -139,35 +225,61 @@ impl Metrics {
         }
     }
 
-    /// Iterates over all counter names and values.
+    /// Iterates over all counter names and values, in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.syms
+            .sorted_by_name()
+            .into_iter()
+            .filter_map(|(s, name)| {
+                self.counters
+                    .get(s.idx())
+                    .copied()
+                    .flatten()
+                    .map(|v| (name, v))
+            })
     }
 
-    /// Iterates over all series names.
+    /// Iterates over all series names, in name order.
     pub fn series_names(&self) -> impl Iterator<Item = &str> {
-        self.series.keys().map(String::as_str)
+        self.syms
+            .sorted_by_name()
+            .into_iter()
+            .filter(|&(s, _)| self.series.get(s.idx()).is_some_and(|v| !v.is_empty()))
+            .map(|(_, name)| name)
     }
 
     /// Merges another metrics store into this one.
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (name, v) in other.counters() {
+            self.incr(name, v);
         }
-        for (k, v) in &other.series {
-            self.series.entry(k.clone()).or_default().extend(v);
-        }
-        for (k, h) in &other.hists {
-            self.hists.entry(k.clone()).or_default().merge(h);
-        }
-        for (k, g) in &other.gauges {
-            let mine = self.gauges.entry(k.clone()).or_default();
-            for (labels, v) in g {
-                mine.insert(labels.clone(), *v);
+        for (s, name) in other.syms.sorted_by_name() {
+            if let Some(vals) = other.series.get(s.idx()).filter(|v| !v.is_empty()) {
+                let mine = self.syms.intern(name);
+                slot(&mut self.series, mine.idx()).extend(vals);
             }
-        }
-        for (k, h) in &other.helps {
-            self.helps.entry(k.clone()).or_insert_with(|| h.clone());
+            if let Some(h) = other.hists.get(s.idx()).and_then(Option::as_ref) {
+                let mine = self.syms.intern(name);
+                slot(&mut self.hists, mine.idx())
+                    .get_or_insert_with(Histogram::new)
+                    .merge(h);
+            }
+            if let Some(g) = other.gauges.get(s.idx()).filter(|g| !g.is_empty()) {
+                for (labels, v) in g {
+                    let borrowed: Vec<(&str, &str)> = labels
+                        .iter()
+                        .map(|(k, lv)| (k.as_str(), lv.as_str()))
+                        .collect();
+                    self.set_gauge(name, &borrowed, *v);
+                }
+            }
+            if let Some(h) = other.helps.get(s.idx()).and_then(Option::as_ref) {
+                let mine = self.syms.intern(name);
+                let mine_slot = slot(&mut self.helps, mine.idx());
+                if mine_slot.is_none() {
+                    *mine_slot = Some(h.clone());
+                }
+            }
         }
     }
 
@@ -181,17 +293,25 @@ impl Metrics {
     /// deterministic run.
     pub fn export_prometheus(&self) -> String {
         let mut out = String::new();
-        for (name, v) in &self.counters {
+        let by_name = self.syms.sorted_by_name();
+        for (name, v) in self.counters() {
             let n = sanitize_metric_name(name);
             self.write_help(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} counter");
             let _ = writeln!(out, "{n} {v}");
         }
-        for (name, g) in &self.gauges {
+        for &(s, name) in &by_name {
+            let Some(g) = self.gauges.get(s.idx()).filter(|g| !g.is_empty()) else {
+                continue;
+            };
             let n = sanitize_metric_name(name);
             self.write_help(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} gauge");
-            for (labels, v) in g {
+            // Reproduce the old BTreeMap ordering: label sets sorted
+            // lexicographically as (key, value) sequences.
+            let mut entries: Vec<&(Vec<(String, String)>, f64)> = g.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            for (labels, v) in entries {
                 if labels.is_empty() {
                     let _ = writeln!(out, "{n} {v}");
                 } else {
@@ -205,7 +325,7 @@ impl Metrics {
                 }
             }
         }
-        for (name, h) in &self.hists {
+        for (name, h) in self.histograms() {
             let n = sanitize_metric_name(name);
             self.write_help(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} histogram");
@@ -232,7 +352,12 @@ impl Metrics {
 
 impl Metrics {
     fn write_help(&self, out: &mut String, raw: &str, sanitized: &str) {
-        if let Some(help) = self.helps.get(raw) {
+        let help = self
+            .syms
+            .get(raw)
+            .and_then(|s| self.helps.get(s.idx()))
+            .and_then(Option::as_ref);
+        if let Some(help) = help {
             let _ = writeln!(out, "# HELP {sanitized} {}", escape_help_text(help));
         }
     }

@@ -193,6 +193,17 @@ impl ObserverActor {
                         trace,
                     );
                 }
+            } else if writes.len() <= MAX_BATCH_WRITES {
+                // Single-frame fast path: the list fits one chunk, so move
+                // it into the message instead of re-cloning every write.
+                let size = batch_wire_size(&writes);
+                let traces = batch_traces(&writes);
+                ctx.send_traced_batch(
+                    watcher,
+                    size,
+                    Box::new(ZeusMsg::NotifyBatch { writes }),
+                    traces,
+                );
             } else {
                 for chunk in writes.chunks(MAX_BATCH_WRITES) {
                     ctx.send_traced_batch(
@@ -311,8 +322,12 @@ impl Actor for ObserverActor {
             }
             ZeusMsg::Subscribe { path, have } => {
                 self.watches.watch(from, &path);
-                if let Some(w) = self.store.get(&path).cloned() {
+                // Most re-subscribes are caught up; compare zxids before
+                // cloning the stored write (this handler runs once per
+                // proxy health-check per path).
+                if let Some(w) = self.store.get(&path) {
                     if w.zxid > have {
+                        let w = w.clone();
                         let trace = w.trace;
                         ctx.send_traced(
                             from,

@@ -164,12 +164,22 @@ impl WatchTable {
         WatchTable::default()
     }
 
-    /// Registers `node` as a watcher of `path`.
+    /// Registers `node` as a watcher of `path`. Re-registering an existing
+    /// watch — the common case, since proxies re-subscribe on every health
+    /// check — is allocation-free: the key strings are only cloned when
+    /// the (path, node) pair is actually new. (`watch` and `drop_node` are
+    /// the only mutators and keep the two maps in lockstep, so presence in
+    /// `by_path` implies presence in `by_node`.)
     pub fn watch(&mut self, node: NodeId, path: &str) {
-        self.by_path
-            .entry(path.to_string())
-            .or_default()
-            .insert(node);
+        if let Some(set) = self.by_path.get_mut(path) {
+            if !set.insert(node) {
+                return;
+            }
+        } else {
+            let mut set = BTreeSet::new();
+            set.insert(node);
+            self.by_path.insert(path.to_string(), set);
+        }
         self.by_node
             .entry(node)
             .or_default()

@@ -69,8 +69,11 @@ grep -q "compile speedup gates: PASS" /tmp/compile_timing.txt \
 echo "== simnet perf benchmark gate (profiler + BENCH_simnet.json)"
 # `repro perf` replays a workload-calibrated mixed scenario at three fleet
 # sizes with the self-profiler on. The live run writes BENCH_simnet.json,
-# self-validates it against the schema ("perf schema: OK" on stderr), and
-# enforces the events/sec floor ("perf throughput gate: PASS"). The
+# self-validates it against the schema ("perf schema: OK" on stderr),
+# enforces the 500k events/sec floor ("perf throughput gate: PASS"), and
+# guards the large-fleet throughput against the PR 7 baseline ("perf
+# baseline gate: PASS" — a regression guard, not the 2x engine-rework
+# target, which is reported but Amdahl-capped by handler work). The
 # --check run prints only virtual-time fields (event counts, bytes, queue
 # depths — no wall time), so it is byte-deterministic: it is diffed
 # against a golden AND against a second run of itself.
@@ -80,12 +83,35 @@ grep -q "perf schema: OK" /tmp/perf_gates.txt \
     || { echo "BENCH_simnet.json failed schema validation"; exit 1; }
 grep -q "perf throughput gate: PASS" /tmp/perf_gates.txt \
     || { echo "perf throughput floor not met"; exit 1; }
+grep -q "perf baseline gate: PASS" /tmp/perf_gates.txt \
+    || { echo "perf baseline regression guard not met"; exit 1; }
 cargo run -q --release -p bench --bin repro -- perf --check 2> /dev/null > /tmp/perf_check_a.txt
 cargo run -q --release -p bench --bin repro -- perf --check 2> /dev/null > /tmp/perf_check_b.txt
 diff -u /tmp/perf_check_a.txt /tmp/perf_check_b.txt \
     || { echo "perf --check output is not byte-deterministic"; exit 1; }
 diff -u "scripts/goldens/perf_check.txt" /tmp/perf_check_a.txt \
     || { echo "perf --check profile diverged from golden"; exit 1; }
+
+echo "== paper-scale fleet gate (golden + determinism + throughput floor)"
+# `repro fleet` replays a diurnal commit day over the zeus tree at paper
+# scale. The live run writes the "fleet_runs" section of BENCH_simnet.json
+# (schema-gated on stderr as "fleet schema: OK") and enforces a 100k
+# events/s floor at >= 5k nodes ("fleet throughput gate: PASS"). The
+# --check run (1k + 5k fleets) prints only virtual-time fields — event
+# counts, writes, propagation-delay quantiles — so it is byte-deterministic
+# and diffed against a golden AND against a second run of itself.
+cargo run -q --release -p bench --bin repro -- fleet > /tmp/fleet_live.txt 2> /tmp/fleet_gates.txt
+cat /tmp/fleet_gates.txt
+grep -q "fleet schema: OK" /tmp/fleet_gates.txt \
+    || { echo "BENCH_simnet.json failed fleet schema validation"; exit 1; }
+grep -q "fleet throughput gate: PASS" /tmp/fleet_gates.txt \
+    || { echo "fleet throughput floor not met"; exit 1; }
+cargo run -q --release -p bench --bin repro -- fleet --check 2> /dev/null > /tmp/fleet_check_a.txt
+cargo run -q --release -p bench --bin repro -- fleet --check 2> /dev/null > /tmp/fleet_check_b.txt
+diff -u /tmp/fleet_check_a.txt /tmp/fleet_check_b.txt \
+    || { echo "fleet --check output is not byte-deterministic"; exit 1; }
+diff -u "scripts/goldens/fleet_check.txt" /tmp/fleet_check_a.txt \
+    || { echo "fleet --check report diverged from golden"; exit 1; }
 
 echo "== fleet health plane gate (seeds 1 2)"
 # `repro health` runs every tier's ODS emitters under two chaos seeds and
