@@ -21,6 +21,11 @@
 //! repro compile [--full]     # parallel + incremental compile pipeline
 //!                            # (deterministic report on stdout, timings on
 //!                            # stderr)
+//! repro verify [--check]     # static-verifier gate: seeded-bad commits
+//!                            # replayed through plan()'s pre-commit verify
+//!                            # pass; catch-rate table + repair-hint demo.
+//!                            # --check omits the per-commit log
+//!                            # (byte-deterministic, golden-gated)
 //! repro perf [--check]       # simnet self-profiler benchmark: events/sec
 //!                            # at three fleet sizes, hot-actor tables,
 //!                            # folded stacks; writes BENCH_simnet.json.
@@ -115,6 +120,12 @@ fn main() {
             let check = args.iter().any(|a| a == "--check");
             banner("fleet");
             println!("{}", bench::fleet_exp::fleet(check));
+            return;
+        }
+        Some("verify") => {
+            let check = args.iter().any(|a| a == "--check");
+            banner("verify");
+            println!("{}", bench::verify_exp::verify(check));
             return;
         }
         Some("health") => {

@@ -289,8 +289,10 @@ fn run_impl(cfg: RunConfig) -> (RunOutcome, Sim) {
     };
     let zeus = ZeusDeployment::install(&mut sim, &dep_cfg);
 
-    // Cohorts: phase 1 runs on a handful of cluster-0 proxies, phase 2 on
-    // all of cluster 0; everything outside cluster 0 is control and must
+    // Cohorts: phase 1 runs on a placement-diverse handful of proxies
+    // (spread across regions and clusters so a single-rack blind spot
+    // cannot mask a bad config), phase 2 widens to all of cluster 0 plus
+    // the phase-1 canaries; every proxy outside both is control and must
     // never see staged bytes.
     let cluster0: Vec<NodeId> = zeus
         .proxies
@@ -299,13 +301,22 @@ fn run_impl(cfg: RunConfig) -> (RunOutcome, Sim) {
         .filter(|&p| sim.topology().placement(p).cluster == simnet::ClusterId(0))
         .collect();
     assert!(cluster0.len() > CANARY_SERVERS);
-    let canary_cohort: Vec<NodeId> = cluster0[..CANARY_SERVERS].to_vec();
+    let canary_cohort =
+        configerator::placement_diverse_cohort(sim.topology(), &zeus.proxies, CANARY_SERVERS);
+    assert_eq!(canary_cohort.len(), CANARY_SERVERS);
+    let mut phase2_cohort = cluster0.clone();
+    for &p in &canary_cohort {
+        if !phase2_cohort.contains(&p) {
+            phase2_cohort.push(p);
+        }
+    }
     let control: Vec<NodeId> = zeus
         .proxies
         .iter()
         .copied()
-        .filter(|p| !cluster0.contains(p))
+        .filter(|p| !phase2_cohort.contains(p))
         .collect();
+    assert!(control.len() >= 4);
     let all_proxies = zeus.proxies.clone();
 
     let mut horizon = SimTime(FIRST_COMMIT_US + cfg.commits as u64 * COMMIT_PERIOD_US + 20_000_000);
@@ -428,7 +439,7 @@ fn run_impl(cfg: RunConfig) -> (RunOutcome, Sim) {
         let fr = Rc::clone(&front);
         let dep = zeus.clone();
         let canary_c = canary_cohort.clone();
-        let cluster_c = cluster0.clone();
+        let cluster_c = phase2_cohort.clone();
         let control_c = control.clone();
         let all = all_proxies.clone();
         sim.schedule(SimTime(tick), move |s| {
@@ -780,7 +791,7 @@ pub fn report(seed: u64) -> String {
     let mut out = format!(
         "canary rollout campaign — seed {seed}\n\
          pipeline: landing strip → gitstore → tailer → staged canary write →\n\
-         phase-gated promotion (canary-{CANARY_SERVERS} → cluster-0 → fleet) with auto-rollback\n\
+         phase-gated promotion (placement-diverse canary-{CANARY_SERVERS} → cluster-0 → fleet) with auto-rollback\n\
          fleet: 3 regions × 2 clusters × 12 servers; {COMMITS} commits, {} injected-bad\n\n",
         o.bad_commits
     );

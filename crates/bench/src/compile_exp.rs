@@ -163,8 +163,9 @@ fn timed_commit(
 }
 
 /// Keeps only the counter sections of a Prometheus text export (histogram
-/// sections carry timings, which are not reproducible).
-fn counters_only(export: &str) -> String {
+/// sections carry timings, which are not reproducible). Shared with
+/// `verify_exp`, which has the same determinism constraint.
+pub(crate) fn counters_only(export: &str) -> String {
     let mut out = String::new();
     let mut keep = false;
     for line in export.lines() {
@@ -195,6 +196,7 @@ pub fn compile(scale: Scale) -> String {
         workers: 1,
         incremental: true,
         parse_cache: true,
+        verify: true,
     });
     let mut fast = ConfigeratorService::new();
 
@@ -330,6 +332,21 @@ pub fn compile(scale: Scale) -> String {
         t_warm_fast * 1e3,
         predicted.len()
     );
+    // Verify-pass overhead: the static verifier runs inside plan() on the
+    // warm hot-edit commit; its share of the wall time is the price every
+    // commit pays for the pre-commit gate. The content-addressed facts
+    // cache must keep it under a tenth of the warm compile.
+    let verify_share = 100.0 * (rep_warm_fast.stats.verify_us as f64 / 1e6) / t_warm_fast.max(1e-9);
+    eprintln!(
+        "verify pass:    warm {:.2} ms of {:.1} ms total ({verify_share:.1}% of warm commit)",
+        rep_warm_fast.stats.verify_us as f64 / 1e3,
+        t_warm_fast * 1e3
+    );
+    let verify_ok = verify_share < 10.0;
+    eprintln!(
+        "gate: verify pass < 10% of warm compile wall time: {}",
+        if verify_ok { "PASS" } else { "FAIL" }
+    );
     let warm_ok = warm_speedup >= WARM_GATE;
     let parallel_ok = workers < 2 || parallel_speedup >= PARALLEL_GATE;
     eprintln!(
@@ -350,11 +367,15 @@ pub fn compile(scale: Scale) -> String {
             }
         );
     }
-    if warm_ok && parallel_ok && ripple_ok && byte_identical {
+    if warm_ok && parallel_ok && ripple_ok && byte_identical && verify_ok {
         eprintln!("compile speedup gates: PASS");
     } else {
         eprintln!("compile speedup gates: FAIL");
     }
+    eprintln!(
+        "verify overhead gate: {}",
+        if verify_ok { "PASS" } else { "FAIL" }
+    );
     out
 }
 

@@ -23,6 +23,7 @@ pub mod perf_exp;
 pub mod stats_figs;
 pub mod storm_exp;
 pub mod trace_exp;
+pub mod verify_exp;
 
 /// Scale presets for experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +104,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> Option<String> {
         "losssweep" => loss_exp::losssweep(1),
         "laser" => laser_exp::laser(1),
         "compile" => compile_exp::compile(s),
+        "verify" => verify_exp::verify(false),
         "perf" => perf_exp::perf(false),
         "fleet" => fleet_exp::fleet(false),
         "health" => health_exp::report(1),
@@ -142,6 +144,7 @@ pub const ALL: &[&str] = &[
     "losssweep",
     "laser",
     "compile",
+    "verify",
     "perf",
     "fleet",
     "health",

@@ -45,6 +45,7 @@
 //! assert_eq!(fw.deps, vec!["app_port.cinc"]);
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod cache;
 pub mod compile;
@@ -55,6 +56,7 @@ pub mod parser;
 pub mod schema;
 pub mod value;
 
+pub use analysis::{FactsCache, Finding, Severity, Verifier, VerifyReport};
 pub use cache::{content_key, CacheStats, ContentKey, ParseCache};
 pub use compile::{CompiledConfig, Compiler, COMPILER_VERSION};
 pub use error::{CdslError, ErrorKind, Result};

@@ -58,8 +58,9 @@ pub use mutator::Mutator;
 pub use review::{Phabricator, ReviewPolicy, Sandcastle, TestReport};
 pub use risk::{RiskAssessment, RiskModel, RiskSignal};
 pub use rollout::{
-    evaluate_phase, land_revert, land_source_revert, previous_raw_content, previous_source_content,
-    CohortHealth, PhaseVerdict, Rollout, RolloutPhase, RolloutSpec, RolloutVerdict,
+    evaluate_phase, land_revert, land_source_revert, placement_diverse_cohort,
+    previous_raw_content, previous_source_content, CohortHealth, PhaseVerdict, Rollout,
+    RolloutPhase, RolloutSpec, RolloutVerdict,
 };
 pub use service::{
     Artifact, CommitReport, CompileFailure, CompileOptions, CompileStats, ConfigeratorService,

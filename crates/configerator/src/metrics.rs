@@ -22,6 +22,15 @@ pub const ENTRIES_COMPILED: &str = "configerator.entries_compiled";
 pub const COMPILE_ERRORS: &str = "configerator.compile_errors";
 /// Counter: commits landed through the service (source and raw).
 pub const COMMITS: &str = "configerator.commits";
+/// Histogram: wall-clock time of the static verify pass per plan.
+pub const VERIFY_US: &str = "configerator.verify_us";
+/// Counter: commits that passed static verification.
+pub const VERIFY_CLEAN: &str = "configerator.verify_clean";
+/// Counter: commits rejected by static verification before compiling.
+pub const VERIFY_REJECTED: &str = "configerator.verify_rejected";
+/// Counter: rejected commits for which the verifier synthesized at least
+/// one Tortoise-style repair hint.
+pub const VERIFY_REPAIR_SUGGESTED: &str = "configerator.verify_repair_suggested";
 
 /// Publishes one landed commit into the ODS fleet plane: a `landed`
 /// counter tick and a `compile_s` latency sample derived from the report's

@@ -332,6 +332,66 @@ pub fn land_source_revert(
     mutator.set_source(svc, path, &format!("Revert {path}: {reason}"), &previous)
 }
 
+/// Picks a canary cohort of (up to) `n` nodes spread across as many
+/// clusters and regions as the candidate set allows, instead of "first N
+/// of cluster 0": one node per cluster, visiting regions round-robin
+/// (region 0's first cluster, region 1's first cluster, …, region 0's
+/// second cluster, …), then a second node per cluster, and so on.
+/// Deterministic in the candidate order; returns all candidates if
+/// `n >= candidates.len()`.
+pub fn placement_diverse_cohort(
+    topo: &simnet::Topology,
+    candidates: &[simnet::NodeId],
+    n: usize,
+) -> Vec<simnet::NodeId> {
+    use std::collections::VecDeque;
+    // Group candidates by (region, cluster), preserving candidate order
+    // within each cluster. BTreeMap keys give regions ascending and
+    // clusters ascending within a region.
+    let mut grouped: BTreeMap<(u16, u32), VecDeque<simnet::NodeId>> = BTreeMap::new();
+    for &node in candidates {
+        let p = topo.placement(node);
+        grouped
+            .entry((p.region.0, p.cluster.0))
+            .or_default()
+            .push_back(node);
+    }
+    // Interleave cluster queues across regions: every region's first
+    // cluster before any region's second.
+    let mut per_region: BTreeMap<u16, Vec<VecDeque<simnet::NodeId>>> = BTreeMap::new();
+    for ((region, _), queue) in grouped {
+        per_region.entry(region).or_default().push(queue);
+    }
+    let mut region_lists: Vec<Vec<VecDeque<simnet::NodeId>>> = per_region.into_values().collect();
+    let max_clusters = region_lists.iter().map(Vec::len).max().unwrap_or(0);
+    let mut queues: Vec<VecDeque<simnet::NodeId>> = Vec::new();
+    for ci in 0..max_clusters {
+        for region in &mut region_lists {
+            if ci < region.len() {
+                queues.push(std::mem::take(&mut region[ci]));
+            }
+        }
+    }
+    // One node per cluster per pass until the cohort is full.
+    let mut cohort = Vec::with_capacity(n.min(candidates.len()));
+    while cohort.len() < n {
+        let mut progressed = false;
+        for queue in &mut queues {
+            if cohort.len() >= n {
+                break;
+            }
+            if let Some(node) = queue.pop_front() {
+                cohort.push(node);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    cohort
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,5 +524,50 @@ mod tests {
             .unwrap();
         assert!(previous_raw_content(&svc, "fresh.json").is_none());
         assert!(land_revert(&mut svc, &m, "fresh.json", "nope").is_err());
+    }
+
+    #[test]
+    fn diverse_cohort_spreads_across_regions_and_clusters() {
+        // 3 regions x 2 clusters x 4 servers.
+        let topo = simnet::Topology::symmetric(3, 2, 4);
+        let candidates: Vec<simnet::NodeId> =
+            (0..topo.num_nodes() as u32).map(simnet::NodeId).collect();
+        let cohort = placement_diverse_cohort(&topo, &candidates, 4);
+        assert_eq!(cohort.len(), 4);
+        let clusters: std::collections::BTreeSet<u32> = cohort
+            .iter()
+            .map(|&n| topo.placement(n).cluster.0)
+            .collect();
+        let regions: std::collections::BTreeSet<u16> =
+            cohort.iter().map(|&n| topo.placement(n).region.0).collect();
+        assert_eq!(clusters.len(), 4, "one node per cluster: {clusters:?}");
+        assert_eq!(regions.len(), 3, "all regions covered: {regions:?}");
+    }
+
+    #[test]
+    fn diverse_cohort_is_deterministic_and_order_preserving() {
+        let topo = simnet::Topology::symmetric(2, 2, 3);
+        let candidates: Vec<simnet::NodeId> =
+            (0..topo.num_nodes() as u32).map(simnet::NodeId).collect();
+        let a = placement_diverse_cohort(&topo, &candidates, 5);
+        let b = placement_diverse_cohort(&topo, &candidates, 5);
+        assert_eq!(a, b);
+        // First pick is the first candidate of the first cluster.
+        assert_eq!(a[0], candidates[0]);
+    }
+
+    #[test]
+    fn diverse_cohort_caps_at_candidate_count() {
+        let topo = simnet::Topology::symmetric(2, 1, 2);
+        let candidates = [simnet::NodeId(0), simnet::NodeId(3)];
+        let cohort = placement_diverse_cohort(&topo, &candidates, 10);
+        assert_eq!(cohort.len(), 2);
+        // Wider than one-per-cluster: second passes drain the queues.
+        let all =
+            placement_diverse_cohort(&topo, &(0..4u32).map(simnet::NodeId).collect::<Vec<_>>(), 3);
+        assert_eq!(all.len(), 3);
+        let clusters: std::collections::BTreeSet<u32> =
+            all.iter().map(|&n| topo.placement(n).cluster.0).collect();
+        assert_eq!(clusters.len(), 2);
     }
 }

@@ -145,6 +145,9 @@ pub enum ServiceError {
     /// validate. Sorted by entry path; every failure in the batch is
     /// reported, not just the first.
     CompileMany(Vec<CompileFailure>),
+    /// Static verification rejected the commit before anything compiled
+    /// (the pre-commit gate; see [`cdsl::analysis`]).
+    Verify(cdsl::VerifyReport),
     /// The underlying store rejected the commit.
     Store(gitstore::repo::Error),
     /// The commit contained no changes.
@@ -168,6 +171,21 @@ impl fmt::Display for ServiceError {
                 }
                 Ok(())
             }
+            ServiceError::Verify(report) => {
+                write!(
+                    f,
+                    "static verification rejected the commit: {} error(s)",
+                    report.error_count()
+                )?;
+                for finding in report
+                    .findings
+                    .iter()
+                    .filter(|x| x.severity == cdsl::Severity::Error)
+                {
+                    write!(f, "; {finding}")?;
+                }
+                Ok(())
+            }
             ServiceError::Store(e) => write!(f, "store error: {e}"),
             ServiceError::Empty => write!(f, "empty commit"),
         }
@@ -187,6 +205,9 @@ pub struct CompileOptions {
     pub incremental: bool,
     /// Share parsed ASTs through the content-addressed [`ParseCache`].
     pub parse_cache: bool,
+    /// Run the static verifier ([`cdsl::analysis`]) as a pre-commit gate:
+    /// error findings reject the commit before anything compiles.
+    pub verify: bool,
 }
 
 impl Default for CompileOptions {
@@ -195,18 +216,21 @@ impl Default for CompileOptions {
             workers: 0,
             incremental: true,
             parse_cache: true,
+            verify: true,
         }
     }
 }
 
 impl CompileOptions {
     /// The pre-optimization pipeline: serial, no cache, no fingerprint
-    /// skips. Used as the baseline in benchmarks and differential tests.
+    /// skips, no static verification. Used as the baseline in benchmarks
+    /// and differential tests.
     pub fn legacy() -> CompileOptions {
         CompileOptions {
             workers: 1,
             incremental: false,
             parse_cache: false,
+            verify: false,
         }
     }
 }
@@ -227,6 +251,9 @@ pub struct CompileStats {
     /// Total microseconds of compile work (summed across workers, so it
     /// can exceed wall-clock under parallelism).
     pub compile_us: u64,
+    /// Wall-clock microseconds of the static verify pass (0 when the
+    /// verify gate is off).
+    pub verify_us: u64,
 }
 
 /// A successful commit through the service.
@@ -450,6 +477,7 @@ pub struct ConfigeratorService {
     records: HashMap<String, CompileRecord>,
     options: CompileOptions,
     parse_cache: Arc<ParseCache>,
+    verify_facts: Arc<cdsl::FactsCache>,
     metrics: Metrics,
     clock: u64,
 }
@@ -476,6 +504,7 @@ impl ConfigeratorService {
             records: HashMap::new(),
             options,
             parse_cache: Arc::new(ParseCache::new()),
+            verify_facts: Arc::new(cdsl::FactsCache::new()),
             metrics: Metrics::default(),
             clock: 0,
         }
@@ -638,6 +667,68 @@ impl ConfigeratorService {
         let entries: Vec<String> = to_compile.into_iter().collect();
         let cache_before = self.parse_cache.stats();
 
+        // Static verification gate: analyze every compile candidate
+        // without executing it; error findings reject the commit before
+        // any compile work happens. Module facts are content-addressed and
+        // shared across plans, so a hot dependency is analyzed once.
+        let mut verify_us = 0u64;
+        if self.options.verify {
+            // AST builds for the sources this commit changes are compile
+            // work: the compile phase parses them whether or not the
+            // verify gate exists, and the shared ParseCache hands one
+            // pipeline's parse to the other. Warm those parses before the
+            // verify timer so `verify_us` charges the analysis itself,
+            // not the parse the plan owes anyway (a wide hot module
+            // otherwise bills its whole reparse to the gate).
+            if self.options.parse_cache {
+                for p in &changed_paths {
+                    if changes[p].is_none() {
+                        continue;
+                    }
+                    if p.ends_with(".cconf") || p.ends_with(".cinc") || p.ends_with(".cvalidator") {
+                        if let Some(src) = loader.load(p) {
+                            let _ = self.parse_cache.module(&src, p);
+                        }
+                    } else if p.ends_with(".schema") {
+                        if let Some(src) = loader.load(p) {
+                            let _ = self.parse_cache.schema(&src, p);
+                        }
+                    }
+                }
+            }
+            let verify_start = Instant::now();
+            let mut verifier = cdsl::Verifier::new(&loader).with_facts_cache(&self.verify_facts);
+            if self.options.parse_cache {
+                verifier = verifier.with_parse_cache(&self.parse_cache);
+            }
+            let mut report = verifier.verify(&entries);
+            verify_us = verify_start.elapsed().as_micros() as u64;
+            if report.has_errors() {
+                // Tortoise-style blast-radius hint: error findings in
+                // files this commit did not touch are dependents the
+                // change breaks.
+                let broken: Vec<&str> = report
+                    .findings
+                    .iter()
+                    .filter(|x| x.severity == cdsl::Severity::Error)
+                    .map(|x| x.path.as_str())
+                    .filter(|p| !changes.contains_key(*p))
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                if !broken.is_empty() {
+                    report.hints.push(format!(
+                        "commit breaks dependent config(s): {}; minimal fix: keep the changed \
+                         interface compatible or update the dependents in the same commit",
+                        broken.join(", ")
+                    ));
+                    report.hints.sort();
+                    report.hints.dedup();
+                }
+                return Err(ServiceError::Verify(report));
+            }
+        }
+
         // Incremental skip: candidates whose recorded fingerprint still
         // matches the overlay view reuse their stored result. The source
         // index memoizes per-path hashes, so a shared dependency is
@@ -742,6 +833,7 @@ impl ConfigeratorService {
             parse_hits: cache_delta.hits,
             parse_misses: cache_delta.misses,
             compile_us,
+            verify_us,
         };
         let planned = slots
             .into_iter()
@@ -777,6 +869,12 @@ impl ConfigeratorService {
                 if let ServiceError::CompileMany(failures) = &err {
                     self.metrics
                         .incr(metrics::COMPILE_ERRORS, failures.len() as u64);
+                }
+                if let ServiceError::Verify(report) = &err {
+                    self.metrics.incr(metrics::VERIFY_REJECTED, 1);
+                    if !report.hints.is_empty() {
+                        self.metrics.incr(metrics::VERIFY_REPAIR_SUGGESTED, 1);
+                    }
                 }
                 return Err(err);
             }
@@ -884,6 +982,11 @@ impl ConfigeratorService {
             .incr(metrics::PARSE_CACHE_HITS, stats.parse_hits);
         self.metrics
             .incr(metrics::PARSE_CACHE_MISSES, stats.parse_misses);
+        if self.options.verify {
+            self.metrics.incr(metrics::VERIFY_CLEAN, 1);
+            self.metrics
+                .sample(metrics::VERIFY_US, stats.verify_us as f64 / 1e6);
+        }
         Ok(CommitReport {
             commits,
             updated_configs: updated,
@@ -1089,7 +1192,12 @@ mod tests {
         )
         .unwrap();
         // Breaking the shared module breaks both dependents; every failure
-        // is reported, ordered by entry path.
+        // is reported, ordered by entry path. (Verify off: this exercises
+        // the compiler's own batch-failure path.)
+        svc.set_compile_options(CompileOptions {
+            verify: false,
+            ..CompileOptions::default()
+        });
         let err = svc
             .commit_source("bob", "break", changes(&[("shared/n.cinc", "N = ")]))
             .unwrap_err();
@@ -1101,6 +1209,94 @@ mod tests {
             other => panic!("expected CompileMany, got {other:?}"),
         }
         assert_eq!(svc.metrics().counter(metrics::COMPILE_ERRORS), 2);
+    }
+
+    #[test]
+    fn verify_gate_rejects_dependency_break_with_repair_hint() {
+        let mut svc = ConfigeratorService::new();
+        svc.commit_source(
+            "alice",
+            "seed",
+            changes(&[
+                ("shared/n.cinc", "N = 1"),
+                (
+                    "b.cconf",
+                    "import \"shared/n.cinc\"\nexport_if_last({\"n\": N})",
+                ),
+                (
+                    "a.cconf",
+                    "import \"shared/n.cinc\"\nexport_if_last({\"n\": N})",
+                ),
+            ]),
+        )
+        .unwrap();
+        // Renaming the shared binding statically breaks both dependents:
+        // the verifier rejects the commit before anything compiles and
+        // names the blast radius in a repair hint.
+        let err = svc
+            .commit_source("bob", "rename", changes(&[("shared/n.cinc", "M = 1")]))
+            .unwrap_err();
+        match err {
+            ServiceError::Verify(report) => {
+                assert!(report.has_errors());
+                let paths: Vec<&str> = report
+                    .findings
+                    .iter()
+                    .filter(|f| f.severity == cdsl::Severity::Error)
+                    .map(|f| f.path.as_str())
+                    .collect();
+                assert_eq!(paths, vec!["a.cconf", "b.cconf"]);
+                assert!(report
+                    .hints
+                    .iter()
+                    .any(|h| h.contains("breaks dependent config(s): a.cconf, b.cconf")));
+            }
+            other => panic!("expected Verify, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().counter(metrics::VERIFY_REJECTED), 1);
+        assert_eq!(svc.metrics().counter(metrics::VERIFY_REPAIR_SUGGESTED), 1);
+        assert_eq!(svc.metrics().counter(metrics::COMPILE_ERRORS), 0);
+        // The clean seed commit ticked the verify-clean counter.
+        assert_eq!(svc.metrics().counter(metrics::VERIFY_CLEAN), 1);
+    }
+
+    #[test]
+    fn verify_gate_rejects_schema_type_error_in_dead_branch() {
+        let mut svc = ConfigeratorService::new();
+        // The bad payload sits under a constant-false condition: the
+        // compiler never executes it, but the verifier flags both the type
+        // error and the dead export arm.
+        let src = concat!(
+            "schema \"schemas/job.schema\"\n",
+            "if 1 > 2:\n",
+            "    export_if_last(Job { name: \"j\", retries: \"many\" })\n",
+            "else:\n",
+            "    export_if_last(Job { name: \"j\", retries: 3 })\n",
+        );
+        let err = svc
+            .commit_source(
+                "bob",
+                "sneaky",
+                changes(&[
+                    (
+                        "schemas/job.schema",
+                        "struct Job {\n  1: string name\n  2: i64 retries\n}",
+                    ),
+                    ("job.cconf", src),
+                ]),
+            )
+            .unwrap_err();
+        let ServiceError::Verify(report) = err else {
+            panic!("expected Verify rejection");
+        };
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == "schema-type" && f.message.contains("expected i64")));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.check == "reachability" && f.message.contains("unreachable")));
     }
 
     #[test]

@@ -287,12 +287,19 @@ impl Repository {
         Err(Error::NotFound(path.to_string()))
     }
 
-    /// Reads a file at the current head.
+    /// Reads a file at the current head. Served from the in-memory head
+    /// index (per-segment hash lookups) rather than a tree walk: head
+    /// reads are the hot path of every compile-plan loader, and the tree
+    /// walk's linear scan per directory made wide flat directories O(n)
+    /// per read.
     pub fn read_head(&self, path: &str) -> Result<Bytes, Error> {
-        let head = self
-            .head()
+        let oid = self
+            .index_lookup(path)
             .ok_or_else(|| Error::NotFound(path.to_string()))?;
-        self.read(head, path)
+        match self.odb.get(oid) {
+            Some(Object::Blob(b)) => Ok(b.clone()),
+            _ => Err(Error::Corrupt(format!("blob missing: {oid}"))),
+        }
     }
 
     /// Returns whether `path` exists at head.

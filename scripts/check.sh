@@ -65,6 +65,23 @@ cargo run -q --release -p bench --bin repro -- compile 2> /tmp/compile_timing.tx
 cat /tmp/compile_timing.txt
 grep -q "compile speedup gates: PASS" /tmp/compile_timing.txt \
     || { echo "compile speedup gates failed"; exit 1; }
+grep -q "verify overhead gate: PASS" /tmp/compile_timing.txt \
+    || { echo "verify pass exceeded 10% of warm compile wall time"; exit 1; }
+
+echo "== static verifier gate (golden + catch-rate floor)"
+# `repro verify --check` replays fifty seeded-bad commits (five defect
+# classes) through the plan() pre-commit verify gate and a canary-model
+# runtime check for the leaks. Stdout (catch-rate table, sample rejection
+# with repair hints, gates, counters) is byte-deterministic and diffed
+# against a golden; the stderr line "verify catch-rate gate: PASS" asserts
+# the >= 80% pre-commit catch-rate floor, zero escapes, and zero false
+# positives — its absence fails the gate.
+cargo run -q --release -p bench --bin repro -- verify --check 2> /tmp/verify_gates.txt \
+    | diff -u "scripts/goldens/verify_check.txt" - \
+    || { echo "verify report diverged from golden"; exit 1; }
+cat /tmp/verify_gates.txt
+grep -q "verify catch-rate gate: PASS" /tmp/verify_gates.txt \
+    || { echo "verify catch-rate floor not met"; exit 1; }
 
 echo "== simnet perf benchmark gate (profiler + BENCH_simnet.json)"
 # `repro perf` replays a workload-calibrated mixed scenario at three fleet

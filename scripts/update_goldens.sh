@@ -24,6 +24,9 @@ echo "wrote scripts/goldens/audit_seed1.txt"
 cargo run -q --release -p bench --bin repro -- compile \
     > "scripts/goldens/compile.txt"
 echo "wrote scripts/goldens/compile.txt"
+cargo run -q --release -p bench --bin repro -- verify --check 2> /dev/null \
+    > "scripts/goldens/verify_check.txt"
+echo "wrote scripts/goldens/verify_check.txt"
 cargo run -q --release -p bench --bin repro -- perf --check 2> /dev/null \
     > "scripts/goldens/perf_check.txt"
 echo "wrote scripts/goldens/perf_check.txt"
