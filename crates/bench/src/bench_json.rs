@@ -39,7 +39,7 @@ pub struct PerfRow {
 /// One `"fleet_runs"` row: a paper-scale diurnal replay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetRow {
-    /// Fleet label (`1k` / `5k` / `20k`).
+    /// Fleet label (`1k` / `5k` / `20k` / `50k` / `100k`).
     pub fleet: String,
     /// Node count.
     pub nodes: u64,
@@ -53,8 +53,14 @@ pub struct FleetRow {
     pub writes: u64,
     /// Proxy cache applications (notify deliveries that landed).
     pub proxy_updates: u64,
+    /// Number of raw propagation samples behind the percentile table (one
+    /// per (write, proxy) landing). Makes tables at different fleet sizes
+    /// comparable: rank-interpolated percentiles from 131 samples and from
+    /// 13 million are both honest once the count is printed next to them.
+    pub samples: u64,
     /// Propagation-delay distribution in milliseconds of virtual time
-    /// (deterministic): p50, p90, p99, p999, max.
+    /// (deterministic): p50, p90, p99, p999, max — rank-interpolated from
+    /// the raw sample series, not bucketed.
     pub propagation_ms: [f64; 5],
 }
 
@@ -93,7 +99,7 @@ pub fn render(runs: &[PerfRow], fleet_runs: &[FleetRow]) -> String {
         for (i, r) in fleet_runs.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\n      \"fleet\": \"{}\",\n      \"nodes\": {},\n      \"events\": {},\n      \"events_per_sec\": {},\n      \"wall_ms\": {},\n      \"writes\": {},\n      \"proxy_updates\": {},\n      \"propagation_ms\": {{\n        \"p50\": {},\n        \"p90\": {},\n        \"p99\": {},\n        \"p999\": {},\n        \"max\": {}\n      }}\n    }}",
+                "    {{\n      \"fleet\": \"{}\",\n      \"nodes\": {},\n      \"events\": {},\n      \"events_per_sec\": {},\n      \"wall_ms\": {},\n      \"writes\": {},\n      \"proxy_updates\": {},\n      \"samples\": {},\n      \"propagation_ms\": {{\n        \"p50\": {},\n        \"p90\": {},\n        \"p99\": {},\n        \"p999\": {},\n        \"max\": {}\n      }}\n    }}",
                 r.fleet,
                 r.nodes,
                 r.events,
@@ -101,6 +107,7 @@ pub fn render(runs: &[PerfRow], fleet_runs: &[FleetRow]) -> String {
                 fmt_f(r.wall_ms, 2),
                 r.writes,
                 r.proxy_updates,
+                r.samples,
                 fmt_f(r.propagation_ms[0], 3),
                 fmt_f(r.propagation_ms[1], 3),
                 fmt_f(r.propagation_ms[2], 3),
@@ -163,6 +170,7 @@ fn parse_fleet_row(run: &Value) -> Option<FleetRow> {
         events_per_sec: get_f64(run, "events_per_sec")?,
         writes: get_u64(run, "writes")?,
         proxy_updates: get_u64(run, "proxy_updates")?,
+        samples: get_u64(run, "samples")?,
         propagation_ms: [q("p50")?, q("p90")?, q("p99")?, q("p999")?, q("max")?],
     })
 }
@@ -292,6 +300,7 @@ mod tests {
             events_per_sec: 400000.0,
             writes: 296,
             proxy_updates: 1184,
+            samples: 1184,
             propagation_ms: [3.125, 44.0, 81.5, 95.25, 120.0],
         }
     }

@@ -31,11 +31,17 @@
 //!                            # folded stacks; writes BENCH_simnet.json.
 //!                            # --check prints only virtual-time fields
 //!                            # (byte-deterministic, golden-gated)
-//! repro fleet [--check]      # paper-scale diurnal replay: 1k/5k/20k-node
+//! repro fleet [--check] [--mobile <clients>]
+//!                            # paper-scale diurnal replay: 1k–100k-node
 //!                            # propagation-delay tables; appends the
 //!                            # fleet_runs section of BENCH_simnet.json.
 //!                            # --check prints only virtual-time fields
-//!                            # (byte-deterministic, golden-gated)
+//!                            # for the 1k/5k/100k sizes
+//!                            # (byte-deterministic, golden-gated).
+//!                            # --mobile models that many MobileConfig
+//!                            # pull clients as per-cluster population
+//!                            # cohorts over the 1k fleet and reports
+//!                            # per-cohort staleness percentiles
 //! repro health [--seed <n>]  # ODS fleet health plane: per-tier rollups +
 //!                            # multi-window SLO burn rates under chaos
 //! repro storm [--seed <n>]   # observer mass-restart reconnect storm under
@@ -118,8 +124,23 @@ fn main() {
         }
         Some("fleet") => {
             let check = args.iter().any(|a| a == "--check");
+            let mobile: Option<u64> = match args.iter().position(|a| a == "--mobile") {
+                None => None,
+                Some(i) => match args.get(i + 1).map(|v| v.parse::<u64>()) {
+                    Some(Ok(n)) => Some(n),
+                    // A typo'd client count must not silently run the
+                    // ordinary fleet sweep instead.
+                    _ => {
+                        eprintln!("error: --mobile requires an integer value");
+                        std::process::exit(2);
+                    }
+                },
+            };
             banner("fleet");
-            println!("{}", bench::fleet_exp::fleet(check));
+            match mobile {
+                Some(clients) => println!("{}", bench::fleet_exp::fleet_mobile(clients)),
+                None => println!("{}", bench::fleet_exp::fleet(check)),
+            }
             return;
         }
         Some("verify") => {

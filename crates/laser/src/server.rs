@@ -399,6 +399,19 @@ impl Actor for LaserShardServer {
             Ok(m) => return self.handle_feed(ctx, *m),
             Err(m) => m,
         };
+        // Shared multicast fan-out frame: laser servers watch the same
+        // observer feed as proxies, so a multicast group may include them.
+        // Laser never leases (no frame counters), so the frame is simply
+        // applied.
+        let msg = match msg.downcast::<std::sync::Arc<zeus::types::NotifyFrame>>() {
+            Ok(frame) => {
+                for write in &frame.writes {
+                    self.apply_write(ctx, write.clone());
+                }
+                return;
+            }
+            Err(m) => m,
+        };
         // Everything else is PackageVessel traffic for the embedded agent.
         self.pv.on_message(ctx, from, msg);
         self.check_bulk_complete(ctx);

@@ -19,6 +19,7 @@
 //!    client change at all.
 
 pub mod client;
+pub mod population;
 pub mod schema;
 pub mod server;
 pub mod translation;

@@ -1,0 +1,294 @@
+//! Aggregated MobileConfig population cohorts.
+//!
+//! The paper's MobileConfig tier serves ~1 billion devices (§5); simulating
+//! each device as an actor caps the fleet long before paper scale. A
+//! [`PopulationActor`] models 10k–1M pull clients behind one cluster as a
+//! single cohort:
+//!
+//! * **Poll arrivals are Poisson.** Each client polls with exponential
+//!   gaps of mean `T` (scaled by the hour's diurnal factor), so when a
+//!   config changes, the residual wait until a given client's next poll is
+//!   itself Exp(T) — the memorylessness of the Poisson process. The cohort
+//!   therefore needs no per-client state at all: on every observed config
+//!   change it records the analytic staleness distribution directly,
+//!   `base + Exp(T)` evaluated at K deterministic quantile points with
+//!   weight `clients/K` each (see [`Histogram::record_n`] — one histogram
+//!   update per point, not one per client).
+//! * **Poll volume is an expectation, not a sample.** A coarse tick
+//!   converts `clients · Δt / T · diurnal` into a poll count through a
+//!   fractional accumulator — deterministic, no RNG, byte-identical
+//!   across replays.
+//! * **The translation path is real.** Each tick resolves the schema
+//!   through an actual [`MobileConfigServer`] once per poll batch, so the
+//!   cohort exercises the same Gatekeeper/experiment/constant bindings a
+//!   per-device simulation would.
+//!
+//! The cohort watches its cluster observer exactly like a proxy (same
+//! `Subscribe { path, have }` protocol, lease-less like a laser server),
+//! so `base` — the push-path delay before any device could have seen the
+//! change — is measured, not assumed.
+//!
+//! [`Histogram::record_n`]: simnet::stats::Histogram::record_n
+
+use std::collections::BTreeMap;
+
+use gatekeeper::context::UserContext;
+use simnet::ods;
+use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
+use zeus::types::{NotifyFrame, Write, ZeusMsg, Zxid};
+
+use crate::schema::MobileSchema;
+use crate::server::MobileConfigServer;
+
+/// Polls issued by population cohorts (expectation-based, see module docs).
+pub const COHORT_POLLS: &str = "mobileconfig.cohort_polls";
+/// Config staleness observed by cohort clients: push-path delay plus the
+/// analytic Exp(T) residual wait until the client's next poll.
+pub const COHORT_STALENESS_S: &str = "mobileconfig.cohort_staleness_s";
+/// Config-change observations fanned into the staleness histogram, in
+/// client units (each changed config is eventually seen by every client).
+pub const COHORT_OBSERVATIONS: &str = "mobileconfig.cohort_observations";
+
+/// The metric name a cohort labeled `label` records under for `base`
+/// (one of the `COHORT_*` constants): `base.label`, or `base` itself for
+/// the unlabeled cohort. Suffixing keeps per-cohort staleness
+/// distributions separable inside one metrics store.
+pub fn cohort_metric(base: &str, label: &str) -> String {
+    if label.is_empty() {
+        base.to_string()
+    } else {
+        format!("{base}.{label}")
+    }
+}
+
+const TIMER_TICK: u64 = 1;
+const TIMER_RESUB: u64 = 2;
+/// Deterministic quantile points per observed change. 64 points with
+/// linear mid-bucket spacing keep the histogram error well under the
+/// differential-test tolerance while costing 64 updates per change —
+/// independent of whether the cohort is 10k or 1M clients.
+const STALENESS_POINTS: u64 = 64;
+
+/// Static description of one cohort.
+pub struct PopulationCfg {
+    /// The cluster observer this cohort's edge infrastructure watches.
+    pub observer: NodeId,
+    /// Config paths the cohort's schema depends on.
+    pub paths: Vec<String>,
+    /// Number of modeled pull clients.
+    pub clients: u64,
+    /// Mean poll interval per client (before diurnal scaling).
+    pub mean_poll: SimDuration,
+    /// 24 hourly poll-rate factors, mean 1 (see
+    /// `workload::commits::CommitProcess::diurnal_factors`). Devices poll
+    /// more while their humans are awake; staleness is correspondingly
+    /// lower at peak.
+    pub diurnal: [f64; 24],
+    /// Simulated microseconds per modeled hour. Real-time cohorts use
+    /// `3_600_000_000`; the fleet replay compresses one modeled hour to
+    /// one simulated second (`1_000_000`), and `mean_poll` is expressed in
+    /// the same compressed clock.
+    pub hour_us: u64,
+    /// Cohort label, suffixed onto the `COHORT_*` metric names (see
+    /// [`cohort_metric`]). Empty means the unsuffixed base names.
+    pub label: String,
+}
+
+/// One aggregated cohort of MobileConfig pull clients.
+pub struct PopulationActor {
+    cfg: PopulationCfg,
+    /// Highest zxid observed per path — dedups anti-entropy re-deliveries
+    /// so each config change is recorded exactly once.
+    seen: BTreeMap<String, Zxid>,
+    /// The real translation stack, resolved once per poll batch.
+    server: Option<(MobileConfigServer, MobileSchema)>,
+    /// Fractional poll carry between ticks.
+    poll_accum: f64,
+    ticks: u64,
+    tick_every: SimDuration,
+    resub_every: SimDuration,
+    /// Guards `on_start` against double invocation: installing a cohort
+    /// over a node that already hosts an actor leaves both `Start` events
+    /// in the queue, and a second pass would double the timer chains (and
+    /// with them the poll accounting).
+    started: bool,
+    /// Per-cohort metric names (see [`cohort_metric`]).
+    polls_metric: String,
+    staleness_metric: String,
+    observations_metric: String,
+}
+
+impl PopulationActor {
+    /// Creates a cohort actor.
+    pub fn new(cfg: PopulationCfg) -> PopulationActor {
+        let polls_metric = cohort_metric(COHORT_POLLS, &cfg.label);
+        let staleness_metric = cohort_metric(COHORT_STALENESS_S, &cfg.label);
+        let observations_metric = cohort_metric(COHORT_OBSERVATIONS, &cfg.label);
+        PopulationActor {
+            cfg,
+            seen: BTreeMap::new(),
+            server: None,
+            poll_accum: 0.0,
+            ticks: 0,
+            tick_every: SimDuration::from_secs(60),
+            resub_every: SimDuration::from_secs(2),
+            started: false,
+            polls_metric,
+            staleness_metric,
+            observations_metric,
+        }
+    }
+
+    /// Overrides the poll-batch tick period (compressed-clock cohorts tick
+    /// much faster than the real-time default of 60 s).
+    pub fn with_tick(mut self, tick: SimDuration) -> PopulationActor {
+        self.tick_every = tick;
+        self
+    }
+
+    /// Attaches a real MobileConfig server + schema so each poll batch
+    /// resolves through the genuine translation layer.
+    pub fn with_server(
+        mut self,
+        server: MobileConfigServer,
+        schema: MobileSchema,
+    ) -> PopulationActor {
+        self.server = Some((server, schema));
+        self
+    }
+
+    /// The diurnal factor for the hour containing `now`, floored away from
+    /// zero so the effective poll interval stays finite.
+    fn diurnal_now(&self, now_us: u64) -> f64 {
+        let hour = ((now_us / self.cfg.hour_us.max(1)) % 24) as usize;
+        self.cfg.diurnal[hour].max(0.05)
+    }
+
+    /// Effective mean poll interval at `now` (seconds).
+    fn mean_poll_secs(&self, now_us: u64) -> f64 {
+        self.cfg.mean_poll.as_micros() as f64 / 1e6 / self.diurnal_now(now_us)
+    }
+
+    fn subscribe_all(&self, ctx: &mut Ctx<'_>) {
+        for path in &self.cfg.paths {
+            let have = self.seen.get(path).copied().unwrap_or(Zxid::ZERO);
+            ctx.send_value(
+                self.cfg.observer,
+                (path.len() + 64) as u64,
+                ZeusMsg::Subscribe {
+                    path: path.clone(),
+                    have,
+                },
+            );
+        }
+    }
+
+    /// Records one observed config change for the whole cohort: every
+    /// client will see it after its own residual poll wait, so the cohort
+    /// staleness distribution for this change is `base + Exp(T)` — fanned
+    /// into the histogram at K quantile points weighted `clients/K`.
+    fn observe_change(&mut self, ctx: &mut Ctx<'_>, write: &Write) {
+        let prev = self.seen.get(&write.path).copied().unwrap_or(Zxid::ZERO);
+        if write.zxid <= prev {
+            return;
+        }
+        self.seen.insert(write.path.clone(), write.zxid);
+        let now = ctx.now();
+        let base = (now - write.origin).as_secs_f64();
+        let t_eff = self.mean_poll_secs(now.0);
+        let per_point = self.cfg.clients / STALENESS_POINTS;
+        let rem = self.cfg.clients % STALENESS_POINTS;
+        for i in 0..STALENESS_POINTS {
+            let q = (i as f64 + 0.5) / STALENESS_POINTS as f64;
+            let residual = -t_eff * (1.0 - q).ln();
+            let weight = per_point + u64::from(i < rem);
+            ctx.metrics()
+                .sample_n(&self.staleness_metric, base + residual, weight);
+            // Labeled cohorts also feed the unsuffixed series so an
+            // all-cohort distribution exists without histogram merging.
+            if !self.cfg.label.is_empty() {
+                ctx.metrics()
+                    .sample_n(COHORT_STALENESS_S, base + residual, weight);
+            }
+        }
+        ctx.metrics()
+            .incr(&self.observations_metric, self.cfg.clients);
+        // One coarse fleet-health point per change: the cohort mean.
+        ctx.ods_sample(ods::tiers::MOBILE, ods::series::STALENESS_S, base + t_eff);
+    }
+
+    fn apply_writes<'a>(&mut self, ctx: &mut Ctx<'_>, writes: impl Iterator<Item = &'a Write>) {
+        for w in writes {
+            self.observe_change(ctx, w);
+        }
+    }
+}
+
+impl Actor for PopulationActor {
+    fn kind(&self) -> &'static str {
+        "mobileconfig.population"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.subscribe_all(ctx);
+        ctx.set_timer(self.tick_every, TIMER_TICK);
+        ctx.set_timer(self.resub_every, TIMER_RESUB);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+        let msg = match msg.downcast::<ZeusMsg>() {
+            Ok(m) => {
+                match *m {
+                    ZeusMsg::Notify { write } => self.observe_change(ctx, &write),
+                    ZeusMsg::NotifyBatch { writes } => {
+                        self.apply_writes(ctx, writes.iter());
+                    }
+                    _ => {}
+                }
+                return;
+            }
+            Err(original) => original,
+        };
+        if let Ok(frame) = msg.downcast::<std::sync::Arc<NotifyFrame>>() {
+            self.apply_writes(ctx, frame.writes.iter());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match tag {
+            TIMER_TICK => {
+                self.ticks += 1;
+                let now = ctx.now();
+                let dt = self.tick_every.as_micros() as f64 / 1e6;
+                let t_eff = self.mean_poll_secs(now.0);
+                self.poll_accum += self.cfg.clients as f64 * dt / t_eff;
+                let polls = self.poll_accum.floor();
+                self.poll_accum -= polls;
+                let polls = polls as u64;
+                if polls > 0 {
+                    ctx.metrics().incr(&self.polls_metric, polls);
+                    ctx.ods_counter(ods::tiers::MOBILE, ods::series::POLLS, polls as f64);
+                }
+                // Resolve the schema through the real translation layer
+                // once per poll batch — same code path a device poll hits.
+                if let Some((server, schema)) = self.server.as_mut() {
+                    let user = UserContext::with_id(self.ticks);
+                    let _ = server.resolve(schema, &user);
+                }
+                ctx.set_timer(self.tick_every, TIMER_TICK);
+            }
+            TIMER_RESUB => {
+                // Lease-less anti-entropy, same as a laser server: the
+                // periodic re-subscribe with held versions repairs any
+                // dropped notify.
+                self.subscribe_all(ctx);
+                ctx.set_timer(self.resub_every, TIMER_RESUB);
+            }
+            _ => {}
+        }
+    }
+}

@@ -11,6 +11,7 @@
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -265,6 +266,14 @@ impl Sim {
         self.profiler.enable();
     }
 
+    /// Turns on queue-depth tracking only (peak and mean occupancy) —
+    /// the subset of profiling the paper-scale fleet report prints —
+    /// without the per-dispatch clock reads and cell accounting of the
+    /// full profiler. Two integer updates per event.
+    pub fn enable_queue_stats(&mut self) {
+        self.profiler.enable_queue_stats();
+    }
+
     /// The self-profiler's accumulated accounting.
     pub fn profiler(&self) -> &Profiler {
         &self.profiler
@@ -469,7 +478,7 @@ impl Sim {
         debug_assert!(key.at_us >= self.now.0, "time went backwards");
         self.now = SimTime(key.at_us);
         self.events_processed += 1;
-        if self.profiler.enabled() {
+        if self.profiler.queue_stats_enabled() {
             self.profiler.observe_queue_step(self.queue.len());
         }
         // Opportunistic upkeep: drop per-link FIFO clamps that can no
@@ -641,7 +650,7 @@ impl Sim {
             seq,
             idx,
         });
-        if self.profiler.enabled() {
+        if self.profiler.queue_stats_enabled() {
             self.profiler.observe_queue_push(self.queue.len());
         }
     }
@@ -864,6 +873,42 @@ impl Ctx<'_> {
     /// Convenience wrapper boxing `value` as the message payload.
     pub fn send_value<T: Any>(&mut self, to: NodeId, size: u64, value: T) {
         self.send(to, size, Box::new(value));
+    }
+
+    /// Sends one logical frame to every receiver in `tos` without cloning
+    /// the payload: `value` is wrapped in an [`Arc`] once, and each
+    /// receiver's delivery envelope carries a refcount clone of it.
+    /// Receivers downcast the delivered message to `Arc<T>`.
+    ///
+    /// The *network* is still charged honestly per receiver — each send
+    /// pays its own egress serialization at the sender, ingress occupancy
+    /// at the receiver, propagation, and jitter, and each is individually
+    /// subject to partitions and chaos faults (with `traces` annotated per
+    /// receiver on a drop). What the sharing removes is the *simulator*
+    /// cost of a wide fan-out: one payload allocation per frame instead of
+    /// one deep clone per watcher.
+    pub fn multicast_traced<T: Any>(
+        &mut self,
+        tos: &[NodeId],
+        size: u64,
+        value: T,
+        traces: &[TraceCtx],
+    ) {
+        let from = self.node;
+        let shared = Arc::new(value);
+        self.sim.metrics.incr(names::MULTICAST_FRAMES, 1);
+        self.sim
+            .metrics
+            .incr(names::MULTICAST_FANOUT_SENDS, tos.len() as u64);
+        for &to in tos {
+            self.sim.transmit_traced(
+                from,
+                to,
+                size,
+                Box::new(Arc::clone(&shared)),
+                traces.to_vec(),
+            );
+        }
     }
 
     /// The first trace context on the envelope of the message currently

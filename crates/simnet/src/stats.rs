@@ -44,6 +44,12 @@ pub mod names {
     pub const MESSAGES_SENT: &str = "simnet.messages_sent";
     /// Total bytes accepted by the network model.
     pub const BYTES_SENT: &str = "simnet.bytes_sent";
+    /// Logical frames sent through [`multicast`](crate::Ctx::multicast_traced):
+    /// the payload is built (and allocated) once per frame.
+    pub const MULTICAST_FRAMES: &str = "simnet.multicast_frames";
+    /// Per-receiver sends fanned out by multicast frames. The ratio
+    /// `fanout_sends / frames` is the achieved sharing factor.
+    pub const MULTICAST_FANOUT_SENDS: &str = "simnet.multicast_fanout_sends";
 }
 
 /// A collection of named counters, sample series, and labeled gauges.
@@ -130,10 +136,42 @@ impl Metrics {
     #[inline]
     pub fn sample(&mut self, name: &str, value: f64) {
         let s = self.syms.intern(name);
+        self.sample_sym(s, value);
+    }
+
+    /// Interns `name` and returns its symbol for use with
+    /// [`sample_sym`](Metrics::sample_sym). Same contract as
+    /// [`counter_sym`](Metrics::counter_sym): resolve once off the hot
+    /// path, skip the name hash on every hit.
+    pub fn series_sym(&mut self, name: &str) -> Sym {
+        self.syms.intern(name)
+    }
+
+    /// [`Metrics::sample`] by pre-resolved symbol: no name hashing.
+    #[inline]
+    pub fn sample_sym(&mut self, s: Sym, value: f64) {
         slot(&mut self.series, s.idx()).push(value);
         slot(&mut self.hists, s.idx())
             .get_or_insert_with(Histogram::new)
             .record_secs(value);
+    }
+
+    /// Records `n` weighted copies of `value` (seconds) into the histogram
+    /// plane of series `name`, without appending to the raw series. This is
+    /// the aggregation primitive for cohort actors that stand in for many
+    /// simulated clients: a million-device population records a handful of
+    /// weighted quantile points per event instead of a million raw samples
+    /// (which would defeat the aggregation). Quantiles of such a series
+    /// come from [`Metrics::histogram`]; its raw series stays empty.
+    #[inline]
+    pub fn sample_n(&mut self, name: &str, value: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let s = self.syms.intern(name);
+        slot(&mut self.hists, s.idx())
+            .get_or_insert_with(Histogram::new)
+            .record_secs_n(value, n);
     }
 
     /// Returns the value of counter `name`, or zero if never incremented.
@@ -502,11 +540,37 @@ impl Histogram {
         self.sum_us = self.sum_us.saturating_add(us);
     }
 
+    /// Records `n` identical values in microseconds with one bucket update.
+    /// Weighted recording is what lets an aggregated population actor feed
+    /// a histogram as if each of its constituent clients had sampled
+    /// individually, at O(1) cost per quantile point instead of O(clients).
+    pub fn record_n(&mut self, us: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(bucket_index(us)).or_insert(0) += n;
+        if self.count == 0 {
+            self.min_us = us;
+            self.max_us = us;
+        } else {
+            self.min_us = self.min_us.min(us);
+            self.max_us = self.max_us.max(us);
+        }
+        self.count += n;
+        self.sum_us = self.sum_us.saturating_add(us.saturating_mul(n));
+    }
+
     /// Records a value given in seconds (rounded to microseconds; negative
     /// values clamp to zero).
     pub fn record_secs(&mut self, secs: f64) {
         let us = (secs.max(0.0) * 1e6).round() as u64;
         self.record(us);
+    }
+
+    /// [`Histogram::record_n`] with the value given in seconds.
+    pub fn record_secs_n(&mut self, secs: f64, n: u64) {
+        let us = (secs.max(0.0) * 1e6).round() as u64;
+        self.record_n(us, n);
     }
 
     /// Number of recorded values.

@@ -123,6 +123,25 @@ impl CommitProcess {
         let hourly = self.hourly_series(days, seed);
         hourly.chunks(24).map(|day| day.iter().sum()).collect()
     }
+
+    /// The day-0 diurnal shape as 24 hourly factors normalized to mean 1.
+    /// Aggregated client populations scale their mean poll rate by these
+    /// so mobile poll traffic follows the same curve as commit traffic
+    /// (devices and committers share a daylight cycle), without sampling
+    /// the Poisson commit process itself.
+    pub fn diurnal_factors(&self) -> [f64; 24] {
+        let mut f = [0.0f64; 24];
+        for (h, slot) in f.iter_mut().enumerate() {
+            *slot = self.rate(0, h as u32);
+        }
+        let mean = f.iter().sum::<f64>() / 24.0;
+        if mean > 0.0 {
+            for slot in &mut f {
+                *slot /= mean;
+            }
+        }
+        f
+    }
 }
 
 fn diurnal_shape(hour: u32) -> f64 {

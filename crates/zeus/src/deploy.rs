@@ -143,10 +143,14 @@ impl ZeusDeployment {
             let local_observers = observers_by_cluster[cluster.0 as usize].clone();
             sim.add_actor(
                 node,
-                Box::new(ProxyActor::new(local_observers, cfg.subscriptions.clone())),
+                Box::new(
+                    ProxyActor::new(local_observers, cfg.subscriptions.clone())
+                        .with_legacy(cfg.ensemble.legacy_rebroadcast),
+                ),
             );
             proxies.push(node);
         }
+        crate::metrics::register_help(sim.metrics_mut());
         ZeusDeployment {
             ensemble,
             observers,

@@ -44,6 +44,44 @@ pub const WRITES_UNROUTABLE: &str = "zeus.writes_unroutable";
 /// Proxy cache entries dropped and re-fetched from scratch on a
 /// [`crate::proxy::ProxyCmd::Resync`] (the audit's repair verb).
 pub const PROXY_RESYNCS: &str = "zeus.proxy_resyncs";
+/// Watch-lease establishments and renewals processed by observers: one
+/// `LeaseRenew` per watcher per renewal interval replaces the old
+/// per-path `Subscribe` sent on every healthy healthcheck.
+pub const LEASE_RENEWALS: &str = "zeus.lease_renewals";
+/// Watchers that fell back to a full anti-entropy re-subscribe after a
+/// lease nack, a failed-lease pong, or an observer restart fenced their
+/// lease epoch off.
+pub const LEASE_FALLS_BACK: &str = "zeus.lease_falls_back";
+/// Leases expired by the observer's anti-entropy sweep (the watcher
+/// stopped renewing — partitioned, crashed, or failed over elsewhere);
+/// the watches are dropped with the lease.
+pub const LEASE_EXPIRIES: &str = "zeus.lease_expiries";
+/// Frame-loss repairs: the lease counters disagreed at a ping/renewal,
+/// so the observer re-pushed the full current state of the watcher's
+/// paths (replacing the old per-check re-subscribe as the loss repair).
+pub const LEASE_REPAIRS: &str = "zeus.lease_repairs";
+
+/// Registers `# HELP` text for the lease counters so the Prometheus
+/// export carries both `# HELP` and `# TYPE` lines for them. Called once
+/// at deployment install.
+pub fn register_help(m: &mut simnet::stats::Metrics) {
+    m.set_help(
+        LEASE_RENEWALS,
+        "Watch-lease establishments and renewals processed by observers",
+    );
+    m.set_help(
+        LEASE_FALLS_BACK,
+        "Watchers that fell back to a full anti-entropy re-subscribe",
+    );
+    m.set_help(
+        LEASE_EXPIRIES,
+        "Leases expired by the observer anti-entropy sweep",
+    );
+    m.set_help(
+        LEASE_REPAIRS,
+        "Frame-loss repairs triggered by lease counter mismatches",
+    );
+}
 
 /// Drift-audit sweep results (the `repro audit` fingerprint pass).
 pub mod audit {

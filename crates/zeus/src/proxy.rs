@@ -13,6 +13,7 @@
 //! clear state), so the availability property is directly testable.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rand::seq::SliceRandom;
@@ -21,8 +22,10 @@ use simnet::ods;
 use simnet::{Actor, Ctx, Message, NodeId, SimDuration};
 
 use crate::metrics::PROXY_UPDATES;
-use crate::metrics::{hops, PROPAGATION_S, PROXY_FAILOVERS, PROXY_FAILOVER_EXHAUSTED};
-use crate::types::{Write, ZeusMsg, Zxid};
+use crate::metrics::{
+    hops, LEASE_FALLS_BACK, PROPAGATION_S, PROXY_FAILOVERS, PROXY_FAILOVER_EXHAUSTED,
+};
+use crate::types::{control_wire, NotifyFrame, Write, ZeusMsg, Zxid};
 
 // Healthcheck timers are tagged with a generation counter so a stale timer
 // chain from before a crash cannot race the one armed by `on_recover`.
@@ -42,9 +45,16 @@ impl DiskCache {
     /// Stores a config if newer than what is cached. Returns whether the
     /// cache changed.
     pub fn put(&mut self, write: Write) -> bool {
-        match self.entries.get(&write.path) {
+        // Steady state is an in-place overwrite of a known path: one map
+        // traversal and no key clone (this runs once per notify landing,
+        // fleet-wide).
+        match self.entries.get_mut(&write.path) {
             Some(existing) if existing.zxid >= write.zxid => false,
-            _ => {
+            Some(existing) => {
+                *existing = write;
+                true
+            }
+            None => {
                 self.entries.insert(write.path.clone(), write);
                 true
             }
@@ -141,10 +151,37 @@ pub struct ProxyActor {
     backoff: SimDuration,
     max_backoff: SimDuration,
     timer_gen: u64,
-    /// Healthy checks since the last anti-entropy re-subscribe.
+    /// Healthy checks since the last anti-entropy re-subscribe (legacy
+    /// mode only; the lease protocol renews instead).
     checks_since_resub: u32,
     /// Name under which propagation latency samples are recorded.
     latency_metric: &'static str,
+    /// Pre-resolved `(latency series, proxy-updates counter)` symbols,
+    /// cached on first apply so the per-landing hot path skips the metric
+    /// name hashes.
+    hot_syms: Option<(simnet::intern::Sym, simnet::intern::Sym)>,
+    /// Whether to run the watch-lease protocol (default). The legacy
+    /// baseline re-sends every `Subscribe { path, have }` on every healthy
+    /// healthcheck instead.
+    use_leases: bool,
+    /// The lease epoch granted by the current observer's `LeaseAck`
+    /// (0 = establishment in flight or not started).
+    lease_epoch: u64,
+    /// Notify frames received from the current observer under this lease.
+    /// Compared against the observer's send counter at every ping — the
+    /// loss detector that replaces the per-check re-subscribe.
+    frames_received: u64,
+    /// Healthy checks since the last lease renewal.
+    checks_since_renew: u32,
+    /// Renew the lease every this many healthy checks (the TTL the
+    /// observer grants spans several missed renewals).
+    renew_every: u32,
+    /// The fresh epoch of an in-flight repair (0 = none): `RepairBatch`
+    /// chunks arrive before the `LeaseAck` that activates their epoch, so
+    /// they are counted here until the ack adopts the count.
+    repair_epoch: u64,
+    /// Repair chunks received under `repair_epoch`.
+    repair_frames: u64,
 }
 
 impl ProxyActor {
@@ -163,6 +200,14 @@ impl ProxyActor {
             timer_gen: 0,
             checks_since_resub: 0,
             latency_metric: PROPAGATION_S,
+            hot_syms: None,
+            use_leases: true,
+            lease_epoch: 0,
+            frames_received: 0,
+            checks_since_renew: 0,
+            renew_every: 4,
+            repair_epoch: 0,
+            repair_frames: 0,
         }
     }
 
@@ -170,6 +215,20 @@ impl ProxyActor {
     pub fn with_latency_metric(mut self, name: &'static str) -> ProxyActor {
         self.latency_metric = name;
         self
+    }
+
+    /// Switches to the pre-lease baseline (see
+    /// [`crate::ensemble::EnsembleConfig::legacy_rebroadcast`]): every
+    /// subscription re-sent on every healthy healthcheck, 16-byte pings
+    /// without lease counters.
+    pub fn with_legacy(mut self, legacy: bool) -> ProxyActor {
+        self.use_leases = !legacy;
+        self
+    }
+
+    /// The current lease epoch (0 = none). Exposed for tests.
+    pub fn lease_epoch(&self) -> u64 {
+        self.lease_epoch
     }
 
     /// The on-disk cache — readable even while the proxy is crashed, which
@@ -226,7 +285,46 @@ impl ProxyActor {
                 self.current = previous.or_else(|| self.cluster_observers.first().copied());
             }
         }
+        if self.use_leases {
+            self.establish_lease(ctx);
+        } else {
+            self.resubscribe(ctx);
+        }
+    }
+
+    /// (Re)establishes the watch lease with the current observer: one
+    /// `LeaseRenew { epoch: 0 }` followed by the full `Subscribe` set on
+    /// the same link. In-order delivery makes the observer create the
+    /// fresh lease (counters zeroed on both ends) *before* registering the
+    /// watches, so every notify reply is counted by both sides — the
+    /// counter pair starts exactly synchronized, no handshake round trip
+    /// needed.
+    fn establish_lease(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(obs) = self.current else { return };
+        self.lease_epoch = 0;
+        self.frames_received = 0;
+        self.checks_since_renew = 0;
+        self.repair_epoch = 0;
+        self.repair_frames = 0;
+        ctx.send_value(
+            obs,
+            control_wire::RENEW,
+            ZeusMsg::LeaseRenew {
+                epoch: 0,
+                frames_received: 0,
+            },
+        );
         self.resubscribe(ctx);
+    }
+
+    /// Counts one received notify frame under the lease. Frames arriving
+    /// before the lease is acked, or from an observer other than the
+    /// current one (in flight across a failover), are applied but not
+    /// counted — the sender did not count them against this lease either.
+    fn note_frame(&mut self, from: NodeId) {
+        if self.use_leases && self.lease_epoch != 0 && Some(from) == self.current {
+            self.frames_received += 1;
+        }
     }
 
     /// (Re)sends every subscription with the cached versions. The observer
@@ -254,8 +352,20 @@ impl ProxyActor {
         let zxid = write.zxid;
         if self.cache.put(write) {
             let latency = (ctx.now() - origin).as_secs_f64();
-            ctx.metrics().sample(self.latency_metric, latency);
-            ctx.metrics().incr(PROXY_UPDATES, 1);
+            let (lat_sym, upd_sym) = match self.hot_syms {
+                Some(syms) => syms,
+                None => {
+                    let m = ctx.metrics();
+                    let syms = (
+                        m.series_sym(self.latency_metric),
+                        m.counter_sym(PROXY_UPDATES),
+                    );
+                    self.hot_syms = Some(syms);
+                    syms
+                }
+            };
+            ctx.metrics().sample_sym(lat_sym, latency);
+            ctx.metrics().incr_sym(upd_sym, 1);
             ctx.ods_sample(ods::tiers::PROXY, ods::series::PROPAGATION_S, latency);
             // The final hop: the config is now visible to the application
             // through the on-disk cache. Guarded by `put` (and the
@@ -285,7 +395,7 @@ impl Actor for ProxyActor {
         ctx.set_timer(self.backoff, self.timer_gen);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
         let msg = match msg.downcast::<ProxyCmd>() {
             Ok(cmd) => {
                 match *cmd {
@@ -320,21 +430,113 @@ impl Actor for ProxyActor {
             }
             Err(original) => original,
         };
+        // Shared multicast frame: the payload is one Arc-shared allocation
+        // across every receiver of the fan-out; writes are cloned only
+        // here, at the moment they land in this proxy's own cache.
+        let msg = match msg.downcast::<Arc<NotifyFrame>>() {
+            Ok(frame) => {
+                self.note_frame(from);
+                for write in &frame.writes {
+                    self.apply_notify(ctx, write.clone());
+                }
+                return;
+            }
+            Err(original) => original,
+        };
         if let Ok(msg) = msg.downcast::<ZeusMsg>() {
             match *msg {
                 ZeusMsg::Notify { write } => {
+                    self.note_frame(from);
                     self.apply_notify(ctx, write);
                 }
                 ZeusMsg::NotifyBatch { writes } => {
                     // One coalesced frame per observer apply; each carried
                     // write lands in the cache (and samples latency)
                     // individually.
+                    self.note_frame(from);
                     for write in writes {
                         self.apply_notify(ctx, write);
                     }
                 }
-                ZeusMsg::ProxyPong => {
+                ZeusMsg::ProxyPong { lease_ok } => {
+                    // Replies from an observer we already failed away from
+                    // prove nothing about the current connection.
+                    if Some(from) != self.current {
+                        return;
+                    }
                     self.pong_seen = true;
+                    if self.use_leases && !lease_ok && self.lease_epoch != 0 {
+                        // Fenced (observer restarted) or unknown: fall back
+                        // to the full anti-entropy re-subscribe.
+                        ctx.metrics().incr(LEASE_FALLS_BACK, 1);
+                        self.establish_lease(ctx);
+                    }
+                }
+                ZeusMsg::RepairBatch { epoch, writes } => {
+                    // Loss-repair chunk under a freshly granted epoch (its
+                    // activating ack follows on the link). Counted per
+                    // epoch so the ack can adopt exactly what arrived.
+                    if self.use_leases && Some(from) == self.current {
+                        if self.repair_epoch != epoch {
+                            self.repair_epoch = epoch;
+                            self.repair_frames = 0;
+                        }
+                        self.repair_frames += 1;
+                    }
+                    for write in writes {
+                        self.apply_notify(ctx, write);
+                    }
+                }
+                ZeusMsg::LeaseAck {
+                    epoch,
+                    frames_sent: _,
+                    repaired,
+                    paths,
+                } => {
+                    if Some(from) != self.current || !self.use_leases {
+                        return;
+                    }
+                    self.pong_seen = true;
+                    if repaired {
+                        // A repair granted a fresh lease. The counter
+                        // restarts at our RECEIPT count of the repair
+                        // chunks, not the observer's send count: a dropped
+                        // chunk leaves us short, the next ping shows the
+                        // shortfall, and the observer repairs again — loss
+                        // cannot hide behind the ack.
+                        self.lease_epoch = epoch;
+                        self.frames_received = if self.repair_epoch == epoch {
+                            self.repair_frames
+                        } else {
+                            0
+                        };
+                        self.repair_epoch = 0;
+                        self.repair_frames = 0;
+                    } else if self.lease_epoch == 0 {
+                        // Establishment granted; counters are already
+                        // zeroed on both ends. `paths` is 0 here (the
+                        // Subscribes are still behind this ack) — the
+                        // first renewal ack audits the watch set instead.
+                        self.lease_epoch = epoch;
+                        return;
+                    }
+                    if paths != self.subscriptions.len() as u64 {
+                        // An establishment Subscribe was dropped: the
+                        // observer watches fewer paths than we subscribe
+                        // to, and no counter can ever show it (unwatched
+                        // paths send no frames). Re-establish with the
+                        // full set.
+                        ctx.metrics().incr(LEASE_FALLS_BACK, 1);
+                        self.establish_lease(ctx);
+                    }
+                }
+                ZeusMsg::LeaseNack { .. } => {
+                    if Some(from) != self.current || !self.use_leases {
+                        return;
+                    }
+                    self.pong_seen = true;
+                    ctx.metrics().incr(LEASE_FALLS_BACK, 1);
+                    self.establish_lease(ctx);
                 }
                 _ => {}
             }
@@ -364,22 +566,69 @@ impl Actor for ProxyActor {
                 .min(self.max_backoff.as_micros())
                 .max(base);
             self.backoff = SimDuration::from_micros(ctx.rng().gen_range(base..=hi));
+        } else if self.use_leases {
+            self.backoff = self.healthcheck;
+            if self.lease_epoch == 0 {
+                // Establishment ack lost (or still unanswered): retry at
+                // healthcheck cadence. Until the lease is granted the
+                // re-subscribe set rides along, so this degrades to exactly
+                // the legacy per-check cost — never worse.
+                self.establish_lease(ctx);
+            } else {
+                self.checks_since_renew += 1;
+                if self.checks_since_renew >= self.renew_every {
+                    self.checks_since_renew = 0;
+                    // ONE 32-byte renewal covering every watched path,
+                    // replacing one Subscribe per path per check. Loss
+                    // detection does not wait for this: every ping carries
+                    // the frame counters.
+                    if let Some(obs) = self.current {
+                        ctx.send_value(
+                            obs,
+                            control_wire::RENEW,
+                            ZeusMsg::LeaseRenew {
+                                epoch: self.lease_epoch,
+                                frames_received: self.frames_received,
+                            },
+                        );
+                    }
+                }
+            }
         } else {
             self.backoff = self.healthcheck;
             self.checks_since_resub += 1;
-            // Every healthy check: a `Subscribe { path, have }` is a tiny
-            // ask the observer answers only when it holds something newer,
-            // so this is the cheapest repair path for a dropped notify —
-            // the notify fan-out has no loss-detection signal of its own,
-            // and waiting several checks put a multi-second floor under
-            // the propagation tail on lossy networks.
+            // Legacy baseline: every healthy check re-sends a `Subscribe
+            // { path, have }` per path — a tiny ask the observer answers
+            // only when it holds something newer. This is the repair path
+            // the lease counters replace.
             if self.checks_since_resub >= 1 {
                 self.resubscribe(ctx);
             }
         }
         self.pong_seen = false;
         if let Some(obs) = self.current {
-            ctx.send_value(obs, 16, ZeusMsg::ProxyPing);
+            if self.use_leases {
+                // The ping doubles as the loss detector: the observer
+                // compares `frames_received` against its settled send
+                // counter and repairs any shortfall immediately.
+                ctx.send_value(
+                    obs,
+                    control_wire::PING,
+                    ZeusMsg::ProxyPing {
+                        epoch: self.lease_epoch,
+                        frames_received: self.frames_received,
+                    },
+                );
+            } else {
+                ctx.send_value(
+                    obs,
+                    16,
+                    ZeusMsg::ProxyPing {
+                        epoch: 0,
+                        frames_received: 0,
+                    },
+                );
+            }
         }
         ctx.set_timer(self.backoff, self.timer_gen);
     }

@@ -136,12 +136,18 @@ impl Actor for PullServerActor {
     }
 }
 
-/// A pull-model client polling on a fixed interval.
+/// A pull-model client polling on a fixed interval (or, with
+/// [`PullClientActor::with_poisson`], at Poisson-distributed intervals
+/// with the same mean — the arrival process the aggregated
+/// [`mobileconfig`-population model](https://en.wikipedia.org/wiki/Poisson_point_process)
+/// assumes, so the cohort-vs-individual differential test compares like
+/// with like).
 pub struct PullClientActor {
     server: NodeId,
     interval: SimDuration,
     cache: BTreeMap<String, Write>,
     paths: Vec<String>,
+    poisson: bool,
 }
 
 impl PullClientActor {
@@ -152,6 +158,27 @@ impl PullClientActor {
             interval,
             cache: BTreeMap::new(),
             paths,
+            poisson: false,
+        }
+    }
+
+    /// Switches between Poisson-distributed poll gaps (exponential with
+    /// mean `interval`) and the fixed-interval baseline.
+    pub fn with_poisson(mut self, poisson: bool) -> PullClientActor {
+        self.poisson = poisson;
+        self
+    }
+
+    /// The delay until this client's next poll.
+    fn next_gap(&self, ctx: &mut Ctx<'_>) -> SimDuration {
+        if self.poisson {
+            // Inverse-CDF exponential draw; clamp the log argument away
+            // from 0 so the gap stays finite.
+            let u: f64 = rand::Rng::gen_range(ctx.rng(), 1e-12..1.0f64);
+            let gap = -(u.ln()) * self.interval.as_micros() as f64;
+            SimDuration::from_micros((gap as u64).max(1))
+        } else {
+            self.interval
         }
     }
 
@@ -204,7 +231,8 @@ impl Actor for PullClientActor {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         if tag == TIMER_POLL {
             self.poll(ctx);
-            ctx.set_timer(self.interval, TIMER_POLL);
+            let gap = self.next_gap(ctx);
+            ctx.set_timer(gap, TIMER_POLL);
         }
     }
 }

@@ -200,6 +200,15 @@ impl WatchTable {
         }
     }
 
+    /// The paths watched by `node` (for lease repair: re-pushing the full
+    /// current state of one watcher's subscriptions).
+    pub fn paths_of(&self, node: NodeId) -> impl Iterator<Item = &str> {
+        self.by_node
+            .get(&node)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
     /// The watchers of `path`.
     pub fn watchers(&self, path: &str) -> impl Iterator<Item = NodeId> + '_ {
         self.by_path

@@ -248,10 +248,108 @@ pub enum ZeusMsg {
         /// Current state of each changed watched path, in zxid order.
         writes: Vec<Write>,
     },
-    /// Proxy → observer: liveness probe.
-    ProxyPing,
+    /// Proxy → observer: liveness probe. Under the lease protocol the ping
+    /// piggybacks the watcher's lease counters, so frame loss is detected
+    /// at healthcheck cadence without any per-path messages: the observer
+    /// compares `frames_received` against the frames it has sent long
+    /// enough ago to have settled, and repairs on a shortfall.
+    ProxyPing {
+        /// The watcher's lease epoch (0 = no lease established yet; the
+        /// observer then answers liveness only).
+        epoch: u64,
+        /// Notify frames received from the current observer under this
+        /// lease.
+        frames_received: u64,
+    },
     /// Observer → proxy: liveness response.
-    ProxyPong,
+    ProxyPong {
+        /// Whether the pinger's lease is still valid. `false` (unknown
+        /// watcher, fenced epoch) sends the proxy back through a full
+        /// re-subscribe; always `true` from legacy-mode observers.
+        lease_ok: bool,
+    },
+    /// Proxy → observer: establish or renew the watch lease covering every
+    /// path this watcher has subscribed. Sent every N healthchecks instead
+    /// of one `Subscribe { path, have }` per path per check — the
+    /// O(paths × healthchecks) storm becomes O(1) per renewal interval.
+    LeaseRenew {
+        /// The lease epoch granted by the last `LeaseAck` (0 = establish a
+        /// fresh lease; the sender has reset `frames_received` to 0 and
+        /// follows up with one `Subscribe` per path on the same link, so
+        /// in-order delivery registers the watches under the new lease).
+        epoch: u64,
+        /// Notify frames received under this lease.
+        frames_received: u64,
+    },
+    /// Observer → proxy: lease granted or renewed.
+    LeaseAck {
+        /// The granted lease epoch. Every grant — establishment, or the
+        /// fresh lease a repair creates — uses a new epoch, so counter
+        /// state can never be confused across grants.
+        epoch: u64,
+        /// Frames sent under the lease as of this ack (repair chunks
+        /// included; 0 at establishment).
+        frames_sent: u64,
+        /// Whether `RepairBatch` chunks precede this ack on the link. The
+        /// watcher then adopts its own *receipt count* of those chunks as
+        /// the new frame counter — NOT `frames_sent` — so a dropped chunk
+        /// leaves the counters short and the next ping repairs again.
+        /// Loss cannot hide behind the ack.
+        repaired: bool,
+        /// How many paths the observer watches for this lease holder. A
+        /// dropped establishment `Subscribe` would otherwise be invisible
+        /// forever (no watch → no frames → no counter mismatch); the
+        /// watcher compares this against its subscription count at every
+        /// renewal ack and re-establishes on a shortfall. Watches are
+        /// rebuilt from the watcher's own set at establishment, so count
+        /// equality implies set equality. 0 at establishment (the
+        /// Subscribes are still behind the ack on the link) — not
+        /// compared there.
+        paths: u64,
+    },
+    /// Observer → proxy: loss-repair chunk — the full current state of the
+    /// watcher's paths, re-pushed under a freshly granted lease epoch when
+    /// the lease counters disagreed. Distinct from `NotifyBatch` so the
+    /// watcher can count repair chunks against the new epoch before the
+    /// `LeaseAck` that activates it arrives.
+    RepairBatch {
+        /// The fresh lease epoch these chunks are counted under.
+        epoch: u64,
+        /// A chunk of the full current state, in zxid order.
+        writes: Vec<Write>,
+    },
+    /// Observer → proxy: lease unknown or fenced off; the watcher must
+    /// re-establish with a full re-subscribe (today's anti-entropy path).
+    LeaseNack {
+        /// The observer's current lease generation.
+        epoch: u64,
+    },
+}
+
+/// One shared fan-out frame: the coalesced notify payload for one applied
+/// batch, built once per watcher *group* and multicast as a single
+/// refcount-shared allocation (`Arc<NotifyFrame>`) instead of a per-watcher
+/// `Vec<Write>` clone. Deliberately carries no per-receiver data — lease
+/// accounting lives in the (observer, watcher) counter pair, not in the
+/// frame — which is exactly what makes the payload shareable.
+#[derive(Debug, Clone)]
+pub struct NotifyFrame {
+    /// Current state of each changed watched path, in zxid order.
+    pub writes: Vec<Write>,
+}
+
+/// Wire size of the small lease/liveness control frames.
+pub mod control_wire {
+    /// `ProxyPing`: 16-byte probe plus the two lease counters.
+    pub const PING: u64 = 32;
+    /// `ProxyPong`: probe response plus the lease verdict.
+    pub const PONG: u64 = 16;
+    /// `LeaseRenew`: epoch + counter + header.
+    pub const RENEW: u64 = 32;
+    /// `LeaseAck`: epoch + counter + path count + flags + header.
+    pub const ACK: u64 = 40;
+    /// `LeaseNack`: epoch + header.
+    pub const NACK: u64 = 24;
 }
 
 #[cfg(test)]

@@ -911,3 +911,106 @@ fn retransmit_chunk_adapts_to_measured_loss() {
         "40% drop must shrink the retransmission chunk on some link"
     );
 }
+
+#[test]
+fn lease_expiry_during_oneway_partition_triggers_full_resubscribe() {
+    use zeus::metrics::{LEASE_EXPIRIES, LEASE_RENEWALS};
+
+    let (mut sim, zeus) = deployment(50, vec!["cfg/lease".into()]);
+    // Install one cross-region watcher: a region-1 node watching a
+    // region-0 observer, so a region-level one-way cut can sever exactly
+    // the proxy→observer direction (pings and renewals) while the
+    // observer→proxy direction stays up — the silent-expiry scenario a
+    // symmetric partition cannot produce.
+    let topo = sim.topology().clone();
+    let observer = zeus.observers[0];
+    assert_eq!(topo.placement(observer).region, RegionId(0));
+    let cross = zeus
+        .proxies
+        .iter()
+        .copied()
+        .find(|&p| topo.placement(p).region == RegionId(1))
+        .unwrap();
+    sim.add_actor(
+        cross,
+        Box::new(ProxyActor::new(vec![observer], vec!["cfg/lease".into()])),
+    );
+    sim.run_for(SimDuration::from_secs(2));
+
+    let t = sim.now();
+    zeus.write_current(&mut sim, t, "cfg/lease", &b"v1"[..]);
+    sim.run_for(SimDuration::from_secs(4));
+    assert_eq!(zeus.coverage(&sim, "cfg/lease", b"v1"), 1.0);
+    assert!(
+        sim.metrics().counter(LEASE_RENEWALS) > 0,
+        "watchers must be on the lease protocol"
+    );
+    let expiries_before = sim.metrics().counter(LEASE_EXPIRIES);
+
+    // Cut region 1 → region 0 only. The cross watcher's pings vanish; the
+    // observer hears nothing, and after the lease TTL its anti-entropy
+    // sweep must expire the lease and drop the watches.
+    sim.partition_oneway(RegionId(1), RegionId(0));
+    sim.run_for(SimDuration::from_secs(10));
+    assert!(
+        sim.metrics().counter(LEASE_EXPIRIES) > expiries_before,
+        "observer must expire the silent watcher's lease"
+    );
+
+    // A write committed while the watch is gone: the cut proxy must miss
+    // it (its watch no longer exists at the observer) …
+    let t = sim.now();
+    zeus.write_current(&mut sim, t, "cfg/lease", &b"v2"[..]);
+    sim.run_for(SimDuration::from_secs(2));
+    let p: &ProxyActor = sim.actor(cross).unwrap();
+    assert_eq!(
+        &p.read("cfg/lease").unwrap().data[..],
+        b"v1",
+        "expired watcher must be stale during the cut"
+    );
+
+    // … and the post-heal re-establishment (fresh lease + full
+    // re-subscribe with held versions) must deliver it: no lost
+    // notifications.
+    sim.heal_oneway(RegionId(1), RegionId(0));
+    sim.run_for(SimDuration::from_secs(15));
+    assert_eq!(
+        zeus.coverage(&sim, "cfg/lease", b"v2"),
+        1.0,
+        "full re-subscribe must repair the missed write"
+    );
+}
+
+#[test]
+fn observer_restart_fences_stale_leases_and_watchers_fall_back() {
+    use zeus::metrics::{LEASE_FALLS_BACK, LEASE_RENEWALS};
+
+    let (mut sim, zeus) = deployment(51, vec!["cfg/fence".into()]);
+    let t = sim.now();
+    zeus.write_current(&mut sim, t, "cfg/fence", &b"v1"[..]);
+    sim.run_for(SimDuration::from_secs(3));
+    assert_eq!(zeus.coverage(&sim, "cfg/fence", b"v1"), 1.0);
+    assert!(sim.metrics().counter(LEASE_RENEWALS) > 0);
+    let falls_before = sim.metrics().counter(LEASE_FALLS_BACK);
+
+    // Restart an observer in place (no simulated downtime, so no
+    // healthcheck failover): recovery bumps its lease generation, fencing
+    // every lease granted before the crash. The next ping from each
+    // holder carries a now-unknown epoch and must be answered with a
+    // failed-lease pong, driving the holder through the anti-entropy
+    // fallback — a fresh lease and a full re-subscribe.
+    let victim = zeus.observers[0];
+    sim.crash(victim);
+    sim.recover(victim);
+    sim.run_for(SimDuration::from_secs(4));
+    assert!(
+        sim.metrics().counter(LEASE_FALLS_BACK) > falls_before,
+        "stale-epoch watchers must fall back to a full re-subscribe"
+    );
+
+    // The fenced-and-reestablished watchers still get new writes.
+    let t = sim.now();
+    zeus.write_current(&mut sim, t, "cfg/fence", &b"v2"[..]);
+    sim.run_for(SimDuration::from_secs(3));
+    assert_eq!(zeus.coverage(&sim, "cfg/fence", b"v2"), 1.0);
+}

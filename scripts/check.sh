@@ -109,26 +109,48 @@ diff -u /tmp/perf_check_a.txt /tmp/perf_check_b.txt \
 diff -u "scripts/goldens/perf_check.txt" /tmp/perf_check_a.txt \
     || { echo "perf --check profile diverged from golden"; exit 1; }
 
-echo "== paper-scale fleet gate (golden + determinism + throughput floor)"
+echo "== paper-scale fleet gate (golden + determinism + throughput floors)"
 # `repro fleet` replays a diurnal commit day over the zeus tree at paper
-# scale. The live run writes the "fleet_runs" section of BENCH_simnet.json
-# (schema-gated on stderr as "fleet schema: OK") and enforces a 100k
-# events/s floor at >= 5k nodes ("fleet throughput gate: PASS"). The
-# --check run (1k + 5k fleets) prints only virtual-time fields — event
-# counts, writes, propagation-delay quantiles — so it is byte-deterministic
-# and diffed against a golden AND against a second run of itself.
+# scale (1k / 5k / 20k / 50k / 100k nodes). The live run writes the
+# "fleet_runs" section of BENCH_simnet.json (schema-gated on stderr as
+# "fleet schema: OK") and enforces three wall-clock floors: 100k events/s
+# at >= 5k nodes ("fleet throughput gate: PASS"), >= 1.4M events/s on the
+# 20k tier (the watch-lease + shared-fan-out speedup over the 825,993
+# events/s pre-lease baseline), and >= 100k events/s on the 100k-node
+# tier (paper-scale viability). The --check run (1k + 5k + 100k fleets)
+# prints only virtual-time fields — event counts, writes, raw-sample
+# propagation percentiles with their sample counts — so it is
+# byte-deterministic and diffed against a golden AND against a second run
+# of itself.
 cargo run -q --release -p bench --bin repro -- fleet > /tmp/fleet_live.txt 2> /tmp/fleet_gates.txt
 cat /tmp/fleet_gates.txt
 grep -q "fleet schema: OK" /tmp/fleet_gates.txt \
     || { echo "BENCH_simnet.json failed fleet schema validation"; exit 1; }
 grep -q "fleet throughput gate: PASS" /tmp/fleet_gates.txt \
     || { echo "fleet throughput floor not met"; exit 1; }
+grep -qF "fleet tier gate [20k]: PASS" /tmp/fleet_gates.txt \
+    || { echo "20k-node tier below the 1.4M events/s lease-speedup floor"; exit 1; }
+grep -qF "fleet tier gate [100k]: PASS" /tmp/fleet_gates.txt \
+    || { echo "100k-node tier below the 100k events/s floor"; exit 1; }
 cargo run -q --release -p bench --bin repro -- fleet --check 2> /dev/null > /tmp/fleet_check_a.txt
 cargo run -q --release -p bench --bin repro -- fleet --check 2> /dev/null > /tmp/fleet_check_b.txt
 diff -u /tmp/fleet_check_a.txt /tmp/fleet_check_b.txt \
     || { echo "fleet --check output is not byte-deterministic"; exit 1; }
 diff -u "scripts/goldens/fleet_check.txt" /tmp/fleet_check_a.txt \
     || { echo "fleet --check report diverged from golden"; exit 1; }
+
+echo "== mobileconfig population gate (golden + determinism)"
+# `repro fleet --mobile 1000000` models a million MobileConfig pull
+# clients as per-cluster population cohorts over the 1k fleet. The report
+# (per-cohort poll counts and staleness percentiles) is virtual-time only
+# and must replay byte-identically; it is diffed against a golden AND
+# against a second run of itself.
+cargo run -q --release -p bench --bin repro -- fleet --mobile 1000000 2> /dev/null > /tmp/fleet_mobile_a.txt
+cargo run -q --release -p bench --bin repro -- fleet --mobile 1000000 2> /dev/null > /tmp/fleet_mobile_b.txt
+diff -u /tmp/fleet_mobile_a.txt /tmp/fleet_mobile_b.txt \
+    || { echo "fleet --mobile output is not byte-deterministic"; exit 1; }
+diff -u "scripts/goldens/fleet_mobile.txt" /tmp/fleet_mobile_a.txt \
+    || { echo "fleet --mobile report diverged from golden"; exit 1; }
 
 echo "== fleet health plane gate (seeds 1 2)"
 # `repro health` runs every tier's ODS emitters under two chaos seeds and

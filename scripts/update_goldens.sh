@@ -33,6 +33,9 @@ echo "wrote scripts/goldens/perf_check.txt"
 cargo run -q --release -p bench --bin repro -- fleet --check 2> /dev/null \
     > "scripts/goldens/fleet_check.txt"
 echo "wrote scripts/goldens/fleet_check.txt"
+cargo run -q --release -p bench --bin repro -- fleet --mobile 1000000 2> /dev/null \
+    > "scripts/goldens/fleet_mobile.txt"
+echo "wrote scripts/goldens/fleet_mobile.txt"
 cargo run -q --release -p bench --bin repro -- health \
     > "scripts/goldens/health_seed1.txt"
 echo "wrote scripts/goldens/health_seed1.txt"
